@@ -1,0 +1,213 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§9). Each benchmark runs the corresponding experiment and reports the
+// headline numbers as custom metrics, so `go test -bench=. -benchmem`
+// produces the full reproduction. DESIGN.md §3 maps paper artefacts to
+// these targets; EXPERIMENTS.md records paper-vs-measured values.
+package k2_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"k2/internal/core"
+	"k2/internal/experiment"
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/workload"
+)
+
+// cell parses a numeric table cell (strips trailing x/%).
+func cell(t experiment.Table, row, col int) float64 {
+	s := t.Rows[row][col]
+	s = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x"), "+")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func BenchmarkTable1PlatformConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Table1()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFigure1Trend(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.Figure1()
+	}
+	b.ReportMetric(cell(t, 0, 3), "A9@1200_mW")
+	b.ReportMetric(cell(t, len(t.Rows)-1, 3), "M3@200_mW")
+}
+
+func BenchmarkTable3Power(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.Table3()
+	}
+	b.ReportMetric(cell(t, 0, 1), "M3_active_mW")
+	b.ReportMetric(cell(t, 1, 1), "A9_350_active_mW")
+	b.ReportMetric(cell(t, 2, 1), "A9_1200_active_mW")
+}
+
+func BenchmarkFigure6aDMAEnergy(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.Figure6a()
+	}
+	b.ReportMetric(cell(t, 1, 3), "K2_vs_Linux_4K_256K_x")
+	b.ReportMetric(cell(t, len(t.Rows)-1, 3), "K2_vs_Linux_1M_16M_x")
+}
+
+func BenchmarkFigure6bExt2Energy(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.Figure6b()
+	}
+	b.ReportMetric(cell(t, 0, 3), "K2_vs_Linux_1K_x")
+	b.ReportMetric(cell(t, 0, 2), "K2_1K_MBperJ") // paper figure labels 0.41
+}
+
+func BenchmarkFigure6cUDPEnergy(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.Figure6c()
+	}
+	b.ReportMetric(cell(t, 0, 3), "K2_vs_Linux_smallest_x")
+}
+
+func BenchmarkStandbyEstimate(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.StandbyEstimate()
+	}
+	b.ReportMetric(cell(t, 0, 2), "linux_days")
+	b.ReportMetric(cell(t, 1, 2), "k2_days")
+}
+
+func BenchmarkTable4Alloc(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.Table4()
+	}
+	b.ReportMetric(cell(t, 0, 1), "alloc4K_main_us")
+	b.ReportMetric(cell(t, 0, 3), "alloc4K_shadow_us")
+	b.ReportMetric(cell(t, 3, 1)/1e3, "deflate_main_ms")
+	b.ReportMetric(cell(t, 4, 3)/1e3, "inflate_shadow_ms")
+}
+
+func BenchmarkTable5DSMFault(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.Table5()
+	}
+	b.ReportMetric(cell(t, 5, 1), "main_sender_total_us")
+	b.ReportMetric(cell(t, 5, 3), "shadow_sender_total_us")
+}
+
+func BenchmarkTable6SharedDMA(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.Table6()
+	}
+	b.ReportMetric(cell(t, 0, 1), "linux_4K_MBs")
+	b.ReportMetric(cell(t, 0, 4), "k2_main_4K_MBs")
+	b.ReportMetric(cell(t, 0, 5), "k2_shadow_4K_MBs")
+	b.ReportMetric(cell(t, 3, 4), "k2_main_1M_MBs")
+	b.ReportMetric(cell(t, 3, 5), "k2_shadow_1M_MBs")
+}
+
+func BenchmarkAblationSharedAllocator(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.AblationSharedAllocator()
+	}
+	b.ReportMetric(cell(t, 3, 1), "slowdown_x")
+	b.ReportMetric(cell(t, 2, 1), "faults_per_alloc")
+}
+
+func BenchmarkAblationThreeState(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.AblationThreeState()
+	}
+	b.ReportMetric(cell(t, 0, 1), "twostate_singlewriter_us")
+	b.ReportMetric(cell(t, 1, 1), "threestate_omap4_us")
+}
+
+func BenchmarkStandbyTimeline(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.StandbyTimeline()
+	}
+	b.ReportMetric(cell(t, 0, 2), "linux_days")
+	b.ReportMetric(cell(t, 1, 2), "k2_days")
+}
+
+func BenchmarkTimeoutSensitivity(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.TimeoutSensitivity()
+	}
+	b.ReportMetric(cell(t, 0, 3), "ratio_1s_x")
+	b.ReportMetric(cell(t, len(t.Rows)-1, 3), "ratio_10s_x")
+}
+
+func BenchmarkAblationInactiveClaim(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.AblationInactiveClaim()
+	}
+	b.ReportMetric(cell(t, 0, 2), "with_claim_MBperJ")
+	b.ReportMetric(cell(t, 1, 2), "mailbox_only_MBperJ")
+}
+
+func BenchmarkAblationPlacementPolicy(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.AblationPlacementPolicy()
+	}
+	b.ReportMetric(cell(t, 0, 1), "frontier_unpinned_blocks")
+	b.ReportMetric(cell(t, 1, 1), "vanilla_unpinned_blocks")
+}
+
+func BenchmarkAblationSuspendOverlap(b *testing.B) {
+	var t experiment.Table
+	for i := 0; i < b.N; i++ {
+		t = experiment.AblationSuspendOverlap()
+	}
+	b.ReportMetric(cell(t, 0, 2), "overlapped_overhead_us")
+	b.ReportMetric(cell(t, 1, 2), "sequential_overhead_us")
+}
+
+// BenchmarkEpisodeK2 and BenchmarkEpisodeLinux expose the raw episode
+// machinery for profiling the simulator itself.
+func benchmarkEpisode(b *testing.B, mode core.Mode) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		cfg := soc.DefaultConfig()
+		cfg.StrongFreqMHz = 350
+		o, err := core.Boot(eng, core.Options{Mode: mode, SoC: &cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := workload.MeasureEpisode(eng, o, workload.DMA(o, 16<<10, 128<<10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WorkSpan <= 0 || res.WorkSpan > time.Minute {
+			b.Fatalf("implausible work span %v", res.WorkSpan)
+		}
+	}
+}
+
+func BenchmarkEpisodeK2(b *testing.B)    { benchmarkEpisode(b, core.K2Mode) }
+func BenchmarkEpisodeLinux(b *testing.B) { benchmarkEpisode(b, core.LinuxMode) }

@@ -1,0 +1,93 @@
+// Command k2bench regenerates every table and figure of the paper's
+// evaluation (§9) on the simulated platform and prints them next to the
+// paper's reported values.
+//
+// Usage:
+//
+//	k2bench            # run everything
+//	k2bench -only t4   # run a single experiment
+//	k2bench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"k2/internal/experiment"
+)
+
+var experiments = []struct {
+	id   string
+	name string
+	run  func() experiment.Table
+}{
+	{"t1", "Table 1 (platform cores)", experiment.Table1},
+	{"f1", "Figure 1 (SoC trend)", experiment.Figure1},
+	{"t2", "Table 2 analog (service classes)", experiment.Table2},
+	{"t3", "Table 3 (core power)", experiment.Table3},
+	{"f6a", "Figure 6(a) DMA energy", experiment.Figure6a},
+	{"f6b", "Figure 6(b) ext2 energy", experiment.Figure6b},
+	{"f6c", "Figure 6(c) UDP energy", experiment.Figure6c},
+	{"standby", "Standby estimate (§9.2)", experiment.StandbyEstimate},
+	{"timeline", "Standby timeline (§9.2, simulated hours)", experiment.StandbyTimeline},
+	{"timeout", "Sensitivity: inactive timeout", experiment.TimeoutSensitivity},
+	{"day", "Day-in-life (foreground + background)", experiment.DayInLife},
+	{"t4", "Table 4 (allocation latency)", experiment.Table4},
+	{"t5", "Table 5 (DSM fault breakdown)", experiment.Table5},
+	{"t6", "Table 6 (shared DMA throughput)", experiment.Table6},
+	{"a1", "Ablation §9.3 (shadowed allocator)", experiment.AblationSharedAllocator},
+	{"a2", "Ablation §6.3 (three-state protocol)", experiment.AblationThreeState},
+	{"a3", "Ablation DESIGN §5 (inactive-peer claim)", experiment.AblationInactiveClaim},
+	{"a4", "Ablation §6.2 (movable placement)", experiment.AblationPlacementPolicy},
+	{"a5", "Ablation §8 (suspend-ack overlap)", experiment.AblationSuspendOverlap},
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids to run (see -list)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "text", "output format: text, csv or markdown")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-8s %s\n", e.id, e.name)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		tab := e.run()
+		switch *format {
+		case "text":
+			fmt.Println(tab.String())
+		case "markdown":
+			fmt.Println(tab.Markdown())
+		case "csv":
+			fmt.Printf("## %s\n", tab.ID)
+			if err := tab.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "k2bench:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		default:
+			fmt.Fprintf(os.Stderr, "k2bench: unknown -format %q\n", *format)
+			os.Exit(2)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "k2bench: no experiment matched; try -list")
+		os.Exit(1)
+	}
+}

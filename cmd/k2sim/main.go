@@ -1,0 +1,117 @@
+// Command k2sim runs one light-task episode on the simulated platform and
+// reports its energy, efficiency and timing.
+//
+// Usage:
+//
+//	k2sim -os k2 -workload dma -batch 4096 -total 262144
+//	k2sim -os linux -workload ext2 -size 262144 -files 8
+//	k2sim -os k2 -workload udp -batch 1024 -total 65536 -mhz 350
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"k2/internal/core"
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/trace"
+	"k2/internal/workload"
+)
+
+func main() {
+	osFlag := flag.String("os", "k2", "operating system: k2 or linux")
+	wl := flag.String("workload", "dma", "workload: dma, ext2 or udp")
+	batch := flag.Int64("batch", 4096, "batch size in bytes (dma, udp)")
+	total := flag.Int64("total", 262144, "total bytes (dma, udp)")
+	size := flag.Int("size", 262144, "file size in bytes (ext2)")
+	files := flag.Int("files", 8, "file count (ext2)")
+	mhz := flag.Int("mhz", 350, "strong-core frequency (350-1200)")
+	verbose := flag.Bool("v", false, "print DSM and scheduler statistics")
+	traceKinds := flag.String("trace", "", "comma-separated trace kinds to dump (e.g. dsm,sched,power; 'all' for everything)")
+	flag.Parse()
+
+	var mode core.Mode
+	switch *osFlag {
+	case "k2":
+		mode = core.K2Mode
+	case "linux":
+		mode = core.LinuxMode
+	default:
+		fmt.Fprintf(os.Stderr, "k2sim: unknown -os %q\n", *osFlag)
+		os.Exit(2)
+	}
+
+	eng := sim.NewEngine()
+	cfg := soc.DefaultConfig()
+	cfg.StrongFreqMHz = *mhz
+	o, err := core.Boot(eng, core.Options{Mode: mode, SoC: &cfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "k2sim:", err)
+		os.Exit(1)
+	}
+
+	var task workload.Task
+	switch *wl {
+	case "dma":
+		task = workload.DMA(o, *batch, *total)
+	case "ext2":
+		task = workload.Ext2(o, *size, *files)
+	case "udp":
+		task = workload.UDP(o, *batch, *total)
+	default:
+		fmt.Fprintf(os.Stderr, "k2sim: unknown -workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	res, err := workload.MeasureEpisode(eng, o, task)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "k2sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("os:           %v (strong @ %d MHz)\n", mode, *mhz)
+	fmt.Printf("workload:     %s\n", *wl)
+	fmt.Printf("payload:      %d bytes\n", res.Bytes)
+	fmt.Printf("work span:    %v (%.2f MB/s)\n", res.WorkSpan, res.ThroughputMBs())
+	fmt.Printf("episode:      %.3f mJ -> %.2f MB/J\n", res.EnergyJ*1e3, res.EfficiencyMBJ())
+	fmt.Printf("strong wakes: %d\n", res.StrongWakes)
+	if *verbose && o.DSM != nil {
+		for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+			st := o.DSM.RequesterStats[k]
+			fmt.Printf("dsm[%v]:    %d faults (%d local claims), mean %v\n",
+				k, st.Faults, st.Claims, st.Mean())
+		}
+		fmt.Printf("sched:        %d suspends, %d resumes\n",
+			o.Sched.SuspendsSent, o.Sched.ResumesSent)
+		fmt.Printf("mailbox:      %d to strong, %d to weak\n",
+			o.S.Mailbox.Sent(soc.Strong), o.S.Mailbox.Sent(soc.Weak))
+	}
+	if *traceKinds != "" {
+		if *traceKinds != "all" {
+			var kinds []trace.Kind
+			for _, name := range strings.Split(*traceKinds, ",") {
+				k, err := trace.ParseKind(strings.TrimSpace(name))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "k2sim:", err)
+					os.Exit(2)
+				}
+				kinds = append(kinds, k)
+			}
+			// Filter the dump to the requested kinds.
+			fmt.Println("-- trace --")
+			for _, k := range kinds {
+				for _, ev := range o.Trace.Filter(k) {
+					fmt.Println(ev)
+				}
+			}
+			return
+		}
+		fmt.Println("-- trace --")
+		if err := o.Trace.Dump(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "k2sim:", err)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package k2 is a reproduction of "K2: A Mobile Operating System for
+// Heterogeneous Coherence Domains" (Lin, Wang, Zhong; ASPLOS 2014) as a
+// deterministic simulation written in pure Go.
+//
+// The paper's prototype runs two refactored Linux kernels over the two cache
+// coherence domains of a TI OMAP4 SoC. This repository rebuilds the whole
+// stack on a simulated substrate: a discrete-event engine (internal/sim), an
+// OMAP4-like SoC model (internal/soc), and on top of it the K2 operating
+// system (internal/core) with its shared-most service model — independent
+// page allocators coordinated by balloon drivers (internal/mem), a
+// sequentially consistent software DSM for shadowed services (internal/dsm),
+// shared-interrupt routing (internal/irq), and NightWatch threads
+// (internal/sched). Extended services exercised by the paper's evaluation —
+// a DMA driver, an ext2-like filesystem and a UDP loopback network stack —
+// are implemented in internal/driver, internal/fs and internal/netstack.
+//
+// See DESIGN.md for the system inventory and the per-experiment index, and
+// EXPERIMENTS.md for measured-vs-paper results for every table and figure.
+package k2

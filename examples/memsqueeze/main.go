@@ -1,0 +1,88 @@
+// Memsqueeze: the meta-level memory manager in action (§6.2). A greedy
+// allocator on the shadow kernel drives its free pages below the watermark;
+// the pressure probe kicks the background worker, which deflates 16 MB page
+// blocks from the K2 pool — and once the pool is empty, reclaims blocks
+// from the main kernel by asking its balloon to inflate, migrating movable
+// pages out of the victim block.
+//
+//	go run ./examples/memsqueeze
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/core"
+	"k2/internal/mem"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func main() {
+	eng := sim.NewEngine()
+	os, err := core.Boot(eng, core.Options{
+		Mode: core.K2Mode,
+		// A small machine: most of the pool is handed out at boot so the
+		// squeeze quickly reaches the reclaim path.
+		SoC:                 func() *soc.Config { c := soc.DefaultConfig(); c.RAMBytes = 192 << 20; return &c }(),
+		InitialMainBlocks:   5,
+		InitialShadowBlocks: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	report := func(when string) {
+		fmt.Printf("%-22s pool=%d blocks   main=%5d KB free (%5d KB total)   shadow=%5d KB free (%5d KB total)\n",
+			when, os.Mem.PoolBlocks(),
+			os.Mem.Buddies[soc.Strong].FreePages()*4, os.Mem.Buddies[soc.Strong].TotalPages()*4,
+			os.Mem.Buddies[soc.Weak].FreePages()*4, os.Mem.Buddies[soc.Weak].TotalPages()*4)
+	}
+
+	hog := os.SpawnProcess("hog")
+	hog.Spawn(sched.NightWatch, "alloc", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { os.Ready.Wait(p) })
+		report("boot")
+		var held []mem.PFN
+		b := os.Mem.Buddies[soc.Weak]
+		for i := 0; ; i++ {
+			pfn, err := b.Alloc(th.P(), th.Core(), 4, mem.Movable) // 64 KB
+			if err != nil {
+				// Give the background worker a chance before concluding.
+				th.SleepIdle(200 * time.Millisecond)
+				if pfn, err = b.Alloc(th.P(), th.Core(), 4, mem.Movable); err != nil {
+					fmt.Printf("allocation %d finally failed: %v\n", i, err)
+					break
+				}
+			}
+			held = append(held, pfn)
+			if i%256 == 255 {
+				th.SleepIdle(50 * time.Millisecond) // let the worker run
+				report(fmt.Sprintf("after %4d x 64KB", i+1))
+			}
+			if len(held)*16 > 130<<10/4 { // stop near 130 MB held
+				break
+			}
+		}
+		report("squeeze done")
+		// Release everything; the allocator coalesces back.
+		for _, pfn := range held {
+			os.Mem.Free(th.P(), th.Core(), soc.Weak, pfn)
+		}
+		report("after freeing")
+	})
+
+	if err := eng.Run(sim.Time(time.Hour)); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nballoon ops: shadow deflates=%d, reclaims from main=%d, pages migrated=%d\n",
+		os.Mem.Balloons[soc.Weak].Deflates, os.Mem.Reclaims, os.Mem.Balloons[soc.Strong].PagesMoved)
+	if err := os.Mem.CheckPartition(); err != nil {
+		panic(err)
+	}
+	if err := os.Mem.Buddies[soc.Weak].CheckInvariants(); err != nil {
+		panic(err)
+	}
+	fmt.Println("ownership partition and buddy invariants verified")
+}

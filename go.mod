@@ -1,0 +1,3 @@
+module k2
+
+go 1.22

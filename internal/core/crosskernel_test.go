@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"k2/internal/netstack"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Both kernels hammer the filesystem concurrently: the shadowed metadata
+// must stay coherent (DSM) and mutually excluded (hardware spinlock), and
+// the volume must check out clean afterwards.
+func TestConcurrentFilesystemBothKernels(t *testing.T) {
+	e, o := boot(t, K2Mode)
+	const filesPerSide = 12
+	writer := func(kind sched.Kind, prefix string) {
+		pr := o.SpawnProcess(prefix)
+		pr.Spawn(kind, "writer", func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			for i := 0; i < filesPerSide; i++ {
+				name := fmt.Sprintf("/%s-%d", prefix, i)
+				f, err := o.FS.Create(th, name)
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					return
+				}
+				payload := bytes.Repeat([]byte(prefix), 1000)
+				if err := f.Write(th, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := f.Close(th); err != nil {
+					t.Error(err)
+					return
+				}
+				th.SleepIdle(time.Millisecond)
+			}
+		})
+	}
+	writer(sched.Normal, "strongside")
+	writer(sched.NightWatch, "weakside")
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Verify all files from a third thread and fsck the volume.
+	done := false
+	pr := o.SpawnProcess("checker")
+	pr.Spawn(sched.Normal, "check", func(th *sched.Thread) {
+		for _, prefix := range []string{"strongside", "weakside"} {
+			for i := 0; i < filesPerSide; i++ {
+				name := fmt.Sprintf("/%s-%d", prefix, i)
+				f, err := o.FS.Open(th, name)
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					return
+				}
+				buf := make([]byte, len(prefix)*1000)
+				n, err := f.Read(th, buf)
+				if err != nil || n != len(buf) {
+					t.Errorf("%s: read %d err %v", name, n, err)
+					return
+				}
+				if !bytes.Equal(buf, bytes.Repeat([]byte(prefix), 1000)) {
+					t.Errorf("%s: content corrupted", name)
+					return
+				}
+			}
+		}
+		rep, err := o.FS.Fsck(th)
+		if err != nil || !rep.Clean() {
+			t.Errorf("fsck: %v err=%v", rep, err)
+		}
+		done = true
+	})
+	if err := e.Run(sim.Time(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("checker did not run")
+	}
+	if err := o.DSM.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The metadata genuinely ping-ponged between kernels.
+	if o.DSM.RequesterStats[soc.Strong].Faults == 0 || o.DSM.RequesterStats[soc.Weak].Faults == 0 {
+		t.Fatal("no cross-kernel metadata traffic observed")
+	}
+}
+
+// A NightWatch producer streams datagrams to a normal-thread consumer on
+// the other kernel through the shared UDP stack.
+func TestCrossKernelUDP(t *testing.T) {
+	e, o := boot(t, K2Mode)
+	const msgs = 20
+	var received int
+	consumerReady := sim.NewEvent(e)
+
+	prC := o.SpawnProcess("consumer")
+	prC.Spawn(sched.Normal, "recv", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		sk, err := o.Net.NewSocket(th, 9000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		consumerReady.Fire()
+		for received < msgs {
+			data, from, err := sk.RecvFrom(th)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if from.Port != 9001 || string(data) != fmt.Sprintf("m%d", received) {
+				t.Errorf("got %q from %v at %d", data, from, received)
+				return
+			}
+			received++
+		}
+		sk.Close(th)
+	})
+
+	prP := o.SpawnProcess("producer")
+	prP.Spawn(sched.NightWatch, "send", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		th.Block(func(p *sim.Proc) { consumerReady.Wait(p) })
+		sk, err := o.Net.NewSocket(th, 9001)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			if _, err := sk.SendTo(th, netstack.Addr{Port: 9000}, []byte(fmt.Sprintf("m%d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+			th.SleepIdle(500 * time.Microsecond)
+		}
+		sk.Close(th)
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if received != msgs {
+		t.Fatalf("received %d/%d", received, msgs)
+	}
+}

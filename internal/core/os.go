@@ -1,0 +1,364 @@
+// Package core assembles the K2 operating system (§5) over the simulated
+// SoC: two kernels — the full-fledged main kernel on the strong Cortex-A9
+// domain and the lean shadow kernel on the weak Cortex-M3 — presenting a
+// single system image to applications. The two kernels share the unified
+// kernel address space and the pool of physical memory, cooperate to handle
+// IO interrupts, keep their shadowed services (DMA driver, ext2, UDP stack)
+// coherent through the DSM, and run independent coordinated instances of
+// core services (page allocator, interrupt management, scheduler).
+//
+// The same package boots the unmodified-Linux baseline used throughout the
+// paper's evaluation: one kernel on the strong domain only, no DSM, no
+// NightWatch protocol, shared interrupts pinned to the strong domain.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/driver"
+	"k2/internal/dsm"
+	"k2/internal/fs"
+	"k2/internal/irq"
+	"k2/internal/mem"
+	"k2/internal/netstack"
+	"k2/internal/power"
+	"k2/internal/sched"
+	"k2/internal/services"
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/trace"
+	"k2/internal/vm"
+)
+
+// Mode selects which OS to boot.
+type Mode int
+
+const (
+	// K2Mode boots both kernels under the shared-most model.
+	K2Mode Mode = iota
+	// LinuxMode boots the single-kernel baseline on the strong domain.
+	LinuxMode
+)
+
+func (m Mode) String() string {
+	if m == LinuxMode {
+		return "linux"
+	}
+	return "k2"
+}
+
+// Options configures a boot.
+type Options struct {
+	Mode Mode
+	// SoC overrides the platform configuration (DefaultConfig if zero).
+	SoC *soc.Config
+	// DSMParams overrides the DSM calibration (K2 mode only).
+	DSMParams *dsm.Params
+	// DiskBlocks sizes the ramdisk (4 KB blocks); default 8192 (32 MB).
+	DiskBlocks int
+	// TraceCapacity sizes the kernel tracer ring (default 4096 events).
+	TraceCapacity int
+	// SensorPeriod, if non-zero, enables the autonomous sensor device
+	// sampling at this period. Off by default: a free-running device
+	// keeps generating interrupts, which matters for idle experiments.
+	SensorPeriod time.Duration
+	// InitialMainBlocks / InitialShadowBlocks are the 16 MB page blocks
+	// deflated to each kernel at boot.
+	InitialMainBlocks, InitialShadowBlocks int
+}
+
+// SharedIRQLines are the IO interrupt lines wired to all domains.
+var SharedIRQLines = []soc.IRQLine{soc.IRQDMA, soc.IRQBlock, soc.IRQNet, soc.IRQSensor}
+
+// OS is a booted system.
+type OS struct {
+	Mode Mode
+	Eng  *sim.Engine
+	S    *soc.SoC
+
+	Layout   vm.Layout
+	AS       [2]*vm.AddressSpace
+	Frames   *mem.Frames
+	Mem      *mem.Manager
+	DSM      *dsm.DSM // nil in LinuxMode
+	Sched    *sched.Sched
+	Router   *irq.Router
+	Registry *services.Registry
+
+	DMA    *driver.DMADriver
+	Disk   *driver.RAMDisk
+	FS     *fs.FileSystem
+	Net    *netstack.Stack
+	Sensor *driver.SensorDriver // nil unless Options.SensorPeriod set
+
+	// Meter integrates energy over both domain rails.
+	Meter *power.Meter
+	// Ready fires once the init thread has formatted the filesystem.
+	Ready *sim.Event
+	// Trace is the kernel event tracer (all kinds enabled by default; use
+	// Trace.EnableOnly to narrow it).
+	Trace *trace.Buffer
+
+	irqHandlers map[soc.IRQLine][]IRQHandler
+	pendingMaps map[uint32]mapOp
+	nextMapID   uint32
+}
+
+// IRQHandler runs in a handler proc on the service core of the domain that
+// owns the interrupt line at delivery time.
+type IRQHandler func(p *sim.Proc, core *soc.Core, k soc.DomainID)
+
+// Boot constructs and starts the OS on a fresh engine. It wires every
+// subsystem and spawns the per-kernel dispatcher procs; the filesystem is
+// formatted by an init thread, after which Ready fires.
+func Boot(eng *sim.Engine, opts Options) (*OS, error) {
+	cfg := soc.DefaultConfig()
+	if opts.SoC != nil {
+		cfg = *opts.SoC
+	}
+	if opts.DiskBlocks == 0 {
+		opts.DiskBlocks = 8192
+	}
+	if opts.InitialMainBlocks == 0 {
+		opts.InitialMainBlocks = 4
+	}
+	if opts.InitialShadowBlocks == 0 {
+		opts.InitialShadowBlocks = 1
+	}
+
+	s := soc.New(eng, cfg)
+	o := &OS{
+		Mode:        opts.Mode,
+		Eng:         eng,
+		S:           s,
+		Frames:      mem.NewFrames(s.Pages(), cfg.PageSize),
+		Registry:    services.NewRegistry(),
+		Ready:       sim.NewEvent(eng),
+		irqHandlers: make(map[soc.IRQLine][]IRQHandler),
+		pendingMaps: make(map[uint32]mapOp),
+	}
+	o.Meter = power.NewMeter(s.Domains[soc.Strong].Rail, s.Domains[soc.Weak].Rail)
+	o.Trace = trace.New(eng, opts.TraceCapacity)
+	o.Trace.Emit(trace.Boot, "booting %v on simulated OMAP4 (strong %d MHz, weak %d MHz)",
+		opts.Mode, cfg.StrongFreqMHz, cfg.WeakFreqMHz)
+
+	// Power-state transitions go to the tracer; later hooks (the IRQ
+	// router) chain on top of these.
+	for _, dom := range []soc.DomainID{soc.Strong, soc.Weak} {
+		d := s.Domains[dom]
+		d.OnWake = func() { o.Trace.Emit(trace.Power, "%s domain awake", d.Name) }
+		d.OnSleep = func() { o.Trace.Emit(trace.Power, "%s domain inactive", d.Name) }
+	}
+
+	// Unified kernel address space (§6.1): shadow local, main local, then
+	// the global region to the end of memory.
+	o.Layout = vm.NewLayout(s.Pages(), cfg.PageSize, 1, 2)
+	o.AS[soc.Strong] = vm.NewAddressSpace(soc.Strong, o.Layout)
+	o.AS[soc.Weak] = vm.NewAddressSpace(soc.Weak, o.Layout)
+
+	// Physical memory management (§6.2): independent allocators, balloons
+	// owning the whole global region, initial boot-time deflates.
+	o.Mem = mem.NewManager(s, o.Frames, mem.DefaultCostModel(), o.Layout.GlobalStart(), o.Layout.GlobalEnd())
+	o.Mem.Tracef = func(f string, a ...interface{}) { o.Trace.Emit(trace.Mem, f, a...) }
+	for i := 0; i < opts.InitialMainBlocks; i++ {
+		if _, err := o.Mem.DeflateBoot(soc.Strong); err != nil {
+			return nil, fmt.Errorf("core: boot deflate (main): %w", err)
+		}
+	}
+	if opts.Mode == K2Mode {
+		for i := 0; i < opts.InitialShadowBlocks; i++ {
+			if _, err := o.Mem.DeflateBoot(soc.Weak); err != nil {
+				return nil, fmt.Errorf("core: boot deflate (shadow): %w", err)
+			}
+		}
+	}
+
+	// Scheduler: two kernels under K2, one under the baseline.
+	o.Sched = sched.New(s, opts.Mode == LinuxMode)
+	o.Sched.Tracef = func(f string, a ...interface{}) { o.Trace.Emit(trace.Sched, f, a...) }
+
+	// Software coherence (§6.3) and interrupt routing (§7).
+	if opts.Mode == K2Mode {
+		prm := dsm.DefaultParams()
+		if opts.DSMParams != nil {
+			prm = *opts.DSMParams
+		}
+		o.DSM = dsm.New(s, prm)
+		o.DSM.OnFirstShare = func(p mem.PFN) {
+			// Shared pages force 4 KB mappings in both kernels; everything
+			// else keeps large-grain sections (§6.3 footprint optimization).
+			o.AS[soc.Strong].EnsureSmallPage(p)
+			o.AS[soc.Weak].EnsureSmallPage(p)
+		}
+		o.DSM.Tracef = func(f string, a ...interface{}) { o.Trace.Emit(trace.DSM, f, a...) }
+		o.Router = irq.NewRouter(s, SharedIRQLines)
+	} else {
+		o.Router = irq.NewSingleRouter(s, SharedIRQLines)
+	}
+
+	// Extended (shadowed) services: state pages come from the main
+	// kernel's allocator, unmovable, in the global region.
+	dmaState, err := o.newState("dma-driver", 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	o.DMA = driver.NewDMA(s, dmaState, driver.DefaultDMACosts())
+	o.Disk = driver.NewRAMDisk(s, cfg.PageSize, opts.DiskBlocks)
+	netState, err := o.newState("udp-stack", 2, 1)
+	if err != nil {
+		return nil, err
+	}
+	o.Net = netstack.NewStack(s, netState)
+	if opts.SensorPeriod > 0 {
+		sensState, err := o.newState("sensor", 4, 1)
+		if err != nil {
+			return nil, err
+		}
+		dev := driver.NewSensorDevice(s, opts.SensorPeriod)
+		o.Sensor = driver.NewSensor(s, dev, sensState)
+		o.RegisterIRQ(soc.IRQSensor, func(p *sim.Proc, core *soc.Core, k soc.DomainID) {
+			o.Sensor.HandleIRQ(p, core, k)
+		})
+		dev.Start()
+	}
+
+	// Service classification (§5.3).
+	reg := o.Registry
+	reg.Register("platform-init", services.Private)
+	reg.Register("cpu-power-mgmt", services.Private)
+	reg.Register("exception-handling", services.Private)
+	reg.Register("page-allocator", services.Independent)
+	reg.Register("interrupt-mgmt", services.Independent)
+	reg.Register("scheduler", services.Independent)
+	reg.Register("dma-driver", services.Shadowed)
+	reg.Register("block-ramdisk", services.Shadowed)
+	reg.Register("ext2", services.Shadowed)
+	reg.Register("udp-stack", services.Shadowed)
+	if o.Sensor != nil {
+		reg.Register("sensor", services.Shadowed)
+	}
+
+	// Interrupt dispatch: handler procs run on the owning domain.
+	o.RegisterIRQ(soc.IRQDMA, func(p *sim.Proc, core *soc.Core, k soc.DomainID) {
+		o.DMA.HandleIRQ(p, core, k)
+	})
+	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+		k := k
+		s.IRQ[k].SetHandler(func(line soc.IRQLine) {
+			handlers := o.irqHandlers[line]
+			if len(handlers) == 0 {
+				return
+			}
+			o.Trace.Emit(trace.IRQ, "line %d dispatched on %v", line, k)
+			core := o.serviceCore(k)
+			for _, h := range handlers {
+				h := h
+				eng.Spawn(fmt.Sprintf("irq%d-%s", line, k), func(p *sim.Proc) {
+					h(p, core, k)
+				})
+			}
+		})
+	}
+
+	// Per-kernel dispatcher and background procs.
+	kernels := []soc.DomainID{soc.Strong}
+	if opts.Mode == K2Mode {
+		kernels = append(kernels, soc.Weak)
+	}
+	for _, k := range kernels {
+		k := k
+		core := o.serviceCore(k)
+		eng.Spawn("mbox-dispatch-"+k.String(), func(p *sim.Proc) {
+			o.dispatch(p, core, k)
+		})
+		eng.Spawn("mem-worker-"+k.String(), func(p *sim.Proc) {
+			o.Mem.Worker(p, core, k)
+		})
+	}
+	if o.DSM != nil {
+		eng.Spawn("dsm-bh-drainer", o.DSM.RunMainDrainer)
+	}
+
+	// Init thread: format the filesystem, then declare the system ready.
+	init := o.Sched.NewProcess("init")
+	init.Spawn(sched.Normal, "init", func(t *sched.Thread) {
+		fsState, err := o.newState("ext2", 3, fs.StatePages)
+		if err != nil {
+			panic(err)
+		}
+		f, err := fs.Mkfs(t, o.Disk, fsState)
+		if err != nil {
+			panic(err)
+		}
+		o.FS = f
+		o.Ready.Fire()
+	})
+	return o, nil
+}
+
+// newState allocates n unmovable state pages for a shadowed service and
+// registers them with the DSM (a no-op under the Linux baseline).
+func (o *OS) newState(name string, lock int, n int) (*services.ShadowedState, error) {
+	var pages []mem.PFN
+	for i := 0; i < n; i++ {
+		p, err := o.Mem.Buddies[soc.Strong].AllocBoot(0, mem.Unmovable)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s state page: %w", name, err)
+		}
+		pages = append(pages, p)
+	}
+	if o.DSM == nil {
+		return services.NewShadowedState(name, nil, nil, pages), nil
+	}
+	return services.NewShadowedState(name, o.DSM, o.S.Spinlocks.Lock(lock), pages), nil
+}
+
+// serviceCore is the core each kernel dedicates to dispatchers and
+// interrupt handlers: the last strong core, or the weak core.
+func (o *OS) serviceCore(k soc.DomainID) *soc.Core {
+	if k == soc.Strong {
+		return o.S.Core(soc.Strong, o.S.Cfg.StrongCores-1)
+	}
+	return o.S.Core(soc.Weak, 0)
+}
+
+// dispatch is a kernel's mailbox dispatcher loop: DSM coherence messages,
+// NightWatch scheduling messages, and meta-level memory-manager commands.
+func (o *OS) dispatch(p *sim.Proc, core *soc.Core, k soc.DomainID) {
+	for {
+		msg := o.S.Mailbox.Recv(p, k)
+		o.Trace.Emit(trace.Mailbox, "%v received %v", k, msg)
+		if o.DSM != nil && o.DSM.HandleMessage(p, core, k, msg) {
+			continue
+		}
+		if o.Sched.HandleMessage(p, core, k, msg) {
+			continue
+		}
+		switch msg.Type() {
+		case soc.MsgBalloonCmd:
+			o.Mem.EnqueueReclaim(k)
+		case soc.MsgBalloonAck:
+			o.Mem.OnBalloonAck(k)
+		case soc.MsgGeneric:
+			o.applyPeerMap(k, msg.Payload())
+		}
+	}
+}
+
+// RegisterIRQ adds a handler for a shared interrupt line.
+func (o *OS) RegisterIRQ(line soc.IRQLine, h IRQHandler) {
+	o.irqHandlers[line] = append(o.irqHandlers[line], h)
+}
+
+// SpawnProcess creates a process in the single system image.
+func (o *OS) SpawnProcess(name string) *sched.Process {
+	return o.Sched.NewProcess(name)
+}
+
+// EnergyJ returns the energy drawn by both domains since the last
+// MeterReset.
+func (o *OS) EnergyJ() float64 { return o.Meter.EnergyJ() }
+
+// MeterReset zeroes the energy meter (start of a measured episode).
+func (o *OS) MeterReset() { o.Meter.Reset() }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/trace"
+)
+
+func TestMapIOPropagatesToPeer(t *testing.T) {
+	e, o := boot(t, K2Mode)
+	pr := o.SpawnProcess("drv")
+	pr.Spawn(sched.NightWatch, "probe", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		if err := o.MapIO(th, 0xF100_0000, 4); err != nil {
+			t.Error(err)
+			return
+		}
+		th.SleepIdle(time.Millisecond) // let the propagation message land
+		if o.AS[soc.Strong].TempMappings() != 1 {
+			t.Error("peer kernel missing the temporary mapping")
+		}
+		if o.AS[soc.Weak].TempMappings() != 1 {
+			t.Error("local kernel missing the temporary mapping")
+		}
+		if err := o.UnmapIO(th, 0xF100_0000); err != nil {
+			t.Error(err)
+			return
+		}
+		th.SleepIdle(time.Millisecond)
+		if o.AS[soc.Strong].TempMappings() != 0 || o.AS[soc.Weak].TempMappings() != 0 {
+			t.Error("unmap did not propagate")
+		}
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapIOLinuxModeLocalOnly(t *testing.T) {
+	e, o := boot(t, LinuxMode)
+	pr := o.SpawnProcess("drv")
+	pr.Spawn(sched.Normal, "probe", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		if err := o.MapIO(th, 0xF200_0000, 2); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if o.AS[soc.Strong].TempMappings() != 1 {
+		t.Fatal("mapping missing")
+	}
+	if o.AS[soc.Weak].TempMappings() != 0 {
+		t.Fatal("baseline propagated to the unused weak kernel")
+	}
+}
+
+func TestSensorIRQFollowsStrongDomainState(t *testing.T) {
+	e := sim.NewEngine()
+	o, err := Boot(e, Options{Mode: K2Mode, SensorPeriod: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := o.SpawnProcess("sense")
+	var gotBatches int
+	pr.Spawn(sched.NightWatch, "reader", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		// Wait until the strong domain is inactive, then read batches.
+		for o.S.Domains[soc.Strong].State() != soc.DomInactive {
+			th.SleepIdle(500 * time.Millisecond)
+		}
+		wakes := o.S.Domains[soc.Strong].WakeCount()
+		for i := 0; i < 5; i++ {
+			o.Sensor.ReadBatch(th, 8)
+			gotBatches++
+		}
+		if o.S.Domains[soc.Strong].WakeCount() != wakes {
+			t.Error("sensor interrupts woke the inactive strong domain")
+		}
+		o.Sensor.Dev.Stop()
+	})
+	if err := e.Run(sim.Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if gotBatches != 5 {
+		t.Fatalf("batches = %d", gotBatches)
+	}
+}
+
+func TestTraceCapturesKernelActivity(t *testing.T) {
+	e, o := boot(t, K2Mode)
+	pr := o.SpawnProcess("app")
+	pr.Spawn(sched.NightWatch, "w", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		o.DMA.Transfer(th, 32<<10)
+	})
+	pr.Spawn(sched.Normal, "n", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		th.SleepIdle(100 * time.Millisecond)
+		th.Exec(soc.Work(time.Millisecond))
+	})
+	if err := e.Run(sim.Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []trace.Kind{trace.Boot, trace.Power, trace.IRQ, trace.DSM, trace.Sched, trace.Mailbox} {
+		if o.Trace.Counts[k] == 0 {
+			t.Errorf("no %v trace events recorded", k)
+		}
+	}
+	if o.Trace.Total() == 0 || o.Trace.Len() == 0 {
+		t.Fatal("tracer empty")
+	}
+}
+
+func TestSharedPagesDemoteMappings(t *testing.T) {
+	// §6.3 footprint optimization: only sections containing DSM-shared
+	// pages are demoted to 4 KB mappings, in both kernels.
+	_, o := boot(t, K2Mode)
+	if o.AS[soc.Strong].Demotions == 0 || o.AS[soc.Weak].Demotions == 0 {
+		t.Fatal("service-state pages did not demote any section")
+	}
+	// Demotions stay tiny relative to the 1024 sections of 1 GB.
+	if o.AS[soc.Strong].Demotions > 8 {
+		t.Fatalf("%d sections demoted; the optimization should keep this minimal",
+			o.AS[soc.Strong].Demotions)
+	}
+	// PTE accounting: a fully section-mapped space has ~1024+ entries; the
+	// demoted one grows by 255 per demoted section only.
+	fresh := (o.Layout.TotalPages + 255) / 256
+	if got := o.AS[soc.Strong].PTEs(); got >= fresh+8*256 {
+		t.Fatalf("PTEs = %d, want far below a fully 4KB-mapped space", got)
+	}
+}
+
+func TestLinuxModeKeepsWeakDomainDark(t *testing.T) {
+	e, o := boot(t, LinuxMode)
+	pr := o.SpawnProcess("app")
+	pr.Spawn(sched.NightWatch, "light", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		o.DMA.Transfer(th, 64<<10)
+	})
+	if err := e.Run(sim.Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// The weak domain did nothing: no wakes, inactive, near-zero energy.
+	if o.S.Domains[soc.Weak].WakeCount() != 0 {
+		t.Fatal("baseline used the weak domain")
+	}
+	if o.S.Domains[soc.Weak].State() != soc.DomInactive {
+		t.Fatal("weak domain not inactive under the baseline")
+	}
+}
+
+func TestBootRejectsTinyMemory(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := soc.DefaultConfig()
+	cfg.RAMBytes = 64 << 20 // 4 blocks: local regions eat 3, pool has 1
+	_, err := Boot(e, Options{Mode: K2Mode, SoC: &cfg, InitialMainBlocks: 4, InitialShadowBlocks: 4})
+	if err == nil {
+		t.Fatal("boot succeeded without enough page blocks")
+	}
+}

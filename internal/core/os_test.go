@@ -1,0 +1,323 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func boot(t *testing.T, mode Mode) (*sim.Engine, *OS) {
+	t.Helper()
+	e := sim.NewEngine()
+	o, err := Boot(e, Options{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, o
+}
+
+func TestBootBothModes(t *testing.T) {
+	for _, mode := range []Mode{K2Mode, LinuxMode} {
+		e, o := boot(t, mode)
+		if err := e.Run(sim.Time(time.Second)); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !o.Ready.Fired() {
+			t.Fatalf("%v: init never completed", mode)
+		}
+		if o.FS == nil {
+			t.Fatalf("%v: no filesystem", mode)
+		}
+		if mode == K2Mode && o.DSM == nil {
+			t.Fatal("K2 must have a DSM")
+		}
+		if mode == LinuxMode && o.DSM != nil {
+			t.Fatal("baseline must not have a DSM")
+		}
+	}
+}
+
+func TestServiceClassification(t *testing.T) {
+	_, o := boot(t, K2Mode)
+	// §5.3: shadowed is the largest category.
+	sh, ind, priv := o.Registry.Count(2), o.Registry.Count(1), o.Registry.Count(0)
+	if sh <= ind || sh <= priv {
+		t.Fatalf("shadowed=%d independent=%d private=%d; shadowed must dominate", sh, ind, priv)
+	}
+}
+
+// The single system image: a file written by a NightWatch thread on the
+// shadow kernel is read back by a normal thread on the main kernel.
+func TestSingleSystemImageAcrossKernels(t *testing.T) {
+	e, o := boot(t, K2Mode)
+	pr := o.SpawnProcess("app")
+	var read []byte
+	pr.Spawn(sched.NightWatch, "writer", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		f, err := o.FS.Create(th, "/note")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Write(th, []byte("written on the weak domain")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		// Hand off to a normal thread in the same image.
+		pr2 := o.SpawnProcess("reader")
+		pr2.Spawn(sched.Normal, "reader", func(tr *sched.Thread) {
+			f, err := o.FS.Open(tr, "/note")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, 64)
+			n, err := f.Read(tr, buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			read = append([]byte(nil), buf[:n]...)
+		})
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(read, []byte("written on the weak domain")) {
+		t.Fatalf("read %q", read)
+	}
+	if err := o.DSM.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitInactive blocks until both domains are inactive.
+func waitInactive(o *OS, p *sim.Proc) {
+	for o.S.Domains[soc.Strong].State() != soc.DomInactive ||
+		o.S.Domains[soc.Weak].State() != soc.DomInactive {
+		p.Sleep(250 * time.Millisecond)
+	}
+}
+
+// lightEpisode runs one light-task episode (wake, 16 DMA transfers of
+// 16 KB, idle to inactive) and returns the measured energy in joules.
+func lightEpisode(t *testing.T, mode Mode) float64 {
+	e, o := boot(t, mode)
+	runOnce := func(name string) {
+		pr := o.SpawnProcess(name)
+		pr.Spawn(sched.NightWatch, "sync", func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			for i := 0; i < 16; i++ {
+				o.DMA.Transfer(th, 16<<10)
+			}
+		})
+	}
+	// Warmup pass: migrates service-state ownership and lets both domains
+	// settle to inactive.
+	runOnce("warm")
+	done := false
+	var energy float64
+	e.Spawn("measure", func(p *sim.Proc) {
+		p.Sleep(30 * time.Second) // past the warmup episode
+		waitInactive(o, p)
+		o.MeterReset()
+		runOnce("measured")
+		p.Sleep(time.Second)
+		waitInactive(o, p)
+		energy = o.EnergyJ()
+		done = true
+		o.Eng.Stop()
+	})
+	if err := e.Run(sim.Time(10 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("measurement did not finish")
+	}
+	return energy
+}
+
+// The headline result (§9.2): K2 improves energy efficiency for light OS
+// workloads severalfold, by running them on the weak domain and letting the
+// strong domain sleep.
+func TestK2EnergyAdvantageForLightTasks(t *testing.T) {
+	k2 := lightEpisode(t, K2Mode)
+	linux := lightEpisode(t, LinuxMode)
+	ratio := linux / k2
+	if ratio < 4 {
+		t.Fatalf("K2 advantage = %.2fx (linux %.4f J, k2 %.4f J); want >= 4x", ratio, linux, k2)
+	}
+	if ratio > 15 {
+		t.Fatalf("K2 advantage = %.2fx implausibly high (linux %.4f J, k2 %.4f J)", ratio, linux, k2)
+	}
+}
+
+// Under K2, a light task must not wake the inactive strong domain at all
+// once service ownership has migrated (§7 rule 1 plus DSM warm state).
+func TestLightTaskDoesNotWakeStrongDomain(t *testing.T) {
+	e, o := boot(t, K2Mode)
+	run := func(name string) {
+		pr := o.SpawnProcess(name)
+		pr.Spawn(sched.NightWatch, "sync", func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			for i := 0; i < 4; i++ {
+				o.DMA.Transfer(th, 16<<10)
+			}
+		})
+	}
+	run("warm")
+	failed := false
+	e.Spawn("measure", func(p *sim.Proc) {
+		p.Sleep(30 * time.Second)
+		waitInactive(o, p)
+		wakes := o.S.Domains[soc.Strong].WakeCount()
+		run("measured")
+		p.Sleep(time.Second)
+		waitInactive(o, p)
+		if o.S.Domains[soc.Strong].WakeCount() != wakes {
+			failed = true
+		}
+		o.Eng.Stop()
+	})
+	if err := e.Run(sim.Time(10 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("the light task woke the strong domain")
+	}
+}
+
+// Concurrent DMA from both kernels (the Table 6 scenario) must preserve
+// correctness and keep aggregate throughput near the single-kernel case.
+func TestConcurrentDMABothKernels(t *testing.T) {
+	e, o := boot(t, K2Mode)
+	var mainDone, shadDone int
+	const n = 12
+	prM := o.SpawnProcess("main-bench")
+	prM.Spawn(sched.Normal, "m", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		for i := 0; i < n; i++ {
+			o.DMA.Transfer(th, 256<<10)
+			mainDone++
+		}
+	})
+	prS := o.SpawnProcess("shadow-bench")
+	prS.Spawn(sched.NightWatch, "s", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		for i := 0; i < n/2; i++ {
+			o.DMA.Transfer(th, 256<<10)
+			shadDone++
+		}
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if mainDone != n || shadDone != n/2 {
+		t.Fatalf("transfers: main %d/%d shadow %d/%d", mainDone, n, shadDone, n/2)
+	}
+	if err := o.DSM.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The driver state must have ping-ponged.
+	if o.DSM.RequesterStats[soc.Weak].Faults == 0 || o.DSM.RequesterStats[soc.Strong].Faults == 0 {
+		t.Fatal("no DSM traffic despite concurrent shared-driver use")
+	}
+}
+
+// Memory pressure on the shadow kernel must flow through the meta-level
+// manager: probe -> worker -> balloon deflate.
+func TestShadowMemoryPressureGetsBlocks(t *testing.T) {
+	e, o := boot(t, K2Mode)
+	pr := o.SpawnProcess("hog")
+	pr.Spawn(sched.NightWatch, "alloc", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		b := o.Mem.Buddies[soc.Weak]
+		for i := 0; i < 3000; i++ {
+			if _, err := b.Alloc(th.P(), th.Core(), 0, 1); err != nil {
+				t.Errorf("alloc %d: %v", i, err)
+				return
+			}
+			if i%64 == 0 {
+				th.SleepIdle(2 * time.Millisecond) // let background work run
+			}
+		}
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if o.Mem.Buddies[soc.Weak].TotalPages() <= 4096 {
+		t.Fatalf("shadow never received extra blocks (total %d pages)",
+			o.Mem.Buddies[soc.Weak].TotalPages())
+	}
+	if err := o.Mem.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPAcrossImage(t *testing.T) {
+	e, o := boot(t, K2Mode)
+	pr := o.SpawnProcess("net")
+	var got []byte
+	pr.Spawn(sched.NightWatch, "loopback", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		a, err := o.Net.NewSocket(th, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b, err := o.Net.NewSocket(th, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := a.SendTo(th, b.Addr(), []byte("cloud sync")); err != nil {
+			t.Error(err)
+			return
+		}
+		data, _, err := b.RecvFrom(th)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = data
+		a.Close(th)
+		b.Close(th)
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "cloud sync" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBootDeterminism(t *testing.T) {
+	sig := func() string {
+		e, o := boot(t, K2Mode)
+		pr := o.SpawnProcess("app")
+		pr.Spawn(sched.NightWatch, "w", func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			for i := 0; i < 4; i++ {
+				o.DMA.Transfer(th, 64<<10)
+			}
+		})
+		if err := e.Run(sim.Time(time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v|%v|%d|%d", e.Now(), o.EnergyJ(),
+			o.DSM.RequesterStats[soc.Weak].Faults, o.S.Mailbox.Sent(soc.Strong))
+	}
+	a, b := sig(), sig()
+	if a != b {
+		t.Fatalf("two identical boots diverged:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// TestDebugStressProgress is a diagnosis aid: it runs one stress seed in
+// one-minute virtual steps and reports progress, making virtual-time
+// livelocks visible. Skipped unless -run selects it explicitly... kept
+// cheap enough to run always.
+func TestDebugStressProgress(t *testing.T) {
+	e := sim.NewEngine()
+	o, err := Boot(e, Options{Mode: K2Mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedStress(e, o, 42)
+	for step := 1; step <= 10; step++ {
+		if err := e.Run(sim.Time(time.Duration(step) * 6 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if testing.Verbose() {
+			fmt.Printf("virtual %v strong=%v weak=%v deferred=%d\n",
+				e.Now(), o.S.Domains[soc.Strong].State(), o.S.Domains[soc.Weak].State(),
+				o.DSM.DeferredLen())
+		}
+	}
+}

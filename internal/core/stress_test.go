@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"k2/internal/netstack"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// A randomized whole-OS workout: several processes on both kernels mix DMA
+// transfers, file IO, UDP traffic, page allocations and plain computation,
+// with foreground bursts triggering the NightWatch protocol. Afterwards,
+// every cross-cutting invariant in the system must hold. This is the
+// closest thing to the paper's "run real mixed workloads and see nothing
+// break" confidence test.
+// seedStress spawns the randomized mixed workload on a booted OS and
+// returns a flag that stays true iff every operation succeeded.
+func seedStress(e *sim.Engine, o *OS, seed int64) *bool {
+	ok := new(bool)
+	*ok = true
+	mkLight := func(id int, r *rand.Rand) {
+		pr := o.SpawnProcess(fmt.Sprintf("light%d", id))
+		pr.Spawn(sched.NightWatch, "w", func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			for op := 0; op < 10; op++ {
+				switch r.Intn(4) {
+				case 0:
+					o.DMA.Transfer(th, int64(4096*(1+r.Intn(8))))
+				case 1:
+					name := fmt.Sprintf("/s%d-%d-%d", id, op, r.Intn(1000))
+					fl, err := o.FS.Create(th, name)
+					if err != nil {
+						*ok = false
+						return
+					}
+					if err := fl.Write(th, make([]byte, r.Intn(20000))); err != nil {
+						*ok = false
+						return
+					}
+					if err := fl.Close(th); err != nil {
+						*ok = false
+						return
+					}
+				case 2:
+					a, err := o.Net.NewSocket(th, 0)
+					if err != nil {
+						*ok = false
+						return
+					}
+					b, err := o.Net.NewSocket(th, 0)
+					if err != nil {
+						*ok = false
+						return
+					}
+					if _, err := a.SendTo(th, b.Addr(), make([]byte, r.Intn(4000))); err != nil {
+						*ok = false
+						return
+					}
+					if _, _, err := b.RecvFrom(th); err != nil {
+						*ok = false
+						return
+					}
+					a.Close(th)
+					b.Close(th)
+				case 3:
+					buddy := o.Mem.Buddies[soc.Weak]
+					if pfn, err := buddy.Alloc(th.P(), th.Core(), r.Intn(3), 1); err == nil {
+						o.Mem.Free(th.P(), th.Core(), soc.Weak, pfn)
+					}
+				}
+				th.SleepIdle(time.Duration(r.Intn(2000)) * time.Microsecond)
+			}
+		})
+		// A foreground sibling exercising the suspend protocol.
+		pr.Spawn(sched.Normal, "fg", func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			for b := 0; b < 3; b++ {
+				th.SleepIdle(time.Duration(1+r.Intn(5)) * time.Millisecond)
+				th.Exec(soc.Work(time.Duration(r.Intn(2000)) * time.Microsecond))
+			}
+		})
+	}
+	for i := 0; i < 3; i++ {
+		mkLight(i, rand.New(rand.NewSource(seed+int64(i))))
+	}
+	return ok
+}
+
+// A randomized whole-OS workout: several processes on both kernels mix DMA
+// transfers, file IO, UDP traffic, page allocations and plain computation,
+// with foreground bursts triggering the NightWatch protocol. Afterwards,
+// every cross-cutting invariant in the system must hold.
+func TestQuickWholeOSStress(t *testing.T) {
+	f := func(seed int64) bool {
+		e := sim.NewEngine()
+		o, err := Boot(e, Options{Mode: K2Mode})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ok := seedStress(e, o, seed)
+		if err := e.Run(sim.Time(time.Hour)); err != nil {
+			t.Log(err)
+			return false
+		}
+		if !*ok {
+			return false
+		}
+		// Cross-cutting invariants.
+		if err := o.DSM.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := o.Mem.CheckPartition(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+			if err := o.Mem.Buddies[k].CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		// The filesystem survived concurrent use from both kernels.
+		fsOK := false
+		pr := o.SpawnProcess("fsck")
+		pr.Spawn(sched.Normal, "fsck", func(th *sched.Thread) {
+			rep, err := o.FS.Fsck(th)
+			fsOK = err == nil && rep.Clean()
+			if !fsOK {
+				t.Logf("fsck: %v err=%v", rep, err)
+			}
+		})
+		if err := e.Run(e.Now() + sim.Time(time.Hour)); err != nil {
+			t.Log(err)
+			return false
+		}
+		return fsOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism must extend to the whole stressed OS.
+func TestWholeOSStressDeterminism(t *testing.T) {
+	sig := func() string {
+		e := sim.NewEngine()
+		o, err := Boot(e, Options{Mode: K2Mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := o.SpawnProcess("app")
+		pr.Spawn(sched.NightWatch, "w", func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			for i := 0; i < 5; i++ {
+				o.DMA.Transfer(th, 16<<10)
+				fl, err := o.FS.Create(th, fmt.Sprintf("/d%d", i))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := fl.Write(th, make([]byte, 5000)); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := fl.Close(th); err != nil {
+					t.Error(err)
+					return
+				}
+				a, _ := o.Net.NewSocket(th, 0)
+				b, _ := o.Net.NewSocket(th, 0)
+				if _, err := a.SendTo(th, netstack.Addr{Port: b.Addr().Port}, make([]byte, 2000)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := b.RecvFrom(th); err != nil {
+					t.Error(err)
+					return
+				}
+				a.Close(th)
+				b.Close(th)
+			}
+		})
+		if err := e.Run(sim.Time(time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v|%.9f|%d|%d|%d", e.Now(), o.EnergyJ(),
+			o.DSM.RequesterStats[soc.Weak].Faults,
+			o.S.Mailbox.Sent(soc.Strong), o.Trace.Total())
+	}
+	if a, b := sig(), sig(); a != b {
+		t.Fatalf("stressed boots diverged:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"k2/internal/sched"
+	"k2/internal/soc"
+	"k2/internal/trace"
+	"k2/internal/vm"
+)
+
+// mapOp is a pending page-table update being propagated to the peer kernel.
+type mapOp struct {
+	base  vm.VAddr
+	pages int
+	unmap bool
+}
+
+// MapIO establishes a temporary mapping (e.g. for device memory) in the
+// calling kernel and propagates the page-table update to the peer kernel
+// with a simple message protocol, keeping the unified address space
+// consistent (§6.1: such creations and destructions are infrequent).
+func (o *OS) MapIO(t *sched.Thread, base vm.VAddr, pages int) error {
+	if err := o.AS[t.Kernel()].MapIO(base, pages); err != nil {
+		return err
+	}
+	o.propagateMap(t, mapOp{base: base, pages: pages})
+	return nil
+}
+
+// UnmapIO removes a temporary mapping from both kernels.
+func (o *OS) UnmapIO(t *sched.Thread, base vm.VAddr) error {
+	if err := o.AS[t.Kernel()].UnmapIO(base); err != nil {
+		return err
+	}
+	o.propagateMap(t, mapOp{base: base, unmap: true})
+	return nil
+}
+
+func (o *OS) propagateMap(t *sched.Thread, op mapOp) {
+	if o.Mode != K2Mode {
+		return
+	}
+	o.nextMapID++
+	id := o.nextMapID & 0xFFFFF // fits the 20-bit mail payload
+	o.pendingMaps[id] = op
+	o.Trace.Emit(trace.Mailbox, "%v propagating %s at %#x to peer",
+		t.Kernel(), mapOpName(op), uint64(op.base))
+	o.S.Mailbox.Send(t.P(), t.Core(), t.Kernel().Other(),
+		soc.NewMessage(soc.MsgGeneric, id, o.S.Mailbox.NextSeq()))
+}
+
+func mapOpName(op mapOp) string {
+	if op.unmap {
+		return "unmap"
+	}
+	return "map"
+}
+
+// applyPeerMap executes a propagated page-table update on kernel k; called
+// by the mailbox dispatcher on MsgGeneric.
+func (o *OS) applyPeerMap(k soc.DomainID, id uint32) bool {
+	op, ok := o.pendingMaps[id]
+	if !ok {
+		return false
+	}
+	delete(o.pendingMaps, id)
+	var err error
+	if op.unmap {
+		err = o.AS[k].UnmapIO(op.base)
+	} else {
+		err = o.AS[k].MapIO(op.base, op.pages)
+	}
+	if err != nil {
+		// The peer's table diverged — loud failure beats silent skew.
+		panic(fmt.Sprintf("core: peer mapping update failed on %v: %v", k, err))
+	}
+	o.Trace.Emit(trace.Mailbox, "%v applied peer %s at %#x", k, mapOpName(op), uint64(op.base))
+	return true
+}

@@ -1,0 +1,143 @@
+package driver
+
+import (
+	"time"
+
+	"k2/internal/sched"
+	"k2/internal/services"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Sample is one sensor reading.
+type Sample struct {
+	At    sim.Time
+	Value int32
+}
+
+// SensorDevice models an autonomous sensor (accelerometer-style): once
+// started it samples on its own clock into a small hardware FIFO and raises
+// its shared interrupt at the FIFO watermark. Context-awareness light tasks
+// (§2.1) read it continuously — under K2 the interrupts are handled by the
+// weak domain whenever the strong domain sleeps (§7).
+type SensorDevice struct {
+	s      *soc.SoC
+	Line   soc.IRQLine
+	Period time.Duration
+
+	fifo    []Sample
+	depth   int
+	mark    int
+	running bool
+	seq     int32
+
+	// Overruns counts samples dropped to FIFO overflow.
+	Overruns int
+}
+
+// NewSensorDevice returns a stopped device on the shared sensor line.
+func NewSensorDevice(s *soc.SoC, period time.Duration) *SensorDevice {
+	return &SensorDevice{s: s, Line: soc.IRQSensor, Period: period, depth: 32, mark: 8}
+}
+
+// Start begins autonomous sampling.
+func (d *SensorDevice) Start() {
+	if d.running {
+		return
+	}
+	d.running = true
+	d.tick()
+}
+
+// Stop halts sampling (pending FIFO contents remain readable).
+func (d *SensorDevice) Stop() { d.running = false }
+
+// Running reports whether the device samples.
+func (d *SensorDevice) Running() bool { return d.running }
+
+func (d *SensorDevice) tick() {
+	d.s.Eng.After(d.Period, func() {
+		if !d.running {
+			return
+		}
+		d.seq++
+		// A deterministic triangle waveform stands in for sensor data.
+		v := d.seq % 200
+		if v > 100 {
+			v = 200 - v
+		}
+		if len(d.fifo) >= d.depth {
+			d.Overruns++
+		} else {
+			d.fifo = append(d.fifo, Sample{At: d.s.Eng.Now(), Value: v})
+		}
+		if len(d.fifo) >= d.mark {
+			d.s.Raise(d.Line)
+		}
+		d.tick()
+	})
+}
+
+// drain empties the hardware FIFO.
+func (d *SensorDevice) drain() []Sample {
+	out := d.fifo
+	d.fifo = nil
+	return out
+}
+
+// SensorDriver is the shadowed driver for the sensor device: its sample
+// queue is coherent state, the interrupt handler moves FIFO contents into
+// it, and ReadBatch blocks light tasks until enough samples arrived.
+type SensorDriver struct {
+	State *services.ShadowedState
+	Dev   *SensorDevice
+
+	s       *soc.SoC
+	queue   []Sample
+	waiters *sim.Gate
+
+	// PerSample is the driver's CPU cost per sample moved or read.
+	PerSample soc.Work
+	// Delivered counts samples handed to readers.
+	Delivered int
+}
+
+// NewSensor returns the driver bound to dev.
+func NewSensor(s *soc.SoC, dev *SensorDevice, state *services.ShadowedState) *SensorDriver {
+	return &SensorDriver{
+		State:     state,
+		Dev:       dev,
+		s:         s,
+		waiters:   sim.NewGate(s.Eng),
+		PerSample: soc.Work(800 * time.Nanosecond),
+	}
+}
+
+// HandleIRQ moves the hardware FIFO into the driver queue; it runs on
+// whichever kernel owns the shared sensor interrupt.
+func (d *SensorDriver) HandleIRQ(p *sim.Proc, core *soc.Core, k soc.DomainID) {
+	batch := d.Dev.drain()
+	if len(batch) == 0 {
+		return
+	}
+	d.State.TouchFrom(p, core, k, 0, true)
+	core.Exec(p, d.PerSample*soc.Work(len(batch)))
+	d.queue = append(d.queue, batch...)
+	d.waiters.Open()
+}
+
+// Pending returns the driver-queue length.
+func (d *SensorDriver) Pending() int { return len(d.queue) }
+
+// ReadBatch blocks until n samples are available and returns them.
+func (d *SensorDriver) ReadBatch(t *sched.Thread, n int) []Sample {
+	for len(d.queue) < n {
+		t.Block(func(p *sim.Proc) { d.waiters.Wait(p) })
+	}
+	d.State.Touch(t, 0, true)
+	t.Exec(d.PerSample * soc.Work(n))
+	out := d.queue[:n:n]
+	d.queue = d.queue[n:]
+	d.Delivered += n
+	return out
+}

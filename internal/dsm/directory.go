@@ -1,0 +1,151 @@
+package dsm
+
+import (
+	"fmt"
+
+	"k2/internal/mem"
+)
+
+// Directory generalizes the DSM's per-page metadata to N coherence domains,
+// the extension §11 sketches: "For N domains (N being moderate), K2 can be
+// extended without structural changes: the DSM will track page ownership
+// among N domains". The directory is the serialization point — in a real
+// N-domain K2 its entries live in shared memory, updated under a hardware
+// spinlock, exactly like the two-domain protocol bits (§6.3).
+//
+// Acquire applies a request and reports which peers must be invalidated or
+// downgraded; the caller performs (and charges) the corresponding messaging
+// before touching the page. The two-domain DSM in this package is the
+// N=2 specialization with its messaging already wired to the mailboxes.
+type Directory struct {
+	n     int
+	pages map[mem.PFN][]Level
+
+	// Stats.
+	Grants, Invalidations, Downgrades int
+}
+
+// NewDirectory returns a directory for n kernels.
+func NewDirectory(n int) *Directory {
+	if n < 2 {
+		panic("dsm: directory needs at least 2 kernels")
+	}
+	return &Directory{n: n, pages: make(map[mem.PFN][]Level)}
+}
+
+// Kernels returns the number of kernels tracked.
+func (d *Directory) Kernels() int { return d.n }
+
+// Share registers a page with an initial exclusive owner.
+func (d *Directory) Share(pfn mem.PFN, owner int) {
+	if _, dup := d.pages[pfn]; dup {
+		return
+	}
+	lv := make([]Level, d.n)
+	lv[owner] = Exclusive
+	d.pages[pfn] = lv
+}
+
+// Level returns kernel k's level for pfn.
+func (d *Directory) Level(k int, pfn mem.PFN) Level {
+	lv, ok := d.pages[pfn]
+	if !ok {
+		return Invalid
+	}
+	return lv[k]
+}
+
+// Holders returns the kernels with any validity for pfn.
+func (d *Directory) Holders(pfn mem.PFN) []int {
+	var out []int
+	for k, l := range d.pages[pfn] {
+		if l != Invalid {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Acquire grants kernel k access to pfn (exclusive for writes, shared for
+// reads) and returns the peers that must be invalidated and the peers that
+// must be downgraded from Exclusive to Shared. The caller sends the
+// corresponding coherence messages (or skips them for inactive domains with
+// clean caches, per the local-claim rule).
+func (d *Directory) Acquire(k int, pfn mem.PFN, excl bool) (invalidate, downgrade []int) {
+	lv, ok := d.pages[pfn]
+	if !ok {
+		panic(fmt.Sprintf("dsm: directory acquire of unshared page %d", pfn))
+	}
+	if excl {
+		if lv[k] == Exclusive {
+			return nil, nil
+		}
+		for p, l := range lv {
+			if p != k && l != Invalid {
+				invalidate = append(invalidate, p)
+				d.Invalidations++
+				lv[p] = Invalid
+			}
+		}
+		lv[k] = Exclusive
+		d.Grants++
+		return invalidate, nil
+	}
+	if lv[k] != Invalid {
+		return nil, nil
+	}
+	for p, l := range lv {
+		if p != k && l == Exclusive {
+			downgrade = append(downgrade, p)
+			d.Downgrades++
+			lv[p] = Shared
+		}
+	}
+	lv[k] = Shared
+	d.Grants++
+	return nil, downgrade
+}
+
+// Evict drops kernel k's validity for pfn (e.g. its domain suspends with
+// clean caches); if it held Exclusive, ownership falls to the directory
+// until the next Acquire.
+func (d *Directory) Evict(k int, pfn mem.PFN) {
+	if lv, ok := d.pages[pfn]; ok {
+		lv[k] = Invalid
+	}
+}
+
+// EvictAll drops kernel k's validity for every page (domain suspend).
+func (d *Directory) EvictAll(k int) {
+	for _, lv := range d.pages {
+		lv[k] = Invalid
+	}
+}
+
+// Pages returns how many pages the directory tracks.
+func (d *Directory) Pages() int { return len(d.pages) }
+
+// CheckInvariants verifies, for every page: at most one Exclusive holder,
+// and an Exclusive holder excludes every other validity (the one-writer
+// invariant generalized to N kernels).
+func (d *Directory) CheckInvariants() error {
+	for pfn, lv := range d.pages {
+		excl, valid := 0, 0
+		for _, l := range lv {
+			switch l {
+			case Exclusive:
+				excl++
+				valid++
+			case Shared:
+				valid++
+			}
+		}
+		if excl > 1 {
+			return fmt.Errorf("dsm: page %d has %d exclusive holders", pfn, excl)
+		}
+		if excl == 1 && valid > 1 {
+			return fmt.Errorf("dsm: page %d exclusive alongside shared copies", pfn)
+		}
+	}
+	return nil
+}

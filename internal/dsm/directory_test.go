@@ -1,0 +1,145 @@
+package dsm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"k2/internal/mem"
+)
+
+func TestDirectoryShareAndInitialOwner(t *testing.T) {
+	d := NewDirectory(3)
+	d.Share(10, 0)
+	if d.Level(0, 10) != Exclusive || d.Level(1, 10) != Invalid {
+		t.Fatal("initial levels wrong")
+	}
+	if got := d.Holders(10); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("holders = %v", got)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryExclusiveInvalidatesAll(t *testing.T) {
+	d := NewDirectory(4)
+	d.Share(1, 0)
+	// Spread read copies everywhere.
+	for k := 1; k < 4; k++ {
+		if inv, down := d.Acquire(k, 1, false); inv != nil {
+			t.Fatalf("read acquire invalidated %v", inv)
+		} else if k == 1 && !reflect.DeepEqual(down, []int{0}) {
+			t.Fatalf("first read should downgrade owner, got %v", down)
+		}
+	}
+	if len(d.Holders(1)) != 4 {
+		t.Fatalf("holders = %v", d.Holders(1))
+	}
+	// A write from kernel 2 must invalidate the other three.
+	inv, _ := d.Acquire(2, 1, true)
+	if len(inv) != 3 {
+		t.Fatalf("invalidated %v, want 3 peers", inv)
+	}
+	if d.Level(2, 1) != Exclusive {
+		t.Fatal("writer not exclusive")
+	}
+	for _, k := range []int{0, 1, 3} {
+		if d.Level(k, 1) != Invalid {
+			t.Fatalf("kernel %d still valid after invalidation", k)
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryRepeatAcquireIsFree(t *testing.T) {
+	d := NewDirectory(2)
+	d.Share(5, 1)
+	if inv, down := d.Acquire(1, 5, true); inv != nil || down != nil {
+		t.Fatal("owner re-acquire should be a no-op")
+	}
+	d.Acquire(0, 5, false)
+	grants := d.Grants
+	if inv, down := d.Acquire(0, 5, false); inv != nil || down != nil || d.Grants != grants {
+		t.Fatal("shared re-acquire should be a no-op")
+	}
+}
+
+func TestDirectoryEvict(t *testing.T) {
+	d := NewDirectory(3)
+	d.Share(7, 0)
+	d.Acquire(1, 7, false)
+	d.EvictAll(0) // kernel 0's domain suspends
+	if d.Level(0, 7) != Invalid {
+		t.Fatal("evict did not clear validity")
+	}
+	// Kernel 2 writes: only kernel 1 needs invalidation.
+	inv, _ := d.Acquire(2, 7, true)
+	if !reflect.DeepEqual(inv, []int{1}) {
+		t.Fatalf("invalidate = %v, want [1]", inv)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary request sequences from N kernels preserve the
+// generalized one-writer invariant, writers always end Exclusive, readers
+// always end at least Shared, and invalidation lists are exactly the
+// previously-valid peers on writes.
+func TestQuickDirectoryInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%6 + 2
+		d := NewDirectory(n)
+		const npages = 5
+		for p := mem.PFN(0); p < npages; p++ {
+			d.Share(p, int(p)%n)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 300; op++ {
+			k := rng.Intn(n)
+			pfn := mem.PFN(rng.Intn(npages))
+			excl := rng.Intn(2) == 0
+			prevValid := map[int]bool{}
+			for _, h := range d.Holders(pfn) {
+				prevValid[h] = true
+			}
+			inv, down := d.Acquire(k, pfn, excl)
+			if excl {
+				if d.Level(k, pfn) != Exclusive {
+					return false
+				}
+				for _, p := range inv {
+					if p == k || !prevValid[p] {
+						return false // invalidated a non-holder or self
+					}
+				}
+			} else {
+				if d.Level(k, pfn) == Invalid {
+					return false
+				}
+				if inv != nil {
+					return false // reads never invalidate
+				}
+				for _, p := range down {
+					if d.Level(p, pfn) != Shared {
+						return false
+					}
+				}
+			}
+			if rng.Intn(20) == 0 {
+				d.EvictAll(rng.Intn(n))
+			}
+			if d.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

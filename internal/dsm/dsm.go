@@ -1,0 +1,487 @@
+// Package dsm implements K2's software distributed shared memory (§6.3),
+// which transparently keeps the state of shadowed OS services coherent
+// between the kernels.
+//
+// The DSM implements sequential consistency with a page-based granularity
+// (4 KB) and the paper's simple two-state protocol: each kernel tracks each
+// shared page as Valid or Invalid, maintaining the one-writer invariant.
+// Before accessing an Invalid page, a kernel sends GetExclusive through the
+// hardware mailbox; the owning kernel flushes and invalidates the page and
+// replies with PutExclusive. Fault handling spins (it may run in interrupt
+// context and cannot sleep), and the communication priorities favor the
+// strong domain: the main kernel services GetExclusive in bottom halves and
+// defers further under load, while the shadow kernel services requests
+// before any other pending interrupt.
+//
+// A three-state protocol with read-only sharing (§6.3, "An alternative
+// design") is included for the ablation experiment; on OMAP4 it is
+// penalized by the Cortex-M3's cascaded MMU, modelled as an extra read
+// detection cost on the shadow kernel.
+package dsm
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/mem"
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/stats"
+)
+
+// Level is a kernel's access level for one shared page.
+type Level int
+
+const (
+	// Invalid: the kernel must fault before accessing the page.
+	Invalid Level = iota
+	// Shared: read-only copy (three-state protocol only).
+	Shared
+	// Exclusive: the kernel may read and write the page.
+	Exclusive
+)
+
+func (l Level) String() string {
+	switch l {
+	case Invalid:
+		return "invalid"
+	case Shared:
+		return "shared"
+	default:
+		return "exclusive"
+	}
+}
+
+// Params carries the protocol's calibrated costs. The per-phase values come
+// from Table 5 (µs): the breakdown of a DSM page fault by sender side.
+type Params struct {
+	// LocalFault is the page-fault entry cost on the requesting core
+	// (main 3 µs, shadow 17 µs).
+	LocalFault [2]time.Duration
+	// Protocol is the protocol execution cost on the requesting core
+	// (main 2 µs, shadow 13 µs).
+	Protocol [2]time.Duration
+	// Servicing is the request-servicing cost on the owning core: flush
+	// and invalidate the page, then acknowledge (by main 7 µs, by shadow
+	// 24 µs).
+	Servicing [2]time.Duration
+	// Exit is the fault-exit plus first-cache-miss cost on the requesting
+	// core (main 18 µs, shadow 2 µs).
+	Exit [2]time.Duration
+
+	// MainIdleThreshold and MainBHPeriod implement the asymmetric
+	// priority: the main kernel services GetExclusive only once its domain
+	// has been idle this long, or at the forced bottom-half flush under
+	// sustained load (§6.3; this produces Table 6's starvation of the
+	// shadow kernel for CPU-bound workloads).
+	MainIdleThreshold time.Duration
+	MainBHPeriod      time.Duration
+	// DrainPoll is how often the main drainer re-checks idleness while
+	// requests are deferred.
+	DrainPoll time.Duration
+
+	// DisableInactiveClaim turns the inactive-peer fast path off, forcing
+	// every fault through the mailbox (and thus waking the peer domain).
+	// Exists for the ablation that shows the claim path is load-bearing
+	// for §9.2's energy results.
+	DisableInactiveClaim bool
+	// LocalClaim is the cost of taking ownership from an inactive peer
+	// domain: its caches were flushed on suspend, so the fault handler
+	// updates the shared protocol metadata under a hardware spinlock
+	// without any mailbox traffic — and, crucially, without waking the
+	// peer, preserving §7's rule that shared activity never wakes the
+	// strong domain. Without this path every light-task episode would
+	// wake the strong domain through the mailbox and the energy benefits
+	// of §9.2 would be unreachable.
+	LocalClaim time.Duration
+
+	// ThreeState enables read-only sharing. ShadowReadDetect is the extra
+	// per-read-fault cost on the shadow kernel from driving its first-level
+	// MMU for read detection, and ShadowReadThrash the per-read tax from
+	// the resulting pressure on its ten-entry software-loaded TLB ("severe
+	// thrashing", §6.3). Both are zero on a hypothetical platform with a
+	// capable weak-domain MMU.
+	ThreeState       bool
+	ShadowReadDetect time.Duration
+	ShadowReadThrash time.Duration
+}
+
+// DefaultParams returns the Table 5 calibration.
+func DefaultParams() Params {
+	return Params{
+		LocalFault:        [2]time.Duration{3 * time.Microsecond, 17 * time.Microsecond},
+		Protocol:          [2]time.Duration{2 * time.Microsecond, 13 * time.Microsecond},
+		Servicing:         [2]time.Duration{7 * time.Microsecond, 24 * time.Microsecond},
+		Exit:              [2]time.Duration{18 * time.Microsecond, 2 * time.Microsecond},
+		MainIdleThreshold: 300 * time.Microsecond,
+		MainBHPeriod:      25 * time.Millisecond,
+		DrainPoll:         100 * time.Microsecond,
+		LocalClaim:        2 * time.Microsecond,
+		ThreeState:        false,
+		ShadowReadDetect:  120 * time.Microsecond,
+	}
+}
+
+// sharedFlag marks a GetExclusive as a read (shared) request in the
+// three-state protocol; pages fit in 18 bits, leaving payload bit 19 free.
+const sharedFlag = 1 << 19
+
+type page struct {
+	level   [2]Level
+	pending [2]*sim.Event // outstanding fault per kernel
+}
+
+// Stats aggregates fault costs observed by one kernel as requester.
+type Stats struct {
+	Faults int
+	// Claims counts faults resolved through the inactive-peer fast path
+	// (no mailbox round trip).
+	Claims    int
+	Local     time.Duration
+	Protocol  time.Duration
+	Comm      time.Duration
+	Servicing time.Duration
+	Exit      time.Duration
+	Total     time.Duration
+	DeferWait time.Duration // portion of Comm spent in the main BH queue
+}
+
+// Mean returns the average per-fault duration of total.
+func (s Stats) Mean() time.Duration {
+	if s.Faults == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Faults)
+}
+
+// DSM is the coherence manager. One instance serves both kernels (its state
+// stands for the per-kernel protocol metadata, three bits per page).
+type DSM struct {
+	SoC    *soc.SoC
+	Params Params
+
+	// Core used for servicing requests on each kernel.
+	ServiceCore [2]*soc.Core
+	// OnFirstShare, if set, is called when a page is first registered,
+	// letting the OS demote its large-grain mapping (§6.3).
+	OnFirstShare func(p mem.PFN)
+	// Tracef, if set, receives protocol trace lines (faults, claims,
+	// servicing); the OS wires it to the kernel tracer.
+	Tracef func(format string, args ...interface{})
+
+	pages map[mem.PFN]*page
+
+	deferred  []deferredReq
+	drainGate *sim.Gate
+
+	// RequesterStats is indexed by the faulting kernel.
+	RequesterStats [2]Stats
+	// FaultHist records full-fault latencies per requesting kernel.
+	FaultHist [2]*stats.Histogram
+}
+
+type deferredReq struct {
+	pfn    mem.PFN
+	from   soc.DomainID
+	shared bool
+	seq    uint32
+	at     sim.Time
+}
+
+// New returns a DSM over the SoC; service cores default to the last strong
+// core and the weak core.
+func New(s *soc.SoC, params Params) *DSM {
+	d := &DSM{
+		SoC:    s,
+		Params: params,
+		pages:  make(map[mem.PFN]*page),
+	}
+	d.ServiceCore[soc.Strong] = s.Core(soc.Strong, s.Cfg.StrongCores-1)
+	d.ServiceCore[soc.Weak] = s.Core(soc.Weak, 0)
+	d.drainGate = sim.NewGate(s.Eng)
+	d.FaultHist[soc.Strong] = stats.NewHistogram(0)
+	d.FaultHist[soc.Weak] = stats.NewHistogram(0)
+	return d
+}
+
+// Share registers a page with the DSM; the main kernel starts as its owner.
+func (d *DSM) Share(pfn mem.PFN) {
+	if _, dup := d.pages[pfn]; dup {
+		return
+	}
+	pg := &page{}
+	pg.level[soc.Strong] = Exclusive
+	pg.level[soc.Weak] = Invalid
+	d.pages[pfn] = pg
+	if d.OnFirstShare != nil {
+		d.OnFirstShare(pfn)
+	}
+}
+
+// SharedPages returns how many pages the DSM manages.
+func (d *DSM) SharedPages() int { return len(d.pages) }
+
+// Level returns kernel k's current level for pfn.
+func (d *DSM) Level(k soc.DomainID, pfn mem.PFN) Level {
+	pg, ok := d.pages[pfn]
+	if !ok {
+		return Invalid
+	}
+	return pg.level[k]
+}
+
+func (d *DSM) page(pfn mem.PFN) *page {
+	pg, ok := d.pages[pfn]
+	if !ok {
+		panic(fmt.Sprintf("dsm: access to unshared page %d", pfn))
+	}
+	return pg
+}
+
+// Access performs a read or write of a shared page from kernel k executing
+// on core. If the kernel's copy is valid for the access, it costs nothing
+// (the MMU mapping is effective); otherwise the calling proc takes a DSM
+// page fault, spinning until ownership arrives.
+func (d *DSM) Access(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, write bool) {
+	if d.Params.ThreeState && k == soc.Weak && !write && d.Params.ShadowReadThrash > 0 {
+		// Read detection through the M3's first-level MMU taxes every
+		// read with TLB thrashing (§6.3).
+		core.ExecFor(p, d.Params.ShadowReadThrash)
+	}
+	for {
+		pg := d.page(pfn)
+		lv := pg.level[k]
+		if lv == Exclusive || (!write && lv == Shared) {
+			return
+		}
+		d.fault(p, core, k, pfn, write)
+		// Re-check: with concurrent faulters the level can regress between
+		// the wake-up and this proc's turn; the loop preserves safety.
+		pg = d.page(pfn)
+		lv = pg.level[k]
+		if lv == Exclusive || (!write && lv == Shared) {
+			return
+		}
+	}
+}
+
+// Read is shorthand for a read access.
+func (d *DSM) Read(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN) {
+	d.Access(p, core, k, pfn, false)
+}
+
+// Write is shorthand for a write access.
+func (d *DSM) Write(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN) {
+	d.Access(p, core, k, pfn, true)
+}
+
+func (d *DSM) fault(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, write bool) {
+	pg := d.page(pfn)
+	st := &d.RequesterStats[k]
+	start := p.Now()
+
+	// If another thread of this kernel already faulted on the page, spin
+	// on the same pending event. Registration must happen before any time
+	// passes, or concurrent faulters would issue duplicate requests.
+	if ev := pg.pending[k]; ev != nil {
+		d.spin(p, core, ev)
+		return
+	}
+	ev := sim.NewEvent(d.SoC.Eng)
+	pg.pending[k] = ev
+
+	prm := d.Params
+	core.ExecFor(p, prm.LocalFault[k])
+	st.Local += prm.LocalFault[k]
+	core.ExecFor(p, prm.Protocol[k])
+	st.Protocol += prm.Protocol[k]
+
+	wantShared := prm.ThreeState && !write
+	if prm.ThreeState && !write && k == soc.Weak {
+		// Read detection through the M3's first-level MMU.
+		core.ExecFor(p, prm.ShadowReadDetect)
+		st.Local += prm.ShadowReadDetect
+	}
+
+	// Inactive-peer fast path: the peer's caches were flushed when its
+	// domain suspended, so ownership is claimed through the shared
+	// protocol metadata without mailbox traffic or a wake.
+	if !prm.DisableInactiveClaim && d.SoC.Domains[k.Other()].State() == soc.DomInactive {
+		core.ExecFor(p, prm.LocalClaim)
+		if wantShared {
+			if pg.level[k.Other()] == Exclusive {
+				pg.level[k.Other()] = Shared
+			}
+			pg.level[k] = Shared
+		} else {
+			pg.level[k.Other()] = Invalid
+			pg.level[k] = Exclusive
+		}
+		pg.pending[k] = nil
+		ev.Fire()
+		st.Faults++
+		st.Claims++
+		st.Total += p.Now().Sub(start)
+		if d.Tracef != nil {
+			d.Tracef("%v claimed page %d from inactive peer", k, pfn)
+		}
+		return
+	}
+
+	payload := uint32(pfn)
+	if wantShared {
+		payload |= sharedFlag
+	}
+	sent := p.Now()
+	d.SoC.Mailbox.Send(p, core, k.Other(),
+		soc.NewMessage(soc.MsgGetExclusive, payload, d.SoC.Mailbox.NextSeq()))
+	d.spin(p, core, ev)
+
+	core.ExecFor(p, prm.Exit[k])
+	st.Exit += prm.Exit[k]
+	st.Faults++
+	st.Total += p.Now().Sub(start)
+	d.FaultHist[k].Observe(p.Now().Sub(start))
+	if d.Tracef != nil {
+		d.Tracef("%v fault on page %d took %v (write=%v)", k, pfn, p.Now().Sub(start), write)
+	}
+	st.Servicing += prm.Servicing[k.Other()]
+	// Comm is what remains of the wait after the peer's servicing time.
+	wait := p.Now().Sub(sent) - prm.Exit[k] - prm.Servicing[k.Other()]
+	if wait > 0 {
+		st.Comm += wait
+	}
+}
+
+// spin busy-waits for ev: the requester cannot sleep (fault handling may be
+// in interrupt context), so the core burns active power until ownership
+// arrives.
+func (d *DSM) spin(p *sim.Proc, core *soc.Core, ev *sim.Event) {
+	core.Domain.EnsureAwake(p)
+	if ev.Fired() {
+		return
+	}
+	core.Domain.BeginSpin()
+	ev.Wait(p)
+	core.Domain.EndSpin()
+}
+
+// HandleMessage processes a DSM mailbox message received by kernel k; the
+// OS mailbox dispatcher calls it from k's dispatcher proc running on core.
+// It returns true if the message was a DSM message.
+func (d *DSM) HandleMessage(p *sim.Proc, core *soc.Core, k soc.DomainID, msg soc.Message) bool {
+	switch msg.Type() {
+	case soc.MsgGetExclusive:
+		pfn := mem.PFN(msg.Payload() &^ sharedFlag)
+		shared := msg.Payload()&sharedFlag != 0
+		d.handleGet(p, core, k, deferredReq{pfn: pfn, from: k.Other(), shared: shared, seq: msg.Seq(), at: p.Now()})
+		return true
+	case soc.MsgPutExclusive:
+		d.handlePut(k, mem.PFN(msg.Payload()&^sharedFlag), msg.Payload()&sharedFlag != 0)
+		return true
+	}
+	return false
+}
+
+func (d *DSM) handleGet(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferredReq) {
+	pg := d.page(req.pfn)
+	if pg.pending[k] != nil && k == soc.Strong {
+		// Crossed upgrade requests (three-state): the strong side wins; it
+		// serves the peer only after its own fault completes.
+		ev := pg.pending[k]
+		d.SoC.Eng.Spawn("dsm-crossed", func(p2 *sim.Proc) {
+			ev.Wait(p2)
+			d.serve(p2, core, k, req)
+		})
+		return
+	}
+	if k == soc.Strong {
+		dom := d.SoC.Domains[soc.Strong]
+		if dom.BusyCores() > 0 || dom.IdleFor() < d.Params.MainIdleThreshold {
+			// Bottom half: defer while the strong domain is under load.
+			d.deferred = append(d.deferred, req)
+			d.drainGate.Open()
+			return
+		}
+	}
+	d.serve(p, core, k, req)
+}
+
+// serve flushes and invalidates the local copy and grants ownership.
+func (d *DSM) serve(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferredReq) {
+	d.SoC.Domains[k].EnsureAwake(p)
+	core.ExecFor(p, d.Params.Servicing[k])
+	pg := d.page(req.pfn)
+	if req.shared {
+		if pg.level[k] == Exclusive {
+			pg.level[k] = Shared
+		}
+	} else {
+		pg.level[k] = Invalid
+	}
+	payload := uint32(req.pfn)
+	if req.shared {
+		payload |= sharedFlag
+	}
+	d.SoC.Mailbox.Send(p, core, req.from,
+		soc.NewMessage(soc.MsgPutExclusive, payload, d.SoC.Mailbox.NextSeq()))
+}
+
+func (d *DSM) handlePut(k soc.DomainID, pfn mem.PFN, shared bool) {
+	pg := d.page(pfn)
+	if shared {
+		pg.level[k] = Shared
+	} else {
+		pg.level[k] = Exclusive
+	}
+	if ev := pg.pending[k]; ev != nil {
+		pg.pending[k] = nil
+		ev.Fire()
+	}
+}
+
+// RunMainDrainer is the main kernel's bottom-half loop: it services
+// deferred GetExclusive requests once the strong domain has been idle long
+// enough, or at the forced flush period under sustained load. The OS spawns
+// it on a strong core; it never returns.
+func (d *DSM) RunMainDrainer(p *sim.Proc) {
+	core := d.ServiceCore[soc.Strong]
+	dom := d.SoC.Domains[soc.Strong]
+	for {
+		for len(d.deferred) == 0 {
+			d.drainGate.Wait(p)
+		}
+		oldest := d.deferred[0].at
+		age := p.Now().Sub(oldest)
+		idle := dom.IdleFor()
+		if idle >= d.Params.MainIdleThreshold || age >= d.Params.MainBHPeriod {
+			batch := d.deferred
+			d.deferred = nil
+			for _, req := range batch {
+				d.RequesterStats[req.from].DeferWait += p.Now().Sub(req.at)
+				d.serve(p, core, soc.Strong, req)
+			}
+			continue
+		}
+		p.Sleep(d.Params.DrainPoll)
+	}
+}
+
+// DeferredLen returns the number of requests parked in the bottom-half
+// queue.
+func (d *DSM) DeferredLen() int { return len(d.deferred) }
+
+// CheckInvariants verifies the one-writer invariant on every page: at most
+// one kernel Exclusive, and never Exclusive alongside any other validity.
+func (d *DSM) CheckInvariants() error {
+	for pfn, pg := range d.pages {
+		a, b := pg.level[soc.Strong], pg.level[soc.Weak]
+		if a == Exclusive && b != Invalid || b == Exclusive && a != Invalid {
+			return fmt.Errorf("dsm: one-writer invariant violated on page %d: main=%v shadow=%v", pfn, a, b)
+		}
+		if !d.Params.ThreeState && (a == Shared || b == Shared) {
+			return fmt.Errorf("dsm: shared level in two-state mode on page %d", pfn)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package dsm
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/mem"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func TestDeferredRequestsDrainInBatch(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	for i := mem.PFN(0); i < 4; i++ {
+		d.Share(i)
+	}
+	// Sustained short-gap load on the strong domain keeps its idle streak
+	// below the threshold.
+	e.Spawn("main-load", func(p *sim.Proc) {
+		for {
+			s.Core(soc.Strong, 0).Exec(p, soc.Work(20*time.Microsecond))
+			p.Sleep(80 * time.Microsecond)
+		}
+	})
+	// Four shadow threads fault on different pages; all defer, and one BH
+	// flush must serve the whole batch.
+	var doneAt []sim.Time
+	for i := mem.PFN(0); i < 4; i++ {
+		i := i
+		e.SpawnAt(sim.Time(time.Millisecond), "shadow", func(p *sim.Proc) {
+			d.Write(p, s.Core(soc.Weak, 0), soc.Weak, i)
+			doneAt = append(doneAt, p.Now())
+		})
+	}
+	if err := e.Run(sim.Time(200 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(doneAt) != 4 {
+		t.Fatalf("only %d faults completed", len(doneAt))
+	}
+	// All four completed within one small window (single flush), not four
+	// separate BH periods apart.
+	span := doneAt[len(doneAt)-1].Sub(doneAt[0])
+	if span > 5*time.Millisecond {
+		t.Fatalf("batch spread over %v; expected a single bottom-half flush", span)
+	}
+}
+
+func TestClaimsCountedSeparately(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	d.Share(1)
+	// Let the strong domain go inactive, then fault from the shadow: the
+	// fast path must be used and counted.
+	e.SpawnAt(sim.Time(30*time.Second), "shadow", func(p *sim.Proc) {
+		s.Domains[soc.Weak].EnsureAwake(p)
+		start := p.Now()
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 1)
+		if d := p.Now().Sub(start); d > 100*time.Microsecond {
+			t.Errorf("claim took %v, want microseconds (no mailbox)", d)
+		}
+	})
+	if err := e.Run(sim.Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	st := d.RequesterStats[soc.Weak]
+	if st.Faults != 1 || st.Claims != 1 {
+		t.Fatalf("faults=%d claims=%d, want 1/1", st.Faults, st.Claims)
+	}
+	if s.Domains[soc.Strong].WakeCount() != 0 {
+		t.Fatal("claim woke the strong domain")
+	}
+}
+
+func TestDisableInactiveClaimForcesMailbox(t *testing.T) {
+	prm := DefaultParams()
+	prm.DisableInactiveClaim = true
+	e, s, d := rig(prm)
+	d.Share(1)
+	e.SpawnAt(sim.Time(30*time.Second), "shadow", func(p *sim.Proc) {
+		s.Domains[soc.Weak].EnsureAwake(p)
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 1)
+	})
+	if err := e.Run(sim.Time(2 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	st := d.RequesterStats[soc.Weak]
+	if st.Claims != 0 {
+		t.Fatal("claim path used despite being disabled")
+	}
+	if st.Faults != 1 {
+		t.Fatalf("faults = %d", st.Faults)
+	}
+	if s.Domains[soc.Strong].WakeCount() == 0 {
+		t.Fatal("mailbox fault should have woken the strong domain")
+	}
+}
+
+func TestFaultHistogramPopulated(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	d.Share(1)
+	e.Spawn("shadow", func(p *sim.Proc) {
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 1)
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	h := d.FaultHist[soc.Weak]
+	if h.N() != 1 {
+		t.Fatalf("histogram n = %d", h.N())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 30*time.Microsecond || p50 > 80*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~44µs", p50)
+	}
+}

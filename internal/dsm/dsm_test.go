@@ -1,0 +1,331 @@
+package dsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"k2/internal/mem"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// rig wires a DSM with per-kernel mailbox dispatchers, as the OS does.
+func rig(params Params) (*sim.Engine, *soc.SoC, *DSM) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	d := New(s, params)
+	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+		k := k
+		core := d.ServiceCore[k]
+		e.Spawn("dispatch-"+k.String(), func(p *sim.Proc) {
+			for {
+				msg := s.Mailbox.Recv(p, k)
+				d.HandleMessage(p, core, k, msg)
+			}
+		})
+	}
+	e.Spawn("dsm-drainer", d.RunMainDrainer)
+	return e, s, d
+}
+
+func TestShareInitialOwnership(t *testing.T) {
+	_, _, d := rig(DefaultParams())
+	d.Share(100)
+	if d.Level(soc.Strong, 100) != Exclusive {
+		t.Fatal("main must own fresh shared pages")
+	}
+	if d.Level(soc.Weak, 100) != Invalid {
+		t.Fatal("shadow must start invalid")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessByOwnerIsFree(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	d.Share(7)
+	var dur time.Duration
+	e.Spawn("main", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < 100; i++ {
+			d.Write(p, s.Core(soc.Strong, 0), soc.Strong, 7)
+		}
+		dur = p.Now().Sub(start)
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if dur != 0 {
+		t.Fatalf("owner accesses took %v, want 0 (MMU mapping effective)", dur)
+	}
+	if d.RequesterStats[soc.Strong].Faults != 0 {
+		t.Fatal("owner access faulted")
+	}
+}
+
+func TestFaultTransfersOwnership(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	d.Share(7)
+	e.Spawn("shadow", func(p *sim.Proc) {
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 7)
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Level(soc.Weak, 7) != Exclusive || d.Level(soc.Strong, 7) != Invalid {
+		t.Fatalf("levels after fault: main=%v shadow=%v",
+			d.Level(soc.Strong, 7), d.Level(soc.Weak, 7))
+	}
+	if d.RequesterStats[soc.Weak].Faults != 1 {
+		t.Fatalf("faults = %d, want 1", d.RequesterStats[soc.Weak].Faults)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Table 5 check: fault latency ~52 µs when main is the sender, ~48 µs when
+// shadow is the sender (unloaded system).
+func TestTable5FaultLatency(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	d.Share(7)
+	var shadowUS, mainUS float64
+	e.Spawn("ping-pong", func(p *sim.Proc) {
+		// Shadow sender (page owned by main).
+		start := p.Now()
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 7)
+		shadowUS = float64(p.Now().Sub(start).Microseconds())
+		// Main sender (page now owned by shadow).
+		start = p.Now()
+		d.Write(p, s.Core(soc.Strong, 0), soc.Strong, 7)
+		mainUS = float64(p.Now().Sub(start).Microseconds())
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if mainUS < 42 || mainUS > 62 {
+		t.Errorf("main-sender fault = %.1f µs, want ~52", mainUS)
+	}
+	if shadowUS < 38 || shadowUS > 58 {
+		t.Errorf("shadow-sender fault = %.1f µs, want ~48", shadowUS)
+	}
+}
+
+func TestMainDefersUnderLoad(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	d.Share(7)
+	// Keep the strong domain busy with short gaps (a CPU-bound benchmark):
+	// 20 µs busy, 80 µs idle, forever — idle streaks stay below the
+	// threshold, so the shadow's fault must wait for the forced flush.
+	e.Spawn("main-load", func(p *sim.Proc) {
+		for {
+			s.Core(soc.Strong, 0).Exec(p, soc.Work(20*time.Microsecond))
+			p.Sleep(80 * time.Microsecond)
+		}
+	})
+	var waited time.Duration
+	doneAt := sim.Time(-1)
+	e.Spawn("shadow", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond) // let the load pattern establish
+		start := p.Now()
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 7)
+		waited = p.Now().Sub(start)
+		doneAt = p.Now()
+	})
+	if err := e.Run(sim.Time(500 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt < 0 {
+		t.Fatal("shadow fault never completed")
+	}
+	prm := DefaultParams()
+	if waited < prm.MainBHPeriod/2 {
+		t.Fatalf("shadow fault waited only %v; expected bottom-half deferral (~%v)",
+			waited, prm.MainBHPeriod)
+	}
+	if d.RequesterStats[soc.Weak].DeferWait == 0 {
+		t.Fatal("defer wait not recorded")
+	}
+}
+
+func TestMainServedPromptlyWhenIdle(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	d.Share(7)
+	var waited time.Duration
+	e.Spawn("shadow", func(p *sim.Proc) {
+		// Strong domain fully idle: drainer should serve at the idle
+		// threshold, not the BH period.
+		p.Sleep(2 * time.Millisecond)
+		start := p.Now()
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 7)
+		waited = p.Now().Sub(start)
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if waited > 2*time.Millisecond {
+		t.Fatalf("idle-system shadow fault took %v, want well under the BH period", waited)
+	}
+}
+
+func TestPingPongManyPages(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	for i := mem.PFN(0); i < 8; i++ {
+		d.Share(i)
+	}
+	rounds := 0
+	e.Spawn("shadow", func(p *sim.Proc) {
+		for r := 0; r < 5; r++ {
+			for i := mem.PFN(0); i < 8; i++ {
+				d.Write(p, s.Core(soc.Weak, 0), soc.Weak, i)
+			}
+			rounds++
+			p.Sleep(time.Millisecond)
+		}
+	})
+	e.Spawn("main", func(p *sim.Proc) {
+		for r := 0; r < 5; r++ {
+			p.Sleep(1500 * time.Microsecond)
+			for i := mem.PFN(0); i < 8; i++ {
+				d.Write(p, s.Core(soc.Strong, 0), soc.Strong, i)
+			}
+		}
+	})
+	if err := e.Run(sim.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 5 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentFaultersSamePageSameKernel(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	d.Share(3)
+	done := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("shadow-thread", func(p *sim.Proc) {
+			d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 3)
+			done++
+		})
+	}
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("done = %d, want 3", done)
+	}
+	// All three shared one fault.
+	if f := d.RequesterStats[soc.Weak].Faults; f != 1 {
+		t.Fatalf("faults = %d, want 1 (shared pending)", f)
+	}
+}
+
+func TestThreeStateReadSharing(t *testing.T) {
+	prm := DefaultParams()
+	prm.ThreeState = true
+	prm.ShadowReadDetect = 0 // hypothetical platform with a capable MMU
+	e, s, d := rig(prm)
+	d.Share(9)
+	e.Spawn("flow", func(p *sim.Proc) {
+		// Shadow reads: both should end up Shared.
+		d.Read(p, s.Core(soc.Weak, 0), soc.Weak, 9)
+		if d.Level(soc.Strong, 9) != Shared || d.Level(soc.Weak, 9) != Shared {
+			t.Errorf("after read: main=%v shadow=%v", d.Level(soc.Strong, 9), d.Level(soc.Weak, 9))
+		}
+		// Subsequent reads from both sides are free.
+		f := d.RequesterStats[soc.Strong].Faults
+		d.Read(p, s.Core(soc.Strong, 0), soc.Strong, 9)
+		if d.RequesterStats[soc.Strong].Faults != f {
+			t.Error("read of Shared page faulted")
+		}
+		// A write upgrades to Exclusive and invalidates the peer.
+		d.Write(p, s.Core(soc.Strong, 0), soc.Strong, 9)
+		if d.Level(soc.Strong, 9) != Exclusive || d.Level(soc.Weak, 9) != Invalid {
+			t.Errorf("after write: main=%v shadow=%v", d.Level(soc.Strong, 9), d.Level(soc.Weak, 9))
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoStateReadStillFaults(t *testing.T) {
+	e, s, d := rig(DefaultParams())
+	d.Share(9)
+	e.Spawn("shadow", func(p *sim.Proc) {
+		d.Read(p, s.Core(soc.Weak, 0), soc.Weak, 9)
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Two-state: a read takes exclusive ownership (no read-only sharing,
+	// the OMAP4 M3 MMU limitation).
+	if d.Level(soc.Weak, 9) != Exclusive || d.Level(soc.Strong, 9) != Invalid {
+		t.Fatalf("two-state read: main=%v shadow=%v", d.Level(soc.Strong, 9), d.Level(soc.Weak, 9))
+	}
+}
+
+// Property: random access sequences from both kernels preserve the
+// one-writer invariant and always terminate.
+func TestQuickOneWriterInvariant(t *testing.T) {
+	f := func(seed int64, threeState bool) bool {
+		prm := DefaultParams()
+		prm.ThreeState = threeState
+		prm.MainBHPeriod = 2 * time.Millisecond // keep runs fast
+		e, s, d := rig(prm)
+		rng := rand.New(rand.NewSource(seed))
+		const npages = 4
+		for i := mem.PFN(0); i < npages; i++ {
+			d.Share(i)
+		}
+		ok := true
+		worker := func(k soc.DomainID, core *soc.Core) func(*sim.Proc) {
+			return func(p *sim.Proc) {
+				for i := 0; i < 25; i++ {
+					pfn := mem.PFN(rng.Intn(npages))
+					write := rng.Intn(2) == 0
+					d.Access(p, core, k, pfn, write)
+					lv := d.Level(k, pfn)
+					if write && lv != Exclusive {
+						ok = false
+					}
+					if d.CheckInvariants() != nil {
+						ok = false
+					}
+					p.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				}
+			}
+		}
+		e.Spawn("main-w", worker(soc.Strong, s.Core(soc.Strong, 0)))
+		e.Spawn("shadow-w", worker(soc.Weak, s.Core(soc.Weak, 0)))
+		if err := e.Run(sim.Time(time.Minute)); err != nil {
+			return false
+		}
+		return ok && d.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageEncodingPreservesPFNAndFlag(t *testing.T) {
+	// Pages fit in 18 bits (1 GB / 4 KB = 2^18); bit 19 carries the shared
+	// flag; both must round-trip through the 20-bit payload.
+	m := soc.NewMessage(soc.MsgGetExclusive, uint32(262143)|sharedFlag, 5)
+	if m.Payload()&^uint32(sharedFlag) != 262143 {
+		t.Fatal("pfn mangled")
+	}
+	if m.Payload()&sharedFlag == 0 {
+		t.Fatal("shared flag lost")
+	}
+}

@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/core"
+	"k2/internal/dsm"
+	"k2/internal/mem"
+	"k2/internal/sched"
+	"k2/internal/services"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// AblationSharedAllocator reproduces §9.3's negative result: implementing
+// the page allocator as a *shadowed* service instead of independent
+// instances. The allocator's hot state (free lists, per-page metadata)
+// spans several pages, so every allocation from alternating kernels incurs
+// four to five DSM page faults — the paper observed a ~200x slowdown, and
+// that "OS lockups happen frequently": overlapping critical sections hold
+// the hardware spinlock across bottom-half-deferred faults, stalling the
+// peer kernel for tens of milliseconds. The measurement here alternates the
+// kernels strictly (the only regime that completes) and reports the
+// per-allocation cost on the main kernel.
+func AblationSharedAllocator() Table {
+	e, o := bootFresh(core.K2Mode)
+	const statePages = 5
+	var pages []mem.PFN
+	for i := 0; i < statePages; i++ {
+		p, err := o.Mem.Buddies[soc.Strong].AllocBoot(0, mem.Unmovable)
+		if err != nil {
+			panic(err)
+		}
+		pages = append(pages, p)
+	}
+	state := services.NewShadowedState("shared-allocator", o.DSM, o.S.Spinlocks.Lock(8), pages)
+
+	allocCost := soc.Work(900 * time.Nanosecond) // the order-0 buddy cost
+	sharedAlloc := func(th *sched.Thread) {
+		state.Enter(th)
+		for i := 0; i < statePages; i++ {
+			state.Touch(th, i, true)
+		}
+		th.Exec(allocCost)
+		state.Exit(th)
+	}
+
+	const rounds = 30
+	var mainBusy, baselinePerOp time.Duration
+	mainTurn := sim.NewGate(e)
+	shadowTurn := sim.NewGate(e)
+	runThread(o, sched.Normal, "shared-alloc-main", nil, func(th *sched.Thread) {
+		// Baseline: the independent allocator on the same kernel.
+		b := o.Mem.Buddies[soc.Strong]
+		start := th.P().Now()
+		for i := 0; i < rounds; i++ {
+			pfn, err := b.Alloc(th.P(), th.Core(), 0, mem.Unmovable)
+			if err != nil {
+				panic(err)
+			}
+			b.Free(th.P(), th.Core(), pfn)
+		}
+		baselinePerOp = th.P().Now().Sub(start) / (2 * rounds)
+
+		// Shadowed allocator, strict alternation with the other kernel.
+		for i := 0; i < rounds; i++ {
+			start := th.P().Now()
+			sharedAlloc(th)
+			mainBusy += th.P().Now().Sub(start)
+			shadowTurn.Open()
+			th.Block(func(p *sim.Proc) { mainTurn.Wait(p) })
+		}
+	})
+	runThread(o, sched.NightWatch, "shared-alloc-shadow", nil, func(th *sched.Thread) {
+		for i := 0; i < rounds; i++ {
+			th.Block(func(p *sim.Proc) { shadowTurn.Wait(p) })
+			sharedAlloc(th)
+			mainTurn.Open()
+		}
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		panic(err)
+	}
+
+	totalFaults := o.DSM.RequesterStats[soc.Strong].Faults + o.DSM.RequesterStats[soc.Weak].Faults
+	faultsPerAlloc := float64(totalFaults) / float64(2*rounds)
+	mainPerOp := mainBusy / rounds
+	slowdown := float64(mainPerOp) / float64(baselinePerOp)
+	return Table{
+		ID:     "Ablation §9.3",
+		Title:  "page allocator as a shadowed service (why K2 made it independent)",
+		Header: []string{"metric", "measured", "paper"},
+		Rows: [][]string{
+			{"independent alloc+free (main, µs)", fmt.Sprintf("%.1f", float64(baselinePerOp.Nanoseconds())/1e3), "~1"},
+			{"shadowed alloc (main, alternating, µs)", fmt.Sprintf("%.1f", float64(mainPerOp.Nanoseconds())/1e3), ""},
+			{"DSM faults per allocation", fmt.Sprintf("%.1f", faultsPerAlloc), "4-5"},
+			{"slowdown", fmt.Sprintf("%.0fx", slowdown), "~200x"},
+		},
+		Notes: []string{
+			"with overlapping (non-alternating) allocators the spinlock is held across deferred faults and the kernels stall for tens of ms — the paper's 'OS lockups'",
+		},
+	}
+}
+
+// threeStateCase runs one protocol configuration against one sharing
+// pattern and returns the shadow kernel's busy time per operation (µs) and
+// the total fault count.
+func threeStateCase(prm dsm.Params, concurrentReaders bool) (shadowPerOpUS float64, faults int) {
+	e, o := bootFresh(core.K2Mode, func(op *core.Options) { op.DSMParams = &prm })
+	pfn, err := o.Mem.Buddies[soc.Strong].AllocBoot(0, mem.Unmovable)
+	if err != nil {
+		panic(err)
+	}
+	o.DSM.Share(pfn)
+
+	const writes, readsPerWrite = 6, 50
+	var shadowBusy time.Duration
+	shadowTurn := sim.NewEvent(e)
+	runThread(o, sched.Normal, "main-user", nil, func(th *sched.Thread) {
+		for i := 0; i < writes; i++ {
+			o.DSM.Write(th.P(), th.Core(), soc.Strong, pfn)
+			if i == 0 {
+				shadowTurn.Fire()
+			}
+			if concurrentReaders {
+				// The main kernel also polls the shared state between its
+				// writes (e.g. a driver reading device status).
+				for j := 0; j < readsPerWrite; j++ {
+					o.DSM.Read(th.P(), th.Core(), soc.Strong, pfn)
+					th.SleepIdle(400 * time.Microsecond)
+				}
+			} else {
+				th.SleepIdle(readsPerWrite * 400 * time.Microsecond)
+			}
+		}
+	})
+	runThread(o, sched.NightWatch, "shadow-reader", shadowTurn, func(th *sched.Thread) {
+		for i := 0; i < writes*readsPerWrite; i++ {
+			start := th.P().Now()
+			o.DSM.Read(th.P(), th.Core(), soc.Weak, pfn)
+			shadowBusy += th.P().Now().Sub(start)
+			th.SleepIdle(400 * time.Microsecond)
+		}
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		panic(err)
+	}
+	perOp := float64(shadowBusy.Nanoseconds()) / float64(writes*readsPerWrite) / 1e3
+	faults = o.DSM.RequesterStats[soc.Strong].Faults + o.DSM.RequesterStats[soc.Weak].Faults
+	return perOp, faults
+}
+
+// AblationThreeState compares the two-state protocol K2 ships with against
+// the more common three-state protocol with read-only sharing (§6.3, "An
+// alternative design"), across two sharing patterns and two weak-domain
+// MMUs: the OMAP4 Cortex-M3 (whose read detection thrashes its ten-entry
+// first-level TLB) and a hypothetical MMU with permission support (one of
+// the missing architectural features §11 calls for).
+func AblationThreeState() Table {
+	cases := []struct {
+		label string
+		mut   func(*dsm.Params)
+	}{
+		{"two-state (K2 on OMAP4)", func(p *dsm.Params) {}},
+		{"three-state on OMAP4 M3", func(p *dsm.Params) {
+			p.ThreeState = true
+			p.ShadowReadDetect = 120 * time.Microsecond
+			p.ShadowReadThrash = 20 * time.Microsecond
+		}},
+		{"three-state, capable MMU", func(p *dsm.Params) {
+			p.ThreeState = true
+			p.ShadowReadDetect = 0
+			p.ShadowReadThrash = 0
+		}},
+	}
+	t := Table{
+		ID:    "Ablation §6.3",
+		Title: "two-state vs three-state DSM protocol (shadow µs/op; faults)",
+		Header: []string{"configuration",
+			"single writer, shadow reads", "faults",
+			"concurrent readers", "faults"},
+	}
+	for _, c := range cases {
+		prm := dsm.DefaultParams()
+		c.mut(&prm)
+		single, f1c := threeStateCase(prm, false)
+		conc, f2c := threeStateCase(prm, true)
+		t.Rows = append(t.Rows, []string{
+			c.label,
+			fmt.Sprintf("%.1f", single), fmt.Sprintf("%d", f1c),
+			fmt.Sprintf("%.1f", conc), fmt.Sprintf("%d", f2c),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"with a single writer, two-state already keeps reads local, and on OMAP4 three-state only adds the per-read TLB-thrashing tax — K2's choice",
+		"with concurrent readers, read-only sharing eliminates the ownership ping-pong, but only a capable weak-domain MMU realizes the gain (§11)")
+	return t
+}

@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"k2/internal/core"
+	"k2/internal/dsm"
+	"k2/internal/mem"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/workload"
+)
+
+// AblationInactiveClaim quantifies the derived mechanism documented in
+// DESIGN.md §5: resolving a DSM fault against an *inactive* peer by
+// claiming ownership through the shared protocol metadata, instead of
+// sending GetExclusive through the mailbox (which wakes the peer). Without
+// it, every light-task episode wakes the strong domain — and the wake flips
+// the shared-interrupt masks back, dragging service state to the main
+// kernel — so §9.2's energy benefits collapse.
+func AblationInactiveClaim() Table {
+	cfg := soc.DefaultConfig()
+	cfg.StrongFreqMHz = 350
+	run := func(disable bool) workload.Result {
+		prm := dsm.DefaultParams()
+		prm.DisableInactiveClaim = disable
+		e, o := bootFresh(core.K2Mode, func(op *core.Options) {
+			op.SoC = &cfg
+			op.DSMParams = &prm
+		})
+		res, err := workload.MeasureEpisode(e, o, workload.DMA(o, 16<<10, 128<<10))
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+	with := run(false)
+	without := run(true)
+	return Table{
+		ID:     "Ablation (DESIGN §5)",
+		Title:  "inactive-peer ownership claim: K2 light-task episode (DMA 16Kx8)",
+		Header: []string{"configuration", "energy (mJ)", "MB/J", "strong wakes"},
+		Rows: [][]string{
+			{"with local claim (K2)", f2(with.EnergyJ * 1e3), f2(with.EfficiencyMBJ()),
+				fmt.Sprintf("%d", with.StrongWakes)},
+			{"mailbox-only faults", f2(without.EnergyJ * 1e3), f2(without.EfficiencyMBJ()),
+				fmt.Sprintf("%d", without.StrongWakes)},
+		},
+		Notes: []string{
+			"without the claim path the episode wakes the strong domain and pays its idle tail, erasing most of the energy win",
+		},
+	}
+}
+
+// AblationPlacementPolicy quantifies §6.2's optimization 3: placing movable
+// pages near the balloon frontier with best effort, so page blocks there
+// can be evacuated on inflation. A vanilla buddy (no migrate-type
+// placement) sprinkles unmovable pages across blocks and pins them.
+func AblationPlacementPolicy() Table {
+	run := func(noPolicy bool) (unpinned int, blocks int) {
+		e, s, fr := ablationRig()
+		b := mem.NewBuddy(soc.Strong, fr, mem.DefaultCostModel(), true)
+		b.NoPlacementPolicy = noPolicy
+		const nblocks = 6
+		b.AddRegion(0, nblocks*mem.BlockPages)
+
+		// A realistic mix: ~75% movable (user data), ~25% unmovable
+		// (kernel objects), with churn; fill ~55% of memory.
+		rng := rand.New(rand.NewSource(42))
+		var live []mem.PFN
+		ok := false
+		e.Spawn("fill", func(p *sim.Proc) {
+			core := s.Core(soc.Strong, 0)
+			target := nblocks * mem.BlockPages * 55 / 100
+			used := 0
+			for used < target {
+				mt := mem.Movable
+				if rng.Intn(4) == 0 {
+					mt = mem.Unmovable
+				}
+				order := rng.Intn(3)
+				pfn, err := b.Alloc(p, core, order, mt)
+				if err != nil {
+					break
+				}
+				live = append(live, pfn)
+				used += 1 << order
+				// Churn: occasionally free an old allocation.
+				if len(live) > 8 && rng.Intn(3) == 0 {
+					i := rng.Intn(len(live))
+					b.Free(p, core, live[i])
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					// used is approximate under churn; that is fine.
+				}
+			}
+			// Count blocks not pinned by any unmovable page: those are the
+			// ones the balloon could reclaim (capacity permitting).
+			for blk := mem.PFN(0); blk < nblocks*mem.BlockPages; blk += mem.BlockPages {
+				pinned := false
+				for i := blk; i < blk+mem.BlockPages; i++ {
+					if fr.Allocated(i) && fr.Type(i) == mem.Unmovable {
+						pinned = true
+						break
+					}
+				}
+				if !pinned {
+					unpinned++
+				}
+			}
+			ok = true
+		})
+		if err := e.Run(sim.Time(time.Hour)); err != nil {
+			panic(err)
+		}
+		if !ok {
+			panic("experiment: placement fill did not finish")
+		}
+		return unpinned, nblocks
+	}
+	withPol, n := run(false)
+	withoutPol, _ := run(true)
+	return Table{
+		ID:     "Ablation §6.2",
+		Title:  "movable-page placement near the balloon frontier (reclaimable blocks at 55% occupancy)",
+		Header: []string{"configuration", "blocks not pinned by unmovable pages", "of"},
+		Rows: [][]string{
+			{"frontier placement (K2)", fmt.Sprintf("%d", withPol), fmt.Sprintf("%d", n)},
+			{"vanilla buddy placement", fmt.Sprintf("%d", withoutPol), fmt.Sprintf("%d", n)},
+		},
+		Notes: []string{
+			"movable pages constitute 70-80% of total pages on mobile systems (§6.2); steering unmovable ones away from the frontier keeps blocks reclaimable",
+		},
+	}
+}
+
+func ablationRig() (*sim.Engine, *soc.SoC, *mem.Frames) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	fr := mem.NewFrames(s.Pages(), s.Cfg.PageSize)
+	return e, s, fr
+}
+
+// AblationSuspendOverlap quantifies §8's optimization of overlapping the
+// SuspendNW ack wait with the context switch: the main kernel's extra
+// schedule-in cost drops from a full message round trip to 1-2 µs.
+func AblationSuspendOverlap() Table {
+	measure := func(noOverlap bool) time.Duration {
+		e, o := bootFresh(core.K2Mode)
+		o.Sched.NoSuspendOverlap = noOverlap
+		pr := o.SpawnProcess("app")
+		pr.Spawn(sched.NightWatch, "w", func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			for i := 0; i < 10000; i++ {
+				th.Exec(soc.Work(5 * time.Microsecond))
+				th.SleepIdle(100 * time.Microsecond)
+			}
+		})
+		// A prior occupant so schedule-in includes a context switch.
+		warm := o.SpawnProcess("warm")
+		warm.Spawn(sched.Normal, "x", func(th *sched.Thread) {
+			th.Exec(soc.Work(100 * time.Microsecond))
+		})
+		warm.Spawn(sched.Normal, "x2", func(th *sched.Thread) {
+			th.Exec(soc.Work(100 * time.Microsecond))
+		})
+		var latency time.Duration
+		e.At(sim.Time(10*time.Millisecond), func() {
+			spawned := e.Now()
+			pr.Spawn(sched.Normal, "n", func(th *sched.Thread) {
+				th.Exec(soc.Work(time.Microsecond))
+				latency = th.P().Now().Sub(spawned) - time.Microsecond
+			})
+		})
+		if err := e.Run(sim.Time(time.Second)); err != nil {
+			panic(err)
+		}
+		return latency
+	}
+	with := measure(false)
+	without := measure(true)
+	us := func(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3) }
+	return Table{
+		ID:     "Ablation §8",
+		Title:  "overlapping the SuspendNW ack with the context switch (normal-thread schedule-in, µs)",
+		Header: []string{"configuration", "schedule-in latency", "overhead vs context switch"},
+		Rows: [][]string{
+			{"overlapped (K2)", us(with), us(with - 3500*time.Nanosecond)},
+			{"sequential", us(without), us(without - 3500*time.Nanosecond)},
+		},
+		Notes: []string{
+			"a message round trip is ~5 µs and a context switch 3-4 µs, so overlapping leaves only 1-2 µs of exposed latency (§8)",
+		},
+	}
+}

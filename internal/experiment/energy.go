@@ -1,0 +1,178 @@
+package experiment
+
+import (
+	"fmt"
+
+	"k2/internal/core"
+	"k2/internal/power"
+	"k2/internal/soc"
+	"k2/internal/workload"
+)
+
+// energyPoint measures one (K2, Linux) pair of episodes for a workload
+// factory and returns both results. As in §9.2, the platform favors Linux:
+// the strong core is fixed at 350 MHz, its most efficient operating point,
+// while the weak core runs at 200 MHz, its least efficient one.
+func energyPoint(mk func(o *core.OS) workload.Task) (k2, linux workload.Result) {
+	cfg := soc.DefaultConfig()
+	cfg.StrongFreqMHz = 350
+	at350 := func(op *core.Options) { op.SoC = &cfg }
+
+	e, o := bootFresh(core.K2Mode, at350)
+	res, err := workload.MeasureEpisode(e, o, mk(o))
+	if err != nil {
+		panic(err)
+	}
+	k2 = res
+	e, o = bootFresh(core.LinuxMode, at350)
+	res, err = workload.MeasureEpisode(e, o, mk(o))
+	if err != nil {
+		panic(err)
+	}
+	linux = res
+	return k2, linux
+}
+
+type sweepPoint struct {
+	label string
+	mk    func(o *core.OS) workload.Task
+}
+
+func energyTable(id, title, unit string, points []sweepPoint, paperClaim string) Table {
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{unit, "Linux (MB/J)", "K2 (MB/J)", "K2/Linux", "K2 peak thr. (%% of Linux)"},
+	}
+	t.Header[4] = "K2 thr. (% of Linux)"
+	for _, pt := range points {
+		k2, linux := energyPoint(pt.mk)
+		ratio := k2.EfficiencyMBJ() / linux.EfficiencyMBJ()
+		thr := k2.ThroughputMBs() / linux.ThroughputMBs() * 100
+		t.Rows = append(t.Rows, []string{
+			pt.label,
+			f2(linux.EfficiencyMBJ()),
+			f2(k2.EfficiencyMBJ()),
+			fx(ratio),
+			f1(thr),
+		})
+	}
+	t.Notes = append(t.Notes, paperClaim)
+	t.Notes = append(t.Notes,
+		"episode = wake, run at full speed, idle until the 5 s inactive timeout (§9.2)")
+	return t
+}
+
+// Figure6a reproduces the DMA energy-efficiency benchmark: each run invokes
+// the DMA driver for memory-to-memory transfers of BatchSize bytes until
+// TotalSize bytes are copied.
+func Figure6a() Table {
+	type bt struct{ batch, total int64 }
+	var points []sweepPoint
+	for _, c := range []bt{
+		{4 << 10, 64 << 10},
+		{4 << 10, 256 << 10},
+		{64 << 10, 256 << 10},
+		{64 << 10, 1 << 20},
+		{256 << 10, 1 << 20},
+		{1 << 20, 16 << 20},
+	} {
+		c := c
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("(%s,%s)", sz(c.batch), sz(c.total)),
+			mk:    func(o *core.OS) workload.Task { return workload.DMA(o, c.batch, c.total) },
+		})
+	}
+	return energyTable("Figure 6(a)", "DMA driver energy efficiency",
+		"(BatchSize,TotalSize)", points,
+		"paper: K2 improves DMA energy efficiency by up to 9x; advantage grows as transfers get more IO-bound")
+}
+
+// Figure6b reproduces the ext2 benchmark: a NightWatch thread operates on
+// eight files sequentially — create, write, close — with write sizes
+// representing emails (1 KB), pictures (256 KB) and short videos (1 MB).
+func Figure6b() Table {
+	var points []sweepPoint
+	for _, size := range []int{1 << 10, 256 << 10, 1 << 20} {
+		size := size
+		points = append(points, sweepPoint{
+			label: sz(int64(size)),
+			mk:    func(o *core.OS) workload.Task { return workload.Ext2(o, size, 8) },
+		})
+	}
+	return energyTable("Figure 6(b)", "ext2 energy efficiency (8 files per run, ramdisk)",
+		"Single file size", points,
+		"paper: K2 improves ext2 energy efficiency by up to 8x")
+}
+
+// Figure6c reproduces the UDP loopback benchmark: write TotalSize bytes
+// through a socket pair, recreating the sockets every BatchSize bytes.
+func Figure6c() Table {
+	type bt struct{ batch, total int64 }
+	var points []sweepPoint
+	for _, c := range []bt{
+		{1 << 10, 4 << 10},
+		{1 << 10, 64 << 10},
+		{32 << 10, 256 << 10},
+		{256 << 10, 1 << 20},
+	} {
+		c := c
+		points = append(points, sweepPoint{
+			label: fmt.Sprintf("(%s,%s)", sz(c.batch), sz(c.total)),
+			mk:    func(o *core.OS) workload.Task { return workload.UDP(o, c.batch, c.total) },
+		})
+	}
+	return energyTable("Figure 6(c)", "UDP loopback energy efficiency",
+		"(BatchSize,TotalSize)", points,
+		"paper: K2 improves UDP loopback energy efficiency by up to 10x; smaller totals favor K2 more")
+}
+
+// StandbyEstimate reproduces §9.2's device standby projection ("K2 will
+// extend the reported device standby time by 59%, from 5.9 days to 9.4
+// days"): a daily mix of background light tasks — continuous context
+// sensing plus periodic cloud sync — over a device base floor, using the
+// measured per-episode energies.
+func StandbyEstimate() Table {
+	battery := power.Battery{CapacityJ: 23400} // ~6.5 Wh, 2013-era phone
+	const (
+		baseFloorMW  = 24.0 // radios, RAM self-refresh, PMIC
+		sensePeriodS = 6.0  // context awareness episode period
+		syncPeriodS  = 600.0
+	)
+	senseK2, senseLinux := energyPoint(func(o *core.OS) workload.Task {
+		return workload.DMA(o, 4<<10, 32<<10)
+	})
+	syncK2, syncLinux := energyPoint(func(o *core.OS) workload.Task {
+		return workload.Ext2(o, 64<<10, 4)
+	})
+	avg := func(sense, sync workload.Result) float64 {
+		return baseFloorMW + sense.EnergyJ/sensePeriodS*1e3 + sync.EnergyJ/syncPeriodS*1e3
+	}
+	linuxMW := avg(senseLinux, syncLinux)
+	k2MW := avg(senseK2, syncK2)
+	linuxDays := battery.StandbyDays(linuxMW)
+	k2Days := battery.StandbyDays(k2MW)
+	return Table{
+		ID:     "Standby estimate (§9.2)",
+		Title:  "projected device standby with background light tasks",
+		Header: []string{"OS", "avg drain (mW)", "standby (days)", "paper (days)"},
+		Rows: [][]string{
+			{"Linux", f1(linuxMW), f1(linuxDays), "5.9"},
+			{"K2", f1(k2MW), f1(k2Days), "9.4"},
+			{"extension", "", fmt.Sprintf("+%.0f%%", (k2Days/linuxDays-1)*100), "+59%"},
+		},
+		Notes: []string{
+			fmt.Sprintf("mix: context sensing every %.0fs (DMA 4Kx8), cloud sync every %.0fs (ext2 4x64K); base floor %.0f mW",
+				sensePeriodS, syncPeriodS, baseFloorMW),
+		},
+	}
+}
+
+// EnergyShape is used by tests: it returns the K2/Linux efficiency ratio
+// for a small DMA light task.
+func EnergyShape() float64 {
+	k2, linux := energyPoint(func(o *core.OS) workload.Task {
+		return workload.DMA(o, 16<<10, 128<<10)
+	})
+	return k2.EfficiencyMBJ() / linux.EfficiencyMBJ()
+}

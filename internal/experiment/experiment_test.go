@@ -1,0 +1,279 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func num(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	s := tab.Rows[row][col]
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell [%d][%d] = %q not numeric: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n"},
+	}
+	out := tab.String()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3MatchesPaperExactly(t *testing.T) {
+	tab := Table3()
+	checks := []struct {
+		row, col int
+		want     float64
+	}{
+		{0, 1, 21.1}, {0, 3, 3.8},
+		{1, 1, 79.8}, {1, 3, 25.2},
+		{2, 1, 672},
+	}
+	for _, c := range checks {
+		if got := num(t, tab, c.row, c.col); got != c.want {
+			t.Errorf("Table3[%d][%d] = %v, want %v", c.row, c.col, got, c.want)
+		}
+	}
+}
+
+func TestTable4WithinPaperBand(t *testing.T) {
+	tab := Table4()
+	// Columns: size, main, paper, shadow, paper. Every measured value must
+	// be within 35% of the paper's.
+	for r := range tab.Rows {
+		for _, pair := range [][2]int{{1, 2}, {3, 4}} {
+			got := num(t, tab, r, pair[0])
+			want := num(t, tab, r, pair[1])
+			if got < want*0.65 || got > want*1.35 {
+				t.Errorf("Table4 row %q: measured %v vs paper %v (>35%% off)",
+					tab.Rows[r][0], got, want)
+			}
+		}
+	}
+}
+
+func TestTable5WithinPaperBand(t *testing.T) {
+	tab := Table5()
+	// Total row: main ~52, shadow ~48 (±25%).
+	last := len(tab.Rows) - 1
+	if got := num(t, tab, last, 1); got < 39 || got > 65 {
+		t.Errorf("main-sender total = %v µs, want ~52", got)
+	}
+	if got := num(t, tab, last, 3); got < 36 || got > 60 {
+		t.Errorf("shadow-sender total = %v µs, want ~48", got)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	tab := Table6()
+	// Row 0 is the 4K batch: shadow starved (< 1 MB/s), main within 8% of
+	// Linux.
+	linux4K := num(t, tab, 0, 1)
+	main4K := num(t, tab, 0, 4)
+	shadow4K := num(t, tab, 0, 5)
+	if shadow4K > 1.0 {
+		t.Errorf("4K shadow throughput = %v MB/s, want starved (<1)", shadow4K)
+	}
+	if main4K < linux4K*0.92 {
+		t.Errorf("4K main throughput = %v vs linux %v, want within 8%%", main4K, linux4K)
+	}
+	// IO-bound rows: both kernels healthy, main/shadow split ~2.4:1, total
+	// within ±8% of Linux.
+	for r := 1; r < len(tab.Rows); r++ {
+		linux := num(t, tab, r, 1)
+		total := num(t, tab, r, 2)
+		main := num(t, tab, r, 4)
+		shadow := num(t, tab, r, 5)
+		if shadow < 8 {
+			t.Errorf("row %s: shadow = %v MB/s, want > 8", tab.Rows[r][0], shadow)
+		}
+		split := main / shadow
+		if split < 1.8 || split > 3.2 {
+			t.Errorf("row %s: main/shadow = %.2f, want ~2.4", tab.Rows[r][0], split)
+		}
+		if total < linux*0.92 || total > linux*1.08 {
+			t.Errorf("row %s: K2 total %v vs Linux %v, want within 8%%", tab.Rows[r][0], total, linux)
+		}
+	}
+}
+
+func TestEnergyShapeK2Wins(t *testing.T) {
+	ratio := EnergyShape()
+	if ratio < 4 || ratio > 12 {
+		t.Fatalf("K2/Linux efficiency = %.2fx, want the paper's severalfold band", ratio)
+	}
+}
+
+func TestStandbyExtension(t *testing.T) {
+	tab := StandbyEstimate()
+	linuxDays := num(t, tab, 0, 2)
+	k2Days := num(t, tab, 1, 2)
+	if k2Days <= linuxDays {
+		t.Fatalf("K2 standby %v days <= Linux %v days", k2Days, linuxDays)
+	}
+	ext := k2Days/linuxDays - 1
+	if ext < 0.3 || ext > 1.2 {
+		t.Fatalf("standby extension = %.0f%%, want the paper's +59%% band", ext*100)
+	}
+}
+
+func TestAblationSharedAllocatorSlowdown(t *testing.T) {
+	tab := AblationSharedAllocator()
+	faults := num(t, tab, 2, 1)
+	slowdown := num(t, tab, 3, 1)
+	if faults < 4 || faults > 5.5 {
+		t.Errorf("faults per alloc = %v, paper says 4-5", faults)
+	}
+	if slowdown < 100 || slowdown > 600 {
+		t.Errorf("slowdown = %vx, paper says ~200x", slowdown)
+	}
+}
+
+func TestAblationThreeStateShape(t *testing.T) {
+	tab := AblationThreeState()
+	// Single-writer column: two-state must beat three-state-on-OMAP4.
+	two := num(t, tab, 0, 1)
+	omap := num(t, tab, 1, 1)
+	capable := num(t, tab, 2, 1)
+	if two >= omap {
+		t.Errorf("single writer: two-state %v >= three-state-OMAP4 %v; K2's choice unjustified", two, omap)
+	}
+	if capable > two*1.2 {
+		t.Errorf("single writer: capable-MMU three-state %v should match two-state %v", capable, two)
+	}
+	// Concurrent readers: the capable MMU must crush two-state's ping-pong.
+	twoConc := num(t, tab, 0, 3)
+	capableConc := num(t, tab, 2, 3)
+	if capableConc*5 > twoConc {
+		t.Errorf("concurrent readers: capable three-state %v not clearly better than two-state %v",
+			capableConc, twoConc)
+	}
+}
+
+func TestAblationInactiveClaimLoadBearing(t *testing.T) {
+	tab := AblationInactiveClaim()
+	withEff := num(t, tab, 0, 2)
+	withoutEff := num(t, tab, 1, 2)
+	if withEff < withoutEff*3 {
+		t.Fatalf("claim path gains only %vx (%v vs %v MB/J); it should be load-bearing",
+			withEff/withoutEff, withEff, withoutEff)
+	}
+	if wakes := num(t, tab, 0, 3); wakes != 0 {
+		t.Fatalf("with the claim path the strong domain woke %v times", wakes)
+	}
+	if wakes := num(t, tab, 1, 3); wakes == 0 {
+		t.Fatal("without the claim path the strong domain should have woken")
+	}
+}
+
+func TestAblationPlacementPolicyHelps(t *testing.T) {
+	tab := AblationPlacementPolicy()
+	withPol := num(t, tab, 0, 1)
+	withoutPol := num(t, tab, 1, 1)
+	if withPol <= withoutPol {
+		t.Fatalf("frontier placement leaves %v reclaimable blocks vs vanilla %v; policy ineffective",
+			withPol, withoutPol)
+	}
+}
+
+func TestAblationSuspendOverlapSavesMicroseconds(t *testing.T) {
+	tab := AblationSuspendOverlap()
+	with := num(t, tab, 0, 2)
+	without := num(t, tab, 1, 2)
+	if with < 0.5 || with > 2.5 {
+		t.Errorf("overlapped overhead = %v µs, want the paper's 1-2 µs", with)
+	}
+	if without < with+2 {
+		t.Errorf("sequential overhead %v µs not clearly worse than overlapped %v µs", without, with)
+	}
+}
+
+func TestStandbyTimelineAgreesWithEstimate(t *testing.T) {
+	// The simulated-timeline measurement must agree with the per-episode
+	// extrapolation within 15%.
+	est := StandbyEstimate()
+	tl := StandbyTimeline()
+	for row := 0; row < 2; row++ {
+		a := num(t, est, row, 1)
+		b := num(t, tl, row, 1)
+		if b < a*0.85 || b > a*1.15 {
+			t.Errorf("row %s: timeline %v mW vs estimate %v mW", est.Rows[row][0], b, a)
+		}
+	}
+}
+
+func TestTimeoutSensitivityMonotone(t *testing.T) {
+	tab := TimeoutSensitivity()
+	// Absolute efficiencies fall as the timeout grows (longer tails)...
+	for r := 1; r < len(tab.Rows); r++ {
+		if num(t, tab, r, 2) >= num(t, tab, r-1, 2) {
+			t.Errorf("K2 efficiency not decreasing with timeout at row %d", r)
+		}
+	}
+	// ...while the K2/Linux ratio stays in the idle-power-ratio band.
+	for r := range tab.Rows {
+		ratio := num(t, tab, r, 3)
+		if ratio < 5 || ratio > 7.5 {
+			t.Errorf("row %d ratio = %v, want near 6.6x", r, ratio)
+		}
+	}
+}
+
+func TestDayInLifeSmallerButPositiveGain(t *testing.T) {
+	day := DayInLife()
+	standby := StandbyEstimate()
+	dayExt := num(t, day, 2, 2)
+	standbyExt := num(t, standby, 2, 2)
+	if dayExt <= 5 {
+		t.Fatalf("day-in-life extension = %v%%, want positive", dayExt)
+	}
+	if dayExt >= standbyExt {
+		t.Fatalf("day-in-life extension (%v%%) should be smaller than standby-only (%v%%): foreground costs are common to both OSes",
+			dayExt, standbyExt)
+	}
+}
+
+func TestFigure1MonotoneTrend(t *testing.T) {
+	tab := Figure1()
+	// Along the DVFS rows, power decreases with performance.
+	for r := 1; r < 4; r++ {
+		if num(t, tab, r, 3) >= num(t, tab, r-1, 3) {
+			t.Errorf("DVFS power not decreasing at row %d", r)
+		}
+	}
+	// The multi-domain point has the lowest idle power of all rows.
+	last := len(tab.Rows) - 1
+	m3Idle := num(t, tab, last, 4)
+	for r := 0; r < last; r++ {
+		if num(t, tab, r, 4) <= m3Idle {
+			t.Errorf("row %d idle power %v <= M3 idle %v", r, num(t, tab, r, 4), m3Idle)
+		}
+	}
+}
+
+func TestTable2ShadowedDominates(t *testing.T) {
+	tab := Table2()
+	var counts = map[string]float64{}
+	for r := range tab.Rows {
+		counts[tab.Rows[r][0]] = num(t, tab, r, 1)
+	}
+	if counts["shadowed"] < counts["independent"] || counts["shadowed"] < counts["private"] {
+		t.Fatalf("shadowed must be the largest class: %v", counts)
+	}
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV emits the table as CSV: a header row, then data rows. Notes
+// become trailing comment-style rows prefixed with "#".
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table with a
+// heading, suitable for pasting into EXPERIMENTS.md.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	b.WriteString("|")
+	for _, h := range t.Header {
+		b.WriteString(" " + esc(h) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Header {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		b.WriteString("|")
+		for i := range t.Header {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			b.WriteString(" " + esc(cell) + " |")
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}

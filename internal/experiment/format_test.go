@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoTable() Table {
+	return Table{
+		ID:     "Demo",
+		Title:  "pipes | and commas, everywhere",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1,5", "x|y"}, {"2", ""}},
+		Notes:  []string{"remember"},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := demoTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `"1,5",x|y` {
+		t.Fatalf("row = %q (comma not quoted?)", lines[1])
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "# remember") {
+		t.Fatalf("note missing: %q", lines[len(lines)-1])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := demoTable().Markdown()
+	for _, want := range []string{
+		"### Demo:",
+		"| a | b |",
+		"|---|---|",
+		`x\|y`, // pipe escaped
+		"> remember",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// A short row must still render all header columns.
+	if !strings.Contains(out, "| 2 |  |") {
+		t.Fatalf("short row not padded:\n%s", out)
+	}
+}
+
+func TestMarkdownOnRealTable(t *testing.T) {
+	out := Table1().Markdown()
+	if !strings.Contains(out, "Cortex-A9") || !strings.Contains(out, "Thumb-2") {
+		t.Fatal("real table lost content in markdown")
+	}
+}

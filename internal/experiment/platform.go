@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"k2/internal/core"
+	"k2/internal/services"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Table1 echoes the platform configuration (the paper's Table 1:
+// heterogeneous cores in the two coherence domains of OMAP4).
+func Table1() Table {
+	cfg := soc.DefaultConfig()
+	return Table{
+		ID:     "Table 1",
+		Title:  "heterogeneous cores in the two coherence domains",
+		Header: []string{"", "Cortex-A9 (strong)", "Cortex-M3 (weak)"},
+		Rows: [][]string{
+			{"ISA", "ARM", "Thumb-2"},
+			{"Freq.", "350-1200 MHz", "100-200 MHz"},
+			{"Cores", fmt.Sprintf("%d", cfg.StrongCores), fmt.Sprintf("%d (1 used by K2)", cfg.StrongCores)},
+			{"Rel. speed @min/max", fmt.Sprintf("%.2f / %.2f", soc.Speed(soc.CortexA9, 350), soc.Speed(soc.CortexA9, 1200)),
+				fmt.Sprintf("%.3f / %.3f", soc.Speed(soc.CortexM3, 100), soc.Speed(soc.CortexM3, 200))},
+			{"MMU", "one ARM v7-A", "two cascaded (no cheap R/W split)"},
+		},
+		Notes: []string{"simulated platform; see internal/soc/omap4.go for all constants"},
+	}
+}
+
+// Table2 is the refactoring-effort analog: the paper reports changed/added
+// SLoC over Linux 3.4; this reproduction reports its service classification
+// (the refactoring decisions of §5.3). Module SLoC are recorded in
+// EXPERIMENTS.md.
+func Table2() Table {
+	_, o := bootFresh(core.K2Mode)
+	reg := o.Registry
+	t := Table{
+		ID:     "Table 2 (analog)",
+		Title:  "service classification under the shared-most model (§5.3)",
+		Header: []string{"class", "count", "services"},
+	}
+	for _, cl := range []services.Class{services.Private, services.Independent, services.Shadowed} {
+		names := reg.Names(func(c services.Class) bool { return c == cl })
+		t.Rows = append(t.Rows, []string{
+			cl.String(), fmt.Sprintf("%d", len(names)), strings.Join(names, ", ")})
+	}
+	t.Notes = append(t.Notes,
+		"shadowed is the largest category, mirroring the paper's reuse of most of the Linux source",
+		"per-module SLoC of this reproduction are recorded in EXPERIMENTS.md")
+	return t
+}
+
+// measureRail measures the average rail power (mW) of a domain over a
+// driven scenario.
+func measureRail(strongMHz int, dom soc.DomainID, scenario func(e *sim.Engine, s *soc.SoC)) float64 {
+	e := sim.NewEngine()
+	cfg := soc.DefaultConfig()
+	cfg.StrongFreqMHz = strongMHz
+	s := soc.New(e, cfg)
+	scenario(e, s)
+	window := time.Second
+	start := s.Domains[dom].Rail.EnergyJ()
+	if err := e.Run(sim.Time(window)); err != nil {
+		panic(err)
+	}
+	return (s.Domains[dom].Rail.EnergyJ() - start) / window.Seconds() * 1e3
+}
+
+// Table3 measures the rail power of each core state, which must land on
+// the paper's Table 3 (the power model is validated end to end through the
+// simulation, not just echoed).
+func Table3() Table {
+	busy := func(dom soc.DomainID) func(e *sim.Engine, s *soc.SoC) {
+		return func(e *sim.Engine, s *soc.SoC) {
+			e.Spawn("busy", func(p *sim.Proc) {
+				s.Core(dom, 0).Exec(p, soc.Work(time.Hour))
+			})
+		}
+	}
+	idle := func(e *sim.Engine, s *soc.SoC) {} // awake, nothing running
+	m3a := measureRail(1200, soc.Weak, busy(soc.Weak))
+	m3i := measureRail(1200, soc.Weak, idle)
+	a9a350 := measureRail(350, soc.Strong, busy(soc.Strong))
+	a9i := measureRail(350, soc.Strong, idle)
+	a9a1200 := measureRail(1200, soc.Strong, busy(soc.Strong))
+	return Table{
+		ID:     "Table 3",
+		Title:  "power of the heterogeneous OMAP4 cores (measured on the simulated rails, mW)",
+		Header: []string{"core", "active", "paper", "idle", "paper"},
+		Rows: [][]string{
+			{"Cortex-M3 (200MHz)", f1(m3a), "21.1", f1(m3i), "3.8"},
+			{"Cortex-A9 (350MHz)", f1(a9a350), "79.8", f1(a9i), "25.2"},
+			{"Cortex-A9 (1200MHz)", f1(a9a1200), "672", f1(a9i), "25.2"},
+		},
+		Notes: []string{"both domains draw <0.1 mW when inactive (modelled as 0.05 mW)"},
+	}
+}
+
+// Figure1 regenerates the mobile-SoC trend plot (§2.2): performance/power
+// points for DVFS on a strong core, coherent heterogeneity (a hypothetical
+// big.LITTLE little core, bounded by the ~6x intra-domain asymmetry limit)
+// and incoherent heterogeneity (the weak-domain core, up to ~20x).
+func Figure1() Table {
+	t := Table{
+		ID:     "Figure 1",
+		Title:  "trend in mobile SoC architectures (relative performance vs power, log-log)",
+		Header: []string{"series", "point", "perf (rel)", "active mW", "idle mW"},
+	}
+	for _, f := range []int{1200, 920, 600, 350} {
+		t.Rows = append(t.Rows, []string{"DVFS (A9)", fmt.Sprintf("%dMHz", f),
+			fmt.Sprintf("%.3f", soc.Speed(soc.CortexA9, f)),
+			f1(float64(soc.A9ActivePowerMW(f))), f1(float64(soc.A9IdlePowerMW()))})
+	}
+	// Coherent heterogeneity: a little core sharing the strong domain; the
+	// unified coherence fabric limits its minimum power to ~1/6 of the big
+	// core (§2.2).
+	t.Rows = append(t.Rows, []string{"big.LITTLE (coherent)", "little",
+		"0.150", f1(float64(soc.A9ActivePowerMW(350)) / 6), f1(float64(soc.A9IdlePowerMW()) / 6)})
+	// Incoherent heterogeneity: the weak domain.
+	t.Rows = append(t.Rows, []string{"multi-domain (incoherent)", "M3@200MHz",
+		fmt.Sprintf("%.3f", soc.Speed(soc.CortexM3, 200)),
+		f1(float64(soc.M3ActivePowerMW())), f1(float64(soc.M3IdlePowerMW()))})
+	t.Notes = append(t.Notes,
+		"absence of cross-domain coherence lets the weak core's idle power drop 6.6x below the strong core's")
+	return t
+}

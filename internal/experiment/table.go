@@ -1,0 +1,117 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (§9): each experiment boots fresh systems (K2 and the Linux
+// baseline), drives the workloads, and renders a text table next to the
+// paper's reported values. See DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for recorded results.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"k2/internal/core"
+	"k2/internal/sim"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID     string // e.g. "Table 4", "Figure 6(a)"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// bootFresh boots an OS of the given mode on a new engine.
+func bootFresh(mode core.Mode, opts ...func(*core.Options)) (*sim.Engine, *core.OS) {
+	e := sim.NewEngine()
+	o := core.Options{Mode: mode}
+	for _, f := range opts {
+		f(&o)
+	}
+	os, err := core.Boot(e, o)
+	if err != nil {
+		panic(err)
+	}
+	return e, os
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func fx(v float64) string { return fmt.Sprintf("%.1fx", v) }
+func sz(bytes int64) string {
+	switch {
+	case bytes >= 1<<20 && bytes%(1<<20) == 0:
+		return fmt.Sprintf("%dM", bytes>>20)
+	case bytes >= 1<<10 && bytes%(1<<10) == 0:
+		return fmt.Sprintf("%dK", bytes>>10)
+	default:
+		return fmt.Sprintf("%d", bytes)
+	}
+}
+
+// All runs every experiment in the reproduction, in paper order.
+func All() []Table {
+	return []Table{
+		Table1(),
+		Figure1(),
+		Table2(),
+		Table3(),
+		Figure6a(),
+		Figure6b(),
+		Figure6c(),
+		StandbyEstimate(),
+		StandbyTimeline(),
+		TimeoutSensitivity(),
+		DayInLife(),
+		Table4(),
+		Table5(),
+		Table6(),
+		AblationSharedAllocator(),
+		AblationThreeState(),
+		AblationInactiveClaim(),
+		AblationPlacementPolicy(),
+		AblationSuspendOverlap(),
+	}
+}

@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/core"
+	"k2/internal/power"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/workload"
+)
+
+// timelineAvgMW boots one OS and simulates a stretch of real usage — a
+// context-sensing task firing every sensePeriod and a cloud sync every
+// syncPeriod — then returns the measured average drain in mW, with the
+// device base floor added. Unlike the per-episode arithmetic of
+// StandbyEstimate, consecutive episodes here interact naturally (domains
+// may not reach the inactive state between close episodes).
+func timelineAvgMW(mode core.Mode, hours float64, sensePeriod, syncPeriod time.Duration, baseMW float64) float64 {
+	e := sim.NewEngine()
+	cfg := soc.DefaultConfig()
+	cfg.StrongFreqMHz = 350
+	o, err := core.Boot(e, core.Options{Mode: mode, SoC: &cfg})
+	if err != nil {
+		panic(err)
+	}
+	span := time.Duration(hours * float64(time.Hour))
+
+	pr := o.SpawnProcess("daily")
+	pr.Spawn(sched.NightWatch, "sense", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		task := workload.DMA(o, 4<<10, 32<<10)
+		for i := 0; th.P().Now() < sim.Time(span); i++ {
+			task(th, i)
+			th.SleepIdle(sensePeriod)
+		}
+	})
+	pr2 := o.SpawnProcess("sync")
+	pr2.Spawn(sched.NightWatch, "sync", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		task := workload.Ext2(o, 64<<10, 4)
+		for i := 0; th.P().Now() < sim.Time(span); i++ {
+			th.SleepIdle(syncPeriod)
+			task(th, i)
+		}
+	})
+
+	// Measure from a settled point to the end of the span.
+	measStart := sim.Time(time.Minute)
+	var avgMW float64
+	e.Spawn("meter", func(p *sim.Proc) {
+		p.Sleep(time.Duration(measStart))
+		o.MeterReset()
+		p.Sleep(span - time.Duration(measStart))
+		avgMW = o.EnergyJ() / (span - time.Duration(measStart)).Seconds() * 1e3
+		e.Stop()
+	})
+	if err := e.Run(sim.Time(span) + sim.Time(time.Minute)); err != nil {
+		panic(err)
+	}
+	return avgMW + baseMW
+}
+
+// StandbyTimeline is the simulated-timeline variant of the §9.2 standby
+// estimate: instead of extrapolating from isolated episodes, it runs half a
+// simulated hour of the background mix on each OS and measures the rails.
+func StandbyTimeline() Table {
+	battery := power.Battery{CapacityJ: 23400}
+	const (
+		hours  = 0.5
+		baseMW = 24.0
+	)
+	sense, sync := 6*time.Second, 10*time.Minute
+	linuxMW := timelineAvgMW(core.LinuxMode, hours, sense, sync, baseMW)
+	k2MW := timelineAvgMW(core.K2Mode, hours, sense, sync, baseMW)
+	linuxDays := battery.StandbyDays(linuxMW)
+	k2Days := battery.StandbyDays(k2MW)
+	return Table{
+		ID:     "Standby timeline (§9.2)",
+		Title:  fmt.Sprintf("measured over %.1f simulated hours of background usage", hours),
+		Header: []string{"OS", "avg drain (mW)", "standby (days)", "paper (days)"},
+		Rows: [][]string{
+			{"Linux", f1(linuxMW), f1(linuxDays), "5.9"},
+			{"K2", f1(k2MW), f1(k2Days), "9.4"},
+			{"extension", "", fmt.Sprintf("+%.0f%%", (k2Days/linuxDays-1)*100), "+59%"},
+		},
+		Notes: []string{
+			"unlike the per-episode estimate, close episodes here overlap their idle tails, which is why Linux's average drain is a bit lower than the extrapolation",
+		},
+	}
+}
+
+// dayAvgMW simulates a stretch of a full day: short interactive foreground
+// sessions (normal threads bursting on the strong domain at its top
+// frequency) over the continuous background mix.
+func dayAvgMW(mode core.Mode, span time.Duration, baseMW float64) float64 {
+	e := sim.NewEngine()
+	o, err := core.Boot(e, core.Options{Mode: mode}) // 1200 MHz: interactive
+	if err != nil {
+		panic(err)
+	}
+	// Background: sensing every 6 s.
+	bg := o.SpawnProcess("background")
+	bg.Spawn(sched.NightWatch, "sense", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		task := workload.DMA(o, 4<<10, 32<<10)
+		for i := 0; th.P().Now() < sim.Time(span); i++ {
+			task(th, i)
+			th.SleepIdle(6 * time.Second)
+		}
+	})
+	// Foreground: a 20 s interactive session every 3 minutes — render
+	// bursts with user think time between them.
+	fg := o.SpawnProcess("foreground")
+	fg.Spawn(sched.Normal, "ui", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		for th.P().Now() < sim.Time(span) {
+			th.SleepIdle(3 * time.Minute)
+			for burst := 0; burst < 20; burst++ {
+				th.Exec(soc.Work(120 * time.Millisecond)) // frame work
+				th.SleepIdle(880 * time.Millisecond)      // think time
+			}
+		}
+	})
+	var avgMW float64
+	e.Spawn("meter", func(p *sim.Proc) {
+		p.Sleep(time.Minute)
+		o.MeterReset()
+		p.Sleep(span - time.Minute)
+		avgMW = o.EnergyJ() / (span - time.Minute).Seconds() * 1e3
+		e.Stop()
+	})
+	if err := e.Run(sim.Time(span) + sim.Time(time.Minute)); err != nil {
+		panic(err)
+	}
+	return avgMW + baseMW
+}
+
+// DayInLife puts the standby gains in context: with interactive foreground
+// sessions in the mix, the strong domain's render bursts dominate energy on
+// both OSes, so K2's whole-day battery extension is smaller than its
+// standby-only extension — the honest framing of §2.1: K2 targets the light
+// tasks, not the demanding ones (which it must merely not slow down).
+func DayInLife() Table {
+	battery := power.Battery{CapacityJ: 23400}
+	const baseMW = 24.0
+	span := 20 * time.Minute
+	linuxMW := dayAvgMW(core.LinuxMode, span, baseMW)
+	k2MW := dayAvgMW(core.K2Mode, span, baseMW)
+	return Table{
+		ID:     "Day-in-life",
+		Title:  "mixed foreground + background usage (strong domain at 1200 MHz for interaction)",
+		Header: []string{"OS", "avg drain (mW)", "battery (days)"},
+		Rows: [][]string{
+			{"Linux", f1(linuxMW), f1(battery.StandbyDays(linuxMW))},
+			{"K2", f1(k2MW), f1(battery.StandbyDays(k2MW))},
+			{"extension", "", fmt.Sprintf("+%.0f%%", (battery.StandbyDays(k2MW)/battery.StandbyDays(linuxMW)-1)*100)},
+		},
+		Notes: []string{
+			"interactive render bursts cost the same on both OSes (goal 3: preserve peak performance); K2's gain comes entirely from the background share",
+		},
+	}
+}
+
+// TimeoutSensitivity sweeps the core inactive timeout (the paper fixes it
+// at 5 s following [41]) and reports how the K2/Linux energy ratio for a
+// light task depends on it: the longer a strong core must idle before
+// suspending, the more K2's weak-domain execution saves.
+func TimeoutSensitivity() Table {
+	t := Table{
+		ID:     "Sensitivity",
+		Title:  "K2/Linux energy-efficiency ratio vs core inactive timeout (DMA 16Kx8 episode)",
+		Header: []string{"inactive timeout", "Linux (MB/J)", "K2 (MB/J)", "K2/Linux"},
+	}
+	for _, timeout := range []time.Duration{time.Second, 5 * time.Second, 10 * time.Second} {
+		cfg := soc.DefaultConfig()
+		cfg.StrongFreqMHz = 350
+		cfg.InactiveTimeout = timeout
+		run := func(mode core.Mode) workload.Result {
+			e, o := bootFresh(mode, func(op *core.Options) { op.SoC = &cfg })
+			res, err := workload.MeasureEpisode(e, o, workload.DMA(o, 16<<10, 128<<10))
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}
+		k2 := run(core.K2Mode)
+		linux := run(core.LinuxMode)
+		t.Rows = append(t.Rows, []string{
+			timeout.String(),
+			f2(linux.EfficiencyMBJ()),
+			f2(k2.EfficiencyMBJ()),
+			fx(k2.EfficiencyMBJ() / linux.EfficiencyMBJ()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the ratio is bounded by the idle-power ratio (25.2/3.8 = 6.6x) and approaches it as the idle tail dominates the episode")
+	return t
+}

@@ -1,0 +1,209 @@
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"k2/internal/sched"
+)
+
+// FileInfo is the result of Stat.
+type FileInfo struct {
+	Inode  uint32
+	Size   int
+	IsDir  bool
+	Blocks int // data blocks allocated (excluding the indirect block)
+}
+
+// Stat returns metadata for the file or directory at path.
+func (f *FileSystem) Stat(t *sched.Thread, path string) (FileInfo, error) {
+	f.lock(t)
+	defer f.unlock(t)
+	t.Exec(f.Costs.PerOp)
+	f.touch(t, stateInodes, false)
+	comps, err := splitPath(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	ino := uint32(rootInode)
+	for _, c := range comps {
+		t.Exec(f.Costs.Lookup)
+		next, ok, err := f.lookupDir(t, ino, c)
+		if err != nil {
+			return FileInfo{}, err
+		}
+		if !ok {
+			return FileInfo{}, fmt.Errorf("fs: %q: no such file or directory", path)
+		}
+		ino = next
+	}
+	var in inode
+	if err := f.readInode(t, ino, &in); err != nil {
+		return FileInfo{}, err
+	}
+	blocks := 0
+	n := (int(in.Size) + f.bs - 1) / f.bs
+	for i := 0; i < n; i++ {
+		b, err := f.blockOf(t, &in, i, false)
+		if err != nil {
+			return FileInfo{}, err
+		}
+		if b != 0 {
+			blocks++
+		}
+	}
+	return FileInfo{Inode: ino, Size: int(in.Size), IsDir: in.Mode == modeDir, Blocks: blocks}, nil
+}
+
+// Rename moves a file to a new name, possibly across directories. Plain
+// ext2 semantics: the destination must not exist.
+func (f *FileSystem) Rename(t *sched.Thread, oldPath, newPath string) error {
+	f.lock(t)
+	defer f.unlock(t)
+	t.Exec(f.Costs.PerOp)
+	f.touch(t, stateSB, true)
+	oldDir, oldLeaf, err := f.walk(t, oldPath)
+	if err != nil {
+		return err
+	}
+	ino, ok, err := f.lookupDir(t, oldDir, oldLeaf)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("fs: %q: no such file", oldPath)
+	}
+	newDir, newLeaf, err := f.walk(t, newPath)
+	if err != nil {
+		return err
+	}
+	if _, exists, err := f.lookupDir(t, newDir, newLeaf); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("fs: %q exists", newPath)
+	}
+	// Add the new entry, then tombstone the old one.
+	if err := f.addDirEntry(t, newDir, ino, newLeaf); err != nil {
+		return err
+	}
+	if err := f.removeDirEntry(t, oldDir, ino, oldLeaf); err != nil {
+		return err
+	}
+	return f.flushMeta(t)
+}
+
+// removeDirEntry tombstones the entry (ino, leaf) in directory dirIno.
+func (f *FileSystem) removeDirEntry(t *sched.Thread, dirIno, ino uint32, leaf string) error {
+	var din inode
+	if err := f.readInode(t, dirIno, &din); err != nil {
+		return err
+	}
+	data, err := f.readAll(t, &din)
+	if err != nil {
+		return err
+	}
+	for off := 0; off+dirEntryHeader <= len(data); {
+		e := binary.LittleEndian.Uint32(data[off:])
+		nl := int(binary.LittleEndian.Uint16(data[off+4:]))
+		if nl == 0 {
+			break
+		}
+		if e == ino && string(data[off+dirEntryHeader:off+dirEntryHeader+nl]) == leaf {
+			binary.LittleEndian.PutUint32(data[off:], 0)
+			if err := f.writeAt(t, &din, 0, data); err != nil {
+				return err
+			}
+			return f.writeInode(t, dirIno, &din)
+		}
+		off += dirEntryHeader + nl
+	}
+	return fmt.Errorf("fs: entry %q not found in directory %d", leaf, dirIno)
+}
+
+// Truncate shrinks or grows the open file to size bytes. Growing leaves a
+// hole (reads return zeros); shrinking frees whole blocks past the end.
+func (fl *File) Truncate(t *sched.Thread, size int) error {
+	fl.fs.lock(t)
+	defer fl.fs.unlock(t)
+	return fl.fs.truncateLocked(t, fl, size)
+}
+
+// truncateLocked is Truncate with the service lock already held.
+func (f *FileSystem) truncateLocked(t *sched.Thread, fl *File, size int) error {
+	t.Exec(f.Costs.PerOp)
+	f.touch(t, stateSB, true)
+	if size < 0 {
+		return fmt.Errorf("fs: negative truncate size %d", size)
+	}
+	old := int(fl.in.Size)
+	if size >= old {
+		fl.in.Size = uint32(size)
+		return f.writeInode(t, fl.ino, &fl.in)
+	}
+	f.touch(t, stateBitmaps, true)
+	keep := (size + f.bs - 1) / f.bs
+	total := (old + f.bs - 1) / f.bs
+	// Zero the tail of the partial last block so a later grow exposes a
+	// proper hole instead of stale bytes.
+	if size%f.bs != 0 {
+		if b, err := f.blockOf(t, &fl.in, size/f.bs, false); err != nil {
+			return err
+		} else if b != 0 {
+			buf := make([]byte, f.bs)
+			if err := f.dev.ReadBlock(t, int(b), buf); err != nil {
+				return err
+			}
+			for i := size % f.bs; i < f.bs; i++ {
+				buf[i] = 0
+			}
+			if err := f.dev.WriteBlock(t, int(b), buf); err != nil {
+				return err
+			}
+		}
+	}
+	for i := keep; i < total; i++ {
+		t.Exec(f.Costs.PerBlk)
+		b, err := f.blockOf(t, &fl.in, i, false)
+		if err != nil {
+			return err
+		}
+		if b != 0 {
+			f.freeBlock(b)
+			if err := f.clearBlockRef(t, &fl.in, i); err != nil {
+				return err
+			}
+		}
+	}
+	fl.in.Size = uint32(size)
+	if fl.pos > size {
+		fl.pos = size
+	}
+	if err := f.writeInode(t, fl.ino, &fl.in); err != nil {
+		return err
+	}
+	return f.flushMeta(t)
+}
+
+// clearBlockRef zeroes the mapping slot for file-relative block idx.
+func (f *FileSystem) clearBlockRef(t *sched.Thread, in *inode, idx int) error {
+	if idx < directBlocks {
+		in.Direct[idx] = 0
+		return nil
+	}
+	idx -= directBlocks
+	if in.Indirect == 0 {
+		return nil
+	}
+	ind := make([]byte, f.bs)
+	if err := f.dev.ReadBlock(t, int(in.Indirect), ind); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(ind[4*idx:], 0)
+	return f.dev.WriteBlock(t, int(in.Indirect), ind)
+}
+
+// FreeBlocks returns the number of free data blocks.
+func (f *FileSystem) FreeBlocks() int { return int(f.sb.FreeBlocks) }
+
+// FreeInodes returns the number of free inodes.
+func (f *FileSystem) FreeInodes() int { return int(f.sb.FreeInodes) }

@@ -1,0 +1,294 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"k2/internal/sched"
+)
+
+func TestStat(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		fl, _ := f.Create(th, "/x")
+		if err := fl.Write(th, make([]byte, 10000)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		fi, err := f.Stat(th, "/x")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if fi.Size != 10000 || fi.IsDir || fi.Blocks != 3 {
+			t.Errorf("stat = %+v", fi)
+		}
+		root, err := f.Stat(th, "/")
+		if err != nil || !root.IsDir || root.Inode != 1 {
+			t.Errorf("root stat = %+v err=%v", root, err)
+		}
+		if _, err := f.Stat(th, "/missing"); err == nil {
+			t.Error("stat of missing file succeeded")
+		}
+	})
+}
+
+func TestRename(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		if err := f.Mkdir(th, "/a"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Mkdir(th, "/b"); err != nil {
+			t.Error(err)
+			return
+		}
+		fl, _ := f.Create(th, "/a/file")
+		if err := fl.Write(th, []byte("content survives rename")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Rename(th, "/a/file", "/b/moved"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.Open(th, "/a/file"); err == nil {
+			t.Error("old name still resolves")
+		}
+		g, err := f.Open(th, "/b/moved")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 64)
+		n, _ := g.Read(th, buf)
+		if string(buf[:n]) != "content survives rename" {
+			t.Errorf("content = %q", buf[:n])
+		}
+		// Destination exists -> error.
+		fl2, _ := f.Create(th, "/a/other")
+		if err := fl2.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Rename(th, "/a/other", "/b/moved"); err == nil {
+			t.Error("rename over existing file succeeded")
+		}
+		// Consistency after all of it.
+		rep, err := f.Fsck(th)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !rep.Clean() {
+			t.Errorf("fsck after rename: %v", rep)
+		}
+	})
+}
+
+func TestTruncate(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		fl, _ := f.Create(th, "/t")
+		data := make([]byte, 50000)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if err := fl.Write(th, data); err != nil {
+			t.Error(err)
+			return
+		}
+		freeBefore := f.FreeBlocks()
+		if err := fl.Truncate(th, 5000); err != nil {
+			t.Error(err)
+			return
+		}
+		if fl.Size() != 5000 {
+			t.Errorf("size after shrink = %d", fl.Size())
+		}
+		if f.FreeBlocks() <= freeBefore {
+			t.Error("shrink freed no blocks")
+		}
+		fl.Seek(0)
+		got := make([]byte, 5000)
+		if _, err := fl.Read(th, got); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, data[:5000]) {
+			t.Error("data corrupted by shrink")
+		}
+		// Grow: the hole reads as zeros.
+		if err := fl.Truncate(th, 9000); err != nil {
+			t.Error(err)
+			return
+		}
+		fl.Seek(5000)
+		tail := make([]byte, 4000)
+		n, err := fl.Read(th, tail)
+		if err != nil || n != 4000 {
+			t.Errorf("hole read n=%d err=%v", n, err)
+			return
+		}
+		for _, b := range tail {
+			if b != 0 {
+				t.Error("hole is not zero-filled")
+				break
+			}
+		}
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		rep, err := f.Fsck(th)
+		if err != nil || !rep.Clean() {
+			t.Errorf("fsck after truncate: %v err=%v", rep, err)
+		}
+	})
+}
+
+func TestFsckCleanVolume(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		if err := f.Mkdir(th, "/d"); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 5; i++ {
+			fl, err := f.Create(th, fmt.Sprintf("/d/f%d", i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fl.Write(th, make([]byte, 20000)); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fl.Close(th); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		rep, err := f.Fsck(th)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !rep.Clean() {
+			t.Errorf("fsck: %v", rep)
+		}
+		if rep.Files != 5 || rep.Dirs != 2 {
+			t.Errorf("fsck counted %d files, %d dirs", rep.Files, rep.Dirs)
+		}
+	})
+}
+
+func TestFsckDetectsCorruption(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		fl, _ := f.Create(th, "/x")
+		if err := fl.Write(th, make([]byte, 8192)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		// Corruption 1: free a block that a file still references.
+		f.freeBlock(fl.in.Direct[0])
+		rep, err := f.Fsck(th)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rep.Clean() {
+			t.Error("fsck missed a referenced-but-free block")
+		}
+		// Restore, then corruption 2: leak a block.
+		f.blockBitmap[fl.in.Direct[0]/8] |= 1 << (fl.in.Direct[0] % 8)
+		f.sb.FreeBlocks--
+		if _, err := f.allocBlock(th); err != nil { // allocated, never referenced
+			t.Error(err)
+			return
+		}
+		rep, err = f.Fsck(th)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rep.Clean() {
+			t.Error("fsck missed a leaked block")
+		}
+	})
+}
+
+// Property: after any random sequence of create/write/rename/truncate/
+// unlink operations, fsck is clean.
+func TestQuickFsckAlwaysClean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clean := true
+		withFS(t, func(th *sched.Thread, f *FileSystem) {
+			names := []string{"/a", "/b", "/c"}
+			open := map[string]*File{}
+			for op := 0; op < 30; op++ {
+				name := names[rng.Intn(len(names))]
+				switch rng.Intn(5) {
+				case 0:
+					if fl, err := f.Create(th, name); err == nil {
+						if err := fl.Write(th, make([]byte, rng.Intn(30000))); err != nil {
+							clean = false
+							return
+						}
+						if err := fl.Close(th); err != nil {
+							clean = false
+							return
+						}
+						open[name] = fl
+					}
+				case 1:
+					_ = f.Unlink(th, name)
+					delete(open, name)
+				case 2:
+					dst := names[rng.Intn(len(names))] + "r"
+					if f.Rename(th, name, dst) == nil {
+						delete(open, name)
+						_ = f.Unlink(th, dst) // keep the namespace small
+					}
+				case 3:
+					if fl, ok := open[name]; ok {
+						if err := fl.Truncate(th, rng.Intn(20000)); err != nil {
+							clean = false
+							return
+						}
+					}
+				case 4:
+					if fl, err := f.Open(th, name); err == nil {
+						buf := make([]byte, 4096)
+						if _, err := fl.Read(th, buf); err != nil {
+							clean = false
+							return
+						}
+					}
+				}
+			}
+			rep, err := f.Fsck(th)
+			if err != nil || !rep.Clean() {
+				t.Logf("seed %d: %v err=%v", seed, rep, err)
+				clean = false
+			}
+		})
+		return clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

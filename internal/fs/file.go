@@ -1,0 +1,468 @@
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"k2/internal/sched"
+)
+
+// DirEntry is one directory listing entry.
+type DirEntry struct {
+	Inode uint32
+	Name  string
+	IsDir bool
+}
+
+// File is an open file handle with a cursor.
+type File struct {
+	fs  *FileSystem
+	ino uint32
+	in  inode
+	pos int
+}
+
+// splitPath normalizes an absolute path into components.
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("fs: path %q is not absolute", path)
+	}
+	var out []string
+	for _, c := range strings.Split(path, "/") {
+		if c == "" || c == "." {
+			continue
+		}
+		if c == ".." {
+			return nil, fmt.Errorf("fs: %q: '..' not supported", path)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// lookupDir scans directory inode dirIno for name.
+func (f *FileSystem) lookupDir(t *sched.Thread, dirIno uint32, name string) (uint32, bool, error) {
+	var din inode
+	if err := f.readInode(t, dirIno, &din); err != nil {
+		return 0, false, err
+	}
+	if din.Mode != modeDir {
+		return 0, false, fmt.Errorf("fs: inode %d is not a directory", dirIno)
+	}
+	data, err := f.readAll(t, &din)
+	if err != nil {
+		return 0, false, err
+	}
+	for off := 0; off+dirEntryHeader <= len(data); {
+		ino := binary.LittleEndian.Uint32(data[off:])
+		nl := int(binary.LittleEndian.Uint16(data[off+4:]))
+		if nl == 0 {
+			break
+		}
+		if off+dirEntryHeader+nl > len(data) {
+			return 0, false, fmt.Errorf("fs: corrupt directory %d", dirIno)
+		}
+		if ino != 0 && string(data[off+dirEntryHeader:off+dirEntryHeader+nl]) == name {
+			return ino, true, nil
+		}
+		off += dirEntryHeader + nl
+	}
+	return 0, false, nil
+}
+
+// walk resolves all but the last component, returning (parent inode, leaf).
+func (f *FileSystem) walk(t *sched.Thread, path string) (uint32, string, error) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return 0, "", err
+	}
+	if len(comps) == 0 {
+		return 0, "", fmt.Errorf("fs: empty path")
+	}
+	dir := uint32(rootInode)
+	for _, c := range comps[:len(comps)-1] {
+		t.Exec(f.Costs.Lookup)
+		f.touch(t, stateInodes, false)
+		ino, ok, err := f.lookupDir(t, dir, c)
+		if err != nil {
+			return 0, "", err
+		}
+		if !ok {
+			return 0, "", fmt.Errorf("fs: %q: no such directory", c)
+		}
+		dir = ino
+	}
+	return dir, comps[len(comps)-1], nil
+}
+
+func (f *FileSystem) addDirEntry(t *sched.Thread, dirIno, ino uint32, name string) error {
+	var din inode
+	if err := f.readInode(t, dirIno, &din); err != nil {
+		return err
+	}
+	rec := make([]byte, dirEntryHeader+len(name))
+	binary.LittleEndian.PutUint32(rec[0:], ino)
+	binary.LittleEndian.PutUint16(rec[4:], uint16(len(name)))
+	copy(rec[dirEntryHeader:], name)
+	if err := f.writeAt(t, &din, int(din.Size), rec); err != nil {
+		return err
+	}
+	return f.writeInode(t, dirIno, &din)
+}
+
+// Create makes a new empty file; it fails if the name exists.
+func (f *FileSystem) Create(t *sched.Thread, path string) (*File, error) {
+	f.lock(t)
+	defer f.unlock(t)
+	t.Exec(f.Costs.Create)
+	f.touch(t, stateSB, true)
+	dir, leaf, err := f.walk(t, path)
+	if err != nil {
+		return nil, err
+	}
+	if _, exists, err := f.lookupDir(t, dir, leaf); err != nil {
+		return nil, err
+	} else if exists {
+		return nil, fmt.Errorf("fs: %q exists", path)
+	}
+	ino, err := f.allocInode(t)
+	if err != nil {
+		return nil, err
+	}
+	in := inode{Mode: modeFile, Links: 1}
+	if err := f.writeInode(t, ino, &in); err != nil {
+		return nil, err
+	}
+	if err := f.addDirEntry(t, dir, ino, leaf); err != nil {
+		return nil, err
+	}
+	if err := f.flushMeta(t); err != nil {
+		return nil, err
+	}
+	return &File{fs: f, ino: ino, in: in}, nil
+}
+
+// Mkdir creates a directory.
+func (f *FileSystem) Mkdir(t *sched.Thread, path string) error {
+	f.lock(t)
+	defer f.unlock(t)
+	t.Exec(f.Costs.Create)
+	f.touch(t, stateSB, true)
+	dir, leaf, err := f.walk(t, path)
+	if err != nil {
+		return err
+	}
+	if _, exists, err := f.lookupDir(t, dir, leaf); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("fs: %q exists", path)
+	}
+	ino, err := f.allocInode(t)
+	if err != nil {
+		return err
+	}
+	in := inode{Mode: modeDir, Links: 2}
+	if err := f.writeInode(t, ino, &in); err != nil {
+		return err
+	}
+	if err := f.addDirEntry(t, dir, ino, leaf); err != nil {
+		return err
+	}
+	return f.flushMeta(t)
+}
+
+// Open opens an existing file.
+func (f *FileSystem) Open(t *sched.Thread, path string) (*File, error) {
+	f.lock(t)
+	defer f.unlock(t)
+	t.Exec(f.Costs.PerOp)
+	f.touch(t, stateInodes, false)
+	dir, leaf, err := f.walk(t, path)
+	if err != nil {
+		return nil, err
+	}
+	ino, ok, err := f.lookupDir(t, dir, leaf)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("fs: %q: no such file", path)
+	}
+	fl := &File{fs: f, ino: ino}
+	if err := f.readInode(t, ino, &fl.in); err != nil {
+		return nil, err
+	}
+	return fl, nil
+}
+
+// Unlink removes a file, freeing its inode and blocks.
+func (f *FileSystem) Unlink(t *sched.Thread, path string) error {
+	f.lock(t)
+	defer f.unlock(t)
+	t.Exec(f.Costs.PerOp)
+	f.touch(t, stateSB, true)
+	dir, leaf, err := f.walk(t, path)
+	if err != nil {
+		return err
+	}
+	ino, ok, err := f.lookupDir(t, dir, leaf)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("fs: %q: no such file", path)
+	}
+	var in inode
+	if err := f.readInode(t, ino, &in); err != nil {
+		return err
+	}
+	if in.Mode == modeDir {
+		return fmt.Errorf("fs: %q is a directory", path)
+	}
+	if in.Links > 1 {
+		// Other hard links remain: drop this name only.
+		in.Links--
+		if err := f.writeInode(t, ino, &in); err != nil {
+			return err
+		}
+		if err := f.removeDirEntry(t, dir, ino, leaf); err != nil {
+			return err
+		}
+		return f.flushMeta(t)
+	}
+	// Free data blocks.
+	f.touch(t, stateBitmaps, true)
+	nblocks := (int(in.Size) + f.bs - 1) / f.bs
+	for i := 0; i < nblocks; i++ {
+		b, err := f.blockOf(t, &in, i, false)
+		if err != nil {
+			return err
+		}
+		if b != 0 {
+			f.freeBlock(b)
+		}
+	}
+	if in.Indirect != 0 {
+		f.freeBlock(in.Indirect)
+	}
+	f.freeInode(ino)
+	// Erase the directory entry (tombstone inode 0).
+	var din inode
+	if err := f.readInode(t, dir, &din); err != nil {
+		return err
+	}
+	data, err := f.readAll(t, &din)
+	if err != nil {
+		return err
+	}
+	for off := 0; off+dirEntryHeader <= len(data); {
+		e := binary.LittleEndian.Uint32(data[off:])
+		nl := int(binary.LittleEndian.Uint16(data[off+4:]))
+		if nl == 0 {
+			break
+		}
+		if e == ino && string(data[off+dirEntryHeader:off+dirEntryHeader+nl]) == leaf {
+			binary.LittleEndian.PutUint32(data[off:], 0)
+			if err := f.writeAt(t, &din, 0, data); err != nil {
+				return err
+			}
+			if err := f.writeInode(t, dir, &din); err != nil {
+				return err
+			}
+			break
+		}
+		off += dirEntryHeader + nl
+	}
+	return f.flushMeta(t)
+}
+
+// ReadDir lists a directory.
+func (f *FileSystem) ReadDir(t *sched.Thread, path string) ([]DirEntry, error) {
+	f.lock(t)
+	defer f.unlock(t)
+	t.Exec(f.Costs.PerOp)
+	f.touch(t, stateInodes, false)
+	ino := uint32(rootInode)
+	comps, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range comps {
+		t.Exec(f.Costs.Lookup)
+		next, ok, err := f.lookupDir(t, ino, c)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("fs: %q: no such directory", c)
+		}
+		ino = next
+	}
+	var din inode
+	if err := f.readInode(t, ino, &din); err != nil {
+		return nil, err
+	}
+	data, err := f.readAll(t, &din)
+	if err != nil {
+		return nil, err
+	}
+	var out []DirEntry
+	for off := 0; off+dirEntryHeader <= len(data); {
+		e := binary.LittleEndian.Uint32(data[off:])
+		nl := int(binary.LittleEndian.Uint16(data[off+4:]))
+		if nl == 0 {
+			break
+		}
+		if e != 0 {
+			var cin inode
+			if err := f.readInode(t, e, &cin); err != nil {
+				return nil, err
+			}
+			out = append(out, DirEntry{
+				Inode: e,
+				Name:  string(data[off+dirEntryHeader : off+dirEntryHeader+nl]),
+				IsDir: cin.Mode == modeDir,
+			})
+		}
+		off += dirEntryHeader + nl
+	}
+	return out, nil
+}
+
+// readAll reads an inode's whole contents.
+func (f *FileSystem) readAll(t *sched.Thread, in *inode) ([]byte, error) {
+	out := make([]byte, in.Size)
+	buf := make([]byte, f.bs)
+	for off := 0; off < int(in.Size); off += f.bs {
+		t.Exec(f.Costs.PerBlk)
+		b, err := f.blockOf(t, in, off/f.bs, false)
+		if err != nil {
+			return nil, err
+		}
+		n := int(in.Size) - off
+		if n > f.bs {
+			n = f.bs
+		}
+		if b == 0 {
+			for i := 0; i < n; i++ {
+				out[off+i] = 0
+			}
+			continue
+		}
+		if err := f.dev.ReadBlock(t, int(b), buf); err != nil {
+			return nil, err
+		}
+		copy(out[off:off+n], buf)
+	}
+	return out, nil
+}
+
+// writeAt writes data at the given offset, allocating blocks as needed and
+// updating the inode size (but not persisting the inode — callers do).
+func (f *FileSystem) writeAt(t *sched.Thread, in *inode, off int, data []byte) error {
+	buf := make([]byte, f.bs)
+	for done := 0; done < len(data); {
+		t.Exec(f.Costs.PerBlk)
+		pos := off + done
+		bi := pos / f.bs
+		bo := pos % f.bs
+		n := f.bs - bo
+		if n > len(data)-done {
+			n = len(data) - done
+		}
+		b, err := f.blockOf(t, in, bi, true)
+		if err != nil {
+			return err
+		}
+		if bo != 0 || n != f.bs {
+			if err := f.dev.ReadBlock(t, int(b), buf); err != nil {
+				return err
+			}
+		}
+		copy(buf[bo:bo+n], data[done:done+n])
+		if err := f.dev.WriteBlock(t, int(b), buf); err != nil {
+			return err
+		}
+		done += n
+	}
+	if off+len(data) > int(in.Size) {
+		in.Size = uint32(off + len(data))
+	}
+	return nil
+}
+
+// Size returns the file's current size.
+func (fl *File) Size() int { return int(fl.in.Size) }
+
+// Write appends/overwrites data at the cursor.
+func (fl *File) Write(t *sched.Thread, data []byte) error {
+	fl.fs.lock(t)
+	defer fl.fs.unlock(t)
+	t.Exec(fl.fs.Costs.PerOp)
+	fl.fs.touch(t, stateSB, true)
+	if err := fl.fs.writeAt(t, &fl.in, fl.pos, data); err != nil {
+		return err
+	}
+	fl.pos += len(data)
+	return nil
+}
+
+// Read fills buf from the cursor, returning the byte count (0 at EOF).
+func (fl *File) Read(t *sched.Thread, buf []byte) (int, error) {
+	fl.fs.lock(t)
+	defer fl.fs.unlock(t)
+	t.Exec(fl.fs.Costs.PerOp)
+	fl.fs.touch(t, stateInodes, false)
+	if fl.pos >= int(fl.in.Size) {
+		return 0, nil
+	}
+	// Read the covered blocks.
+	n := len(buf)
+	if n > int(fl.in.Size)-fl.pos {
+		n = int(fl.in.Size) - fl.pos
+	}
+	blkBuf := make([]byte, fl.fs.bs)
+	for done := 0; done < n; {
+		t.Exec(fl.fs.Costs.PerBlk)
+		pos := fl.pos + done
+		bi := pos / fl.fs.bs
+		bo := pos % fl.fs.bs
+		c := fl.fs.bs - bo
+		if c > n-done {
+			c = n - done
+		}
+		b, err := fl.fs.blockOf(t, &fl.in, bi, false)
+		if err != nil {
+			return done, err
+		}
+		if b == 0 {
+			for i := 0; i < c; i++ {
+				buf[done+i] = 0
+			}
+		} else {
+			if err := fl.fs.dev.ReadBlock(t, int(b), blkBuf); err != nil {
+				return done, err
+			}
+			copy(buf[done:done+c], blkBuf[bo:bo+c])
+		}
+		done += c
+	}
+	fl.pos += n
+	return n, nil
+}
+
+// Seek sets the cursor.
+func (fl *File) Seek(pos int) { fl.pos = pos }
+
+// Close persists the inode and metadata.
+func (fl *File) Close(t *sched.Thread) error {
+	fl.fs.lock(t)
+	defer fl.fs.unlock(t)
+	t.Exec(fl.fs.Costs.CloseOp)
+	fl.fs.touch(t, stateInodes, true)
+	if err := fl.fs.writeInode(t, fl.ino, &fl.in); err != nil {
+		return err
+	}
+	return fl.fs.flushMeta(t)
+}

@@ -1,0 +1,397 @@
+// Package fs implements an ext2-like filesystem, the extended service
+// behind Figure 6(b): a real on-disk layout with a superblock, block and
+// inode bitmaps, an inode table with direct and single-indirect blocks, and
+// directories, mounted on any driver.BlockDevice (the benchmarks use a
+// ramdisk, as the paper does, §9.2).
+//
+// As a shadowed service, its metadata state is kept coherent between
+// kernels by the DSM; CPU costs are charged to the calling thread's core,
+// so the same operations are naturally ~3.5x slower on the weak domain.
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"k2/internal/driver"
+	"k2/internal/sched"
+	"k2/internal/services"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Magic identifies a formatted volume.
+const Magic = 0x4B32_4653 // "K2FS"
+
+const (
+	inodeSize      = 128
+	directBlocks   = 12
+	rootInode      = 1
+	modeFile       = 1
+	modeDir        = 2
+	dirEntryHeader = 6 // inode u32 + nameLen u16
+)
+
+// Superblock is the on-disk volume header (block 0).
+type Superblock struct {
+	Magic        uint32
+	Blocks       uint32
+	Inodes       uint32
+	BlockBitmap  uint32 // first block of the block bitmap
+	BitmapBlocks uint32
+	InodeBitmap  uint32
+	InodeTable   uint32
+	TableBlocks  uint32
+	DataStart    uint32
+	FreeBlocks   uint32
+	FreeInodes   uint32
+}
+
+type inode struct {
+	Mode     uint32
+	Size     uint32
+	Links    uint32
+	Direct   [directBlocks]uint32
+	Indirect uint32
+}
+
+// Costs carries the filesystem's CPU costs per operation (reference work).
+type Costs struct {
+	Lookup  soc.Work // per path component
+	Create  soc.Work
+	PerOp   soc.Work // read/write syscall entry
+	PerBlk  soc.Work // block mapping + buffer management per block
+	CloseOp soc.Work
+}
+
+// DefaultCosts returns the calibration used by the benchmarks.
+func DefaultCosts() Costs {
+	return Costs{
+		Lookup:  soc.Work(3 * time.Microsecond),
+		Create:  soc.Work(8 * time.Microsecond),
+		PerOp:   soc.Work(2 * time.Microsecond),
+		PerBlk:  soc.Work(1500 * time.Nanosecond),
+		CloseOp: soc.Work(2 * time.Microsecond),
+	}
+}
+
+// FileSystem is a mounted volume.
+type FileSystem struct {
+	Costs Costs
+	// State is the shadowed metadata state (superblock, bitmaps, inode
+	// cache); nil outside K2.
+	State *services.ShadowedState
+
+	dev         driver.BlockDevice
+	sb          Superblock
+	blockBitmap []byte
+	inodeBitmap []byte
+	bs          int
+
+	// The service lock: under K2 the hardware spinlock of State (§5.3
+	// step 4: shadowed services' locks are augmented for inter-domain
+	// exclusion); under the baseline a plain sleeping lock serializes the
+	// strong cores.
+	lockBusy bool
+	lockGate *sim.Gate
+}
+
+// lock serializes a filesystem operation. With shadowed state it takes the
+// hardware spinlock; otherwise an in-kernel sleeping lock.
+func (f *FileSystem) lock(t *sched.Thread) {
+	if f.State != nil {
+		f.State.Enter(t)
+		return
+	}
+	if f.lockGate == nil {
+		f.lockGate = sim.NewGate(t.P().Engine())
+	}
+	for f.lockBusy {
+		t.Block(func(p *sim.Proc) { f.lockGate.Wait(p) })
+	}
+	f.lockBusy = true
+}
+
+func (f *FileSystem) unlock(t *sched.Thread) {
+	if f.State != nil {
+		f.State.Exit(t)
+		return
+	}
+	f.lockBusy = false
+	f.lockGate.OpenOne()
+}
+
+// State page indices.
+const (
+	stateSB = iota
+	stateBitmaps
+	stateInodes
+	stateLen
+)
+
+// StatePages is how many shadowed pages the filesystem's hot metadata
+// occupies.
+const StatePages = stateLen
+
+// Mkfs formats the device and returns the mounted filesystem. The layout:
+// superblock, block bitmap, inode bitmap (1 block), inode table, data.
+func Mkfs(t *sched.Thread, dev driver.BlockDevice, state *services.ShadowedState) (*FileSystem, error) {
+	bs := dev.BlockSize()
+	blocks := dev.Blocks()
+	if blocks < 16 {
+		return nil, fmt.Errorf("fs: device too small (%d blocks)", blocks)
+	}
+	inodes := blocks / 8
+	if inodes < 32 {
+		inodes = 32
+	}
+	bitmapBlocks := (blocks/8 + bs - 1) / bs
+	tableBlocks := (inodes*inodeSize + bs - 1) / bs
+	sb := Superblock{
+		Magic:        Magic,
+		Blocks:       uint32(blocks),
+		Inodes:       uint32(inodes),
+		BlockBitmap:  1,
+		BitmapBlocks: uint32(bitmapBlocks),
+		InodeBitmap:  uint32(1 + bitmapBlocks),
+		InodeTable:   uint32(2 + bitmapBlocks),
+		TableBlocks:  uint32(tableBlocks),
+		DataStart:    uint32(2 + bitmapBlocks + tableBlocks),
+	}
+	sb.FreeBlocks = sb.Blocks - sb.DataStart
+	sb.FreeInodes = sb.Inodes - 2 // inode 0 invalid, inode 1 root
+
+	f := &FileSystem{
+		Costs:       DefaultCosts(),
+		State:       state,
+		dev:         dev,
+		sb:          sb,
+		blockBitmap: make([]byte, bitmapBlocks*bs),
+		inodeBitmap: make([]byte, bs),
+		bs:          bs,
+	}
+	// Mark metadata blocks used.
+	for b := 0; b < int(sb.DataStart); b++ {
+		f.blockBitmap[b/8] |= 1 << (b % 8)
+	}
+	f.inodeBitmap[0] |= 0b11 // inode 0 and root
+	root := inode{Mode: modeDir, Links: 2}
+	if err := f.writeInode(t, rootInode, &root); err != nil {
+		return nil, err
+	}
+	if err := f.flushMeta(t); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Mount reads the superblock and bitmaps from a formatted device.
+func Mount(t *sched.Thread, dev driver.BlockDevice, state *services.ShadowedState) (*FileSystem, error) {
+	bs := dev.BlockSize()
+	buf := make([]byte, bs)
+	f := &FileSystem{Costs: DefaultCosts(), State: state, dev: dev, bs: bs}
+	if err := dev.ReadBlock(t, 0, buf); err != nil {
+		return nil, err
+	}
+	f.sb = decodeSB(buf)
+	if f.sb.Magic != Magic {
+		return nil, fmt.Errorf("fs: bad magic %#x", f.sb.Magic)
+	}
+	f.blockBitmap = make([]byte, int(f.sb.BitmapBlocks)*bs)
+	for i := 0; i < int(f.sb.BitmapBlocks); i++ {
+		if err := dev.ReadBlock(t, int(f.sb.BlockBitmap)+i, f.blockBitmap[i*bs:(i+1)*bs]); err != nil {
+			return nil, err
+		}
+	}
+	f.inodeBitmap = make([]byte, bs)
+	if err := dev.ReadBlock(t, int(f.sb.InodeBitmap), f.inodeBitmap); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Super returns a copy of the superblock.
+func (f *FileSystem) Super() Superblock { return f.sb }
+
+func encodeSB(sb Superblock, buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:], sb.Magic)
+	binary.LittleEndian.PutUint32(buf[4:], sb.Blocks)
+	binary.LittleEndian.PutUint32(buf[8:], sb.Inodes)
+	binary.LittleEndian.PutUint32(buf[12:], sb.BlockBitmap)
+	binary.LittleEndian.PutUint32(buf[16:], sb.BitmapBlocks)
+	binary.LittleEndian.PutUint32(buf[20:], sb.InodeBitmap)
+	binary.LittleEndian.PutUint32(buf[24:], sb.InodeTable)
+	binary.LittleEndian.PutUint32(buf[28:], sb.TableBlocks)
+	binary.LittleEndian.PutUint32(buf[32:], sb.DataStart)
+	binary.LittleEndian.PutUint32(buf[36:], sb.FreeBlocks)
+	binary.LittleEndian.PutUint32(buf[40:], sb.FreeInodes)
+}
+
+func decodeSB(buf []byte) Superblock {
+	return Superblock{
+		Magic:        binary.LittleEndian.Uint32(buf[0:]),
+		Blocks:       binary.LittleEndian.Uint32(buf[4:]),
+		Inodes:       binary.LittleEndian.Uint32(buf[8:]),
+		BlockBitmap:  binary.LittleEndian.Uint32(buf[12:]),
+		BitmapBlocks: binary.LittleEndian.Uint32(buf[16:]),
+		InodeBitmap:  binary.LittleEndian.Uint32(buf[20:]),
+		InodeTable:   binary.LittleEndian.Uint32(buf[24:]),
+		TableBlocks:  binary.LittleEndian.Uint32(buf[28:]),
+		DataStart:    binary.LittleEndian.Uint32(buf[32:]),
+		FreeBlocks:   binary.LittleEndian.Uint32(buf[36:]),
+		FreeInodes:   binary.LittleEndian.Uint32(buf[40:]),
+	}
+}
+
+func (f *FileSystem) touch(t *sched.Thread, page int, write bool) {
+	if f.State != nil {
+		f.State.Touch(t, page, write)
+	}
+}
+
+func (f *FileSystem) flushMeta(t *sched.Thread) error {
+	buf := make([]byte, f.bs)
+	encodeSB(f.sb, buf)
+	if err := f.dev.WriteBlock(t, 0, buf); err != nil {
+		return err
+	}
+	for i := 0; i < int(f.sb.BitmapBlocks); i++ {
+		if err := f.dev.WriteBlock(t, int(f.sb.BlockBitmap)+i, f.blockBitmap[i*f.bs:(i+1)*f.bs]); err != nil {
+			return err
+		}
+	}
+	return f.dev.WriteBlock(t, int(f.sb.InodeBitmap), f.inodeBitmap)
+}
+
+func (f *FileSystem) allocBlock(t *sched.Thread) (uint32, error) {
+	f.touch(t, stateBitmaps, true)
+	if f.sb.FreeBlocks == 0 {
+		return 0, fmt.Errorf("fs: no free blocks")
+	}
+	for b := int(f.sb.DataStart); b < int(f.sb.Blocks); b++ {
+		if f.blockBitmap[b/8]&(1<<(b%8)) == 0 {
+			f.blockBitmap[b/8] |= 1 << (b % 8)
+			f.sb.FreeBlocks--
+			return uint32(b), nil
+		}
+	}
+	return 0, fmt.Errorf("fs: bitmap inconsistent with free count")
+}
+
+func (f *FileSystem) freeBlock(blk uint32) {
+	f.blockBitmap[blk/8] &^= 1 << (blk % 8)
+	f.sb.FreeBlocks++
+}
+
+func (f *FileSystem) allocInode(t *sched.Thread) (uint32, error) {
+	f.touch(t, stateBitmaps, true)
+	if f.sb.FreeInodes == 0 {
+		return 0, fmt.Errorf("fs: no free inodes")
+	}
+	for i := 2; i < int(f.sb.Inodes); i++ {
+		if f.inodeBitmap[i/8]&(1<<(i%8)) == 0 {
+			f.inodeBitmap[i/8] |= 1 << (i % 8)
+			f.sb.FreeInodes--
+			return uint32(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fs: inode bitmap inconsistent")
+}
+
+func (f *FileSystem) freeInode(ino uint32) {
+	f.inodeBitmap[ino/8] &^= 1 << (ino % 8)
+	f.sb.FreeInodes++
+}
+
+func (f *FileSystem) inodeLoc(ino uint32) (blk, off int) {
+	per := f.bs / inodeSize
+	return int(f.sb.InodeTable) + int(ino)/per, (int(ino) % per) * inodeSize
+}
+
+func (f *FileSystem) readInode(t *sched.Thread, ino uint32, out *inode) error {
+	f.touch(t, stateInodes, false)
+	blk, off := f.inodeLoc(ino)
+	buf := make([]byte, f.bs)
+	if err := f.dev.ReadBlock(t, blk, buf); err != nil {
+		return err
+	}
+	b := buf[off:]
+	out.Mode = binary.LittleEndian.Uint32(b[0:])
+	out.Size = binary.LittleEndian.Uint32(b[4:])
+	out.Links = binary.LittleEndian.Uint32(b[8:])
+	for i := 0; i < directBlocks; i++ {
+		out.Direct[i] = binary.LittleEndian.Uint32(b[12+4*i:])
+	}
+	out.Indirect = binary.LittleEndian.Uint32(b[12+4*directBlocks:])
+	return nil
+}
+
+func (f *FileSystem) writeInode(t *sched.Thread, ino uint32, in *inode) error {
+	f.touch(t, stateInodes, true)
+	blk, off := f.inodeLoc(ino)
+	buf := make([]byte, f.bs)
+	if err := f.dev.ReadBlock(t, blk, buf); err != nil {
+		return err
+	}
+	b := buf[off:]
+	binary.LittleEndian.PutUint32(b[0:], in.Mode)
+	binary.LittleEndian.PutUint32(b[4:], in.Size)
+	binary.LittleEndian.PutUint32(b[8:], in.Links)
+	for i := 0; i < directBlocks; i++ {
+		binary.LittleEndian.PutUint32(b[12+4*i:], in.Direct[i])
+	}
+	binary.LittleEndian.PutUint32(b[12+4*directBlocks:], in.Indirect)
+	return f.dev.WriteBlock(t, blk, buf)
+}
+
+// blockOf maps a file-relative block index to a device block, allocating on
+// demand when alloc is true. Index 0..11 direct, then single indirect.
+func (f *FileSystem) blockOf(t *sched.Thread, in *inode, idx int, alloc bool) (uint32, error) {
+	if idx < directBlocks {
+		if in.Direct[idx] == 0 && alloc {
+			b, err := f.allocBlock(t)
+			if err != nil {
+				return 0, err
+			}
+			in.Direct[idx] = b
+		}
+		return in.Direct[idx], nil
+	}
+	idx -= directBlocks
+	perBlk := f.bs / 4
+	if idx >= perBlk {
+		return 0, fmt.Errorf("fs: file too large")
+	}
+	if in.Indirect == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		b, err := f.allocBlock(t)
+		if err != nil {
+			return 0, err
+		}
+		in.Indirect = b
+		zero := make([]byte, f.bs)
+		if err := f.dev.WriteBlock(t, int(b), zero); err != nil {
+			return 0, err
+		}
+	}
+	ind := make([]byte, f.bs)
+	if err := f.dev.ReadBlock(t, int(in.Indirect), ind); err != nil {
+		return 0, err
+	}
+	b := binary.LittleEndian.Uint32(ind[4*idx:])
+	if b == 0 && alloc {
+		nb, err := f.allocBlock(t)
+		if err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint32(ind[4*idx:], nb)
+		if err := f.dev.WriteBlock(t, int(in.Indirect), ind); err != nil {
+			return 0, err
+		}
+		b = nb
+	}
+	return b, nil
+}

@@ -1,0 +1,347 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"k2/internal/driver"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// withFS runs body in a normal thread over a freshly formatted 32 MB
+// ramdisk (no DSM: these tests exercise filesystem logic, not coherence).
+func withFS(t *testing.T, body func(th *sched.Thread, f *FileSystem)) {
+	t.Helper()
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	sc := sched.New(s, false)
+	pr := sc.NewProcess("fstest")
+	ran := false
+	pr.Spawn(sched.Normal, "t", func(th *sched.Thread) {
+		disk := driver.NewRAMDisk(s, 4096, 8192)
+		f, err := Mkfs(th, disk, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		body(th, f)
+		ran = true
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("test body did not run")
+	}
+}
+
+func TestMkfsAndMount(t *testing.T) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	sc := sched.New(s, false)
+	pr := sc.NewProcess("fstest")
+	pr.Spawn(sched.Normal, "t", func(th *sched.Thread) {
+		disk := driver.NewRAMDisk(s, 4096, 1024)
+		f, err := Mkfs(th, disk, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fl, err := f.Create(th, "/hello")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Write(th, []byte("persisted")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		// Remount from the device and read back.
+		g, err := Mount(th, disk, nil)
+		if err != nil {
+			t.Errorf("mount: %v", err)
+			return
+		}
+		fl2, err := g.Open(th, "/hello")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 32)
+		n, err := fl2.Read(th, buf)
+		if err != nil || string(buf[:n]) != "persisted" {
+			t.Errorf("read after remount: %q err %v", buf[:n], err)
+		}
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMountRejectsUnformatted(t *testing.T) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	sc := sched.New(s, false)
+	pr := sc.NewProcess("fstest")
+	pr.Spawn(sched.Normal, "t", func(th *sched.Thread) {
+		disk := driver.NewRAMDisk(s, 4096, 64)
+		if _, err := Mount(th, disk, nil); err == nil {
+			t.Error("mounted an unformatted device")
+		}
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTripSizes(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		// 1 KB, 256 KB, 1 MB: the Figure 6(b) write sizes; 1 MB spills
+		// into the indirect block.
+		for _, size := range []int{1 << 10, 256 << 10, 1 << 20} {
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(i * 7)
+			}
+			name := fmt.Sprintf("/f%d", size)
+			fl, err := f.Create(th, name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fl.Write(th, data); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fl.Close(th); err != nil {
+				t.Error(err)
+				return
+			}
+			fl, err = f.Open(th, name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if fl.Size() != size {
+				t.Errorf("%s: size %d, want %d", name, fl.Size(), size)
+			}
+			got := make([]byte, size)
+			n, err := fl.Read(th, got)
+			if err != nil || n != size || !bytes.Equal(got, data) {
+				t.Errorf("%s: read mismatch (n=%d err=%v)", name, n, err)
+			}
+		}
+	})
+}
+
+func TestDirectoriesAndReadDir(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		if err := f.Mkdir(th, "/sync"); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 8; i++ {
+			fl, err := f.Create(th, fmt.Sprintf("/sync/mail%d", i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fl.Close(th); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		ents, err := f.ReadDir(th, "/sync")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(ents) != 8 {
+			t.Errorf("ReadDir: %d entries, want 8", len(ents))
+		}
+		root, err := f.ReadDir(th, "/")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(root) != 1 || !root[0].IsDir || root[0].Name != "sync" {
+			t.Errorf("root listing: %+v", root)
+		}
+	})
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		if _, err := f.Create(th, "/a"); err != nil {
+			t.Error(err)
+		}
+		if _, err := f.Create(th, "/a"); err == nil {
+			t.Error("duplicate create succeeded")
+		}
+	})
+}
+
+func TestUnlinkFreesSpace(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		// Materialize the root directory's data block first so the
+		// before/after comparison only covers the file's own blocks.
+		if fl, err := f.Create(th, "/dummy"); err != nil {
+			t.Error(err)
+			return
+		} else if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		freeBefore := f.Super().FreeBlocks
+		fl, err := f.Create(th, "/big")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Write(th, make([]byte, 1<<20)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		if f.Super().FreeBlocks >= freeBefore {
+			t.Error("write did not consume blocks")
+		}
+		if err := f.Unlink(th, "/big"); err != nil {
+			t.Error(err)
+			return
+		}
+		if f.Super().FreeBlocks != freeBefore {
+			t.Errorf("free blocks %d after unlink, want %d", f.Super().FreeBlocks, freeBefore)
+		}
+		if _, err := f.Open(th, "/big"); err == nil {
+			t.Error("opened unlinked file")
+		}
+		// The name is reusable.
+		if _, err := f.Create(th, "/big"); err != nil {
+			t.Errorf("recreate after unlink: %v", err)
+		}
+	})
+}
+
+func TestOverwriteMiddle(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		fl, _ := f.Create(th, "/x")
+		base := bytes.Repeat([]byte("ab"), 5000) // 10 KB, crosses blocks
+		if err := fl.Write(th, base); err != nil {
+			t.Error(err)
+			return
+		}
+		fl.Seek(4090) // straddles the block boundary at 4096
+		if err := fl.Write(th, []byte("ZZZZZZZZZZZZ")); err != nil {
+			t.Error(err)
+			return
+		}
+		fl.Seek(0)
+		got := make([]byte, len(base))
+		if _, err := fl.Read(th, got); err != nil {
+			t.Error(err)
+			return
+		}
+		want := append([]byte(nil), base...)
+		copy(want[4090:], "ZZZZZZZZZZZZ")
+		if !bytes.Equal(got, want) {
+			t.Error("overwrite across block boundary corrupted data")
+		}
+	})
+}
+
+func TestPathValidation(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		if _, err := f.Create(th, "relative"); err == nil {
+			t.Error("relative path accepted")
+		}
+		if _, err := f.Create(th, "/../etc"); err == nil {
+			t.Error("dotdot accepted")
+		}
+		if _, err := f.Open(th, "/missing/deep"); err == nil {
+			t.Error("opened through a missing directory")
+		}
+	})
+}
+
+// Property: a random sequence of create/write/read/unlink matches an
+// in-memory map model.
+func TestQuickFilesystemVsModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		withFS(t, func(th *sched.Thread, f *FileSystem) {
+			model := make(map[string][]byte)
+			names := []string{"/a", "/b", "/c", "/d"}
+			for op := 0; op < 40 && ok; op++ {
+				name := names[rng.Intn(len(names))]
+				switch rng.Intn(3) {
+				case 0: // (re)write
+					data := make([]byte, rng.Intn(20000))
+					rng.Read(data)
+					if _, exists := model[name]; exists {
+						if err := f.Unlink(th, name); err != nil {
+							ok = false
+							return
+						}
+					}
+					fl, err := f.Create(th, name)
+					if err != nil {
+						ok = false
+						return
+					}
+					if err := fl.Write(th, data); err != nil {
+						ok = false
+						return
+					}
+					if err := fl.Close(th); err != nil {
+						ok = false
+						return
+					}
+					model[name] = data
+				case 1: // read & compare
+					want, exists := model[name]
+					fl, err := f.Open(th, name)
+					if exists != (err == nil) {
+						ok = false
+						return
+					}
+					if !exists {
+						continue
+					}
+					got := make([]byte, len(want)+10)
+					n, err := fl.Read(th, got)
+					if err != nil || n != len(want) || !bytes.Equal(got[:n], want) {
+						ok = false
+						return
+					}
+				case 2: // unlink
+					_, exists := model[name]
+					err := f.Unlink(th, name)
+					if exists != (err == nil) {
+						ok = false
+						return
+					}
+					delete(model, name)
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

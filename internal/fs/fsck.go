@@ -1,0 +1,175 @@
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"k2/internal/sched"
+)
+
+// FsckReport is the result of a consistency check.
+type FsckReport struct {
+	Files, Dirs int
+	UsedBlocks  int
+	Problems    []string
+}
+
+// Clean reports whether no problems were found.
+func (r FsckReport) Clean() bool { return len(r.Problems) == 0 }
+
+func (r FsckReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("fsck: clean; %d files, %d dirs, %d blocks in use", r.Files, r.Dirs, r.UsedBlocks)
+	}
+	return fmt.Sprintf("fsck: %d problems: %v", len(r.Problems), r.Problems)
+}
+
+// Fsck walks the volume from the root directory and cross-checks the
+// reachable metadata against the bitmaps and the superblock counters:
+// every reachable block must be marked used, no block may be referenced
+// twice, every reachable inode must be marked allocated, and the free
+// counters must agree with the bitmaps.
+func (f *FileSystem) Fsck(t *sched.Thread) (FsckReport, error) {
+	f.lock(t)
+	defer f.unlock(t)
+	var rep FsckReport
+	blockRefs := make(map[uint32]string)
+	seenInode := make(map[uint32]bool)
+
+	note := func(format string, args ...interface{}) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+	}
+	blockUsed := func(b uint32) bool { return f.blockBitmap[b/8]&(1<<(b%8)) != 0 }
+	inodeUsed := func(i uint32) bool { return f.inodeBitmap[i/8]&(1<<(i%8)) != 0 }
+
+	ref := func(b uint32, what string) {
+		if b == 0 {
+			return
+		}
+		if b < f.sb.DataStart || b >= f.sb.Blocks {
+			note("%s references out-of-range block %d", what, b)
+			return
+		}
+		if prev, dup := blockRefs[b]; dup {
+			note("block %d referenced by both %s and %s", b, prev, what)
+			return
+		}
+		blockRefs[b] = what
+		if !blockUsed(b) {
+			note("%s references free block %d", what, b)
+		}
+	}
+
+	nameRefs := make(map[uint32]int) // names referring to each inode
+	declaredLinks := make(map[uint32]uint32)
+
+	var walk func(ino uint32, path string) error
+	walk = func(ino uint32, path string) error {
+		nameRefs[ino]++
+		if seenInode[ino] {
+			// Legal for files (hard links); a directory reached twice is
+			// a cycle or a corrupt tree.
+			var in inode
+			if err := f.readInode(t, ino, &in); err != nil {
+				return err
+			}
+			if in.Mode == modeDir {
+				note("directory inode %d reachable twice (at %s)", ino, path)
+			}
+			return nil
+		}
+		seenInode[ino] = true
+		if !inodeUsed(ino) {
+			note("%s uses free inode %d", path, ino)
+		}
+		var in inode
+		if err := f.readInode(t, ino, &in); err != nil {
+			return err
+		}
+		nblocks := (int(in.Size) + f.bs - 1) / f.bs
+		for i := 0; i < nblocks; i++ {
+			b, err := f.blockOf(t, &in, i, false)
+			if err != nil {
+				return err
+			}
+			ref(b, path)
+		}
+		ref(in.Indirect, path+" (indirect)")
+		if in.Mode != modeDir {
+			rep.Files++
+			declaredLinks[ino] = in.Links
+			return nil
+		}
+		rep.Dirs++
+		data, err := f.readAll(t, &in)
+		if err != nil {
+			return err
+		}
+		for off := 0; off+dirEntryHeader <= len(data); {
+			e := binary.LittleEndian.Uint32(data[off:])
+			nl := int(binary.LittleEndian.Uint16(data[off+4:]))
+			if nl == 0 {
+				break
+			}
+			if off+dirEntryHeader+nl > len(data) {
+				note("%s: corrupt entry at offset %d", path, off)
+				break
+			}
+			if e != 0 {
+				name := string(data[off+dirEntryHeader : off+dirEntryHeader+nl])
+				if e >= f.sb.Inodes {
+					note("%s/%s references out-of-range inode %d", path, name, e)
+				} else if err := walk(e, path+"/"+name); err != nil {
+					return err
+				}
+			}
+			off += dirEntryHeader + nl
+		}
+		return nil
+	}
+	if err := walk(rootInode, ""); err != nil {
+		return rep, err
+	}
+	rep.UsedBlocks = len(blockRefs)
+
+	// Link-count check: a file's inode must declare exactly as many links
+	// as the names referring to it.
+	for ino, links := range declaredLinks {
+		if nameRefs[ino] != int(links) {
+			note("inode %d declares %d links but %d names refer to it", ino, links, nameRefs[ino])
+		}
+	}
+
+	// Counter checks: bitmap population vs superblock free counters.
+	usedBits := 0
+	for b := uint32(0); b < f.sb.Blocks; b++ {
+		if blockUsed(b) {
+			usedBits++
+		}
+	}
+	if got := int(f.sb.Blocks) - usedBits; got != int(f.sb.FreeBlocks) {
+		note("superblock says %d free blocks, bitmap says %d", f.sb.FreeBlocks, got)
+	}
+	inodeBits := 0
+	for i := uint32(0); i < f.sb.Inodes; i++ {
+		if inodeUsed(i) {
+			inodeBits++
+		}
+	}
+	if got := int(f.sb.Inodes) - inodeBits; got != int(f.sb.FreeInodes) {
+		note("superblock says %d free inodes, bitmap says %d", f.sb.FreeInodes, got)
+	}
+	// Leak check: used data blocks not reachable from the root.
+	leaked := 0
+	for b := f.sb.DataStart; b < f.sb.Blocks; b++ {
+		if blockUsed(b) {
+			if _, ok := blockRefs[b]; !ok {
+				leaked++
+			}
+		}
+	}
+	if leaked > 0 {
+		note("%d used data blocks unreachable from the root (leaked)", leaked)
+	}
+	return rep, nil
+}

@@ -1,0 +1,144 @@
+package fs
+
+import (
+	"fmt"
+
+	"k2/internal/sched"
+)
+
+// Open flags, POSIX-style.
+const (
+	// OCreate creates the file if it does not exist.
+	OCreate = 1 << iota
+	// OExcl, with OCreate, fails if the file exists.
+	OExcl
+	// OTrunc truncates an existing file to zero length.
+	OTrunc
+	// OAppend positions the cursor at the end of the file.
+	OAppend
+)
+
+// OpenFile opens path with the given flags. With no flags it behaves like
+// Open; flag combinations follow POSIX semantics.
+func (f *FileSystem) OpenFile(t *sched.Thread, path string, flags int) (*File, error) {
+	f.lock(t)
+	defer f.unlock(t)
+	t.Exec(f.Costs.PerOp)
+	f.touch(t, stateInodes, false)
+
+	dir, leaf, err := f.walk(t, path)
+	if err != nil {
+		return nil, err
+	}
+	ino, exists, err := f.lookupDir(t, dir, leaf)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case exists && flags&OCreate != 0 && flags&OExcl != 0:
+		return nil, fmt.Errorf("fs: %q exists", path)
+	case !exists && flags&OCreate == 0:
+		return nil, fmt.Errorf("fs: %q: no such file", path)
+	case !exists:
+		f.touch(t, stateSB, true)
+		t.Exec(f.Costs.Create)
+		ino, err = f.allocInode(t)
+		if err != nil {
+			return nil, err
+		}
+		in := inode{Mode: modeFile, Links: 1}
+		if err := f.writeInode(t, ino, &in); err != nil {
+			return nil, err
+		}
+		if err := f.addDirEntry(t, dir, ino, leaf); err != nil {
+			return nil, err
+		}
+		if err := f.flushMeta(t); err != nil {
+			return nil, err
+		}
+	}
+	fl := &File{fs: f, ino: ino}
+	if err := f.readInode(t, ino, &fl.in); err != nil {
+		return nil, err
+	}
+	if fl.in.Mode == modeDir {
+		return nil, fmt.Errorf("fs: %q is a directory", path)
+	}
+	if flags&OTrunc != 0 && fl.in.Size > 0 {
+		if err := f.truncateLocked(t, fl, 0); err != nil {
+			return nil, err
+		}
+	}
+	if flags&OAppend != 0 {
+		fl.pos = int(fl.in.Size)
+	}
+	return fl, nil
+}
+
+// Link creates a hard link newPath referring to oldPath's inode.
+func (f *FileSystem) Link(t *sched.Thread, oldPath, newPath string) error {
+	f.lock(t)
+	defer f.unlock(t)
+	t.Exec(f.Costs.PerOp)
+	f.touch(t, stateInodes, true)
+	oldDir, oldLeaf, err := f.walk(t, oldPath)
+	if err != nil {
+		return err
+	}
+	ino, ok, err := f.lookupDir(t, oldDir, oldLeaf)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("fs: %q: no such file", oldPath)
+	}
+	var in inode
+	if err := f.readInode(t, ino, &in); err != nil {
+		return err
+	}
+	if in.Mode == modeDir {
+		return fmt.Errorf("fs: cannot hard-link directory %q", oldPath)
+	}
+	newDir, newLeaf, err := f.walk(t, newPath)
+	if err != nil {
+		return err
+	}
+	if _, exists, err := f.lookupDir(t, newDir, newLeaf); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("fs: %q exists", newPath)
+	}
+	in.Links++
+	if err := f.writeInode(t, ino, &in); err != nil {
+		return err
+	}
+	if err := f.addDirEntry(t, newDir, ino, newLeaf); err != nil {
+		return err
+	}
+	return f.flushMeta(t)
+}
+
+// Sync flushes the in-memory metadata (superblock and bitmaps) to the
+// device; data blocks are already write-through.
+func (f *FileSystem) Sync(t *sched.Thread) error {
+	f.lock(t)
+	defer f.unlock(t)
+	t.Exec(f.Costs.PerOp)
+	f.touch(t, stateSB, false)
+	return f.flushMeta(t)
+}
+
+// Links returns the link count of the file at path.
+func (f *FileSystem) Links(t *sched.Thread, path string) (int, error) {
+	fi, err := f.Stat(t, path)
+	if err != nil {
+		return 0, err
+	}
+	var in inode
+	f.lock(t)
+	defer f.unlock(t)
+	if err := f.readInode(t, fi.Inode, &in); err != nil {
+		return 0, err
+	}
+	return int(in.Links), nil
+}

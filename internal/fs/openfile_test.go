@@ -1,0 +1,202 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+
+	"k2/internal/sched"
+)
+
+func TestOpenFileCreateFlags(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		// O_CREATE on a missing file creates it.
+		fl, err := f.OpenFile(th, "/a", OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Write(th, []byte("one")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		// Plain OpenFile on an existing file works.
+		if _, err := f.OpenFile(th, "/a", 0); err != nil {
+			t.Errorf("reopen: %v", err)
+		}
+		// O_CREATE|O_EXCL on an existing file fails.
+		if _, err := f.OpenFile(th, "/a", OCreate|OExcl); err == nil {
+			t.Error("O_EXCL did not fail on existing file")
+		}
+		// Plain open of a missing file fails.
+		if _, err := f.OpenFile(th, "/missing", 0); err == nil {
+			t.Error("opened a missing file without O_CREATE")
+		}
+		// Opening a directory as a file fails.
+		if err := f.Mkdir(th, "/d"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.OpenFile(th, "/d", 0); err == nil {
+			t.Error("opened a directory as a file")
+		}
+	})
+}
+
+func TestOpenFileTruncAndAppend(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		fl, _ := f.OpenFile(th, "/log", OCreate)
+		if err := fl.Write(th, []byte("0123456789")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		// O_APPEND continues at the end.
+		fl, err := f.OpenFile(th, "/log", OAppend)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Write(th, []byte("AB")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		fl, _ = f.Open(th, "/log")
+		buf := make([]byte, 32)
+		n, _ := fl.Read(th, buf)
+		if string(buf[:n]) != "0123456789AB" {
+			t.Errorf("append result %q", buf[:n])
+		}
+		// O_TRUNC resets the file.
+		fl, err = f.OpenFile(th, "/log", OTrunc)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if fl.Size() != 0 {
+			t.Errorf("size after O_TRUNC = %d", fl.Size())
+		}
+		rep, err := f.Fsck(th)
+		if err != nil || !rep.Clean() {
+			t.Errorf("fsck: %v err=%v", rep, err)
+		}
+	})
+}
+
+func TestHardLinks(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		fl, _ := f.Create(th, "/orig")
+		if err := fl.Write(th, []byte("shared bytes")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Link(th, "/orig", "/alias"); err != nil {
+			t.Error(err)
+			return
+		}
+		if n, _ := f.Links(th, "/orig"); n != 2 {
+			t.Errorf("links = %d, want 2", n)
+		}
+		// Content visible through both names; same inode.
+		a, _ := f.Stat(th, "/orig")
+		b, _ := f.Stat(th, "/alias")
+		if a.Inode != b.Inode {
+			t.Error("link does not share the inode")
+		}
+		g, _ := f.Open(th, "/alias")
+		buf := make([]byte, 32)
+		n, _ := g.Read(th, buf)
+		if !bytes.Equal(buf[:n], []byte("shared bytes")) {
+			t.Errorf("alias content %q", buf[:n])
+		}
+		// Fsck understands hard links.
+		rep, err := f.Fsck(th)
+		if err != nil || !rep.Clean() {
+			t.Fatalf("fsck with links: %v err=%v", rep, err)
+		}
+		// Unlinking one name keeps the data reachable via the other.
+		freeBefore := f.FreeBlocks()
+		if err := f.Unlink(th, "/orig"); err != nil {
+			t.Error(err)
+			return
+		}
+		if f.FreeBlocks() != freeBefore {
+			t.Error("unlink of one hard link freed the shared blocks")
+		}
+		if n, _ := f.Links(th, "/alias"); n != 1 {
+			t.Errorf("links after unlink = %d, want 1", n)
+		}
+		g, err = f.Open(th, "/alias")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		n, _ = g.Read(th, buf)
+		if !bytes.Equal(buf[:n], []byte("shared bytes")) {
+			t.Error("data lost after unlinking a sibling name")
+		}
+		// Unlinking the last name frees everything.
+		if err := f.Unlink(th, "/alias"); err != nil {
+			t.Error(err)
+			return
+		}
+		if f.FreeBlocks() <= freeBefore {
+			t.Error("final unlink did not free the blocks")
+		}
+		rep, err = f.Fsck(th)
+		if err != nil || !rep.Clean() {
+			t.Fatalf("fsck after unlinks: %v err=%v", rep, err)
+		}
+	})
+}
+
+func TestLinkErrors(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		if err := f.Link(th, "/nope", "/x"); err == nil {
+			t.Error("linked a missing file")
+		}
+		if err := f.Mkdir(th, "/d"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Link(th, "/d", "/d2"); err == nil {
+			t.Error("hard-linked a directory")
+		}
+		fl, _ := f.Create(th, "/a")
+		if err := fl.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Link(th, "/a", "/d"); err == nil {
+			t.Error("link over an existing name succeeded")
+		}
+	})
+}
+
+func TestSync(t *testing.T) {
+	withFS(t, func(th *sched.Thread, f *FileSystem) {
+		fl, _ := f.Create(th, "/s")
+		if err := fl.Write(th, []byte("x")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Sync(th); err != nil {
+			t.Error(err)
+			return
+		}
+	})
+}

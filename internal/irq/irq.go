@@ -1,0 +1,88 @@
+// Package irq implements K2's shared-interrupt management (§7).
+//
+// IO peripheral interrupts are physically wired to all coherence domains;
+// K2 must ensure each is handled by exactly one kernel. The rules: shared
+// interrupts never wake the strong domain from an inactive state (the shadow
+// kernel handles them then), and while the strong domain is awake the main
+// kernel handles all shared interrupts. K2 implements this with hooks in
+// the power-management code that flip the per-domain interrupt controller
+// masks on strong-domain power transitions.
+package irq
+
+import "k2/internal/soc"
+
+// Router owns the masking policy for the shared interrupt lines.
+type Router struct {
+	s     *soc.SoC
+	lines []soc.IRQLine
+	// single, if true, pins all shared interrupts to the strong domain
+	// (the Linux baseline, which has no shadow kernel).
+	single bool
+
+	// Flips counts mask flips (two per strong-domain power transition).
+	Flips int
+}
+
+// NewRouter installs K2's masking rules for the given shared lines. At boot
+// the shadow kernel masks all shared interrupts locally; the hooks flip
+// masks when the strong domain suspends or wakes.
+func NewRouter(s *soc.SoC, lines []soc.IRQLine) *Router {
+	r := &Router{s: s, lines: lines}
+	r.maskWeak()
+	strong := s.Domains[soc.Strong]
+	prevWake, prevSleep := strong.OnWake, strong.OnSleep
+	strong.OnWake = func() {
+		if prevWake != nil {
+			prevWake()
+		}
+		r.maskWeak()
+	}
+	strong.OnSleep = func() {
+		if prevSleep != nil {
+			prevSleep()
+		}
+		r.maskStrong()
+	}
+	return r
+}
+
+// NewSingleRouter pins all shared interrupts to the strong domain — the
+// configuration of the unmodified Linux baseline.
+func NewSingleRouter(s *soc.SoC, lines []soc.IRQLine) *Router {
+	r := &Router{s: s, lines: lines, single: true}
+	r.maskWeak()
+	return r
+}
+
+// maskWeak directs shared interrupts to the strong domain.
+func (r *Router) maskWeak() {
+	r.s.IRQ[soc.Weak].MaskAll(r.lines)
+	r.s.IRQ[soc.Strong].UnmaskAll(r.lines)
+	r.Flips++
+}
+
+// maskStrong directs shared interrupts to the weak domain (strong is
+// inactive and must not be woken by them).
+func (r *Router) maskStrong() {
+	if r.single {
+		return // Linux: nobody else can take them
+	}
+	r.s.IRQ[soc.Strong].MaskAll(r.lines)
+	r.s.IRQ[soc.Weak].UnmaskAll(r.lines)
+	r.Flips++
+}
+
+// HandlerDomain reports which domain currently has line unmasked; exactly
+// one domain must, or the peripherals could observe competing handlers.
+func (r *Router) HandlerDomain(line soc.IRQLine) (soc.DomainID, bool) {
+	sm := r.s.IRQ[soc.Strong].Masked(line)
+	wm := r.s.IRQ[soc.Weak].Masked(line)
+	switch {
+	case !sm && wm:
+		return soc.Strong, true
+	case sm && !wm:
+		return soc.Weak, true
+	default:
+		return 0, false
+	}
+}

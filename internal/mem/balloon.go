@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Balloon is a kernel's private balloon driver (§6.2). Retrofitting the idea
+// from virtual machines, it gives K2 the illusion of on-demand resizable
+// physical memory per kernel: deflate frees a 16 MB page block to the local
+// page allocator (transferring ownership K2 -> kernel); inflate evacuates a
+// page block from the kernel (kernel -> K2), migrating movable pages with
+// best effort.
+type Balloon struct {
+	Kernel soc.DomainID
+
+	// OnMigrate, if set, is told about every block evacuation performed
+	// by Inflate (old head, new head, order) — the analog of the reverse
+	// mappings a real kernel updates when it migrates movable pages.
+	OnMigrate func(old, new PFN, order int)
+
+	buddy  *Buddy
+	frames *Frames
+	cost   CostModel
+
+	// Stats.
+	Inflates, Deflates, PagesMoved int
+}
+
+// NewBalloon returns the balloon driver for the given kernel's allocator.
+func NewBalloon(k soc.DomainID, buddy *Buddy, frames *Frames, cost CostModel) *Balloon {
+	return &Balloon{Kernel: k, buddy: buddy, frames: frames, cost: cost}
+}
+
+// Deflate hands the K2-owned page block starting at block to the local page
+// allocator. From the kernel's perspective the balloon is a device driver
+// freeing part of its boot-time reservation, so the Linux allocator needs no
+// changes (§6.2). The executing core is charged the calibrated per-page
+// cost (interconnect-bound metadata writes plus a small CPU part).
+func (bl *Balloon) Deflate(p *sim.Proc, core *soc.Core, block PFN) {
+	core.ExecFor(p, bl.cost.DeflateInterconnectPerPage*BlockPages)
+	core.Exec(p, bl.cost.DeflateCPUPerPage*BlockPages)
+	bl.buddy.AddRegion(block, BlockPages)
+	bl.Deflates++
+}
+
+// Inflate reclaims the page block starting at block from the local kernel:
+// free pages are quarantined and allocated movable pages are migrated
+// elsewhere in the kernel's memory. It fails with ErrUnmovable if the block
+// is pinned by an unmovable page, or ErrNoMemory if the kernel lacks room
+// to absorb the evacuees; in both cases the block is left with the kernel.
+func (bl *Balloon) Inflate(p *sim.Proc, core *soc.Core, block PFN) error {
+	// Pre-scan: an unmovable page pins the whole block (best-effort
+	// placement makes this unlikely near the frontier, §6.2).
+	for i := block; i < block+BlockPages; i++ {
+		f := bl.frames.f[i]
+		if int(f.owner) != int(bl.Kernel) {
+			return errf("inflate of block %d not owned by kernel %v", block, bl.Kernel)
+		}
+		if f.alloc && f.mt == Unmovable {
+			// Charge the scan that discovered the pin.
+			core.ExecFor(p, bl.cost.InflateInterconnectPerPage*BlockPages/8)
+			return ErrUnmovable
+		}
+	}
+
+	bl.buddy.quarantineFree(block, BlockPages)
+	moved := 0
+	failed := false
+	blocks := bl.buddy.allocatedBlocks(block, BlockPages)
+	for _, ab := range blocks {
+		head, order := PFN(ab[0]), ab[1]
+		mt := bl.frames.f[head].mt
+		dst, _, err := bl.buddy.allocQuiet(order, mt)
+		if err != nil {
+			failed = true
+			break
+		}
+		// The data copy cost is part of the calibrated per-page cost.
+		if bl.OnMigrate != nil {
+			bl.OnMigrate(head, dst, order)
+		}
+		moved += 1 << order
+		// Vacate the original pages: they now belong to K2. They were
+		// allocated, so only the managed-total shrinks.
+		bl.buddy.ntotal -= 1 << order
+		for i := head; i < head+PFN(1<<order); i++ {
+			bl.frames.f[i] = frame{owner: ownerNone}
+		}
+	}
+
+	// Charge the evacuation: per-page scan/metadata plus migration.
+	core.ExecFor(p, bl.cost.InflateInterconnectPerPage*BlockPages)
+	core.Exec(p, bl.cost.InflateCPUPerPage*BlockPages)
+
+	if failed {
+		// Return what we took: vacated originals and quarantined ranges
+		// rejoin the kernel's allocator; the block stays with the kernel.
+		bl.restore(block)
+		return ErrNoMemory
+	}
+	bl.PagesMoved += moved
+	bl.Inflates++
+	return nil
+}
+
+// restore re-adds every K2-owned page in the block back to the kernel's
+// allocator as free memory (rollback of a failed inflation).
+func (bl *Balloon) restore(block PFN) {
+	run := -1
+	for i := block; i <= block+BlockPages; i++ {
+		isK2 := i < block+BlockPages && int(bl.frames.f[i].owner) == ownerNone
+		if isK2 && run < 0 {
+			run = int(i)
+		}
+		if !isK2 && run >= 0 {
+			bl.buddy.AddRegion(PFN(run), int(i)-run)
+			run = -1
+		}
+	}
+}

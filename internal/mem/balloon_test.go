@@ -1,0 +1,318 @@
+package mem
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// newStack builds a manager over a global region starting at block 1
+// (leaving block 0 as a stand-in for local regions).
+func newStack() (*sim.Engine, *soc.SoC, *Manager) {
+	e, s, fr := testRig()
+	m := NewManager(s, fr, DefaultCostModel(), BlockPages, PFN(s.Pages()))
+	return e, s, m
+}
+
+func TestManagerPoolCoversGlobalRegion(t *testing.T) {
+	_, s, m := newStack()
+	wantBlocks := (s.Pages() - BlockPages) / BlockPages
+	if m.PoolBlocks() != wantBlocks {
+		t.Fatalf("pool = %d blocks, want %d", m.PoolBlocks(), wantBlocks)
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeflateGrowsKernelAndFrontierPolicy(t *testing.T) {
+	e, s, m := newStack()
+	runOn(t, e, func(p *sim.Proc) {
+		mainBlk, err := m.DeflateBlock(p, s.Core(soc.Strong, 0), soc.Strong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadBlk, err := m.DeflateBlock(p, s.Core(soc.Weak, 0), soc.Weak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Main takes the lowest pool block, shadow the highest (§6.2).
+		if mainBlk != BlockPages {
+			t.Fatalf("main block at %d, want %d (low end)", mainBlk, BlockPages)
+		}
+		wantShad := PFN(s.Pages()) - BlockPages
+		if shadBlk != wantShad {
+			t.Fatalf("shadow block at %d, want %d (high end)", shadBlk, wantShad)
+		}
+	})
+	if m.Buddies[soc.Strong].FreePages() != BlockPages {
+		t.Fatalf("main free pages = %d", m.Buddies[soc.Strong].FreePages())
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+	_ = e
+}
+
+// Table 4 check: balloon deflate ~10.4/12.8 ms, inflate ~11.6/20.4 ms
+// (main/shadow).
+func TestTable4BalloonLatencies(t *testing.T) {
+	e, s, m := newStack()
+	measure := func(p *sim.Proc, fn func()) time.Duration {
+		start := p.Now()
+		fn()
+		return p.Now().Sub(start)
+	}
+	var defMain, defShad, infMain, infShad time.Duration
+	runOn(t, e, func(p *sim.Proc) {
+		cm, cs := s.Core(soc.Strong, 0), s.Core(soc.Weak, 0)
+		defMain = measure(p, func() {
+			if _, err := m.DeflateBlock(p, cm, soc.Strong); err != nil {
+				t.Fatal(err)
+			}
+		})
+		defShad = measure(p, func() {
+			if _, err := m.DeflateBlock(p, cs, soc.Weak); err != nil {
+				t.Fatal(err)
+			}
+		})
+		infMain = measure(p, func() {
+			if _, err := m.InflateBlock(p, cm, soc.Strong); err != nil {
+				t.Fatal(err)
+			}
+		})
+		infShad = measure(p, func() {
+			if _, err := m.InflateBlock(p, cs, soc.Weak); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	check := func(name string, got time.Duration, wantMS float64) {
+		ms := got.Seconds() * 1e3
+		if ms < wantMS*0.6 || ms > wantMS*1.5 {
+			t.Errorf("%s = %.2f ms, want ~%.1f", name, ms, wantMS)
+		}
+	}
+	check("deflate main", defMain, 10.4)
+	check("deflate shadow", defShad, 12.8)
+	check("inflate main", infMain, 11.6)
+	check("inflate shadow", infShad, 20.4)
+}
+
+func TestInflateMigratesMovablePages(t *testing.T) {
+	e, s, m := newStack()
+	runOn(t, e, func(p *sim.Proc) {
+		core := s.Core(soc.Strong, 0)
+		blk, err := m.DeflateBlock(p, core, soc.Strong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.DeflateBlock(p, core, soc.Strong); err != nil {
+			t.Fatal(err)
+		}
+		// Allocate movable pages; they land near the high frontier, i.e.
+		// in the second block.
+		for i := 0; i < 100; i++ {
+			if _, err := m.Buddies[soc.Strong].Alloc(p, core, 0, Movable); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := m.Buddies[soc.Strong].FreePages()
+		// Reclaim the frontier block (the second one): must migrate the
+		// 100 movable pages into the first block and succeed.
+		head, err := m.InflateBlock(p, core, soc.Strong)
+		if err != nil {
+			t.Fatalf("inflate failed: %v", err)
+		}
+		if head == blk {
+			t.Fatalf("inflated the non-frontier block")
+		}
+		if moved := m.Balloons[soc.Strong].PagesMoved; moved != 100 {
+			t.Fatalf("pages moved = %d, want 100", moved)
+		}
+		after := m.Buddies[soc.Strong].FreePages()
+		// One block left holding 100 movable pages.
+		if after != BlockPages-100 {
+			t.Fatalf("free pages after inflate = %d, want %d (before %d)",
+				after, BlockPages-100, before)
+		}
+	})
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = e, s
+}
+
+func TestInflateFailsOnUnmovablePage(t *testing.T) {
+	e, s, m := newStack()
+	runOn(t, e, func(p *sim.Proc) {
+		core := s.Core(soc.Weak, 0)
+		if _, err := m.DeflateBlock(p, core, soc.Weak); err != nil {
+			t.Fatal(err)
+		}
+		// A single unmovable page pins the only block.
+		if _, err := m.Buddies[soc.Weak].Alloc(p, core, 0, Unmovable); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.InflateBlock(p, core, soc.Weak); err != ErrUnmovable {
+			t.Fatalf("err = %v, want ErrUnmovable", err)
+		}
+	})
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = e, s
+}
+
+func TestInflateRollbackOnNoRoom(t *testing.T) {
+	e, s, m := newStack()
+	runOn(t, e, func(p *sim.Proc) {
+		core := s.Core(soc.Strong, 0)
+		if _, err := m.DeflateBlock(p, core, soc.Strong); err != nil {
+			t.Fatal(err)
+		}
+		// Fill over half the block with movable pages: migration cannot
+		// fit them in the remaining free space of the same (only) block.
+		n := BlockPages/2 + 8
+		for i := 0; i < n; i++ {
+			if _, err := m.Buddies[soc.Strong].Alloc(p, core, 0, Movable); err != nil {
+				t.Fatal(err)
+			}
+		}
+		free := m.Buddies[soc.Strong].FreePages()
+		if _, err := m.InflateBlock(p, core, soc.Strong); err == nil {
+			t.Fatal("inflate unexpectedly succeeded")
+		}
+		if got := m.Buddies[soc.Strong].FreePages(); got != free {
+			t.Fatalf("free pages after rollback = %d, want %d", got, free)
+		}
+		if err := m.Buddies[soc.Strong].CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = e, s
+}
+
+func TestFreeRedirectsToOwningKernel(t *testing.T) {
+	e, s, m := newStack()
+	var remote PFN
+	runOn(t, e, func(p *sim.Proc) {
+		cm := s.Core(soc.Strong, 0)
+		if _, err := m.DeflateBlock(p, cm, soc.Strong); err != nil {
+			t.Fatal(err)
+		}
+		pfn, err := m.Buddies[soc.Strong].Alloc(p, cm, 0, Movable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote = pfn
+		// The shadow kernel frees a main-kernel page: it must be queued
+		// for the main worker, not freed locally.
+		m.Free(p, s.Core(soc.Weak, 0), soc.Weak, pfn)
+		if m.Frames.Allocated(pfn) != true {
+			t.Fatal("redirected free applied synchronously")
+		}
+	})
+	// Drain via the main worker.
+	e.Spawn("worker-main", func(p *sim.Proc) {
+		m.Worker(p, s.Core(soc.Strong, 1), soc.Strong)
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Frames.Allocated(remote) {
+		t.Fatal("remote free was not applied by the owner's worker")
+	}
+}
+
+func TestPressureProbeTriggersBackgroundDeflate(t *testing.T) {
+	e, s, m := newStack()
+	// Start both workers.
+	e.Spawn("worker-main", func(p *sim.Proc) { m.Worker(p, s.Core(soc.Strong, 1), soc.Strong) })
+	e.Spawn("worker-shadow", func(p *sim.Proc) { m.Worker(p, s.Core(soc.Weak, 0), soc.Weak) })
+	done := false
+	e.Spawn("app", func(p *sim.Proc) {
+		core := s.Core(soc.Strong, 0)
+		if _, err := m.DeflateBlock(p, core, soc.Strong); err != nil {
+			t.Fatal(err)
+		}
+		// Allocate until below the watermark; the probe should kick the
+		// worker, which deflates another block in the background.
+		for m.Buddies[soc.Strong].FreePages() >= m.Buddies[soc.Strong].LowWater {
+			if _, err := m.Buddies[soc.Strong].Alloc(p, core, 4, Movable); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Give the background worker time.
+		p.Sleep(100 * time.Millisecond)
+		if m.Buddies[soc.Strong].TotalPages() < 2*BlockPages {
+			t.Error("background deflate did not run")
+		}
+		done = true
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("app did not finish")
+	}
+}
+
+func TestReclaimFromPeerWhenPoolEmpty(t *testing.T) {
+	e, s, fr := testRig()
+	// Tiny global region: exactly 2 blocks.
+	m := NewManager(s, fr, DefaultCostModel(), BlockPages, 3*BlockPages)
+	if m.PoolBlocks() != 2 {
+		t.Fatalf("pool = %d", m.PoolBlocks())
+	}
+	e.Spawn("worker-main", func(p *sim.Proc) { m.Worker(p, s.Core(soc.Strong, 1), soc.Strong) })
+	e.Spawn("worker-shadow", func(p *sim.Proc) { m.Worker(p, s.Core(soc.Weak, 0), soc.Weak) })
+	// Route balloon mailbox traffic (normally done by the kernels'
+	// dispatchers).
+	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+		k := k
+		e.Spawn("mbox-"+k.String(), func(p *sim.Proc) {
+			for {
+				msg := s.Mailbox.Recv(p, k)
+				switch msg.Type() {
+				case soc.MsgBalloonCmd:
+					m.EnqueueReclaim(k)
+				case soc.MsgBalloonAck:
+					m.OnBalloonAck(k)
+				}
+			}
+		})
+	}
+	done := false
+	e.Spawn("app", func(p *sim.Proc) {
+		cs := s.Core(soc.Weak, 0)
+		// Shadow takes both blocks; pool is now empty.
+		if _, err := m.DeflateBlock(p, cs, soc.Weak); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.DeflateBlock(p, cs, soc.Weak); err != nil {
+			t.Fatal(err)
+		}
+		// Main hits pressure: its worker must reclaim from shadow.
+		m.Kick(soc.Strong)
+		p.Sleep(500 * time.Millisecond)
+		if m.Buddies[soc.Strong].TotalPages() == 0 {
+			t.Error("main never received a block via peer reclaim")
+		}
+		if m.Reclaims == 0 {
+			t.Error("no reclaim recorded")
+		}
+		done = true
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("app did not finish")
+	}
+}

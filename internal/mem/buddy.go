@@ -1,0 +1,354 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// MaxOrder is the largest buddy order: 2^12 pages = 16 MB, matching the
+// meta-level manager's page-block granularity (§6.2).
+const MaxOrder = 12
+
+// BlockPages is the number of 4 KB pages in one 16 MB page block.
+const BlockPages = 1 << MaxOrder
+
+// Buddy is one kernel's physical page allocator: a real buddy system with
+// per-order free lists, split/coalesce, and migrate-type-aware placement.
+// Each kernel has an independent instance with no shared state (§6.2); the
+// executing core is charged the calibrated CPU cost of each operation, so
+// the weak kernel's allocator is naturally ~12x slower (Table 4).
+type Buddy struct {
+	// ID is the owning kernel (its domain).
+	ID soc.DomainID
+	// FrontierHigh places movable pages toward the high end of the address
+	// space (the balloon frontier of the main kernel); the shadow kernel's
+	// frontier is at the low end (§6.2 optimization 2 and 3).
+	FrontierHigh bool
+	// NoPlacementPolicy disables the migrate-type-aware placement (all
+	// allocations take the lowest suitable block, as a vanilla buddy
+	// would). Exists for the ablation quantifying §6.2's optimization 3.
+	NoPlacementPolicy bool
+	// LowWater triggers the pressure probe when free pages drop below it.
+	LowWater int
+	// OnPressure is the meta-level manager's probe hook (§6.2); invoked
+	// from the allocating proc's context after the allocation completes.
+	OnPressure func()
+
+	frames *Frames
+	cost   CostModel
+	free   [MaxOrder + 1][]PFN // sorted ascending
+	nfree  int
+	ntotal int
+
+	// Stats.
+	Allocs, Frees, Splits, Merges int
+}
+
+// NewBuddy returns an empty allocator for kernel id over the shared frames.
+func NewBuddy(id soc.DomainID, frames *Frames, cost CostModel, frontierHigh bool) *Buddy {
+	return &Buddy{ID: id, FrontierHigh: frontierHigh, frames: frames, cost: cost}
+}
+
+// FreePages returns the number of free pages in this allocator.
+func (b *Buddy) FreePages() int { return b.nfree }
+
+// TotalPages returns the number of pages this allocator manages.
+func (b *Buddy) TotalPages() int { return b.ntotal }
+
+func insertSorted(s []PFN, v PFN) []PFN {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []PFN, v PFN) ([]PFN, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i >= len(s) || s[i] != v {
+		return s, false
+	}
+	return append(s[:i], s[i+1:]...), true
+}
+
+func (b *Buddy) pushFree(p PFN, order int) {
+	f := &b.frames.f[p]
+	f.owner = int8(b.ID)
+	f.alloc = false
+	f.head = true
+	f.free = true
+	f.order = uint8(order)
+	b.free[order] = insertSorted(b.free[order], p)
+}
+
+// AddRegion donates [start, start+n) to the allocator as free memory,
+// decomposing it into maximal naturally-aligned blocks. Used at boot for
+// local regions and by balloon deflation for page blocks. It charges no CPU
+// cost itself (callers account for it).
+func (b *Buddy) AddRegion(start PFN, n int) {
+	b.ntotal += n
+	b.nfree += n
+	for i := start; i < start+PFN(n); i++ {
+		b.frames.f[i] = frame{owner: int8(b.ID)}
+	}
+	p := start
+	rem := n
+	for rem > 0 {
+		order := MaxOrder
+		for order > 0 && (p&(1<<order-1) != 0 || 1<<order > rem) {
+			order--
+		}
+		b.coalesceAndInsert(p, order)
+		p += 1 << order
+		rem -= 1 << order
+	}
+}
+
+// Alloc allocates a block of 2^order pages of the given migrate type,
+// charging the calibrated cost to core. It returns the head PFN.
+func (b *Buddy) Alloc(p *sim.Proc, core *soc.Core, order int, mt MigrateType) (PFN, error) {
+	pfn, splits, err := b.allocQuiet(order, mt)
+	if err != nil {
+		return 0, err
+	}
+	_ = splits
+	w := b.cost.AllocBase +
+		b.cost.AllocPerPage*soc.Work(1<<order) +
+		b.cost.AllocPerOrder*soc.Work(order) +
+		b.cost.Probe
+	core.Exec(p, w)
+	if b.OnPressure != nil && b.nfree < b.LowWater {
+		b.OnPressure()
+	}
+	return pfn, nil
+}
+
+// AllocBoot allocates without charging CPU time; used during kernel boot,
+// before time accounting matters.
+func (b *Buddy) AllocBoot(order int, mt MigrateType) (PFN, error) {
+	pfn, _, err := b.allocQuiet(order, mt)
+	return pfn, err
+}
+
+// allocQuiet performs the allocation bookkeeping without charging time;
+// boot-time setup and tests use it directly.
+//
+// Placement: movable allocations grow toward the balloon frontier and
+// unmovable ones away from it, maximizing the chance that page blocks near
+// the frontier can be evacuated on inflation (§6.2). To honor this with
+// best effort, the search considers every order that can satisfy the
+// request and picks the block closest to the preferred end (smaller blocks
+// win ties to limit splitting).
+func (b *Buddy) allocQuiet(order int, mt MigrateType) (PFN, int, error) {
+	towardFrontier := mt == Movable
+	takeHigh := towardFrontier == b.FrontierHigh
+	if b.NoPlacementPolicy {
+		takeHigh = false
+	}
+
+	k := -1
+	var blk PFN
+	for j := order; j <= MaxOrder; j++ {
+		list := b.free[j]
+		if len(list) == 0 {
+			continue
+		}
+		var cand PFN
+		if takeHigh {
+			cand = list[len(list)-1]
+		} else {
+			cand = list[0]
+		}
+		switch {
+		case k < 0:
+			k, blk = j, cand
+		case takeHigh && cand+PFN(1<<j) > blk+PFN(1<<k):
+			k, blk = j, cand
+		case !takeHigh && cand < blk:
+			k, blk = j, cand
+		}
+	}
+	if k < 0 {
+		return 0, 0, ErrNoMemory
+	}
+	var ok bool
+	b.free[k], ok = removeSorted(b.free[k], blk)
+	if !ok {
+		panic("mem: alloc: free list inconsistent")
+	}
+	b.frames.f[blk].free = false
+
+	splits := 0
+	for j := k; j > order; j-- {
+		half := PFN(1 << (j - 1))
+		lower, upper := blk, blk+half
+		if takeHigh {
+			b.pushFree(lower, j-1)
+			blk = upper
+		} else {
+			b.pushFree(upper, j-1)
+			blk = lower
+		}
+		splits++
+	}
+	b.Splits += splits
+
+	head := &b.frames.f[blk]
+	head.alloc = true
+	head.head = true
+	head.free = false
+	head.order = uint8(order)
+	head.mt = mt
+	for i := blk + 1; i < blk+PFN(1<<order); i++ {
+		f := &b.frames.f[i]
+		f.alloc = true
+		f.head = false
+		f.free = false
+		f.mt = mt
+	}
+	b.nfree -= 1 << order
+	b.Allocs++
+	return blk, splits, nil
+}
+
+// Free releases the block headed by pfn, coalescing with free buddies, and
+// charges the calibrated cost to core. The page must have been allocated by
+// this instance (the redirect wrapper in Router routes remote frees).
+func (b *Buddy) Free(p *sim.Proc, core *soc.Core, pfn PFN) {
+	merges := b.freeQuiet(pfn)
+	w := b.cost.FreeBase + b.cost.FreePerMerge*soc.Work(merges) + b.cost.Probe
+	core.Exec(p, w)
+}
+
+// freeQuiet performs the free bookkeeping without charging time.
+func (b *Buddy) freeQuiet(pfn PFN) int {
+	f := &b.frames.f[pfn]
+	if !f.alloc || !f.head {
+		panic("mem: Free of a page that is not an allocated block head")
+	}
+	if int(f.owner) != int(b.ID) {
+		panic("mem: Free routed to the wrong allocator instance")
+	}
+	order := int(f.order)
+	b.nfree += 1 << order
+	b.Frees++
+	for i := pfn; i < pfn+PFN(1<<order); i++ {
+		g := &b.frames.f[i]
+		g.alloc = false
+		g.head = false
+	}
+	return b.coalesceAndInsert(pfn, order)
+}
+
+func (b *Buddy) coalesceAndInsert(pfn PFN, order int) int {
+	merges := 0
+	for order < MaxOrder {
+		buddy := pfn ^ (1 << order)
+		if int(buddy) >= b.frames.Len() {
+			break
+		}
+		g := &b.frames.f[buddy]
+		if int(g.owner) != int(b.ID) || !g.free || int(g.order) != order {
+			break
+		}
+		// Merge with the buddy block.
+		var ok bool
+		b.free[order], ok = removeSorted(b.free[order], buddy)
+		if !ok {
+			panic("mem: free list inconsistent with frame metadata")
+		}
+		g.free = false
+		g.head = false
+		if buddy < pfn {
+			pfn = buddy
+		}
+		order++
+		merges++
+	}
+	b.Merges += merges
+	b.pushFree(pfn, order)
+	return merges
+}
+
+// quarantineFree removes all free sub-blocks within [start, start+n) from
+// the free lists and strips their ownership, so a concurrent allocation
+// cannot hand them out while the balloon inflates the block.
+func (b *Buddy) quarantineFree(start PFN, n int) (removed int) {
+	for p := start; p < start+PFN(n); {
+		f := &b.frames.f[p]
+		if f.free && f.head {
+			order := int(f.order)
+			var ok bool
+			b.free[order], ok = removeSorted(b.free[order], p)
+			if !ok {
+				panic("mem: quarantine: free list inconsistent")
+			}
+			f.free = false
+			f.head = false
+			f.owner = ownerNone
+			for i := p + 1; i < p+PFN(1<<order); i++ {
+				b.frames.f[i].owner = ownerNone
+			}
+			removed += 1 << order
+			p += PFN(1 << order)
+			continue
+		}
+		p++
+	}
+	b.nfree -= removed
+	b.ntotal -= removed
+	return removed
+}
+
+// allocatedBlocks lists (head, order) of allocated blocks in [start, start+n).
+func (b *Buddy) allocatedBlocks(start PFN, n int) [][2]int {
+	var out [][2]int
+	for p := start; p < start+PFN(n); {
+		f := &b.frames.f[p]
+		if f.alloc && f.head {
+			out = append(out, [2]int{int(p), int(f.order)})
+			p += PFN(1 << f.order)
+			continue
+		}
+		p++
+	}
+	return out
+}
+
+// CheckInvariants validates the allocator's internal consistency: free-list
+// entries match frame metadata, no block appears twice, and the free page
+// count is exact. Tests and property checks call it after random workloads.
+func (b *Buddy) CheckInvariants() error {
+	count := 0
+	seen := make(map[PFN]bool)
+	for order, list := range b.free {
+		for i, p := range list {
+			if i > 0 && list[i-1] >= p {
+				return errf("free list order %d not sorted", order)
+			}
+			if seen[p] {
+				return errf("page %d on multiple free lists", p)
+			}
+			seen[p] = true
+			f := b.frames.f[p]
+			if !f.free || !f.head || int(f.order) != order || int(f.owner) != int(b.ID) {
+				return errf("page %d free-list metadata mismatch", p)
+			}
+			if p&(1<<order-1) != 0 {
+				return errf("page %d not aligned to order %d", p, order)
+			}
+			count += 1 << order
+		}
+	}
+	if count != b.nfree {
+		return errf("free count %d != tracked %d", count, b.nfree)
+	}
+	return nil
+}
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf("mem: invariant violated: "+format, args...)
+}

@@ -1,0 +1,253 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func testRig() (*sim.Engine, *soc.SoC, *Frames) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	fr := NewFrames(s.Pages(), s.Cfg.PageSize)
+	return e, s, fr
+}
+
+// runOn runs fn in a proc and drives the engine to completion.
+func runOn(t *testing.T, e *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	e.Spawn("test", fn)
+	if err := e.Run(sim.Time(1e15)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyAddRegionDecomposesAligned(t *testing.T) {
+	_, _, fr := testRig()
+	b := NewBuddy(soc.Strong, fr, DefaultCostModel(), true)
+	// An unaligned region: 3 pages starting at 1, plus a full block.
+	b.AddRegion(1, 3)
+	b.AddRegion(BlockPages, BlockPages)
+	if b.FreePages() != 3+BlockPages {
+		t.Fatalf("free = %d", b.FreePages())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyAllocSplitFreeCoalesce(t *testing.T) {
+	_, _, fr := testRig()
+	b := NewBuddy(soc.Strong, fr, DefaultCostModel(), true)
+	b.AddRegion(0, BlockPages) // one 16 MB block
+
+	p1, _, err := b.allocQuiet(0, Unmovable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FreePages() != BlockPages-1 {
+		t.Fatalf("free = %d", b.FreePages())
+	}
+	if !fr.Allocated(p1) || fr.Owner(p1) != int(soc.Strong) {
+		t.Fatal("frame metadata wrong after alloc")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	b.freeQuiet(p1)
+	if b.FreePages() != BlockPages {
+		t.Fatalf("free after free = %d", b.FreePages())
+	}
+	// Everything must have coalesced back to a single max-order block.
+	if len(b.free[MaxOrder]) != 1 {
+		t.Fatalf("did not coalesce to max order: %v", b.free)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyPlacementPolicy(t *testing.T) {
+	_, _, fr := testRig()
+	// FrontierHigh (main kernel): movable high, unmovable low.
+	b := NewBuddy(soc.Strong, fr, DefaultCostModel(), true)
+	b.AddRegion(0, BlockPages)
+	um, _, _ := b.allocQuiet(0, Unmovable)
+	mv, _, _ := b.allocQuiet(0, Movable)
+	if um != 0 {
+		t.Fatalf("unmovable at %d, want 0 (low end)", um)
+	}
+	if mv != BlockPages-1 {
+		t.Fatalf("movable at %d, want %d (high end)", mv, BlockPages-1)
+	}
+
+	// Shadow: frontier low, so movable low, unmovable high.
+	fr2 := NewFrames(BlockPages, 4096)
+	b2 := NewBuddy(soc.Weak, fr2, DefaultCostModel(), false)
+	b2.AddRegion(0, BlockPages)
+	mv2, _, _ := b2.allocQuiet(0, Movable)
+	um2, _, _ := b2.allocQuiet(0, Unmovable)
+	if mv2 != 0 {
+		t.Fatalf("shadow movable at %d, want 0", mv2)
+	}
+	if um2 != BlockPages-1 {
+		t.Fatalf("shadow unmovable at %d, want high end", um2)
+	}
+}
+
+func TestBuddyExhaustion(t *testing.T) {
+	_, _, fr := testRig()
+	b := NewBuddy(soc.Strong, fr, DefaultCostModel(), true)
+	b.AddRegion(0, 8)
+	if _, _, err := b.allocQuiet(4, Unmovable); err != ErrNoMemory {
+		t.Fatalf("order-4 from 8 pages: err = %v, want ErrNoMemory", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := b.allocQuiet(0, Unmovable); err != nil {
+			t.Fatalf("alloc %d failed: %v", i, err)
+		}
+	}
+	if _, _, err := b.allocQuiet(0, Unmovable); err != ErrNoMemory {
+		t.Fatalf("err = %v, want ErrNoMemory when exhausted", err)
+	}
+}
+
+// Table 4 check: allocation latencies on main and shadow must land near the
+// paper's measurements (µs): 4K: 1/12, 256K: 5/45, 1024K: 13/146.
+func TestTable4AllocLatencies(t *testing.T) {
+	cases := []struct {
+		order              int
+		wantMain, wantShad float64 // µs
+	}{
+		{0, 1, 12},
+		{6, 5, 45},
+		{8, 13, 146},
+	}
+	for _, tc := range cases {
+		e, s, fr := testRig()
+		b := NewBuddy(soc.Strong, fr, DefaultCostModel(), true)
+		bs := NewBuddy(soc.Weak, fr, DefaultCostModel(), false)
+		b.AddRegion(0, BlockPages)
+		bs.AddRegion(BlockPages, BlockPages)
+		// Warm up so steady-state split counts apply.
+		warm, _, _ := b.allocQuiet(tc.order, Unmovable)
+		b.freeQuiet(warm)
+		warm, _, _ = bs.allocQuiet(tc.order, Unmovable)
+		bs.freeQuiet(warm)
+
+		var mainUS, shadUS float64
+		runOn(t, e, func(p *sim.Proc) {
+			start := p.Now()
+			if _, err := b.Alloc(p, s.Core(soc.Strong, 0), tc.order, Unmovable); err != nil {
+				t.Fatal(err)
+			}
+			mainUS = float64(p.Now().Sub(start).Nanoseconds()) / 1e3
+			start = p.Now()
+			if _, err := bs.Alloc(p, s.Core(soc.Weak, 0), tc.order, Unmovable); err != nil {
+				t.Fatal(err)
+			}
+			shadUS = float64(p.Now().Sub(start).Nanoseconds()) / 1e3
+		})
+		if mainUS < tc.wantMain*0.5 || mainUS > tc.wantMain*1.6 {
+			t.Errorf("order %d main latency = %.2fµs, want ~%.0f", tc.order, mainUS, tc.wantMain)
+		}
+		if shadUS < tc.wantShad*0.5 || shadUS > tc.wantShad*1.6 {
+			t.Errorf("order %d shadow latency = %.2fµs, want ~%.0f", tc.order, shadUS, tc.wantShad)
+		}
+	}
+}
+
+// Property: arbitrary interleavings of allocs and frees preserve the buddy
+// invariants and conserve pages.
+func TestQuickBuddyRandomWorkload(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw)%120 + 30
+		_, _, fr := testRig()
+		b := NewBuddy(soc.Strong, fr, DefaultCostModel(), true)
+		b.AddRegion(0, 2*BlockPages)
+		type allocation struct {
+			pfn   PFN
+			order int
+		}
+		var live []allocation
+		for i := 0; i < ops; i++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				order := rng.Intn(7)
+				mt := MigrateType(rng.Intn(2))
+				pfn, _, err := b.allocQuiet(order, mt)
+				if err != nil {
+					continue
+				}
+				live = append(live, allocation{pfn, order})
+			} else {
+				i := rng.Intn(len(live))
+				b.freeQuiet(live[i].pfn)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		inUse := 0
+		for _, a := range live {
+			inUse += 1 << a.order
+		}
+		if b.FreePages()+inUse != 2*BlockPages {
+			return false
+		}
+		return b.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no allocation ever returns a page that is already live, and
+// frees make pages reusable.
+func TestQuickBuddyNoDoubleAllocation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, _, fr := testRig()
+		b := NewBuddy(soc.Weak, fr, DefaultCostModel(), false)
+		b.AddRegion(0, BlockPages)
+		liveSet := make(map[PFN]bool)
+		var heads []PFN
+		for i := 0; i < 200; i++ {
+			if rng.Intn(3) > 0 || len(heads) == 0 {
+				order := rng.Intn(4)
+				pfn, _, err := b.allocQuiet(order, Movable)
+				if err != nil {
+					continue
+				}
+				for q := pfn; q < pfn+PFN(1<<order); q++ {
+					if liveSet[q] {
+						return false // double allocation
+					}
+					liveSet[q] = true
+				}
+				heads = append(heads, pfn)
+			} else {
+				i := rng.Intn(len(heads))
+				h := heads[i]
+				order := 0
+				for q := h; fr.Allocated(q) && (q == h || !fr.f[q].head); q++ {
+					order++ // count pages of the block
+				}
+				// Use recorded metadata instead.
+				blkOrder := int(fr.f[h].order)
+				b.freeQuiet(h)
+				for q := h; q < h+PFN(1<<blkOrder); q++ {
+					delete(liveSet, q)
+				}
+				heads = append(heads[:i], heads[i+1:]...)
+				_ = order
+			}
+		}
+		return b.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package mem
+
+import (
+	"sort"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Manager is K2's meta-level memory manager (§6.2): it owns the pool of
+// 16 MB page blocks in the global region and decides when to take blocks
+// from and give blocks to kernels. It is realized as distributed probes
+// (Buddy.OnPressure hooks) plus one background worker per kernel, which
+// coordinate through hardware messages and act by invoking local balloon
+// drivers — like the kernel swap daemon, the expensive work happens in the
+// background so individual allocations stay fast (Table 4).
+type Manager struct {
+	SoC    *soc.SoC
+	Frames *Frames
+
+	Buddies  [2]*Buddy
+	Balloons [2]*Balloon
+
+	// GlobalStart/GlobalEnd bound the shared global region in pages.
+	GlobalStart, GlobalEnd PFN
+
+	pool       []PFN // sorted free block heads owned by K2
+	poolLock   *soc.HWSpinlock
+	blockOwner map[PFN]soc.DomainID
+
+	workQ   [2]*sim.Queue
+	ackGate [2]*sim.Gate
+	pending [2]bool // a deflate request is already queued
+
+	// Tracef, if set, receives meta-manager trace lines.
+	Tracef func(format string, args ...interface{})
+
+	// Stats.
+	Reclaims int
+}
+
+type workItem struct {
+	kind workKind
+	pfn  PFN
+}
+
+type workKind int
+
+const (
+	workNeedBlock workKind = iota
+	workReclaim
+	workRemoteFree
+)
+
+// NewManager builds the memory-management stack over the global region
+// [globalStart, globalEnd): two independent buddy instances, two balloons,
+// and the K2-owned block pool covering the whole region (§6.2: at boot the
+// balloons occupy the entire shared region).
+func NewManager(s *soc.SoC, frames *Frames, cost CostModel, globalStart, globalEnd PFN) *Manager {
+	m := &Manager{
+		SoC:         s,
+		Frames:      frames,
+		GlobalStart: globalStart,
+		GlobalEnd:   globalEnd,
+		poolLock:    s.Spinlocks.Lock(0),
+		blockOwner:  make(map[PFN]soc.DomainID),
+	}
+	// The main kernel's blocks grow upward from just after its local
+	// region (movable pages toward the high frontier); the shadow kernel's
+	// grow downward from the end of memory.
+	m.Buddies[soc.Strong] = NewBuddy(soc.Strong, frames, cost, true)
+	m.Buddies[soc.Weak] = NewBuddy(soc.Weak, frames, cost, false)
+	for id := range m.Buddies {
+		id := soc.DomainID(id)
+		m.Balloons[id] = NewBalloon(id, m.Buddies[id], frames, cost)
+		m.workQ[id] = sim.NewQueue(s.Eng)
+		m.ackGate[id] = sim.NewGate(s.Eng)
+		m.Buddies[id].LowWater = 2 * BlockPages / 4 // 8 MB
+		m.Buddies[id].OnPressure = func() { m.Kick(id) }
+	}
+	for b := alignUp(globalStart); b+BlockPages <= globalEnd; b += BlockPages {
+		m.pool = append(m.pool, b)
+	}
+	return m
+}
+
+func alignUp(p PFN) PFN { return (p + BlockPages - 1) &^ (BlockPages - 1) }
+
+// PoolBlocks returns how many 16 MB blocks K2 currently owns.
+func (m *Manager) PoolBlocks() int { return len(m.pool) }
+
+// BlockOwner returns which kernel holds the block at head, if any.
+func (m *Manager) BlockOwner(head PFN) (soc.DomainID, bool) {
+	d, ok := m.blockOwner[head]
+	return d, ok
+}
+
+// Kick schedules background work to deflate a block into kernel k; it is
+// the probe's action and costs the caller nothing beyond the probe itself.
+func (m *Manager) Kick(k soc.DomainID) {
+	if m.pending[k] {
+		return
+	}
+	m.pending[k] = true
+	m.workQ[k].Put(workItem{kind: workNeedBlock})
+}
+
+// EnqueueReclaim asks kernel k's worker to inflate one block back to the
+// pool; the OS mailbox dispatcher calls this on MsgBalloonCmd.
+func (m *Manager) EnqueueReclaim(k soc.DomainID) {
+	m.workQ[k].Put(workItem{kind: workReclaim})
+}
+
+// EnqueueRemoteFree queues a page block freed by the other kernel for the
+// owning kernel k (§6.2: free requests are redirected asynchronously).
+func (m *Manager) EnqueueRemoteFree(k soc.DomainID, pfn PFN) {
+	m.workQ[k].Put(workItem{kind: workRemoteFree, pfn: pfn})
+}
+
+// OnBalloonAck is called by the OS mailbox dispatcher when kernel k
+// receives MsgBalloonAck, releasing a worker waiting for a reclaim.
+func (m *Manager) OnBalloonAck(k soc.DomainID) { m.ackGate[k].Open() }
+
+// Free routes a free request to the allocator instance that owns the page:
+// the local instance directly, or the remote kernel's work queue via an
+// asynchronous redirect with a thin address-check wrapper (§6.2).
+func (m *Manager) Free(p *sim.Proc, core *soc.Core, local soc.DomainID, pfn PFN) {
+	owner := m.Frames.Owner(pfn)
+	if owner == int(local) {
+		m.Buddies[local].Free(p, core, pfn)
+		return
+	}
+	if owner < 0 {
+		panic("mem: Free of a K2-owned page")
+	}
+	core.Exec(p, soc.Work(60)) // the wrapper's range check
+	m.EnqueueRemoteFree(soc.DomainID(owner), pfn)
+}
+
+// DeflateBlock synchronously moves one block from the K2 pool to kernel k,
+// choosing the block at k's frontier (low end for main, high end for
+// shadow). It returns the block head. Used directly by the Table 4
+// microbenchmark and by the background worker.
+func (m *Manager) DeflateBlock(p *sim.Proc, core *soc.Core, k soc.DomainID) (PFN, error) {
+	m.poolLock.Acquire(p, core)
+	if len(m.pool) == 0 {
+		m.poolLock.Release(p, core)
+		return 0, ErrNoMemory
+	}
+	var head PFN
+	if k == soc.Strong {
+		head = m.pool[0]
+		m.pool = m.pool[1:]
+	} else {
+		head = m.pool[len(m.pool)-1]
+		m.pool = m.pool[:len(m.pool)-1]
+	}
+	m.blockOwner[head] = k
+	m.poolLock.Release(p, core)
+	m.Balloons[k].Deflate(p, core, head)
+	if m.Tracef != nil {
+		m.Tracef("deflated block %d to %v (pool: %d left)", head, k, len(m.pool))
+	}
+	return head, nil
+}
+
+// DeflateBoot is DeflateBlock without CPU-time charging, for the early
+// stage of kernel boot (§6.2) before time accounting matters.
+func (m *Manager) DeflateBoot(k soc.DomainID) (PFN, error) {
+	if len(m.pool) == 0 {
+		return 0, ErrNoMemory
+	}
+	var head PFN
+	if k == soc.Strong {
+		head = m.pool[0]
+		m.pool = m.pool[1:]
+	} else {
+		head = m.pool[len(m.pool)-1]
+		m.pool = m.pool[:len(m.pool)-1]
+	}
+	m.blockOwner[head] = k
+	m.Buddies[k].AddRegion(head, BlockPages)
+	m.Balloons[k].Deflates++
+	return head, nil
+}
+
+// InflateBlock synchronously reclaims one block from kernel k back to the
+// pool, trying candidate blocks starting at k's frontier. It returns the
+// reclaimed block head.
+func (m *Manager) InflateBlock(p *sim.Proc, core *soc.Core, k soc.DomainID) (PFN, error) {
+	cands := m.ownedBlocks(k)
+	if k == soc.Strong {
+		// Main blocks grew upward; reclaim from the top (frontier).
+		for i, j := 0, len(cands)-1; i < j; i, j = i+1, j-1 {
+			cands[i], cands[j] = cands[j], cands[i]
+		}
+	}
+	var lastErr error = ErrNoMemory
+	for _, head := range cands {
+		err := m.Balloons[k].Inflate(p, core, head)
+		if err == nil {
+			m.poolLock.Acquire(p, core)
+			delete(m.blockOwner, head)
+			m.pool = insertSorted(m.pool, head)
+			m.poolLock.Release(p, core)
+			m.Reclaims++
+			if m.Tracef != nil {
+				m.Tracef("inflated block %d from %v back to the pool", head, k)
+			}
+			return head, nil
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
+func (m *Manager) ownedBlocks(k soc.DomainID) []PFN {
+	var out []PFN
+	for head, owner := range m.blockOwner {
+		if owner == k {
+			out = append(out, head)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Worker runs kernel k's background meta-manager loop on the given core.
+// The OS spawns one per kernel; it never returns.
+func (m *Manager) Worker(p *sim.Proc, core *soc.Core, k soc.DomainID) {
+	for {
+		item := m.workQ[k].Get(p).(workItem)
+		m.SoC.Domains[k].EnsureAwake(p)
+		switch item.kind {
+		case workNeedBlock:
+			m.pending[k] = false
+			if m.Buddies[k].FreePages() >= m.Buddies[k].LowWater {
+				break // pressure resolved itself (frees caught up)
+			}
+			if _, err := m.DeflateBlock(p, core, k); err == nil {
+				break
+			}
+			// Pool empty: ask the peer kernel to inflate, then retry.
+			peer := k.Other()
+			m.SoC.Mailbox.Send(p, core, peer,
+				soc.NewMessage(soc.MsgBalloonCmd, 0, m.SoC.Mailbox.NextSeq()))
+			m.ackGate[k].Wait(p)
+			if _, err := m.DeflateBlock(p, core, k); err != nil {
+				// Peer had nothing reclaimable; give up until the next
+				// pressure probe fires.
+				break
+			}
+		case workReclaim:
+			_, _ = m.InflateBlock(p, core, k)
+			m.SoC.Mailbox.Send(p, core, k.Other(),
+				soc.NewMessage(soc.MsgBalloonAck, 0, m.SoC.Mailbox.NextSeq()))
+		case workRemoteFree:
+			m.Buddies[k].Free(p, core, item.pfn)
+		}
+	}
+}
+
+// CheckPartition validates the global-region ownership invariant: every
+// block is owned by exactly one of {K2 pool, main, shadow}, and page-level
+// ownership agrees with block-level ownership for K2 blocks.
+func (m *Manager) CheckPartition() error {
+	inPool := make(map[PFN]bool, len(m.pool))
+	for _, b := range m.pool {
+		inPool[b] = true
+	}
+	for b := alignUp(m.GlobalStart); b+BlockPages <= m.GlobalEnd; b += BlockPages {
+		_, owned := m.blockOwner[b]
+		if owned == inPool[b] {
+			return errf("block %d: pool=%v owned=%v (must be exactly one)", b, inPool[b], owned)
+		}
+		if inPool[b] {
+			for i := b; i < b+BlockPages; i++ {
+				if m.Frames.Owner(i) != ownerNone {
+					return errf("page %d in pooled block %d has owner %d", i, b, m.Frames.Owner(i))
+				}
+			}
+		}
+	}
+	return nil
+}

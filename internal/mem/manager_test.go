@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Property: any interleaving of allocations, frees, deflations and
+// inflations across both kernels preserves (a) the block-ownership
+// partition, (b) both buddies' internal invariants, and (c) global page
+// conservation: pool pages + per-kernel (free + live) pages == global size.
+func TestQuickManagerPartitionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, s, fr := testRig()
+		globalStart := PFN(BlockPages)
+		globalEnd := PFN(9 * BlockPages) // 8 blocks of playground
+		m := NewManager(s, fr, DefaultCostModel(), globalStart, globalEnd)
+		globalPages := int(globalEnd - globalStart)
+
+		type allocation struct {
+			pfn   PFN
+			order int
+			k     soc.DomainID
+		}
+		var live []allocation
+		livePages := 0
+		ok := true
+		// Track balloon migrations so live allocations follow their data,
+		// as the kernel's reverse mappings would.
+		for _, bl := range m.Balloons {
+			bl := bl
+			bl.OnMigrate = func(old, new PFN, order int) {
+				for i := range live {
+					if live[i].pfn == old {
+						live[i].pfn = new
+						return
+					}
+				}
+			}
+		}
+
+		e.Spawn("chaos", func(p *sim.Proc) {
+			cores := [2]*soc.Core{s.Core(soc.Strong, 0), s.Core(soc.Weak, 0)}
+			for op := 0; op < 150 && ok; op++ {
+				k := soc.DomainID(rng.Intn(2))
+				switch rng.Intn(5) {
+				case 0, 1: // allocate
+					order := rng.Intn(6)
+					mt := MigrateType(rng.Intn(2))
+					pfn, err := m.Buddies[k].Alloc(p, cores[k], order, mt)
+					if err != nil {
+						continue
+					}
+					live = append(live, allocation{pfn, order, k})
+					livePages += 1 << order
+				case 2: // free (sometimes via the cross-kernel redirect)
+					if len(live) == 0 {
+						continue
+					}
+					i := rng.Intn(len(live))
+					a := live[i]
+					via := soc.DomainID(rng.Intn(2))
+					m.Free(p, cores[via], via, a.pfn)
+					if via != a.k {
+						// Redirected frees apply asynchronously via the
+						// owner's worker; run it inline here.
+						item := m.workQ[a.k].Get(p).(workItem)
+						if item.kind != workRemoteFree {
+							ok = false
+							return
+						}
+						m.Buddies[a.k].Free(p, cores[a.k], item.pfn)
+					}
+					live = append(live[:i], live[i+1:]...)
+					livePages -= 1 << a.order
+				case 3: // deflate
+					_, _ = m.DeflateBlock(p, cores[k], k)
+				case 4: // inflate
+					_, _ = m.InflateBlock(p, cores[k], k)
+				}
+
+				if m.CheckPartition() != nil ||
+					m.Buddies[0].CheckInvariants() != nil ||
+					m.Buddies[1].CheckInvariants() != nil {
+					ok = false
+					return
+				}
+				total := m.PoolBlocks()*BlockPages +
+					m.Buddies[0].FreePages() + m.Buddies[1].FreePages() + livePages
+				if total != globalPages {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := e.Run(sim.Time(time.Hour)); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

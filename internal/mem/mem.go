@@ -1,0 +1,132 @@
+// Package mem implements K2's physical memory management (§6.2): per-kernel
+// buddy page allocators with no shared state (independent services), balloon
+// drivers that move physically contiguous 16 MB page blocks between kernels,
+// and the meta-level manager that decides when to inflate and deflate based
+// on per-kernel memory-pressure probes.
+//
+// Allocation requests are always served by the local instance; free requests
+// for pages allocated by the other kernel are redirected asynchronously,
+// based on an address range check in a thin wrapper over the free interface.
+package mem
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/soc"
+)
+
+// PFN is a physical page frame number.
+type PFN int
+
+// MigrateType classifies allocations for balloon evacuation: movable pages
+// (user data) can be migrated out of an inflating page block; unmovable
+// pages (kernel structures) pin their block. The paper reports 70-80 % of
+// pages are movable on mobile systems.
+type MigrateType int
+
+const (
+	// Unmovable pages pin their page block.
+	Unmovable MigrateType = iota
+	// Movable pages can be evacuated during balloon inflation.
+	Movable
+)
+
+func (m MigrateType) String() string {
+	if m == Movable {
+		return "movable"
+	}
+	return "unmovable"
+}
+
+// ownerNone marks a page owned by K2 (via a balloon) rather than a kernel.
+const ownerNone = -1
+
+type frame struct {
+	owner int8 // ownerNone, or the DomainID of the owning kernel's buddy
+	alloc bool
+	head  bool  // head page of an allocated or free block
+	order uint8 // block order, valid on head pages
+	free  bool  // head of a free block in a buddy free list
+	mt    MigrateType
+}
+
+// Frames is the global physical page metadata array, analogous to Linux's
+// struct page array. Both kernels' allocators and the balloons operate on
+// the same Frames, mirroring the single shared RAM pool (§4.2).
+type Frames struct {
+	PageSize int
+	f        []frame
+}
+
+// NewFrames returns metadata for n pages of the given size; all pages start
+// unowned (K2's).
+func NewFrames(n, pageSize int) *Frames {
+	fr := &Frames{PageSize: pageSize, f: make([]frame, n)}
+	for i := range fr.f {
+		fr.f[i].owner = ownerNone
+	}
+	return fr
+}
+
+// Len returns the number of physical pages.
+func (fr *Frames) Len() int { return len(fr.f) }
+
+// Owner returns the buddy owner of page p: a kernel's soc.DomainID, or -1
+// if the page is K2-owned (ballooned) or outside any allocator.
+func (fr *Frames) Owner(p PFN) int { return int(fr.f[p].owner) }
+
+// Allocated reports whether page p is currently allocated.
+func (fr *Frames) Allocated(p PFN) bool { return fr.f[p].alloc }
+
+// Type returns the migrate type of page p (meaningful when allocated).
+func (fr *Frames) Type(p PFN) MigrateType { return fr.f[p].mt }
+
+// CostModel carries the calibrated CPU costs of allocator and balloon
+// operations, in reference work (see DESIGN.md §4). The defaults are fitted
+// so that executing the real buddy/balloon algorithms reproduces Table 4.
+type CostModel struct {
+	// AllocBase + AllocPerPage*2^order + AllocPerOrder*order: Table 4's
+	// 1 µs (4 KB), 5 µs (256 KB), 13 µs (1 MB) on the main kernel.
+	AllocBase     soc.Work
+	AllocPerPage  soc.Work
+	AllocPerOrder soc.Work
+	// FreeBase + FreePerMerge*merges.
+	FreeBase     soc.Work
+	FreePerMerge soc.Work
+	// Probe cost: the pressure probes add "less than twenty instructions"
+	// per allocation (§9.3).
+	Probe soc.Work
+
+	// Balloon per-page costs split into an interconnect-bound part (same
+	// wall-clock on both cores: uncached page-metadata and DRAM traffic)
+	// and a CPU part (scaled by core speed). Fitted to Table 4:
+	// deflate 10.4/12.8 ms, inflate 11.6/20.4 ms (main/shadow).
+	DeflateInterconnectPerPage time.Duration
+	DeflateCPUPerPage          soc.Work
+	InflateInterconnectPerPage time.Duration
+	InflateCPUPerPage          soc.Work
+}
+
+// DefaultCostModel returns the Table 4 calibration.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		AllocBase:     soc.Work(900 * time.Nanosecond),
+		AllocPerPage:  soc.Work(47 * time.Nanosecond),
+		AllocPerOrder: soc.Work(170 * time.Nanosecond),
+		FreeBase:      soc.Work(700 * time.Nanosecond),
+		FreePerMerge:  soc.Work(170 * time.Nanosecond),
+		Probe:         soc.Work(20 * time.Nanosecond),
+
+		DeflateInterconnectPerPage: 2490 * time.Nanosecond,
+		DeflateCPUPerPage:          soc.Work(53 * time.Nanosecond),
+		InflateInterconnectPerPage: 2640 * time.Nanosecond,
+		InflateCPUPerPage:          soc.Work(195 * time.Nanosecond),
+	}
+}
+
+// ErrNoMemory is returned when an allocation cannot be satisfied.
+var ErrNoMemory = fmt.Errorf("mem: out of memory")
+
+// ErrUnmovable is returned when balloon inflation hits an unmovable page.
+var ErrUnmovable = fmt.Errorf("mem: page block pinned by unmovable page")

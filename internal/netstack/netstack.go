@@ -1,0 +1,271 @@
+// Package netstack implements the UDP socket layer and loopback path used
+// by the Figure 6(c) benchmark: socket creation and destruction, sendto and
+// recvfrom through a loopback device, real Internet checksums over the
+// payload, and bounded socket buffers with blocking receive.
+//
+// As a shadowed service its socket table is kept coherent by the DSM; CPU
+// costs (buffer copies, checksum passes, protocol bookkeeping) are charged
+// to the calling thread's core.
+package netstack
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/sched"
+	"k2/internal/services"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// MTU is the loopback datagram payload limit per packet.
+const MTU = 1472
+
+// Costs carries the stack's CPU costs (reference work).
+type Costs struct {
+	SocketCreate  soc.Work
+	SocketDestroy soc.Work
+	PerPacket     soc.Work // header build/parse + queueing per packet
+	PerByte       float64  // ns/byte: one copy in, one copy out
+	ChecksumByte  float64  // ns/byte per checksum pass (one per direction)
+}
+
+// DefaultCosts returns the Figure 6(c) calibration.
+func DefaultCosts() Costs {
+	return Costs{
+		SocketCreate:  soc.Work(30 * time.Microsecond),
+		SocketDestroy: soc.Work(20 * time.Microsecond),
+		PerPacket:     soc.Work(8 * time.Microsecond),
+		PerByte:       1.0,
+		ChecksumByte:  0.8,
+	}
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Datagram is one queued UDP datagram.
+type Datagram struct {
+	From     Addr
+	Payload  []byte
+	Checksum uint16
+}
+
+// Addr is a UDP endpoint (loopback only: just a port).
+type Addr struct {
+	Port int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("lo:%d", a.Port) }
+
+// Stack is the UDP/loopback network service.
+type Stack struct {
+	Costs Costs
+	// State is the shadowed socket table (nil outside K2).
+	State *services.ShadowedState
+
+	s       *soc.SoC
+	bound   map[int]*Socket
+	nextEph int
+
+	// Stats.
+	PacketsSent int64
+	BytesSent   int64
+	Drops       int64
+	ChecksumErr int64
+}
+
+// NewStack returns an empty stack.
+func NewStack(s *soc.SoC, state *services.ShadowedState) *Stack {
+	return &Stack{
+		Costs:   DefaultCosts(),
+		State:   state,
+		s:       s,
+		bound:   make(map[int]*Socket),
+		nextEph: 49152,
+	}
+}
+
+// Socket is a UDP socket with a bounded receive buffer.
+type Socket struct {
+	stack     *Stack
+	addr      Addr
+	buf       []*Datagram
+	cap       int
+	gate      *sim.Gate
+	open      bool
+	connected bool
+	peer      Addr
+}
+
+func (st *Stack) touch(t *sched.Thread, write bool) {
+	if st.State != nil {
+		st.State.Touch(t, 0, write)
+	}
+}
+
+// NewSocket creates a UDP socket bound to port (0 picks an ephemeral one).
+func (st *Stack) NewSocket(t *sched.Thread, port int) (*Socket, error) {
+	t.Exec(st.Costs.SocketCreate)
+	st.touch(t, true)
+	if port == 0 {
+		for st.bound[st.nextEph] != nil {
+			st.nextEph++
+			if st.nextEph > 65535 {
+				st.nextEph = 49152
+			}
+		}
+		port = st.nextEph
+		st.nextEph++
+		if st.nextEph > 65535 {
+			st.nextEph = 49152
+		}
+	}
+	if st.bound[port] != nil {
+		return nil, fmt.Errorf("netstack: port %d in use", port)
+	}
+	sk := &Socket{
+		stack: st,
+		addr:  Addr{Port: port},
+		cap:   256, // packets; ~376 KB of 1472-byte datagrams, a Linux-like default
+		gate:  sim.NewGate(st.s.Eng),
+		open:  true,
+	}
+	st.bound[port] = sk
+	return sk, nil
+}
+
+// Addr returns the socket's bound address.
+func (sk *Socket) Addr() Addr { return sk.addr }
+
+// Close destroys the socket.
+func (sk *Socket) Close(t *sched.Thread) {
+	if !sk.open {
+		return
+	}
+	t.Exec(sk.stack.Costs.SocketDestroy)
+	sk.stack.touch(t, true)
+	delete(sk.stack.bound, sk.addr.Port)
+	sk.open = false
+	sk.gate.Open() // unblock pending receivers (they will see EOF)
+}
+
+// SendTo transmits payload to the loopback destination, fragmenting at the
+// MTU. Each packet pays the per-packet cost, a copy and a checksum pass.
+func (sk *Socket) SendTo(t *sched.Thread, dst Addr, payload []byte) (int, error) {
+	if !sk.open {
+		return 0, fmt.Errorf("netstack: send on closed socket")
+	}
+	st := sk.stack
+	st.touch(t, false)
+	sent := 0
+	for off := 0; off < len(payload) || (len(payload) == 0 && off == 0); off += MTU {
+		end := off + MTU
+		if end > len(payload) {
+			end = len(payload)
+		}
+		frag := payload[off:end]
+		t.Exec(st.Costs.PerPacket + soc.Work(float64(len(frag))*(st.Costs.PerByte+st.Costs.ChecksumByte)))
+		csum := Checksum(frag)
+		dgram := &Datagram{From: sk.addr, Payload: append([]byte(nil), frag...), Checksum: csum}
+		dstSk := st.bound[dst.Port]
+		if dstSk == nil || !dstSk.open {
+			st.Drops++
+			if len(payload) == 0 {
+				break
+			}
+			continue
+		}
+		if dstSk.connected && dstSk.peer != sk.addr {
+			// Connected UDP sockets accept datagrams only from their
+			// peer, as on Linux.
+			st.Drops++
+			if len(payload) == 0 {
+				break
+			}
+			continue
+		}
+		if len(dstSk.buf) >= dstSk.cap {
+			st.Drops++ // UDP: full buffer drops
+			if len(payload) == 0 {
+				break
+			}
+			continue
+		}
+		dstSk.buf = append(dstSk.buf, dgram)
+		dstSk.gate.OpenOne()
+		st.PacketsSent++
+		st.BytesSent += int64(len(frag))
+		sent += len(frag)
+		if len(payload) == 0 {
+			break
+		}
+	}
+	return sent, nil
+}
+
+// RecvFrom blocks until a datagram arrives, verifies its checksum, copies
+// the payload out and returns it with the sender address. A closed socket
+// returns an error.
+func (sk *Socket) RecvFrom(t *sched.Thread) ([]byte, Addr, error) {
+	st := sk.stack
+	for len(sk.buf) == 0 {
+		if !sk.open {
+			return nil, Addr{}, fmt.Errorf("netstack: recv on closed socket")
+		}
+		t.Block(func(p *sim.Proc) { sk.gate.Wait(p) })
+	}
+	st.touch(t, false)
+	d := sk.buf[0]
+	sk.buf = sk.buf[1:]
+	t.Exec(st.Costs.PerPacket + soc.Work(float64(len(d.Payload))*(st.Costs.PerByte+st.Costs.ChecksumByte)))
+	if Checksum(d.Payload) != d.Checksum {
+		st.ChecksumErr++
+		return nil, d.From, fmt.Errorf("netstack: checksum mismatch")
+	}
+	return d.Payload, d.From, nil
+}
+
+// Pending returns the number of buffered datagrams.
+func (sk *Socket) Pending() int { return len(sk.buf) }
+
+// Connect fixes the socket's peer: Send goes to the peer and the socket
+// accepts datagrams only from it (connected-UDP semantics).
+func (sk *Socket) Connect(t *sched.Thread, peer Addr) {
+	t.Exec(sk.stack.Costs.PerPacket / 2) // cheap: records the peer address
+	sk.stack.touch(t, true)
+	sk.connected = true
+	sk.peer = peer
+}
+
+// Connected reports whether Connect has been called.
+func (sk *Socket) Connected() bool { return sk.connected }
+
+// Send transmits payload to the connected peer.
+func (sk *Socket) Send(t *sched.Thread, payload []byte) (int, error) {
+	if !sk.connected {
+		return 0, fmt.Errorf("netstack: Send on unconnected socket")
+	}
+	return sk.SendTo(t, sk.peer, payload)
+}
+
+// Recv receives from the connected peer.
+func (sk *Socket) Recv(t *sched.Thread) ([]byte, error) {
+	if !sk.connected {
+		return nil, fmt.Errorf("netstack: Recv on unconnected socket")
+	}
+	data, _, err := sk.RecvFrom(t)
+	return data, err
+}

@@ -1,0 +1,256 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func withThread(t *testing.T, body func(th *sched.Thread, st *Stack)) {
+	t.Helper()
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	sc := sched.New(s, false)
+	pr := sc.NewProcess("nettest")
+	ran := false
+	pr.Spawn(sched.Normal, "t", func(th *sched.Thread) {
+		body(th, NewStack(s, nil))
+		ran = true
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("body did not run")
+	}
+}
+
+func TestChecksumKnownVectors(t *testing.T) {
+	// RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Fatalf("checksum = %#x, want 0x220d", got)
+	}
+	if got := Checksum(nil); got != 0xffff {
+		t.Fatalf("empty checksum = %#x, want 0xffff", got)
+	}
+}
+
+// Property: checksum detects any single-byte corruption.
+func TestQuickChecksumDetectsCorruption(t *testing.T) {
+	f := func(data []byte, idx uint16, flip uint8) bool {
+		if len(data) == 0 || flip == 0 {
+			return true
+		}
+		i := int(idx) % len(data)
+		orig := Checksum(data)
+		mut := append([]byte(nil), data...)
+		mut[i] ^= flip
+		return Checksum(mut) != orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackRoundTrip(t *testing.T) {
+	withThread(t, func(th *sched.Thread, st *Stack) {
+		a, err := st.NewSocket(th, 1000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b, err := st.NewSocket(th, 2000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		msg := []byte("hello over loopback")
+		if _, err := a.SendTo(th, b.Addr(), msg); err != nil {
+			t.Error(err)
+			return
+		}
+		got, from, err := b.RecvFrom(th)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, msg) || from.Port != 1000 {
+			t.Errorf("got %q from %v", got, from)
+		}
+		a.Close(th)
+		b.Close(th)
+	})
+}
+
+func TestFragmentationAtMTU(t *testing.T) {
+	withThread(t, func(th *sched.Thread, st *Stack) {
+		a, _ := st.NewSocket(th, 1)
+		b, _ := st.NewSocket(th, 2)
+		payload := make([]byte, MTU*2+100)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		n, err := a.SendTo(th, b.Addr(), payload)
+		if err != nil || n != len(payload) {
+			t.Errorf("send n=%d err=%v", n, err)
+			return
+		}
+		if b.Pending() != 3 {
+			t.Errorf("pending = %d, want 3 fragments", b.Pending())
+		}
+		var got []byte
+		for i := 0; i < 3; i++ {
+			frag, _, err := b.RecvFrom(th)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, frag...)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("reassembled payload mismatch")
+		}
+	})
+}
+
+func TestBlockingRecv(t *testing.T) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	sc := sched.New(s, false)
+	st := NewStack(s, nil)
+	pr := sc.NewProcess("app")
+	var recvAt sim.Time
+	pr.Spawn(sched.Normal, "recv", func(th *sched.Thread) {
+		sk, _ := st.NewSocket(th, 7)
+		if _, _, err := sk.RecvFrom(th); err != nil {
+			t.Error(err)
+		}
+		recvAt = th.P().Now()
+	})
+	pr2 := sc.NewProcess("app2")
+	pr2.Spawn(sched.Normal, "send", func(th *sched.Thread) {
+		th.SleepIdle(10 * time.Millisecond)
+		sk, _ := st.NewSocket(th, 8)
+		if _, err := sk.SendTo(th, Addr{Port: 7}, []byte("x")); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt < sim.Time(10*time.Millisecond) {
+		t.Fatalf("recv returned at %v, before the send", recvAt)
+	}
+}
+
+func TestSendToClosedOrMissingDrops(t *testing.T) {
+	withThread(t, func(th *sched.Thread, st *Stack) {
+		a, _ := st.NewSocket(th, 1)
+		if _, err := a.SendTo(th, Addr{Port: 999}, []byte("x")); err != nil {
+			t.Error(err)
+		}
+		if st.Drops != 1 {
+			t.Errorf("drops = %d, want 1", st.Drops)
+		}
+		b, _ := st.NewSocket(th, 2)
+		b.Close(th)
+		if _, err := a.SendTo(th, Addr{Port: 2}, []byte("x")); err != nil {
+			t.Error(err)
+		}
+		if st.Drops != 2 {
+			t.Errorf("drops = %d, want 2", st.Drops)
+		}
+	})
+}
+
+func TestBufferOverflowDrops(t *testing.T) {
+	withThread(t, func(th *sched.Thread, st *Stack) {
+		a, _ := st.NewSocket(th, 1)
+		b, _ := st.NewSocket(th, 2)
+		for i := 0; i < 300; i++ {
+			if _, err := a.SendTo(th, b.Addr(), []byte("x")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if b.Pending() != 256 {
+			t.Errorf("pending = %d, want capped at 256", b.Pending())
+		}
+		if st.Drops != 44 {
+			t.Errorf("drops = %d, want 44", st.Drops)
+		}
+	})
+}
+
+func TestPortReuseAfterClose(t *testing.T) {
+	withThread(t, func(th *sched.Thread, st *Stack) {
+		a, err := st.NewSocket(th, 5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := st.NewSocket(th, 5); err == nil {
+			t.Error("duplicate bind accepted")
+		}
+		a.Close(th)
+		if _, err := st.NewSocket(th, 5); err != nil {
+			t.Errorf("rebind after close: %v", err)
+		}
+	})
+}
+
+func TestConnectedSockets(t *testing.T) {
+	withThread(t, func(th *sched.Thread, st *Stack) {
+		a, _ := st.NewSocket(th, 1)
+		b, _ := st.NewSocket(th, 2)
+		c, _ := st.NewSocket(th, 3)
+		a.Connect(th, b.Addr())
+		b.Connect(th, a.Addr())
+		if _, err := a.Send(th, []byte("hi")); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := b.Recv(th)
+		if err != nil || string(got) != "hi" {
+			t.Errorf("recv %q err=%v", got, err)
+		}
+		// A third party's datagram to a connected socket is dropped.
+		drops := st.Drops
+		if _, err := c.SendTo(th, b.Addr(), []byte("stranger")); err != nil {
+			t.Error(err)
+			return
+		}
+		if st.Drops != drops+1 {
+			t.Error("stranger datagram not dropped by connected socket")
+		}
+		if b.Pending() != 0 {
+			t.Error("stranger datagram buffered")
+		}
+		// Unconnected Send/Recv fail.
+		if _, err := c.Send(th, []byte("x")); err == nil {
+			t.Error("Send on unconnected socket succeeded")
+		}
+		if _, err := c.Recv(th); err == nil {
+			t.Error("Recv on unconnected socket succeeded")
+		}
+	})
+}
+
+func TestEphemeralPorts(t *testing.T) {
+	withThread(t, func(th *sched.Thread, st *Stack) {
+		a, _ := st.NewSocket(th, 0)
+		b, _ := st.NewSocket(th, 0)
+		if a.Addr().Port == b.Addr().Port {
+			t.Error("ephemeral ports collide")
+		}
+		if a.Addr().Port < 49152 || b.Addr().Port < 49152 {
+			t.Error("ephemeral ports outside the dynamic range")
+		}
+	})
+}

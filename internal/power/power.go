@@ -1,0 +1,112 @@
+// Package power models per-domain power rails and energy accounting.
+//
+// The paper measures energy by sampling current on the separate power rails
+// of the OMAP4 coherence domains (§9.2). We reproduce the same observable:
+// each Rail integrates a piecewise-constant power level over virtual time,
+// and experiments snapshot rails around an episode to obtain Joules.
+package power
+
+import "k2/internal/sim"
+
+// Milliwatts is a power level in mW.
+type Milliwatts float64
+
+// Profile holds the power levels of one coherence domain, from Table 3 of
+// the paper. Active is drawn while at least one core in the domain executes;
+// Idle while the domain is awake but no core executes; Inactive once the
+// domain has been suspended (the paper reports "less than 0.1 mW").
+type Profile struct {
+	Active   Milliwatts
+	Idle     Milliwatts
+	Inactive Milliwatts
+}
+
+// Rail integrates energy over virtual time at a piecewise-constant level.
+type Rail struct {
+	Name string
+
+	eng    *sim.Engine
+	level  Milliwatts
+	lastAt sim.Time
+	joules float64
+}
+
+// NewRail returns a rail starting at the given level.
+func NewRail(eng *sim.Engine, name string, level Milliwatts) *Rail {
+	return &Rail{Name: name, eng: eng, level: level, lastAt: eng.Now()}
+}
+
+func (r *Rail) settle() {
+	now := r.eng.Now()
+	r.joules += float64(r.level) / 1e3 * now.Sub(r.lastAt).Seconds()
+	r.lastAt = now
+}
+
+// SetLevel changes the rail's power draw as of the current virtual time.
+func (r *Rail) SetLevel(mw Milliwatts) {
+	r.settle()
+	r.level = mw
+}
+
+// Level returns the current power draw.
+func (r *Rail) Level() Milliwatts { return r.level }
+
+// EnergyJ returns total energy drawn through the current virtual time.
+func (r *Rail) EnergyJ() float64 {
+	r.settle()
+	return r.joules
+}
+
+// AddEnergyJ charges a fixed energy cost (e.g. a domain wake penalty) that
+// is not captured by the piecewise-constant level.
+func (r *Rail) AddEnergyJ(j float64) {
+	r.joules += j
+}
+
+// Meter snapshots a set of rails so an experiment can measure the energy of
+// one episode.
+type Meter struct {
+	rails []*Rail
+	base  []float64
+}
+
+// NewMeter returns a meter over the given rails, zeroed at the current time.
+func NewMeter(rails ...*Rail) *Meter {
+	m := &Meter{rails: rails}
+	m.Reset()
+	return m
+}
+
+// Reset re-zeroes the meter at the current virtual time.
+func (m *Meter) Reset() {
+	m.base = m.base[:0]
+	for _, r := range m.rails {
+		m.base = append(m.base, r.EnergyJ())
+	}
+}
+
+// EnergyJ returns the total energy drawn by all rails since the last Reset.
+func (m *Meter) EnergyJ() float64 {
+	var sum float64
+	for i, r := range m.rails {
+		sum += r.EnergyJ() - m.base[i]
+	}
+	return sum
+}
+
+// Battery models a device battery for the standby-time estimate (§9.2).
+type Battery struct {
+	// CapacityJ is usable battery energy in Joules. A typical 2013-era
+	// phone battery (~6.5 Wh) is about 23,400 J.
+	CapacityJ float64
+}
+
+// StandbyDays returns how many days the battery lasts at the given average
+// drain in milliwatts.
+func (b Battery) StandbyDays(avgMW float64) float64 {
+	if avgMW <= 0 {
+		return 0
+	}
+	seconds := b.CapacityJ / (avgMW / 1e3)
+	return seconds / 86400
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/soc"
+)
+
+func TestPriorityOrdersCoreHandoff(t *testing.T) {
+	e, _, sc := rig(false)
+	var order []string
+	// Saturate both strong cores, then queue three waiters with different
+	// priorities.
+	hog := sc.NewProcess("hogs")
+	for i := 0; i < 2; i++ {
+		hog.Spawn(Normal, "hog", func(th *Thread) {
+			th.Exec(soc.Work(5 * time.Millisecond))
+		})
+	}
+	spawnWaiter := func(name string, prio int) {
+		pr := sc.NewProcess(name)
+		pr.Spawn(Normal, name, func(th *Thread) {
+			// Scheduling is lazy, so the priority set here governs the
+			// thread's very first core acquisition.
+			th.Priority = prio
+			th.Exec(soc.Work(100 * time.Microsecond))
+			order = append(order, name)
+		})
+	}
+	spawnWaiter("low-early", 0)
+	spawnWaiter("low-late", 0)
+	spawnWaiter("high", 5)
+	run(t, e, time.Minute)
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] != "high" {
+		t.Fatalf("high-priority waiter ran %v-th: %v", 1, order)
+	}
+	if order[1] != "low-early" || order[2] != "low-late" {
+		t.Fatalf("equal priorities not FIFO: %v", order)
+	}
+}
+
+func TestCPUTimeAccounting(t *testing.T) {
+	e, _, sc := rig(false)
+	pr := sc.NewProcess("acct")
+	var nt, wt *Thread
+	nt = pr.Spawn(Normal, "n", func(th *Thread) {
+		th.Exec(soc.Work(2 * time.Millisecond))
+		th.SleepIdle(10 * time.Millisecond) // not CPU time
+		th.ExecFor(time.Millisecond)
+	})
+	pr2 := sc.NewProcess("acct2")
+	wt = pr2.Spawn(NightWatch, "w", func(th *Thread) {
+		th.Exec(soc.Work(time.Millisecond)) // 12 ms on the weak core
+	})
+	run(t, e, time.Minute)
+	if got := nt.CPUTime(); got != 3*time.Millisecond {
+		t.Fatalf("normal CPU time = %v, want 3ms", got)
+	}
+	if got := wt.CPUTime(); got != 12*time.Millisecond {
+		t.Fatalf("nightwatch CPU time = %v, want 12ms (scaled)", got)
+	}
+}
+
+func TestSwitchCounting(t *testing.T) {
+	e, _, sc := rig(false)
+	// Two single-core-bound... use three threads on two cores so handoffs
+	// between distinct threads occur.
+	for i := 0; i < 3; i++ {
+		pr := sc.NewProcess("p")
+		pr.Spawn(Normal, "t", func(th *Thread) {
+			for j := 0; j < 3; j++ {
+				th.Exec(soc.Work(200 * time.Microsecond))
+				th.SleepIdle(50 * time.Microsecond)
+			}
+		})
+	}
+	run(t, e, time.Minute)
+	if sc.Switches(soc.Strong) == 0 {
+		t.Fatal("no context switches counted")
+	}
+	if sc.Switches(soc.Weak) != 0 {
+		t.Fatal("phantom switches on the weak kernel")
+	}
+}

@@ -1,0 +1,459 @@
+// Package sched implements K2's thread scheduling (§8): per-kernel
+// runqueues over the domains' cores, and the NightWatch thread abstraction
+// for light tasks.
+//
+// NightWatch threads are pinned on the weak domain and are identical to
+// normal threads from the developer's view — same process address space,
+// same single system image — except for one rule: a NightWatch thread is
+// only considered for scheduling when all normal threads of the same
+// process are suspended, preventing multi-domain parallelism within a
+// process (§4.3). The kernels coordinate with SuspendNW / AckSuspendNW /
+// ResumeNW hardware mails, and the main kernel overlaps the suspend round
+// trip with its context switch so the added cost is only 1–2 µs (§8).
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Kind distinguishes normal threads from NightWatch threads.
+type Kind int
+
+const (
+	// Normal threads run on the strong domain (the main kernel).
+	Normal Kind = iota
+	// NightWatch threads are pinned on the weak domain (§8).
+	NightWatch
+)
+
+func (k Kind) String() string {
+	if k == NightWatch {
+		return "nightwatch"
+	}
+	return "normal"
+}
+
+// Process is a single-system-image process: its threads may live on both
+// kernels but share one logical address space.
+type Process struct {
+	PID  int
+	Name string
+
+	sched          *Sched
+	runnableNormal int
+	runningAcked   int // normal threads holding a core past the suspend ack
+	nwThreads      int
+	nwSuspended    bool
+	nwResume       *sim.Gate
+	nwPreempt      *sim.Event // fired to preempt running NightWatch chunks
+	suspendAck     *sim.Event // outstanding SuspendNW ack, if any
+	threads        []*Thread
+	liveThreads    int
+	done           *sim.Event
+}
+
+// Done fires when every thread of the process has finished.
+func (pr *Process) Done() *sim.Event { return pr.done }
+
+// NWSuspended reports whether the process's NightWatch threads are
+// currently barred from scheduling.
+func (pr *Process) NWSuspended() bool { return pr.nwSuspended }
+
+// RunningNormalAcked returns how many normal threads of the process are
+// executing user code (core held and suspend ack received). While it is
+// non-zero, no NightWatch chunk of the process may execute — the §8
+// invariant that tests assert.
+func (pr *Process) RunningNormalAcked() int { return pr.runningAcked }
+
+// Thread is a schedulable activity. Its body runs in a sim.Proc and uses
+// the Thread's methods to consume CPU time and block; the scheduler
+// arbitrates the domain's cores among threads.
+type Thread struct {
+	TID  int
+	Name string
+	Kind Kind
+	Proc *Process
+	// Priority orders core handoff under contention: higher wins, ties go
+	// FIFO. Zero is the default.
+	Priority int
+
+	ks      *kernelSched
+	core    *soc.Core // held core, nil while blocked
+	p       *sim.Proc
+	cpuTime time.Duration
+	waitSeq uint64
+}
+
+// CPUTime returns the thread's accumulated execution time (wall-clock on
+// its core, i.e. already scaled by core speed).
+func (t *Thread) CPUTime() time.Duration { return t.cpuTime }
+
+// Sched is the two-kernel scheduler.
+type Sched struct {
+	S *soc.SoC
+	// SingleKernel runs everything on the strong domain (Linux baseline):
+	// NightWatch threads degrade to normal threads and no suspend protocol
+	// runs.
+	SingleKernel bool
+	// NoSuspendOverlap waits for AckSuspendNW before the context switch
+	// instead of overlapping the two (§8's optimization); exists for the
+	// ablation quantifying the overlap.
+	NoSuspendOverlap bool
+	// Tracef, if set, receives NightWatch protocol trace lines.
+	Tracef func(format string, args ...interface{})
+	// Timeslice is the chunk size at which Exec checks for suspension.
+	Timeslice soc.Work
+
+	kernels [2]*kernelSched
+	procs   map[int]*Process
+	nextPID int
+	nextTID int
+
+	// Stats.
+	SuspendsSent, ResumesSent int
+}
+
+type kernelSched struct {
+	sched    *Sched
+	k        soc.DomainID
+	free     []*soc.Core
+	waiters  []*coreWaiter
+	lastTID  map[int]int // core ID -> last thread TID, for switch detection
+	runnable int         // threads holding or waiting for a core
+	nextSeq  uint64
+	// Switches counts context switches on this kernel.
+	Switches int
+}
+
+type coreWaiter struct {
+	t    *Thread
+	gate *sim.Gate
+	core *soc.Core
+}
+
+// New returns a scheduler over the SoC's domains.
+func New(s *soc.SoC, singleKernel bool) *Sched {
+	sc := &Sched{
+		S:            s,
+		SingleKernel: singleKernel,
+		Timeslice:    soc.Work(200 * time.Microsecond),
+		procs:        make(map[int]*Process),
+	}
+	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+		ks := &kernelSched{sched: sc, k: k, lastTID: make(map[int]int)}
+		ks.free = append(ks.free, s.Domains[k].Cores...)
+		sc.kernels[k] = ks
+	}
+	// Domains may only suspend when their kernel has nothing runnable.
+	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+		ks := sc.kernels[k]
+		s.Domains[k].CanSleep = func() bool { return ks.runnable == 0 }
+	}
+	return sc
+}
+
+// Runnable returns how many threads of kernel k hold or want a core.
+func (sc *Sched) Runnable(k soc.DomainID) int { return sc.kernels[k].runnable }
+
+// Switches returns the number of context switches on kernel k.
+func (sc *Sched) Switches(k soc.DomainID) int { return sc.kernels[k].Switches }
+
+// NewProcess registers a process in the global PID namespace (part of the
+// single system image: one table spans both kernels).
+func (sc *Sched) NewProcess(name string) *Process {
+	sc.nextPID++
+	pr := &Process{
+		PID:       sc.nextPID,
+		Name:      name,
+		sched:     sc,
+		nwResume:  sim.NewGate(sc.S.Eng),
+		nwPreempt: sim.NewEvent(sc.S.Eng),
+		done:      sim.NewEvent(sc.S.Eng),
+	}
+	sc.procs[pr.PID] = pr
+	return pr
+}
+
+// Process looks up a PID.
+func (sc *Sched) Process(pid int) (*Process, bool) {
+	pr, ok := sc.procs[pid]
+	return pr, ok
+}
+
+// Spawn starts a thread of the given kind in process pr. The body receives
+// the Thread, already scheduled on its kernel.
+func (pr *Process) Spawn(kind Kind, name string, body func(t *Thread)) *Thread {
+	sc := pr.sched
+	k := soc.Strong
+	if kind == NightWatch && !sc.SingleKernel {
+		k = soc.Weak
+	}
+	sc.nextTID++
+	t := &Thread{TID: sc.nextTID, Name: name, Kind: kind, Proc: pr, ks: sc.kernels[k]}
+	pr.threads = append(pr.threads, t)
+	pr.liveThreads++
+	if kind == NightWatch {
+		pr.nwThreads++
+	}
+	// Scheduling is lazy: the thread competes for a core on its first
+	// Exec/Block, so a body may set Thread.Priority (or block on an event)
+	// before ever occupying one.
+	sc.S.Eng.Spawn(fmt.Sprintf("%s/%s", pr.Name, name), func(p *sim.Proc) {
+		t.p = p
+		body(t)
+		t.exit()
+	})
+	return t
+}
+
+// Kernel returns the domain this thread is pinned to.
+func (t *Thread) Kernel() soc.DomainID { return t.ks.k }
+
+// P returns the underlying sim proc (for waiting on events directly; the
+// thread must be blocked via Block/Unblock around foreign waits).
+func (t *Thread) P() *sim.Proc { return t.p }
+
+// Core returns the thread's core, acquiring one first if the thread does
+// not currently hold one (scheduling is lazy). Must be called from the
+// thread's own context.
+func (t *Thread) Core() *soc.Core {
+	t.schedule()
+	return t.core
+}
+
+// schedule acquires a core for the thread, waiting while the kernel is
+// saturated or (for NightWatch threads) while the process is suspended.
+func (t *Thread) schedule() {
+	if t.core != nil {
+		return
+	}
+	ks := t.ks
+	ks.runnable++
+	if t.Kind == NightWatch && !ks.sched.SingleKernel {
+		for t.Proc.nwSuspended {
+			// Not eligible: wait until the main kernel resumes us. We do
+			// not count as runnable while barred.
+			ks.runnable--
+			t.Proc.nwResume.Wait(t.p)
+			ks.runnable++
+		}
+	}
+	if t.Kind == Normal {
+		t.Proc.normalBecameRunnable(t.p)
+	}
+	ks.sched.S.Domains[ks.k].EnsureAwake(t.p)
+	var c *soc.Core
+	if n := len(ks.free); n > 0 {
+		c = ks.free[n-1]
+		ks.free = ks.free[:n-1]
+	} else {
+		ks.nextSeq++
+		t.waitSeq = ks.nextSeq
+		w := &coreWaiter{t: t, gate: sim.NewGate(ks.sched.S.Eng)}
+		ks.waiters = append(ks.waiters, w)
+		w.gate.Wait(t.p)
+		c = w.core
+	}
+	t.core = c
+	if last, ok := ks.lastTID[c.ID]; ok && last != t.TID {
+		// Context switch: charge the incoming thread.
+		ks.Switches++
+		start := t.p.Now()
+		c.Exec(t.p, ks.sched.S.Cfg.CtxSwitch)
+		t.cpuTime += t.p.Now().Sub(start)
+	}
+	ks.lastTID[c.ID] = t.TID
+	if t.Kind == Normal {
+		t.Proc.awaitSuspendAck(t.p)
+		t.Proc.runningAcked++
+	}
+}
+
+// release gives the core back and hands it to the longest waiter, if any.
+func (t *Thread) release() {
+	if t.core == nil {
+		return
+	}
+	ks := t.ks
+	c := t.core
+	t.core = nil
+	ks.runnable--
+	if t.Kind == Normal {
+		t.Proc.runningAcked--
+		t.Proc.normalBecameBlocked(t.p)
+	}
+	if len(ks.waiters) > 0 {
+		// Highest priority wins; ties go to the longest waiter.
+		best := 0
+		for i := 1; i < len(ks.waiters); i++ {
+			wi, wb := ks.waiters[i].t, ks.waiters[best].t
+			if wi.Priority > wb.Priority ||
+				(wi.Priority == wb.Priority && wi.waitSeq < wb.waitSeq) {
+				best = i
+			}
+		}
+		w := ks.waiters[best]
+		ks.waiters = append(ks.waiters[:best], ks.waiters[best+1:]...)
+		w.core = c
+		w.gate.Open()
+		return
+	}
+	ks.free = append(ks.free, c)
+	ks.sched.S.Domains[ks.k].KickIdleTimer()
+}
+
+func (t *Thread) exit() {
+	t.release()
+	t.Proc.liveThreads--
+	if t.Proc.liveThreads == 0 {
+		t.Proc.done.Fire()
+	}
+}
+
+// Exec consumes CPU work. NightWatch execution is preemptible: when the
+// shadow kernel receives SuspendNW it fires the process's preempt signal,
+// which interrupts the running chunk; the thread then releases its core and
+// waits for ResumeNW (§8).
+func (t *Thread) Exec(w soc.Work) {
+	for w > 0 {
+		t.schedule()
+		chunk := w
+		if chunk > t.ks.sched.Timeslice {
+			chunk = t.ks.sched.Timeslice
+		}
+		start := t.p.Now()
+		if t.Kind == NightWatch && !t.ks.sched.SingleKernel {
+			preempt := t.Proc.nwPreempt
+			w -= t.core.ExecCancelable(t.p, chunk, preempt)
+			t.cpuTime += t.p.Now().Sub(start)
+			if t.Proc.nwSuspended {
+				t.release()
+			}
+			continue
+		}
+		t.core.Exec(t.p, chunk)
+		t.cpuTime += t.p.Now().Sub(start)
+		w -= chunk
+	}
+}
+
+// ExecFor consumes wall-clock busy time unscaled by core speed (for
+// interconnect-bound work).
+func (t *Thread) ExecFor(d time.Duration) {
+	t.schedule()
+	t.core.ExecFor(t.p, d)
+	t.cpuTime += d
+}
+
+// Block releases the thread's core and runs wait, which must park the proc
+// (e.g. wait on an event or sleep); afterwards the thread is rescheduled.
+// This models a thread blocking for IO.
+func (t *Thread) Block(wait func(p *sim.Proc)) {
+	t.release()
+	wait(t.p)
+	t.schedule()
+}
+
+// SleepIdle blocks the thread for d (the core is free; the domain may go
+// idle or inactive).
+func (t *Thread) SleepIdle(d time.Duration) {
+	t.Block(func(p *sim.Proc) { p.Sleep(d) })
+}
+
+// Yield releases and reacquires the core, giving equal-priority threads a
+// chance to run.
+func (t *Thread) Yield() {
+	t.release()
+	t.p.Yield()
+	t.schedule()
+}
+
+// normalBecameRunnable implements the schedule-in side of the NightWatch
+// protocol: on the 0 -> 1 transition of runnable normal threads, the main
+// kernel sends SuspendNW; the wait for the ack is overlapped with the
+// context switch (awaitSuspendAck runs after it).
+func (pr *Process) normalBecameRunnable(p *sim.Proc) {
+	sc := pr.sched
+	pr.runnableNormal++
+	if sc.SingleKernel || pr.runnableNormal != 1 || pr.nwSuspended || pr.nwThreads == 0 {
+		return
+	}
+	pr.nwSuspended = true
+	pr.suspendAck = sim.NewEvent(sc.S.Eng)
+	sc.SuspendsSent++
+	if sc.Tracef != nil {
+		sc.Tracef("SuspendNW(pid=%d): normal thread scheduling in", pr.PID)
+	}
+	sc.S.Mailbox.SendAsync(soc.Weak,
+		soc.NewMessage(soc.MsgSuspendNW, uint32(pr.PID), sc.S.Mailbox.NextSeq()))
+	if sc.NoSuspendOverlap {
+		// Unoptimized variant: block for the ack before the context
+		// switch even begins.
+		pr.awaitSuspendAck(p)
+	}
+}
+
+// awaitSuspendAck completes the overlap: after the context switch, the
+// schedule-in waits for AckSuspendNW before returning to user space.
+func (pr *Process) awaitSuspendAck(p *sim.Proc) {
+	if pr.suspendAck != nil && !pr.suspendAck.Fired() {
+		pr.suspendAck.Wait(p)
+	}
+}
+
+// normalBecameBlocked implements the resume side: when all normal threads
+// of the process are blocked, the main kernel sends ResumeNW (§8).
+func (pr *Process) normalBecameBlocked(p *sim.Proc) {
+	sc := pr.sched
+	pr.runnableNormal--
+	if sc.SingleKernel || pr.runnableNormal != 0 || !pr.nwSuspended {
+		return
+	}
+	sc.ResumesSent++
+	if sc.Tracef != nil {
+		sc.Tracef("ResumeNW(pid=%d): all normal threads blocked", pr.PID)
+	}
+	sc.S.Mailbox.SendAsync(soc.Weak,
+		soc.NewMessage(soc.MsgResumeNW, uint32(pr.PID), sc.S.Mailbox.NextSeq()))
+}
+
+// HandleMessage processes the scheduler's mailbox traffic on kernel k; the
+// OS dispatcher calls it. It returns true if the message was handled.
+func (sc *Sched) HandleMessage(p *sim.Proc, core *soc.Core, k soc.DomainID, msg soc.Message) bool {
+	switch msg.Type() {
+	case soc.MsgSuspendNW:
+		// Shadow kernel: ack immediately, then flag the process's
+		// NightWatch threads out of the runqueue (§8).
+		pr, ok := sc.procs[int(msg.Payload())]
+		if !ok {
+			return true
+		}
+		sc.S.Mailbox.Send(p, core, soc.Strong,
+			soc.NewMessage(soc.MsgAckSuspendNW, msg.Payload(), sc.S.Mailbox.NextSeq()))
+		pr.nwSuspended = true
+		// Preempt any running NightWatch chunk of the process and re-arm
+		// the signal for the next suspension.
+		pr.nwPreempt.Fire()
+		pr.nwPreempt = sim.NewEvent(sc.S.Eng)
+		return true
+	case soc.MsgAckSuspendNW:
+		pr, ok := sc.procs[int(msg.Payload())]
+		if ok && pr.suspendAck != nil {
+			pr.suspendAck.Fire()
+			pr.suspendAck = nil
+		}
+		return true
+	case soc.MsgResumeNW:
+		pr, ok := sc.procs[int(msg.Payload())]
+		if ok {
+			pr.nwSuspended = false
+			pr.nwResume.Open()
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// rig builds a scheduler with the kernels' mailbox dispatchers running.
+func rig(single bool) (*sim.Engine, *soc.SoC, *Sched) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	sc := New(s, single)
+	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+		k := k
+		core := s.Core(k, 0)
+		e.Spawn("dispatch-"+k.String(), func(p *sim.Proc) {
+			for {
+				msg := s.Mailbox.Recv(p, k)
+				sc.HandleMessage(p, core, k, msg)
+			}
+		})
+	}
+	return e, s, sc
+}
+
+func run(t *testing.T, e *sim.Engine, horizon time.Duration) {
+	t.Helper()
+	if err := e.Run(sim.Time(horizon)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadsRunOnTheirKernels(t *testing.T) {
+	e, _, sc := rig(false)
+	pr := sc.NewProcess("app")
+	var normalDom, nwDom soc.DomainID
+	pr.Spawn(Normal, "n", func(th *Thread) {
+		th.Exec(soc.Work(time.Millisecond))
+		normalDom = th.Core().Domain.ID
+	})
+	pr.Spawn(NightWatch, "w", func(th *Thread) {
+		th.Exec(soc.Work(time.Millisecond))
+		nwDom = th.Core().Domain.ID
+	})
+	run(t, e, time.Minute)
+	if normalDom != soc.Strong {
+		t.Fatalf("normal thread ran on %v", normalDom)
+	}
+	if nwDom != soc.Weak {
+		t.Fatalf("nightwatch thread ran on %v", nwDom)
+	}
+}
+
+func TestSingleKernelPinsEverythingStrong(t *testing.T) {
+	e, _, sc := rig(true)
+	pr := sc.NewProcess("app")
+	var nwDom soc.DomainID
+	pr.Spawn(NightWatch, "w", func(th *Thread) {
+		th.Exec(soc.Work(time.Millisecond))
+		nwDom = th.Core().Domain.ID
+	})
+	run(t, e, time.Minute)
+	if nwDom != soc.Strong {
+		t.Fatalf("baseline nightwatch ran on %v, want strong", nwDom)
+	}
+	if sc.SuspendsSent != 0 {
+		t.Fatal("baseline must not run the suspend protocol")
+	}
+}
+
+func TestExecDurationScales(t *testing.T) {
+	e, _, sc := rig(false)
+	pr := sc.NewProcess("app")
+	var nDur, wDur time.Duration
+	pr2 := sc.NewProcess("app2")
+	pr.Spawn(Normal, "n", func(th *Thread) {
+		start := th.P().Now()
+		th.Exec(soc.Work(time.Millisecond))
+		nDur = th.P().Now().Sub(start)
+	})
+	pr2.Spawn(NightWatch, "w", func(th *Thread) {
+		start := th.P().Now()
+		th.Exec(soc.Work(time.Millisecond))
+		wDur = th.P().Now().Sub(start)
+	})
+	run(t, e, time.Minute)
+	if nDur != time.Millisecond {
+		t.Fatalf("normal exec = %v", nDur)
+	}
+	if wDur != 12*time.Millisecond {
+		t.Fatalf("nightwatch exec = %v, want 12ms (weak core)", wDur)
+	}
+}
+
+// The core invariant of §8: a NightWatch chunk never executes while a
+// normal thread of the same process runs user code (post suspend-ack). The
+// check runs at the end of every NightWatch chunk: by construction of the
+// protocol a chunk is preempted before the ack is even sent, so a normal
+// thread observed acked-running at a chunk boundary would mean overlap.
+func TestNightWatchNeverOverlapsNormal(t *testing.T) {
+	e, _, sc := rig(false)
+	pr := sc.NewProcess("app")
+	violated := false
+
+	pr.Spawn(Normal, "n", func(th *Thread) {
+		for i := 0; i < 5; i++ {
+			th.SleepIdle(3 * time.Millisecond)
+			th.Exec(soc.Work(2 * time.Millisecond))
+		}
+	})
+	pr.Spawn(NightWatch, "w", func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			th.Exec(soc.Work(100 * time.Microsecond))
+			if th.Proc.RunningNormalAcked() > 0 {
+				violated = true
+			}
+			th.SleepIdle(200 * time.Microsecond)
+		}
+	})
+	run(t, e, 10*time.Minute)
+	if violated {
+		t.Fatal("NightWatch chunk executed while a normal thread of the same process was running")
+	}
+	if sc.SuspendsSent == 0 || sc.ResumesSent == 0 {
+		t.Fatalf("protocol not exercised: suspends=%d resumes=%d", sc.SuspendsSent, sc.ResumesSent)
+	}
+}
+
+func TestNightWatchDifferentProcessesUnaffected(t *testing.T) {
+	// Multi-domain parallelism among processes must be allowed (§4.3),
+	// or light tasks would depend on other applications' behavior.
+	e, _, sc := rig(false)
+	busy := sc.NewProcess("busy")
+	light := sc.NewProcess("light")
+	busy.Spawn(Normal, "n", func(th *Thread) {
+		th.Exec(soc.Work(50 * time.Millisecond))
+	})
+	var nwRan bool
+	var nwDone sim.Time
+	light.Spawn(NightWatch, "w", func(th *Thread) {
+		th.Exec(soc.Work(time.Millisecond))
+		nwRan = true
+		nwDone = th.P().Now()
+	})
+	run(t, e, time.Minute)
+	if !nwRan {
+		t.Fatal("nightwatch of another process blocked")
+	}
+	// It should have completed concurrently with the busy normal thread,
+	// i.e. well before the 50 ms burst ended plus its own 12 ms.
+	if nwDone > sim.Time(30*time.Millisecond) {
+		t.Fatalf("nightwatch finished at %v; it was serialized behind another process", nwDone)
+	}
+}
+
+func TestSuspendOverlapCost(t *testing.T) {
+	// §8: the extra overhead on the main kernel is 1-2 µs per context
+	// switch because the ack wait overlaps the switch. Measure the
+	// schedule-in latency of a normal thread with and without a live
+	// NightWatch sibling.
+	measure := func(withNW bool) time.Duration {
+		e, _, sc := rig(false)
+		pr := sc.NewProcess("app")
+		if withNW {
+			pr.Spawn(NightWatch, "w", func(th *Thread) {
+				for i := 0; i < 1000; i++ {
+					th.Exec(soc.Work(10 * time.Microsecond))
+					th.SleepIdle(100 * time.Microsecond)
+				}
+			})
+		}
+		// A second process provides a prior core holder so the normal
+		// thread's schedule-in includes a context switch.
+		other := sc.NewProcess("other")
+		other.Spawn(Normal, "x", func(th *Thread) {
+			th.Exec(soc.Work(100 * time.Microsecond))
+		})
+		other.Spawn(Normal, "x2", func(th *Thread) {
+			th.Exec(soc.Work(100 * time.Microsecond))
+		})
+		var latency time.Duration
+		e.At(sim.Time(10*time.Millisecond), func() {
+			spawnedAt := e.Now()
+			pr.Spawn(Normal, "n", func(th *Thread) {
+				th.Exec(soc.Work(time.Microsecond))
+				// Latency from spawn to completed first microsecond of
+				// user work: context switch plus (with a NightWatch
+				// sibling) the non-overlapped part of the ack wait.
+				latency = th.P().Now().Sub(spawnedAt) - time.Microsecond
+			})
+		})
+		if err := e.Run(sim.Time(time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		return latency
+	}
+	base := measure(false)
+	withNW := measure(true)
+	extra := withNW - base
+	if extra < 500*time.Nanosecond || extra > 4*time.Microsecond {
+		t.Fatalf("suspend overlap overhead = %v (base %v, with NW %v), want ~1-2µs", extra, base, withNW)
+	}
+}
+
+func TestCoreContentionTimeShares(t *testing.T) {
+	e, _, sc := rig(false)
+	pr := sc.NewProcess("app")
+	done := 0
+	// Three CPU-bound normal threads on two strong cores.
+	for i := 0; i < 3; i++ {
+		pr.Spawn(Normal, "n", func(th *Thread) {
+			th.Exec(soc.Work(10 * time.Millisecond))
+			done++
+		})
+	}
+	run(t, e, time.Minute)
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	// 30 ms of work on 2 cores needs >= 15 ms of virtual time; events
+	// after completion confirm no overlap beyond capacity. (A saturated
+	// check lives in the soc Resource tests; here we just require
+	// completion without deadlock.)
+}
+
+func TestProcessDoneFires(t *testing.T) {
+	e, _, sc := rig(false)
+	pr := sc.NewProcess("app")
+	fired := false
+	pr.Spawn(Normal, "n", func(th *Thread) { th.Exec(soc.Work(time.Millisecond)) })
+	pr.Spawn(NightWatch, "w", func(th *Thread) { th.Exec(soc.Work(time.Millisecond)) })
+	e.Spawn("watch", func(p *sim.Proc) {
+		pr.Done().Wait(p)
+		fired = true
+	})
+	run(t, e, time.Minute)
+	if !fired {
+		t.Fatal("Done never fired")
+	}
+}
+
+func TestCanSleepRespectsRunnable(t *testing.T) {
+	e, s, sc := rig(false)
+	pr := sc.NewProcess("app")
+	pr.Spawn(Normal, "n", func(th *Thread) {
+		th.Exec(soc.Work(time.Millisecond))
+		th.SleepIdle(20 * time.Second) // long block: domain should sleep
+		th.Exec(soc.Work(time.Millisecond))
+	})
+	// After the 5s inactive timeout within the 20s block, strong suspends.
+	if err := e.Run(sim.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Domains[soc.Strong].State() != soc.DomInactive {
+		t.Fatalf("strong state = %v, want inactive during long block", s.Domains[soc.Strong].State())
+	}
+	run(t, e, 5*time.Minute)
+	if s.Domains[soc.Strong].WakeCount() == 0 {
+		t.Fatal("domain never woke to finish the thread")
+	}
+}

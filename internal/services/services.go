@@ -1,0 +1,185 @@
+// Package services implements K2's service classification and the shadowed
+// service substrate (§5.2, §5.3).
+//
+// K2 classifies OS services three ways: private services are implemented
+// separately per kernel (core power management, platform init); independent
+// services run one coordinated instance per kernel with no shared state
+// (page allocator, interrupt management); shadowed services — the largest
+// category, including device drivers, file systems and the network stack —
+// are built from the same source in both kernels while K2 transparently
+// keeps their state coherent through the DSM, with their locks augmented by
+// hardware spinlocks for inter-domain synchronization.
+package services
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"k2/internal/dsm"
+	"k2/internal/mem"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Class is a service's replication strategy.
+type Class int
+
+const (
+	// Private: per-kernel implementation and state (§5.3 steps 1-2).
+	Private Class = iota
+	// Independent: per-kernel instances coordinated by K2 (§5.3 step 3).
+	Independent
+	// Shadowed: one source, replicated state kept coherent by the DSM
+	// (§5.3 step 4).
+	Shadowed
+)
+
+func (c Class) String() string {
+	switch c {
+	case Private:
+		return "private"
+	case Independent:
+		return "independent"
+	default:
+		return "shadowed"
+	}
+}
+
+// Registry records the classification of every OS service, the analog of
+// the refactoring decisions in §5.3.
+type Registry struct {
+	entries map[string]Class
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{entries: make(map[string]Class)} }
+
+// Register records service name with its class.
+func (r *Registry) Register(name string, c Class) {
+	r.entries[name] = c
+}
+
+// Class looks up a service's class.
+func (r *Registry) Class(name string) (Class, bool) {
+	c, ok := r.entries[name]
+	return c, ok
+}
+
+// Names returns all registered service names, sorted, optionally filtered
+// by class.
+func (r *Registry) Names(filter func(Class) bool) []string {
+	var out []string
+	for n, c := range r.entries {
+		if filter == nil || filter(c) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns how many services have the given class.
+func (r *Registry) Count(c Class) int {
+	n := 0
+	for _, e := range r.entries {
+		if e == c {
+			n++
+		}
+	}
+	return n
+}
+
+// ShadowedState is the coherent state of one shadowed service: a set of
+// DSM-managed pages plus a hardware spinlock guarding them. Service code in
+// either kernel calls Enter/Touch/Exit around its critical sections; the
+// DSM faults in ownership transparently (§6.3) and the spinlock provides
+// the inter-domain mutual exclusion that the service's original lock cannot
+// (§5.3 step 4).
+//
+// With a nil DSM the state degrades to a plain locked region — the
+// configuration of the single-kernel Linux baseline, where hardware
+// coherence covers everything.
+type ShadowedState struct {
+	Name  string
+	Pages []mem.PFN
+
+	d    *dsm.DSM
+	lock *soc.HWSpinlock
+}
+
+// NewShadowedState registers the pages with the DSM (if any) and binds the
+// hardware spinlock.
+func NewShadowedState(name string, d *dsm.DSM, lock *soc.HWSpinlock, pages []mem.PFN) *ShadowedState {
+	ss := &ShadowedState{Name: name, Pages: pages, d: d, lock: lock}
+	if d != nil {
+		for _, p := range pages {
+			d.Share(p)
+		}
+	}
+	return ss
+}
+
+// Enter acquires the service lock from the calling thread's kernel. The
+// spin loop yields the core between retries: the lock holder may be a
+// preempted thread of this same kernel (e.g. a NightWatch thread suspended
+// mid-operation), and monopolizing the kernel's only core while spinning
+// would deadlock — the spin-then-yield discipline a real kernel uses when
+// it cannot disable preemption across domains.
+func (ss *ShadowedState) Enter(t *sched.Thread) {
+	if ss.lock == nil {
+		return
+	}
+	backoff := 400 * time.Nanosecond
+	const maxBackoff = 100 * time.Microsecond
+	for !ss.lock.TryAcquire(t.P(), t.Core()) {
+		t.ExecFor(backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+		t.Yield()
+	}
+}
+
+// Exit releases the service lock.
+func (ss *ShadowedState) Exit(t *sched.Thread) {
+	if ss.lock != nil {
+		ss.lock.Release(t.P(), t.Core())
+	}
+}
+
+// Touch accesses state page i; under K2 this may take a DSM fault that
+// migrates ownership to the calling kernel.
+func (ss *ShadowedState) Touch(t *sched.Thread, i int, write bool) {
+	if ss.d == nil {
+		return // Linux baseline: hardware-coherent access
+	}
+	if i < 0 || i >= len(ss.Pages) {
+		panic(fmt.Sprintf("services: %s: touch of state page %d/%d", ss.Name, i, len(ss.Pages)))
+	}
+	ss.d.Access(t.P(), t.Core(), t.Kernel(), ss.Pages[i], write)
+}
+
+// TouchFrom is Touch for code running outside a scheduled thread (e.g. an
+// interrupt handler proc executing on a specific core).
+func (ss *ShadowedState) TouchFrom(p *sim.Proc, core *soc.Core, k soc.DomainID, i int, write bool) {
+	if ss.d == nil {
+		return
+	}
+	ss.d.Access(p, core, k, ss.Pages[i], write)
+}
+
+// EnterFrom / ExitFrom are Enter/Exit for interrupt-handler contexts.
+func (ss *ShadowedState) EnterFrom(p *sim.Proc, core *soc.Core) {
+	if ss.lock != nil {
+		ss.lock.Acquire(p, core)
+	}
+}
+
+// ExitFrom releases the lock from an interrupt-handler context.
+func (ss *ShadowedState) ExitFrom(p *sim.Proc, core *soc.Core) {
+	if ss.lock != nil {
+		ss.lock.Release(p, core)
+	}
+}

@@ -1,0 +1,127 @@
+package services
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"k2/internal/dsm"
+	"k2/internal/mem"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func TestRegistryClassification(t *testing.T) {
+	r := NewRegistry()
+	r.Register("page-allocator", Independent)
+	r.Register("interrupt-mgmt", Independent)
+	r.Register("dma-driver", Shadowed)
+	r.Register("ext2", Shadowed)
+	r.Register("udp", Shadowed)
+	r.Register("cpu-power", Private)
+
+	if c, ok := r.Class("ext2"); !ok || c != Shadowed {
+		t.Fatalf("ext2 class = %v/%v", c, ok)
+	}
+	if _, ok := r.Class("missing"); ok {
+		t.Fatal("missing service found")
+	}
+	if r.Count(Shadowed) != 3 || r.Count(Independent) != 2 || r.Count(Private) != 1 {
+		t.Fatal("counts wrong")
+	}
+	got := r.Names(func(c Class) bool { return c == Independent })
+	want := []string{"interrupt-mgmt", "page-allocator"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+}
+
+func TestShadowedStateCoherenceAndLock(t *testing.T) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	sc := sched.New(s, false)
+	d := dsm.New(s, dsm.DefaultParams())
+	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+		k := k
+		core := d.ServiceCore[k]
+		e.Spawn("dispatch-"+k.String(), func(p *sim.Proc) {
+			for {
+				msg := s.Mailbox.Recv(p, k)
+				d.HandleMessage(p, core, k, msg)
+			}
+		})
+	}
+	e.Spawn("drainer", d.RunMainDrainer)
+
+	ss := NewShadowedState("svc", d, s.Spinlocks.Lock(2), []mem.PFN{500, 501})
+	if d.SharedPages() != 2 {
+		t.Fatalf("shared pages = %d", d.SharedPages())
+	}
+
+	inCrit := 0
+	violated := false
+	op := func(th *sched.Thread) {
+		ss.Enter(th)
+		inCrit++
+		if inCrit > 1 {
+			violated = true
+		}
+		ss.Touch(th, 0, true)
+		th.Exec(soc.Work(10 * time.Microsecond))
+		inCrit--
+		ss.Exit(th)
+	}
+	pa := sc.NewProcess("a")
+	pb := sc.NewProcess("b")
+	pa.Spawn(sched.Normal, "main-user", func(th *sched.Thread) {
+		for i := 0; i < 5; i++ {
+			op(th)
+			th.SleepIdle(time.Millisecond)
+		}
+	})
+	pb.Spawn(sched.NightWatch, "weak-user", func(th *sched.Thread) {
+		for i := 0; i < 5; i++ {
+			op(th)
+			th.SleepIdle(time.Millisecond)
+		}
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("hardware spinlock failed to serialize cross-domain critical sections")
+	}
+	// Ownership must have bounced: both kernels faulted at least once.
+	if d.RequesterStats[soc.Weak].Faults == 0 || d.RequesterStats[soc.Strong].Faults == 0 {
+		t.Fatalf("faults main=%d shadow=%d; expected ping-pong",
+			d.RequesterStats[soc.Strong].Faults, d.RequesterStats[soc.Weak].Faults)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowedStateBaselineIsFree(t *testing.T) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	sc := sched.New(s, true)
+	ss := NewShadowedState("svc", nil, nil, nil)
+	pr := sc.NewProcess("a")
+	var dur time.Duration
+	pr.Spawn(sched.Normal, "t", func(th *sched.Thread) {
+		start := th.P().Now()
+		for i := 0; i < 100; i++ {
+			ss.Enter(th)
+			ss.Touch(th, 0, true)
+			ss.Exit(th)
+		}
+		dur = th.P().Now().Sub(start)
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if dur != 0 {
+		t.Fatalf("baseline shadowed-state access cost %v, want 0", dur)
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepOrCancelFullSleep(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	var completed bool
+	var woke Time
+	e.Spawn("s", func(p *Proc) {
+		completed = p.SleepOrCancel(10*time.Millisecond, ev)
+		woke = p.Now()
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !completed || woke != Time(10*time.Millisecond) {
+		t.Fatalf("completed=%v woke=%v", completed, woke)
+	}
+}
+
+func TestSleepOrCancelInterrupted(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	var completed bool
+	var woke Time
+	e.Spawn("s", func(p *Proc) {
+		completed = p.SleepOrCancel(10*time.Millisecond, ev)
+		woke = p.Now()
+	})
+	e.At(Time(3*time.Millisecond), func() { ev.Fire() })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if completed || woke != Time(3*time.Millisecond) {
+		t.Fatalf("completed=%v woke=%v, want interrupted at 3ms", completed, woke)
+	}
+}
+
+func TestSleepOrCancelAlreadyFired(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	ev.Fire()
+	var completed, ran bool
+	var woke Time
+	e.Spawn("s", func(p *Proc) {
+		completed = p.SleepOrCancel(10*time.Millisecond, ev)
+		woke = p.Now()
+		ran = true
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || completed || woke != 0 {
+		t.Fatalf("ran=%v completed=%v woke=%v, want immediate return", ran, completed, woke)
+	}
+}
+
+func TestSleepOrCancelNilEvent(t *testing.T) {
+	e := NewEngine()
+	var completed bool
+	e.Spawn("s", func(p *Proc) {
+		completed = p.SleepOrCancel(time.Millisecond, nil)
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !completed {
+		t.Fatal("nil cancel must degrade to a plain sleep")
+	}
+}
+
+func TestSleepOrCancelLateFireHarmless(t *testing.T) {
+	// The cancel fires after the sleep completed: the proc must not be
+	// resumed twice.
+	e := NewEngine()
+	ev := NewEvent(e)
+	phases := 0
+	e.Spawn("s", func(p *Proc) {
+		if !p.SleepOrCancel(time.Millisecond, ev) {
+			t.Error("short sleep interrupted unexpectedly")
+		}
+		phases++
+		p.Sleep(10 * time.Millisecond) // survives the late Fire below
+		phases++
+	})
+	e.At(Time(5*time.Millisecond), func() { ev.Fire() })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if phases != 2 {
+		t.Fatalf("phases = %d", phases)
+	}
+}
+
+func TestOnFireOrdering(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	var order []int
+	ev.OnFire(func() { order = append(order, 1) })
+	ev.OnFire(func() { order = append(order, 2) })
+	ev.Fire()
+	ev.OnFire(func() { order = append(order, 3) }) // post-fire: immediate
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// Property: SleepOrCancel wakes at exactly min(sleep, fire) and reports
+// completion iff the sleep was shorter.
+func TestQuickSleepOrCancelMin(t *testing.T) {
+	f := func(sleepUS, fireUS uint16) bool {
+		if sleepUS == 0 {
+			sleepUS = 1
+		}
+		e := NewEngine()
+		ev := NewEvent(e)
+		var completed bool
+		var woke Time
+		e.Spawn("s", func(p *Proc) {
+			completed = p.SleepOrCancel(time.Duration(sleepUS)*time.Microsecond, ev)
+			woke = p.Now()
+		})
+		e.At(Time(fireUS)*Time(time.Microsecond), func() { ev.Fire() })
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		want := Time(sleepUS) * Time(time.Microsecond)
+		wantComplete := true
+		if Time(fireUS)*Time(time.Microsecond) < want {
+			want = Time(fireUS) * Time(time.Microsecond)
+			wantComplete = false
+		}
+		return woke == want && completed == wantComplete
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

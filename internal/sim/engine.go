@@ -1,0 +1,204 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// The engine advances a virtual clock and dispatches events in (time,
+// sequence) order, so two runs of the same program observe identical
+// interleavings. Simulated activities are written as ordinary Go functions
+// running in Procs (coroutines multiplexed by the engine, exactly one of
+// which executes at a time); they consume virtual time with Proc.Sleep and
+// synchronize through Events, Gates, Resources and Queues.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// use NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // procs signal the engine here when parking
+	failure error
+	stopped bool
+	nprocs  int // live (not yet terminated) procs
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at time t (>= Now). fn runs in engine context and
+// must not block; to perform blocking work, have fn spawn or wake a Proc.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. See At for restrictions on fn.
+func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now.Add(d), fn) }
+
+// Spawn starts a new Proc running fn. The proc begins execution at the
+// current virtual time (after already-scheduled events at that time).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{name: name, eng: e, cont: make(chan struct{})}
+	e.nprocs++
+	go p.run(fn)
+	e.At(e.now, func() { p.resume() })
+	return p
+}
+
+// SpawnAt is Spawn with an explicit start time.
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{name: name, eng: e, cont: make(chan struct{})}
+	e.nprocs++
+	go p.run(fn)
+	e.At(t, func() { p.resume() })
+	return p
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events until the queue is empty, the clock passes until
+// (if until > 0), Stop is called, or a proc fails. It returns the first proc
+// failure, if any.
+func (e *Engine) Run(until Time) error {
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if until > 0 && ev.at > until {
+			e.now = until
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fn()
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	return e.failure
+}
+
+// RunAll runs until no events remain.
+func (e *Engine) RunAll() error { return e.Run(0) }
+
+func (e *Engine) fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+	e.stopped = true
+}
+
+// Proc is a simulated thread of control. A Proc's function runs in its own
+// goroutine but the engine guarantees that at most one Proc executes at a
+// time, handing control back and forth, so Proc code needs no locking of
+// simulation state.
+type Proc struct {
+	name string
+	eng  *Engine
+	cont chan struct{}
+	dead bool
+}
+
+// Name returns the proc's name, for traces and errors.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+func (p *Proc) run(fn func(*Proc)) {
+	<-p.cont // wait for first resume
+	defer func() {
+		p.dead = true
+		p.eng.nprocs--
+		if r := recover(); r != nil {
+			p.eng.fail(fmt.Errorf("sim: proc %q panicked: %v", p.name, r))
+		}
+		p.eng.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// resume transfers control from the engine to the proc and waits for it to
+// park or terminate. Must only be called from engine context.
+func (p *Proc) resume() {
+	if p.dead {
+		return
+	}
+	p.cont <- struct{}{}
+	<-p.eng.yield
+}
+
+// park transfers control from the proc back to the engine and blocks until
+// resumed. Must only be called from proc context.
+func (p *Proc) park() {
+	p.eng.yield <- struct{}{}
+	<-p.cont
+}
+
+// Sleep advances the proc by d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.At(p.eng.now.Add(d), func() { p.resume() })
+	p.park()
+}
+
+// Yield reschedules the proc at the current time, letting other events and
+// procs scheduled for this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }

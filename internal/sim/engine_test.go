@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimeEventsRunInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (FIFO tie-break)", i, v, i)
+		}
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(1000, func() { ran = true })
+	if err := e.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("event after the horizon ran")
+	}
+	if e.Now() != 500 {
+		t.Fatalf("Now() = %v, want 500", e.Now())
+	}
+	// The event must still be pending and run on a later Run call.
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("pending event lost after bounded Run")
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	e.Spawn("sleeper", func(p *Proc) {
+		at = append(at, p.Now())
+		p.Sleep(5 * time.Millisecond)
+		at = append(at, p.Now())
+		p.Sleep(10 * time.Millisecond)
+		at = append(at, p.Now())
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, Time(5 * time.Millisecond), Time(15 * time.Millisecond)}
+	if !reflect.DeepEqual(at, want) {
+		t.Fatalf("wake times = %v, want %v", at, want)
+	}
+}
+
+func TestProcPanicSurfacesAsError(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bad", func(p *Proc) { panic("boom") })
+	err := e.RunAll()
+	if err == nil {
+		t.Fatal("RunAll returned nil for a panicking proc")
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("parent", func(p *Proc) {
+		order = append(order, "parent-start")
+		p.Engine().Spawn("child", func(c *Proc) {
+			order = append(order, "child")
+		})
+		p.Sleep(time.Microsecond)
+		order = append(order, "parent-end")
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"parent-start", "child", "parent-end"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestEventBroadcastAndLatch(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	var woke []string
+	for _, n := range []string{"a", "b"} {
+		n := n
+		e.Spawn(n, func(p *Proc) {
+			ev.Wait(p)
+			woke = append(woke, n)
+		})
+	}
+	e.At(Time(time.Second), func() { ev.Fire() })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(woke, []string{"a", "b"}) {
+		t.Fatalf("wake order = %v", woke)
+	}
+	// Waiting after Fire returns immediately.
+	done := false
+	e.Spawn("late", func(p *Proc) { ev.Wait(p); done = true })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("Wait after Fire blocked")
+	}
+}
+
+func TestGateReleasesOnlyCurrentWaiters(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(e)
+	var woke int
+	e.Spawn("w1", func(p *Proc) { g.Wait(p); woke++; g.Wait(p); woke++ })
+	e.At(10, func() { g.Open() })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 1 {
+		t.Fatalf("woke = %d, want 1 (gate must re-close)", woke)
+	}
+}
+
+func TestResourcePriorityAndFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var order []string
+	hold := func(name string, prio int, startAt Time) {
+		e.SpawnAt(startAt, name, func(p *Proc) {
+			r.Acquire(p, prio)
+			order = append(order, name)
+			p.Sleep(100 * time.Microsecond)
+			r.Release()
+		})
+	}
+	hold("first", 0, 0)
+	// These three all queue while "first" holds the resource.
+	hold("lo-early", 0, 1)
+	hold("lo-late", 0, 2)
+	hold("hi", 10, 3)
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "hi", "lo-early", "lo-late"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("grant order = %v, want %v", order, want)
+	}
+}
+
+func TestResourceReportsContextSwitch(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var sw []bool
+	e.Spawn("a", func(p *Proc) {
+		sw = append(sw, r.Acquire(p, 0))
+		p.Sleep(time.Millisecond)
+		r.Release()
+		sw = append(sw, r.Acquire(p, 0)) // same proc again: no switch
+		r.Release()
+	})
+	e.SpawnAt(Time(2*time.Millisecond), "b", func(p *Proc) {
+		sw = append(sw, r.Acquire(p, 0))
+		r.Release()
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, false, true}
+	if !reflect.DeepEqual(sw, want) {
+		t.Fatalf("switched flags = %v, want %v", sw, want)
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	maxInUse := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			r.Acquire(p, 0)
+			if r.InUse() > maxInUse {
+				maxInUse = r.InUse()
+			}
+			p.Sleep(time.Millisecond)
+			r.Release()
+		})
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInUse != 2 {
+		t.Fatalf("max in use = %d, want 2", maxInUse)
+	}
+}
+
+func TestQueueFIFOAndBlocking(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e)
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	e.At(10, func() { q.Put(1); q.Put(2) })
+	e.At(20, func() { q.Put(3) })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	tm.Reset(10 * time.Millisecond)
+	e.At(Time(5*time.Millisecond), func() { tm.Reset(20 * time.Millisecond) })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (reset must supersede)", fired)
+	}
+	if e.Now() != Time(25*time.Millisecond) {
+		t.Fatalf("fire time = %v, want 25ms", e.Now())
+	}
+
+	tm.Reset(time.Millisecond)
+	tm.Stop()
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after Stop, want 1", fired)
+	}
+}
+
+// traceRun executes a randomized workload and returns its event trace;
+// determinism demands identical traces for identical seeds.
+func traceRun(seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngine()
+	var trace []string
+	r := NewResource(e, 2)
+	q := NewQueue(e)
+	for i := 0; i < 8; i++ {
+		i := i
+		start := Time(rng.Intn(1000))
+		e.SpawnAt(start, fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < 3; j++ {
+				r.Acquire(p, i%3)
+				trace = append(trace, fmt.Sprintf("%d:%d@%d", i, j, p.Now()))
+				p.Sleep(time.Duration(50 + i*7))
+				r.Release()
+				q.Put(i)
+			}
+		})
+	}
+	e.Spawn("drain", func(p *Proc) {
+		for i := 0; i < 24; i++ {
+			v := q.Get(p).(int)
+			trace = append(trace, fmt.Sprintf("got%d@%d", v, p.Now()))
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		panic(err)
+	}
+	return trace
+}
+
+func TestDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a, b := traceRun(seed), traceRun(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: traces differ:\n%v\n%v", seed, a, b)
+		}
+	}
+}
+
+// Property: dispatch order is monotonically non-decreasing in time for any
+// set of scheduled events.
+func TestQuickEventOrderMonotonic(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var times []Time
+		for _, off := range offsets {
+			at := Time(off)
+			e.At(at, func() { times = append(times, e.Now()) })
+		}
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a proc performing a sequence of sleeps wakes at exactly the
+// prefix sums of its sleep durations.
+func TestQuickSleepPrefixSums(t *testing.T) {
+	f := func(durs []uint16) bool {
+		e := NewEngine()
+		ok := true
+		e.Spawn("p", func(p *Proc) {
+			var sum Time
+			for _, d := range durs {
+				p.Sleep(time.Duration(d))
+				sum += Time(d)
+				if p.Now() != sum {
+					ok = false
+				}
+			}
+		})
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Resource never exceeds capacity and completes all acquirers, for
+// arbitrary small workloads.
+func TestQuickResourceCapacityInvariant(t *testing.T) {
+	f := func(holdTimes []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%4) + 1
+		e := NewEngine()
+		r := NewResource(e, capacity)
+		over := false
+		done := 0
+		for i, h := range holdTimes {
+			h := time.Duration(h)
+			e.SpawnAt(Time(i), "p", func(p *Proc) {
+				r.Acquire(p, 0)
+				if r.InUse() > capacity {
+					over = true
+				}
+				p.Sleep(h)
+				r.Release()
+				done++
+			})
+		}
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		return !over && done == len(holdTimes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

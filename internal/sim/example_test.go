@@ -1,0 +1,49 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/sim"
+)
+
+// Two procs sharing a single-slot resource: the engine interleaves them in
+// virtual time, deterministically.
+func Example() {
+	e := sim.NewEngine()
+	core := sim.NewResource(e, 1)
+	worker := func(name string, start sim.Time) {
+		e.SpawnAt(start, name, func(p *sim.Proc) {
+			core.Acquire(p, 0)
+			fmt.Printf("%-5s runs at %v\n", name, p.Now())
+			p.Sleep(3 * time.Millisecond)
+			core.Release()
+		})
+	}
+	worker("alice", 0)
+	worker("bob", sim.Time(time.Millisecond))
+	if err := e.RunAll(); err != nil {
+		panic(err)
+	}
+	fmt.Println("done at", e.Now())
+	// Output:
+	// alice runs at 0s
+	// bob   runs at 3ms
+	// done at 6ms
+}
+
+// Events broadcast to all waiters; SleepOrCancel supports preemption.
+func ExampleEvent() {
+	e := sim.NewEngine()
+	preempt := sim.NewEvent(e)
+	e.Spawn("worker", func(p *sim.Proc) {
+		completed := p.SleepOrCancel(10*time.Millisecond, preempt)
+		fmt.Printf("completed=%v at %v\n", completed, p.Now())
+	})
+	e.At(sim.Time(4*time.Millisecond), func() { preempt.Fire() })
+	if err := e.RunAll(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// completed=false at 4ms
+}

@@ -1,0 +1,277 @@
+package sim
+
+import "time"
+
+// Event is a one-shot broadcast: procs waiting on it block until Fire, and
+// waits after Fire return immediately.
+type Event struct {
+	eng       *Engine
+	fired     bool
+	callbacks []func()
+}
+
+// NewEvent returns an unfired event on e.
+func NewEvent(e *Engine) *Event { return &Event{eng: e} }
+
+// Fired reports whether Fire has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire wakes all waiters (in wait order) and makes future Waits immediate.
+// May be called from engine or proc context; waiters run via scheduled
+// events, preserving determinism.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, fn := range ev.callbacks {
+		fn()
+	}
+	ev.callbacks = nil
+}
+
+// OnFire runs fn (engine context, must not block) when the event fires, or
+// immediately if it already has.
+func (ev *Event) OnFire(fn func()) {
+	if ev.fired {
+		fn()
+		return
+	}
+	ev.callbacks = append(ev.callbacks, fn)
+}
+
+// Wait blocks p until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.OnFire(func() {
+		ev.eng.At(ev.eng.now, func() { p.resume() })
+	})
+	p.park()
+}
+
+// SleepOrCancel sleeps for d but wakes early if cancel fires first. It
+// reports whether the full duration elapsed. A nil cancel degrades to
+// Sleep.
+func (p *Proc) SleepOrCancel(d time.Duration, cancel *Event) (completed bool) {
+	if cancel == nil {
+		p.Sleep(d)
+		return true
+	}
+	if cancel.Fired() {
+		return false
+	}
+	woken := false
+	wake := func(full bool) {
+		if woken {
+			return
+		}
+		woken = true
+		completed = full
+		p.eng.At(p.eng.now, func() { p.resume() })
+	}
+	p.eng.After(d, func() { wake(true) })
+	cancel.OnFire(func() { wake(false) })
+	p.park()
+	return completed
+}
+
+// Gate is a repeatable wait point: procs block on Wait until another party
+// calls Open, which releases all current waiters; the gate then remains
+// closed for subsequent waiters (unlike Event).
+type Gate struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewGate returns a closed gate on e.
+func NewGate(e *Engine) *Gate { return &Gate{eng: e} }
+
+// Waiters returns how many procs are currently blocked.
+func (g *Gate) Waiters() int { return len(g.waiters) }
+
+// Open releases all procs currently blocked in Wait.
+func (g *Gate) Open() {
+	ws := g.waiters
+	g.waiters = nil
+	for _, w := range ws {
+		w := w
+		g.eng.At(g.eng.now, func() { w.resume() })
+	}
+}
+
+// OpenOne releases the longest-waiting proc, if any, and reports whether a
+// proc was released.
+func (g *Gate) OpenOne() bool {
+	if len(g.waiters) == 0 {
+		return false
+	}
+	w := g.waiters[0]
+	g.waiters = g.waiters[1:]
+	g.eng.At(g.eng.now, func() { w.resume() })
+	return true
+}
+
+// Wait blocks p until the gate is opened.
+func (g *Gate) Wait(p *Proc) {
+	g.waiters = append(g.waiters, p)
+	p.park()
+}
+
+type resWaiter struct {
+	p    *Proc
+	prio int
+	seq  uint64
+}
+
+// Resource is a counted resource (e.g. a CPU core pool) with priority
+// acquisition: among waiters, higher prio wins; ties go to the earlier
+// arrival. It is the building block for core time-sharing in the scheduler.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	seq      uint64
+	waiters  []resWaiter
+	// LastHolder is the proc that most recently held a unit; schedulers use
+	// it to charge context-switch costs on handoff.
+	LastHolder *Proc
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(e *Engine, capacity int) *Resource {
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// InUse returns the number of held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// Acquire blocks p until a unit is available, with the given priority.
+// It returns true if the unit was handed over from a different proc than p
+// (i.e. a context switch happened).
+func (r *Resource) Acquire(p *Proc, prio int) (switched bool) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		switched = r.LastHolder != nil && r.LastHolder != p
+		r.LastHolder = p
+		return switched
+	}
+	r.seq++
+	r.waiters = append(r.waiters, resWaiter{p: p, prio: prio, seq: r.seq})
+	p.park()
+	switched = r.LastHolder != nil && r.LastHolder != p
+	r.LastHolder = p
+	return switched
+}
+
+// TryAcquire acquires a unit without blocking, returning false if none is
+// available.
+func (r *Resource) TryAcquire(p *Proc) bool {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		r.LastHolder = p
+		return true
+	}
+	return false
+}
+
+// Release returns a unit and wakes the best waiter, if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Resource.Release without Acquire")
+	}
+	r.inUse--
+	r.grant()
+}
+
+func (r *Resource) grant() {
+	if r.inUse >= r.capacity || len(r.waiters) == 0 {
+		return
+	}
+	best := 0
+	for i := 1; i < len(r.waiters); i++ {
+		w, b := r.waiters[i], r.waiters[best]
+		if w.prio > b.prio || (w.prio == b.prio && w.seq < b.seq) {
+			best = i
+		}
+	}
+	w := r.waiters[best]
+	r.waiters = append(r.waiters[:best], r.waiters[best+1:]...)
+	r.inUse++
+	r.eng.At(r.eng.now, func() { w.p.resume() })
+}
+
+// Queue is an unbounded FIFO of values with blocking Get; it models message
+// queues such as hardware mailboxes.
+type Queue struct {
+	eng   *Engine
+	items []interface{}
+	gate  *Gate
+}
+
+// NewQueue returns an empty queue on e.
+func NewQueue(e *Engine) *Queue { return &Queue{eng: e, gate: NewGate(e)} }
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Put appends v and wakes one waiting getter.
+func (q *Queue) Put(v interface{}) {
+	q.items = append(q.items, v)
+	q.gate.OpenOne()
+}
+
+// Get blocks p until an item is available and returns it.
+func (q *Queue) Get(p *Proc) interface{} {
+	for len(q.items) == 0 {
+		q.gate.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet returns the next item without blocking, or (nil, false).
+func (q *Queue) TryGet() (interface{}, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Timer schedules fn once after d, and can be cancelled or reset. It is used
+// for inactivity timeouts.
+type Timer struct {
+	eng   *Engine
+	fn    func()
+	armed bool
+	gen   int
+}
+
+// NewTimer returns an unarmed timer that will run fn when it expires.
+func NewTimer(e *Engine, fn func()) *Timer { return &Timer{eng: e, fn: fn} }
+
+// Reset (re)arms the timer to fire d from now, cancelling any earlier arm.
+func (t *Timer) Reset(d time.Duration) {
+	t.gen++
+	t.armed = true
+	gen := t.gen
+	t.eng.After(d, func() {
+		if t.armed && t.gen == gen {
+			t.armed = false
+			t.fn()
+		}
+	})
+}
+
+// Stop cancels the timer if armed.
+func (t *Timer) Stop() { t.armed = false; t.gen++ }
+
+// Armed reports whether the timer is pending.
+func (t *Timer) Armed() bool { return t.armed }

@@ -1,0 +1,115 @@
+// Package soc models the hardware of a multi-domain mobile SoC in the style
+// of the TI OMAP4 (§5.1 of the paper): heterogeneous cores grouped into
+// cache-coherence domains, a system interconnect shared by all domains,
+// hardware mailboxes for inter-domain messages, hardware spinlocks for
+// inter-domain synchronization, per-domain interrupt controllers wired to
+// shared IO peripherals, and a DMA engine.
+//
+// All costs are charged in virtual time on the simulation engine; power is
+// accounted on per-domain rails (see internal/power). Calibration constants
+// live in omap4.go and cite the paper sentence they come from.
+package soc
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/sim"
+)
+
+// Work is an amount of computation expressed as the time it takes on the
+// reference core (a Cortex-A9 at 1200 MHz). A core with speed s executes
+// Work w in w/s of virtual time.
+type Work time.Duration
+
+// CoreKind identifies the microarchitecture of a core.
+type CoreKind int
+
+const (
+	// CortexA9 is the strong, performance-oriented core (ARM ISA).
+	CortexA9 CoreKind = iota
+	// CortexM3 is the weak, efficiency-oriented core (Thumb-2 ISA).
+	CortexM3
+)
+
+func (k CoreKind) String() string {
+	switch k {
+	case CortexA9:
+		return "Cortex-A9"
+	case CortexM3:
+		return "Cortex-M3"
+	default:
+		return fmt.Sprintf("CoreKind(%d)", int(k))
+	}
+}
+
+// Core is one processor core. Cores execute Work for simulated threads; the
+// scheduler (internal/sched) arbitrates which thread may use a core.
+type Core struct {
+	ID      int
+	Kind    CoreKind
+	FreqMHz int
+	Domain  *Domain
+
+	speed float64 // execution speed relative to the reference core
+}
+
+// Speed returns the core's execution speed relative to the reference core.
+func (c *Core) Speed() float64 { return c.speed }
+
+// SetFreqMHz changes the core's clock, updating its speed and (for the
+// strong domain) the domain's active power level, emulating DVFS.
+func (c *Core) SetFreqMHz(mhz int) {
+	c.FreqMHz = mhz
+	c.speed = speedOf(c.Kind, mhz)
+	c.Domain.refreshPower()
+}
+
+// Scale converts reference work into this core's execution time.
+func (c *Core) Scale(w Work) time.Duration {
+	return time.Duration(float64(w) / c.speed)
+}
+
+// Exec charges w of reference work to this core: the core (and its domain
+// rail) is busy for the scaled duration. The domain must be awake.
+func (c *Core) Exec(p *sim.Proc, w Work) {
+	if w <= 0 {
+		return
+	}
+	c.Domain.beginBusy()
+	p.Sleep(c.Scale(w))
+	c.Domain.endBusy()
+}
+
+// ExecFor charges exactly d of wall-clock busy time regardless of core
+// speed; used for costs bound by the interconnect or DRAM rather than the
+// core (e.g. uncached page-metadata writes, §6.2 balloon operations).
+func (c *Core) ExecFor(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.Domain.beginBusy()
+	p.Sleep(d)
+	c.Domain.endBusy()
+}
+
+// IdleWait parks the proc for d without marking the core busy, modelling a
+// core waiting for IO with the domain drawing idle power.
+func (c *Core) IdleWait(p *sim.Proc, d time.Duration) { p.Sleep(d) }
+
+// ExecCancelable executes up to w of reference work but stops early if
+// cancel fires (e.g. a preemption signal). It returns the work actually
+// consumed. The domain must be awake.
+func (c *Core) ExecCancelable(p *sim.Proc, w Work, cancel *sim.Event) Work {
+	if w <= 0 {
+		return 0
+	}
+	start := p.Now()
+	c.Domain.beginBusy()
+	completed := p.SleepOrCancel(c.Scale(w), cancel)
+	c.Domain.endBusy()
+	if completed {
+		return w
+	}
+	return Work(float64(p.Now().Sub(start)) * c.speed)
+}

@@ -1,0 +1,135 @@
+package soc
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+)
+
+func TestExecCancelableCompletes(t *testing.T) {
+	e, s := newTestSoC()
+	cancel := sim.NewEvent(e)
+	var consumed Work
+	e.Spawn("w", func(p *sim.Proc) {
+		consumed = s.Core(Strong, 0).ExecCancelable(p, Work(time.Millisecond), cancel)
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if consumed != Work(time.Millisecond) {
+		t.Fatalf("consumed = %v, want full work", consumed)
+	}
+}
+
+func TestExecCancelablePreempted(t *testing.T) {
+	e, s := newTestSoC()
+	cancel := sim.NewEvent(e)
+	var consumed Work
+	var elapsed time.Duration
+	// On the weak core (12x slower): 1 ms of work takes 12 ms; cancel at
+	// 6 ms -> half the work consumed.
+	e.Spawn("w", func(p *sim.Proc) {
+		start := p.Now()
+		consumed = s.Core(Weak, 0).ExecCancelable(p, Work(time.Millisecond), cancel)
+		elapsed = p.Now().Sub(start)
+	})
+	e.At(sim.Time(6*time.Millisecond), func() { cancel.Fire() })
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 6*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 6ms", elapsed)
+	}
+	if consumed < Work(499*time.Microsecond) || consumed > Work(501*time.Microsecond) {
+		t.Fatalf("consumed = %v, want ~0.5ms of reference work", consumed)
+	}
+}
+
+func TestExecCancelableBusyAccounting(t *testing.T) {
+	e, s := newTestSoC()
+	cancel := sim.NewEvent(e)
+	d := s.Domains[Weak]
+	e.Spawn("w", func(p *sim.Proc) {
+		s.Core(Weak, 0).ExecCancelable(p, Work(time.Millisecond), cancel)
+	})
+	e.At(sim.Time(3*time.Millisecond), func() {
+		if d.BusyCores() != 1 {
+			t.Error("core not busy during cancelable exec")
+		}
+		cancel.Fire()
+	})
+	e.At(sim.Time(3*time.Millisecond)+1000, func() {
+		if d.BusyCores() != 0 {
+			t.Error("core still busy after preemption")
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDVFSChangesSpeedAndPower(t *testing.T) {
+	e, s := newTestSoC()
+	c := s.Core(Strong, 0)
+	if c.Speed() != 1.0 {
+		t.Fatalf("boot speed = %v", c.Speed())
+	}
+	c.SetFreqMHz(350)
+	if c.Speed() != 350.0/1200.0 {
+		t.Fatalf("speed@350 = %v", c.Speed())
+	}
+	// Active power follows the DVFS curve.
+	var dur time.Duration
+	e.Spawn("w", func(p *sim.Proc) {
+		start := p.Now()
+		c.Exec(p, Work(time.Millisecond))
+		dur = p.Now().Sub(start)
+	})
+	before := s.Domains[Strong].Rail.EnergyJ()
+	if err := e.Run(sim.Time(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	slowdown := 1200.0 / 350.0
+	wantDur := time.Duration(float64(time.Millisecond) * slowdown)
+	if dur != wantDur {
+		t.Fatalf("exec took %v, want %v", dur, wantDur)
+	}
+	// Energy during the busy phase: active@350 = 79.8 mW.
+	busyJ := 79.8e-3 * dur.Seconds()
+	idleJ := 25.2e-3 * (10*time.Millisecond - dur).Seconds()
+	got := s.Domains[Strong].Rail.EnergyJ() - before
+	want := busyJ + idleJ
+	if got < want*0.999 || got > want*1.001 {
+		t.Fatalf("energy = %v J, want %v", got, want)
+	}
+}
+
+func TestIdleTimerIgnoresHandlerBlips(t *testing.T) {
+	// A periodic interrupt-style blip (raw Exec) must not keep the domain
+	// awake past its inactivity timeout; only scheduler activity
+	// (KickIdleTimer) restarts the countdown.
+	e, s := newTestSoC()
+	d := s.Domains[Strong]
+	stop := false
+	var tick func()
+	tick = func() {
+		e.After(16*time.Millisecond, func() {
+			if stop || !d.Awake() {
+				return
+			}
+			e.Spawn("blip", func(p *sim.Proc) {
+				s.Core(Strong, 1).Exec(p, Work(5*time.Microsecond))
+			})
+			tick()
+		})
+	}
+	tick()
+	if err := e.Run(sim.Time(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	stop = true
+	if d.State() != DomInactive {
+		t.Fatalf("domain state = %v; periodic handler blips kept it awake", d.State())
+	}
+}

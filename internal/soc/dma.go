@@ -1,0 +1,131 @@
+package soc
+
+import (
+	"time"
+
+	"k2/internal/sim"
+)
+
+// Transfer is one programmed DMA transfer. Done fires when the engine
+// completes it; the engine also raises IRQDMA.
+type Transfer struct {
+	Domain DomainID // the domain whose kernel programmed the transfer
+	Bytes  int64
+	Done   *sim.Event
+
+	remaining float64 // bytes left to move
+}
+
+// DMAEngine models the OMAP4 system DMA engine used for bulk IO transfers
+// (§9.2). Concurrently active channels progress simultaneously, sharing the
+// engine's effective bandwidth in proportion to their channel priority —
+// a weighted processor-sharing server. Strong-domain channels carry ~2.4x
+// the weight of weak-domain ones, reflecting the platform's channel
+// priorities and K2's asymmetric design; this reproduces Table 6's
+// ~28.4 : 11.5 MB/s split under saturation.
+type DMAEngine struct {
+	soc *SoC
+
+	active     []*Transfer
+	lastUpdate sim.Time
+	gen        int
+
+	// Served counts completed transfers per domain; BytesMoved the payload.
+	Served     [2]int
+	BytesMoved [2]int64
+}
+
+func newDMAEngine(s *SoC) *DMAEngine { return &DMAEngine{soc: s} }
+
+// Submit activates a transfer. The caller has already paid the CPU-side
+// programming cost in the driver; Submit itself is free.
+func (d *DMAEngine) Submit(t *Transfer) {
+	if t.Done == nil {
+		t.Done = sim.NewEvent(d.soc.Eng)
+	}
+	d.update()
+	t.remaining = float64(t.Bytes)
+	d.active = append(d.active, t)
+	d.reschedule()
+}
+
+// Active returns the number of in-flight transfers.
+func (d *DMAEngine) Active() int { return len(d.active) }
+
+func (d *DMAEngine) weight(t *Transfer) float64 {
+	if t.Domain == Strong {
+		return d.soc.Cfg.DMAStrongWeight
+	}
+	return 1.0
+}
+
+// rateBytesPerNs returns t's current progress rate.
+func (d *DMAEngine) rateBytesPerNs(t *Transfer) float64 {
+	var totalW float64
+	for _, a := range d.active {
+		totalW += d.weight(a)
+	}
+	bw := 1.0 / d.soc.Cfg.DMANsPerByte // full engine bandwidth, bytes/ns
+	return bw * d.weight(t) / totalW
+}
+
+// update advances every active transfer to the current instant. Rates are
+// constant between events, so this is exact.
+func (d *DMAEngine) update() {
+	now := d.soc.Eng.Now()
+	elapsed := float64(now - d.lastUpdate)
+	d.lastUpdate = now
+	if elapsed <= 0 || len(d.active) == 0 {
+		return
+	}
+	for _, t := range d.active {
+		t.remaining -= elapsed * d.rateBytesPerNs(t)
+	}
+}
+
+const dmaEpsilon = 1e-6
+
+// reschedule completes any finished transfers and schedules the next
+// completion instant.
+func (d *DMAEngine) reschedule() {
+	// Complete finished transfers.
+	rest := d.active[:0]
+	var done []*Transfer
+	for _, t := range d.active {
+		if t.remaining <= dmaEpsilon {
+			done = append(done, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	d.active = rest
+	for _, t := range done {
+		d.Served[t.Domain]++
+		d.BytesMoved[t.Domain] += t.Bytes
+		t.Done.Fire()
+		d.soc.Raise(IRQDMA)
+	}
+	if len(d.active) == 0 {
+		return
+	}
+	// Earliest completion at current rates.
+	var next time.Duration
+	for i, t := range d.active {
+		eta := time.Duration(t.remaining / d.rateBytesPerNs(t))
+		if i == 0 || eta < next {
+			next = eta
+		}
+	}
+	if next < 1 {
+		next = 1
+	}
+	d.gen++
+	g := d.gen
+	d.soc.Eng.After(next, func() {
+		if d.gen != g {
+			return // a newer event superseded this one
+		}
+		d.update()
+		d.reschedule()
+	})
+}

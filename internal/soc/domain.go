@@ -1,0 +1,260 @@
+package soc
+
+import (
+	"time"
+
+	"k2/internal/power"
+	"k2/internal/sim"
+)
+
+// DomainID names a coherence domain. The paper calls them strong and weak
+// (§1) to distinguish them from big/little cores within one domain.
+type DomainID int
+
+const (
+	// Strong is the high-performance domain (dual Cortex-A9 on OMAP4).
+	Strong DomainID = iota
+	// Weak is the low-power domain (Cortex-M3 on OMAP4).
+	Weak
+)
+
+func (d DomainID) String() string {
+	if d == Strong {
+		return "strong"
+	}
+	return "weak"
+}
+
+// Other returns the peer domain on a two-domain SoC.
+func (d DomainID) Other() DomainID { return 1 - d }
+
+// DomainState is the power state of a domain (§4.2: cores are taken online
+// and offline from time to time; efficiency depends on how long domains
+// remain inactive and how often they are woken).
+type DomainState int
+
+const (
+	// DomInactive: the domain is suspended, drawing near-zero power.
+	DomInactive DomainState = iota
+	// DomWaking: the domain is paying its wake penalty.
+	DomWaking
+	// DomAwake: the domain runs; it draws active power while any core
+	// executes and idle power otherwise.
+	DomAwake
+)
+
+func (s DomainState) String() string {
+	switch s {
+	case DomInactive:
+		return "inactive"
+	case DomWaking:
+		return "waking"
+	default:
+		return "awake"
+	}
+}
+
+// Domain is one cache-coherence domain: a set of cores with hardware
+// coherence among themselves and none with other domains (§4.2).
+type Domain struct {
+	ID    DomainID
+	Name  string
+	Cores []*Core
+	Rail  *power.Rail
+
+	// Profile gives the rail levels; Active may be updated by DVFS.
+	Profile power.Profile
+
+	// WakeLatency and WakeEnergyJ model the high penalty of entering the
+	// active power state (§2.2).
+	WakeLatency time.Duration
+	WakeEnergyJ float64
+
+	// InactiveTimeout is how long the domain stays idle before suspending
+	// (5 s in the paper's benchmarks, §9.2).
+	InactiveTimeout time.Duration
+
+	// CanSleep, if non-nil, lets the OS veto suspension (e.g. while it
+	// still has runnable threads).
+	CanSleep func() bool
+	// OnWake and OnSleep are OS hooks; K2 uses them to flip shared
+	// interrupt masks between kernels (§7).
+	OnWake  func()
+	OnSleep func()
+
+	eng        *sim.Engine
+	state      DomainState
+	busyCores  int
+	awakeGate  *sim.Gate
+	idleTimer  *sim.Timer
+	wakeCount  int
+	activeMul  func(freqMHz int) power.Milliwatts // DVFS curve, may be nil
+	awakeHooks []func()                           // engine-context callbacks run once awake
+	idleStart  sim.Time                           // when busyCores last dropped to zero
+}
+
+// IdleFor returns how long the domain has had no busy core; zero while any
+// core executes. K2's main kernel uses this to decide whether to service
+// DSM requests immediately or defer them to bottom halves (§6.3).
+func (d *Domain) IdleFor() time.Duration {
+	if d.busyCores > 0 {
+		return 0
+	}
+	return d.eng.Now().Sub(d.idleStart)
+}
+
+// whenAwake runs fn (engine context) immediately if the domain is awake, or
+// as soon as the in-progress or triggered wake completes.
+func (d *Domain) whenAwake(fn func()) {
+	if d.state == DomAwake {
+		fn()
+		return
+	}
+	d.Wake()
+	d.awakeHooks = append(d.awakeHooks, fn)
+}
+
+func newDomain(eng *sim.Engine, id DomainID, name string, prof power.Profile) *Domain {
+	d := &Domain{
+		ID:        id,
+		Name:      name,
+		Profile:   prof,
+		eng:       eng,
+		state:     DomAwake, // domains boot awake
+		awakeGate: sim.NewGate(eng),
+		// A freshly booted domain counts as long-idle so that, e.g., the
+		// DSM's idle-threshold check does not defer on an unloaded system.
+		idleStart: sim.Time(-int64(time.Hour)),
+	}
+	d.Rail = power.NewRail(eng, name, prof.Idle)
+	d.idleTimer = sim.NewTimer(eng, d.tryInactive)
+	return d
+}
+
+// State returns the domain's current power state.
+func (d *Domain) State() DomainState { return d.state }
+
+// Awake reports whether the domain is in the awake state.
+func (d *Domain) Awake() bool { return d.state == DomAwake }
+
+// WakeCount returns how many inactive-to-awake transitions have occurred.
+func (d *Domain) WakeCount() int { return d.wakeCount }
+
+// BusyCores returns the number of cores currently executing.
+func (d *Domain) BusyCores() int { return d.busyCores }
+
+func (d *Domain) refreshPower() {
+	if d.activeMul != nil && len(d.Cores) > 0 {
+		d.Profile.Active = d.activeMul(d.Cores[0].FreqMHz)
+	}
+	d.settleRail()
+}
+
+func (d *Domain) settleRail() {
+	switch d.state {
+	case DomInactive:
+		d.Rail.SetLevel(d.Profile.Inactive)
+	case DomWaking:
+		d.Rail.SetLevel(d.Profile.Active)
+	default:
+		if d.busyCores > 0 {
+			d.Rail.SetLevel(d.Profile.Active)
+		} else {
+			d.Rail.SetLevel(d.Profile.Idle)
+		}
+	}
+}
+
+func (d *Domain) beginBusy() {
+	if !d.Awake() {
+		panic("soc: Exec on a domain that is not awake: " + d.Name)
+	}
+	d.busyCores++
+	d.settleRail()
+}
+
+func (d *Domain) endBusy() {
+	d.busyCores--
+	if d.busyCores < 0 {
+		panic("soc: endBusy underflow on " + d.Name)
+	}
+	if d.busyCores == 0 {
+		d.idleStart = d.eng.Now()
+	}
+	// Note: raw execution does NOT restart the inactivity countdown —
+	// brief interrupt-handler work must not keep a domain awake forever
+	// (a periodic sensor would otherwise pin the strong domain active).
+	// The countdown follows *thread* activity: the scheduler calls
+	// KickIdleTimer when a thread releases its core, mirroring
+	// wakelock-style suspend policies. If the timer fires mid-execution,
+	// tryInactive sees busy cores and re-arms.
+	d.settleRail()
+}
+
+// BeginSpin marks a core of the domain busy without executing timed work:
+// a spin-wait burns active power until EndSpin. The domain must be awake.
+func (d *Domain) BeginSpin() { d.beginBusy() }
+
+// EndSpin ends a BeginSpin.
+func (d *Domain) EndSpin() { d.endBusy() }
+
+// KickIdleTimer restarts the inactivity countdown; the OS calls it when a
+// thread releases its core (scheduler-level activity).
+func (d *Domain) KickIdleTimer() {
+	if d.state == DomAwake {
+		d.idleTimer.Reset(d.InactiveTimeout)
+	}
+}
+
+func (d *Domain) tryInactive() {
+	if d.state != DomAwake || d.busyCores > 0 {
+		return
+	}
+	if d.CanSleep != nil && !d.CanSleep() {
+		// Re-arm: the OS is not ready; try again after another timeout.
+		d.idleTimer.Reset(d.InactiveTimeout)
+		return
+	}
+	d.state = DomInactive
+	d.settleRail()
+	if d.OnSleep != nil {
+		d.OnSleep()
+	}
+}
+
+// Wake begins the inactive-to-awake transition if needed. Safe to call from
+// engine context (e.g. interrupt delivery).
+func (d *Domain) Wake() {
+	if d.state != DomInactive {
+		return
+	}
+	d.state = DomWaking
+	d.wakeCount++
+	d.settleRail()
+	d.eng.After(d.WakeLatency, func() {
+		d.state = DomAwake
+		d.Rail.AddEnergyJ(d.WakeEnergyJ)
+		d.settleRail()
+		d.idleTimer.Reset(d.InactiveTimeout)
+		if d.OnWake != nil {
+			d.OnWake()
+		}
+		hooks := d.awakeHooks
+		d.awakeHooks = nil
+		for _, fn := range hooks {
+			fn()
+		}
+		d.awakeGate.Open()
+	})
+}
+
+// EnsureAwake wakes the domain if necessary and blocks p until it is awake.
+func (d *Domain) EnsureAwake(p *sim.Proc) {
+	if d.state == DomAwake {
+		return
+	}
+	d.Wake()
+	for d.state != DomAwake {
+		d.awakeGate.Wait(p)
+	}
+}

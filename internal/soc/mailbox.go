@@ -1,0 +1,120 @@
+package soc
+
+import (
+	"fmt"
+
+	"k2/internal/sim"
+)
+
+// MsgType is the 3-bit message type field of a hardware mail (§6.3: "Each
+// message is 32-bit ... with 20 bits for page frame number, 3 bits for
+// message type, and the rest for message sequence number").
+type MsgType uint32
+
+const (
+	// MsgGetExclusive requests exclusive ownership of a DSM page.
+	MsgGetExclusive MsgType = iota
+	// MsgPutExclusive grants exclusive ownership of a DSM page.
+	MsgPutExclusive
+	// MsgSuspendNW asks the shadow kernel to suspend the NightWatch
+	// threads of a process (§8).
+	MsgSuspendNW
+	// MsgAckSuspendNW acknowledges MsgSuspendNW.
+	MsgAckSuspendNW
+	// MsgResumeNW re-enables the NightWatch threads of a process (§8).
+	MsgResumeNW
+	// MsgBalloonCmd carries a meta-level memory-manager command (§6.2).
+	MsgBalloonCmd
+	// MsgBalloonAck acknowledges MsgBalloonCmd.
+	MsgBalloonAck
+	// MsgGeneric is available to other coordination protocols.
+	MsgGeneric
+)
+
+func (t MsgType) String() string {
+	names := [...]string{"GetExclusive", "PutExclusive", "SuspendNW",
+		"AckSuspendNW", "ResumeNW", "BalloonCmd", "BalloonAck", "Generic"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint32(t))
+}
+
+// Message is one 32-bit hardware mail. Layout: bits 0..19 payload (page
+// frame number for DSM messages), bits 20..22 type, bits 23..31 sequence.
+type Message uint32
+
+// NewMessage packs a message; payload and seq are truncated to their fields.
+func NewMessage(t MsgType, payload uint32, seq uint32) Message {
+	return Message(payload&0xFFFFF | (uint32(t)&0x7)<<20 | (seq&0x1FF)<<23)
+}
+
+// Payload returns the 20-bit payload field.
+func (m Message) Payload() uint32 { return uint32(m) & 0xFFFFF }
+
+// Type returns the 3-bit type field.
+func (m Message) Type() MsgType { return MsgType(uint32(m) >> 20 & 0x7) }
+
+// Seq returns the 9-bit sequence number.
+func (m Message) Seq() uint32 { return uint32(m) >> 23 & 0x1FF }
+
+func (m Message) String() string {
+	return fmt.Sprintf("%v(payload=%d,seq=%d)", m.Type(), m.Payload(), m.Seq())
+}
+
+// Mailbox is the hardware mailbox facility: cores pass 32-bit messages
+// across domains, interrupting each other; delivery is in order and the
+// measured round-trip is about 5 µs (§5.1).
+type Mailbox struct {
+	soc    *SoC
+	inbox  [2]*sim.Queue // per destination domain
+	sent   [2]int
+	nextSq uint32
+}
+
+func newMailbox(s *SoC) *Mailbox {
+	return &Mailbox{
+		soc:   s,
+		inbox: [2]*sim.Queue{sim.NewQueue(s.Eng), sim.NewQueue(s.Eng)},
+	}
+}
+
+// NextSeq returns a fresh 9-bit sequence number.
+func (mb *Mailbox) NextSeq() uint32 {
+	mb.nextSq = (mb.nextSq + 1) & 0x1FF
+	return mb.nextSq
+}
+
+// Sent returns how many messages have been sent to domain d.
+func (mb *Mailbox) Sent(d DomainID) int { return mb.sent[d] }
+
+// Send posts msg to the inbox of domain to, charging the sender's core the
+// mailbox MMIO write (interconnect-bound, so the same wall-clock on either
+// core) and delivering after the interconnect latency. The receiving domain
+// is woken (a mailbox interrupt); the message becomes visible to Recv once
+// the domain is awake, preserving delivery order.
+func (mb *Mailbox) Send(p *sim.Proc, from *Core, to DomainID, msg Message) {
+	from.ExecFor(p, mb.soc.Cfg.MailboxSendCost)
+	mb.SendAsync(to, msg)
+}
+
+// SendAsync posts msg without charging a sender core; used by engine-context
+// code (e.g. interrupt handlers already accounted elsewhere).
+func (mb *Mailbox) SendAsync(to DomainID, msg Message) {
+	mb.sent[to]++
+	q := mb.inbox[to]
+	dst := mb.soc.Domains[to]
+	mb.soc.Eng.After(mb.soc.Cfg.MailboxLatency, func() {
+		// A mail interrupts (and wakes) the destination domain; handlers
+		// run once the wake completes.
+		dst.whenAwake(func() { q.Put(msg) })
+	})
+}
+
+// Recv blocks p until a message addressed to domain d arrives.
+func (mb *Mailbox) Recv(p *sim.Proc, d DomainID) Message {
+	return mb.inbox[d].Get(p).(Message)
+}
+
+// Pending returns the number of undelivered messages queued for domain d.
+func (mb *Mailbox) Pending(d DomainID) int { return mb.inbox[d].Len() }

@@ -1,0 +1,88 @@
+package soc
+
+import (
+	"time"
+
+	"k2/internal/sim"
+)
+
+// HWSpinlock is one of the SoC's memory-mapped hardware spinlocks supporting
+// atomic test-and-set across coherence domains (§5.1). K2 augments the locks
+// of shadowed services with these (§5.3 step 4).
+type HWSpinlock struct {
+	soc    *SoC
+	id     int
+	held   bool
+	holder DomainID
+	// stats
+	Acquisitions int
+	Contended    int
+}
+
+// SpinlockBank is the set of hardware spinlocks on the SoC.
+type SpinlockBank struct {
+	soc   *SoC
+	locks []*HWSpinlock
+}
+
+func newSpinlockBank(s *SoC, n int) *SpinlockBank {
+	b := &SpinlockBank{soc: s}
+	for i := 0; i < n; i++ {
+		b.locks = append(b.locks, &HWSpinlock{soc: s, id: i})
+	}
+	return b
+}
+
+// Lock returns spinlock i.
+func (b *SpinlockBank) Lock(i int) *HWSpinlock { return b.locks[i] }
+
+// Count returns the number of locks in the bank.
+func (b *SpinlockBank) Count() int { return len(b.locks) }
+
+// TryAcquire attempts the test-and-set once, charging the interconnect
+// access to the calling core. It reports whether the lock was taken.
+func (l *HWSpinlock) TryAcquire(p *sim.Proc, c *Core) bool {
+	c.ExecFor(p, l.soc.Cfg.SpinlockAccess)
+	if l.held {
+		return false
+	}
+	l.held = true
+	l.holder = c.Domain.ID
+	l.Acquisitions++
+	return true
+}
+
+// Acquire spins until the lock is taken. Spinning burns active power on the
+// calling core (the hardware test-and-set loop cannot sleep); retries back
+// off exponentially, as a WFE-based ARM spin loop effectively does, which
+// also keeps long contention episodes cheap to simulate.
+func (l *HWSpinlock) Acquire(p *sim.Proc, c *Core) {
+	backoff := l.soc.Cfg.SpinlockBackoff
+	const maxBackoff = 100 * time.Microsecond
+	first := true
+	for !l.TryAcquire(p, c) {
+		if first {
+			l.Contended++
+			first = false
+		}
+		c.ExecFor(p, backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// Release frees the lock, charging the interconnect access.
+func (l *HWSpinlock) Release(p *sim.Proc, c *Core) {
+	if !l.held {
+		panic("soc: HWSpinlock.Release of a free lock")
+	}
+	c.ExecFor(p, l.soc.Cfg.SpinlockAccess)
+	l.held = false
+}
+
+// Held reports whether the lock is currently taken.
+func (l *HWSpinlock) Held() bool { return l.held }
+
+// Holder returns the domain that holds the lock (meaningful only if Held).
+func (l *HWSpinlock) Holder() DomainID { return l.holder }

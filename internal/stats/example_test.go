@@ -1,0 +1,19 @@
+package stats_test
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/stats"
+)
+
+func ExampleHistogram() {
+	h := stats.NewHistogram(0)
+	for i := 1; i <= 10; i++ {
+		h.Observe(time.Duration(i*10) * time.Microsecond)
+	}
+	fmt.Printf("n=%d mean=%v p50=%v p90=%v\n",
+		h.N(), h.MeanDuration(), h.Percentile(50), h.Percentile(90))
+	// Output:
+	// n=10 mean=55µs p50=50µs p90=90µs
+}

@@ -1,0 +1,151 @@
+// Package stats provides the small statistics toolkit used across the
+// reproduction: streaming summaries and fixed-resolution latency histograms
+// for protocol and scheduler measurements.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates count/mean/min/max/variance in a single pass
+// (Welford's algorithm).
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// AddDuration records a duration in nanoseconds.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(float64(d.Nanoseconds())) }
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the running mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Stddev returns the sample standard deviation (0 for n < 2).
+func (s *Summary) Stddev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// MeanDuration returns the mean as a duration.
+func (s *Summary) MeanDuration() time.Duration { return time.Duration(s.mean) }
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g min=%.3g max=%.3g sd=%.3g",
+		s.n, s.mean, s.min, s.max, s.Stddev())
+}
+
+// Histogram is a latency histogram over exponential duration buckets
+// (1 µs, 2 µs, 4 µs, ... doubling), retaining exact values up to a cap for
+// precise percentiles on the sizes this project measures.
+type Histogram struct {
+	Summary
+	buckets []int64 // bucket i covers [1µs<<i, 1µs<<(i+1))
+	under   int64   // < 1 µs
+	exact   []float64
+	capN    int
+}
+
+// NewHistogram returns a histogram retaining up to keepExact exact samples
+// for percentile queries (0 means 4096).
+func NewHistogram(keepExact int) *Histogram {
+	if keepExact <= 0 {
+		keepExact = 4096
+	}
+	return &Histogram{capN: keepExact}
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.AddDuration(d)
+	if len(h.exact) < h.capN {
+		h.exact = append(h.exact, float64(d.Nanoseconds()))
+	}
+	if d < time.Microsecond {
+		h.under++
+		return
+	}
+	b := 0
+	for v := d / time.Microsecond; v > 1; v >>= 1 {
+		b++
+	}
+	for len(h.buckets) <= b {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[b]++
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) from the retained
+// exact samples; for populations beyond the retention cap it is an
+// approximation over the first capN observations.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.exact) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), h.exact...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return time.Duration(sorted[idx])
+}
+
+// Render draws a textual histogram, one row per non-empty bucket.
+func (h *Histogram) Render() string {
+	var b strings.Builder
+	var peak int64 = 1
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "%12s %6d\n", "<1µs", h.under)
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := time.Microsecond << i
+		bar := strings.Repeat("#", int(c*40/peak))
+		fmt.Fprintf(&b, "%12s %6d %s\n", lo.String(), c, bar)
+	}
+	return b.String()
+}

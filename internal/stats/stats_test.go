@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.Stddev()-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s.Stddev())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty summary must be zeros")
+	}
+	s.Add(3)
+	if s.Stddev() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-observation summary wrong")
+	}
+}
+
+// Property: Welford matches the naive two-pass computation.
+func TestQuickSummaryMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		var sum float64
+		for _, v := range raw {
+			s.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		if math.Abs(s.Mean()-mean) > 1e-6*(math.Abs(mean)+1) {
+			return false
+		}
+		if len(raw) < 2 {
+			return true
+		}
+		var ss float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		naive := math.Sqrt(ss / float64(len(raw)-1))
+		return math.Abs(s.Stddev()-naive) < 1e-6*(naive+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Percentile(50); got != 50*time.Microsecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99*time.Microsecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Microsecond {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+// Property: percentiles are order statistics of the observed set.
+func TestQuickHistogramPercentileIsOrderStat(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := float64(pRaw%100) + 1
+		h := NewHistogram(0)
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			d := time.Duration(v) * time.Microsecond
+			h.Observe(d)
+			vals[i] = float64(d.Nanoseconds())
+		}
+		sort.Float64s(vals)
+		idx := int(math.Ceil(p/100*float64(len(vals)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return h.Percentile(p) == time.Duration(vals[idx])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0)
+	h.Observe(500 * time.Nanosecond)
+	for i := 0; i < 10; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	h.Observe(70 * time.Microsecond)
+	out := h.Render()
+	for _, want := range []string{"<1µs", "2µs", "64µs", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramRetentionCap(t *testing.T) {
+	h := NewHistogram(10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(rng.Intn(1000)) * time.Microsecond)
+	}
+	if h.N() != 100 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if len(h.exact) != 10 {
+		t.Fatalf("retained = %d, want capped at 10", len(h.exact))
+	}
+}

@@ -1,0 +1,27 @@
+package trace_test
+
+import (
+	"os"
+
+	"k2/internal/sim"
+	"k2/internal/trace"
+)
+
+func ExampleBuffer() {
+	e := sim.NewEngine()
+	b := trace.New(e, 16)
+	b.EnableOnly(trace.DSM, trace.Power)
+	e.At(5, func() { b.Emit(trace.Power, "strong domain inactive") })
+	e.At(9, func() { b.Emit(trace.DSM, "weak claimed page 42") })
+	e.At(9, func() { b.Emit(trace.IRQ, "suppressed: kind disabled") })
+	if err := e.RunAll(); err != nil {
+		panic(err)
+	}
+	if err := b.Dump(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	//          5ns power   strong domain inactive
+	//          9ns dsm     weak claimed page 42
+	// -- 2 retained; totals: power=1 dsm=1
+}

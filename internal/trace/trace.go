@@ -1,0 +1,188 @@
+// Package trace is the kernel event tracer. The K2 prototype carried
+// extensive debugging support (Table 2 lists 1.4 kSLoC of it) because
+// understanding two cooperating kernels from their interleaved behavior is
+// otherwise hopeless; this is the equivalent facility for the simulated
+// system: a bounded ring of timestamped, kind-tagged events with per-kind
+// enablement, counters, and text dumps.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"k2/internal/sim"
+)
+
+// Kind tags the subsystem an event belongs to.
+type Kind int
+
+const (
+	// Boot: OS bring-up milestones.
+	Boot Kind = iota
+	// Power: domain power-state transitions.
+	Power
+	// IRQ: interrupt deliveries and handler dispatch.
+	IRQ
+	// Mailbox: inter-kernel messages.
+	Mailbox
+	// DSM: coherence faults and ownership transfers.
+	DSM
+	// Sched: NightWatch suspend/resume and scheduling events.
+	Sched
+	// Mem: balloon operations and meta-manager decisions.
+	Mem
+	// User: application-emitted events.
+	User
+	numKinds
+)
+
+var kindNames = [...]string{"boot", "power", "irq", "mailbox", "dsm", "sched", "mem", "user"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind resolves a kind name ("dsm", "sched", ...).
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown kind %q", s)
+}
+
+// Kinds lists all kind names.
+func Kinds() []string { return append([]string(nil), kindNames[:]...) }
+
+// Event is one trace record.
+type Event struct {
+	Seq  uint64
+	At   sim.Time
+	Kind Kind
+	Msg  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12v %-7s %s", e.At, e.Kind, e.Msg)
+}
+
+// Buffer is a bounded ring of events. The zero value is unusable; use New.
+// All kinds start enabled.
+type Buffer struct {
+	eng     *sim.Engine
+	ring    []Event
+	next    int // overwrite position once the ring is full
+	seq     uint64
+	enabled [numKinds]bool
+
+	// Counts tallies emitted events per kind, including ones that have
+	// been overwritten in the ring (and ones suppressed while disabled
+	// are NOT counted).
+	Counts [numKinds]uint64
+}
+
+// New returns a buffer holding up to capacity events.
+func New(eng *sim.Engine, capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	b := &Buffer{eng: eng, ring: make([]Event, 0, capacity)}
+	for i := range b.enabled {
+		b.enabled[i] = true
+	}
+	return b
+}
+
+// Enable turns a kind on or off.
+func (b *Buffer) Enable(k Kind, on bool) { b.enabled[k] = on }
+
+// Enabled reports whether a kind is recorded.
+func (b *Buffer) Enabled(k Kind) bool { return b.enabled[k] }
+
+// EnableOnly records just the given kinds.
+func (b *Buffer) EnableOnly(kinds ...Kind) {
+	for i := range b.enabled {
+		b.enabled[i] = false
+	}
+	for _, k := range kinds {
+		b.enabled[k] = true
+	}
+}
+
+// Emit records an event at the current virtual time.
+func (b *Buffer) Emit(k Kind, format string, args ...interface{}) {
+	if b == nil || !b.enabled[k] {
+		return
+	}
+	b.seq++
+	b.Counts[k]++
+	ev := Event{Seq: b.seq, At: b.eng.Now(), Kind: k, Msg: fmt.Sprintf(format, args...)}
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, ev)
+		return
+	}
+	b.ring[b.next] = ev
+	b.next++
+	if b.next == cap(b.ring) {
+		b.next = 0
+	}
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int { return len(b.ring) }
+
+// Events returns retained events oldest-first.
+func (b *Buffer) Events() []Event {
+	out := make([]Event, 0, len(b.ring))
+	if len(b.ring) == cap(b.ring) {
+		out = append(out, b.ring[b.next:]...)
+		out = append(out, b.ring[:b.next]...)
+	} else {
+		out = append(out, b.ring...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Filter returns retained events of one kind, oldest-first.
+func (b *Buffer) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes all retained events to w, followed by per-kind totals.
+func (b *Buffer) Dump(w io.Writer) error {
+	for _, e := range b.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	var tot []string
+	for k := Kind(0); k < numKinds; k++ {
+		if b.Counts[k] > 0 {
+			tot = append(tot, fmt.Sprintf("%s=%d", k, b.Counts[k]))
+		}
+	}
+	_, err := fmt.Fprintf(w, "-- %d retained; totals: %s\n", b.Len(), strings.Join(tot, " "))
+	return err
+}
+
+// Total returns the number of events ever emitted (per enabled kinds).
+func (b *Buffer) Total() uint64 {
+	var n uint64
+	for _, c := range b.Counts {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"k2/internal/sim"
+)
+
+func TestEmitAndOrder(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, 16)
+	e.At(sim.Time(time.Millisecond), func() { b.Emit(Boot, "first") })
+	e.At(sim.Time(2*time.Millisecond), func() { b.Emit(DSM, "fault on %d", 42) })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	evs := b.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Msg != "first" || evs[1].Msg != "fault on 42" {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].At != sim.Time(time.Millisecond) {
+		t.Fatalf("timestamp = %v", evs[0].At)
+	}
+	if evs[0].Kind != Boot || evs[1].Kind != DSM {
+		t.Fatal("kinds wrong")
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, 4)
+	for i := 0; i < 10; i++ {
+		b.Emit(User, "e%d", i)
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := fmt.Sprintf("e%d", 6+i)
+		if ev.Msg != want {
+			t.Fatalf("evs[%d] = %q, want %q", i, ev.Msg, want)
+		}
+	}
+	if b.Counts[User] != 10 {
+		t.Fatalf("count = %d, want 10 (including overwritten)", b.Counts[User])
+	}
+}
+
+func TestEnableOnly(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, 8)
+	b.EnableOnly(DSM, Sched)
+	b.Emit(DSM, "keep")
+	b.Emit(IRQ, "drop")
+	b.Emit(Sched, "keep")
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if b.Counts[IRQ] != 0 {
+		t.Fatal("disabled kind counted")
+	}
+	if !b.Enabled(DSM) || b.Enabled(IRQ) {
+		t.Fatal("enable flags wrong")
+	}
+}
+
+func TestFilterAndDump(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, 8)
+	b.Emit(DSM, "a")
+	b.Emit(IRQ, "b")
+	b.Emit(DSM, "c")
+	got := b.Filter(DSM)
+	if len(got) != 2 || got[0].Msg != "a" || got[1].Msg != "c" {
+		t.Fatalf("filter = %v", got)
+	}
+	var sb strings.Builder
+	if err := b.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dsm", "irq", "a", "b", "c", "totals"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, name := range Kinds() {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.String() != name {
+			t.Fatalf("round trip %q -> %v", name, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("parsed bogus kind")
+	}
+}
+
+func TestNilBufferIsSafe(t *testing.T) {
+	var b *Buffer
+	b.Emit(User, "into the void") // must not panic
+}
+
+// Property: after any number of emissions, Events() is sequence-ordered and
+// retains exactly min(total, capacity) events, the newest ones.
+func TestQuickRingRetention(t *testing.T) {
+	f := func(nRaw uint8, capRaw uint8) bool {
+		n := int(nRaw)
+		capacity := int(capRaw)%32 + 1
+		e := sim.NewEngine()
+		b := New(e, capacity)
+		for i := 0; i < n; i++ {
+			b.Emit(User, "e%d", i)
+		}
+		evs := b.Events()
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq != evs[i-1].Seq+1 {
+				return false
+			}
+		}
+		if len(evs) > 0 && evs[len(evs)-1].Msg != fmt.Sprintf("e%d", n-1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package vm implements K2's unified kernel virtual address space (§6.1,
+// Figure 4).
+//
+// Each kernel sees its physical memory as two direct-mapped regions: a small
+// local region holding its code and the static objects of private and
+// independent services, and the shared global region holding shadowed
+// service state and all dynamically allocated pages. K2 places the shadow
+// kernel's local region at the start of physical memory, the main kernel's
+// local region immediately before the global region, and keeps both kernels'
+// virtual-to-physical offsets identical, so shared memory objects have the
+// same virtual address in both kernels and the main kernel sees no memory
+// holes.
+//
+// The package also tracks mapping granularity: non-shared memory is mapped
+// with large sections (1 MB or 16 MB) to relieve TLB pressure, and a section
+// is demoted to 4 KB pages on demand when the DSM first shares an address in
+// it (§6.3, "Optimize memory footprint").
+package vm
+
+import (
+	"fmt"
+
+	"k2/internal/mem"
+	"k2/internal/soc"
+)
+
+// KernelOffset is the constant virtual-to-physical offset shared by both
+// kernels. K2 enlarges the 32-bit kernel split to 2 GB to direct-map all
+// RAM (§6.1); we use the resulting base.
+const KernelOffset = 0x8000_0000
+
+// VAddr is a kernel virtual address.
+type VAddr uint64
+
+// Layout describes the physical memory arrangement of Figure 4, in pages.
+type Layout struct {
+	PageSize int
+	// ShadowLocal is [0, ShadowLocalPages).
+	ShadowLocalPages int
+	// MainLocal is [ShadowLocalPages, ShadowLocalPages+MainLocalPages).
+	MainLocalPages int
+	// TotalPages is the size of physical memory.
+	TotalPages int
+}
+
+// NewLayout computes the layout for the given memory size; local region
+// sizes are in 16 MB blocks.
+func NewLayout(totalPages, pageSize, shadowBlocks, mainBlocks int) Layout {
+	return Layout{
+		PageSize:         pageSize,
+		ShadowLocalPages: shadowBlocks * mem.BlockPages,
+		MainLocalPages:   mainBlocks * mem.BlockPages,
+		TotalPages:       totalPages,
+	}
+}
+
+// ShadowLocalStart returns the first page of the shadow local region.
+func (l Layout) ShadowLocalStart() mem.PFN { return 0 }
+
+// MainLocalStart returns the first page of the main local region; it sits
+// immediately before the global region so the main kernel's dynamically
+// grown memory is contiguous with it.
+func (l Layout) MainLocalStart() mem.PFN { return mem.PFN(l.ShadowLocalPages) }
+
+// GlobalStart returns the first page of the shared global region.
+func (l Layout) GlobalStart() mem.PFN {
+	return mem.PFN(l.ShadowLocalPages + l.MainLocalPages)
+}
+
+// GlobalEnd returns one past the last page of the global region.
+func (l Layout) GlobalEnd() mem.PFN { return mem.PFN(l.TotalPages) }
+
+// LocalRegion returns the local region of kernel k as (start, pages).
+func (l Layout) LocalRegion(k soc.DomainID) (mem.PFN, int) {
+	if k == soc.Strong {
+		return l.MainLocalStart(), l.MainLocalPages
+	}
+	return l.ShadowLocalStart(), l.ShadowLocalPages
+}
+
+// VirtOf returns the unified kernel virtual address of a physical page.
+// Because both kernels use the same offset, the result is valid in both
+// address spaces — the property that lets shadowed services share pointers.
+func (l Layout) VirtOf(p mem.PFN) VAddr {
+	return VAddr(KernelOffset + uint64(p)*uint64(l.PageSize))
+}
+
+// PhysOf inverts VirtOf.
+func (l Layout) PhysOf(v VAddr) (mem.PFN, error) {
+	if v < KernelOffset {
+		return 0, fmt.Errorf("vm: %#x below the direct map", uint64(v))
+	}
+	p := mem.PFN((uint64(v) - KernelOffset) / uint64(l.PageSize))
+	if int(p) >= l.TotalPages {
+		return 0, fmt.Errorf("vm: %#x beyond the direct map", uint64(v))
+	}
+	return p, nil
+}
+
+// SectionPages is the number of 4 KB pages in one large-grain section
+// mapping (1 MB, the ARM short-descriptor section size).
+const SectionPages = 256
+
+// AddressSpace tracks one kernel's mapping granularity over the direct map.
+// It exists to quantify the footprint optimization: shared pages force 4 KB
+// mappings; everything else stays in sections.
+type AddressSpace struct {
+	Kernel  soc.DomainID
+	layout  Layout
+	demoted map[mem.PFN]bool // section base -> demoted to 4 KB maps
+	temp    map[VAddr]int    // temporary IO mappings: base -> pages
+
+	// Demotions counts section demotions performed.
+	Demotions int
+}
+
+// NewAddressSpace returns kernel k's address space over the layout.
+func NewAddressSpace(k soc.DomainID, l Layout) *AddressSpace {
+	return &AddressSpace{
+		Kernel:  k,
+		layout:  l,
+		demoted: make(map[mem.PFN]bool),
+		temp:    make(map[VAddr]int),
+	}
+}
+
+// Layout returns the address-space layout.
+func (a *AddressSpace) Layout() Layout { return a.layout }
+
+func sectionBase(p mem.PFN) mem.PFN { return p &^ (SectionPages - 1) }
+
+// EnsureSmallPage demotes the section containing p to 4 KB mappings if it
+// has not been already; the DSM calls this the first time an address is
+// shared between kernels. It reports whether a demotion happened.
+func (a *AddressSpace) EnsureSmallPage(p mem.PFN) bool {
+	base := sectionBase(p)
+	if a.demoted[base] {
+		return false
+	}
+	a.demoted[base] = true
+	a.Demotions++
+	return true
+}
+
+// SmallMapped reports whether p lives in a demoted (4 KB-mapped) section.
+func (a *AddressSpace) SmallMapped(p mem.PFN) bool {
+	return a.demoted[sectionBase(p)]
+}
+
+// PTEs estimates the number of last-level page table entries needed for the
+// direct map: one per section, plus one per 4 KB page of each demoted
+// section. It quantifies the footprint saved by demoting on demand only.
+func (a *AddressSpace) PTEs() int {
+	sections := (a.layout.TotalPages + SectionPages - 1) / SectionPages
+	return sections + len(a.demoted)*(SectionPages-1)
+}
+
+// MapIO establishes a temporary mapping (e.g. for device memory). Creations
+// are infrequent; K2 propagates the page-table update to the peer kernel
+// with a simple protocol (§6.1) — the OS layer performs that messaging.
+func (a *AddressSpace) MapIO(base VAddr, pages int) error {
+	if _, dup := a.temp[base]; dup {
+		return fmt.Errorf("vm: temporary mapping at %#x already exists", uint64(base))
+	}
+	a.temp[base] = pages
+	return nil
+}
+
+// UnmapIO removes a temporary mapping.
+func (a *AddressSpace) UnmapIO(base VAddr) error {
+	if _, ok := a.temp[base]; !ok {
+		return fmt.Errorf("vm: no temporary mapping at %#x", uint64(base))
+	}
+	delete(a.temp, base)
+	return nil
+}
+
+// TempMappings returns the number of live temporary mappings.
+func (a *AddressSpace) TempMappings() int { return len(a.temp) }

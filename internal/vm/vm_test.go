@@ -1,0 +1,126 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"k2/internal/mem"
+	"k2/internal/soc"
+)
+
+func testLayout() Layout {
+	return NewLayout(262144, 4096, 1, 2) // 1 GB, 16 MB shadow, 32 MB main
+}
+
+func TestLayoutRegionsAreContiguous(t *testing.T) {
+	l := testLayout()
+	if l.ShadowLocalStart() != 0 {
+		t.Fatal("shadow local must start at 0")
+	}
+	if l.MainLocalStart() != mem.PFN(l.ShadowLocalPages) {
+		t.Fatal("main local must follow shadow local")
+	}
+	if l.GlobalStart() != l.MainLocalStart()+mem.PFN(l.MainLocalPages) {
+		t.Fatal("global must follow main local (no holes for the main kernel)")
+	}
+	if l.GlobalEnd() != mem.PFN(l.TotalPages) {
+		t.Fatal("global must span to the end of memory")
+	}
+	ms, mp := l.LocalRegion(soc.Strong)
+	if ms != l.MainLocalStart() || mp != l.MainLocalPages {
+		t.Fatal("LocalRegion(strong) mismatch")
+	}
+	ss, sp := l.LocalRegion(soc.Weak)
+	if ss != 0 || sp != l.ShadowLocalPages {
+		t.Fatal("LocalRegion(weak) mismatch")
+	}
+}
+
+func TestUnifiedVirtualAddresses(t *testing.T) {
+	l := testLayout()
+	// Constraint 1 (§6.1): a shared object has identical virtual addresses
+	// in both kernels — trivially true with a single VirtOf, asserted here
+	// by round-tripping through both address spaces' shared layout.
+	p := l.GlobalStart() + 17
+	v := l.VirtOf(p)
+	back, err := l.PhysOf(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip %d -> %#x -> %d", p, uint64(v), back)
+	}
+}
+
+func TestPhysOfRejectsOutOfRange(t *testing.T) {
+	l := testLayout()
+	if _, err := l.PhysOf(VAddr(0x1000)); err == nil {
+		t.Fatal("below direct map accepted")
+	}
+	if _, err := l.PhysOf(l.VirtOf(mem.PFN(l.TotalPages))); err == nil {
+		t.Fatal("beyond direct map accepted")
+	}
+}
+
+// Property: VirtOf is linear (constraint 2: the linear-mapping assumption
+// holds across the whole direct map) and PhysOf inverts it.
+func TestQuickLinearMapping(t *testing.T) {
+	l := testLayout()
+	f := func(rawA, rawB uint32) bool {
+		a := mem.PFN(rawA) % mem.PFN(l.TotalPages)
+		b := mem.PFN(rawB) % mem.PFN(l.TotalPages)
+		va, vb := l.VirtOf(a), l.VirtOf(b)
+		if VAddr(int64(va)-int64(vb)) != VAddr((int64(a)-int64(b))*int64(l.PageSize)) {
+			return false
+		}
+		ra, err := l.PhysOf(va)
+		return err == nil && ra == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemotionOnDemand(t *testing.T) {
+	l := testLayout()
+	as := NewAddressSpace(soc.Strong, l)
+	base := l.GlobalStart()
+	if as.SmallMapped(base) {
+		t.Fatal("fresh space should be section-mapped")
+	}
+	before := as.PTEs()
+	if !as.EnsureSmallPage(base + 3) {
+		t.Fatal("first share must demote")
+	}
+	if as.EnsureSmallPage(base + 5) {
+		t.Fatal("same section must not demote twice")
+	}
+	if !as.SmallMapped(base + 200) {
+		t.Fatal("whole section should now be 4KB-mapped")
+	}
+	if as.SmallMapped(base + SectionPages) {
+		t.Fatal("neighbouring section must stay section-mapped")
+	}
+	if as.PTEs() != before+SectionPages-1 {
+		t.Fatalf("PTE accounting wrong: %d -> %d", before, as.PTEs())
+	}
+}
+
+func TestTempMappings(t *testing.T) {
+	as := NewAddressSpace(soc.Weak, testLayout())
+	if err := as.MapIO(0xF000_0000, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapIO(0xF000_0000, 16); err == nil {
+		t.Fatal("duplicate mapping accepted")
+	}
+	if as.TempMappings() != 1 {
+		t.Fatal("mapping count")
+	}
+	if err := as.UnmapIO(0xF000_0000); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.UnmapIO(0xF000_0000); err == nil {
+		t.Fatal("double unmap accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Package workload implements the light-task workloads of the paper's
+// evaluation (§9.2) and the episode measurement protocol: in each run of a
+// benchmark, cores are woken up, execute the workload as fast as possible,
+// and then stay idle until becoming inactive; energy efficiency is the
+// number of payload bytes per Joule over the whole episode.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/core"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Result is one measured episode.
+type Result struct {
+	// Bytes is the payload moved by the workload.
+	Bytes int64
+	// EnergyJ is the energy of the whole episode (both rails), including
+	// the idle tail until the domains become inactive.
+	EnergyJ float64
+	// WorkSpan is the wall-clock time of the workload itself.
+	WorkSpan time.Duration
+	// StrongWakes counts strong-domain wakeups during the episode.
+	StrongWakes int
+}
+
+// EfficiencyMBJ returns megabytes per joule (decimal MB, as the paper).
+func (r Result) EfficiencyMBJ() float64 {
+	if r.EnergyJ <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.EnergyJ
+}
+
+// ThroughputMBs returns the workload-phase throughput in MB/s.
+func (r Result) ThroughputMBs() float64 {
+	if r.WorkSpan <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.WorkSpan.Seconds()
+}
+
+// Task is a light-task workload body; run distinguishes repeated episodes
+// (e.g. for unique file names).
+type Task func(th *sched.Thread, run int) int64
+
+// MeasureEpisode boots nothing itself: given a running OS, it performs one
+// warmup episode (migrating service-state ownership, as a long-running
+// benchmark session would have done), lets the system go fully inactive,
+// and then measures one episode of the task running as a NightWatch thread.
+// It drives the engine and returns the measurement.
+func MeasureEpisode(e *sim.Engine, o *core.OS, task Task) (Result, error) {
+	var res Result
+	done := false
+
+	runOnce := func(run int, out *Result) *sim.Event {
+		finished := sim.NewEvent(e)
+		pr := o.SpawnProcess(fmt.Sprintf("light-%d", run))
+		pr.Spawn(sched.NightWatch, "task", func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			start := th.P().Now()
+			n := task(th, run)
+			if out != nil {
+				out.Bytes = n
+				out.WorkSpan = th.P().Now().Sub(start)
+			}
+			finished.Fire()
+		})
+		return finished
+	}
+
+	e.Spawn("episode-driver", func(p *sim.Proc) {
+		o.Ready.Wait(p)
+		waitInactive(o, p)
+		fin := runOnce(0, nil) // warmup
+		fin.Wait(p)
+		waitInactive(o, p)
+
+		wakes := o.S.Domains[soc.Strong].WakeCount()
+		o.MeterReset()
+		fin = runOnce(1, &res)
+		fin.Wait(p)
+		waitInactive(o, p)
+		res.EnergyJ = o.EnergyJ()
+		res.StrongWakes = o.S.Domains[soc.Strong].WakeCount() - wakes
+		done = true
+		e.Stop()
+	})
+	if err := e.Run(sim.Time(2 * time.Hour)); err != nil {
+		return res, err
+	}
+	if !done {
+		return res, fmt.Errorf("workload: episode did not complete")
+	}
+	return res, nil
+}
+
+func waitInactive(o *core.OS, p *sim.Proc) {
+	for o.S.Domains[soc.Strong].State() != soc.DomInactive ||
+		o.S.Domains[soc.Weak].State() != soc.DomInactive {
+		p.Sleep(200 * time.Millisecond)
+	}
+}
+
+// DMA returns the Figure 6(a) workload: repeated memory-to-memory DMA
+// transfers of batch bytes, total bytes in all.
+func DMA(o *core.OS, batch, total int64) Task {
+	return func(th *sched.Thread, run int) int64 {
+		var moved int64
+		for moved < total {
+			n := batch
+			if n > total-moved {
+				n = total - moved
+			}
+			o.DMA.Transfer(th, n)
+			moved += n
+		}
+		return moved
+	}
+}
+
+// Ext2 returns the Figure 6(b) workload: a light task synchronizing
+// contents from the cloud — it operates on `files` files sequentially,
+// creating, writing `size` bytes and closing each.
+func Ext2(o *core.OS, size, files int) Task {
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return func(th *sched.Thread, run int) int64 {
+		var written int64
+		for i := 0; i < files; i++ {
+			name := fmt.Sprintf("/sync-r%d-f%d", run, i)
+			f, err := o.FS.Create(th, name)
+			if err != nil {
+				panic(err)
+			}
+			if err := f.Write(th, payload); err != nil {
+				panic(err)
+			}
+			if err := f.Close(th); err != nil {
+				panic(err)
+			}
+			written += int64(size)
+		}
+		// The next sync replaces the content; remove this run's files so
+		// repeated episodes do not exhaust the volume.
+		for i := 0; i < files; i++ {
+			if err := o.FS.Unlink(th, fmt.Sprintf("/sync-r%d-f%d", run, i)); err != nil {
+				panic(err)
+			}
+		}
+		return written
+	}
+}
+
+// UDP returns the Figure 6(c) workload: a loopback pair moving total bytes
+// in batch-sized portions; after each batch both sockets are destroyed and
+// recreated (mimicking per-fetch connections to the cloud).
+func UDP(o *core.OS, batch, total int64) Task {
+	return func(th *sched.Thread, run int) int64 {
+		var moved int64
+		buf := make([]byte, batch)
+		for moved < total {
+			a, err := o.Net.NewSocket(th, 0)
+			if err != nil {
+				panic(err)
+			}
+			b, err := o.Net.NewSocket(th, 0)
+			if err != nil {
+				panic(err)
+			}
+			n := int64(len(buf))
+			if n > total-moved {
+				n = total - moved
+			}
+			if _, err := a.SendTo(th, b.Addr(), buf[:n]); err != nil {
+				panic(err)
+			}
+			var got int64
+			for got < n {
+				data, _, err := b.RecvFrom(th)
+				if err != nil {
+					panic(err)
+				}
+				got += int64(len(data))
+			}
+			moved += n
+			a.Close(th)
+			b.Close(th)
+		}
+		return moved
+	}
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"k2/internal/core"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func measure(t *testing.T, mode core.Mode, mk func(o *core.OS) Task) Result {
+	t.Helper()
+	e := sim.NewEngine()
+	cfg := soc.DefaultConfig()
+	cfg.StrongFreqMHz = 350
+	o, err := core.Boot(e, core.Options{Mode: mode, SoC: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureEpisode(e, o, mk(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDMAWorkloadMovesExactBytes(t *testing.T) {
+	res := measure(t, core.K2Mode, func(o *core.OS) Task { return DMA(o, 4<<10, 100<<10) })
+	if res.Bytes != 100<<10 {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, 100<<10)
+	}
+	if res.EnergyJ <= 0 || res.WorkSpan <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestDMAWorkloadPartialTail(t *testing.T) {
+	// total not a multiple of batch: the last transfer is short.
+	res := measure(t, core.LinuxMode, func(o *core.OS) Task { return DMA(o, 64<<10, 100<<10) })
+	if res.Bytes != 100<<10 {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, 100<<10)
+	}
+}
+
+func TestExt2WorkloadWritesAndCleansUp(t *testing.T) {
+	e := sim.NewEngine()
+	o, err := core.Boot(e, core.Options{Mode: core.K2Mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureEpisode(e, o, Ext2(o, 8<<10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 8*8<<10 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+	// Both episodes (warmup + measured) must have removed their files, so
+	// repeated measurement does not exhaust the volume.
+	if free := o.FS.Super().FreeInodes; free < o.FS.Super().Inodes-3 {
+		t.Fatalf("files leaked: %d free inodes of %d", free, o.FS.Super().Inodes)
+	}
+}
+
+func TestUDPWorkloadMovesBytes(t *testing.T) {
+	res := measure(t, core.K2Mode, func(o *core.OS) Task { return UDP(o, 1<<10, 16<<10) })
+	if res.Bytes != 16<<10 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+}
+
+func TestK2EpisodeLeavesStrongAsleep(t *testing.T) {
+	res := measure(t, core.K2Mode, func(o *core.OS) Task { return DMA(o, 16<<10, 64<<10) })
+	if res.StrongWakes != 0 {
+		t.Fatalf("K2 light-task episode woke the strong domain %d times", res.StrongWakes)
+	}
+}
+
+func TestLinuxEpisodeWakesStrong(t *testing.T) {
+	res := measure(t, core.LinuxMode, func(o *core.OS) Task { return DMA(o, 16<<10, 64<<10) })
+	if res.StrongWakes == 0 {
+		t.Fatal("baseline episode must wake the strong domain (the inefficiency K2 removes)")
+	}
+}
+
+func TestEfficiencyArithmetic(t *testing.T) {
+	r := Result{Bytes: 2e6, EnergyJ: 0.5}
+	if got := r.EfficiencyMBJ(); got != 4 {
+		t.Fatalf("EfficiencyMBJ = %v, want 4", got)
+	}
+	if (Result{}).EfficiencyMBJ() != 0 || (Result{}).ThroughputMBs() != 0 {
+		t.Fatal("zero results must not divide by zero")
+	}
+}
+
+func TestEpisodeDeterminism(t *testing.T) {
+	a := measure(t, core.K2Mode, func(o *core.OS) Task { return Ext2(o, 4<<10, 4) })
+	b := measure(t, core.K2Mode, func(o *core.OS) Task { return Ext2(o, 4<<10, 4) })
+	if a != b {
+		t.Fatalf("identical episodes diverged:\n%+v\n%+v", a, b)
+	}
+}
