@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	k2bench            # run everything
-//	k2bench -only t4   # run a single experiment
-//	k2bench -list      # list experiment IDs
+//	k2bench                       # run everything
+//	k2bench -only t4              # run a single experiment
+//	k2bench -list                 # list experiment IDs
+//	k2bench -json BENCH_k2.json   # write the machine-readable summary
 package main
 
 import (
@@ -42,13 +43,34 @@ var experiments = []struct {
 	{"a3", "Ablation DESIGN §5 (inactive-peer claim)", experiment.AblationInactiveClaim},
 	{"a4", "Ablation §6.2 (movable placement)", experiment.AblationPlacementPolicy},
 	{"a5", "Ablation §8 (suspend-ack overlap)", experiment.AblationSuspendOverlap},
+	{"scale", "Scale (1/2/4 weak domains)", experiment.Scale},
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (see -list)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "output format: text, csv or markdown")
+	jsonPath := flag.String("json", "", "write the machine-readable benchmark summary to this path and exit")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "k2bench:", err)
+			os.Exit(1)
+		}
+		data := experiment.MeasureBench()
+		if err := data.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "k2bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "k2bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments {

@@ -6,6 +6,11 @@
 //	k2sim -os k2 -workload dma -batch 4096 -total 262144
 //	k2sim -os linux -workload ext2 -size 262144 -files 8
 //	k2sim -os k2 -workload udp -batch 1024 -total 65536 -mhz 350
+//	k2sim -os k2 -workload dma -weakdomains 4 -v
+//
+// -weakdomains boots a topology with the given number of weak (M3-class)
+// domains, one shadow kernel each; the default of 1 is the calibrated
+// OMAP4 platform.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 	size := flag.Int("size", 262144, "file size in bytes (ext2)")
 	files := flag.Int("files", 8, "file count (ext2)")
 	mhz := flag.Int("mhz", 350, "strong-core frequency (350-1200)")
+	weakDomains := flag.Int("weakdomains", 1, "number of weak domains (each runs its own shadow kernel under K2)")
 	verbose := flag.Bool("v", false, "print DSM and scheduler statistics")
 	traceKinds := flag.String("trace", "", "comma-separated trace kinds to dump (e.g. dsm,sched,power; 'all' for everything)")
 	flag.Parse()
@@ -44,10 +50,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *weakDomains < 1 {
+		fmt.Fprintln(os.Stderr, "k2sim: -weakdomains must be at least 1")
+		os.Exit(2)
+	}
 	eng := sim.NewEngine()
 	cfg := soc.DefaultConfig()
 	cfg.StrongFreqMHz = *mhz
-	o, err := core.Boot(eng, core.Options{Mode: mode, SoC: &cfg})
+	o, err := core.Boot(eng, core.Options{Mode: mode, SoC: &cfg, WeakDomains: *weakDomains})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "k2sim:", err)
 		os.Exit(1)
@@ -79,15 +89,17 @@ func main() {
 	fmt.Printf("episode:      %.3f mJ -> %.2f MB/J\n", res.EnergyJ*1e3, res.EfficiencyMBJ())
 	fmt.Printf("strong wakes: %d\n", res.StrongWakes)
 	if *verbose && o.DSM != nil {
-		for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+		for _, k := range o.Kernels() {
 			st := o.DSM.RequesterStats[k]
 			fmt.Printf("dsm[%v]:    %d faults (%d local claims), mean %v\n",
 				k, st.Faults, st.Claims, st.Mean())
 		}
 		fmt.Printf("sched:        %d suspends, %d resumes\n",
 			o.Sched.SuspendsSent, o.Sched.ResumesSent)
-		fmt.Printf("mailbox:      %d to strong, %d to weak\n",
-			o.S.Mailbox.Sent(soc.Strong), o.S.Mailbox.Sent(soc.Weak))
+		for id := range o.S.Domains {
+			k := soc.DomainID(id)
+			fmt.Printf("mailbox:      %d to %v\n", o.S.Mailbox.Sent(k), k)
+		}
 	}
 	if *traceKinds != "" {
 		if *traceKinds != "all" {

@@ -53,6 +53,11 @@ type Options struct {
 	Mode Mode
 	// SoC overrides the platform configuration (DefaultConfig if zero).
 	SoC *soc.Config
+	// WeakDomains, if non-zero, boots a platform with this many weak
+	// domains (each an OMAP4-style Cortex-M3 instance, with its own shadow
+	// kernel under K2). Ignored when the SoC config carries an explicit
+	// Topology.
+	WeakDomains int
 	// DSMParams overrides the DSM calibration (K2 mode only).
 	DSMParams *dsm.Params
 	// DiskBlocks sizes the ramdisk (4 KB blocks); default 8192 (32 MB).
@@ -78,7 +83,7 @@ type OS struct {
 	S    *soc.SoC
 
 	Layout   vm.Layout
-	AS       [2]*vm.AddressSpace
+	AS       []*vm.AddressSpace
 	Frames   *mem.Frames
 	Mem      *mem.Manager
 	DSM      *dsm.DSM // nil in LinuxMode
@@ -100,10 +105,15 @@ type OS struct {
 	// Trace.EnableOnly to narrow it).
 	Trace *trace.Buffer
 
+	kernels     []soc.DomainID // booted kernels: Strong, then every weak domain under K2
 	irqHandlers map[soc.IRQLine][]IRQHandler
 	pendingMaps map[uint32]mapOp
 	nextMapID   uint32
 }
+
+// Kernels returns the booted kernels: the main kernel, then one shadow
+// kernel per weak domain (K2 mode only).
+func (o *OS) Kernels() []soc.DomainID { return o.kernels }
 
 // IRQHandler runs in a handler proc on the service core of the domain that
 // owns the interrupt line at delivery time.
@@ -116,6 +126,9 @@ func Boot(eng *sim.Engine, opts Options) (*OS, error) {
 	cfg := soc.DefaultConfig()
 	if opts.SoC != nil {
 		cfg = *opts.SoC
+	}
+	if opts.WeakDomains > 0 && cfg.Topology == nil {
+		cfg = cfg.WithWeakDomains(opts.WeakDomains)
 	}
 	if opts.DiskBlocks == 0 {
 		opts.DiskBlocks = 8192
@@ -138,45 +151,53 @@ func Boot(eng *sim.Engine, opts Options) (*OS, error) {
 		irqHandlers: make(map[soc.IRQLine][]IRQHandler),
 		pendingMaps: make(map[uint32]mapOp),
 	}
-	o.Meter = power.NewMeter(s.Domains[soc.Strong].Rail, s.Domains[soc.Weak].Rail)
+	rails := make([]*power.Rail, s.NumDomains())
+	for id, d := range s.Domains {
+		rails[id] = d.Rail
+	}
+	o.Meter = power.NewMeter(rails...)
 	o.Trace = trace.New(eng, opts.TraceCapacity)
 	o.Trace.Emit(trace.Boot, "booting %v on simulated OMAP4 (strong %d MHz, weak %d MHz)",
 		opts.Mode, cfg.StrongFreqMHz, cfg.WeakFreqMHz)
 
 	// Power-state transitions go to the tracer; later hooks (the IRQ
 	// router) chain on top of these.
-	for _, dom := range []soc.DomainID{soc.Strong, soc.Weak} {
-		d := s.Domains[dom]
+	for _, d := range s.Domains {
+		d := d
 		d.OnWake = func() { o.Trace.Emit(trace.Power, "%s domain awake", d.Name) }
 		d.OnSleep = func() { o.Trace.Emit(trace.Power, "%s domain inactive", d.Name) }
 	}
 
-	// Unified kernel address space (§6.1): shadow local, main local, then
-	// the global region to the end of memory.
-	o.Layout = vm.NewLayout(s.Pages(), cfg.PageSize, 1, 2)
-	o.AS[soc.Strong] = vm.NewAddressSpace(soc.Strong, o.Layout)
-	o.AS[soc.Weak] = vm.NewAddressSpace(soc.Weak, o.Layout)
+	// Unified kernel address space (§6.1): one shadow local region per weak
+	// kernel, then main local, then the global region to the end of memory.
+	o.Layout = vm.NewLayoutN(s.Pages(), cfg.PageSize, 1, 2, s.NumDomains()-1)
+	o.AS = make([]*vm.AddressSpace, s.NumDomains())
+	for id := range s.Domains {
+		o.AS[id] = vm.NewAddressSpace(soc.DomainID(id), o.Layout)
+	}
 
 	// Physical memory management (§6.2): independent allocators, balloons
 	// owning the whole global region, initial boot-time deflates.
 	o.Mem = mem.NewManager(s, o.Frames, mem.DefaultCostModel(), o.Layout.GlobalStart(), o.Layout.GlobalEnd())
-	o.Mem.Tracef = func(f string, a ...interface{}) { o.Trace.Emit(trace.Mem, f, a...) }
+	o.Mem.Tracef = func(f string, a ...any) { o.Trace.Emit(trace.Mem, f, a...) }
 	for i := 0; i < opts.InitialMainBlocks; i++ {
 		if _, err := o.Mem.DeflateBoot(soc.Strong); err != nil {
 			return nil, fmt.Errorf("core: boot deflate (main): %w", err)
 		}
 	}
 	if opts.Mode == K2Mode {
-		for i := 0; i < opts.InitialShadowBlocks; i++ {
-			if _, err := o.Mem.DeflateBoot(soc.Weak); err != nil {
-				return nil, fmt.Errorf("core: boot deflate (shadow): %w", err)
+		for _, k := range s.WeakDomains() {
+			for i := 0; i < opts.InitialShadowBlocks; i++ {
+				if _, err := o.Mem.DeflateBoot(k); err != nil {
+					return nil, fmt.Errorf("core: boot deflate (%v): %w", k, err)
+				}
 			}
 		}
 	}
 
 	// Scheduler: two kernels under K2, one under the baseline.
 	o.Sched = sched.New(s, opts.Mode == LinuxMode)
-	o.Sched.Tracef = func(f string, a ...interface{}) { o.Trace.Emit(trace.Sched, f, a...) }
+	o.Sched.Tracef = func(f string, a ...any) { o.Trace.Emit(trace.Sched, f, a...) }
 
 	// Software coherence (§6.3) and interrupt routing (§7).
 	if opts.Mode == K2Mode {
@@ -186,12 +207,13 @@ func Boot(eng *sim.Engine, opts Options) (*OS, error) {
 		}
 		o.DSM = dsm.New(s, prm)
 		o.DSM.OnFirstShare = func(p mem.PFN) {
-			// Shared pages force 4 KB mappings in both kernels; everything
+			// Shared pages force 4 KB mappings in every kernel; everything
 			// else keeps large-grain sections (§6.3 footprint optimization).
-			o.AS[soc.Strong].EnsureSmallPage(p)
-			o.AS[soc.Weak].EnsureSmallPage(p)
+			for _, as := range o.AS {
+				as.EnsureSmallPage(p)
+			}
 		}
-		o.DSM.Tracef = func(f string, a ...interface{}) { o.Trace.Emit(trace.DSM, f, a...) }
+		o.DSM.Tracef = func(f string, a ...any) { o.Trace.Emit(trace.DSM, f, a...) }
 		o.Router = irq.NewRouter(s, SharedIRQLines)
 	} else {
 		o.Router = irq.NewSingleRouter(s, SharedIRQLines)
@@ -243,8 +265,8 @@ func Boot(eng *sim.Engine, opts Options) (*OS, error) {
 	o.RegisterIRQ(soc.IRQDMA, func(p *sim.Proc, core *soc.Core, k soc.DomainID) {
 		o.DMA.HandleIRQ(p, core, k)
 	})
-	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
-		k := k
+	for id := range s.Domains {
+		k := soc.DomainID(id)
 		s.IRQ[k].SetHandler(func(line soc.IRQLine) {
 			handlers := o.irqHandlers[line]
 			if len(handlers) == 0 {
@@ -262,11 +284,11 @@ func Boot(eng *sim.Engine, opts Options) (*OS, error) {
 	}
 
 	// Per-kernel dispatcher and background procs.
-	kernels := []soc.DomainID{soc.Strong}
+	o.kernels = []soc.DomainID{soc.Strong}
 	if opts.Mode == K2Mode {
-		kernels = append(kernels, soc.Weak)
+		o.kernels = append(o.kernels, s.WeakDomains()...)
 	}
-	for _, k := range kernels {
+	for _, k := range o.kernels {
 		k := k
 		core := o.serviceCore(k)
 		eng.Spawn("mbox-dispatch-"+k.String(), func(p *sim.Proc) {
@@ -315,21 +337,22 @@ func (o *OS) newState(name string, lock int, n int) (*services.ShadowedState, er
 }
 
 // serviceCore is the core each kernel dedicates to dispatchers and
-// interrupt handlers: the last strong core, or the weak core.
+// interrupt handlers: the last core of the strong domain, or core 0 of a
+// weak one.
 func (o *OS) serviceCore(k soc.DomainID) *soc.Core {
 	if k == soc.Strong {
-		return o.S.Core(soc.Strong, o.S.Cfg.StrongCores-1)
+		return o.S.Core(soc.Strong, len(o.S.Domains[soc.Strong].Cores)-1)
 	}
-	return o.S.Core(soc.Weak, 0)
+	return o.S.Core(k, 0)
 }
 
 // dispatch is a kernel's mailbox dispatcher loop: DSM coherence messages,
 // NightWatch scheduling messages, and meta-level memory-manager commands.
 func (o *OS) dispatch(p *sim.Proc, core *soc.Core, k soc.DomainID) {
 	for {
-		msg := o.S.Mailbox.Recv(p, k)
+		msg, from := o.S.Mailbox.RecvFrom(p, k)
 		o.Trace.Emit(trace.Mailbox, "%v received %v", k, msg)
-		if o.DSM != nil && o.DSM.HandleMessage(p, core, k, msg) {
+		if o.DSM != nil && o.DSM.HandleMessage(p, core, k, from, msg) {
 			continue
 		}
 		if o.Sched.HandleMessage(p, core, k, msg) {
@@ -337,7 +360,7 @@ func (o *OS) dispatch(p *sim.Proc, core *soc.Core, k soc.DomainID) {
 		}
 		switch msg.Type() {
 		case soc.MsgBalloonCmd:
-			o.Mem.EnqueueReclaim(k)
+			o.Mem.EnqueueReclaim(k, from)
 		case soc.MsgBalloonAck:
 			o.Mem.OnBalloonAck(k)
 		case soc.MsgGeneric:

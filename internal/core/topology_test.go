@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func bootN(t *testing.T, weak int) (*sim.Engine, *OS) {
+	t.Helper()
+	e := sim.NewEngine()
+	o, err := Boot(e, Options{Mode: K2Mode, WeakDomains: weak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, o
+}
+
+// Booting with N weak domains must bring up one shadow kernel per weak
+// domain, all reachable through the single system image.
+func TestBootOneShadowKernelPerWeakDomain(t *testing.T) {
+	e, o := bootN(t, 3)
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Ready.Fired() {
+		t.Fatal("init never completed")
+	}
+	ks := o.Kernels()
+	if len(ks) != 4 {
+		t.Fatalf("kernels = %v, want strong + 3 shadows", ks)
+	}
+	if ks[0] != soc.Strong {
+		t.Fatalf("kernels = %v; strong must be first", ks)
+	}
+	if len(o.AS) != 4 {
+		t.Fatalf("address spaces = %d, want one per kernel", len(o.AS))
+	}
+}
+
+// Light tasks must spread across weak domains least-loaded-first rather than
+// piling onto the first shadow kernel.
+func TestLightTasksSpreadAcrossWeakDomains(t *testing.T) {
+	e, o := bootN(t, 2)
+	for i := 0; i < 4; i++ {
+		pr := o.SpawnProcess("light")
+		pr.Spawn(sched.NightWatch, "w", func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			for j := 0; j < 4; j++ {
+				o.DMA.Transfer(th, 16<<10)
+			}
+		})
+	}
+	if err := e.Run(sim.Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	var busyWeak int
+	for _, k := range o.S.WeakDomains() {
+		if o.DSM.RequesterStats[k].Faults > 0 {
+			busyWeak++
+		}
+	}
+	if busyWeak != 2 {
+		t.Fatalf("%d of 2 weak domains saw DSM traffic; placement did not spread", busyWeak)
+	}
+}
+
+// Determinism regression: two boots of the same topology running the same
+// workload must produce byte-identical trace-ring dumps. This guards the
+// engine's (time, seq) event ordering through the N-domain refactor.
+func TestTopologyTraceDeterminism(t *testing.T) {
+	for _, weak := range []int{1, 2, 4} {
+		dump := func() string {
+			e, o := bootN(t, weak)
+			for i := 0; i < 3; i++ {
+				pr := o.SpawnProcess("light")
+				pr.Spawn(sched.NightWatch, "w", func(th *sched.Thread) {
+					th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+					for j := 0; j < 4; j++ {
+						o.DMA.Transfer(th, 64<<10)
+					}
+				})
+			}
+			if err := e.Run(sim.Time(time.Minute)); err != nil {
+				t.Fatal(err)
+			}
+			var b bytes.Buffer
+			if err := o.Trace.Dump(&b); err != nil {
+				t.Fatal(err)
+			}
+			if o.Trace.Total() == 0 {
+				t.Fatal("trace buffer is empty; nothing was compared")
+			}
+			return b.String()
+		}
+		a, b := dump(), dump()
+		if a != b {
+			t.Fatalf("weak=%d: two identical boots produced different traces:\n--- first ---\n%s\n--- second ---\n%s",
+				weak, a, b)
+		}
+	}
+}

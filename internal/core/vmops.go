@@ -9,11 +9,13 @@ import (
 	"k2/internal/vm"
 )
 
-// mapOp is a pending page-table update being propagated to the peer kernel.
+// mapOp is a pending page-table update being propagated to the peer
+// kernels; refs counts how many have yet to apply it.
 type mapOp struct {
 	base  vm.VAddr
 	pages int
 	unmap bool
+	refs  int
 }
 
 // MapIO establishes a temporary mapping (e.g. for device memory) in the
@@ -41,13 +43,25 @@ func (o *OS) propagateMap(t *sched.Thread, op mapOp) {
 	if o.Mode != K2Mode {
 		return
 	}
+	var peers []soc.DomainID
+	for _, k := range o.kernels {
+		if k != t.Kernel() {
+			peers = append(peers, k)
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
 	o.nextMapID++
 	id := o.nextMapID & 0xFFFFF // fits the 20-bit mail payload
+	op.refs = len(peers)
 	o.pendingMaps[id] = op
 	o.Trace.Emit(trace.Mailbox, "%v propagating %s at %#x to peer",
 		t.Kernel(), mapOpName(op), uint64(op.base))
-	o.S.Mailbox.Send(t.P(), t.Core(), t.Kernel().Other(),
-		soc.NewMessage(soc.MsgGeneric, id, o.S.Mailbox.NextSeq()))
+	for _, k := range peers {
+		o.S.Mailbox.Send(t.P(), t.Core(), k,
+			soc.NewMessage(soc.MsgGeneric, id, o.S.Mailbox.NextSeq()))
+	}
 }
 
 func mapOpName(op mapOp) string {
@@ -64,7 +78,12 @@ func (o *OS) applyPeerMap(k soc.DomainID, id uint32) bool {
 	if !ok {
 		return false
 	}
-	delete(o.pendingMaps, id)
+	op.refs--
+	if op.refs <= 0 {
+		delete(o.pendingMaps, id)
+	} else {
+		o.pendingMaps[id] = op
+	}
 	var err error
 	if op.unmap {
 		err = o.AS[k].UnmapIO(op.base)

@@ -43,7 +43,7 @@ type DMADriver struct {
 	s       *soc.SoC
 	pending []*dmaPending
 	// Transfers counts completed driver-level transfers per kernel.
-	Transfers [2]int
+	Transfers []int
 }
 
 type dmaPending struct {
@@ -54,7 +54,7 @@ type dmaPending struct {
 // NewDMA returns the driver bound to the SoC's DMA engine with the given
 // shadowed state (one page: the channel table).
 func NewDMA(s *soc.SoC, state *services.ShadowedState, costs DMACosts) *DMADriver {
-	return &DMADriver{State: state, Costs: costs, s: s}
+	return &DMADriver{State: state, Costs: costs, s: s, Transfers: make([]int, s.NumDomains())}
 }
 
 // Transfer executes one memory-to-memory DMA of the given size from the

@@ -30,8 +30,8 @@ func dmaRig() (*sim.Engine, *soc.SoC, *sched.Sched, *DMADriver, *dsm.DSM) {
 		core := d.ServiceCore[k]
 		e.Spawn("dispatch-"+k.String(), func(p *sim.Proc) {
 			for {
-				msg := s.Mailbox.Recv(p, k)
-				if d.HandleMessage(p, core, k, msg) {
+				msg, from := s.Mailbox.RecvFrom(p, k)
+				if d.HandleMessage(p, core, k, from, msg) {
 					continue
 				}
 				sc.HandleMessage(p, core, k, msg)

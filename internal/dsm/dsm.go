@@ -53,21 +53,24 @@ func (l Level) String() string {
 }
 
 // Params carries the protocol's calibrated costs. The per-phase values come
-// from Table 5 (µs): the breakdown of a DSM page fault by sender side.
+// from Table 5 (µs): the breakdown of a DSM page fault by sender side. Each
+// cost slice is indexed by kernel; kernels beyond the slice use its last
+// entry, so the two-entry OMAP4 calibration serves any number of weak
+// domains (they are all Cortex-M3 instances).
 type Params struct {
 	// LocalFault is the page-fault entry cost on the requesting core
 	// (main 3 µs, shadow 17 µs).
-	LocalFault [2]time.Duration
+	LocalFault []time.Duration
 	// Protocol is the protocol execution cost on the requesting core
 	// (main 2 µs, shadow 13 µs).
-	Protocol [2]time.Duration
+	Protocol []time.Duration
 	// Servicing is the request-servicing cost on the owning core: flush
 	// and invalidate the page, then acknowledge (by main 7 µs, by shadow
 	// 24 µs).
-	Servicing [2]time.Duration
+	Servicing []time.Duration
 	// Exit is the fault-exit plus first-cache-miss cost on the requesting
 	// core (main 18 µs, shadow 2 µs).
-	Exit [2]time.Duration
+	Exit []time.Duration
 
 	// MainIdleThreshold and MainBHPeriod implement the asymmetric
 	// priority: the main kernel services GetExclusive only once its domain
@@ -109,10 +112,10 @@ type Params struct {
 // DefaultParams returns the Table 5 calibration.
 func DefaultParams() Params {
 	return Params{
-		LocalFault:        [2]time.Duration{3 * time.Microsecond, 17 * time.Microsecond},
-		Protocol:          [2]time.Duration{2 * time.Microsecond, 13 * time.Microsecond},
-		Servicing:         [2]time.Duration{7 * time.Microsecond, 24 * time.Microsecond},
-		Exit:              [2]time.Duration{18 * time.Microsecond, 2 * time.Microsecond},
+		LocalFault:        []time.Duration{3 * time.Microsecond, 17 * time.Microsecond},
+		Protocol:          []time.Duration{2 * time.Microsecond, 13 * time.Microsecond},
+		Servicing:         []time.Duration{7 * time.Microsecond, 24 * time.Microsecond},
+		Exit:              []time.Duration{18 * time.Microsecond, 2 * time.Microsecond},
 		MainIdleThreshold: 300 * time.Microsecond,
 		MainBHPeriod:      25 * time.Millisecond,
 		DrainPoll:         100 * time.Microsecond,
@@ -126,9 +129,52 @@ func DefaultParams() Params {
 // three-state protocol; pages fit in 18 bits, leaving payload bit 19 free.
 const sharedFlag = 1 << 19
 
+// clampCost indexes a per-kernel cost slice, reusing the last entry for
+// kernels beyond its length.
+func clampCost(costs []time.Duration, k soc.DomainID) time.Duration {
+	if int(k) < len(costs) {
+		return costs[k]
+	}
+	return costs[len(costs)-1]
+}
+
+func (p Params) localFault(k soc.DomainID) time.Duration { return clampCost(p.LocalFault, k) }
+func (p Params) protocol(k soc.DomainID) time.Duration   { return clampCost(p.Protocol, k) }
+func (p Params) servicing(k soc.DomainID) time.Duration  { return clampCost(p.Servicing, k) }
+func (p Params) exit(k soc.DomainID) time.Duration       { return clampCost(p.Exit, k) }
+
+// pendingFault is one kernel's outstanding fault on a page: the event its
+// faulters spin on and how many PutExclusive replies are still expected
+// (more than one only when a three-state upgrade invalidates several
+// sharers).
+type pendingFault struct {
+	ev   *sim.Event
+	want int
+	// wasOwner records whether the kernel was the directory owner when the
+	// fault began. If it was not, yet the directory now names it owner, some
+	// holder has already granted this fault and a Put is in flight — an
+	// incoming Get must then queue behind that grant (see serve).
+	wasOwner bool
+}
+
+// page is the directory entry for one shared page: each kernel's access
+// level (the sharer set) plus the current owner — the kernel that holds or
+// last held the page Exclusive, and therefore services GetExclusive.
 type page struct {
-	level   [2]Level
-	pending [2]*sim.Event // outstanding fault per kernel
+	level   []Level
+	owner   soc.DomainID
+	pending []*pendingFault // outstanding fault per kernel
+}
+
+// holders returns the kernels with a valid (non-Invalid) copy.
+func (pg *page) holders() []soc.DomainID {
+	var out []soc.DomainID
+	for k, lv := range pg.level {
+		if lv != Invalid {
+			out = append(out, soc.DomainID(k))
+		}
+	}
+	return out
 }
 
 // Stats aggregates fault costs observed by one kernel as requester.
@@ -154,20 +200,20 @@ func (s Stats) Mean() time.Duration {
 	return s.Total / time.Duration(s.Faults)
 }
 
-// DSM is the coherence manager. One instance serves both kernels (its state
+// DSM is the coherence manager. One instance serves every kernel (its state
 // stands for the per-kernel protocol metadata, three bits per page).
 type DSM struct {
 	SoC    *soc.SoC
 	Params Params
 
 	// Core used for servicing requests on each kernel.
-	ServiceCore [2]*soc.Core
+	ServiceCore []*soc.Core
 	// OnFirstShare, if set, is called when a page is first registered,
 	// letting the OS demote its large-grain mapping (§6.3).
 	OnFirstShare func(p mem.PFN)
 	// Tracef, if set, receives protocol trace lines (faults, claims,
 	// servicing); the OS wires it to the kernel tracer.
-	Tracef func(format string, args ...interface{})
+	Tracef func(format string, args ...any)
 
 	pages map[mem.PFN]*page
 
@@ -175,9 +221,9 @@ type DSM struct {
 	drainGate *sim.Gate
 
 	// RequesterStats is indexed by the faulting kernel.
-	RequesterStats [2]Stats
+	RequesterStats []Stats
 	// FaultHist records full-fault latencies per requesting kernel.
-	FaultHist [2]*stats.Histogram
+	FaultHist []*stats.Histogram
 }
 
 type deferredReq struct {
@@ -189,18 +235,25 @@ type deferredReq struct {
 }
 
 // New returns a DSM over the SoC; service cores default to the last strong
-// core and the weak core.
+// core and core 0 of each weak domain.
 func New(s *soc.SoC, params Params) *DSM {
+	n := s.NumDomains()
 	d := &DSM{
-		SoC:    s,
-		Params: params,
-		pages:  make(map[mem.PFN]*page),
+		SoC:            s,
+		Params:         params,
+		pages:          make(map[mem.PFN]*page),
+		ServiceCore:    make([]*soc.Core, n),
+		RequesterStats: make([]Stats, n),
+		FaultHist:      make([]*stats.Histogram, n),
 	}
-	d.ServiceCore[soc.Strong] = s.Core(soc.Strong, s.Cfg.StrongCores-1)
-	d.ServiceCore[soc.Weak] = s.Core(soc.Weak, 0)
+	d.ServiceCore[soc.Strong] = s.Core(soc.Strong, len(s.Domains[soc.Strong].Cores)-1)
+	for _, k := range s.WeakDomains() {
+		d.ServiceCore[k] = s.Core(k, 0)
+	}
 	d.drainGate = sim.NewGate(s.Eng)
-	d.FaultHist[soc.Strong] = stats.NewHistogram(0)
-	d.FaultHist[soc.Weak] = stats.NewHistogram(0)
+	for k := range d.FaultHist {
+		d.FaultHist[k] = stats.NewHistogram(0)
+	}
 	return d
 }
 
@@ -209,14 +262,25 @@ func (d *DSM) Share(pfn mem.PFN) {
 	if _, dup := d.pages[pfn]; dup {
 		return
 	}
-	pg := &page{}
+	n := d.SoC.NumDomains()
+	pg := &page{
+		level:   make([]Level, n),
+		pending: make([]*pendingFault, n),
+		owner:   soc.Strong,
+	}
 	pg.level[soc.Strong] = Exclusive
-	pg.level[soc.Weak] = Invalid
 	d.pages[pfn] = pg
 	if d.OnFirstShare != nil {
 		d.OnFirstShare(pfn)
 	}
 }
+
+// Owner returns the kernel currently responsible for servicing requests for
+// pfn: the holder of the Exclusive copy, or the last kernel that held it.
+func (d *DSM) Owner(pfn mem.PFN) soc.DomainID { return d.page(pfn).owner }
+
+// Holders returns the kernels with a valid copy of pfn.
+func (d *DSM) Holders(pfn mem.PFN) []soc.DomainID { return d.page(pfn).holders() }
 
 // SharedPages returns how many pages the DSM manages.
 func (d *DSM) SharedPages() int { return len(d.pages) }
@@ -243,7 +307,7 @@ func (d *DSM) page(pfn mem.PFN) *page {
 // (the MMU mapping is effective); otherwise the calling proc takes a DSM
 // page fault, spinning until ownership arrives.
 func (d *DSM) Access(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, write bool) {
-	if d.Params.ThreeState && k == soc.Weak && !write && d.Params.ShadowReadThrash > 0 {
+	if d.Params.ThreeState && k != soc.Strong && !write && d.Params.ShadowReadThrash > 0 {
 		// Read detection through the M3's first-level MMU taxes every
 		// read with TLB thrashing (§6.3).
 		core.ExecFor(p, d.Params.ShadowReadThrash)
@@ -275,6 +339,24 @@ func (d *DSM) Write(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN) {
 	d.Access(p, core, k, pfn, true)
 }
 
+// faultTargets returns the kernels that must give up (or downgrade) their
+// copy for kernel k's fault: the current owner for a shared (read) request,
+// every valid holder for an exclusive one. In the two-state protocol there
+// is exactly one valid holder — the owner — so both cases degenerate to the
+// single GetExclusive target of the paper's OMAP4 instance.
+func (pg *page) faultTargets(k soc.DomainID, wantShared bool) []soc.DomainID {
+	if wantShared {
+		return []soc.DomainID{pg.owner}
+	}
+	var targets []soc.DomainID
+	for _, h := range pg.holders() {
+		if h != k {
+			targets = append(targets, h)
+		}
+	}
+	return targets
+}
+
 func (d *DSM) fault(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, write bool) {
 	pg := d.page(pfn)
 	st := &d.RequesterStats[k]
@@ -283,42 +365,65 @@ func (d *DSM) fault(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, wr
 	// If another thread of this kernel already faulted on the page, spin
 	// on the same pending event. Registration must happen before any time
 	// passes, or concurrent faulters would issue duplicate requests.
-	if ev := pg.pending[k]; ev != nil {
-		d.spin(p, core, ev)
+	if pf := pg.pending[k]; pf != nil {
+		d.spin(p, core, pf.ev)
 		return
 	}
-	ev := sim.NewEvent(d.SoC.Eng)
-	pg.pending[k] = ev
+	pf := &pendingFault{ev: sim.NewEvent(d.SoC.Eng), wasOwner: pg.owner == k}
+	pg.pending[k] = pf
 
 	prm := d.Params
-	core.ExecFor(p, prm.LocalFault[k])
-	st.Local += prm.LocalFault[k]
-	core.ExecFor(p, prm.Protocol[k])
-	st.Protocol += prm.Protocol[k]
+	core.ExecFor(p, prm.localFault(k))
+	st.Local += prm.localFault(k)
+	core.ExecFor(p, prm.protocol(k))
+	st.Protocol += prm.protocol(k)
 
 	wantShared := prm.ThreeState && !write
-	if prm.ThreeState && !write && k == soc.Weak {
+	if prm.ThreeState && !write && k != soc.Strong {
 		// Read detection through the M3's first-level MMU.
 		core.ExecFor(p, prm.ShadowReadDetect)
 		st.Local += prm.ShadowReadDetect
 	}
 
-	// Inactive-peer fast path: the peer's caches were flushed when its
-	// domain suspended, so ownership is claimed through the shared
-	// protocol metadata without mailbox traffic or a wake.
-	if !prm.DisableInactiveClaim && d.SoC.Domains[k.Other()].State() == soc.DomInactive {
-		core.ExecFor(p, prm.LocalClaim)
-		if wantShared {
-			if pg.level[k.Other()] == Exclusive {
-				pg.level[k.Other()] = Shared
+	// Resolve the target set now, after the protocol execution: the
+	// directory metadata lives in the shared global region, so this read
+	// and the per-target action below are one critical section in which no
+	// virtual time passes.
+	var messaged []soc.DomainID
+	claimed := false
+	for _, t := range pg.faultTargets(k, wantShared) {
+		// Inactive-owner fast path: the target's caches were flushed when
+		// its domain suspended, so ownership is claimed through the shared
+		// protocol metadata without mailbox traffic — and without waking
+		// it, preserving §7's rule for the strong domain.
+		if !prm.DisableInactiveClaim && d.SoC.Domains[t].State() == soc.DomInactive {
+			if !claimed {
+				core.ExecFor(p, prm.LocalClaim)
+				claimed = true
 			}
+			if wantShared {
+				if pg.level[t] == Exclusive {
+					pg.level[t] = Shared
+				}
+			} else {
+				pg.level[t] = Invalid
+			}
+			continue
+		}
+		messaged = append(messaged, t)
+	}
+
+	if len(messaged) == 0 {
+		// Every target was claimed locally: complete the fault without any
+		// mailbox round trip.
+		if wantShared {
 			pg.level[k] = Shared
 		} else {
-			pg.level[k.Other()] = Invalid
 			pg.level[k] = Exclusive
+			pg.owner = k
 		}
 		pg.pending[k] = nil
-		ev.Fire()
+		pf.ev.Fire()
 		st.Faults++
 		st.Claims++
 		st.Total += p.Now().Sub(start)
@@ -332,22 +437,29 @@ func (d *DSM) fault(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, wr
 	if wantShared {
 		payload |= sharedFlag
 	}
+	pf.want = len(messaged)
 	sent := p.Now()
-	d.SoC.Mailbox.Send(p, core, k.Other(),
-		soc.NewMessage(soc.MsgGetExclusive, payload, d.SoC.Mailbox.NextSeq()))
-	d.spin(p, core, ev)
+	for _, t := range messaged {
+		d.SoC.Mailbox.Send(p, core, t,
+			soc.NewMessage(soc.MsgGetExclusive, payload, d.SoC.Mailbox.NextSeq()))
+	}
+	d.spin(p, core, pf.ev)
 
-	core.ExecFor(p, prm.Exit[k])
-	st.Exit += prm.Exit[k]
+	core.ExecFor(p, prm.exit(k))
+	st.Exit += prm.exit(k)
 	st.Faults++
 	st.Total += p.Now().Sub(start)
 	d.FaultHist[k].Observe(p.Now().Sub(start))
 	if d.Tracef != nil {
 		d.Tracef("%v fault on page %d took %v (write=%v)", k, pfn, p.Now().Sub(start), write)
 	}
-	st.Servicing += prm.Servicing[k.Other()]
-	// Comm is what remains of the wait after the peer's servicing time.
-	wait := p.Now().Sub(sent) - prm.Exit[k] - prm.Servicing[k.Other()]
+	var servicing time.Duration
+	for _, t := range messaged {
+		servicing += prm.servicing(t)
+	}
+	st.Servicing += servicing
+	// Comm is what remains of the wait after the servers' servicing time.
+	wait := p.Now().Sub(sent) - prm.exit(k) - servicing
 	if wait > 0 {
 		st.Comm += wait
 	}
@@ -366,15 +478,16 @@ func (d *DSM) spin(p *sim.Proc, core *soc.Core, ev *sim.Event) {
 	core.Domain.EndSpin()
 }
 
-// HandleMessage processes a DSM mailbox message received by kernel k; the
-// OS mailbox dispatcher calls it from k's dispatcher proc running on core.
-// It returns true if the message was a DSM message.
-func (d *DSM) HandleMessage(p *sim.Proc, core *soc.Core, k soc.DomainID, msg soc.Message) bool {
+// HandleMessage processes a DSM mailbox message received by kernel k from
+// kernel `from` (the mailbox envelope's sender); the OS mailbox dispatcher
+// calls it from k's dispatcher proc running on core. It returns true if the
+// message was a DSM message.
+func (d *DSM) HandleMessage(p *sim.Proc, core *soc.Core, k soc.DomainID, from soc.DomainID, msg soc.Message) bool {
 	switch msg.Type() {
 	case soc.MsgGetExclusive:
 		pfn := mem.PFN(msg.Payload() &^ sharedFlag)
 		shared := msg.Payload()&sharedFlag != 0
-		d.handleGet(p, core, k, deferredReq{pfn: pfn, from: k.Other(), shared: shared, seq: msg.Seq(), at: p.Now()})
+		d.handleGet(p, core, k, deferredReq{pfn: pfn, from: from, shared: shared, seq: msg.Seq(), at: p.Now()})
 		return true
 	case soc.MsgPutExclusive:
 		d.handlePut(k, mem.PFN(msg.Payload()&^sharedFlag), msg.Payload()&sharedFlag != 0)
@@ -385,10 +498,12 @@ func (d *DSM) HandleMessage(p *sim.Proc, core *soc.Core, k soc.DomainID, msg soc
 
 func (d *DSM) handleGet(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferredReq) {
 	pg := d.page(req.pfn)
-	if pg.pending[k] != nil && k == soc.Strong {
-		// Crossed upgrade requests (three-state): the strong side wins; it
-		// serves the peer only after its own fault completes.
-		ev := pg.pending[k]
+	if pg.pending[k] != nil && k < req.from {
+		// Crossed requests: both kernels faulted on the page and each sent
+		// the other a Get. Kernel ID breaks the tie (lowest wins, so the
+		// strong kernel always beats a shadow): the winner serves the peer
+		// only after its own fault completes.
+		ev := pg.pending[k].ev
 		d.SoC.Eng.Spawn("dsm-crossed", func(p2 *sim.Proc) {
 			ev.Wait(p2)
 			d.serve(p2, core, k, req)
@@ -407,17 +522,83 @@ func (d *DSM) handleGet(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferre
 	d.serve(p, core, k, req)
 }
 
-// serve flushes and invalidates the local copy and grants ownership.
-func (d *DSM) serve(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferredReq) {
-	d.SoC.Domains[k].EnsureAwake(p)
-	core.ExecFor(p, d.Params.Servicing[k])
+// forward re-routes a Get that reached a kernel which no longer holds the
+// page — the requester read a stale owner from the directory before the page
+// moved on. The message is re-sent to the current owner with the original
+// requester as sender, so the Put goes straight back to it. If the current
+// owner IS the requester, ownership is already in flight toward it (the Put
+// is in its inbox, behind this very message in the sender's channel order)
+// and the request is simply dropped.
+func (d *DSM) forward(k soc.DomainID, req deferredReq) {
 	pg := d.page(req.pfn)
+	if pg.owner == req.from {
+		if d.Tracef != nil {
+			d.Tracef("%v dropped stale Get for page %d from %v (already owner)", k, req.pfn, req.from)
+		}
+		return
+	}
+	payload := uint32(req.pfn)
+	if req.shared {
+		payload |= sharedFlag
+	}
+	if d.Tracef != nil {
+		d.Tracef("%v forwarded Get for page %d from %v to owner %v", k, req.pfn, req.from, pg.owner)
+	}
+	d.SoC.Mailbox.SendAsync(req.from, pg.owner,
+		soc.NewMessage(soc.MsgGetExclusive, payload, req.seq))
+}
+
+// serve flushes and invalidates the local copy and grants ownership. A
+// server that turns out not to hold the page forwards the request to the
+// current owner instead (possible only with three or more kernels).
+func (d *DSM) serve(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferredReq) {
+	pg := d.page(req.pfn)
+	// Two races force a re-check of the pending state at serve time:
+	//
+	//  1. Crossed requests that sat in the bottom-half queue: the Get may be
+	//     drained after this kernel started its own fault on the page. Without
+	//     the re-check both kernels grant each other their stale copies and
+	//     both end up Exclusive (the handleGet-time check only catches Gets
+	//     that arrive after the fault began).
+	//  2. A Get that overtook the Put granting this kernel's own fault: two
+	//     cores of the sending domain can issue their mailbox writes in the
+	//     same instant, so arrival order between channels is undefined. The
+	//     directory gives it away — the fault was granted (owner is already
+	//     this kernel) even though the fault began when it was not the owner
+	//     — so the Get must queue behind the in-flight Put, i.e. behind the
+	//     fault's completion. (When the kernel owned the page before faulting
+	//     — a crossed upgrade — it must still serve lower-ID peers first, or
+	//     both sides would defer and deadlock.)
+	if pf := pg.pending[k]; pf != nil && (k < req.from || (pg.owner == k && !pf.wasOwner)) {
+		ev := pf.ev
+		d.SoC.Eng.Spawn("dsm-crossed", func(p2 *sim.Proc) {
+			ev.Wait(p2)
+			d.serve(p2, core, k, req)
+		})
+		return
+	}
+	if pg.level[k] == Invalid {
+		d.forward(k, req)
+		return
+	}
+	d.SoC.Domains[k].EnsureAwake(p)
+	core.ExecFor(p, d.Params.servicing(k))
+	// Re-check after servicing time passed: the page may have moved while
+	// this bottom half executed.
+	if pg.level[k] == Invalid {
+		d.forward(k, req)
+		return
+	}
 	if req.shared {
 		if pg.level[k] == Exclusive {
 			pg.level[k] = Shared
 		}
 	} else {
 		pg.level[k] = Invalid
+		// Ownership transfers with the Put: recording the requester as the
+		// new owner here (not on receipt) keeps the directory ahead of the
+		// message, so later Gets race at most into a forward.
+		pg.owner = req.from
 	}
 	payload := uint32(req.pfn)
 	if req.shared {
@@ -429,14 +610,22 @@ func (d *DSM) serve(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferredReq
 
 func (d *DSM) handlePut(k soc.DomainID, pfn mem.PFN, shared bool) {
 	pg := d.page(pfn)
+	pf := pg.pending[k]
+	if pf != nil {
+		pf.want--
+		if pf.want > 0 {
+			return // still waiting on other holders' invalidations
+		}
+	}
 	if shared {
 		pg.level[k] = Shared
 	} else {
 		pg.level[k] = Exclusive
+		pg.owner = k
 	}
-	if ev := pg.pending[k]; ev != nil {
+	if pf != nil {
 		pg.pending[k] = nil
-		ev.Fire()
+		pf.ev.Fire()
 	}
 }
 
@@ -475,12 +664,20 @@ func (d *DSM) DeferredLen() int { return len(d.deferred) }
 // one kernel Exclusive, and never Exclusive alongside any other validity.
 func (d *DSM) CheckInvariants() error {
 	for pfn, pg := range d.pages {
-		a, b := pg.level[soc.Strong], pg.level[soc.Weak]
-		if a == Exclusive && b != Invalid || b == Exclusive && a != Invalid {
-			return fmt.Errorf("dsm: one-writer invariant violated on page %d: main=%v shadow=%v", pfn, a, b)
+		holders := pg.holders()
+		exclusive := 0
+		for _, h := range holders {
+			switch pg.level[h] {
+			case Exclusive:
+				exclusive++
+			case Shared:
+				if !d.Params.ThreeState {
+					return fmt.Errorf("dsm: shared level in two-state mode on page %d (kernel %v)", pfn, h)
+				}
+			}
 		}
-		if !d.Params.ThreeState && (a == Shared || b == Shared) {
-			return fmt.Errorf("dsm: shared level in two-state mode on page %d", pfn)
+		if exclusive > 1 || (exclusive == 1 && len(holders) > 1) {
+			return fmt.Errorf("dsm: one-writer invariant violated on page %d: holders %v", pfn, holders)
 		}
 	}
 	return nil

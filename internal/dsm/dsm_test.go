@@ -16,13 +16,13 @@ func rig(params Params) (*sim.Engine, *soc.SoC, *DSM) {
 	e := sim.NewEngine()
 	s := soc.New(e, soc.DefaultConfig())
 	d := New(s, params)
-	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
-		k := k
+	for id := range s.Domains {
+		k := soc.DomainID(id)
 		core := d.ServiceCore[k]
 		e.Spawn("dispatch-"+k.String(), func(p *sim.Proc) {
 			for {
-				msg := s.Mailbox.Recv(p, k)
-				d.HandleMessage(p, core, k, msg)
+				msg, from := s.Mailbox.RecvFrom(p, k)
+				d.HandleMessage(p, core, k, from, msg)
 			}
 		})
 	}

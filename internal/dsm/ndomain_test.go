@@ -1,0 +1,133 @@
+package dsm
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// rigN is rig on a topology with the given number of weak domains.
+func rigN(weak int, params Params) (*sim.Engine, *soc.SoC, *DSM) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig().WithWeakDomains(weak))
+	d := New(s, params)
+	for id := range s.Domains {
+		k := soc.DomainID(id)
+		core := d.ServiceCore[k]
+		e.Spawn("dispatch-"+k.String(), func(p *sim.Proc) {
+			for {
+				msg, from := s.Mailbox.RecvFrom(p, k)
+				d.HandleMessage(p, core, k, from, msg)
+			}
+		})
+	}
+	e.Spawn("dsm-drainer", d.RunMainDrainer)
+	return e, s, d
+}
+
+// A page must migrate strong -> weak -> weak2 -> strong, with the directory
+// tracking the owner and exactly one holder at every step.
+func TestPageMigratesAcrossThreeKernels(t *testing.T) {
+	e, s, d := rigN(2, DefaultParams())
+	w2 := soc.DomainID(2)
+	d.Share(7)
+	hops := []soc.DomainID{soc.Weak, w2, soc.Strong, w2}
+	e.Spawn("walker", func(p *sim.Proc) {
+		for _, k := range hops {
+			d.Write(p, s.Core(k, 0), k, 7)
+			if d.Owner(7) != k {
+				t.Errorf("after write from %v: owner = %v", k, d.Owner(7))
+			}
+			if h := d.Holders(7); len(h) != 1 || h[0] != k {
+				t.Errorf("after write from %v: holders = %v", k, h)
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range hops[:3] {
+		if d.RequesterStats[k].Faults == 0 {
+			t.Errorf("%v recorded no faults", k)
+		}
+	}
+}
+
+// Under the three-state protocol a write must invalidate every read-sharing
+// kernel, not just one: the writer's fault completes only after a Put from
+// each holder.
+func TestThreeStateInvalidatesAllHolders(t *testing.T) {
+	prm := DefaultParams()
+	prm.ThreeState = true
+	prm.ShadowReadDetect = 0
+	e, s, d := rigN(2, prm)
+	w2 := soc.DomainID(2)
+	d.Share(9)
+	e.Spawn("flow", func(p *sim.Proc) {
+		d.Read(p, s.Core(soc.Weak, 0), soc.Weak, 9)
+		d.Read(p, s.Core(w2, 0), w2, 9)
+		if h := d.Holders(9); len(h) != 3 {
+			t.Errorf("holders after reads = %v, want all three kernels", h)
+		}
+		d.Write(p, s.Core(w2, 0), w2, 9)
+		for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+			if d.Level(k, 9) != Invalid {
+				t.Errorf("%v still holds the page after remote write", k)
+			}
+		}
+		if d.Level(w2, 9) != Exclusive || d.Owner(9) != w2 {
+			t.Errorf("writer level=%v owner=%v", d.Level(w2, 9), d.Owner(9))
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The inactive-peer fast path must apply to any inactive owner, not just the
+// original two-domain pair: a page owned by a sleeping weak2 is claimed
+// locally with no mailbox traffic.
+func TestClaimFromAnyInactiveOwner(t *testing.T) {
+	e, s, d := rigN(2, DefaultParams())
+	w2 := soc.DomainID(2)
+	d.Share(7)
+	e.Spawn("weak2", func(p *sim.Proc) {
+		d.Write(p, s.Core(w2, 0), w2, 7)
+	})
+	if err := e.Run(sim.Time(time.Minute)); err != nil { // weak2 goes inactive
+		t.Fatal(err)
+	}
+	if s.Domains[w2].State() != soc.DomInactive {
+		t.Fatalf("weak2 state = %v, want inactive", s.Domains[w2].State())
+	}
+	mailBefore := s.Mailbox.SentBetween(soc.Strong, w2)
+	wakesBefore := s.Domains[w2].WakeCount()
+	e.Spawn("strong", func(p *sim.Proc) {
+		s.Domains[soc.Strong].EnsureAwake(p)
+		d.Write(p, s.Core(soc.Strong, 0), soc.Strong, 7)
+	})
+	if err := e.Run(sim.Time(2 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if d.RequesterStats[soc.Strong].Claims != 1 {
+		t.Fatalf("claims = %d, want 1", d.RequesterStats[soc.Strong].Claims)
+	}
+	if got := s.Mailbox.SentBetween(soc.Strong, w2); got != mailBefore {
+		t.Fatalf("claim sent %d mailbox messages", got-mailBefore)
+	}
+	if got := s.Domains[w2].WakeCount(); got != wakesBefore {
+		t.Fatalf("weak2 woke %d times; the claim must not wake the sleeping owner",
+			got-wakesBefore)
+	}
+	if d.Owner(7) != soc.Strong || d.Level(w2, 7) != Invalid {
+		t.Fatalf("after claim: owner=%v weak2=%v", d.Owner(7), d.Level(w2, 7))
+	}
+}

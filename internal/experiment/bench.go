@@ -1,0 +1,33 @@
+package experiment
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// BenchData is the machine-readable benchmark summary written by
+// `k2bench -json`: the microbenchmark numbers (Tables 4–6) plus the
+// N-domain scaling results.
+type BenchData struct {
+	AllocLatencies Table4Data      `json:"alloc_latencies"`
+	FaultBreakdown Table5Data      `json:"dsm_fault_breakdown"`
+	DMAThroughput  []DMAThroughput `json:"dma_throughput"`
+	Scale          []ScaleConfig   `json:"scale"`
+}
+
+// MeasureBench runs the experiments behind BenchData.
+func MeasureBench() BenchData {
+	return BenchData{
+		AllocLatencies: MeasureTable4(),
+		FaultBreakdown: MeasureTable5(),
+		DMAThroughput:  MeasureTable6(),
+		Scale:          MeasureScale(),
+	}
+}
+
+// WriteJSON writes the benchmark summary as indented JSON.
+func (b BenchData) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -27,9 +27,24 @@ func runThread(o *core.OS, kind sched.Kind, name string, after *sim.Event, body 
 	return done
 }
 
-// Table4 measures physical-memory allocation and balloon latencies on both
-// kernels (the paper's Table 4).
-func Table4() Table {
+// LatencyPair is one Table 4 measurement on each kernel, in µs.
+type LatencyPair struct {
+	MainUS   float64 `json:"main_us"`
+	ShadowUS float64 `json:"shadow_us"`
+}
+
+// Table4Data is the measured content of Table 4.
+type Table4Data struct {
+	Alloc4KB       LatencyPair `json:"alloc_4kb"`
+	Alloc256KB     LatencyPair `json:"alloc_256kb"`
+	Alloc1024KB    LatencyPair `json:"alloc_1024kb"`
+	BalloonDeflate LatencyPair `json:"balloon_deflate"`
+	BalloonInflate LatencyPair `json:"balloon_inflate"`
+}
+
+// MeasureTable4 measures physical-memory allocation and balloon latencies on
+// both kernels (the paper's Table 4).
+func MeasureTable4() Table4Data {
 	e, o := bootFresh(core.K2Mode)
 	type meas struct{ main, shadow time.Duration }
 	allocs := map[int]*meas{0: {}, 6: {}, 8: {}}
@@ -82,27 +97,65 @@ func Table4() Table {
 		panic(err)
 	}
 
-	us := func(d time.Duration) string { return fmt.Sprintf("%.0f", float64(d.Nanoseconds())/1e3) }
+	pair := func(m *meas) LatencyPair {
+		return LatencyPair{
+			MainUS:   float64(m.main.Nanoseconds()) / 1e3,
+			ShadowUS: float64(m.shadow.Nanoseconds()) / 1e3,
+		}
+	}
+	return Table4Data{
+		Alloc4KB:       pair(allocs[0]),
+		Alloc256KB:     pair(allocs[6]),
+		Alloc1024KB:    pair(allocs[8]),
+		BalloonDeflate: pair(balloonDef),
+		BalloonInflate: pair(balloonInf),
+	}
+}
+
+// Table4 renders the paper's Table 4.
+func Table4() Table {
+	d := MeasureTable4()
+	us := func(v float64) string { return fmt.Sprintf("%.0f", v) }
 	t := Table{
 		ID:     "Table 4",
 		Title:  "latencies of physical memory allocations in K2 (µs)",
 		Header: []string{"Allocation size", "Main", "paper", "Shadow", "paper"},
 		Rows: [][]string{
-			{"4KB", us(allocs[0].main), "1", us(allocs[0].shadow), "12"},
-			{"256KB", us(allocs[6].main), "5", us(allocs[6].shadow), "45"},
-			{"1024KB", us(allocs[8].main), "13", us(allocs[8].shadow), "146"},
-			{"Balloon deflate", us(balloonDef.main), "10429", us(balloonDef.shadow), "12813"},
-			{"Balloon inflate", us(balloonInf.main), "11612", us(balloonInf.shadow), "20408"},
+			{"4KB", us(d.Alloc4KB.MainUS), "1", us(d.Alloc4KB.ShadowUS), "12"},
+			{"256KB", us(d.Alloc256KB.MainUS), "5", us(d.Alloc256KB.ShadowUS), "45"},
+			{"1024KB", us(d.Alloc1024KB.MainUS), "13", us(d.Alloc1024KB.ShadowUS), "146"},
+			{"Balloon deflate", us(d.BalloonDeflate.MainUS), "10429", us(d.BalloonDeflate.ShadowUS), "12813"},
+			{"Balloon inflate", us(d.BalloonInflate.MainUS), "11612", us(d.BalloonInflate.ShadowUS), "20408"},
 		},
 		Notes: []string{"the main kernel's allocator performance matches unmodified Linux (no inter-instance communication on the allocation path)"},
 	}
 	return t
 }
 
-// Table5 measures the breakdown of a DSM page fault for each sender side
-// (the paper's Table 5), by ping-ponging a shared page between kernels on
-// an otherwise idle system.
-func Table5() Table {
+// FaultBreakdown is one sender side of Table 5: the per-fault cost of each
+// phase in µs.
+type FaultBreakdown struct {
+	Faults      int           `json:"faults"`
+	LocalUS     float64       `json:"local_us"`
+	ProtocolUS  float64       `json:"protocol_us"`
+	CommUS      float64       `json:"comm_us"`
+	ServicingUS float64       `json:"servicing_us"`
+	ExitUS      float64       `json:"exit_us"`
+	TotalUS     float64       `json:"total_us"`
+	P50         time.Duration `json:"p50_ns"`
+	P99         time.Duration `json:"p99_ns"`
+}
+
+// Table5Data is the measured content of Table 5.
+type Table5Data struct {
+	Main   FaultBreakdown `json:"main_sender"`
+	Shadow FaultBreakdown `json:"shadow_sender"`
+}
+
+// MeasureTable5 measures the breakdown of a DSM page fault for each sender
+// side (the paper's Table 5), by ping-ponging a shared page between kernels
+// on an otherwise idle system.
+func MeasureTable5() Table5Data {
 	e, o := bootFresh(core.K2Mode)
 	pfn, err := o.Mem.Buddies[soc.Strong].AllocBoot(0, mem.Unmovable)
 	if err != nil {
@@ -133,31 +186,50 @@ func Table5() Table {
 		panic(err)
 	}
 
-	ms := o.DSM.RequesterStats[soc.Strong]
-	ss := o.DSM.RequesterStats[soc.Weak]
-	if ms.Faults == 0 || ss.Faults == 0 {
-		panic("experiment: ping-pong produced no faults")
+	breakdown := func(k soc.DomainID) FaultBreakdown {
+		st := o.DSM.RequesterStats[k]
+		if st.Faults == 0 {
+			panic("experiment: ping-pong produced no faults")
+		}
+		per := func(total time.Duration) float64 {
+			return float64(total.Nanoseconds()) / float64(st.Faults) / 1e3
+		}
+		return FaultBreakdown{
+			Faults:      st.Faults,
+			LocalUS:     per(st.Local),
+			ProtocolUS:  per(st.Protocol),
+			CommUS:      per(st.Comm),
+			ServicingUS: per(st.Servicing),
+			ExitUS:      per(st.Exit),
+			TotalUS:     per(st.Total),
+			P50:         o.DSM.FaultHist[k].Percentile(50),
+			P99:         o.DSM.FaultHist[k].Percentile(99),
+		}
 	}
-	per := func(total time.Duration, n int) string {
-		return fmt.Sprintf("%.0f", float64(total.Nanoseconds())/float64(n)/1e3)
-	}
+	return Table5Data{Main: breakdown(soc.Strong), Shadow: breakdown(soc.Weak)}
+}
+
+// Table5 renders the paper's Table 5.
+func Table5() Table {
+	d := MeasureTable5()
+	ms, ss := d.Main, d.Shadow
+	us := func(v float64) string { return fmt.Sprintf("%.0f", v) }
 	t := Table{
 		ID:     "Table 5",
 		Title:  "breakdown of the latency in a DSM page fault (µs), by GetExclusive sender",
 		Header: []string{"Operations", "Main", "paper", "Shadow", "paper"},
 		Rows: [][]string{
-			{"Local fault handling", per(ms.Local, ms.Faults), "3", per(ss.Local, ss.Faults), "17"},
-			{"Protocol execution", per(ms.Protocol, ms.Faults), "2", per(ss.Protocol, ss.Faults), "13"},
-			{"Inter-domain communication", per(ms.Comm, ms.Faults), "5", per(ss.Comm, ss.Faults), "9"},
-			{"Servicing request", per(ms.Servicing, ms.Faults), "24", per(ss.Servicing, ss.Faults), "7"},
-			{"Exit fault, cache miss", per(ms.Exit, ms.Faults), "18", per(ss.Exit, ss.Faults), "2"},
-			{"Total", per(ms.Total, ms.Faults), "52", per(ss.Total, ss.Faults), "48"},
+			{"Local fault handling", us(ms.LocalUS), "3", us(ss.LocalUS), "17"},
+			{"Protocol execution", us(ms.ProtocolUS), "2", us(ss.ProtocolUS), "13"},
+			{"Inter-domain communication", us(ms.CommUS), "5", us(ss.CommUS), "9"},
+			{"Servicing request", us(ms.ServicingUS), "24", us(ss.ServicingUS), "7"},
+			{"Exit fault, cache miss", us(ms.ExitUS), "18", us(ss.ExitUS), "2"},
+			{"Total", us(ms.TotalUS), "52", us(ss.TotalUS), "48"},
 		},
 		Notes: []string{
 			fmt.Sprintf("measured over %d faults per side on an idle system", ms.Faults),
 			fmt.Sprintf("main-sender p50/p99: %v/%v; shadow-sender p50/p99: %v/%v",
-				o.DSM.FaultHist[soc.Strong].Percentile(50), o.DSM.FaultHist[soc.Strong].Percentile(99),
-				o.DSM.FaultHist[soc.Weak].Percentile(50), o.DSM.FaultHist[soc.Weak].Percentile(99)),
+				ms.P50, ms.P99, ss.P50, ss.P99),
 		},
 	}
 	return t
@@ -201,9 +273,30 @@ func dmaWindow(mode core.Mode, batch int64, window time.Duration, withShadow boo
 	return toMBs(mainBytes), toMBs(shadBytes)
 }
 
-// Table6 reproduces the shared-driver throughput experiment: both kernels
-// invoke the DMA driver concurrently at full speed; the original Linux uses
-// the strong domain only.
+// DMAThroughput is one Table 6 row: MB/s with the driver invoked in both
+// kernels concurrently versus the Linux baseline.
+type DMAThroughput struct {
+	Batch    int64   `json:"batch_bytes"`
+	LinuxMBs float64 `json:"linux_mbs"`
+	MainMBs  float64 `json:"k2_main_mbs"`
+	ShadMBs  float64 `json:"k2_shadow_mbs"`
+}
+
+// MeasureTable6 measures the shared-driver throughput experiment: both
+// kernels invoke the DMA driver concurrently at full speed; the original
+// Linux uses the strong domain only.
+func MeasureTable6() []DMAThroughput {
+	window := 3 * time.Second
+	var out []DMAThroughput
+	for _, batch := range []int64{4 << 10, 128 << 10, 256 << 10, 1 << 20} {
+		linux, _ := dmaWindow(core.LinuxMode, batch, window, false)
+		k2Main, k2Shad := dmaWindow(core.K2Mode, batch, window, true)
+		out = append(out, DMAThroughput{Batch: batch, LinuxMBs: linux, MainMBs: k2Main, ShadMBs: k2Shad})
+	}
+	return out
+}
+
+// Table6 renders the paper's Table 6.
 func Table6() Table {
 	t := Table{
 		ID:    "Table 6",
@@ -217,16 +310,13 @@ func Table6() Table {
 		256 << 10: {"40.3", "40.5", "28.6", "11.9"},
 		1 << 20:   {"40.5", "43.1", "28.8", "14.3"},
 	}
-	window := 3 * time.Second
-	for _, batch := range []int64{4 << 10, 128 << 10, 256 << 10, 1 << 20} {
-		linux, _ := dmaWindow(core.LinuxMode, batch, window, false)
-		k2Main, k2Shad := dmaWindow(core.K2Mode, batch, window, true)
-		total := k2Main + k2Shad
-		pv := paper[batch]
+	for _, row := range MeasureTable6() {
+		total := row.MainMBs + row.ShadMBs
+		pv := paper[row.Batch]
 		t.Rows = append(t.Rows, []string{
-			sz(batch), f1(linux), f1(total),
-			fmt.Sprintf("%+.1f%%", (total/linux-1)*100),
-			f1(k2Main), f1(k2Shad),
+			sz(row.Batch), f1(row.LinuxMBs), f1(total),
+			fmt.Sprintf("%+.1f%%", (total/row.LinuxMBs-1)*100),
+			f1(row.MainMBs), f1(row.ShadMBs),
 			pv[0], pv[1], pv[2], pv[3],
 		})
 	}

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/core"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// ScaleDomain is one domain's share of a scale run.
+type ScaleDomain struct {
+	Domain      string  `json:"domain"`
+	Faults      int     `json:"dsm_faults"`
+	Claims      int     `json:"dsm_claims"`
+	MeanFaultUS float64 `json:"mean_fault_us"`
+	MailIn      int     `json:"mail_in"`
+	MailOut     int     `json:"mail_out"`
+	EnergyMJ    float64 `json:"energy_mj"`
+}
+
+// ScaleConfig is the result of one scale run: a platform with the given
+// number of weak domains under the fixed background workload.
+type ScaleConfig struct {
+	WeakDomains int           `json:"weak_domains"`
+	Workers     int           `json:"workers"`
+	Domains     []ScaleDomain `json:"domains"`
+}
+
+// scaleRun boots a platform with weak weak domains and drives a
+// sensorhub-style background load: several independent light-task processes,
+// each a NightWatch thread running short DMA-driven sensing episodes. The
+// scheduler spreads the processes across the weak domains; the shadowed DMA
+// driver state makes every episode exercise the N-kernel DSM.
+func scaleRun(weak int) ScaleConfig {
+	e, o := bootFresh(core.K2Mode, func(op *core.Options) { op.WeakDomains = weak })
+	const workers = 4
+	const episodes = 40
+	done := 0
+	for w := 0; w < workers; w++ {
+		runThread(o, sched.NightWatch, fmt.Sprintf("sense-%d", w), nil, func(th *sched.Thread) {
+			for i := 0; i < episodes; i++ {
+				o.DMA.Transfer(th, 4<<10)
+				th.Exec(soc.Work(50 * time.Microsecond)) // feature extraction
+				th.SleepIdle(5 * time.Millisecond)
+			}
+			done++
+			if done == workers {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		panic(err)
+	}
+	if done != workers {
+		panic("experiment: scale workers did not finish")
+	}
+
+	cfg := ScaleConfig{WeakDomains: weak, Workers: workers}
+	for id, d := range o.S.Domains {
+		k := soc.DomainID(id)
+		st := o.DSM.RequesterStats[k]
+		cfg.Domains = append(cfg.Domains, ScaleDomain{
+			Domain:      k.String(),
+			Faults:      st.Faults,
+			Claims:      st.Claims,
+			MeanFaultUS: float64(st.Mean().Nanoseconds()) / 1e3,
+			MailIn:      o.S.Mailbox.Sent(k),
+			MailOut:     o.S.Mailbox.SentBy(k),
+			EnergyMJ:    d.Rail.EnergyJ() * 1e3,
+		})
+	}
+	return cfg
+}
+
+// MeasureScale runs the scaling experiment on platforms with 1, 2 and 4
+// weak domains.
+func MeasureScale() []ScaleConfig {
+	var out []ScaleConfig
+	for _, weak := range []int{1, 2, 4} {
+		out = append(out, scaleRun(weak))
+	}
+	return out
+}
+
+// Scale reports how the coherence traffic and energy of a fixed background
+// workload spread as weak domains are added: the same four light-task
+// processes on platforms with one, two and four weak domains.
+func Scale() Table {
+	t := Table{
+		ID:    "Scale",
+		Title: "N weak domains under a fixed sensorhub-style background load",
+		Header: []string{"Weak domains", "Domain", "DSM faults", "claims",
+			"mean fault (µs)", "mail in", "mail out", "energy (mJ)"},
+	}
+	for _, cfg := range MeasureScale() {
+		for i, d := range cfg.Domains {
+			label := ""
+			if i == 0 {
+				label = fmt.Sprintf("%d", cfg.WeakDomains)
+			}
+			t.Rows = append(t.Rows, []string{
+				label, d.Domain,
+				fmt.Sprintf("%d", d.Faults), fmt.Sprintf("%d", d.Claims),
+				f1(d.MeanFaultUS),
+				fmt.Sprintf("%d", d.MailIn), fmt.Sprintf("%d", d.MailOut),
+				f2(d.EnergyMJ),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"4 light-task processes, each 40 DMA sensing episodes; NightWatch threads placed least-loaded-first across weak domains",
+		"the strong domain still services every fresh page's first fault (pages start main-owned), so its mail share stays high")
+	return t
+}

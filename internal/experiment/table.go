@@ -113,5 +113,6 @@ func All() []Table {
 		AblationInactiveClaim(),
 		AblationPlacementPolicy(),
 		AblationSuspendOverlap(),
+		Scale(),
 	}
 }

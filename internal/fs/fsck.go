@@ -36,7 +36,7 @@ func (f *FileSystem) Fsck(t *sched.Thread) (FsckReport, error) {
 	blockRefs := make(map[uint32]string)
 	seenInode := make(map[uint32]bool)
 
-	note := func(format string, args ...interface{}) {
+	note := func(format string, args ...any) {
 		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
 	}
 	blockUsed := func(b uint32) bool { return f.blockBitmap[b/8]&(1<<(b%8)) != 0 }

@@ -2,11 +2,13 @@
 //
 // IO peripheral interrupts are physically wired to all coherence domains;
 // K2 must ensure each is handled by exactly one kernel. The rules: shared
-// interrupts never wake the strong domain from an inactive state (the shadow
+// interrupts never wake the strong domain from an inactive state (a shadow
 // kernel handles them then), and while the strong domain is awake the main
 // kernel handles all shared interrupts. K2 implements this with hooks in
 // the power-management code that flip the per-domain interrupt controller
-// masks on strong-domain power transitions.
+// masks on strong-domain power transitions. With several weak domains the
+// designated handler while the strong domain sleeps is the first weak domain
+// — still exactly one unmasked controller per line.
 package irq
 
 import "k2/internal/soc"
@@ -24,7 +26,7 @@ type Router struct {
 }
 
 // NewRouter installs K2's masking rules for the given shared lines. At boot
-// the shadow kernel masks all shared interrupts locally; the hooks flip
+// every shadow kernel masks all shared interrupts locally; the hooks flip
 // masks when the strong domain suspends or wakes.
 func NewRouter(s *soc.SoC, lines []soc.IRQLine) *Router {
 	r := &Router{s: s, lines: lines}
@@ -54,35 +56,43 @@ func NewSingleRouter(s *soc.SoC, lines []soc.IRQLine) *Router {
 	return r
 }
 
+// shadowHandler is the weak domain designated to take shared interrupts
+// while the strong domain is inactive.
+func (r *Router) shadowHandler() soc.DomainID { return soc.Weak }
+
 // maskWeak directs shared interrupts to the strong domain.
 func (r *Router) maskWeak() {
-	r.s.IRQ[soc.Weak].MaskAll(r.lines)
+	for _, k := range r.s.WeakDomains() {
+		r.s.IRQ[k].MaskAll(r.lines)
+	}
 	r.s.IRQ[soc.Strong].UnmaskAll(r.lines)
 	r.Flips++
 }
 
-// maskStrong directs shared interrupts to the weak domain (strong is
-// inactive and must not be woken by them).
+// maskStrong directs shared interrupts to the designated weak domain
+// (strong is inactive and must not be woken by them).
 func (r *Router) maskStrong() {
 	if r.single {
 		return // Linux: nobody else can take them
 	}
 	r.s.IRQ[soc.Strong].MaskAll(r.lines)
-	r.s.IRQ[soc.Weak].UnmaskAll(r.lines)
+	r.s.IRQ[r.shadowHandler()].UnmaskAll(r.lines)
 	r.Flips++
 }
 
 // HandlerDomain reports which domain currently has line unmasked; exactly
 // one domain must, or the peripherals could observe competing handlers.
 func (r *Router) HandlerDomain(line soc.IRQLine) (soc.DomainID, bool) {
-	sm := r.s.IRQ[soc.Strong].Masked(line)
-	wm := r.s.IRQ[soc.Weak].Masked(line)
-	switch {
-	case !sm && wm:
-		return soc.Strong, true
-	case sm && !wm:
-		return soc.Weak, true
-	default:
+	owner := soc.DomainID(0)
+	unmasked := 0
+	for id := range r.s.IRQ {
+		if !r.s.IRQ[id].Masked(line) {
+			owner = soc.DomainID(id)
+			unmasked++
+		}
+	}
+	if unmasked != 1 {
 		return 0, false
 	}
+	return owner, true
 }

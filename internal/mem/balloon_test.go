@@ -278,10 +278,10 @@ func TestReclaimFromPeerWhenPoolEmpty(t *testing.T) {
 		k := k
 		e.Spawn("mbox-"+k.String(), func(p *sim.Proc) {
 			for {
-				msg := s.Mailbox.Recv(p, k)
+				msg, from := s.Mailbox.RecvFrom(p, k)
 				switch msg.Type() {
 				case soc.MsgBalloonCmd:
-					m.EnqueueReclaim(k)
+					m.EnqueueReclaim(k, from)
 				case soc.MsgBalloonAck:
 					m.OnBalloonAck(k)
 				}
@@ -314,5 +314,72 @@ func TestReclaimFromPeerWhenPoolEmpty(t *testing.T) {
 	}
 	if !done {
 		t.Fatal("app did not finish")
+	}
+}
+
+// With more than two kernels, a pressured kernel must probe the peer with
+// the most free pages first, not a hardwired "other" kernel.
+func TestReclaimPrefersFreestPeer(t *testing.T) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig().WithWeakDomains(2))
+	fr := NewFrames(s.Pages(), s.Cfg.PageSize)
+	// Tiny global region: exactly 2 blocks.
+	m := NewManager(s, fr, DefaultCostModel(), BlockPages, 3*BlockPages)
+	w2 := soc.DomainID(2)
+	for id := range s.Domains {
+		k := soc.DomainID(id)
+		e.Spawn("worker-"+k.String(), func(p *sim.Proc) { m.Worker(p, s.Core(k, 0), k) })
+		e.Spawn("mbox-"+k.String(), func(p *sim.Proc) {
+			for {
+				msg, from := s.Mailbox.RecvFrom(p, k)
+				switch msg.Type() {
+				case soc.MsgBalloonCmd:
+					m.EnqueueReclaim(k, from)
+				case soc.MsgBalloonAck:
+					m.OnBalloonAck(k)
+				}
+			}
+		})
+	}
+	// weak and weak2 each take a block; weak pins half of its block so that
+	// weak2 is the freer peer.
+	if _, err := m.DeflateBoot(soc.Weak); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DeflateBoot(w2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Buddies[soc.Weak].AllocBoot(MaxOrder-1, Movable); err != nil {
+		t.Fatal(err)
+	}
+	if m.Buddies[soc.Weak].FreePages() >= m.Buddies[w2].FreePages() {
+		t.Fatal("setup broken: weak2 is not the freest peer")
+	}
+	done := false
+	e.Spawn("app", func(p *sim.Proc) {
+		m.Kick(soc.Strong)
+		p.Sleep(500 * time.Millisecond)
+		if m.Buddies[soc.Strong].TotalPages() == 0 {
+			t.Error("strong never received a block via peer reclaim")
+		}
+		if m.Reclaims == 0 {
+			t.Error("no reclaim recorded")
+		}
+		done = true
+	})
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("app did not finish")
+	}
+	if n := s.Mailbox.SentBetween(soc.Strong, soc.Weak); n != 0 {
+		t.Fatalf("strong probed weak (%d messages) before the freer weak2", n)
+	}
+	if s.Mailbox.SentBetween(soc.Strong, w2) == 0 {
+		t.Fatal("strong never probed weak2")
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
 	}
 }

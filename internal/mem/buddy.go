@@ -349,6 +349,6 @@ func (b *Buddy) CheckInvariants() error {
 	return nil
 }
 
-func errf(format string, args ...interface{}) error {
+func errf(format string, args ...any) error {
 	return fmt.Errorf("mem: invariant violated: "+format, args...)
 }

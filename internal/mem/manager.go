@@ -18,8 +18,8 @@ type Manager struct {
 	SoC    *soc.SoC
 	Frames *Frames
 
-	Buddies  [2]*Buddy
-	Balloons [2]*Balloon
+	Buddies  []*Buddy
+	Balloons []*Balloon
 
 	// GlobalStart/GlobalEnd bound the shared global region in pages.
 	GlobalStart, GlobalEnd PFN
@@ -28,12 +28,12 @@ type Manager struct {
 	poolLock   *soc.HWSpinlock
 	blockOwner map[PFN]soc.DomainID
 
-	workQ   [2]*sim.Queue
-	ackGate [2]*sim.Gate
-	pending [2]bool // a deflate request is already queued
+	workQ   []*sim.Queue
+	ackGate []*sim.Gate
+	pending []bool // a deflate request is already queued
 
 	// Tracef, if set, receives meta-manager trace lines.
-	Tracef func(format string, args ...interface{})
+	Tracef func(format string, args ...any)
 
 	// Stats.
 	Reclaims int
@@ -42,6 +42,7 @@ type Manager struct {
 type workItem struct {
 	kind workKind
 	pfn  PFN
+	from soc.DomainID // reclaim requester, acked when the inflate finishes
 }
 
 type workKind int
@@ -53,9 +54,9 @@ const (
 )
 
 // NewManager builds the memory-management stack over the global region
-// [globalStart, globalEnd): two independent buddy instances, two balloons,
-// and the K2-owned block pool covering the whole region (§6.2: at boot the
-// balloons occupy the entire shared region).
+// [globalStart, globalEnd): one independent buddy instance and balloon per
+// kernel, and the K2-owned block pool covering the whole region (§6.2: at
+// boot the balloons occupy the entire shared region).
 func NewManager(s *soc.SoC, frames *Frames, cost CostModel, globalStart, globalEnd PFN) *Manager {
 	m := &Manager{
 		SoC:         s,
@@ -66,12 +67,17 @@ func NewManager(s *soc.SoC, frames *Frames, cost CostModel, globalStart, globalE
 		blockOwner:  make(map[PFN]soc.DomainID),
 	}
 	// The main kernel's blocks grow upward from just after its local
-	// region (movable pages toward the high frontier); the shadow kernel's
+	// region (movable pages toward the high frontier); the shadow kernels'
 	// grow downward from the end of memory.
-	m.Buddies[soc.Strong] = NewBuddy(soc.Strong, frames, cost, true)
-	m.Buddies[soc.Weak] = NewBuddy(soc.Weak, frames, cost, false)
+	n := s.NumDomains()
+	m.Buddies = make([]*Buddy, n)
+	m.Balloons = make([]*Balloon, n)
+	m.workQ = make([]*sim.Queue, n)
+	m.ackGate = make([]*sim.Gate, n)
+	m.pending = make([]bool, n)
 	for id := range m.Buddies {
 		id := soc.DomainID(id)
+		m.Buddies[id] = NewBuddy(id, frames, cost, id == soc.Strong)
 		m.Balloons[id] = NewBalloon(id, m.Buddies[id], frames, cost)
 		m.workQ[id] = sim.NewQueue(s.Eng)
 		m.ackGate[id] = sim.NewGate(s.Eng)
@@ -106,9 +112,10 @@ func (m *Manager) Kick(k soc.DomainID) {
 }
 
 // EnqueueReclaim asks kernel k's worker to inflate one block back to the
-// pool; the OS mailbox dispatcher calls this on MsgBalloonCmd.
-func (m *Manager) EnqueueReclaim(k soc.DomainID) {
-	m.workQ[k].Put(workItem{kind: workReclaim})
+// pool and acknowledge the requesting kernel; the OS mailbox dispatcher
+// calls this on MsgBalloonCmd with the mail's sender.
+func (m *Manager) EnqueueReclaim(k, from soc.DomainID) {
+	m.workQ[k].Put(workItem{kind: workReclaim, from: from})
 }
 
 // EnqueueRemoteFree queues a page block freed by the other kernel for the
@@ -214,6 +221,22 @@ func (m *Manager) InflateBlock(p *sim.Proc, core *soc.Core, k soc.DomainID) (PFN
 	return 0, lastErr
 }
 
+// peersByFreePages returns every kernel except k, ordered by how many free
+// pages its buddy has (descending; ties go to the lowest ID) — the kernels
+// most likely to have an inflatable block first.
+func (m *Manager) peersByFreePages(k soc.DomainID) []soc.DomainID {
+	peers := make([]soc.DomainID, 0, len(m.Buddies)-1)
+	for id := range m.Buddies {
+		if soc.DomainID(id) != k {
+			peers = append(peers, soc.DomainID(id))
+		}
+	}
+	sort.SliceStable(peers, func(i, j int) bool {
+		return m.Buddies[peers[i]].FreePages() > m.Buddies[peers[j]].FreePages()
+	})
+	return peers
+}
+
 func (m *Manager) ownedBlocks(k soc.DomainID) []PFN {
 	var out []PFN
 	for head, owner := range m.blockOwner {
@@ -240,19 +263,22 @@ func (m *Manager) Worker(p *sim.Proc, core *soc.Core, k soc.DomainID) {
 			if _, err := m.DeflateBlock(p, core, k); err == nil {
 				break
 			}
-			// Pool empty: ask the peer kernel to inflate, then retry.
-			peer := k.Other()
-			m.SoC.Mailbox.Send(p, core, peer,
-				soc.NewMessage(soc.MsgBalloonCmd, 0, m.SoC.Mailbox.NextSeq()))
-			m.ackGate[k].Wait(p)
-			if _, err := m.DeflateBlock(p, core, k); err != nil {
-				// Peer had nothing reclaimable; give up until the next
-				// pressure probe fires.
-				break
+			// Pool empty: pressure-probe the peer kernels, most free pages
+			// first (ties to the lowest ID), asking each to inflate until a
+			// retry succeeds.
+			for _, peer := range m.peersByFreePages(k) {
+				m.SoC.Mailbox.Send(p, core, peer,
+					soc.NewMessage(soc.MsgBalloonCmd, 0, m.SoC.Mailbox.NextSeq()))
+				m.ackGate[k].Wait(p)
+				if _, err := m.DeflateBlock(p, core, k); err == nil {
+					break
+				}
+				// This peer had nothing reclaimable; try the next one, or
+				// give up until the next pressure probe fires.
 			}
 		case workReclaim:
 			_, _ = m.InflateBlock(p, core, k)
-			m.SoC.Mailbox.Send(p, core, k.Other(),
+			m.SoC.Mailbox.Send(p, core, item.from,
 				soc.NewMessage(soc.MsgBalloonAck, 0, m.SoC.Mailbox.NextSeq()))
 		case workRemoteFree:
 			m.Buddies[k].Free(p, core, item.pfn)

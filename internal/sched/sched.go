@@ -44,6 +44,7 @@ type Process struct {
 	Name string
 
 	sched          *Sched
+	nwDomain       soc.DomainID // home weak domain of NightWatch threads
 	runnableNormal int
 	runningAcked   int // normal threads holding a core past the suspend ack
 	nwThreads      int
@@ -104,11 +105,11 @@ type Sched struct {
 	// ablation quantifying the overlap.
 	NoSuspendOverlap bool
 	// Tracef, if set, receives NightWatch protocol trace lines.
-	Tracef func(format string, args ...interface{})
+	Tracef func(format string, args ...any)
 	// Timeslice is the chunk size at which Exec checks for suspension.
 	Timeslice soc.Work
 
-	kernels [2]*kernelSched
+	kernels []*kernelSched
 	procs   map[int]*Process
 	nextPID int
 	nextTID int
@@ -124,7 +125,10 @@ type kernelSched struct {
 	waiters  []*coreWaiter
 	lastTID  map[int]int // core ID -> last thread TID, for switch detection
 	runnable int         // threads holding or waiting for a core
-	nextSeq  uint64
+	// nwAssigned counts processes whose NightWatch threads live here; the
+	// placement tie-breaker when runnable counts are equal.
+	nwAssigned int
+	nextSeq    uint64
 	// Switches counts context switches on this kernel.
 	Switches int
 }
@@ -143,17 +147,36 @@ func New(s *soc.SoC, singleKernel bool) *Sched {
 		Timeslice:    soc.Work(200 * time.Microsecond),
 		procs:        make(map[int]*Process),
 	}
-	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
+	sc.kernels = make([]*kernelSched, s.NumDomains())
+	for id := range s.Domains {
+		k := soc.DomainID(id)
 		ks := &kernelSched{sched: sc, k: k, lastTID: make(map[int]int)}
 		ks.free = append(ks.free, s.Domains[k].Cores...)
 		sc.kernels[k] = ks
 	}
 	// Domains may only suspend when their kernel has nothing runnable.
-	for _, k := range []soc.DomainID{soc.Strong, soc.Weak} {
-		ks := sc.kernels[k]
-		s.Domains[k].CanSleep = func() bool { return ks.runnable == 0 }
+	for id := range s.Domains {
+		ks := sc.kernels[id]
+		s.Domains[id].CanSleep = func() bool { return ks.runnable == 0 }
 	}
 	return sc
+}
+
+// pickNWDomain chooses the home weak domain for a process's NightWatch
+// threads: the least-loaded one — fewest runnable threads, ties broken by
+// fewest NightWatch processes already placed there, then the lowest ID. On a
+// two-domain platform this is always the single weak domain.
+func (sc *Sched) pickNWDomain() soc.DomainID {
+	weak := sc.S.WeakDomains()
+	best := weak[0]
+	for _, k := range weak[1:] {
+		ks, bs := sc.kernels[k], sc.kernels[best]
+		if ks.runnable < bs.runnable ||
+			(ks.runnable == bs.runnable && ks.nwAssigned < bs.nwAssigned) {
+			best = k
+		}
+	}
+	return best
 }
 
 // Runnable returns how many threads of kernel k hold or want a core.
@@ -190,7 +213,14 @@ func (pr *Process) Spawn(kind Kind, name string, body func(t *Thread)) *Thread {
 	sc := pr.sched
 	k := soc.Strong
 	if kind == NightWatch && !sc.SingleKernel {
-		k = soc.Weak
+		if pr.nwThreads == 0 {
+			// First NightWatch thread of the process: place it (and every
+			// later sibling — they share suspend state) on the least-loaded
+			// weak domain.
+			pr.nwDomain = sc.pickNWDomain()
+			sc.kernels[pr.nwDomain].nwAssigned++
+		}
+		k = pr.nwDomain
 	}
 	sc.nextTID++
 	t := &Thread{TID: sc.nextTID, Name: name, Kind: kind, Proc: pr, ks: sc.kernels[k]}
@@ -388,7 +418,7 @@ func (pr *Process) normalBecameRunnable(p *sim.Proc) {
 	if sc.Tracef != nil {
 		sc.Tracef("SuspendNW(pid=%d): normal thread scheduling in", pr.PID)
 	}
-	sc.S.Mailbox.SendAsync(soc.Weak,
+	sc.S.Mailbox.SendAsync(soc.Strong, pr.nwDomain,
 		soc.NewMessage(soc.MsgSuspendNW, uint32(pr.PID), sc.S.Mailbox.NextSeq()))
 	if sc.NoSuspendOverlap {
 		// Unoptimized variant: block for the ack before the context
@@ -417,7 +447,7 @@ func (pr *Process) normalBecameBlocked(p *sim.Proc) {
 	if sc.Tracef != nil {
 		sc.Tracef("ResumeNW(pid=%d): all normal threads blocked", pr.PID)
 	}
-	sc.S.Mailbox.SendAsync(soc.Weak,
+	sc.S.Mailbox.SendAsync(soc.Strong, pr.nwDomain,
 		soc.NewMessage(soc.MsgResumeNW, uint32(pr.PID), sc.S.Mailbox.NextSeq()))
 }
 

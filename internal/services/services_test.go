@@ -47,8 +47,8 @@ func TestShadowedStateCoherenceAndLock(t *testing.T) {
 		core := d.ServiceCore[k]
 		e.Spawn("dispatch-"+k.String(), func(p *sim.Proc) {
 			for {
-				msg := s.Mailbox.Recv(p, k)
-				d.HandleMessage(p, core, k, msg)
+				msg, from := s.Mailbox.RecvFrom(p, k)
+				d.HandleMessage(p, core, k, from, msg)
 			}
 		})
 	}

@@ -209,7 +209,7 @@ func (r *Resource) grant() {
 // queues such as hardware mailboxes.
 type Queue struct {
 	eng   *Engine
-	items []interface{}
+	items []any
 	gate  *Gate
 }
 
@@ -220,13 +220,13 @@ func NewQueue(e *Engine) *Queue { return &Queue{eng: e, gate: NewGate(e)} }
 func (q *Queue) Len() int { return len(q.items) }
 
 // Put appends v and wakes one waiting getter.
-func (q *Queue) Put(v interface{}) {
+func (q *Queue) Put(v any) {
 	q.items = append(q.items, v)
 	q.gate.OpenOne()
 }
 
 // Get blocks p until an item is available and returns it.
-func (q *Queue) Get(p *Proc) interface{} {
+func (q *Queue) Get(p *Proc) any {
 	for len(q.items) == 0 {
 		q.gate.Wait(p)
 	}
@@ -236,7 +236,7 @@ func (q *Queue) Get(p *Proc) interface{} {
 }
 
 // TryGet returns the next item without blocking, or (nil, false).
-func (q *Queue) TryGet() (interface{}, bool) {
+func (q *Queue) TryGet() (any, bool) {
 	if len(q.items) == 0 {
 		return nil, false
 	}

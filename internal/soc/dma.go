@@ -31,11 +31,17 @@ type DMAEngine struct {
 	gen        int
 
 	// Served counts completed transfers per domain; BytesMoved the payload.
-	Served     [2]int
-	BytesMoved [2]int64
+	Served     []int
+	BytesMoved []int64
 }
 
-func newDMAEngine(s *SoC) *DMAEngine { return &DMAEngine{soc: s} }
+func newDMAEngine(s *SoC) *DMAEngine {
+	return &DMAEngine{
+		soc:        s,
+		Served:     make([]int, s.NumDomains()),
+		BytesMoved: make([]int64, s.NumDomains()),
+	}
+}
 
 // Submit activates a transfer. The caller has already paid the CPU-side
 // programming cost in the driver; Submit itself is free.
@@ -53,10 +59,7 @@ func (d *DMAEngine) Submit(t *Transfer) {
 func (d *DMAEngine) Active() int { return len(d.active) }
 
 func (d *DMAEngine) weight(t *Transfer) float64 {
-	if t.Domain == Strong {
-		return d.soc.Cfg.DMAStrongWeight
-	}
-	return 1.0
+	return d.soc.Domains[t.Domain].DMAWeight
 }
 
 // rateBytesPerNs returns t's current progress rate.

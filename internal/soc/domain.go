@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"fmt"
 	"time"
 
 	"k2/internal/power"
@@ -8,25 +9,27 @@ import (
 )
 
 // DomainID names a coherence domain. The paper calls them strong and weak
-// (§1) to distinguish them from big/little cores within one domain.
+// (§1) to distinguish them from big/little cores within one domain. Domain 0
+// is always the strong domain; domains 1..N are weak domains.
 type DomainID int
 
 const (
 	// Strong is the high-performance domain (dual Cortex-A9 on OMAP4).
 	Strong DomainID = iota
-	// Weak is the low-power domain (Cortex-M3 on OMAP4).
+	// Weak is the first (on OMAP4: the only) low-power domain.
 	Weak
 )
 
 func (d DomainID) String() string {
-	if d == Strong {
+	switch {
+	case d == Strong:
 		return "strong"
+	case d == Weak:
+		return "weak"
+	default:
+		return fmt.Sprintf("weak%d", int(d))
 	}
-	return "weak"
 }
-
-// Other returns the peer domain on a two-domain SoC.
-func (d DomainID) Other() DomainID { return 1 - d }
 
 // DomainState is the power state of a domain (§4.2: cores are taken online
 // and offline from time to time; efficiency depends on how long domains
@@ -73,6 +76,10 @@ type Domain struct {
 	// InactiveTimeout is how long the domain stays idle before suspending
 	// (5 s in the paper's benchmarks, §9.2).
 	InactiveTimeout time.Duration
+
+	// DMAWeight is the processor-sharing weight of this domain's DMA
+	// channels (Table 6's ~2.4:1 strong:weak bandwidth split).
+	DMAWeight float64
 
 	// CanSleep, if non-nil, lets the OS veto suspension (e.g. while it
 	// still has runnable threads).

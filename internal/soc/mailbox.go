@@ -62,21 +62,35 @@ func (m Message) String() string {
 	return fmt.Sprintf("%v(payload=%d,seq=%d)", m.Type(), m.Payload(), m.Seq())
 }
 
-// Mailbox is the hardware mailbox facility: cores pass 32-bit messages
-// across domains, interrupting each other; delivery is in order and the
-// measured round-trip is about 5 µs (§5.1).
+// Envelope is one routed mail: the 32-bit hardware message plus the fabric's
+// routing metadata. Real mailbox hardware exposes per-sender registers, so
+// the receiver always knows which domain a mail came from; the simulation
+// carries that as an explicit sender field.
+type Envelope struct {
+	From DomainID
+	Msg  Message
+}
+
+// Mailbox is the hardware mailbox fabric: cores pass 32-bit messages between
+// any pair of domains, interrupting each other; delivery is in order per
+// destination and the measured round-trip is about 5 µs (§5.1). Each
+// destination domain has one inbox queue; the sender is routed alongside the
+// message.
 type Mailbox struct {
 	soc    *SoC
-	inbox  [2]*sim.Queue // per destination domain
-	sent   [2]int
+	inbox  []*sim.Queue // per destination domain
+	sent   [][]int      // [from][to] message counts
 	nextSq uint32
 }
 
 func newMailbox(s *SoC) *Mailbox {
-	return &Mailbox{
-		soc:   s,
-		inbox: [2]*sim.Queue{sim.NewQueue(s.Eng), sim.NewQueue(s.Eng)},
+	n := s.NumDomains()
+	mb := &Mailbox{soc: s}
+	for i := 0; i < n; i++ {
+		mb.inbox = append(mb.inbox, sim.NewQueue(s.Eng))
+		mb.sent = append(mb.sent, make([]int, n))
 	}
+	return mb
 }
 
 // NextSeq returns a fresh 9-bit sequence number.
@@ -85,8 +99,26 @@ func (mb *Mailbox) NextSeq() uint32 {
 	return mb.nextSq
 }
 
-// Sent returns how many messages have been sent to domain d.
-func (mb *Mailbox) Sent(d DomainID) int { return mb.sent[d] }
+// Sent returns how many messages have been sent to domain d (from anywhere).
+func (mb *Mailbox) Sent(d DomainID) int {
+	var n int
+	for _, row := range mb.sent {
+		n += row[d]
+	}
+	return n
+}
+
+// SentBetween returns how many messages domain from has sent to domain to.
+func (mb *Mailbox) SentBetween(from, to DomainID) int { return mb.sent[from][to] }
+
+// SentBy returns how many messages domain d has sent (to anywhere).
+func (mb *Mailbox) SentBy(d DomainID) int {
+	var n int
+	for _, c := range mb.sent[d] {
+		n += c
+	}
+	return n
+}
 
 // Send posts msg to the inbox of domain to, charging the sender's core the
 // mailbox MMIO write (interconnect-bound, so the same wall-clock on either
@@ -95,25 +127,32 @@ func (mb *Mailbox) Sent(d DomainID) int { return mb.sent[d] }
 // the domain is awake, preserving delivery order.
 func (mb *Mailbox) Send(p *sim.Proc, from *Core, to DomainID, msg Message) {
 	from.ExecFor(p, mb.soc.Cfg.MailboxSendCost)
-	mb.SendAsync(to, msg)
+	mb.SendAsync(from.Domain.ID, to, msg)
 }
 
 // SendAsync posts msg without charging a sender core; used by engine-context
 // code (e.g. interrupt handlers already accounted elsewhere).
-func (mb *Mailbox) SendAsync(to DomainID, msg Message) {
-	mb.sent[to]++
+func (mb *Mailbox) SendAsync(from, to DomainID, msg Message) {
+	mb.sent[from][to]++
 	q := mb.inbox[to]
 	dst := mb.soc.Domains[to]
 	mb.soc.Eng.After(mb.soc.Cfg.MailboxLatency, func() {
 		// A mail interrupts (and wakes) the destination domain; handlers
 		// run once the wake completes.
-		dst.whenAwake(func() { q.Put(msg) })
+		dst.whenAwake(func() { q.Put(Envelope{From: from, Msg: msg}) })
 	})
 }
 
 // Recv blocks p until a message addressed to domain d arrives.
 func (mb *Mailbox) Recv(p *sim.Proc, d DomainID) Message {
-	return mb.inbox[d].Get(p).(Message)
+	return mb.inbox[d].Get(p).(Envelope).Msg
+}
+
+// RecvFrom blocks p until a message addressed to domain d arrives, also
+// returning which domain sent it.
+func (mb *Mailbox) RecvFrom(p *sim.Proc, d DomainID) (Message, DomainID) {
+	env := mb.inbox[d].Get(p).(Envelope)
+	return env.Msg, env.From
 }
 
 // Pending returns the number of undelivered messages queued for domain d.

@@ -78,6 +78,11 @@ type Config struct {
 
 	// NumSpinlocks is the size of the hardware spinlock bank.
 	NumSpinlocks int
+
+	// Topology, when non-nil, describes the platform's coherence domains
+	// explicitly (one strong + N weak). When nil, the two-domain OMAP4
+	// topology is derived from the scalar fields above.
+	Topology Topology
 }
 
 // Power constants from Table 3, in mW.
@@ -163,13 +168,15 @@ func DefaultConfig() Config {
 	}
 }
 
-// SoC is the simulated system-on-chip.
+// SoC is the simulated system-on-chip: one strong domain plus N weak
+// domains, a routed mailbox fabric, per-domain interrupt controllers, a
+// hardware spinlock bank and a shared DMA engine.
 type SoC struct {
 	Eng *sim.Engine
 	Cfg Config
 
-	Domains   [2]*Domain
-	IRQ       [2]*IRQController
+	Domains   []*Domain
+	IRQ       []*IRQController
 	Mailbox   *Mailbox
 	Spinlocks *SpinlockBank
 	DMA       *DMAEngine
@@ -177,51 +184,58 @@ type SoC struct {
 	nextIRQ IRQLine
 }
 
-// New constructs the SoC with both domains awake (as at boot).
+// New constructs the SoC from the config's topology with every domain awake
+// (as at boot).
 func New(eng *sim.Engine, cfg Config) *SoC {
 	s := &SoC{Eng: eng, Cfg: cfg, nextIRQ: irqFirstDynamic}
-
-	strong := newDomain(eng, Strong, "strong", power.Profile{
-		Active:   a9ActiveMW(cfg.StrongFreqMHz),
-		Idle:     a9IdleMW,
-		Inactive: inactiveMW,
-	})
-	strong.WakeLatency = cfg.StrongWakeLatency
-	strong.WakeEnergyJ = cfg.StrongWakeEnergyJ
-	strong.InactiveTimeout = cfg.InactiveTimeout
-	strong.activeMul = a9ActiveMW
-	for i := 0; i < cfg.StrongCores; i++ {
-		c := &Core{ID: i, Kind: CortexA9, FreqMHz: cfg.StrongFreqMHz, Domain: strong}
-		c.speed = speedOf(CortexA9, cfg.StrongFreqMHz)
-		strong.Cores = append(strong.Cores, c)
+	topo := cfg.EffectiveTopology()
+	if err := topo.Validate(); err != nil {
+		panic(err)
 	}
 
-	weak := newDomain(eng, Weak, "weak", power.Profile{
-		Active:   m3ActiveMW200,
-		Idle:     m3IdleMW,
-		Inactive: inactiveMW,
-	})
-	weak.WakeLatency = cfg.WeakWakeLatency
-	weak.WakeEnergyJ = cfg.WeakWakeEnergyJ
-	weak.InactiveTimeout = cfg.InactiveTimeout
-	for i := 0; i < cfg.WeakCores; i++ {
-		c := &Core{ID: i, Kind: CortexM3, FreqMHz: cfg.WeakFreqMHz, Domain: weak}
-		c.speed = speedOf(CortexM3, cfg.WeakFreqMHz)
-		weak.Cores = append(weak.Cores, c)
+	for id, spec := range topo {
+		d := newDomain(eng, DomainID(id), spec.Name, spec.Profile)
+		d.WakeLatency = spec.WakeLatency
+		d.WakeEnergyJ = spec.WakeEnergyJ
+		d.InactiveTimeout = spec.InactiveTimeout
+		if d.InactiveTimeout == 0 {
+			d.InactiveTimeout = cfg.InactiveTimeout
+		}
+		d.activeMul = spec.DVFS
+		d.DMAWeight = spec.DMAWeight
+		if d.DMAWeight == 0 {
+			d.DMAWeight = 1.0
+		}
+		for i := 0; i < spec.Cores; i++ {
+			c := &Core{ID: i, Kind: spec.Kind, FreqMHz: spec.FreqMHz, Domain: d}
+			c.speed = speedOf(spec.Kind, spec.FreqMHz)
+			d.Cores = append(d.Cores, c)
+		}
+		s.Domains = append(s.Domains, d)
+		s.IRQ = append(s.IRQ, newIRQController(d))
 	}
 
 	// Domains boot awake; start their inactivity countdown immediately.
-	strong.idleTimer.Reset(strong.InactiveTimeout)
-	weak.idleTimer.Reset(weak.InactiveTimeout)
+	for _, d := range s.Domains {
+		d.idleTimer.Reset(d.InactiveTimeout)
+	}
 
-	s.Domains[Strong] = strong
-	s.Domains[Weak] = weak
-	s.IRQ[Strong] = newIRQController(strong)
-	s.IRQ[Weak] = newIRQController(weak)
 	s.Mailbox = newMailbox(s)
 	s.Spinlocks = newSpinlockBank(s, cfg.NumSpinlocks)
 	s.DMA = newDMAEngine(s)
 	return s
+}
+
+// NumDomains returns how many coherence domains the platform has.
+func (s *SoC) NumDomains() int { return len(s.Domains) }
+
+// WeakDomains returns the IDs of all weak domains in ascending order.
+func (s *SoC) WeakDomains() []DomainID {
+	out := make([]DomainID, 0, len(s.Domains)-1)
+	for id := Weak; int(id) < len(s.Domains); id++ {
+		out = append(out, id)
+	}
+	return out
 }
 
 // Core returns core i of domain id.

@@ -241,7 +241,7 @@ func TestMailboxWakesInactiveDomain(t *testing.T) {
 		s.Mailbox.Recv(p, Weak)
 		received = true
 	})
-	s.Mailbox.SendAsync(Weak, NewMessage(MsgGeneric, 1, 1))
+	s.Mailbox.SendAsync(Strong, Weak, NewMessage(MsgGeneric, 1, 1))
 	if err := e.Run(sim.Time(2 * time.Minute)); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,126 @@
+package soc
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/power"
+)
+
+// DomainSpec describes one coherence domain of a platform: its cores, their
+// operating point, and its Table-3-style power numbers. A platform is built
+// from one strong domain followed by N weak domains (§4.2 generalized: the
+// paper's OMAP4 instance has N=1, but nothing in the design fixes it).
+type DomainSpec struct {
+	// Name labels the domain in traces ("strong", "weak", "weak2", ...).
+	Name string
+	// Kind is the microarchitecture of the domain's cores.
+	Kind CoreKind
+	// Cores is how many cores the domain has.
+	Cores int
+	// FreqMHz is the domain's operating frequency.
+	FreqMHz int
+
+	// Profile gives the domain rail's power levels (active/idle/inactive),
+	// as in Table 3.
+	Profile power.Profile
+	// DVFS, if non-nil, recomputes active power when the frequency changes.
+	DVFS func(freqMHz int) power.Milliwatts
+
+	// WakeLatency and WakeEnergyJ are the domain's inactive-to-awake
+	// transition penalty (§2.2).
+	WakeLatency time.Duration
+	WakeEnergyJ float64
+	// InactiveTimeout overrides Config.InactiveTimeout when non-zero.
+	InactiveTimeout time.Duration
+
+	// DMAWeight is the processor-sharing weight of the domain's DMA
+	// channels; zero means 1.0.
+	DMAWeight float64
+}
+
+// Topology is an ordered set of coherence domains. Index 0 (Strong) must be
+// the strong domain; indices 1..N are weak domains.
+type Topology []DomainSpec
+
+// Validate checks the structural requirements: at least one strong and one
+// weak domain, and at least one core per domain.
+func (t Topology) Validate() error {
+	if len(t) < 2 {
+		return fmt.Errorf("soc: topology needs a strong and at least one weak domain, got %d domains", len(t))
+	}
+	for i, spec := range t {
+		if spec.Cores < 1 {
+			return fmt.Errorf("soc: domain %d (%s) has no cores", i, spec.Name)
+		}
+	}
+	return nil
+}
+
+// WeakCount returns the number of weak domains.
+func (t Topology) WeakCount() int { return len(t) - 1 }
+
+// EffectiveTopology returns the configured topology, or the OMAP4-style
+// two-domain instance derived from the legacy scalar fields when none is
+// set. DefaultConfig therefore keeps producing today's platform.
+func (c Config) EffectiveTopology() Topology {
+	if c.Topology != nil {
+		return c.Topology
+	}
+	return Topology{c.strongSpec(), c.weakSpec("weak")}
+}
+
+func (c Config) strongSpec() DomainSpec {
+	return DomainSpec{
+		Name:    "strong",
+		Kind:    CortexA9,
+		Cores:   c.StrongCores,
+		FreqMHz: c.StrongFreqMHz,
+		Profile: power.Profile{
+			Active:   a9ActiveMW(c.StrongFreqMHz),
+			Idle:     a9IdleMW,
+			Inactive: inactiveMW,
+		},
+		DVFS:        a9ActiveMW,
+		WakeLatency: c.StrongWakeLatency,
+		WakeEnergyJ: c.StrongWakeEnergyJ,
+		DMAWeight:   c.DMAStrongWeight,
+	}
+}
+
+func (c Config) weakSpec(name string) DomainSpec {
+	return DomainSpec{
+		Name:    name,
+		Kind:    CortexM3,
+		Cores:   c.WeakCores,
+		FreqMHz: c.WeakFreqMHz,
+		Profile: power.Profile{
+			Active:   m3ActiveMW200,
+			Idle:     m3IdleMW,
+			Inactive: inactiveMW,
+		},
+		WakeLatency: c.WeakWakeLatency,
+		WakeEnergyJ: c.WeakWakeEnergyJ,
+		DMAWeight:   1.0,
+	}
+}
+
+// WithWeakDomains returns a copy of the config whose topology has the same
+// strong domain and n weak domains, each an instance of the legacy weak
+// spec. n=1 is the OMAP4 platform with the topology made explicit.
+func (c Config) WithWeakDomains(n int) Config {
+	if n < 1 {
+		panic("soc: WithWeakDomains needs at least one weak domain")
+	}
+	topo := Topology{c.strongSpec()}
+	for i := 1; i <= n; i++ {
+		name := "weak"
+		if i > 1 {
+			name = fmt.Sprintf("weak%d", i)
+		}
+		topo = append(topo, c.weakSpec(name))
+	}
+	out := c
+	out.Topology = topo
+	return out
+}

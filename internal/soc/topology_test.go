@@ -1,0 +1,162 @@
+package soc
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+)
+
+func newNTestSoC(weak int) (*sim.Engine, *SoC) {
+	e := sim.NewEngine()
+	return e, New(e, DefaultConfig().WithWeakDomains(weak))
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := (Topology{}).Validate(); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	one := Topology{DefaultConfig().strongSpec()}
+	if err := one.Validate(); err == nil {
+		t.Fatal("single-domain topology accepted")
+	}
+	cfg := DefaultConfig()
+	bad := Topology{cfg.strongSpec(), cfg.weakSpec("weak")}
+	bad[1].Cores = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-core domain accepted")
+	}
+}
+
+func TestWithWeakDomainsShape(t *testing.T) {
+	_, s := newNTestSoC(3)
+	if s.NumDomains() != 4 {
+		t.Fatalf("domains = %d, want 4", s.NumDomains())
+	}
+	if got := s.WeakDomains(); len(got) != 3 || got[0] != Weak || got[2] != DomainID(3) {
+		t.Fatalf("weak domains = %v", got)
+	}
+	names := []string{"strong", "weak", "weak2", "weak3"}
+	for id, d := range s.Domains {
+		if d.Name != names[id] {
+			t.Fatalf("domain %d named %q, want %q", id, d.Name, names[id])
+		}
+	}
+	// Every weak domain is a full M3 instance: same cores and frequency as
+	// the OMAP4 one.
+	for _, k := range s.WeakDomains() {
+		if len(s.Domains[k].Cores) != 1 || s.Domains[k].Cores[0].FreqMHz != 200 {
+			t.Fatalf("%v: cores=%d freq=%d", k, len(s.Domains[k].Cores), s.Domains[k].Cores[0].FreqMHz)
+		}
+	}
+}
+
+// A message between two weak domains must be routed directly: the strong
+// domain's inbox stays empty and the payload arrives in order.
+func TestMailboxRoutesBetweenWeakDomains(t *testing.T) {
+	e, s := newNTestSoC(2)
+	w2 := DomainID(2)
+	var got []uint32
+	e.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			msg, from := s.Mailbox.RecvFrom(p, w2)
+			if from != Weak {
+				t.Errorf("message %d from %v, want %v", i, from, Weak)
+			}
+			got = append(got, msg.Payload())
+		}
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			s.Mailbox.Send(p, s.Core(Weak, 0), w2, NewMessage(MsgGeneric, uint32(i), uint32(i)))
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != uint32(i) {
+			t.Fatalf("out of order delivery: %v", got)
+		}
+	}
+	if s.Mailbox.Sent(Strong) != 0 {
+		t.Fatalf("strong inbox saw %d messages; weak-to-weak mail must not transit it",
+			s.Mailbox.Sent(Strong))
+	}
+	if s.Mailbox.SentBetween(Weak, w2) != 3 {
+		t.Fatalf("SentBetween(weak, weak2) = %d, want 3", s.Mailbox.SentBetween(Weak, w2))
+	}
+}
+
+// Mail to an inactive weak domain wakes that domain and only that domain.
+func TestMailboxWakesInactiveWeakPeer(t *testing.T) {
+	e, s := newNTestSoC(3)
+	if err := e.Run(sim.Time(time.Minute)); err != nil { // let everything go inactive
+		t.Fatal(err)
+	}
+	w3 := DomainID(3)
+	for _, k := range s.WeakDomains() {
+		if s.Domains[k].State() != DomInactive {
+			t.Fatalf("%v not inactive", k)
+		}
+	}
+	received := false
+	e.Spawn("recv", func(p *sim.Proc) {
+		msg, from := s.Mailbox.RecvFrom(p, w3)
+		if from != Weak || msg.Payload() != 7 {
+			t.Errorf("got payload %d from %v", msg.Payload(), from)
+		}
+		received = true
+	})
+	s.Mailbox.SendAsync(Weak, w3, NewMessage(MsgGeneric, 7, 1))
+	if err := e.Run(sim.Time(2 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if !received {
+		t.Fatal("message not delivered")
+	}
+	if s.Domains[w3].WakeCount() != 1 {
+		t.Fatalf("destination wake count = %d, want 1", s.Domains[w3].WakeCount())
+	}
+	if s.Domains[DomainID(2)].WakeCount() != 0 {
+		t.Fatal("uninvolved weak domain was woken")
+	}
+}
+
+// The DMA engine must account service across N domains with the configured
+// weights (strong keeps the calibrated OMAP4 weight, weak domains weight 1).
+func TestDMAWeightsAcrossNDomains(t *testing.T) {
+	_, s := newNTestSoC(2)
+	if s.Domains[Strong].DMAWeight != DefaultConfig().DMAStrongWeight {
+		t.Fatalf("strong weight = %v", s.Domains[Strong].DMAWeight)
+	}
+	for _, k := range s.WeakDomains() {
+		if s.Domains[k].DMAWeight != 1.0 {
+			t.Fatalf("%v weight = %v", k, s.Domains[k].DMAWeight)
+		}
+	}
+	if len(s.DMA.Served) != 3 || len(s.DMA.BytesMoved) != 3 {
+		t.Fatalf("DMA accounting sized %d/%d, want 3", len(s.DMA.Served), len(s.DMA.BytesMoved))
+	}
+}
+
+// DefaultConfig must still describe the paper's OMAP4: the derived topology
+// and an explicit WithWeakDomains(1) instance are the same platform.
+func TestDefaultTopologyIsOMAP4(t *testing.T) {
+	cfg := DefaultConfig()
+	topo := cfg.EffectiveTopology()
+	if len(topo) != 2 || topo.WeakCount() != 1 {
+		t.Fatalf("derived topology has %d domains", len(topo))
+	}
+	if topo[0].Kind != CortexA9 || topo[0].Cores != 2 || topo[0].FreqMHz != 1200 {
+		t.Fatalf("strong spec = %+v", topo[0])
+	}
+	if topo[1].Kind != CortexM3 || topo[1].Cores != 1 || topo[1].FreqMHz != 200 {
+		t.Fatalf("weak spec = %+v", topo[1])
+	}
+	e := sim.NewEngine()
+	s := New(e, cfg.WithWeakDomains(1))
+	if s.NumDomains() != 2 || len(s.Domains[Strong].Cores) != 2 || len(s.Domains[Weak].Cores) != 1 {
+		t.Fatal("WithWeakDomains(1) is not the OMAP4 shape")
+	}
+}

@@ -116,7 +116,7 @@ func (b *Buffer) EnableOnly(kinds ...Kind) {
 }
 
 // Emit records an event at the current virtual time.
-func (b *Buffer) Emit(k Kind, format string, args ...interface{}) {
+func (b *Buffer) Emit(k Kind, format string, args ...any) {
 	if b == nil || !b.enabled[k] {
 		return
 	}

@@ -147,3 +147,52 @@ func TestQuickRingRetention(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParseKindErrors(t *testing.T) {
+	for _, bad := range []string{"", "DSM", "dsm ", "kind(3)", "mailboxx"} {
+		_, err := ParseKind(bad)
+		if err == nil {
+			t.Fatalf("ParseKind(%q) succeeded", bad)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("%q", bad)) {
+			t.Fatalf("error %q does not name the bad input", err)
+		}
+	}
+}
+
+func TestRingExactCapacityBoundary(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, 4)
+	for i := 0; i < 4; i++ {
+		b.Emit(User, "e%d", i)
+	}
+	// Exactly full: nothing dropped yet.
+	if evs := b.Events(); len(evs) != 4 || evs[0].Msg != "e0" {
+		t.Fatalf("at capacity: %v", evs)
+	}
+	// One more evicts exactly the oldest.
+	b.Emit(User, "e4")
+	evs := b.Events()
+	if len(evs) != 4 || evs[0].Msg != "e1" || evs[3].Msg != "e4" {
+		t.Fatalf("after first wrap: %v", evs)
+	}
+}
+
+func TestDumpAfterWrapReportsFullTotals(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, 2)
+	for i := 0; i < 5; i++ {
+		b.Emit(DSM, "e%d", i)
+	}
+	var sb strings.Builder
+	if err := b.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2 retained") || !strings.Contains(out, "dsm=5") {
+		t.Fatalf("dump must report retained vs emitted totals:\n%s", out)
+	}
+	if strings.Contains(out, "e0") || !strings.Contains(out, "e4") {
+		t.Fatalf("dump retained the wrong events:\n%s", out)
+	}
+}

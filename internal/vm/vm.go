@@ -32,39 +32,60 @@ const KernelOffset = 0x8000_0000
 // VAddr is a kernel virtual address.
 type VAddr uint64
 
-// Layout describes the physical memory arrangement of Figure 4, in pages.
+// Layout describes the physical memory arrangement of Figure 4, in pages,
+// generalized to N shadow kernels: each weak kernel gets its own local
+// region at the bottom of memory, followed by the main kernel's local region
+// and then the shared global region.
 type Layout struct {
 	PageSize int
-	// ShadowLocal is [0, ShadowLocalPages).
+	// WeakKernels is the number of shadow kernels; each gets a local region
+	// of ShadowLocalPages.
+	WeakKernels int
+	// ShadowLocal of weak kernel i (1-based DomainID) is
+	// [(i-1)*ShadowLocalPages, i*ShadowLocalPages).
 	ShadowLocalPages int
-	// MainLocal is [ShadowLocalPages, ShadowLocalPages+MainLocalPages).
+	// MainLocal is the MainLocalPages pages after the shadow local regions.
 	MainLocalPages int
 	// TotalPages is the size of physical memory.
 	TotalPages int
 }
 
-// NewLayout computes the layout for the given memory size; local region
-// sizes are in 16 MB blocks.
+// NewLayout computes the two-kernel (one shadow) layout for the given memory
+// size; local region sizes are in 16 MB blocks.
 func NewLayout(totalPages, pageSize, shadowBlocks, mainBlocks int) Layout {
+	return NewLayoutN(totalPages, pageSize, shadowBlocks, mainBlocks, 1)
+}
+
+// NewLayoutN computes the layout for a platform with weakKernels shadow
+// kernels; local region sizes are in 16 MB blocks per kernel.
+func NewLayoutN(totalPages, pageSize, shadowBlocks, mainBlocks, weakKernels int) Layout {
 	return Layout{
 		PageSize:         pageSize,
+		WeakKernels:      weakKernels,
 		ShadowLocalPages: shadowBlocks * mem.BlockPages,
 		MainLocalPages:   mainBlocks * mem.BlockPages,
 		TotalPages:       totalPages,
 	}
 }
 
-// ShadowLocalStart returns the first page of the shadow local region.
-func (l Layout) ShadowLocalStart() mem.PFN { return 0 }
+// ShadowLocalStart returns the first page of weak kernel k's local region.
+func (l Layout) ShadowLocalStart(k soc.DomainID) mem.PFN {
+	if k < soc.Weak || int(k) > l.WeakKernels {
+		panic(fmt.Sprintf("vm: %v is not a weak kernel of this layout", k))
+	}
+	return mem.PFN((int(k) - 1) * l.ShadowLocalPages)
+}
 
 // MainLocalStart returns the first page of the main local region; it sits
 // immediately before the global region so the main kernel's dynamically
 // grown memory is contiguous with it.
-func (l Layout) MainLocalStart() mem.PFN { return mem.PFN(l.ShadowLocalPages) }
+func (l Layout) MainLocalStart() mem.PFN {
+	return mem.PFN(l.WeakKernels * l.ShadowLocalPages)
+}
 
 // GlobalStart returns the first page of the shared global region.
 func (l Layout) GlobalStart() mem.PFN {
-	return mem.PFN(l.ShadowLocalPages + l.MainLocalPages)
+	return mem.PFN(l.WeakKernels*l.ShadowLocalPages + l.MainLocalPages)
 }
 
 // GlobalEnd returns one past the last page of the global region.
@@ -75,7 +96,7 @@ func (l Layout) LocalRegion(k soc.DomainID) (mem.PFN, int) {
 	if k == soc.Strong {
 		return l.MainLocalStart(), l.MainLocalPages
 	}
-	return l.ShadowLocalStart(), l.ShadowLocalPages
+	return l.ShadowLocalStart(k), l.ShadowLocalPages
 }
 
 // VirtOf returns the unified kernel virtual address of a physical page.

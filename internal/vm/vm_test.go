@@ -14,7 +14,7 @@ func testLayout() Layout {
 
 func TestLayoutRegionsAreContiguous(t *testing.T) {
 	l := testLayout()
-	if l.ShadowLocalStart() != 0 {
+	if l.ShadowLocalStart(soc.Weak) != 0 {
 		t.Fatal("shadow local must start at 0")
 	}
 	if l.MainLocalStart() != mem.PFN(l.ShadowLocalPages) {

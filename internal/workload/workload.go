@@ -100,8 +100,15 @@ func MeasureEpisode(e *sim.Engine, o *core.OS, task Task) (Result, error) {
 }
 
 func waitInactive(o *core.OS, p *sim.Proc) {
-	for o.S.Domains[soc.Strong].State() != soc.DomInactive ||
-		o.S.Domains[soc.Weak].State() != soc.DomInactive {
+	allInactive := func() bool {
+		for _, d := range o.S.Domains {
+			if d.State() != soc.DomInactive {
+				return false
+			}
+		}
+		return true
+	}
+	for !allInactive() {
 		p.Sleep(200 * time.Millisecond)
 	}
 }
