@@ -44,6 +44,7 @@ var experiments = []struct {
 	{"a4", "Ablation §6.2 (movable placement)", experiment.AblationPlacementPolicy},
 	{"a5", "Ablation §8 (suspend-ack overlap)", experiment.AblationSuspendOverlap},
 	{"scale", "Scale (1/2/4 weak domains)", experiment.Scale},
+	{"faults", "Fault injection + recovery", experiment.Faults},
 }
 
 func main() {
@@ -51,7 +52,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "output format: text, csv or markdown")
 	jsonPath := flag.String("json", "", "write the machine-readable benchmark summary to this path and exit")
+	seed := flag.Int64("seed", experiment.FaultSeed, "PRNG seed for the fault-injection experiment")
 	flag.Parse()
+	experiment.FaultSeed = *seed
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)

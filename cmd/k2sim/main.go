@@ -7,10 +7,19 @@
 //	k2sim -os linux -workload ext2 -size 262144 -files 8
 //	k2sim -os k2 -workload udp -batch 1024 -total 65536 -mhz 350
 //	k2sim -os k2 -workload dma -weakdomains 4 -v
+//	k2sim -os k2 -workload dma -crash 50ms -reboot 30ms -drop 0.01 -seed 7
 //
 // -weakdomains boots a topology with the given number of weak (M3-class)
 // domains, one shadow kernel each; the default of 1 is the calibrated
 // OMAP4 platform.
+//
+// The fault flags inject deterministic faults (seeded by -seed): -crash
+// kills weak domain 1 at the given virtual time (-reboot revives it that
+// long after), and -drop loses that fraction of all mailbox traffic. Any
+// fault flag also enables the recovery stack — reliable mailbox transport,
+// the shadow-kernel watchdog, and the DSM owner timeout — so the system
+// survives; a faulted episode that cannot complete (e.g. a crash with no
+// reboot) is reported, not treated as a simulator error.
 package main
 
 import (
@@ -18,8 +27,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"k2/internal/core"
+	"k2/internal/dsm"
+	"k2/internal/fault"
 	"k2/internal/sim"
 	"k2/internal/soc"
 	"k2/internal/trace"
@@ -37,7 +49,13 @@ func main() {
 	weakDomains := flag.Int("weakdomains", 1, "number of weak domains (each runs its own shadow kernel under K2)")
 	verbose := flag.Bool("v", false, "print DSM and scheduler statistics")
 	traceKinds := flag.String("trace", "", "comma-separated trace kinds to dump (e.g. dsm,sched,power; 'all' for everything)")
+	seed := flag.Int64("seed", 1, "PRNG seed for fault injection")
+	crashAt := flag.Duration("crash", 0, "crash weak domain 1 at this virtual time (0 = no crash)")
+	rebootAfter := flag.Duration("reboot", 0, "reboot the crashed domain this long after the crash (0 = stays down)")
+	dropP := flag.Float64("drop", 0, "probability each mailbox transmission is dropped (all links)")
 	flag.Parse()
+
+	faulty := *crashAt > 0 || *dropP > 0
 
 	var mode core.Mode
 	switch *osFlag {
@@ -57,10 +75,34 @@ func main() {
 	eng := sim.NewEngine()
 	cfg := soc.DefaultConfig()
 	cfg.StrongFreqMHz = *mhz
-	o, err := core.Boot(eng, core.Options{Mode: mode, SoC: &cfg, WeakDomains: *weakDomains})
+	opts := core.Options{Mode: mode, SoC: &cfg, WeakDomains: *weakDomains}
+	if faulty {
+		// Injected faults need the recovery stack to be survivable.
+		rel := soc.DefaultReliableParams()
+		cfg.Reliable = &rel
+		wd := core.DefaultWatchdogParams()
+		opts.Watchdog = &wd
+		if mode == core.K2Mode {
+			prm := dsm.DefaultParams()
+			prm.OwnerTimeout = 200 * time.Microsecond
+			opts.DSMParams = &prm
+		}
+	}
+	o, err := core.Boot(eng, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "k2sim:", err)
 		os.Exit(1)
+	}
+
+	plan := fault.NewPlan(*seed)
+	if *crashAt > 0 {
+		plan.CrashAt(soc.Weak, *crashAt, *rebootAfter)
+	}
+	if *dropP > 0 {
+		plan.AllLinks(fault.LinkFaults{DropP: *dropP})
+	}
+	if faulty {
+		plan.Arm(o.S, o.Trace)
 	}
 
 	var task workload.Task
@@ -76,10 +118,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := workload.MeasureEpisode(eng, o, task)
+	cap := 2 * time.Hour
+	if faulty {
+		// Long enough for the episode protocol's inactive waits (3 x 5 s)
+		// plus recovery; short enough that a crash with no reboot — which
+		// leaves the episode unfinishable — gives up quickly.
+		cap = 60 * time.Second
+	}
+	res, err := workload.MeasureEpisodeUntil(eng, o, task, cap)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "k2sim:", err)
-		os.Exit(1)
+		if !faulty {
+			fmt.Fprintln(os.Stderr, "k2sim:", err)
+			os.Exit(1)
+		}
+		// An injected fault can legitimately keep the episode from
+		// finishing (crash with no reboot); report what happened instead
+		// of failing.
+		fmt.Printf("episode did not complete under injected faults: %v\n", err)
 	}
 
 	fmt.Printf("os:           %v (strong @ %d MHz)\n", mode, *mhz)
@@ -88,6 +143,20 @@ func main() {
 	fmt.Printf("work span:    %v (%.2f MB/s)\n", res.WorkSpan, res.ThroughputMBs())
 	fmt.Printf("episode:      %.3f mJ -> %.2f MB/J\n", res.EnergyJ*1e3, res.EfficiencyMBJ())
 	fmt.Printf("strong wakes: %d\n", res.StrongWakes)
+	if faulty {
+		fmt.Printf("faults:       %s (seed %d)\n", plan.Stats.Summary(), *seed)
+		mst := o.S.Mailbox.Stats
+		fmt.Printf("transport:    %d retransmits, %d deduped, %d delivery failures\n",
+			mst.Retransmits, mst.Deduped, mst.Failed)
+		if o.Watchdog != nil {
+			for _, rec := range o.Watchdog.Deaths {
+				fmt.Printf("watchdog:     %v declared dead at %v; reclaimed %d pages, %d blocks, %d locks in %v\n",
+					rec.Domain, time.Duration(rec.DeclaredAt), rec.ReclaimedPages,
+					rec.ReclaimedBlocks, rec.BrokenLocks,
+					time.Duration(rec.RecoveredAt-rec.DeclaredAt))
+			}
+		}
+	}
 	if *verbose && o.DSM != nil {
 		for _, k := range o.Kernels() {
 			st := o.DSM.RequesterStats[k]

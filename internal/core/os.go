@@ -71,6 +71,10 @@ type Options struct {
 	// InitialMainBlocks / InitialShadowBlocks are the 16 MB page blocks
 	// deflated to each kernel at boot.
 	InitialMainBlocks, InitialShadowBlocks int
+	// Watchdog, if non-nil, runs the main kernel's shadow-kernel watchdog
+	// (K2 mode only): heartbeats every weak kernel and reclaims the state
+	// of any that stops answering. Off by default.
+	Watchdog *WatchdogParams
 }
 
 // SharedIRQLines are the IO interrupt lines wired to all domains.
@@ -104,6 +108,8 @@ type OS struct {
 	// Trace is the kernel event tracer (all kinds enabled by default; use
 	// Trace.EnableOnly to narrow it).
 	Trace *trace.Buffer
+	// Watchdog is the shadow-kernel watchdog (nil unless Options.Watchdog).
+	Watchdog *Watchdog
 
 	kernels     []soc.DomainID // booted kernels: Strong, then every weak domain under K2
 	irqHandlers map[soc.IRQLine][]IRQHandler
@@ -301,6 +307,12 @@ func Boot(eng *sim.Engine, opts Options) (*OS, error) {
 	if o.DSM != nil {
 		eng.Spawn("dsm-bh-drainer", o.DSM.RunMainDrainer)
 	}
+	if opts.Watchdog != nil && opts.Mode == K2Mode && len(o.kernels) > 1 {
+		o.Watchdog = newWatchdog(o, *opts.Watchdog)
+		eng.Spawn("watchdog", func(p *sim.Proc) {
+			o.Watchdog.run(p, o.serviceCore(soc.Strong))
+		})
+	}
 
 	// Init thread: format the filesystem, then declare the system ready.
 	init := o.Sched.NewProcess("init")
@@ -364,6 +376,9 @@ func (o *OS) dispatch(p *sim.Proc, core *soc.Core, k soc.DomainID) {
 		case soc.MsgBalloonAck:
 			o.Mem.OnBalloonAck(k)
 		case soc.MsgGeneric:
+			if o.handleWatchdogMail(p, core, k, from, msg.Payload()) {
+				continue
+			}
 			o.applyPeerMap(k, msg.Payload())
 		}
 	}

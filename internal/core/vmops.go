@@ -53,7 +53,7 @@ func (o *OS) propagateMap(t *sched.Thread, op mapOp) {
 		return
 	}
 	o.nextMapID++
-	id := o.nextMapID & 0xFFFFF // fits the 20-bit mail payload
+	id := o.nextMapID & 0x7FFFF // fits the mail payload below the watchdog flag bit
 	op.refs = len(peers)
 	o.pendingMaps[id] = op
 	o.Trace.Emit(trace.Mailbox, "%v propagating %s at %#x to peer",

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/trace"
+)
+
+// The watchdog heartbeats each shadow kernel over the mailbox using
+// MsgGeneric mails. Payload encoding within the 20-bit mail payload:
+// bit 19 marks a watchdog mail (map-propagation ids stay below it, see
+// propagateMap), bit 18 distinguishes pong from ping, and the low 18 bits
+// carry the heartbeat epoch so a stale pong cannot be mistaken for a fresh
+// one.
+const (
+	wdFlag      = uint32(1) << 19
+	wdPong      = uint32(1) << 18
+	wdEpochMask = wdPong - 1
+)
+
+// WatchdogParams tunes the main kernel's shadow-kernel watchdog.
+type WatchdogParams struct {
+	// Period is the heartbeat interval.
+	Period time.Duration
+	// Misses is how many consecutive unanswered heartbeats declare a
+	// shadow kernel dead.
+	Misses int
+}
+
+// DefaultWatchdogParams returns a 500 µs heartbeat with death after 3
+// misses — quick enough that recovery latency is dominated by detection,
+// slow enough that a pong delayed by a busy service core is not a miss.
+func DefaultWatchdogParams() WatchdogParams {
+	return WatchdogParams{Period: 500 * time.Microsecond, Misses: 3}
+}
+
+// DeathRecord documents one declared shadow-kernel death and the recovery
+// sweep that followed.
+type DeathRecord struct {
+	Domain          soc.DomainID
+	DeclaredAt      sim.Time // when the watchdog declared death
+	RecoveredAt     sim.Time // when the reclaim sweep finished
+	BrokenLocks     int      // hardware spinlocks force-released
+	ReclaimedPages  int      // DSM directory entries changed hands
+	ReclaimedBlocks int      // 16 MB blocks returned to the K2 pool
+}
+
+// wdState is the watchdog's per-shadow-kernel bookkeeping.
+type wdState struct {
+	alive     bool
+	awaiting  bool   // a ping is outstanding
+	sentEpoch uint32 // epoch of the outstanding ping
+	pongEpoch uint32 // epoch of the last pong received
+	missed    int
+}
+
+// Watchdog is the main kernel's recovery agent (enabled via
+// Options.Watchdog): a background proc on the strong service core pings
+// every shadow kernel each Period; after Misses consecutive silent periods
+// it declares the kernel dead, breaks its hardware spinlocks, and sweeps
+// its DSM ownership and memory blocks back to the survivors. A pong from a
+// dead kernel (after soc.Domain.Reboot) marks it alive again.
+type Watchdog struct {
+	Params WatchdogParams
+
+	os    *OS
+	state []wdState
+
+	// Stats.
+	Pings, Pongs int
+	Deaths       []DeathRecord
+	Reboots      int
+}
+
+func newWatchdog(o *OS, prm WatchdogParams) *Watchdog {
+	if prm.Period <= 0 || prm.Misses <= 0 {
+		prm = DefaultWatchdogParams()
+	}
+	w := &Watchdog{Params: prm, os: o, state: make([]wdState, o.S.NumDomains())}
+	for _, k := range o.S.WeakDomains() {
+		w.state[k].alive = true
+	}
+	return w
+}
+
+// Alive reports whether the watchdog currently believes kernel k is alive.
+func (w *Watchdog) Alive(k soc.DomainID) bool { return w.state[k].alive }
+
+// run is the heartbeat loop; it never returns.
+func (w *Watchdog) run(p *sim.Proc, core *soc.Core) {
+	o := w.os
+	epoch := uint32(0)
+	for {
+		p.Sleep(w.Params.Period)
+		if !core.Domain.Awake() {
+			// The main kernel is suspended (or waking): it watches nothing,
+			// and forcing it awake every period would keep the platform from
+			// ever becoming inactive. Forget outstanding pings so the resumed
+			// heartbeat does not count phantom misses.
+			for i := range w.state {
+				w.state[i].awaiting = false
+			}
+			continue
+		}
+		for _, k := range o.S.WeakDomains() {
+			st := &w.state[k]
+			if o.S.Domains[k].State() == soc.DomInactive {
+				// Suspended by the OS on purpose — not dead. Pinging would
+				// wake it; skip until it runs again.
+				st.awaiting = false
+				st.missed = 0
+				continue
+			}
+			gotPong := st.awaiting && st.pongEpoch == st.sentEpoch
+			switch {
+			case st.alive && gotPong:
+				st.missed = 0
+			case st.alive && st.awaiting:
+				st.missed++
+				if st.missed >= w.Params.Misses {
+					w.declareDead(p, core, k)
+				}
+			case !st.alive && gotPong:
+				st.alive = true
+				st.missed = 0
+				w.Reboots++
+				o.Trace.Emit(trace.Fault, "watchdog: %v answered again; back alive", k)
+			}
+			epoch = (epoch + 1) & wdEpochMask
+			st.sentEpoch = epoch
+			st.awaiting = true
+			w.Pings++
+			o.S.Mailbox.Send(p, core, k,
+				soc.NewMessage(soc.MsgGeneric, wdFlag|epoch, o.S.Mailbox.NextSeq()))
+		}
+	}
+}
+
+func (w *Watchdog) onPong(from soc.DomainID, epoch uint32) {
+	w.Pongs++
+	w.state[from].pongEpoch = epoch
+}
+
+// declareDead runs the recovery sweep for kernel k on the watchdog's core:
+// force-release its hardware spinlocks first (a dead kernel may have frozen
+// inside a critical section), then reclaim its DSM page ownership and its
+// memory blocks.
+func (w *Watchdog) declareDead(p *sim.Proc, core *soc.Core, k soc.DomainID) {
+	o := w.os
+	st := &w.state[k]
+	st.alive = false
+	st.missed = 0
+	o.Trace.Emit(trace.Fault, "watchdog: %v dead after %d missed beats; reclaiming",
+		k, w.Params.Misses)
+	rec := DeathRecord{Domain: k, DeclaredAt: o.Eng.Now()}
+	rec.BrokenLocks = o.S.Spinlocks.BreakAllHeldBy(k)
+	if o.DSM != nil {
+		rec.ReclaimedPages = o.DSM.ReclaimDead(p, core, k, soc.Strong)
+	}
+	rec.ReclaimedBlocks = o.Mem.ReclaimDead(p, core, k)
+	rec.RecoveredAt = o.Eng.Now()
+	w.Deaths = append(w.Deaths, rec)
+	o.Trace.Emit(trace.Fault,
+		"watchdog: reclaimed %d pages, %d blocks, %d locks from %v in %v",
+		rec.ReclaimedPages, rec.ReclaimedBlocks, rec.BrokenLocks, k,
+		time.Duration(rec.RecoveredAt-rec.DeclaredAt))
+}
+
+// handleWatchdogMail intercepts watchdog MsgGeneric mails in the
+// dispatcher: kernels answer pings with a pong carrying the same epoch, and
+// the main kernel forwards pongs to the watchdog. Reports whether the mail
+// was a watchdog mail.
+func (o *OS) handleWatchdogMail(p *sim.Proc, core *soc.Core, k, from soc.DomainID, payload uint32) bool {
+	if payload&wdFlag == 0 {
+		return false
+	}
+	if payload&wdPong != 0 {
+		if o.Watchdog != nil {
+			o.Watchdog.onPong(from, payload&wdEpochMask)
+		}
+		return true
+	}
+	o.S.Mailbox.Send(p, core, from,
+		soc.NewMessage(soc.MsgGeneric, payload|wdPong, o.S.Mailbox.NextSeq()))
+	return true
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"k2/internal/fault"
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/trace"
+)
+
+func bootWatched(t *testing.T) (*sim.Engine, *OS) {
+	t.Helper()
+	e := sim.NewEngine()
+	cfg := soc.DefaultConfig()
+	rel := soc.DefaultReliableParams()
+	cfg.Reliable = &rel
+	wd := DefaultWatchdogParams()
+	o, err := Boot(e, Options{Mode: K2Mode, SoC: &cfg, Watchdog: &wd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, o
+}
+
+// End-to-end crash recovery: the weak kernel dies mid-run while owning DSM
+// pages; the watchdog must notice within a few heartbeats, sweep its pages
+// and blocks back to the survivors, and leave every invariant intact. A
+// later reboot must be noticed too.
+func TestWatchdogDetectsCrashAndReclaims(t *testing.T) {
+	e, o := bootWatched(t)
+	if o.Watchdog == nil {
+		t.Fatal("watchdog not running")
+	}
+	// Hand two shared pages to the weak kernel before the crash.
+	e.Spawn("setup", func(p *sim.Proc) {
+		o.Ready.Wait(p)
+		o.DSM.Share(100)
+		o.DSM.Share(101)
+		o.DSM.Write(p, o.S.Core(soc.Weak, 0), soc.Weak, 100)
+		o.DSM.Write(p, o.S.Core(soc.Weak, 0), soc.Weak, 101)
+	})
+	const crashAt = 20 * time.Millisecond
+	e.At(sim.Time(crashAt), func() { o.S.Domains[soc.Weak].Crash() })
+	if err := e.Run(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+
+	w := o.Watchdog
+	if len(w.Deaths) != 1 {
+		t.Fatalf("%d deaths declared, want 1", len(w.Deaths))
+	}
+	rec := w.Deaths[0]
+	if rec.Domain != soc.Weak {
+		t.Fatalf("declared %v dead", rec.Domain)
+	}
+	detect := time.Duration(rec.DeclaredAt) - crashAt
+	if detect <= 0 || detect > 5*time.Millisecond {
+		t.Fatalf("detection latency %v, want within a few heartbeat periods", detect)
+	}
+	if rec.RecoveredAt < rec.DeclaredAt {
+		t.Fatal("recovered before declared")
+	}
+	if rec.ReclaimedPages < 2 {
+		t.Fatalf("reclaimed %d pages, want at least the 2 the weak kernel owned", rec.ReclaimedPages)
+	}
+	if rec.ReclaimedBlocks < 1 {
+		t.Fatalf("reclaimed %d blocks, want the weak kernel's boot block(s)", rec.ReclaimedBlocks)
+	}
+	if w.Alive(soc.Weak) {
+		t.Fatal("watchdog still believes the crashed kernel is alive")
+	}
+	if o.DSM.Owner(100) != soc.Strong || o.DSM.Owner(101) != soc.Strong {
+		t.Fatalf("pages not inherited: owners %v/%v", o.DSM.Owner(100), o.DSM.Owner(101))
+	}
+	if err := o.DSM.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Mem.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot: the next answered ping marks the kernel alive again.
+	o.S.Domains[soc.Weak].Reboot()
+	if err := e.Run(sim.Time(200 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Reboots != 1 || !w.Alive(soc.Weak) {
+		t.Fatalf("reboots=%d alive=%v after the kernel came back", w.Reboots, w.Alive(soc.Weak))
+	}
+}
+
+// A healthy platform must never have a death declared, and the heartbeat
+// must not keep the platform awake: all pings stop while domains sleep.
+func TestWatchdogQuietOnHealthyPlatform(t *testing.T) {
+	e, o := bootWatched(t)
+	if err := e.Run(sim.Time(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	w := o.Watchdog
+	if len(w.Deaths) != 0 {
+		t.Fatalf("healthy run declared %d deaths", len(w.Deaths))
+	}
+	// After boot activity dies down the domains suspend (5 s inactivity);
+	// a watchdog that kept pinging would have prevented exactly that.
+	if o.S.Domains[soc.Strong].State() != soc.DomInactive {
+		t.Fatalf("strong domain state %v, want inactive — the watchdog kept it awake",
+			o.S.Domains[soc.Strong].State())
+	}
+	pings := w.Pings
+	if err := e.Run(sim.Time(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Pings != pings {
+		t.Fatalf("watchdog sent %d pings while the platform slept", w.Pings-pings)
+	}
+}
+
+// faultyTraceDump runs one seeded faulty scenario to completion and returns
+// the fault-kind trace dump plus the injector's stats.
+func faultyTraceDump(t *testing.T, seed int64) (string, fault.Stats) {
+	t.Helper()
+	e, o := bootWatched(t)
+	o.Trace.EnableOnly(trace.Fault)
+	pl := fault.NewPlan(seed).
+		CrashAt(soc.Weak, 10*time.Millisecond, 30*time.Millisecond).
+		AllLinks(fault.LinkFaults{DropP: 0.1})
+	pl.Arm(o.S, o.Trace)
+	if err := e.Run(sim.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Trace.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), pl.Stats
+}
+
+// The whole faulty run — injection, detection, recovery — must be a pure
+// function of the seed: identical seeds give identical trace dumps.
+func TestFaultyRunDeterministicPerSeed(t *testing.T) {
+	d1, s1 := faultyTraceDump(t, 5)
+	d2, s2 := faultyTraceDump(t, 5)
+	if d1 != d2 {
+		t.Fatalf("same seed produced different trace dumps:\n--- run 1\n%s\n--- run 2\n%s", d1, d2)
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", s1, s2)
+	}
+	if s1.Crashes != 1 || s1.Reboots != 1 {
+		t.Fatalf("scripted faults did not fire: %+v", s1)
+	}
+}

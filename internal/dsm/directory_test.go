@@ -66,6 +66,9 @@ func TestDirectoryRepeatAcquireIsFree(t *testing.T) {
 	if inv, down := d.Acquire(0, 5, false); inv != nil || down != nil || d.Grants != grants {
 		t.Fatal("shared re-acquire should be a no-op")
 	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDirectoryEvict(t *testing.T) {

@@ -107,6 +107,15 @@ type Params struct {
 	ThreeState       bool
 	ShadowReadDetect time.Duration
 	ShadowReadThrash time.Duration
+
+	// OwnerTimeout, when non-zero, bounds how long a faulting kernel spins
+	// for a reply before re-examining the directory: targets whose domain
+	// has crashed are claimed through the shared protocol metadata
+	// (generalizing the inactive-owner fast path — a dead domain's caches
+	// are as gone as a suspended one's), and the Get is re-sent to targets
+	// that are merely slow, in case the fabric lost it. Zero (the default)
+	// preserves the paper's unbounded spin on a perfect substrate.
+	OwnerTimeout time.Duration
 }
 
 // DefaultParams returns the Table 5 calibration.
@@ -182,7 +191,13 @@ type Stats struct {
 	Faults int
 	// Claims counts faults resolved through the inactive-peer fast path
 	// (no mailbox round trip).
-	Claims    int
+	Claims int
+	// Recoveries counts faults completed by reclaiming ownership from a
+	// crashed peer after OwnerTimeout expired.
+	Recoveries int
+	// Resends counts Gets re-sent after OwnerTimeout to a live but
+	// unresponsive target (the original may have been lost).
+	Resends   int
 	Local     time.Duration
 	Protocol  time.Duration
 	Comm      time.Duration
@@ -224,6 +239,8 @@ type DSM struct {
 	RequesterStats []Stats
 	// FaultHist records full-fault latencies per requesting kernel.
 	FaultHist []*stats.Histogram
+	// DeadReclaims counts directory entries swept by ReclaimDead.
+	DeadReclaims int
 }
 
 type deferredReq struct {
@@ -443,7 +460,11 @@ func (d *DSM) fault(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, wr
 		d.SoC.Mailbox.Send(p, core, t,
 			soc.NewMessage(soc.MsgGetExclusive, payload, d.SoC.Mailbox.NextSeq()))
 	}
-	d.spin(p, core, pf.ev)
+	if prm.OwnerTimeout > 0 {
+		d.spinRecover(p, core, k, pfn, pf, wantShared)
+	} else {
+		d.spin(p, core, pf.ev)
+	}
 
 	core.ExecFor(p, prm.exit(k))
 	st.Exit += prm.exit(k)

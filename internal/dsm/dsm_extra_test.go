@@ -44,6 +44,7 @@ func TestDeferredRequestsDrainInBatch(t *testing.T) {
 	if span > 5*time.Millisecond {
 		t.Fatalf("batch spread over %v; expected a single bottom-half flush", span)
 	}
+	checkInv(t, d)
 }
 
 func TestClaimsCountedSeparately(t *testing.T) {
@@ -69,6 +70,7 @@ func TestClaimsCountedSeparately(t *testing.T) {
 	if s.Domains[soc.Strong].WakeCount() != 0 {
 		t.Fatal("claim woke the strong domain")
 	}
+	checkInv(t, d)
 }
 
 func TestDisableInactiveClaimForcesMailbox(t *testing.T) {
@@ -93,6 +95,7 @@ func TestDisableInactiveClaimForcesMailbox(t *testing.T) {
 	if s.Domains[soc.Strong].WakeCount() == 0 {
 		t.Fatal("mailbox fault should have woken the strong domain")
 	}
+	checkInv(t, d)
 }
 
 func TestFaultHistogramPopulated(t *testing.T) {
@@ -112,4 +115,5 @@ func TestFaultHistogramPopulated(t *testing.T) {
 	if p50 < 30*time.Microsecond || p50 > 80*time.Microsecond {
 		t.Fatalf("p50 = %v, want ~44µs", p50)
 	}
+	checkInv(t, d)
 }

@@ -11,6 +11,15 @@ import (
 	"k2/internal/soc"
 )
 
+// checkInv fails the test if the protocol metadata invariants do not hold;
+// every test ends with it so no scenario leaves the directory corrupt.
+func checkInv(t *testing.T, d *DSM) {
+	t.Helper()
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // rig wires a DSM with per-kernel mailbox dispatchers, as the OS does.
 func rig(params Params) (*sim.Engine, *soc.SoC, *DSM) {
 	e := sim.NewEngine()
@@ -64,6 +73,7 @@ func TestAccessByOwnerIsFree(t *testing.T) {
 	if d.RequesterStats[soc.Strong].Faults != 0 {
 		t.Fatal("owner access faulted")
 	}
+	checkInv(t, d)
 }
 
 func TestFaultTransfersOwnership(t *testing.T) {
@@ -112,6 +122,7 @@ func TestTable5FaultLatency(t *testing.T) {
 	if shadowUS < 38 || shadowUS > 58 {
 		t.Errorf("shadow-sender fault = %.1f µs, want ~48", shadowUS)
 	}
+	checkInv(t, d)
 }
 
 func TestMainDefersUnderLoad(t *testing.T) {
@@ -149,6 +160,7 @@ func TestMainDefersUnderLoad(t *testing.T) {
 	if d.RequesterStats[soc.Weak].DeferWait == 0 {
 		t.Fatal("defer wait not recorded")
 	}
+	checkInv(t, d)
 }
 
 func TestMainServedPromptlyWhenIdle(t *testing.T) {
@@ -169,6 +181,7 @@ func TestMainServedPromptlyWhenIdle(t *testing.T) {
 	if waited > 2*time.Millisecond {
 		t.Fatalf("idle-system shadow fault took %v, want well under the BH period", waited)
 	}
+	checkInv(t, d)
 }
 
 func TestPingPongManyPages(t *testing.T) {
@@ -225,6 +238,7 @@ func TestConcurrentFaultersSamePageSameKernel(t *testing.T) {
 	if f := d.RequesterStats[soc.Weak].Faults; f != 1 {
 		t.Fatalf("faults = %d, want 1 (shared pending)", f)
 	}
+	checkInv(t, d)
 }
 
 func TestThreeStateReadSharing(t *testing.T) {
@@ -273,6 +287,7 @@ func TestTwoStateReadStillFaults(t *testing.T) {
 	if d.Level(soc.Weak, 9) != Exclusive || d.Level(soc.Strong, 9) != Invalid {
 		t.Fatalf("two-state read: main=%v shadow=%v", d.Level(soc.Strong, 9), d.Level(soc.Weak, 9))
 	}
+	checkInv(t, d)
 }
 
 // Property: random access sequences from both kernels preserve the

@@ -130,4 +130,5 @@ func TestClaimFromAnyInactiveOwner(t *testing.T) {
 	if d.Owner(7) != soc.Strong || d.Level(w2, 7) != Invalid {
 		t.Fatalf("after claim: owner=%v weak2=%v", d.Owner(7), d.Level(w2, 7))
 	}
+	checkInv(t, d)
 }

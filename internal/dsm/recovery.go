@@ -1,0 +1,167 @@
+package dsm
+
+import (
+	"sort"
+	"time"
+
+	"k2/internal/mem"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// This file is the DSM's half of the fault-recovery machinery (see
+// internal/fault): bounded fault spins that reclaim ownership from crashed
+// peers, and the directory sweep the watchdog runs when it declares a
+// kernel dead.
+
+// spinRecover waits for the fault's replies like spin, but re-examines the
+// directory every OwnerTimeout: ownership held by a crashed domain is
+// claimed through the shared protocol metadata (its caches are gone, like a
+// suspended peer's), and live-but-silent targets get the Get re-sent in
+// case the fabric lost it.
+func (d *DSM) spinRecover(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, pf *pendingFault, wantShared bool) {
+	st := &d.RequesterStats[k]
+	for !pf.ev.Fired() {
+		// If this kernel itself died mid-fault, freeze with it; the reboot
+		// path re-faults from scratch (ReclaimDead cleared our pending).
+		core.Domain.EnsureAwake(p)
+		if pf.ev.Fired() {
+			return
+		}
+		core.Domain.BeginSpin()
+		p.SleepOrCancel(d.Params.OwnerTimeout, pf.ev)
+		core.Domain.EndSpin()
+		if pf.ev.Fired() {
+			return
+		}
+
+		// Timed out. Re-derive who still blocks the fault from the
+		// directory: holders that served already went Invalid, so the
+		// remaining non-Invalid targets are exactly the silent ones.
+		pg := d.page(pfn)
+		var dead, alive []soc.DomainID
+		for _, t := range pg.faultTargets(k, wantShared) {
+			if t == k {
+				continue
+			}
+			if d.SoC.Domains[t].Crashed() {
+				dead = append(dead, t)
+			} else {
+				alive = append(alive, t)
+			}
+		}
+		if len(dead) > 0 {
+			// Metadata-only claim, same cost as the inactive-peer path.
+			core.ExecFor(p, d.Params.LocalClaim)
+			if pf.ev.Fired() {
+				return // a straggler Put landed while we paid the claim
+			}
+			for _, t := range dead {
+				if wantShared && pg.level[t] == Exclusive {
+					pg.level[t] = Shared
+				} else if !wantShared {
+					pg.level[t] = Invalid
+				}
+				if d.Tracef != nil {
+					d.Tracef("%v reclaimed page %d from crashed %v", k, pfn, t)
+				}
+			}
+		}
+		if len(alive) == 0 {
+			// Nothing left to wait for: complete the fault ourselves.
+			if wantShared {
+				pg.level[k] = Shared
+			} else {
+				pg.level[k] = Exclusive
+				pg.owner = k
+			}
+			pg.pending[k] = nil
+			st.Recoveries++
+			pf.ev.Fire()
+			return
+		}
+		// Some targets are live but silent; the fault keeps waiting on
+		// them alone, and the request is repeated in case it was lost.
+		pf.want = len(alive)
+		payload := uint32(pfn)
+		if wantShared {
+			payload |= sharedFlag
+		}
+		for _, t := range alive {
+			st.Resends++
+			d.SoC.Mailbox.Send(p, core, t,
+				soc.NewMessage(soc.MsgGetExclusive, payload, d.SoC.Mailbox.NextSeq()))
+		}
+	}
+}
+
+// ReclaimDead removes a dead kernel from every directory entry: its copies
+// are invalidated, faults it left half-done are released, and pages it
+// owned pass to a surviving kernel — a waiting faulter when there is one,
+// else the heir (normally the strong kernel, which also absorbs the dead
+// kernel's memory; see mem.Manager.ReclaimDead). The caller is charged one
+// metadata claim per touched page. It returns how many pages changed hands.
+func (d *DSM) ReclaimDead(p *sim.Proc, core *soc.Core, dead, heir soc.DomainID) int {
+	pfns := make([]mem.PFN, 0, len(d.pages))
+	for pfn := range d.pages {
+		pfns = append(pfns, pfn)
+	}
+	sort.Slice(pfns, func(i, j int) bool { return pfns[i] < pfns[j] })
+
+	touched := 0
+	for _, pfn := range pfns {
+		pg := d.pages[pfn]
+		changed := false
+		// Release the dead kernel's own outstanding fault: its faulters are
+		// frozen with the domain, and on reboot they re-check and re-fault.
+		if pf := pg.pending[dead]; pf != nil {
+			pg.pending[dead] = nil
+			pf.ev.Fire()
+			changed = true
+		}
+		if pg.level[dead] != Invalid {
+			pg.level[dead] = Invalid
+			changed = true
+		}
+		if pg.owner == dead {
+			changed = true
+			if holders := pg.holders(); len(holders) > 0 {
+				// Surviving copies exist (three-state): the lowest holder
+				// takes over servicing.
+				pg.owner = holders[0]
+			} else if !d.grantToWaiter(pg) {
+				pg.owner = heir
+				pg.level[heir] = Exclusive
+			}
+		}
+		if changed {
+			touched++
+			if d.Tracef != nil {
+				d.Tracef("directory reclaimed page %d from dead %v (owner now %v)",
+					pfn, dead, pg.owner)
+			}
+		}
+	}
+	d.DeadReclaims += touched
+	if touched > 0 {
+		core.ExecFor(p, time.Duration(touched)*d.Params.LocalClaim)
+	}
+	return touched
+}
+
+// grantToWaiter completes the lowest waiting kernel's pending fault on an
+// orphaned page (no surviving holders), reporting whether one was granted.
+func (d *DSM) grantToWaiter(pg *page) bool {
+	for j := range pg.pending {
+		pf := pg.pending[j]
+		if pf == nil {
+			continue
+		}
+		pg.level[j] = Exclusive
+		pg.owner = soc.DomainID(j)
+		pg.pending[j] = nil
+		pf.ev.Fire()
+		return true
+	}
+	return false
+}

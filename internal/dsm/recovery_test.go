@@ -1,0 +1,171 @@
+package dsm
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/mem"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// With OwnerTimeout set, a fault against a crashed owner must complete by
+// reclaiming ownership through the shared metadata instead of spinning
+// forever on a reply that will never come.
+func TestFaultRecoversFromCrashedOwner(t *testing.T) {
+	prm := DefaultParams()
+	prm.OwnerTimeout = 100 * time.Microsecond
+	e, s, d := rig(prm)
+	d.Share(7)
+	s.Domains[soc.Strong].Crash() // owner dies before the fault
+
+	var took time.Duration
+	e.Spawn("shadow", func(p *sim.Proc) {
+		start := p.Now()
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 7)
+		took = p.Now().Sub(start)
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if took == 0 {
+		t.Fatal("fault never completed against the crashed owner")
+	}
+	if took < prm.OwnerTimeout || took > 10*prm.OwnerTimeout {
+		t.Fatalf("recovery took %v, want roughly one OwnerTimeout (%v)", took, prm.OwnerTimeout)
+	}
+	st := d.RequesterStats[soc.Weak]
+	if st.Recoveries != 1 || st.Resends != 0 {
+		t.Fatalf("recoveries=%d resends=%d, want 1/0", st.Recoveries, st.Resends)
+	}
+	if d.Owner(7) != soc.Weak || d.Level(soc.Strong, 7) != Invalid {
+		t.Fatalf("after recovery: owner=%v strong=%v", d.Owner(7), d.Level(soc.Strong, 7))
+	}
+	checkInv(t, d)
+}
+
+// dropOneGet loses the first matching Get on the fabric; the owner stays
+// alive, so the timed-out faulter must re-send rather than reclaim.
+type dropOneGet struct {
+	from, to soc.DomainID
+	dropped  int
+}
+
+func (f *dropOneGet) FilterMail(from, to soc.DomainID, msg soc.Message, ack bool) soc.MailVerdict {
+	if !ack && msg.Type() == soc.MsgGetExclusive && from == f.from && to == f.to && f.dropped == 0 {
+		f.dropped++
+		return soc.MailVerdict{Drop: true}
+	}
+	return soc.MailVerdict{}
+}
+
+func TestFaultResendsToLiveSilentOwner(t *testing.T) {
+	prm := DefaultParams()
+	prm.OwnerTimeout = 100 * time.Microsecond
+	e, s, d := rig(prm)
+	s.Mailbox.SetFilter(&dropOneGet{from: soc.Weak, to: soc.Strong})
+	d.Share(3)
+
+	done := false
+	e.Spawn("shadow", func(p *sim.Proc) {
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 3)
+		done = true
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("fault never completed after the Get was lost")
+	}
+	st := d.RequesterStats[soc.Weak]
+	if st.Resends != 1 || st.Recoveries != 0 {
+		t.Fatalf("resends=%d recoveries=%d, want 1/0 (owner was alive)", st.Resends, st.Recoveries)
+	}
+	if d.Owner(3) != soc.Weak {
+		t.Fatalf("owner = %v after the resent fault", d.Owner(3))
+	}
+	checkInv(t, d)
+}
+
+// ReclaimDead must sweep every directory entry the dead kernel appears in:
+// pages it owned pass to a waiting faulter when there is one, else to the
+// heir, and its half-done faults are released.
+func TestReclaimDeadSweepsDirectory(t *testing.T) {
+	e, s, d := rigN(2, DefaultParams())
+	w2 := soc.DomainID(2)
+	for pfn := 1; pfn <= 3; pfn++ {
+		d.Share(mem.PFN(pfn))
+	}
+	// Pages 1 and 2 end up owned by the weak kernel; page 3 stays with the
+	// strong kernel.
+	e.Spawn("weak", func(p *sim.Proc) {
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 1)
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 2)
+	})
+	e.At(sim.Time(10*time.Millisecond), func() { s.Domains[soc.Weak].Crash() })
+	// weak2 faults on page 1 after the crash, with the paper's unbounded
+	// spin: only the sweep can complete it.
+	w2Done := false
+	e.SpawnAt(sim.Time(11*time.Millisecond), "w2", func(p *sim.Proc) {
+		d.Write(p, s.Core(w2, 0), w2, 1)
+		w2Done = true
+	})
+	var swept int
+	e.SpawnAt(sim.Time(20*time.Millisecond), "sweeper", func(p *sim.Proc) {
+		s.Domains[soc.Strong].EnsureAwake(p)
+		swept = d.ReclaimDead(p, s.Core(soc.Strong, 0), soc.Weak, soc.Strong)
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if swept != 2 || d.DeadReclaims != 2 {
+		t.Fatalf("swept %d entries (stat %d), want 2", swept, d.DeadReclaims)
+	}
+	if !w2Done {
+		t.Fatal("the waiting faulter was not released by the sweep")
+	}
+	// Page 1 went to the waiter, page 2 to the heir, page 3 untouched.
+	if d.Owner(1) != w2 || d.Level(w2, 1) != Exclusive {
+		t.Fatalf("page 1: owner=%v level=%v, want the waiting weak2", d.Owner(1), d.Level(w2, 1))
+	}
+	if d.Owner(2) != soc.Strong || d.Level(soc.Strong, 2) != Exclusive {
+		t.Fatalf("page 2: owner=%v, want the heir", d.Owner(2))
+	}
+	if d.Owner(3) != soc.Strong {
+		t.Fatalf("page 3: owner=%v, want untouched", d.Owner(3))
+	}
+	if d.Level(soc.Weak, 1) != Invalid || d.Level(soc.Weak, 2) != Invalid {
+		t.Fatal("dead kernel still holds copies after the sweep")
+	}
+	checkInv(t, d)
+}
+
+// Under the three-state protocol a surviving read-sharer takes over
+// servicing a dead owner's page instead of the heir.
+func TestReclaimDeadPrefersSurvivingHolder(t *testing.T) {
+	prm := DefaultParams()
+	prm.ThreeState = true
+	prm.ShadowReadDetect = 0
+	e, s, d := rigN(2, prm)
+	w2 := soc.DomainID(2)
+	d.Share(5)
+	e.Spawn("flow", func(p *sim.Proc) {
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 5) // weak owns exclusively
+		d.Read(p, s.Core(w2, 0), w2, 5)              // weak2 reads alongside
+	})
+	e.At(sim.Time(10*time.Millisecond), func() { s.Domains[soc.Weak].Crash() })
+	e.SpawnAt(sim.Time(11*time.Millisecond), "sweeper", func(p *sim.Proc) {
+		s.Domains[soc.Strong].EnsureAwake(p)
+		d.ReclaimDead(p, s.Core(soc.Strong, 0), soc.Weak, soc.Strong)
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Owner(5) != w2 {
+		t.Fatalf("owner = %v, want the surviving holder weak2", d.Owner(5))
+	}
+	if d.Level(soc.Weak, 5) != Invalid {
+		t.Fatal("dead kernel still holds the page")
+	}
+	checkInv(t, d)
+}

@@ -13,6 +13,7 @@ type BenchData struct {
 	FaultBreakdown Table5Data      `json:"dsm_fault_breakdown"`
 	DMAThroughput  []DMAThroughput `json:"dma_throughput"`
 	Scale          []ScaleConfig   `json:"scale"`
+	Faults         FaultsData      `json:"faults"`
 }
 
 // MeasureBench runs the experiments behind BenchData.
@@ -22,6 +23,7 @@ func MeasureBench() BenchData {
 		FaultBreakdown: MeasureTable5(),
 		DMAThroughput:  MeasureTable6(),
 		Scale:          MeasureScale(),
+		Faults:         MeasureFaults(),
 	}
 }
 

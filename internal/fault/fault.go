@@ -1,0 +1,262 @@
+// Package fault is a deterministic fault injector for the simulated
+// platform. A Plan is a script of domain-level faults (crash, hang, reboot,
+// spurious interrupt) pinned to virtual times, plus per-link probabilistic
+// mailbox faults (drop, delay, duplicate) drawn from a seeded PRNG
+// (sim.Rand), so the same seed always yields the same fault sequence and —
+// because the simulation itself is deterministic — the same trace. An empty
+// Plan injects nothing and leaves every hardware path byte-identical to an
+// un-instrumented run.
+//
+// The injector sits below the OS: timed faults act directly on soc.Domain
+// power/crash state and the interrupt controllers, and link faults are
+// installed as the mailbox fabric's MailFilter, where they see every
+// transmission attempt including reliable-transport acks. Recovery is the
+// OS's job (core.Watchdog, dsm/mem ReclaimDead); the injector only breaks
+// things and records what it broke.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/trace"
+)
+
+// LinkFaults is the probabilistic fault mix of one directed mailbox link.
+// Probabilities apply per transmission attempt, to data mails and transport
+// acks alike.
+type LinkFaults struct {
+	// DropP is the probability a transmission is lost.
+	DropP float64
+	// DelayP is the probability a transmission is delayed by a uniform
+	// extra latency in (0, DelayMax].
+	DelayP   float64
+	DelayMax time.Duration
+	// DupP is the probability a transmission is delivered twice.
+	DupP float64
+}
+
+func (lf LinkFaults) active() bool {
+	return lf.DropP > 0 || lf.DelayP > 0 || lf.DupP > 0
+}
+
+// timed is one scripted fault.
+type timed struct {
+	at   time.Duration
+	kind string // "crash", "hang", "spurious-irq"
+	dom  soc.DomainID
+	line soc.IRQLine
+	// rebootAfter, if > 0, schedules a reboot that long after the crash.
+	rebootAfter time.Duration
+}
+
+// Stats counts the faults the plan actually injected.
+type Stats struct {
+	Crashes, Hangs, Reboots, SpuriousIRQs    int
+	Dropped, Delayed, Duplicated, AckDropped int
+}
+
+// Plan is a deterministic fault schedule. Build one with NewPlan and the
+// fluent setters, then Arm it on a booted platform before running the
+// engine. The zero-fault plan is inert: Arm installs no filter and
+// schedules nothing.
+type Plan struct {
+	// Seed is the PRNG seed for the probabilistic link faults.
+	Seed int64
+
+	rng    *sim.Rand
+	script []timed
+	links  map[[2]soc.DomainID]*LinkFaults
+	all    *LinkFaults // fallback applied to links without an entry
+
+	s     *soc.SoC
+	tb    *trace.Buffer
+	Stats Stats
+}
+
+// NewPlan returns an empty plan whose link faults draw from seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{
+		Seed:  seed,
+		rng:   sim.NewRand(seed),
+		links: make(map[[2]soc.DomainID]*LinkFaults),
+	}
+}
+
+// CrashAt scripts a fail-stop crash of domain d at virtual time at; if
+// rebootAfter > 0 the domain reboots that long after the crash (0 = stays
+// dead). A crashed domain freezes its procs, loses incoming mail and IRQs,
+// and draws inactive-level power.
+func (pl *Plan) CrashAt(d soc.DomainID, at, rebootAfter time.Duration) *Plan {
+	pl.script = append(pl.script, timed{at: at, kind: "crash", dom: d, rebootAfter: rebootAfter})
+	return pl
+}
+
+// HangAt is CrashAt except the domain wedges instead of powering off: same
+// loss of service, but the rail keeps burning idle power until somebody
+// notices — the expensive failure mode a watchdog exists for.
+func (pl *Plan) HangAt(d soc.DomainID, at, rebootAfter time.Duration) *Plan {
+	pl.script = append(pl.script, timed{at: at, kind: "hang", dom: d, rebootAfter: rebootAfter})
+	return pl
+}
+
+// SpuriousIRQAt scripts a spurious assertion of the given interrupt line at
+// virtual time at. Handlers must tolerate it (real lines are level-
+// triggered and shared).
+func (pl *Plan) SpuriousIRQAt(line soc.IRQLine, at time.Duration) *Plan {
+	pl.script = append(pl.script, timed{at: at, kind: "spurious-irq", line: line})
+	return pl
+}
+
+// Link returns the fault mix of the directed link from→to, creating it on
+// first use.
+func (pl *Plan) Link(from, to soc.DomainID) *LinkFaults {
+	k := [2]soc.DomainID{from, to}
+	if pl.links[k] == nil {
+		pl.links[k] = &LinkFaults{}
+	}
+	return pl.links[k]
+}
+
+// DropMail sets the drop probability of the directed link from→to.
+func (pl *Plan) DropMail(from, to soc.DomainID, p float64) *Plan {
+	pl.Link(from, to).DropP = p
+	return pl
+}
+
+// DelayMail sets the delay probability and maximum extra latency of the
+// directed link from→to.
+func (pl *Plan) DelayMail(from, to soc.DomainID, p float64, max time.Duration) *Plan {
+	lf := pl.Link(from, to)
+	lf.DelayP, lf.DelayMax = p, max
+	return pl
+}
+
+// DupMail sets the duplication probability of the directed link from→to.
+func (pl *Plan) DupMail(from, to soc.DomainID, p float64) *Plan {
+	pl.Link(from, to).DupP = p
+	return pl
+}
+
+// AllLinks sets the fallback fault mix applied to every link without an
+// explicit entry.
+func (pl *Plan) AllLinks(lf LinkFaults) *Plan {
+	pl.all = &lf
+	return pl
+}
+
+// hasLinkFaults reports whether any probabilistic link fault is configured.
+func (pl *Plan) hasLinkFaults() bool {
+	if pl.all != nil && pl.all.active() {
+		return true
+	}
+	for _, lf := range pl.links {
+		if lf.active() {
+			return true
+		}
+	}
+	return false
+}
+
+// Arm installs the plan on a booted platform: scripted faults are scheduled
+// on the engine and, only if link faults are configured, the plan becomes
+// the mailbox fabric's filter. tb may be nil (faults still inject, just
+// untraced). Arm must be called before the engine runs.
+func (pl *Plan) Arm(s *soc.SoC, tb *trace.Buffer) {
+	pl.s, pl.tb = s, tb
+	// Schedule in script order for equal times (stable sort keeps the
+	// builder's order deterministic).
+	sort.SliceStable(pl.script, func(i, j int) bool { return pl.script[i].at < pl.script[j].at })
+	for i := range pl.script {
+		ev := pl.script[i]
+		s.Eng.At(sim.Time(ev.at), func() { pl.fire(ev) })
+	}
+	if pl.hasLinkFaults() {
+		s.Mailbox.SetFilter(pl)
+	}
+}
+
+func (pl *Plan) fire(ev timed) {
+	switch ev.kind {
+	case "crash", "hang":
+		d := pl.s.Domains[ev.dom]
+		if ev.kind == "hang" {
+			d.Hang()
+			pl.Stats.Hangs++
+		} else {
+			d.Crash()
+			pl.Stats.Crashes++
+		}
+		pl.emit("%s of %s domain injected", ev.kind, d.Name)
+		if ev.rebootAfter > 0 {
+			pl.s.Eng.After(ev.rebootAfter, func() {
+				d.Reboot()
+				pl.Stats.Reboots++
+				pl.emit("%s domain rebooted", d.Name)
+			})
+		}
+	case "spurious-irq":
+		pl.Stats.SpuriousIRQs++
+		pl.emit("spurious IRQ on line %d injected", ev.line)
+		pl.s.Raise(ev.line)
+	}
+}
+
+func (pl *Plan) emit(format string, args ...any) {
+	if pl.tb != nil {
+		pl.tb.Emit(trace.Fault, format, args...)
+	}
+}
+
+// linkFor returns the fault mix governing from→to, or nil for a clean link.
+func (pl *Plan) linkFor(from, to soc.DomainID) *LinkFaults {
+	if lf := pl.links[[2]soc.DomainID{from, to}]; lf != nil {
+		return lf
+	}
+	return pl.all
+}
+
+// FilterMail implements soc.MailFilter. Draw order is fixed (drop, delay,
+// delay amount, duplicate) and every configured probability consumes
+// exactly one draw per attempt, so the PRNG stream — and therefore the
+// whole run — is a pure function of the seed and the traffic.
+func (pl *Plan) FilterMail(from, to soc.DomainID, msg soc.Message, ack bool) soc.MailVerdict {
+	lf := pl.linkFor(from, to)
+	if lf == nil || !lf.active() {
+		return soc.MailVerdict{}
+	}
+	var v soc.MailVerdict
+	if lf.DropP > 0 && pl.rng.Bernoulli(lf.DropP) {
+		v.Drop = true
+		if ack {
+			pl.Stats.AckDropped++
+			pl.emit("ack %v->%v dropped", from, to)
+		} else {
+			pl.Stats.Dropped++
+			pl.emit("mail %v->%v (%v) dropped", from, to, msg)
+		}
+		return v
+	}
+	if lf.DelayP > 0 && pl.rng.Bernoulli(lf.DelayP) {
+		v.Delay = pl.rng.Duration(lf.DelayMax)
+		pl.Stats.Delayed++
+		pl.emit("mail %v->%v delayed %v", from, to, v.Delay)
+	}
+	if !ack && lf.DupP > 0 && pl.rng.Bernoulli(lf.DupP) {
+		v.Duplicate = true
+		pl.Stats.Duplicated++
+		pl.emit("mail %v->%v duplicated", from, to)
+	}
+	return v
+}
+
+// Summary is a one-line account of everything the plan injected.
+func (s Stats) Summary() string {
+	return fmt.Sprintf(
+		"crashes %d, hangs %d, reboots %d, spurious IRQs %d, mails dropped %d, delayed %d, duplicated %d, acks dropped %d",
+		s.Crashes, s.Hangs, s.Reboots, s.SpuriousIRQs,
+		s.Dropped, s.Delayed, s.Duplicated, s.AckDropped)
+}

@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/trace"
+)
+
+func newRig() (*sim.Engine, *soc.SoC, *trace.Buffer) {
+	e := sim.NewEngine()
+	s := soc.New(e, soc.DefaultConfig())
+	tb := trace.New(e, 1024)
+	tb.Enable(trace.Fault, true)
+	return e, s, tb
+}
+
+// The zero-fault plan must be inert: nothing scheduled, no filter installed,
+// all traffic untouched — the property the byte-identical baseline rests on.
+func TestZeroFaultPlanIsInert(t *testing.T) {
+	e, s, tb := newRig()
+	pl := NewPlan(1)
+	pl.Arm(s, tb)
+	got := 0
+	e.Spawn("rx", func(p *sim.Proc) {
+		for {
+			s.Mailbox.RecvFrom(p, soc.Weak)
+			got++
+		}
+	})
+	e.Spawn("tx", func(p *sim.Proc) {
+		for i := uint32(0); i < 20; i++ {
+			s.Mailbox.SendAsync(soc.Strong, soc.Weak, soc.NewMessage(soc.MsgGeneric, i, i))
+			p.Sleep(10 * time.Microsecond)
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Fatalf("delivered %d/20 mails under an empty plan", got)
+	}
+	if pl.Stats != (Stats{}) {
+		t.Fatalf("empty plan injected something: %+v", pl.Stats)
+	}
+	if st := s.Mailbox.Stats; st.Dropped != 0 || st.Delayed != 0 || st.Duplicated != 0 {
+		t.Fatalf("fabric saw transport noise: %+v", st)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("empty plan emitted %d trace events", tb.Len())
+	}
+}
+
+// Scripted crash and reboot must fire at their exact virtual times, be
+// counted, and be visible as trace.Fault events.
+func TestScriptedCrashAndRebootFireOnTime(t *testing.T) {
+	e, s, tb := newRig()
+	pl := NewPlan(1).CrashAt(soc.Weak, time.Millisecond, 2*time.Millisecond)
+	pl.Arm(s, tb)
+	d := s.Domains[soc.Weak]
+	e.At(sim.Time(999*time.Microsecond), func() {
+		if d.Crashed() {
+			t.Error("crashed before its scheduled time")
+		}
+	})
+	e.At(sim.Time(1500*time.Microsecond), func() {
+		if !d.Crashed() {
+			t.Error("not crashed at t=1.5ms")
+		}
+		if got := d.Rail.Level(); got != d.Profile.Inactive {
+			t.Errorf("crashed rail at %v, want inactive level", got)
+		}
+	})
+	e.At(sim.Time(3500*time.Microsecond), func() {
+		if d.Crashed() {
+			t.Error("still crashed after the scheduled reboot")
+		}
+	})
+	if err := e.Run(sim.Time(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stats.Crashes != 1 || pl.Stats.Reboots != 1 {
+		t.Fatalf("stats = %+v, want 1 crash / 1 reboot", pl.Stats)
+	}
+	if n := len(tb.Filter(trace.Fault)); n != 2 {
+		t.Fatalf("%d fault trace events, want 2 (crash + reboot)", n)
+	}
+}
+
+// A hang must leave the rail at idle power (not inactive) until the reboot.
+func TestScriptedHangBurnsIdlePower(t *testing.T) {
+	e, s, tb := newRig()
+	pl := NewPlan(1).HangAt(soc.Weak, time.Millisecond, 0)
+	pl.Arm(s, tb)
+	d := s.Domains[soc.Weak]
+	e.At(sim.Time(2*time.Millisecond), func() {
+		if !d.Crashed() {
+			t.Error("hung domain must count as crashed")
+		}
+		if got := d.Rail.Level(); got != d.Profile.Idle {
+			t.Errorf("hung rail at %v, want idle level", got)
+		}
+	})
+	if err := e.Run(sim.Time(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stats.Hangs != 1 || pl.Stats.Crashes != 0 {
+		t.Fatalf("stats = %+v, want 1 hang", pl.Stats)
+	}
+}
+
+// A spurious IRQ must reach every unmasked handler at the scripted time.
+func TestSpuriousIRQDelivered(t *testing.T) {
+	e, s, tb := newRig()
+	line := s.AllocIRQ()
+	var hits []sim.Time
+	s.IRQ[soc.Strong].SetHandler(func(l soc.IRQLine) {
+		if l == line {
+			hits = append(hits, e.Now())
+		}
+	})
+	pl := NewPlan(1).SpuriousIRQAt(line, 5*time.Millisecond)
+	pl.Arm(s, tb)
+	if err := e.Run(sim.Time(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0] != sim.Time(5*time.Millisecond) {
+		t.Fatalf("spurious IRQ hits = %v, want one at exactly 5ms", hits)
+	}
+	if pl.Stats.SpuriousIRQs != 1 {
+		t.Fatalf("stats = %+v", pl.Stats)
+	}
+}
+
+// Two plans with the same seed and configuration must produce identical
+// verdict sequences for identical traffic; a different seed must not.
+func TestFilterMailDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		return NewPlan(seed).AllLinks(LinkFaults{
+			DropP: 0.2, DelayP: 0.3, DelayMax: 50 * time.Microsecond, DupP: 0.2,
+		})
+	}
+	verdicts := func(pl *Plan) []soc.MailVerdict {
+		var vs []soc.MailVerdict
+		for i := 0; i < 200; i++ {
+			msg := soc.NewMessage(soc.MsgGeneric, uint32(i), uint32(i)&0x1FF)
+			vs = append(vs, pl.FilterMail(soc.Strong, soc.Weak, msg, i%5 == 0))
+		}
+		return vs
+	}
+	a, b := verdicts(mk(42)), verdicts(mk(42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := verdicts(mk(43))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical verdict sequences")
+	}
+}
+
+// A per-link entry overrides the AllLinks fallback; links with neither stay
+// clean. Acks are never duplicated (a duplicated ack is meaningless).
+func TestLinkSelectionAndAckRules(t *testing.T) {
+	pl := NewPlan(7).AllLinks(LinkFaults{DupP: 1})
+	pl.DropMail(soc.Strong, soc.Weak, 1)
+	msg := soc.NewMessage(soc.MsgGeneric, 1, 1)
+
+	if v := pl.FilterMail(soc.Strong, soc.Weak, msg, false); !v.Drop {
+		t.Fatal("per-link DropP=1 did not drop")
+	}
+	if v := pl.FilterMail(soc.Weak, soc.Strong, msg, false); !v.Duplicate || v.Drop {
+		t.Fatalf("fallback link verdict = %+v, want duplicate", v)
+	}
+	if v := pl.FilterMail(soc.Weak, soc.Strong, msg, true); v.Duplicate {
+		t.Fatal("an ack was duplicated")
+	}
+	if pl.Stats.Dropped != 1 || pl.Stats.Duplicated != 1 {
+		t.Fatalf("stats = %+v", pl.Stats)
+	}
+}

@@ -58,6 +58,18 @@ func (b *Buddy) FreePages() int { return b.nfree }
 // TotalPages returns the number of pages this allocator manages.
 func (b *Buddy) TotalPages() int { return b.ntotal }
 
+// Reset drops all of the allocator's memory and free lists, as if freshly
+// constructed. The watchdog uses it when its kernel dies: the frames
+// themselves are handed back to the pool by Manager.ReclaimDead, and a
+// rebooted kernel starts from an empty allocator like at boot.
+func (b *Buddy) Reset() {
+	for i := range b.free {
+		b.free[i] = nil
+	}
+	b.nfree = 0
+	b.ntotal = 0
+}
+
 func insertSorted(s []PFN, v PFN) []PFN {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
 	s = append(s, 0)

@@ -36,7 +36,8 @@ type Manager struct {
 	Tracef func(format string, args ...any)
 
 	// Stats.
-	Reclaims int
+	Reclaims     int
+	DeadReclaims int // blocks swept back from crashed kernels
 }
 
 type workItem struct {

@@ -1,0 +1,48 @@
+package mem
+
+import (
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// ReclaimDead returns every 16 MB block a dead kernel held to the K2 pool.
+// Unlike Inflate there is no kernel to evacuate pages or object: the dead
+// kernel's allocations are simply gone, so the sweep resets the page
+// metadata of each block and re-pools it wholesale. The caller (the
+// watchdog, on a surviving core) is charged the same interconnect-bound
+// metadata cost as a deflate per block. Pending meta-manager work queued
+// for the dead kernel is discarded — it referenced memory that no longer
+// belongs to it. Returns the number of blocks recovered.
+func (m *Manager) ReclaimDead(p *sim.Proc, core *soc.Core, dead soc.DomainID) int {
+	heads := m.ownedBlocks(dead)
+
+	// The dead kernel's worker may have been holding the pool lock when it
+	// froze; break it rather than spinning on a corpse.
+	m.poolLock.Break(dead)
+	m.poolLock.Acquire(p, core)
+	for _, head := range heads {
+		delete(m.blockOwner, head)
+		m.pool = insertSorted(m.pool, head)
+		for i := head; i < head+BlockPages; i++ {
+			m.Frames.f[i] = frame{owner: ownerNone}
+		}
+	}
+	m.poolLock.Release(p, core)
+
+	m.Buddies[dead].Reset()
+	m.pending[dead] = false
+	for {
+		if _, ok := m.workQ[dead].TryGet(); !ok {
+			break
+		}
+	}
+	m.DeadReclaims += len(heads)
+	if m.Tracef != nil && len(heads) > 0 {
+		m.Tracef("reclaimed %d blocks from dead %v (pool: %d)", len(heads), dead, len(m.pool))
+	}
+	core.ExecFor(p, m.Buddies[dead].cost.DeflateInterconnectPerPage*BlockPages*
+		time.Duration(len(heads)))
+	return len(heads)
+}

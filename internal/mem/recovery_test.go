@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"testing"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// ReclaimDead must return every block a dead kernel held to the K2 pool,
+// reset the page metadata wholesale, and leave the partition invariant
+// intact — the blocks are reusable by survivors immediately.
+func TestReclaimDeadReturnsBlocksToPool(t *testing.T) {
+	e, s, m := newStack()
+	poolBoot := m.PoolBlocks()
+	var heads []PFN
+	runOn(t, e, func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			head, err := m.DeflateBlock(p, s.Core(soc.Weak, 0), soc.Weak)
+			if err != nil {
+				t.Fatal(err)
+			}
+			heads = append(heads, head)
+		}
+		// Live allocations inside the blocks: they die with the kernel.
+		if _, err := m.Buddies[soc.Weak].Alloc(p, s.Core(soc.Weak, 0), 3, Unmovable); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if m.PoolBlocks() != poolBoot-2 {
+		t.Fatalf("pool = %d blocks before crash, want %d", m.PoolBlocks(), poolBoot-2)
+	}
+
+	s.Domains[soc.Weak].Crash()
+	var n int
+	runOn(t, e, func(p *sim.Proc) {
+		s.Domains[soc.Strong].EnsureAwake(p)
+		n = m.ReclaimDead(p, s.Core(soc.Strong, 0), soc.Weak)
+	})
+	if n != 2 || m.DeadReclaims != 2 {
+		t.Fatalf("reclaimed %d blocks (stat %d), want 2", n, m.DeadReclaims)
+	}
+	if m.PoolBlocks() != poolBoot {
+		t.Fatalf("pool = %d blocks after reclaim, want %d", m.PoolBlocks(), poolBoot)
+	}
+	if m.Buddies[soc.Weak].TotalPages() != 0 || m.Buddies[soc.Weak].FreePages() != 0 {
+		t.Fatalf("dead buddy still reports %d total / %d free pages",
+			m.Buddies[soc.Weak].TotalPages(), m.Buddies[soc.Weak].FreePages())
+	}
+	for _, head := range heads {
+		if _, owned := m.BlockOwner(head); owned {
+			t.Fatalf("block %d still has an owner", head)
+		}
+		for pfn := head; pfn < head+BlockPages; pfn++ {
+			if m.Frames.Owner(pfn) != int(ownerNone) || m.Frames.Allocated(pfn) {
+				t.Fatalf("frame %d not reset: owner=%d alloc=%v",
+					pfn, m.Frames.Owner(pfn), m.Frames.Allocated(pfn))
+			}
+		}
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The dead kernel's worker may have frozen while holding the pool lock;
+// ReclaimDead must break it instead of spinning on a corpse, and the sweep
+// must still complete.
+func TestReclaimDeadBreaksPoolLock(t *testing.T) {
+	e, s, m := newStack()
+	runOn(t, e, func(p *sim.Proc) {
+		if _, err := m.DeflateBlock(p, s.Core(soc.Weak, 0), soc.Weak); err != nil {
+			t.Fatal(err)
+		}
+		m.poolLock.Acquire(p, s.Core(soc.Weak, 0))
+	})
+	s.Domains[soc.Weak].Crash()
+
+	done := false
+	runOn(t, e, func(p *sim.Proc) {
+		s.Domains[soc.Strong].EnsureAwake(p)
+		m.ReclaimDead(p, s.Core(soc.Strong, 0), soc.Weak)
+		done = true
+	})
+	if !done {
+		t.Fatal("ReclaimDead hung on the dead kernel's pool lock")
+	}
+	if m.poolLock.Held() {
+		t.Fatal("pool lock still held after the sweep")
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Meta-manager work queued for the dead kernel referenced memory that no
+// longer belongs to it; the sweep must discard it and clear the pending
+// flag so a rebooted kernel starts clean.
+func TestReclaimDeadDrainsQueuedWork(t *testing.T) {
+	e, s, m := newStack()
+	m.Kick(soc.Weak)
+	m.Kick(soc.Weak) // second kick is absorbed by pending; queue holds one item
+	if m.workQ[soc.Weak].Len() == 0 || !m.pending[soc.Weak] {
+		t.Fatal("setup: no work queued for the weak kernel")
+	}
+	s.Domains[soc.Weak].Crash()
+	runOn(t, e, func(p *sim.Proc) {
+		if n := m.ReclaimDead(p, s.Core(soc.Strong, 0), soc.Weak); n != 0 {
+			t.Fatalf("reclaimed %d blocks from a kernel that owned none", n)
+		}
+	})
+	if m.workQ[soc.Weak].Len() != 0 {
+		t.Fatalf("%d work items survived the sweep", m.workQ[soc.Weak].Len())
+	}
+	if m.pending[soc.Weak] {
+		t.Fatal("pending flag survived the sweep")
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}

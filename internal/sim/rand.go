@@ -1,0 +1,57 @@
+package sim
+
+import "time"
+
+// Rand is a small deterministic pseudo-random source (splitmix64). The
+// simulation cannot use math/rand: reproducibility must hold across Go
+// releases and across processes, because two runs with the same seed are
+// required to produce identical traces. Every randomized behavior in the
+// repository (fault injection included) draws from a Rand seeded on the
+// command line.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Equal seeds yield equal
+// sequences forever.
+func NewRand(seed int64) *Rand {
+	return &Rand{state: uint64(seed)}
+}
+
+// Uint64 returns the next 64 random bits (splitmix64 step).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Duration returns a uniform duration in [0, max); zero if max <= 0.
+func (r *Rand) Duration(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(r.Uint64() % uint64(max))
+}
+
+// Bernoulli reports true with probability p (clamped to [0, 1]). It always
+// consumes exactly one draw, so interleaved call sites stay aligned across
+// runs regardless of p.
+func (r *Rand) Bernoulli(p float64) bool {
+	v := r.Float64()
+	return v < p
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	if NewRand(42).Uint64() == NewRand(43).Uint64() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn = %d", n)
+		}
+		if d := r.Duration(time.Millisecond); d < 0 || d >= time.Millisecond {
+			t.Fatalf("Duration = %v", d)
+		}
+	}
+	if r.Duration(0) != 0 {
+		t.Fatal("Duration(0) must be 0")
+	}
+}
+
+// Bernoulli must consume exactly one draw regardless of p, so call sites
+// with different probabilities stay aligned across runs.
+func TestBernoulliConsumesOneDraw(t *testing.T) {
+	a, b := NewRand(9), NewRand(9)
+	a.Bernoulli(0)
+	b.Bernoulli(1)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Bernoulli draw count depends on p")
+	}
+	r := NewRand(9)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if hits < 2700 || hits > 3300 {
+		t.Fatalf("Bernoulli(0.3) hit %d/10000", hits)
+	}
+}

@@ -71,11 +71,14 @@ func (c *Core) Scale(w Work) time.Duration {
 }
 
 // Exec charges w of reference work to this core: the core (and its domain
-// rail) is busy for the scaled duration. The domain must be awake.
+// rail) is busy for the scaled duration. The domain must be awake. If the
+// domain has crashed, the proc freezes (no progress, no cost) until the
+// domain is rebooted — the simulated thread died with its kernel.
 func (c *Core) Exec(p *sim.Proc, w Work) {
 	if w <= 0 {
 		return
 	}
+	c.Domain.freezeWhileCrashed(p)
 	c.Domain.beginBusy()
 	p.Sleep(c.Scale(w))
 	c.Domain.endBusy()
@@ -88,6 +91,7 @@ func (c *Core) ExecFor(p *sim.Proc, d time.Duration) {
 	if d <= 0 {
 		return
 	}
+	c.Domain.freezeWhileCrashed(p)
 	c.Domain.beginBusy()
 	p.Sleep(d)
 	c.Domain.endBusy()
@@ -104,6 +108,7 @@ func (c *Core) ExecCancelable(p *sim.Proc, w Work, cancel *sim.Event) Work {
 	if w <= 0 {
 		return 0
 	}
+	c.Domain.freezeWhileCrashed(p)
 	start := p.Now()
 	c.Domain.beginBusy()
 	completed := p.SleepOrCancel(c.Scale(w), cancel)

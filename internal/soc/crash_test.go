@@ -1,0 +1,125 @@
+package soc
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+)
+
+// A crash must freeze the domain's procs at their next instruction; Reboot
+// resumes them after the wake penalty.
+func TestCrashFreezesExecUntilReboot(t *testing.T) {
+	e, s := newTestSoC()
+	d := s.Domains[Weak]
+	steps := 0
+	e.Spawn("worker", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			s.Core(Weak, 0).Exec(p, Work(10*time.Microsecond))
+			steps++
+		}
+	})
+	e.At(sim.Time(200*time.Microsecond), func() { d.Crash() })
+	var frozenAt int
+	e.At(sim.Time(5*time.Millisecond), func() {
+		frozenAt = steps
+		if !d.Crashed() {
+			t.Error("domain not crashed")
+		}
+	})
+	e.At(sim.Time(10*time.Millisecond), func() {
+		if steps != frozenAt {
+			t.Errorf("crashed domain made progress: %d -> %d", frozenAt, steps)
+		}
+		d.Reboot()
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 100 {
+		t.Fatalf("worker finished %d/100 steps after reboot", steps)
+	}
+	if d.CrashCount() != 1 {
+		t.Fatalf("crash count = %d", d.CrashCount())
+	}
+}
+
+// Mail to a crashed domain is lost (perfect fabric: silently dropped).
+func TestMailToCrashedDomainLost(t *testing.T) {
+	e, s := newTestSoC()
+	var got []Message
+	e.Spawn("rx", func(p *sim.Proc) {
+		for {
+			msg, _ := s.Mailbox.RecvFrom(p, Weak)
+			got = append(got, msg)
+		}
+	})
+	s.Domains[Weak].Crash()
+	e.Spawn("tx", func(p *sim.Proc) {
+		s.Mailbox.SendAsync(Strong, Weak, NewMessage(MsgGeneric, 1, 0))
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("crashed domain received %d messages", len(got))
+	}
+	if s.Mailbox.Stats.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", s.Mailbox.Stats.Dropped)
+	}
+}
+
+// Crash powers the rail down to inactive level; Hang leaves it at idle —
+// the expensive failure mode a watchdog exists to catch.
+func TestCrashVersusHangPower(t *testing.T) {
+	_, s := newTestSoC()
+	d := s.Domains[Weak]
+	d.Crash()
+	if got := d.Rail.Level(); got != d.Profile.Inactive {
+		t.Fatalf("crashed rail at %v, want inactive %v", got, d.Profile.Inactive)
+	}
+	d.Reboot()
+
+	_, s2 := newTestSoC()
+	d2 := s2.Domains[Weak]
+	d2.Hang()
+	if got := d2.Rail.Level(); got != d2.Profile.Idle {
+		t.Fatalf("hung rail at %v, want idle %v", got, d2.Profile.Idle)
+	}
+	if !d2.Crashed() {
+		t.Fatal("a hung domain must count as crashed")
+	}
+}
+
+// A dead kernel's hardware spinlocks must be recoverable by a survivor.
+func TestSpinlockBreakAllHeldBy(t *testing.T) {
+	e, s := newTestSoC()
+	e.Spawn("holder", func(p *sim.Proc) {
+		s.Spinlocks.Lock(1).Acquire(p, s.Core(Weak, 0))
+		s.Spinlocks.Lock(3).Acquire(p, s.Core(Weak, 0))
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	s.Domains[Weak].Crash()
+	if n := s.Spinlocks.BreakAllHeldBy(Weak); n != 2 {
+		t.Fatalf("broke %d locks, want 2", n)
+	}
+	if s.Spinlocks.Lock(1).Held() || s.Spinlocks.Lock(3).Held() {
+		t.Fatal("locks still held after break")
+	}
+	if s.Spinlocks.BreakAllHeldBy(Weak) != 0 {
+		t.Fatal("second break found locks")
+	}
+	// Break must not release locks held by others.
+	held := s.Spinlocks.Lock(5)
+	e.Spawn("strong-holder", func(p *sim.Proc) {
+		held.Acquire(p, s.Core(Strong, 0))
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if held.Break(Weak) {
+		t.Fatal("broke a lock held by another domain")
+	}
+}

@@ -44,6 +44,10 @@ const (
 	// DomAwake: the domain runs; it draws active power while any core
 	// executes and idle power otherwise.
 	DomAwake
+	// DomCrashed: the domain's kernel has crashed or hung (fault
+	// injection). Its cores stop making progress, mail addressed to it is
+	// lost, and it stays in this state until Reboot.
+	DomCrashed
 )
 
 func (s DomainState) String() string {
@@ -52,6 +56,8 @@ func (s DomainState) String() string {
 		return "inactive"
 	case DomWaking:
 		return "waking"
+	case DomCrashed:
+		return "crashed"
 	default:
 		return "awake"
 	}
@@ -98,6 +104,8 @@ type Domain struct {
 	activeMul  func(freqMHz int) power.Milliwatts // DVFS curve, may be nil
 	awakeHooks []func()                           // engine-context callbacks run once awake
 	idleStart  sim.Time                           // when busyCores last dropped to zero
+	hung       bool                               // crashed as a hang: rail stays at idle power
+	crashCount int
 }
 
 // IdleFor returns how long the domain has had no busy core; zero while any
@@ -111,14 +119,19 @@ func (d *Domain) IdleFor() time.Duration {
 }
 
 // whenAwake runs fn (engine context) immediately if the domain is awake, or
-// as soon as the in-progress or triggered wake completes.
-func (d *Domain) whenAwake(fn func()) {
+// as soon as the in-progress or triggered wake completes. It reports whether
+// fn was (or will be) run: deliveries to a crashed domain are lost.
+func (d *Domain) whenAwake(fn func()) bool {
+	if d.state == DomCrashed {
+		return false
+	}
 	if d.state == DomAwake {
 		fn()
-		return
+		return true
 	}
 	d.Wake()
 	d.awakeHooks = append(d.awakeHooks, fn)
+	return true
 }
 
 func newDomain(eng *sim.Engine, id DomainID, name string, prof power.Profile) *Domain {
@@ -161,6 +174,15 @@ func (d *Domain) settleRail() {
 	switch d.state {
 	case DomInactive:
 		d.Rail.SetLevel(d.Profile.Inactive)
+	case DomCrashed:
+		// A crashed (powered-off) domain draws inactive power; a hung
+		// kernel keeps its rail at idle, which is precisely what makes a
+		// hang expensive to leave undetected.
+		if d.hung {
+			d.Rail.SetLevel(d.Profile.Idle)
+		} else {
+			d.Rail.SetLevel(d.Profile.Inactive)
+		}
 	case DomWaking:
 		d.Rail.SetLevel(d.Profile.Active)
 	default:
@@ -256,12 +278,63 @@ func (d *Domain) Wake() {
 }
 
 // EnsureAwake wakes the domain if necessary and blocks p until it is awake.
+// If the domain is crashed, p blocks until a Reboot brings it back.
 func (d *Domain) EnsureAwake(p *sim.Proc) {
 	if d.state == DomAwake {
 		return
 	}
 	d.Wake()
 	for d.state != DomAwake {
+		d.awakeGate.Wait(p)
+	}
+}
+
+// Crashed reports whether the domain is in the crashed state.
+func (d *Domain) Crashed() bool { return d.state == DomCrashed }
+
+// CrashCount returns how many times the domain has crashed or hung.
+func (d *Domain) CrashCount() int { return d.crashCount }
+
+// Crash kills the domain as if its kernel died and its rail was cut: cores
+// stop making progress (procs freeze at their next instruction and resume
+// only after Reboot), pending wake hooks and future mail are lost, and the
+// rail drops to inactive power. Safe to call from engine context; a no-op if
+// the domain is already crashed.
+func (d *Domain) Crash() { d.halt(false) }
+
+// Hang is Crash with the rail stuck at idle power: the kernel spins dead but
+// the silicon stays on, so a hang costs energy until a watchdog notices.
+func (d *Domain) Hang() { d.halt(true) }
+
+func (d *Domain) halt(hung bool) {
+	if d.state == DomCrashed {
+		return
+	}
+	d.state = DomCrashed
+	d.hung = hung
+	d.crashCount++
+	d.idleTimer.Stop()
+	// In-flight wakes and queued deliveries die with the kernel.
+	d.awakeHooks = nil
+	d.settleRail()
+}
+
+// Reboot brings a crashed domain back: it pays the ordinary wake penalty and
+// then runs as a freshly booted kernel (frozen procs resume, OnWake fires).
+// A no-op unless the domain is crashed.
+func (d *Domain) Reboot() {
+	if d.state != DomCrashed {
+		return
+	}
+	d.hung = false
+	d.state = DomInactive
+	d.Wake()
+}
+
+// freezeWhileCrashed parks p until the domain is rebooted; an immediate
+// return if the domain is not crashed.
+func (d *Domain) freezeWhileCrashed(p *sim.Proc) {
+	for d.state == DomCrashed {
 		d.awakeGate.Wait(p)
 	}
 }

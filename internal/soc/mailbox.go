@@ -2,6 +2,7 @@ package soc
 
 import (
 	"fmt"
+	"time"
 
 	"k2/internal/sim"
 )
@@ -76,11 +77,41 @@ type Envelope struct {
 // destination and the measured round-trip is about 5 µs (§5.1). Each
 // destination domain has one inbox queue; the sender is routed alongside the
 // message.
+//
+// By default the fabric is perfect: no loss, no duplication, fixed latency.
+// A fault injector may be installed with SetFilter, and the reliable
+// transport (sequence numbers, acks, retransmission, receiver-side dedup)
+// with EnableReliable; both are off unless asked for and cost nothing when
+// off.
 type Mailbox struct {
 	soc    *SoC
 	inbox  []*sim.Queue // per destination domain
 	sent   [][]int      // [from][to] message counts
 	nextSq uint32
+
+	filter MailFilter
+	rel    *ReliableParams
+	links  [][]*relLink // [from][to], nil until reliable mode is on
+
+	// OnDeliveryFailed, if set, is called when the reliable transport
+	// abandons a mail after exhausting its retries (receiver dead or the
+	// link too lossy). Runs in engine context.
+	OnDeliveryFailed func(from, to DomainID, msg Message)
+
+	// Stats counts transport-level fault and recovery events.
+	Stats MailboxStats
+}
+
+// MailboxStats tallies what the fabric's fault injection and the reliable
+// transport did. All zero on a fault-free run.
+type MailboxStats struct {
+	Dropped     int // mail copies lost (injected drop or crashed receiver)
+	Delayed     int
+	Duplicated  int
+	Deduped     int // duplicate deliveries suppressed by the receiver
+	Retransmits int
+	AcksDropped int
+	Failed      int // sends abandoned after MaxRetries retransmissions
 }
 
 func newMailbox(s *SoC) *Mailbox {
@@ -89,6 +120,9 @@ func newMailbox(s *SoC) *Mailbox {
 	for i := 0; i < n; i++ {
 		mb.inbox = append(mb.inbox, sim.NewQueue(s.Eng))
 		mb.sent = append(mb.sent, make([]int, n))
+	}
+	if s.Cfg.Reliable != nil {
+		mb.EnableReliable(*s.Cfg.Reliable)
 	}
 	return mb
 }
@@ -134,12 +168,40 @@ func (mb *Mailbox) Send(p *sim.Proc, from *Core, to DomainID, msg Message) {
 // code (e.g. interrupt handlers already accounted elsewhere).
 func (mb *Mailbox) SendAsync(from, to DomainID, msg Message) {
 	mb.sent[from][to]++
+	if mb.links != nil {
+		mb.sendReliable(from, to, msg)
+		return
+	}
+	latency := mb.soc.Cfg.MailboxLatency
+	if mb.filter != nil {
+		v := mb.filter.FilterMail(from, to, msg, false)
+		if v.Drop {
+			mb.Stats.Dropped++
+			return
+		}
+		if v.Delay > 0 {
+			mb.Stats.Delayed++
+			latency += v.Delay
+		}
+		if v.Duplicate {
+			mb.Stats.Duplicated++
+			mb.deliverAt(latency+mb.soc.Cfg.MailboxLatency, from, to, msg)
+		}
+	}
+	mb.deliverAt(latency, from, to, msg)
+}
+
+// deliverAt lands one copy of msg in to's inbox after d; the copy is lost if
+// the receiver is crashed when it arrives.
+func (mb *Mailbox) deliverAt(d time.Duration, from, to DomainID, msg Message) {
 	q := mb.inbox[to]
 	dst := mb.soc.Domains[to]
-	mb.soc.Eng.After(mb.soc.Cfg.MailboxLatency, func() {
+	mb.soc.Eng.After(d, func() {
 		// A mail interrupts (and wakes) the destination domain; handlers
-		// run once the wake completes.
-		dst.whenAwake(func() { q.Put(Envelope{From: from, Msg: msg}) })
+		// run once the wake completes. Deliveries to a dead domain vanish.
+		if !dst.whenAwake(func() { q.Put(Envelope{From: from, Msg: msg}) }) {
+			mb.Stats.Dropped++
+		}
 	})
 }
 

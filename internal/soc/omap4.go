@@ -83,6 +83,11 @@ type Config struct {
 	// explicitly (one strong + N weak). When nil, the two-domain OMAP4
 	// topology is derived from the scalar fields above.
 	Topology Topology
+
+	// Reliable, when non-nil, enables the mailbox's reliable transport
+	// (sequence numbers, acks, retransmission, receiver dedup) with the
+	// given parameters. Nil keeps the default perfect fabric.
+	Reliable *ReliableParams
 }
 
 // Power constants from Table 3, in mW.

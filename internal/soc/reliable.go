@@ -1,0 +1,177 @@
+package soc
+
+import "time"
+
+// MailVerdict is a fault injector's decision for one transmission attempt on
+// the mailbox fabric. The zero value delivers the mail normally.
+type MailVerdict struct {
+	// Drop loses this copy of the mail entirely.
+	Drop bool
+	// Delay adds extra latency on top of the fabric's.
+	Delay time.Duration
+	// Duplicate delivers a second copy one fabric latency after the first.
+	Duplicate bool
+}
+
+// MailFilter intercepts every transmission attempt on the fabric — data
+// mails and, in reliable mode, transport acks (ack=true). Implemented by
+// fault.Plan; installed with Mailbox.SetFilter.
+type MailFilter interface {
+	FilterMail(from, to DomainID, msg Message, ack bool) MailVerdict
+}
+
+// ReliableParams configures the mailbox's reliable transport: every mail
+// carries a per-link sequence number, the receiver acknowledges and
+// deduplicates, and the sender retransmits on ack timeout. K2's substrate
+// does not need this on a perfect fabric — it exists so the system survives
+// an injected lossy one, and so a crashed receiver surfaces as a delivery
+// failure instead of an infinite wait.
+type ReliableParams struct {
+	// AckTimeout is how long the sender waits for an ack before
+	// retransmitting. It should exceed one mailbox round trip (~5 µs).
+	AckTimeout time.Duration
+	// MaxRetries bounds retransmissions per mail; after that the send is
+	// abandoned and OnDeliveryFailed fires.
+	MaxRetries int
+}
+
+// DefaultReliableParams returns a transport tuned to the OMAP4 fabric: the
+// ack timeout is several round trips, so a retransmission only triggers on
+// real loss, never on an idle-but-alive receiver.
+func DefaultReliableParams() ReliableParams {
+	return ReliableParams{AckTimeout: 25 * time.Microsecond, MaxRetries: 8}
+}
+
+// relLink is the per-(sender, receiver) transport state.
+type relLink struct {
+	nextSeq uint64
+	seen    map[uint64]bool // receiver-side: sequence numbers delivered
+}
+
+// relMail is one in-flight reliable mail on the sender side.
+type relMail struct {
+	from, to DomainID
+	msg      Message
+	seq      uint64
+	attempts int
+	acked    bool
+	dead     bool // abandoned
+}
+
+// SetFilter installs (or, with nil, removes) the fault injector consulted on
+// every transmission attempt.
+func (mb *Mailbox) SetFilter(f MailFilter) { mb.filter = f }
+
+// EnableReliable turns the reliable transport on for every link. Must be
+// called before traffic flows (typically via Config.Reliable at boot).
+func (mb *Mailbox) EnableReliable(p ReliableParams) {
+	if p.AckTimeout <= 0 {
+		p = DefaultReliableParams()
+	}
+	mb.rel = &p
+	n := mb.soc.NumDomains()
+	mb.links = make([][]*relLink, n)
+	for i := range mb.links {
+		mb.links[i] = make([]*relLink, n)
+		for j := range mb.links[i] {
+			mb.links[i][j] = &relLink{seen: make(map[uint64]bool)}
+		}
+	}
+}
+
+// Reliable reports whether the reliable transport is enabled.
+func (mb *Mailbox) Reliable() bool { return mb.links != nil }
+
+// sendReliable assigns the mail its link sequence number and starts the
+// transmit/ack/retransmit cycle.
+func (mb *Mailbox) sendReliable(from, to DomainID, msg Message) {
+	l := mb.links[from][to]
+	l.nextSeq++
+	rm := &relMail{from: from, to: to, msg: msg, seq: l.nextSeq}
+	mb.transmit(rm)
+}
+
+// transmit sends one copy of rm and arms the ack timeout.
+func (mb *Mailbox) transmit(rm *relMail) {
+	rm.attempts++
+	if rm.attempts > 1 {
+		mb.Stats.Retransmits++
+	}
+	latency := mb.soc.Cfg.MailboxLatency
+	verdict := MailVerdict{}
+	if mb.filter != nil {
+		verdict = mb.filter.FilterMail(rm.from, rm.to, rm.msg, false)
+	}
+	if verdict.Drop {
+		mb.Stats.Dropped++
+	} else {
+		if verdict.Delay > 0 {
+			mb.Stats.Delayed++
+			latency += verdict.Delay
+		}
+		mb.soc.Eng.After(latency, func() { mb.arrive(rm) })
+		if verdict.Duplicate {
+			mb.Stats.Duplicated++
+			lat2 := latency + mb.soc.Cfg.MailboxLatency
+			mb.soc.Eng.After(lat2, func() { mb.arrive(rm) })
+		}
+	}
+	mb.soc.Eng.After(mb.rel.AckTimeout, func() {
+		if rm.acked || rm.dead {
+			return
+		}
+		if rm.attempts > mb.rel.MaxRetries {
+			rm.dead = true
+			mb.Stats.Failed++
+			if mb.OnDeliveryFailed != nil {
+				mb.OnDeliveryFailed(rm.from, rm.to, rm.msg)
+			}
+			return
+		}
+		mb.transmit(rm)
+	})
+}
+
+// arrive is one copy of rm reaching the receiver: dead receivers lose it,
+// duplicates are suppressed, and every surviving arrival is acknowledged —
+// including duplicates, because the earlier ack may itself have been lost
+// and an unacknowledged sender retries forever.
+func (mb *Mailbox) arrive(rm *relMail) {
+	dst := mb.soc.Domains[rm.to]
+	if dst.Crashed() {
+		mb.Stats.Dropped++
+		return
+	}
+	l := mb.links[rm.from][rm.to]
+	if l.seen[rm.seq] {
+		mb.Stats.Deduped++
+	} else {
+		l.seen[rm.seq] = true
+		q := mb.inbox[rm.to]
+		from := rm.from
+		msg := rm.msg
+		if !dst.whenAwake(func() { q.Put(Envelope{From: from, Msg: msg}) }) {
+			mb.Stats.Dropped++
+			return // died this instant; no ack either
+		}
+	}
+	mb.sendAck(rm)
+}
+
+// sendAck carries the transport-level acknowledgement back to the sender.
+// Acks ride the same fabric, so the injector can drop or delay them too.
+func (mb *Mailbox) sendAck(rm *relMail) {
+	latency := mb.soc.Cfg.MailboxLatency
+	if mb.filter != nil {
+		v := mb.filter.FilterMail(rm.to, rm.from, rm.msg, true)
+		if v.Drop {
+			mb.Stats.AcksDropped++
+			return
+		}
+		if v.Delay > 0 {
+			mb.Stats.Delayed++
+			latency += v.Delay
+		}
+	}
+	mb.soc.Eng.After(latency, func() { rm.acked = true })
+}

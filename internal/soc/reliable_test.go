@@ -1,0 +1,156 @@
+package soc
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+)
+
+// scriptFilter injects a fixed verdict for the nth transmission attempt
+// matching the selector; everything else passes clean.
+type scriptFilter struct {
+	wantAck bool
+	hit     int // 1-based attempt index to fault; 0 = every attempt
+	verdict MailVerdict
+	seen    int
+}
+
+func (f *scriptFilter) FilterMail(from, to DomainID, msg Message, ack bool) MailVerdict {
+	if ack != f.wantAck {
+		return MailVerdict{}
+	}
+	f.seen++
+	if f.hit == 0 || f.seen == f.hit {
+		return f.verdict
+	}
+	return MailVerdict{}
+}
+
+func newReliableSoC() (*sim.Engine, *SoC) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	rel := DefaultReliableParams()
+	cfg.Reliable = &rel
+	return e, New(e, cfg)
+}
+
+// collect spawns a receiver draining domain d's inbox into the returned slice.
+func collect(e *sim.Engine, s *SoC, d DomainID) *[]Message {
+	var got []Message
+	e.Spawn("rx", func(p *sim.Proc) {
+		for {
+			msg, _ := s.Mailbox.RecvFrom(p, d)
+			got = append(got, msg)
+		}
+	})
+	return &got
+}
+
+// A duplicated transmission must reach the dispatcher exactly once: the
+// second copy arrives after the original and is suppressed by the receiver's
+// seen-set (but still acknowledged).
+func TestReliableDuplicateAfterOriginalDelivered(t *testing.T) {
+	e, s := newReliableSoC()
+	s.Mailbox.SetFilter(&scriptFilter{hit: 1, verdict: MailVerdict{Duplicate: true}})
+	got := collect(e, s, Weak)
+	e.Spawn("tx", func(p *sim.Proc) {
+		s.Mailbox.SendAsync(Strong, Weak, NewMessage(MsgGeneric, 77, 0))
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || (*got)[0].Payload() != 77 {
+		t.Fatalf("received %v, want the message exactly once", *got)
+	}
+	if s.Mailbox.Stats.Duplicated != 1 || s.Mailbox.Stats.Deduped != 1 {
+		t.Fatalf("stats = %+v, want 1 duplicated / 1 deduped", s.Mailbox.Stats)
+	}
+	if s.Mailbox.Stats.Failed != 0 {
+		t.Fatal("a duplicated mail must still be acknowledged")
+	}
+}
+
+// When the ack is lost the sender retransmits a message the receiver already
+// processed: the retransmission must be deduplicated AND re-acknowledged, or
+// the sender would retry until exhaustion.
+func TestReliableLostAckRetransmitIsDeduped(t *testing.T) {
+	e, s := newReliableSoC()
+	s.Mailbox.SetFilter(&scriptFilter{wantAck: true, hit: 1, verdict: MailVerdict{Drop: true}})
+	got := collect(e, s, Weak)
+	e.Spawn("tx", func(p *sim.Proc) {
+		s.Mailbox.SendAsync(Strong, Weak, NewMessage(MsgGeneric, 5, 0))
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("received %d copies, want 1", len(*got))
+	}
+	st := s.Mailbox.Stats
+	if st.AcksDropped != 1 || st.Retransmits != 1 || st.Deduped != 1 {
+		t.Fatalf("stats = %+v, want 1 ack dropped / 1 retransmit / 1 deduped", st)
+	}
+	if st.Failed != 0 {
+		t.Fatal("the re-ack must stop the retry loop; send reported failed")
+	}
+}
+
+// Retry exhaustion must surface as a delivery failure (callback + counter),
+// not as an infinite retransmission loop.
+func TestReliableRetryExhaustionFails(t *testing.T) {
+	e, s := newReliableSoC()
+	s.Mailbox.SetFilter(&scriptFilter{verdict: MailVerdict{Drop: true}}) // lose every data mail
+	var failed []Message
+	s.Mailbox.OnDeliveryFailed = func(from, to DomainID, msg Message) {
+		if from != Strong || to != Weak {
+			t.Errorf("failure reported for %v->%v", from, to)
+		}
+		failed = append(failed, msg)
+	}
+	got := collect(e, s, Weak)
+	e.Spawn("tx", func(p *sim.Proc) {
+		s.Mailbox.SendAsync(Strong, Weak, NewMessage(MsgGeneric, 9, 0))
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("received %d messages over a fully lossy link", len(*got))
+	}
+	if len(failed) != 1 || failed[0].Payload() != 9 {
+		t.Fatalf("OnDeliveryFailed got %v, want the abandoned message once", failed)
+	}
+	rel := DefaultReliableParams()
+	st := s.Mailbox.Stats
+	if st.Failed != 1 || st.Retransmits != rel.MaxRetries {
+		t.Fatalf("stats = %+v, want 1 failed after %d retransmits", st, rel.MaxRetries)
+	}
+}
+
+// A clean reliable link must deliver in order, once each, with no filter.
+func TestReliableCleanLinkInOrder(t *testing.T) {
+	e, s := newReliableSoC()
+	got := collect(e, s, Weak)
+	e.Spawn("tx", func(p *sim.Proc) {
+		for i := uint32(0); i < 5; i++ {
+			s.Mailbox.SendAsync(Strong, Weak, NewMessage(MsgGeneric, i, i))
+			p.Sleep(10 * time.Microsecond)
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 5 {
+		t.Fatalf("received %d, want 5", len(*got))
+	}
+	for i, m := range *got {
+		if m.Payload() != uint32(i) {
+			t.Fatalf("message %d has payload %d", i, m.Payload())
+		}
+	}
+	st := s.Mailbox.Stats
+	if st.Retransmits != 0 || st.Deduped != 0 || st.Failed != 0 {
+		t.Fatalf("clean link produced transport noise: %+v", st)
+	}
+}

@@ -81,6 +81,30 @@ func (l *HWSpinlock) Release(p *sim.Proc, c *Core) {
 	l.held = false
 }
 
+// Break force-releases the lock if it is held by domain d, reporting
+// whether it was. The OMAP hardware spinlock module exposes this software
+// reset so a surviving kernel can recover locks from a dead peer; K2's
+// watchdog uses it before sweeping the dead kernel's shared state.
+func (l *HWSpinlock) Break(d DomainID) bool {
+	if l.held && l.holder == d {
+		l.held = false
+		return true
+	}
+	return false
+}
+
+// BreakAllHeldBy force-releases every lock held by domain d, returning how
+// many were broken.
+func (b *SpinlockBank) BreakAllHeldBy(d DomainID) int {
+	n := 0
+	for _, l := range b.locks {
+		if l.Break(d) {
+			n++
+		}
+	}
+	return n
+}
+
 // Held reports whether the lock is currently taken.
 func (l *HWSpinlock) Held() bool { return l.held }
 

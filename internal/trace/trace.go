@@ -35,10 +35,14 @@ const (
 	Mem
 	// User: application-emitted events.
 	User
+	// Fault: injected faults (crashes, dropped or delayed mail, spurious
+	// IRQs) and the kernels' recovery actions (watchdog verdicts, directory
+	// and balloon reclaims).
+	Fault
 	numKinds
 )
 
-var kindNames = [...]string{"boot", "power", "irq", "mailbox", "dsm", "sched", "mem", "user"}
+var kindNames = [...]string{"boot", "power", "irq", "mailbox", "dsm", "sched", "mem", "user", "fault"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {

@@ -196,3 +196,22 @@ func TestDumpAfterWrapReportsFullTotals(t *testing.T) {
 		t.Fatalf("dump retained the wrong events:\n%s", out)
 	}
 }
+
+// The Fault kind (injected faults + recovery actions) must round-trip like
+// every other kind, and the name table must cover exactly the defined kinds
+// so no kind renders as "kind(N)".
+func TestFaultKindRegistered(t *testing.T) {
+	if len(kindNames) != int(numKinds) {
+		t.Fatalf("kindNames has %d entries for %d kinds", len(kindNames), int(numKinds))
+	}
+	if Fault.String() != "fault" {
+		t.Fatalf("Fault renders as %q", Fault.String())
+	}
+	k, err := ParseKind("fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != Fault {
+		t.Fatalf("ParseKind(fault) = %v", k)
+	}
+}

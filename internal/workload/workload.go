@@ -54,6 +54,14 @@ type Task func(th *sched.Thread, run int) int64
 // and then measures one episode of the task running as a NightWatch thread.
 // It drives the engine and returns the measurement.
 func MeasureEpisode(e *sim.Engine, o *core.OS, task Task) (Result, error) {
+	return MeasureEpisodeUntil(e, o, task, 2*time.Hour)
+}
+
+// MeasureEpisodeUntil is MeasureEpisode with an explicit virtual-time cap.
+// Fault-injection runs use a short cap: a crashed-and-never-rebooted domain
+// can leave the episode legitimately unfinishable, and the cap bounds how
+// long the engine keeps simulating watchdog traffic before giving up.
+func MeasureEpisodeUntil(e *sim.Engine, o *core.OS, task Task, cap time.Duration) (Result, error) {
 	var res Result
 	done := false
 
@@ -90,7 +98,7 @@ func MeasureEpisode(e *sim.Engine, o *core.OS, task Task) (Result, error) {
 		done = true
 		e.Stop()
 	})
-	if err := e.Run(sim.Time(2 * time.Hour)); err != nil {
+	if err := e.Run(sim.Time(cap)); err != nil {
 		return res, err
 	}
 	if !done {
@@ -102,7 +110,9 @@ func MeasureEpisode(e *sim.Engine, o *core.OS, task Task) (Result, error) {
 func waitInactive(o *core.OS, p *sim.Proc) {
 	allInactive := func() bool {
 		for _, d := range o.S.Domains {
-			if d.State() != soc.DomInactive {
+			// A crashed domain has settled as far as it ever will; waiting
+			// for it to go inactive would spin forever.
+			if d.State() != soc.DomInactive && !d.Crashed() {
 				return false
 			}
 		}
