@@ -18,14 +18,20 @@ import (
 	"k2/internal/workload"
 )
 
-// cell parses a numeric table cell (strips trailing x/%).
-func cell(t experiment.Table, row, col int) float64 {
+// cell parses a numeric table cell (strips trailing x/%), failing the
+// benchmark on anything unparsable so a malformed table cannot silently
+// report a 0 metric.
+func cell(tb testing.TB, t experiment.Table, row, col int) float64 {
+	tb.Helper()
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		tb.Fatalf("%s: no cell [%d][%d] (%d rows)", t.ID, row, col, len(t.Rows))
+	}
 	s := t.Rows[row][col]
 	s = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x"), "+")
 	s = strings.TrimPrefix(s, "+")
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
-		return 0
+		tb.Fatalf("%s: cell [%d][%d] = %q is not numeric: %v", t.ID, row, col, t.Rows[row][col], err)
 	}
 	return v
 }
@@ -44,8 +50,8 @@ func BenchmarkFigure1Trend(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.Figure1()
 	}
-	b.ReportMetric(cell(t, 0, 3), "A9@1200_mW")
-	b.ReportMetric(cell(t, len(t.Rows)-1, 3), "M3@200_mW")
+	b.ReportMetric(cell(b, t, 0, 3), "A9@1200_mW")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 3), "M3@200_mW")
 }
 
 func BenchmarkTable3Power(b *testing.B) {
@@ -53,9 +59,9 @@ func BenchmarkTable3Power(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.Table3()
 	}
-	b.ReportMetric(cell(t, 0, 1), "M3_active_mW")
-	b.ReportMetric(cell(t, 1, 1), "A9_350_active_mW")
-	b.ReportMetric(cell(t, 2, 1), "A9_1200_active_mW")
+	b.ReportMetric(cell(b, t, 0, 1), "M3_active_mW")
+	b.ReportMetric(cell(b, t, 1, 1), "A9_350_active_mW")
+	b.ReportMetric(cell(b, t, 2, 1), "A9_1200_active_mW")
 }
 
 func BenchmarkFigure6aDMAEnergy(b *testing.B) {
@@ -63,8 +69,8 @@ func BenchmarkFigure6aDMAEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.Figure6a()
 	}
-	b.ReportMetric(cell(t, 1, 3), "K2_vs_Linux_4K_256K_x")
-	b.ReportMetric(cell(t, len(t.Rows)-1, 3), "K2_vs_Linux_1M_16M_x")
+	b.ReportMetric(cell(b, t, 1, 3), "K2_vs_Linux_4K_256K_x")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 3), "K2_vs_Linux_1M_16M_x")
 }
 
 func BenchmarkFigure6bExt2Energy(b *testing.B) {
@@ -72,8 +78,8 @@ func BenchmarkFigure6bExt2Energy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.Figure6b()
 	}
-	b.ReportMetric(cell(t, 0, 3), "K2_vs_Linux_1K_x")
-	b.ReportMetric(cell(t, 0, 2), "K2_1K_MBperJ") // paper figure labels 0.41
+	b.ReportMetric(cell(b, t, 0, 3), "K2_vs_Linux_1K_x")
+	b.ReportMetric(cell(b, t, 0, 2), "K2_1K_MBperJ") // paper figure labels 0.41
 }
 
 func BenchmarkFigure6cUDPEnergy(b *testing.B) {
@@ -81,7 +87,7 @@ func BenchmarkFigure6cUDPEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.Figure6c()
 	}
-	b.ReportMetric(cell(t, 0, 3), "K2_vs_Linux_smallest_x")
+	b.ReportMetric(cell(b, t, 0, 3), "K2_vs_Linux_smallest_x")
 }
 
 func BenchmarkStandbyEstimate(b *testing.B) {
@@ -89,8 +95,8 @@ func BenchmarkStandbyEstimate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.StandbyEstimate()
 	}
-	b.ReportMetric(cell(t, 0, 2), "linux_days")
-	b.ReportMetric(cell(t, 1, 2), "k2_days")
+	b.ReportMetric(cell(b, t, 0, 2), "linux_days")
+	b.ReportMetric(cell(b, t, 1, 2), "k2_days")
 }
 
 func BenchmarkTable4Alloc(b *testing.B) {
@@ -98,10 +104,10 @@ func BenchmarkTable4Alloc(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.Table4()
 	}
-	b.ReportMetric(cell(t, 0, 1), "alloc4K_main_us")
-	b.ReportMetric(cell(t, 0, 3), "alloc4K_shadow_us")
-	b.ReportMetric(cell(t, 3, 1)/1e3, "deflate_main_ms")
-	b.ReportMetric(cell(t, 4, 3)/1e3, "inflate_shadow_ms")
+	b.ReportMetric(cell(b, t, 0, 1), "alloc4K_main_us")
+	b.ReportMetric(cell(b, t, 0, 3), "alloc4K_shadow_us")
+	b.ReportMetric(cell(b, t, 3, 1)/1e3, "deflate_main_ms")
+	b.ReportMetric(cell(b, t, 4, 3)/1e3, "inflate_shadow_ms")
 }
 
 func BenchmarkTable5DSMFault(b *testing.B) {
@@ -109,8 +115,8 @@ func BenchmarkTable5DSMFault(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.Table5()
 	}
-	b.ReportMetric(cell(t, 5, 1), "main_sender_total_us")
-	b.ReportMetric(cell(t, 5, 3), "shadow_sender_total_us")
+	b.ReportMetric(cell(b, t, 5, 1), "main_sender_total_us")
+	b.ReportMetric(cell(b, t, 5, 3), "shadow_sender_total_us")
 }
 
 func BenchmarkTable6SharedDMA(b *testing.B) {
@@ -118,11 +124,11 @@ func BenchmarkTable6SharedDMA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.Table6()
 	}
-	b.ReportMetric(cell(t, 0, 1), "linux_4K_MBs")
-	b.ReportMetric(cell(t, 0, 4), "k2_main_4K_MBs")
-	b.ReportMetric(cell(t, 0, 5), "k2_shadow_4K_MBs")
-	b.ReportMetric(cell(t, 3, 4), "k2_main_1M_MBs")
-	b.ReportMetric(cell(t, 3, 5), "k2_shadow_1M_MBs")
+	b.ReportMetric(cell(b, t, 0, 1), "linux_4K_MBs")
+	b.ReportMetric(cell(b, t, 0, 4), "k2_main_4K_MBs")
+	b.ReportMetric(cell(b, t, 0, 5), "k2_shadow_4K_MBs")
+	b.ReportMetric(cell(b, t, 3, 4), "k2_main_1M_MBs")
+	b.ReportMetric(cell(b, t, 3, 5), "k2_shadow_1M_MBs")
 }
 
 func BenchmarkAblationSharedAllocator(b *testing.B) {
@@ -130,8 +136,8 @@ func BenchmarkAblationSharedAllocator(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.AblationSharedAllocator()
 	}
-	b.ReportMetric(cell(t, 3, 1), "slowdown_x")
-	b.ReportMetric(cell(t, 2, 1), "faults_per_alloc")
+	b.ReportMetric(cell(b, t, 3, 1), "slowdown_x")
+	b.ReportMetric(cell(b, t, 2, 1), "faults_per_alloc")
 }
 
 func BenchmarkAblationThreeState(b *testing.B) {
@@ -139,8 +145,8 @@ func BenchmarkAblationThreeState(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.AblationThreeState()
 	}
-	b.ReportMetric(cell(t, 0, 1), "twostate_singlewriter_us")
-	b.ReportMetric(cell(t, 1, 1), "threestate_omap4_us")
+	b.ReportMetric(cell(b, t, 0, 1), "twostate_singlewriter_us")
+	b.ReportMetric(cell(b, t, 1, 1), "threestate_omap4_us")
 }
 
 func BenchmarkStandbyTimeline(b *testing.B) {
@@ -148,8 +154,8 @@ func BenchmarkStandbyTimeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.StandbyTimeline()
 	}
-	b.ReportMetric(cell(t, 0, 2), "linux_days")
-	b.ReportMetric(cell(t, 1, 2), "k2_days")
+	b.ReportMetric(cell(b, t, 0, 2), "linux_days")
+	b.ReportMetric(cell(b, t, 1, 2), "k2_days")
 }
 
 func BenchmarkTimeoutSensitivity(b *testing.B) {
@@ -157,8 +163,8 @@ func BenchmarkTimeoutSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.TimeoutSensitivity()
 	}
-	b.ReportMetric(cell(t, 0, 3), "ratio_1s_x")
-	b.ReportMetric(cell(t, len(t.Rows)-1, 3), "ratio_10s_x")
+	b.ReportMetric(cell(b, t, 0, 3), "ratio_1s_x")
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 3), "ratio_10s_x")
 }
 
 func BenchmarkAblationInactiveClaim(b *testing.B) {
@@ -166,8 +172,8 @@ func BenchmarkAblationInactiveClaim(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.AblationInactiveClaim()
 	}
-	b.ReportMetric(cell(t, 0, 2), "with_claim_MBperJ")
-	b.ReportMetric(cell(t, 1, 2), "mailbox_only_MBperJ")
+	b.ReportMetric(cell(b, t, 0, 2), "with_claim_MBperJ")
+	b.ReportMetric(cell(b, t, 1, 2), "mailbox_only_MBperJ")
 }
 
 func BenchmarkAblationPlacementPolicy(b *testing.B) {
@@ -175,8 +181,8 @@ func BenchmarkAblationPlacementPolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.AblationPlacementPolicy()
 	}
-	b.ReportMetric(cell(t, 0, 1), "frontier_unpinned_blocks")
-	b.ReportMetric(cell(t, 1, 1), "vanilla_unpinned_blocks")
+	b.ReportMetric(cell(b, t, 0, 1), "frontier_unpinned_blocks")
+	b.ReportMetric(cell(b, t, 1, 1), "vanilla_unpinned_blocks")
 }
 
 func BenchmarkAblationSuspendOverlap(b *testing.B) {
@@ -184,8 +190,8 @@ func BenchmarkAblationSuspendOverlap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t = experiment.AblationSuspendOverlap()
 	}
-	b.ReportMetric(cell(t, 0, 2), "overlapped_overhead_us")
-	b.ReportMetric(cell(t, 1, 2), "sequential_overhead_us")
+	b.ReportMetric(cell(b, t, 0, 2), "overlapped_overhead_us")
+	b.ReportMetric(cell(b, t, 1, 2), "sequential_overhead_us")
 }
 
 // BenchmarkEpisodeK2 and BenchmarkEpisodeLinux expose the raw episode

@@ -2,49 +2,35 @@
 // evaluation (§9) on the simulated platform and prints them next to the
 // paper's reported values.
 //
+// Independent experiments fan out over a worker pool (-parallel, default
+// GOMAXPROCS); each experiment owns its private simulation engines, so the
+// tables are byte-identical at any parallelism. The -json summary records
+// per-experiment wall-clock, events-dispatched and events-per-second
+// telemetry alongside the structured results.
+//
 // Usage:
 //
 //	k2bench                       # run everything
 //	k2bench -only t4              # run a single experiment
 //	k2bench -list                 # list experiment IDs
+//	k2bench -parallel 8           # worker pool size (default GOMAXPROCS)
 //	k2bench -json BENCH_k2.json   # write the machine-readable summary
+//	k2bench -cpuprofile cpu.pprof # profile the run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
+	"runtime/pprof"
 
 	"k2/internal/experiment"
 )
 
-var experiments = []struct {
-	id   string
-	name string
-	run  func() experiment.Table
-}{
-	{"t1", "Table 1 (platform cores)", experiment.Table1},
-	{"f1", "Figure 1 (SoC trend)", experiment.Figure1},
-	{"t2", "Table 2 analog (service classes)", experiment.Table2},
-	{"t3", "Table 3 (core power)", experiment.Table3},
-	{"f6a", "Figure 6(a) DMA energy", experiment.Figure6a},
-	{"f6b", "Figure 6(b) ext2 energy", experiment.Figure6b},
-	{"f6c", "Figure 6(c) UDP energy", experiment.Figure6c},
-	{"standby", "Standby estimate (§9.2)", experiment.StandbyEstimate},
-	{"timeline", "Standby timeline (§9.2, simulated hours)", experiment.StandbyTimeline},
-	{"timeout", "Sensitivity: inactive timeout", experiment.TimeoutSensitivity},
-	{"day", "Day-in-life (foreground + background)", experiment.DayInLife},
-	{"t4", "Table 4 (allocation latency)", experiment.Table4},
-	{"t5", "Table 5 (DSM fault breakdown)", experiment.Table5},
-	{"t6", "Table 6 (shared DMA throughput)", experiment.Table6},
-	{"a1", "Ablation §9.3 (shadowed allocator)", experiment.AblationSharedAllocator},
-	{"a2", "Ablation §6.3 (three-state protocol)", experiment.AblationThreeState},
-	{"a3", "Ablation DESIGN §5 (inactive-peer claim)", experiment.AblationInactiveClaim},
-	{"a4", "Ablation §6.2 (movable placement)", experiment.AblationPlacementPolicy},
-	{"a5", "Ablation §8 (suspend-ack overlap)", experiment.AblationSuspendOverlap},
-	{"scale", "Scale (1/2/4 weak domains)", experiment.Scale},
-	{"faults", "Fault injection + recovery", experiment.Faults},
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "k2bench:", err)
+	os.Exit(1)
 }
 
 func main() {
@@ -53,66 +39,95 @@ func main() {
 	format := flag.String("format", "text", "output format: text, csv or markdown")
 	jsonPath := flag.String("json", "", "write the machine-readable benchmark summary to this path and exit")
 	seed := flag.Int64("seed", experiment.FaultSeed, "PRNG seed for the fault-injection experiment")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this path")
 	flag.Parse()
 	experiment.FaultSeed = *seed
+
+	if *list {
+		for _, d := range experiment.Registry() {
+			fmt.Printf("%-8s %s\n", d.ID, d.Name)
+		}
+		return
+	}
+
+	formatSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "format" {
+			formatSet = true
+		}
+	})
+	if *jsonPath != "" && formatSet {
+		fmt.Fprintln(os.Stderr, "k2bench: -json writes JSON; it conflicts with -format")
+		os.Exit(2)
+	}
+	switch *format {
+	case "text", "markdown", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "k2bench: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+
+	defs := experiment.Select(*only)
+	if len(defs) == 0 {
+		fmt.Fprintln(os.Stderr, "k2bench: no experiment matched; try -list")
+		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "k2bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		data := experiment.MeasureBench()
+		data := experiment.MeasureBench(defs, *parallel)
 		if err := data.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "k2bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "k2bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 		return
 	}
 
-	if *list {
-		for _, e := range experiments {
-			fmt.Printf("%-8s %s\n", e.id, e.name)
-		}
-		return
-	}
-	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
-		}
-	}
-	ran := 0
-	for _, e := range experiments {
-		if len(want) > 0 && !want[e.id] {
-			continue
-		}
-		tab := e.run()
+	results := experiment.Runner{Parallel: *parallel}.Run(defs)
+	for _, r := range results {
 		switch *format {
 		case "text":
-			fmt.Println(tab.String())
+			fmt.Println(r.Table.String())
 		case "markdown":
-			fmt.Println(tab.Markdown())
+			fmt.Println(r.Table.Markdown())
 		case "csv":
-			fmt.Printf("## %s\n", tab.ID)
-			if err := tab.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "k2bench:", err)
-				os.Exit(1)
+			fmt.Printf("## %s\n", r.Table.ID)
+			if err := r.Table.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
 			}
 			fmt.Println()
-		default:
-			fmt.Fprintf(os.Stderr, "k2bench: unknown -format %q\n", *format)
-			os.Exit(2)
 		}
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "k2bench: no experiment matched; try -list")
-		os.Exit(1)
 	}
 }

@@ -138,7 +138,7 @@ func AblationPlacementPolicy() Table {
 }
 
 func ablationRig() (*sim.Engine, *soc.SoC, *mem.Frames) {
-	e := sim.NewEngine()
+	e := newEngine()
 	s := soc.New(e, soc.DefaultConfig())
 	fr := mem.NewFrames(s.Pages(), s.Cfg.PageSize)
 	return e, s, fr

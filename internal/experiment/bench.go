@@ -3,28 +3,94 @@ package experiment
 import (
 	"encoding/json"
 	"io"
+	"time"
 )
 
-// BenchData is the machine-readable benchmark summary written by
-// `k2bench -json`: the microbenchmark numbers (Tables 4–6) plus the
-// N-domain scaling results.
-type BenchData struct {
-	AllocLatencies Table4Data      `json:"alloc_latencies"`
-	FaultBreakdown Table5Data      `json:"dsm_fault_breakdown"`
-	DMAThroughput  []DMAThroughput `json:"dma_throughput"`
-	Scale          []ScaleConfig   `json:"scale"`
-	Faults         FaultsData      `json:"faults"`
+// ExperimentTelemetry is the host-side performance record of one
+// experiment run: how much wall clock it took, how hard the simulation
+// engines worked, and the virtual-to-wall-time ratio. It is the trajectory
+// CI tracks for simulator performance regressions.
+type ExperimentTelemetry struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+
+	WallMS         float64 `json:"wall_ms"`
+	Engines        int     `json:"engines"`
+	Events         uint64  `json:"events_dispatched"`
+	ProcSwitches   uint64  `json:"proc_switches"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	VirtualMS      float64 `json:"virtual_ms"`
+	VirtualPerWall float64 `json:"virtual_per_wall"`
 }
 
-// MeasureBench runs the experiments behind BenchData.
-func MeasureBench() BenchData {
-	return BenchData{
-		AllocLatencies: MeasureTable4(),
-		FaultBreakdown: MeasureTable5(),
-		DMAThroughput:  MeasureTable6(),
-		Scale:          MeasureScale(),
-		Faults:         MeasureFaults(),
+// telemetryOf flattens a runner Result into its JSON record.
+func telemetryOf(r Result) ExperimentTelemetry {
+	return ExperimentTelemetry{
+		ID:             r.ID,
+		Name:           r.Name,
+		WallMS:         ms(r.Wall),
+		Engines:        r.Engines,
+		Events:         r.Stats.Dispatched,
+		ProcSwitches:   r.Stats.ProcSwitches,
+		EventsPerSec:   r.EventsPerSec(),
+		VirtualMS:      ms(time.Duration(r.Virtual)),
+		VirtualPerWall: r.VirtualPerWall(),
 	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// BenchData is the machine-readable benchmark summary written by
+// `k2bench -json`: per-experiment wall-clock telemetry for every selected
+// experiment, plus the structured microbenchmark numbers (Tables 4–6), the
+// N-domain scaling results and the fault-injection record for whichever of
+// those experiments were selected.
+type BenchData struct {
+	Parallel    int                   `json:"parallel"`
+	TotalWallMS float64               `json:"total_wall_ms"`
+	Experiments []ExperimentTelemetry `json:"experiments"`
+
+	AllocLatencies *Table4Data     `json:"alloc_latencies,omitempty"`
+	FaultBreakdown *Table5Data     `json:"dsm_fault_breakdown,omitempty"`
+	DMAThroughput  []DMAThroughput `json:"dma_throughput,omitempty"`
+	Scale          []ScaleConfig   `json:"scale,omitempty"`
+	Faults         *FaultsData     `json:"faults,omitempty"`
+}
+
+// MeasureBench runs the selected experiments through the runner and
+// assembles the benchmark summary. Each experiment runs exactly once: the
+// structured sections are captured from the same runs that produce the
+// telemetry.
+func MeasureBench(defs []Def, parallel int) BenchData {
+	r := Runner{Parallel: parallel}
+	start := time.Now()
+	results := r.Run(defs)
+	total := time.Since(start)
+
+	b := BenchData{Parallel: r.Workers(), TotalWallMS: ms(total)}
+	for _, res := range results {
+		b.Experiments = append(b.Experiments, telemetryOf(res))
+		pr := res.probe
+		if pr == nil {
+			continue
+		}
+		if pr.t4 != nil {
+			b.AllocLatencies = pr.t4
+		}
+		if pr.t5 != nil {
+			b.FaultBreakdown = pr.t5
+		}
+		if pr.t6 != nil {
+			b.DMAThroughput = pr.t6
+		}
+		if pr.scale != nil {
+			b.Scale = pr.scale
+		}
+		if pr.faults != nil {
+			b.Faults = pr.faults
+		}
+	}
+	return b
 }
 
 // WriteJSON writes the benchmark summary as indented JSON.

@@ -152,6 +152,7 @@ func MeasureFaults() FaultsData {
 	d.Deduped = o.S.Mailbox.Stats.Deduped
 	d.DeliveryFailures = o.S.Mailbox.Stats.Failed
 	d.InvariantsOK = o.DSM.CheckInvariants() == nil && o.Mem.CheckPartition() == nil
+	deposit(func(pr *probe) { pr.faults = &d })
 	return d
 }
 

@@ -103,13 +103,15 @@ func MeasureTable4() Table4Data {
 			ShadowUS: float64(m.shadow.Nanoseconds()) / 1e3,
 		}
 	}
-	return Table4Data{
+	d := Table4Data{
 		Alloc4KB:       pair(allocs[0]),
 		Alloc256KB:     pair(allocs[6]),
 		Alloc1024KB:    pair(allocs[8]),
 		BalloonDeflate: pair(balloonDef),
 		BalloonInflate: pair(balloonInf),
 	}
+	deposit(func(pr *probe) { pr.t4 = &d })
+	return d
 }
 
 // Table4 renders the paper's Table 4.
@@ -206,7 +208,9 @@ func MeasureTable5() Table5Data {
 			P99:         o.DSM.FaultHist[k].Percentile(99),
 		}
 	}
-	return Table5Data{Main: breakdown(soc.Strong), Shadow: breakdown(soc.Weak)}
+	d := Table5Data{Main: breakdown(soc.Strong), Shadow: breakdown(soc.Weak)}
+	deposit(func(pr *probe) { pr.t5 = &d })
+	return d
 }
 
 // Table5 renders the paper's Table 5.
@@ -293,6 +297,7 @@ func MeasureTable6() []DMAThroughput {
 		k2Main, k2Shad := dmaWindow(core.K2Mode, batch, window, true)
 		out = append(out, DMAThroughput{Batch: batch, LinuxMBs: linux, MainMBs: k2Main, ShadMBs: k2Shad})
 	}
+	deposit(func(pr *probe) { pr.t6 = out })
 	return out
 }
 

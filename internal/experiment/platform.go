@@ -57,7 +57,7 @@ func Table2() Table {
 // measureRail measures the average rail power (mW) of a domain over a
 // driven scenario.
 func measureRail(strongMHz int, dom soc.DomainID, scenario func(e *sim.Engine, s *soc.SoC)) float64 {
-	e := sim.NewEngine()
+	e := newEngine()
 	cfg := soc.DefaultConfig()
 	cfg.StrongFreqMHz = strongMHz
 	s := soc.New(e, cfg)

@@ -1,0 +1,61 @@
+package experiment
+
+import "strings"
+
+// Def is one registered experiment: a stable ID (the k2bench -only key),
+// a human-readable name and the function that reproduces the table.
+type Def struct {
+	ID   string
+	Name string
+	Run  func() Table
+}
+
+// Registry returns every experiment of the reproduction in paper order.
+// The slice is freshly allocated; callers may filter it freely.
+func Registry() []Def {
+	return []Def{
+		{"t1", "Table 1 (platform cores)", Table1},
+		{"f1", "Figure 1 (SoC trend)", Figure1},
+		{"t2", "Table 2 analog (service classes)", Table2},
+		{"t3", "Table 3 (core power)", Table3},
+		{"f6a", "Figure 6(a) DMA energy", Figure6a},
+		{"f6b", "Figure 6(b) ext2 energy", Figure6b},
+		{"f6c", "Figure 6(c) UDP energy", Figure6c},
+		{"standby", "Standby estimate (§9.2)", StandbyEstimate},
+		{"timeline", "Standby timeline (§9.2, simulated hours)", StandbyTimeline},
+		{"timeout", "Sensitivity: inactive timeout", TimeoutSensitivity},
+		{"day", "Day-in-life (foreground + background)", DayInLife},
+		{"t4", "Table 4 (allocation latency)", Table4},
+		{"t5", "Table 5 (DSM fault breakdown)", Table5},
+		{"t6", "Table 6 (shared DMA throughput)", Table6},
+		{"a1", "Ablation §9.3 (shadowed allocator)", AblationSharedAllocator},
+		{"a2", "Ablation §6.3 (three-state protocol)", AblationThreeState},
+		{"a3", "Ablation DESIGN §5 (inactive-peer claim)", AblationInactiveClaim},
+		{"a4", "Ablation §6.2 (movable placement)", AblationPlacementPolicy},
+		{"a5", "Ablation §8 (suspend-ack overlap)", AblationSuspendOverlap},
+		{"scale", "Scale (1/2/4 weak domains)", Scale},
+		{"faults", "Fault injection + recovery", Faults},
+	}
+}
+
+// Select filters the registry down to the comma-separated IDs in only
+// (whitespace around IDs is ignored). An empty only selects everything;
+// unknown IDs simply match nothing, mirroring the historical k2bench
+// behavior of reporting "no experiment matched".
+func Select(only string) []Def {
+	defs := Registry()
+	if only == "" {
+		return defs
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	var out []Def
+	for _, d := range defs {
+		if want[d.ID] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

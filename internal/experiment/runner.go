@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"k2/internal/sim"
+)
+
+// probe collects what one experiment run did: every engine it booted (for
+// event/switch/wall telemetry) and the machine-readable data the Measure*
+// functions deposit for the JSON summary. A probe is active for exactly one
+// goroutine at a time, so its fields need no locking.
+type probe struct {
+	engines []*sim.Engine
+
+	t4     *Table4Data
+	t5     *Table5Data
+	t6     []DMAThroughput
+	scale  []ScaleConfig
+	faults *FaultsData
+}
+
+// probes maps goroutine IDs to their active probe. Experiments are plain
+// func() Table with private engines, so the only way to attribute engine
+// telemetry to the experiment that booted it — without threading a context
+// through every experiment signature — is by the goroutine the runner
+// executes it on. Entries exist only while a Measure call is in flight.
+var probes sync.Map // goid -> *probe
+
+// goid returns the current goroutine's ID by parsing the first line of the
+// stack trace ("goroutine N [running]:"). It is a few hundred nanoseconds —
+// paid once per engine boot and twice per experiment, never per event.
+func goid() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	var id int64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// activeProbe returns the probe attached to the calling goroutine, or nil.
+func activeProbe() *probe {
+	if v, ok := probes.Load(goid()); ok {
+		return v.(*probe)
+	}
+	return nil
+}
+
+// newEngine is the experiment package's engine constructor: identical to
+// sim.NewEngine, plus registration with the calling goroutine's probe so
+// the runner can aggregate per-experiment engine telemetry afterwards.
+func newEngine() *sim.Engine {
+	e := sim.NewEngine()
+	if pr := activeProbe(); pr != nil {
+		pr.engines = append(pr.engines, e)
+	}
+	return e
+}
+
+// deposit hands machine-readable experiment data to the active probe, if
+// any; outside a runner Measure call it is a no-op.
+func deposit(f func(*probe)) {
+	if pr := activeProbe(); pr != nil {
+		f(pr)
+	}
+}
+
+// Result is one measured experiment: the rendered table plus host-side
+// telemetry aggregated over every engine the experiment booted.
+type Result struct {
+	ID    string
+	Name  string
+	Table Table
+
+	Wall    time.Duration // host time for the whole experiment
+	Virtual sim.Time      // summed final virtual clocks of its engines
+	Engines int
+	Stats   sim.Stats // summed engine counters
+
+	probe *probe
+}
+
+// EventsPerSec returns dispatched events per second of experiment wall
+// time. Unlike Stats.EventsPerSec this uses the experiment's envelope wall
+// clock, so table formatting and boot code count against the rate.
+func (r Result) EventsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Dispatched) / r.Wall.Seconds()
+}
+
+// VirtualPerWall returns the virtual-to-wall-time ratio: how many seconds
+// of simulated time the experiment produced per second of host time.
+func (r Result) VirtualPerWall() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return time.Duration(r.Virtual).Seconds() / r.Wall.Seconds()
+}
+
+// Measure runs one experiment with a probe attached and returns its table
+// together with the engine telemetry.
+func Measure(d Def) Result {
+	pr := &probe{}
+	id := goid()
+	probes.Store(id, pr)
+	defer probes.Delete(id)
+
+	start := time.Now()
+	tab := d.Run()
+	wall := time.Since(start)
+
+	r := Result{ID: d.ID, Name: d.Name, Table: tab, Wall: wall, Engines: len(pr.engines), probe: pr}
+	for _, e := range pr.engines {
+		st := e.Stats()
+		r.Stats.Scheduled += st.Scheduled
+		r.Stats.Dispatched += st.Dispatched
+		r.Stats.Cancelled += st.Cancelled
+		r.Stats.ProcSwitches += st.ProcSwitches
+		r.Stats.Wall += st.Wall
+		r.Virtual += e.Now()
+	}
+	return r
+}
+
+// Runner fans independent experiments out over a fixed-size worker pool.
+// Every experiment owns its engines outright, so parallelism lives strictly
+// across engines: each engine still dispatches its events sequentially in
+// (time, seq) order and produces the same bytes it would alone.
+type Runner struct {
+	// Parallel is the worker count; <= 0 means GOMAXPROCS.
+	Parallel int
+}
+
+// Workers returns the effective worker count.
+func (r Runner) Workers() int {
+	if r.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Parallel
+}
+
+// Run measures every def and returns the results in def order, regardless
+// of completion order.
+func (r Runner) Run(defs []Def) []Result {
+	workers := r.Workers()
+	if workers > len(defs) {
+		workers = len(defs)
+	}
+	results := make([]Result, len(defs))
+	if workers <= 1 {
+		for i, d := range defs {
+			results[i] = Measure(d)
+		}
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = Measure(defs[i])
+			}
+		}()
+	}
+	for i := range defs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelect(t *testing.T) {
+	if got, want := len(Select("")), len(Registry()); got != want {
+		t.Fatalf("empty filter selected %d of %d", got, want)
+	}
+	defs := Select(" t4 ,scale")
+	if len(defs) != 2 || defs[0].ID != "t4" || defs[1].ID != "scale" {
+		ids := make([]string, len(defs))
+		for i, d := range defs {
+			ids[i] = d.ID
+		}
+		t.Fatalf("Select(t4,scale) = %v", ids)
+	}
+	if defs := Select("nosuch"); len(defs) != 0 {
+		t.Fatalf("unknown id matched %d experiments", len(defs))
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range Registry() {
+		if seen[d.ID] {
+			t.Fatalf("duplicate experiment id %q", d.ID)
+		}
+		seen[d.ID] = true
+		if d.Run == nil || d.Name == "" {
+			t.Fatalf("experiment %q incomplete", d.ID)
+		}
+	}
+}
+
+func TestMeasureCollectsEngineTelemetry(t *testing.T) {
+	r := Measure(Def{ID: "t4", Name: "t4", Run: Table4})
+	if r.Engines == 0 {
+		t.Fatal("no engines attributed to the experiment")
+	}
+	if r.Stats.Dispatched == 0 || r.Stats.ProcSwitches == 0 {
+		t.Fatalf("empty engine stats: %+v", r.Stats)
+	}
+	if r.Wall <= 0 || r.Virtual <= 0 {
+		t.Fatalf("wall = %v, virtual = %v; want both > 0", r.Wall, r.Virtual)
+	}
+	if r.EventsPerSec() <= 0 || r.VirtualPerWall() <= 0 {
+		t.Fatalf("rates not positive: %v ev/s, %v virt/wall", r.EventsPerSec(), r.VirtualPerWall())
+	}
+	if r.probe.t4 == nil {
+		t.Fatal("Table4 run did not deposit its Table4Data")
+	}
+}
+
+func TestMeasureBenchHonorsFilter(t *testing.T) {
+	b := MeasureBench(Select("t4"), 1)
+	if len(b.Experiments) != 1 || b.Experiments[0].ID != "t4" {
+		t.Fatalf("experiments = %+v, want just t4", b.Experiments)
+	}
+	if b.AllocLatencies == nil {
+		t.Fatal("t4 selected but alloc_latencies section missing")
+	}
+	if b.FaultBreakdown != nil || b.DMAThroughput != nil || b.Scale != nil || b.Faults != nil {
+		t.Fatal("unselected sections populated")
+	}
+}
+
+// TestRunnerDeterminismAcrossParallelism is the regression gate for the
+// parallel runner: the full experiment registry must render byte-identical
+// tables sequentially and at every worker count, because each experiment's
+// engines are private and dispatch in (time, seq) order regardless of which
+// goroutine hosts them. CI runs this under -race.
+func TestRunnerDeterminismAcrossParallelism(t *testing.T) {
+	defs := Registry()
+	render := func(rs []Result) []string {
+		out := make([]string, len(rs))
+		for i, r := range rs {
+			out[i] = r.Table.String()
+		}
+		return out
+	}
+	seq := render(Runner{Parallel: 1}.Run(defs))
+	for _, workers := range []int{2, 4} {
+		par := render(Runner{Parallel: workers}.Run(defs))
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Errorf("workers=%d: experiment %s diverged:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					workers, defs[i].ID, firstDiffContext(seq[i]), firstDiffContext(par[i]))
+			}
+		}
+	}
+}
+
+func firstDiffContext(s string) string {
+	if len(s) > 600 {
+		return s[:600] + "…"
+	}
+	return s
+}
+
+func TestRunnerPreservesOrderAndIDs(t *testing.T) {
+	defs := Select("t1,t3,standby")
+	rs := Runner{Parallel: 3}.Run(defs)
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i, r := range rs {
+		if r.ID != defs[i].ID {
+			t.Fatalf("result %d = %q, want %q", i, r.ID, defs[i].ID)
+		}
+		if !strings.Contains(r.Table.String(), "==") {
+			t.Fatalf("result %d has an empty table", i)
+		}
+	}
+}

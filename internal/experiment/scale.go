@@ -83,6 +83,7 @@ func MeasureScale() []ScaleConfig {
 	for _, weak := range []int{1, 2, 4} {
 		out = append(out, scaleRun(weak))
 	}
+	deposit(func(pr *probe) { pr.scale = out })
 	return out
 }
 

@@ -65,7 +65,7 @@ func (t Table) String() string {
 
 // bootFresh boots an OS of the given mode on a new engine.
 func bootFresh(mode core.Mode, opts ...func(*core.Options)) (*sim.Engine, *core.OS) {
-	e := sim.NewEngine()
+	e := newEngine()
 	o := core.Options{Mode: mode}
 	for _, f := range opts {
 		f(&o)
@@ -91,28 +91,16 @@ func sz(bytes int64) string {
 	}
 }
 
-// All runs every experiment in the reproduction, in paper order.
+// All runs every deterministic experiment in the reproduction, in paper
+// order (the fault-injection experiment, whose results depend on the
+// process-wide FaultSeed, stays opt-in via the registry).
 func All() []Table {
-	return []Table{
-		Table1(),
-		Figure1(),
-		Table2(),
-		Table3(),
-		Figure6a(),
-		Figure6b(),
-		Figure6c(),
-		StandbyEstimate(),
-		StandbyTimeline(),
-		TimeoutSensitivity(),
-		DayInLife(),
-		Table4(),
-		Table5(),
-		Table6(),
-		AblationSharedAllocator(),
-		AblationThreeState(),
-		AblationInactiveClaim(),
-		AblationPlacementPolicy(),
-		AblationSuspendOverlap(),
-		Scale(),
+	var out []Table
+	for _, d := range Registry() {
+		if d.ID == "faults" {
+			continue
+		}
+		out = append(out, d.Run())
 	}
+	return out
 }

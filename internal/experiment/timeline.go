@@ -19,7 +19,7 @@ import (
 // StandbyEstimate, consecutive episodes here interact naturally (domains
 // may not reach the inactive state between close episodes).
 func timelineAvgMW(mode core.Mode, hours float64, sensePeriod, syncPeriod time.Duration, baseMW float64) float64 {
-	e := sim.NewEngine()
+	e := newEngine()
 	cfg := soc.DefaultConfig()
 	cfg.StrongFreqMHz = 350
 	o, err := core.Boot(e, core.Options{Mode: mode, SoC: &cfg})
@@ -96,7 +96,7 @@ func StandbyTimeline() Table {
 // sessions (normal threads bursting on the strong domain at its top
 // frequency) over the continuous background mix.
 func dayAvgMW(mode core.Mode, span time.Duration, baseMW float64) float64 {
-	e := sim.NewEngine()
+	e := newEngine()
 	o, err := core.Boot(e, core.Options{Mode: mode}) // 1200 MHz: interactive
 	if err != nil {
 		panic(err)

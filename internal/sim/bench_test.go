@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventFire measures the engine-event round trip: scheduling a
+// callback, firing a one-shot Event from it and waking a waiting proc.
+func BenchmarkEventFire(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("waiter", func(p *Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := NewEvent(e)
+			e.At(e.Now(), func() { ev.Fire() })
+			ev.Wait(p)
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSleep measures the closure-free timer path: one pooled event and
+// two coroutine handoffs per iteration, no allocations.
+func BenchmarkSleep(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("sleeper", func(p *Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSleepOrCancel measures the cancellable-sleep path with the
+// cancel never firing (the common case: the full duration elapses).
+func BenchmarkSleepOrCancel(b *testing.B) {
+	e := NewEngine()
+	cancel := NewEvent(e)
+	e.Spawn("sleeper", func(p *Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !p.SleepOrCancel(time.Microsecond, cancel) {
+				b.Fatal("sleep cancelled unexpectedly")
+			}
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSwitch measures a full proc-to-proc context switch: two
+// procs ping-pong a token through a pair of queues, so each iteration is
+// two parks, two wakes and two engine dispatches.
+func BenchmarkProcSwitch(b *testing.B) {
+	e := NewEngine()
+	qa, qb := NewQueue(e), NewQueue(e)
+	tok := struct{}{} // zero-size token: queue round trips without boxing
+	e.Spawn("a", func(p *Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qb.Put(tok)
+			qa.Get(p)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			qb.Get(p)
+			qa.Put(tok)
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -7,10 +7,17 @@
 // running in Procs (coroutines multiplexed by the engine, exactly one of
 // which executes at a time); they consume virtual time with Proc.Sleep and
 // synchronize through Events, Gates, Resources and Queues.
+//
+// The event queue is built for throughput: event records are recycled
+// through a free list, the priority queue is a 4-ary heap specialized to
+// *event (shallower than a binary heap, no interface dispatch), and the
+// common wake-a-proc operations (Sleep, Gate, Resource, Queue) go through a
+// closure-free fast path that stores the target Proc directly in the event.
+// None of this changes dispatch order: events still run strictly in
+// (time, seq) order, so results are bit-for-bit reproducible.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -29,30 +36,54 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
+// Event kinds. evFn runs an arbitrary callback; evWake resumes a parked
+// Proc without any closure; evTimer is evWake with one level of indirection
+// (it schedules the wake instead of performing it), which is what a
+// cancellable sleep needs: the cancel path can neuter the timer in place
+// and issue its own wake, and the neutered record is discarded when popped
+// instead of running a ghost callback.
+const (
+	evFn uint8 = iota
+	evWake
+	evTimer
+)
+
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	gen  uint32 // bumped on every recycle; guards stale cancel handles
+	kind uint8
+	proc *Proc  // wake target for evWake/evTimer (nil = neutered timer)
+	fn   func() // callback for evFn
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// Stats are cheap engine counters, maintained unconditionally (they cost a
+// few increments per event) and read through Engine.Stats. Wall accumulates
+// host time spent inside Run, so Dispatched/Wall.Seconds() is the engine's
+// events-per-second and the final virtual clock over Wall is the
+// virtual-to-wall-time ratio.
+type Stats struct {
+	Scheduled    uint64        // events pushed into the queue
+	Dispatched   uint64        // events popped and acted upon
+	Cancelled    uint64        // neutered timers discarded without running
+	ProcSwitches uint64        // engine-to-proc control transfers
+	Wall         time.Duration // host time spent inside Run
+}
+
+// EventsPerSec returns the dispatch rate over the accumulated wall time,
+// or 0 if no wall time has been recorded.
+func (s Stats) EventsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Dispatched) / s.Wall.Seconds()
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not usable;
@@ -60,11 +91,13 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []*event      // 4-ary min-heap ordered by (at, seq)
+	free    []*event      // recycled event records
 	yield   chan struct{} // procs signal the engine here when parking
 	failure error
 	stopped bool
 	nprocs  int // live (not yet terminated) procs
+	stats   Stats
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -75,27 +108,134 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at time t (>= Now). fn runs in engine context and
-// must not block; to perform blocking work, have fn spawn or wake a Proc.
-func (e *Engine) At(t Time, fn func()) {
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// alloc takes an event record off the free list (or makes one), stamps it
+// with the next sequence number and returns it ready to push.
+func (e *Engine) alloc(t Time, kind uint8, p *Proc, fn func()) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(event)
+	}
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	ev.at, ev.seq, ev.kind, ev.proc, ev.fn = t, e.seq, kind, p, fn
+	return ev
+}
+
+// release recycles a dispatched (or discarded) event. The generation bump
+// invalidates any outstanding cancel handle to the old occupant.
+func (e *Engine) release(ev *event) {
+	ev.proc = nil
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// push inserts ev into the 4-ary heap.
+func (e *Engine) push(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+	e.events = h
+	e.stats.Scheduled++
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() *event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			best := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if eventLess(h[j], h[best]) {
+					best = j
+				}
+			}
+			if !eventLess(h[best], last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
+		}
+		h[i] = last
+	}
+	e.events = h
+	return top
+}
+
+// At schedules fn to run at time t (>= Now). fn runs in engine context and
+// must not block; to perform blocking work, have fn spawn or wake a Proc.
+func (e *Engine) At(t Time, fn func()) {
+	e.push(e.alloc(t, evFn, nil, fn))
 }
 
 // After schedules fn to run d from now. See At for restrictions on fn.
 func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now.Add(d), fn) }
 
+// wakeAt schedules a closure-free resume of p at time t. It is the fast
+// path under Sleep, Gate, Resource and Queue wakeups.
+func (e *Engine) wakeAt(t Time, p *Proc) {
+	e.push(e.alloc(t, evWake, p, nil))
+}
+
+// timerAt schedules a cancellable wake of p at time t: when dispatched it
+// schedules an immediate evWake (matching the two-step wake the cancellable
+// sleep has always used), and until then it can be neutered in place by
+// cancelTimer. Callers must capture ev.gen alongside the returned event to
+// detect recycling.
+func (e *Engine) timerAt(t Time, p *Proc) *event {
+	ev := e.alloc(t, evTimer, p, nil)
+	e.push(ev)
+	return ev
+}
+
+// cancelTimer neuters the pending timer ev if (and only if) the handle
+// still refers to the same armed timer: same generation, still a timer,
+// still targeting p. It reports whether the timer was cancelled; a false
+// return means the timer already fired (or the record was recycled) and the
+// cancel must do nothing.
+func (e *Engine) cancelTimer(ev *event, gen uint32, p *Proc) bool {
+	if ev.gen != gen || ev.kind != evTimer || ev.proc != p {
+		return false
+	}
+	ev.proc = nil // discarded, not dispatched, when popped
+	return true
+}
+
 // Spawn starts a new Proc running fn. The proc begins execution at the
 // current virtual time (after already-scheduled events at that time).
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{name: name, eng: e, cont: make(chan struct{})}
-	e.nprocs++
-	go p.run(fn)
-	e.At(e.now, func() { p.resume() })
-	return p
+	return e.SpawnAt(e.now, name, fn)
 }
 
 // SpawnAt is Spawn with an explicit start time.
@@ -103,7 +243,7 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{name: name, eng: e, cont: make(chan struct{})}
 	e.nprocs++
 	go p.run(fn)
-	e.At(t, func() { p.resume() })
+	e.wakeAt(t, p)
 	return p
 }
 
@@ -114,15 +254,37 @@ func (e *Engine) Stop() { e.stopped = true }
 // (if until > 0), Stop is called, or a proc fails. It returns the first proc
 // failure, if any.
 func (e *Engine) Run(until Time) error {
+	start := time.Now()
+	defer func() { e.stats.Wall += time.Since(start) }()
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.events[0]
 		if until > 0 && ev.at > until {
 			e.now = until
 			break
 		}
-		heap.Pop(&e.events)
+		e.pop()
 		e.now = ev.at
-		ev.fn()
+		switch ev.kind {
+		case evWake:
+			p := ev.proc
+			e.release(ev)
+			e.stats.Dispatched++
+			p.resume()
+		case evTimer:
+			p := ev.proc
+			e.release(ev)
+			if p == nil { // neutered by a cancel: discard silently
+				e.stats.Cancelled++
+				break
+			}
+			e.stats.Dispatched++
+			e.wakeAt(e.now, p)
+		default:
+			fn := ev.fn
+			e.release(ev)
+			e.stats.Dispatched++
+			fn()
+		}
 		if e.failure != nil {
 			return e.failure
 		}
@@ -179,6 +341,7 @@ func (p *Proc) resume() {
 	if p.dead {
 		return
 	}
+	p.eng.stats.ProcSwitches++
 	p.cont <- struct{}{}
 	<-p.eng.yield
 }
@@ -195,7 +358,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.At(p.eng.now.Add(d), func() { p.resume() })
+	p.eng.wakeAt(p.eng.now.Add(d), p)
 	p.park()
 }
 

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineStatsCounts(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		p.Sleep(time.Millisecond)
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	// 5 fn events + 1 spawn wake + 2 sleep wakes.
+	if st.Scheduled != 8 || st.Dispatched != 8 {
+		t.Fatalf("scheduled/dispatched = %d/%d, want 8/8", st.Scheduled, st.Dispatched)
+	}
+	// One engine-to-proc transfer for the spawn and one per sleep wake;
+	// termination happens inside the final transfer.
+	if st.ProcSwitches != 3 {
+		t.Fatalf("proc switches = %d, want 3", st.ProcSwitches)
+	}
+	if st.Cancelled != 0 {
+		t.Fatalf("cancelled = %d, want 0", st.Cancelled)
+	}
+	if st.Wall <= 0 {
+		t.Fatalf("wall = %v, want > 0", st.Wall)
+	}
+	if st.EventsPerSec() <= 0 {
+		t.Fatalf("events/sec = %v, want > 0", st.EventsPerSec())
+	}
+}
+
+func TestCancelledSleepLeavesNoGhostEvent(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	e.Spawn("s", func(p *Proc) {
+		if p.SleepOrCancel(10*time.Millisecond, ev) {
+			t.Error("sleep completed despite cancel")
+		}
+	})
+	e.At(Time(time.Millisecond), func() { ev.Fire() })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want exactly the neutered sleep timer", st.Cancelled)
+	}
+	// The neutered timer must still have been drained from the queue.
+	if len(e.events) != 0 {
+		t.Fatalf("%d events left in queue", len(e.events))
+	}
+}
+
+// TestStaleCancelDoesNotCorruptRecycledTimer arms a cancellable sleep,
+// completes it, then reuses the engine (recycling the timer record) for a
+// second cancellable sleep before firing the FIRST sleep's cancel event. The
+// stale cancel must not neuter the second sleep's timer.
+func TestStaleCancelDoesNotCorruptRecycledTimer(t *testing.T) {
+	e := NewEngine()
+	ev1, ev2 := NewEvent(e), NewEvent(e)
+	var first, second bool
+	e.Spawn("s", func(p *Proc) {
+		first = p.SleepOrCancel(time.Millisecond, ev1)
+		second = p.SleepOrCancel(10*time.Millisecond, ev2)
+	})
+	// Fire ev1 while the SECOND sleep is pending: its timer record may be
+	// the recycled record of the first.
+	e.At(Time(5*time.Millisecond), func() { ev1.Fire() })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !first {
+		t.Fatal("first sleep should have completed before its cancel fired")
+	}
+	if !second {
+		t.Fatal("second sleep was cancelled by the first sleep's stale cancel")
+	}
+	if e.Now() != Time(11*time.Millisecond) {
+		t.Fatalf("final time = %v, want 11ms", e.Now())
+	}
+}
+
+// TestEventPoolPreservesOrder exercises heavy recycle pressure: interleaved
+// timers, sleeps and callbacks must still dispatch in (time, seq) order.
+func TestEventPoolPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for round := 0; round < 50; round++ {
+		base := Time(round) * Time(time.Millisecond)
+		for i := 4; i >= 0; i-- {
+			at := base + Time(i)*Time(100*time.Microsecond)
+			e.At(at, func() { got = append(got, e.Now()) })
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 250 {
+		t.Fatalf("dispatched %d events, want 250", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("dispatch order regressed at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+	if free := len(e.free); free == 0 {
+		t.Fatal("free list empty after heavy recycling; pool not engaged")
+	}
+}
+
+// TestFourAryHeapOrdering drives the specialized heap through adversarial
+// same-time bursts: ties must break strictly by schedule order.
+func TestFourAryHeapOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for _, at := range []Time{7, 3, 3, 9, 1, 3, 7, 1, 0, 9, 5} {
+		e.At(at, func() { got = append(got, int(e.Now())) })
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 3, 3, 3, 5, 7, 7, 9, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch times = %v, want %v", got, want)
+		}
+	}
+}

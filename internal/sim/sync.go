@@ -46,7 +46,7 @@ func (ev *Event) Wait(p *Proc) {
 		return
 	}
 	ev.OnFire(func() {
-		ev.eng.At(ev.eng.now, func() { p.resume() })
+		ev.eng.wakeAt(ev.eng.now, p)
 	})
 	p.park()
 }
@@ -54,6 +54,10 @@ func (ev *Event) Wait(p *Proc) {
 // SleepOrCancel sleeps for d but wakes early if cancel fires first. It
 // reports whether the full duration elapsed. A nil cancel degrades to
 // Sleep.
+//
+// The sleep arms a closure-free engine timer; if cancel fires first the
+// timer is neutered in place, so no ghost event survives to pop and no-op
+// after the proc has moved on.
 func (p *Proc) SleepOrCancel(d time.Duration, cancel *Event) (completed bool) {
 	if cancel == nil {
 		p.Sleep(d)
@@ -62,17 +66,19 @@ func (p *Proc) SleepOrCancel(d time.Duration, cancel *Event) (completed bool) {
 	if cancel.Fired() {
 		return false
 	}
-	woken := false
-	wake := func(full bool) {
-		if woken {
-			return
+	e := p.eng
+	ev := e.timerAt(e.now.Add(d), p)
+	gen := ev.gen
+	completed = true
+	cancel.OnFire(func() {
+		// A stale fire (after the timer ran, or after the record was
+		// recycled into an unrelated event) fails the cancel and must not
+		// touch the proc.
+		if e.cancelTimer(ev, gen, p) {
+			completed = false
+			e.wakeAt(e.now, p)
 		}
-		woken = true
-		completed = full
-		p.eng.At(p.eng.now, func() { p.resume() })
-	}
-	p.eng.After(d, func() { wake(true) })
-	cancel.OnFire(func() { wake(false) })
+	})
 	p.park()
 	return completed
 }
@@ -80,36 +86,44 @@ func (p *Proc) SleepOrCancel(d time.Duration, cancel *Event) (completed bool) {
 // Gate is a repeatable wait point: procs block on Wait until another party
 // calls Open, which releases all current waiters; the gate then remains
 // closed for subsequent waiters (unlike Event).
+//
+// Waiters queue in a head-indexed slice so the backing array is reused
+// across open/wait cycles instead of reallocating on every append.
 type Gate struct {
 	eng     *Engine
 	waiters []*Proc
+	head    int
 }
 
 // NewGate returns a closed gate on e.
 func NewGate(e *Engine) *Gate { return &Gate{eng: e} }
 
 // Waiters returns how many procs are currently blocked.
-func (g *Gate) Waiters() int { return len(g.waiters) }
+func (g *Gate) Waiters() int { return len(g.waiters) - g.head }
 
 // Open releases all procs currently blocked in Wait.
 func (g *Gate) Open() {
-	ws := g.waiters
-	g.waiters = nil
-	for _, w := range ws {
-		w := w
-		g.eng.At(g.eng.now, func() { w.resume() })
+	for _, w := range g.waiters[g.head:] {
+		g.eng.wakeAt(g.eng.now, w)
 	}
+	g.waiters = g.waiters[:0]
+	g.head = 0
 }
 
 // OpenOne releases the longest-waiting proc, if any, and reports whether a
 // proc was released.
 func (g *Gate) OpenOne() bool {
-	if len(g.waiters) == 0 {
+	if g.head == len(g.waiters) {
 		return false
 	}
-	w := g.waiters[0]
-	g.waiters = g.waiters[1:]
-	g.eng.At(g.eng.now, func() { w.resume() })
+	w := g.waiters[g.head]
+	g.waiters[g.head] = nil
+	g.head++
+	if g.head == len(g.waiters) {
+		g.waiters = g.waiters[:0]
+		g.head = 0
+	}
+	g.eng.wakeAt(g.eng.now, w)
 	return true
 }
 
@@ -202,14 +216,16 @@ func (r *Resource) grant() {
 	w := r.waiters[best]
 	r.waiters = append(r.waiters[:best], r.waiters[best+1:]...)
 	r.inUse++
-	r.eng.At(r.eng.now, func() { w.p.resume() })
+	r.eng.wakeAt(r.eng.now, w.p)
 }
 
 // Queue is an unbounded FIFO of values with blocking Get; it models message
-// queues such as hardware mailboxes.
+// queues such as hardware mailboxes. Like Gate, it is head-indexed so a
+// steady-state put/get cycle reuses the backing array without allocating.
 type Queue struct {
 	eng   *Engine
 	items []any
+	head  int
 	gate  *Gate
 }
 
@@ -217,7 +233,7 @@ type Queue struct {
 func NewQueue(e *Engine) *Queue { return &Queue{eng: e, gate: NewGate(e)} }
 
 // Len returns the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return len(q.items) - q.head }
 
 // Put appends v and wakes one waiting getter.
 func (q *Queue) Put(v any) {
@@ -225,24 +241,32 @@ func (q *Queue) Put(v any) {
 	q.gate.OpenOne()
 }
 
+// take removes and returns the head item; the caller guarantees Len() > 0.
+func (q *Queue) take() any {
+	v := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
 // Get blocks p until an item is available and returns it.
 func (q *Queue) Get(p *Proc) any {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		q.gate.Wait(p)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v
+	return q.take()
 }
 
 // TryGet returns the next item without blocking, or (nil, false).
 func (q *Queue) TryGet() (any, bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return nil, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.take(), true
 }
 
 // Timer schedules fn once after d, and can be cancelled or reset. It is used

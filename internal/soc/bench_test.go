@@ -1,0 +1,32 @@
+package soc
+
+import (
+	"testing"
+
+	"k2/internal/sim"
+)
+
+// BenchmarkMailboxRoundTrip measures one full mailbox ping-pong between the
+// strong and weak domains: two sends, two interrupt-driven deliveries and
+// two receiver wakeups per iteration, on the default (perfect) fabric.
+func BenchmarkMailboxRoundTrip(b *testing.B) {
+	e := sim.NewEngine()
+	s := New(e, DefaultConfig())
+	mb := s.Mailbox
+	e.Spawn("strong", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mb.SendAsync(Strong, Weak, NewMessage(MsgGeneric, uint32(i)&0xFFFFF, mb.NextSeq()))
+			mb.Recv(p, Strong)
+		}
+	})
+	e.Spawn("weak", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			m := mb.Recv(p, Weak)
+			mb.SendAsync(Weak, Strong, NewMessage(MsgGeneric, m.Payload(), mb.NextSeq()))
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
