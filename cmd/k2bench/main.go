@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,11 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this path")
 	flag.Parse()
 	experiment.FaultSeed = *seed
+
+	if *parallel < 1 {
+		fmt.Fprintln(os.Stderr, "k2bench: -parallel must be at least 1")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, d := range experiment.Registry() {
@@ -115,7 +121,7 @@ func main() {
 		return
 	}
 
-	results := experiment.Runner{Parallel: *parallel}.Run(defs)
+	results := experiment.Runner{Parallel: *parallel}.RunContext(context.Background(), defs)
 	for _, r := range results {
 		switch *format {
 		case "text":

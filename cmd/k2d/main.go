@@ -1,0 +1,111 @@
+// Command k2d serves the K2 experiment registry as a long-lived,
+// multi-tenant simulation service: jobs enter a bounded priority queue,
+// admission control sheds load past the bound with 429s, a worker pool of
+// private simulation engines runs them, and results, live NDJSON kernel
+// traces and Prometheus metrics come back over HTTP.
+//
+// Determinism is preserved end to end: the same experiment and seed return
+// byte-identical tables regardless of queue position or -parallel, so
+// `curl .../v1/jobs/{id}?format=text` diffs clean against `k2bench -only`.
+//
+// Usage:
+//
+//	k2d                               # serve on :8080 with GOMAXPROCS workers
+//	k2d -addr :9090 -parallel 4       # explicit bind + worker pool
+//	k2d -queue 128 -timeout 2m        # admission bound + default job deadline
+//
+//	curl -X POST localhost:8080/v1/jobs -d '{"experiment":"t4"}'
+//	curl localhost:8080/v1/jobs/j00000001?wait=30\&format=text
+//	curl localhost:8080/v1/jobs/j00000001/trace
+//	curl localhost:8080/metrics
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: it stops admitting,
+// cancels queued jobs, lets in-flight jobs finish within the grace period
+// (cancelling whatever remains after it), then exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"k2/internal/experiment"
+	"k2/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent jobs (worker-pool size)")
+	queueDepth := flag.Int("queue", 64, "admission bound: queued jobs beyond this are rejected with 429")
+	timeout := flag.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = none; jobs may set timeout_ms)")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace: how long in-flight jobs may finish after SIGTERM")
+	seed := flag.Int64("seed", experiment.FaultSeed, "default PRNG seed for fault-injection jobs")
+	traceEvents := flag.Int("trace-events", 16384, "per-job kernel-trace retention bound")
+	flag.Parse()
+
+	if *parallel < 1 {
+		fmt.Fprintln(os.Stderr, "k2d: -parallel must be at least 1")
+		os.Exit(2)
+	}
+	if *queueDepth < 1 {
+		fmt.Fprintln(os.Stderr, "k2d: -queue must be at least 1")
+		os.Exit(2)
+	}
+	if *timeout < 0 || *grace < 0 {
+		fmt.Fprintln(os.Stderr, "k2d: -timeout and -grace must not be negative")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "k2d: ", log.LstdFlags)
+	s := server.New(server.Config{
+		Parallel:    *parallel,
+		QueueDepth:  *queueDepth,
+		JobTimeout:  *timeout,
+		Seed:        *seed,
+		TraceEvents: *traceEvents,
+	})
+	s.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	logger.Printf("serving on %s (%d workers, queue %d, %d experiments)",
+		ln.Addr(), s.Workers(), *queueDepth, len(experiment.Registry()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining (grace %v)", *grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	// The job layer is quiesced; now close the listener and let pending
+	// responses (result fetches of drained jobs) flush.
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("drained; exiting")
+}

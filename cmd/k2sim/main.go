@@ -72,6 +72,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "k2sim: -weakdomains must be at least 1")
 		os.Exit(2)
 	}
+	if *dropP < 0 || *dropP > 1 {
+		fmt.Fprintln(os.Stderr, "k2sim: -drop is a probability and must be in [0, 1]")
+		os.Exit(2)
+	}
+	if *crashAt < 0 || *rebootAfter < 0 {
+		fmt.Fprintln(os.Stderr, "k2sim: -crash and -reboot must not be negative")
+		os.Exit(2)
+	}
+	if *rebootAfter > 0 && *crashAt == 0 {
+		fmt.Fprintln(os.Stderr, "k2sim: -reboot needs a -crash time to reboot from")
+		os.Exit(2)
+	}
 	eng := sim.NewEngine()
 	cfg := soc.DefaultConfig()
 	cfg.StrongFreqMHz = *mhz

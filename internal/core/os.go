@@ -64,6 +64,10 @@ type Options struct {
 	DiskBlocks int
 	// TraceCapacity sizes the kernel tracer ring (default 4096 events).
 	TraceCapacity int
+	// TraceSink, if non-nil, receives every kernel-trace event live as it
+	// is emitted, in addition to the ring. Used by k2d to stream job
+	// traces over HTTP.
+	TraceSink func(trace.Event)
 	// SensorPeriod, if non-zero, enables the autonomous sensor device
 	// sampling at this period. Off by default: a free-running device
 	// keeps generating interrupts, which matters for idle experiments.
@@ -163,6 +167,9 @@ func Boot(eng *sim.Engine, opts Options) (*OS, error) {
 	}
 	o.Meter = power.NewMeter(rails...)
 	o.Trace = trace.New(eng, opts.TraceCapacity)
+	if opts.TraceSink != nil {
+		o.Trace.SetSink(opts.TraceSink)
+	}
 	o.Trace.Emit(trace.Boot, "booting %v on simulated OMAP4 (strong %d MHz, weak %d MHz)",
 		opts.Mode, cfg.StrongFreqMHz, cfg.WeakFreqMHz)
 

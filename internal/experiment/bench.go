@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"time"
+
+	"k2/internal/stats"
 )
 
 // ExperimentTelemetry is the host-side performance record of one
@@ -46,15 +48,54 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 // N-domain scaling results and the fault-injection record for whichever of
 // those experiments were selected.
 type BenchData struct {
-	Parallel    int                   `json:"parallel"`
-	TotalWallMS float64               `json:"total_wall_ms"`
-	Experiments []ExperimentTelemetry `json:"experiments"`
+	Parallel     int                   `json:"parallel"`
+	TotalWallMS  float64               `json:"total_wall_ms"`
+	EventsPerSec *RateSummary          `json:"events_per_sec,omitempty"`
+	Experiments  []ExperimentTelemetry `json:"experiments"`
 
 	AllocLatencies *Table4Data     `json:"alloc_latencies,omitempty"`
 	FaultBreakdown *Table5Data     `json:"dsm_fault_breakdown,omitempty"`
 	DMAThroughput  []DMAThroughput `json:"dma_throughput,omitempty"`
 	Scale          []ScaleConfig   `json:"scale,omitempty"`
 	Faults         *FaultsData     `json:"faults,omitempty"`
+}
+
+// RateSummary is the distribution of per-experiment events_per_sec over a
+// bench run: how fast the engine dispatched, experiment by experiment.
+type RateSummary struct {
+	N    int64   `json:"n"`
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+// rateSummaryOf folds the per-experiment rates through a stats.Histogram.
+// The histogram observes durations; a unitless rate is recorded as that
+// many nanosecond ticks and read back as a float — the retained-sample
+// percentile math is unit-agnostic, only the bucket labels assume time,
+// and those are never rendered here.
+func rateSummaryOf(results []Result) *RateSummary {
+	h := stats.NewHistogram(0)
+	for _, r := range results {
+		if r.Err == nil {
+			h.Observe(time.Duration(r.EventsPerSec()))
+		}
+	}
+	if h.N() == 0 {
+		return nil
+	}
+	return &RateSummary{
+		N:    h.N(),
+		Min:  h.Min(),
+		Mean: h.Mean(),
+		Max:  h.Max(),
+		P50:  float64(h.P50()),
+		P95:  float64(h.P95()),
+		P99:  float64(h.P99()),
+	}
 }
 
 // MeasureBench runs the selected experiments through the runner and
@@ -67,7 +108,7 @@ func MeasureBench(defs []Def, parallel int) BenchData {
 	results := r.Run(defs)
 	total := time.Since(start)
 
-	b := BenchData{Parallel: r.Workers(), TotalWallMS: ms(total)}
+	b := BenchData{Parallel: r.Workers(), TotalWallMS: ms(total), EventsPerSec: rateSummaryOf(results)}
 	for _, res := range results {
 		b.Experiments = append(b.Experiments, telemetryOf(res))
 		pr := res.probe

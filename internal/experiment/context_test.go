@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"k2/internal/trace"
+)
+
+func defByID(t *testing.T, id string) Def {
+	t.Helper()
+	d, ok := DefFor(id, Params{})
+	if !ok {
+		t.Fatalf("experiment %q not in registry", id)
+	}
+	return d
+}
+
+// TestMeasureContextCancelStopsPromptly submits a long experiment under an
+// already-cancelled context: the engines must stop at their first
+// interrupt poll and the result must carry the context error, not a table.
+func TestMeasureContextCancelStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	r := MeasureContext(ctx, defByID(t, "timeline"))
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", r.Err)
+	}
+	if len(r.Table.Rows) != 0 {
+		t.Fatalf("cancelled measurement produced a table: %+v", r.Table)
+	}
+	// The timeline experiment simulates hours; a prompt stop is orders of
+	// magnitude faster than running it out.
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("cancelled measurement still took %v", d)
+	}
+}
+
+// TestMeasureContextDeadline is the same through a deadline, as k2d's
+// per-job timeout uses it.
+func TestMeasureContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	r := MeasureContext(ctx, defByID(t, "timeline"))
+	if !errors.Is(r.Err, context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want context.DeadlineExceeded", r.Err)
+	}
+}
+
+// TestMeasureContextBackgroundIdentical asserts the satellite contract:
+// threading a background context through the runner changes nothing about
+// what an experiment produces.
+func TestMeasureContextBackgroundIdentical(t *testing.T) {
+	d := defByID(t, "f6a")
+	plain := Measure(d)
+	ctxed := MeasureContext(context.Background(), d)
+	if plain.Err != nil || ctxed.Err != nil {
+		t.Fatalf("unexpected errors: %v, %v", plain.Err, ctxed.Err)
+	}
+	if got, want := ctxed.Table.String(), plain.Table.String(); got != want {
+		t.Fatalf("tables differ under background context:\n%s\nvs\n%s", got, want)
+	}
+	if ctxed.Stats.Dispatched != plain.Stats.Dispatched {
+		t.Fatalf("dispatched %d vs %d", ctxed.Stats.Dispatched, plain.Stats.Dispatched)
+	}
+}
+
+// TestRunContextSkipsPending asserts that experiments not yet started when
+// the context dies are skipped with the context error.
+func TestRunContextSkipsPending(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	defs := []Def{defByID(t, "t3"), defByID(t, "f6a")}
+	results := Runner{Parallel: 1}.RunContext(ctx, defs)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d: Err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.ID != defs[i].ID {
+			t.Fatalf("result %d: ID = %q, want %q", i, r.ID, defs[i].ID)
+		}
+	}
+}
+
+// TestWithTraceSink asserts that a measured experiment streams its kernel
+// trace to the installed sink, starting with the boot event.
+func TestWithTraceSink(t *testing.T) {
+	var events []trace.Event
+	r := MeasureContext(context.Background(), defByID(t, "f6a"),
+		WithTraceSink(func(ev trace.Event) { events = append(events, ev) }))
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace sink saw no events")
+	}
+	if !strings.HasPrefix(events[0].Msg, "booting") {
+		t.Fatalf("first sink event = %q, want a boot record", events[0].Msg)
+	}
+}
+
+// TestDefForParams asserts the parameter binding: unknown IDs are
+// reported, and seed/weak-domain params reach the bound experiment.
+func TestDefForParams(t *testing.T) {
+	if _, ok := DefFor("nope", Params{}); ok {
+		t.Fatal("DefFor accepted an unknown experiment")
+	}
+	d, ok := DefFor("scale", Params{WeakDomains: 2})
+	if !ok {
+		t.Fatal("scale not found")
+	}
+	tab := d.Run()
+	// A single 2-weak-domain config has exactly 3 domain rows.
+	if len(tab.Rows) != 3 {
+		t.Fatalf("scale with WeakDomains=2 produced %d rows, want 3", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "2" {
+		t.Fatalf("first row label = %q, want \"2\"", tab.Rows[0][0])
+	}
+}

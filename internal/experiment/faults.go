@@ -107,27 +107,33 @@ func faultsRun(plan *fault.Plan) (*sim.Engine, *core.OS, time.Duration) {
 	return e, o, span
 }
 
-// MeasureFaults runs the fault-injection experiment: a fault-free baseline,
-// then the same workload with weak domain 1 crashing mid-run (rebooting
-// 50 ms later) and every mailbox link dropping ~1 % of its traffic.
-func MeasureFaults() FaultsData {
+// MeasureFaults runs the fault-injection experiment with the process-wide
+// FaultSeed (the k2bench/k2sim -seed flag).
+func MeasureFaults() FaultsData { return MeasureFaultsSeed(FaultSeed) }
+
+// MeasureFaultsSeed runs the fault-injection experiment with an explicit
+// seed: a fault-free baseline, then the same workload with weak domain 1
+// crashing mid-run (rebooting 50 ms later) and every mailbox link dropping
+// ~1 % of its traffic. Unlike MeasureFaults it reads no process-wide
+// state, so concurrent runs with different seeds (k2d jobs) cannot race.
+func MeasureFaultsSeed(seed int64) FaultsData {
 	const (
 		crashAt     = 60 * time.Millisecond
 		rebootAfter = 50 * time.Millisecond
 		dropP       = 0.01
 	)
 	d := FaultsData{
-		Seed:          FaultSeed,
+		Seed:          seed,
 		CrashAtMS:     float64(crashAt.Microseconds()) / 1e3,
 		RebootAfterMS: float64(rebootAfter.Microseconds()) / 1e3,
 		DropPct:       dropP * 100,
 	}
 
-	_, ob, spanB := faultsRun(fault.NewPlan(FaultSeed)) // empty plan: fault-free
+	_, ob, spanB := faultsRun(fault.NewPlan(seed)) // empty plan: fault-free
 	d.BaselineEnergyMJ = ob.EnergyJ() * 1e3
 	d.BaselineSpanMS = float64(spanB.Microseconds()) / 1e3
 
-	plan := fault.NewPlan(FaultSeed).
+	plan := fault.NewPlan(seed).
 		CrashAt(soc.Weak, crashAt, rebootAfter).
 		AllLinks(fault.LinkFaults{DropP: dropP})
 	_, o, span := faultsRun(plan)
@@ -159,8 +165,11 @@ func MeasureFaults() FaultsData {
 // Faults reports the fault-injection experiment: what it costs the system
 // to survive a mid-run kernel crash plus a lossy fabric, measured against
 // the identical fault-free configuration.
-func Faults() Table {
-	d := MeasureFaults()
+func Faults() Table { return FaultsSeed(FaultSeed) }
+
+// FaultsSeed is Faults with an explicit injector seed.
+func FaultsSeed(seed int64) Table {
+	d := MeasureFaultsSeed(seed)
 	t := Table{
 		ID: "Faults",
 		Title: fmt.Sprintf(

@@ -38,6 +38,49 @@ func Registry() []Def {
 	}
 }
 
+// Params configure a parameterized instance of a registered experiment.
+// The zero value means "as registered": every experiment accepts it, and
+// DefFor with zero Params returns exactly the registry entry's behaviour.
+type Params struct {
+	// Seed overrides the fault-injection PRNG seed for the faults
+	// experiment (0 = the process-wide FaultSeed default). Same
+	// experiment + same seed means byte-identical output, which is the
+	// determinism contract k2d exposes.
+	Seed int64
+	// WeakDomains, if non-zero, narrows the scale experiment to a single
+	// platform with this many weak domains instead of the 1/2/4 sweep.
+	WeakDomains int
+}
+
+// DefFor resolves a registry ID to a Def bound to the given params. The
+// binding closes over the param values — unlike the registry entries it
+// never reads process-wide state at run time, so concurrent DefFor jobs
+// with different params cannot race (this is what k2d dispatches). Unknown
+// IDs report ok == false; params that an experiment does not understand
+// are ignored.
+func DefFor(id string, p Params) (Def, bool) {
+	for _, d := range Registry() {
+		if d.ID != id {
+			continue
+		}
+		switch id {
+		case "faults":
+			seed := p.Seed
+			if seed == 0 {
+				seed = FaultSeed
+			}
+			d.Run = func() Table { return FaultsSeed(seed) }
+		case "scale":
+			if p.WeakDomains > 0 {
+				weak := p.WeakDomains
+				d.Run = func() Table { return ScaleN(weak) }
+			}
+		}
+		return d, true
+	}
+	return Def{}, false
+}
+
 // Select filters the registry down to the comma-separated IDs in only
 // (whitespace around IDs is ignored). An empty only selects everything;
 // unknown IDs simply match nothing, mirroring the historical k2bench

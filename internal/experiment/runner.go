@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
 
 	"k2/internal/sim"
+	"k2/internal/trace"
 )
 
 // probe collects what one experiment run did: every engine it booted (for
@@ -14,6 +16,14 @@ import (
 // goroutine at a time, so its fields need no locking.
 type probe struct {
 	engines []*sim.Engine
+
+	// ctx, when cancellable, is wired into every engine the experiment
+	// boots as a cooperative interrupt, so a cancelled measurement stops
+	// dispatching promptly instead of running to completion.
+	ctx context.Context
+	// traceSink, if set, is installed on every kernel tracer the
+	// experiment boots (via bootFresh), streaming events live.
+	traceSink func(trace.Event)
 
 	t4     *Table4Data
 	t5     *Table5Data
@@ -56,10 +66,17 @@ func activeProbe() *probe {
 // newEngine is the experiment package's engine constructor: identical to
 // sim.NewEngine, plus registration with the calling goroutine's probe so
 // the runner can aggregate per-experiment engine telemetry afterwards.
+// Under a cancellable context the engine also gets a cooperative interrupt
+// check; contexts that can never be cancelled (context.Background) install
+// nothing, keeping the default path byte- and cost-identical.
 func newEngine() *sim.Engine {
 	e := sim.NewEngine()
 	if pr := activeProbe(); pr != nil {
 		pr.engines = append(pr.engines, e)
+		if pr.ctx != nil && pr.ctx.Done() != nil {
+			ctx := pr.ctx
+			e.SetInterrupt(func() error { return ctx.Err() })
+		}
 	}
 	return e
 }
@@ -78,6 +95,10 @@ type Result struct {
 	ID    string
 	Name  string
 	Table Table
+
+	// Err is non-nil when the measurement was cancelled or timed out via
+	// its context before the experiment finished; Table is then zero.
+	Err error
 
 	Wall    time.Duration // host time for the whole experiment
 	Virtual sim.Time      // summed final virtual clocks of its engines
@@ -108,17 +129,55 @@ func (r Result) VirtualPerWall() float64 {
 
 // Measure runs one experiment with a probe attached and returns its table
 // together with the engine telemetry.
-func Measure(d Def) Result {
-	pr := &probe{}
+func Measure(d Def) Result { return MeasureContext(context.Background(), d) }
+
+// An Option adjusts one measurement.
+type Option func(*probe)
+
+// WithTraceSink streams every kernel-trace event the experiment's booted
+// systems emit to fn, live, called from the goroutine running the
+// experiment. The sink observes; it must not touch simulation state.
+func WithTraceSink(fn func(trace.Event)) Option {
+	return func(pr *probe) { pr.traceSink = fn }
+}
+
+// MeasureContext is Measure under a context: every engine the experiment
+// boots carries a cooperative interrupt bound to ctx, so cancellation or a
+// deadline stops the measurement promptly — abandoned engines are shut
+// down (their proc goroutines unwound) and the Result carries ctx's error
+// instead of a table. With a non-cancellable context the behaviour and the
+// produced bytes are identical to Measure.
+func MeasureContext(ctx context.Context, d Def, opts ...Option) Result {
+	pr := &probe{ctx: ctx}
+	for _, o := range opts {
+		o(pr)
+	}
 	id := goid()
 	probes.Store(id, pr)
 	defer probes.Delete(id)
 
 	start := time.Now()
-	tab := d.Run()
-	wall := time.Since(start)
-
-	r := Result{ID: d.ID, Name: d.Name, Table: tab, Wall: wall, Engines: len(pr.engines), probe: pr}
+	r := Result{ID: d.ID, Name: d.Name, probe: pr}
+	func() {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if ctx.Err() == nil {
+				panic(rec) // a genuine experiment failure, not a cancellation
+			}
+			// The interrupt stopped an engine mid-run and the experiment
+			// panicked on the resulting error. Unwind what it left behind.
+			r.Err = ctx.Err()
+			for _, e := range pr.engines {
+				e.Shutdown()
+			}
+		}()
+		r.Table = d.Run()
+	}()
+	r.Wall = time.Since(start)
+	r.Engines = len(pr.engines)
 	for _, e := range pr.engines {
 		st := e.Stats()
 		r.Stats.Scheduled += st.Scheduled
@@ -151,14 +210,27 @@ func (r Runner) Workers() int {
 // Run measures every def and returns the results in def order, regardless
 // of completion order.
 func (r Runner) Run(defs []Def) []Result {
+	return r.RunContext(context.Background(), defs)
+}
+
+// RunContext is Run under a context: in-flight experiments are interrupted
+// when ctx is cancelled, and experiments not yet started are skipped;
+// either way their Result carries ctx's error.
+func (r Runner) RunContext(ctx context.Context, defs []Def) []Result {
 	workers := r.Workers()
 	if workers > len(defs) {
 		workers = len(defs)
 	}
+	measure := func(i int) Result {
+		if err := ctx.Err(); err != nil {
+			return Result{ID: defs[i].ID, Name: defs[i].Name, Err: err}
+		}
+		return MeasureContext(ctx, defs[i])
+	}
 	results := make([]Result, len(defs))
 	if workers <= 1 {
-		for i, d := range defs {
-			results[i] = Measure(d)
+		for i := range defs {
+			results[i] = measure(i)
 		}
 		return results
 	}
@@ -169,7 +241,7 @@ func (r Runner) Run(defs []Def) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = Measure(defs[i])
+				results[i] = measure(i)
 			}
 		}()
 	}

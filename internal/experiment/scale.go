@@ -91,13 +91,25 @@ func MeasureScale() []ScaleConfig {
 // workload spread as weak domains are added: the same four light-task
 // processes on platforms with one, two and four weak domains.
 func Scale() Table {
+	return scaleTable(MeasureScale())
+}
+
+// ScaleN is the scale experiment narrowed to a single platform with weak
+// weak domains (the k2d weak_domains job parameter).
+func ScaleN(weak int) Table {
+	cfgs := []ScaleConfig{scaleRun(weak)}
+	deposit(func(pr *probe) { pr.scale = cfgs })
+	return scaleTable(cfgs)
+}
+
+func scaleTable(cfgs []ScaleConfig) Table {
 	t := Table{
 		ID:    "Scale",
 		Title: "N weak domains under a fixed sensorhub-style background load",
 		Header: []string{"Weak domains", "Domain", "DSM faults", "claims",
 			"mean fault (µs)", "mail in", "mail out", "energy (mJ)"},
 	}
-	for _, cfg := range MeasureScale() {
+	for _, cfg := range cfgs {
 		for i, d := range cfg.Domains {
 			label := ""
 			if i == 0 {

@@ -63,10 +63,15 @@ func (t Table) String() string {
 	return b.String()
 }
 
-// bootFresh boots an OS of the given mode on a new engine.
+// bootFresh boots an OS of the given mode on a new engine. When the run is
+// measured with a trace sink (MeasureContext + WithTraceSink), the sink is
+// installed on the booted system's tracer.
 func bootFresh(mode core.Mode, opts ...func(*core.Options)) (*sim.Engine, *core.OS) {
 	e := newEngine()
 	o := core.Options{Mode: mode}
+	if pr := activeProbe(); pr != nil {
+		o.TraceSink = pr.traceSink
+	}
 	for _, f := range opts {
 		f(&o)
 	}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"k2/internal/experiment"
+)
+
+// Handler returns the k2d v1 HTTP API:
+//
+//	POST   /v1/jobs            submit a job (202; 429 when shed)
+//	GET    /v1/jobs            list job statuses, newest first
+//	GET    /v1/jobs/{id}       poll one job (?format=text|markdown|csv
+//	                           renders the finished table raw; ?wait=s
+//	                           long-polls for completion)
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace stream the job's kernel trace as NDJSON
+//	GET    /v1/experiments     list the experiment registry
+//	GET    /healthz            liveness (503 once draining)
+//	GET    /metrics            Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is every non-2xx JSON body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed job request: %v", err)
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if secs := r.URL.Query().Get("wait"); secs != "" {
+		d, err := strconv.ParseFloat(secs, 64)
+		if err != nil || d < 0 || d > 600 {
+			writeError(w, http.StatusBadRequest, "wait must be seconds in [0, 600]")
+			return
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(time.Duration(d * float64(time.Second))):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	j.mu.Lock()
+	state, res := j.state, j.result
+	j.mu.Unlock()
+	if state != StateDone || res == nil {
+		writeError(w, http.StatusConflict, "job %s is %s; a rendered table needs state %q",
+			j.ID, state, StateDone)
+		return
+	}
+	switch format {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Matches `k2bench` stdout byte-for-byte: table + trailing newline.
+		fmt.Fprintln(w, res.Table.String())
+	case "markdown":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		fmt.Fprintln(w, res.Table.Markdown())
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		res.Table.WriteCSV(w) //nolint:errcheck // streaming to a gone client
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q", format)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, err := s.Cancel(id)
+	if err != nil {
+		if j == nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			writeError(w, http.StatusConflict, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleTrace streams the job's kernel trace as NDJSON: events already
+// recorded come out immediately, then the stream follows the running job
+// (polling its bounded log) until the job finishes or the client leaves.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		evs, dropped, open := j.trace.snapshot(sent)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		sent += len(evs)
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if !open {
+			if dropped > 0 {
+				fmt.Fprintf(w, "{\"dropped\":%d}\n", dropped)
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			// Loop once more to drain anything emitted before the close.
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	}
+	var out []entry
+	for _, d := range experiment.Registry() {
+		out = append(out, entry{ID: d.ID, Name: d.Name})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	inflight := s.inflight
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, s.queue.depth(), inflight, draining)
+}

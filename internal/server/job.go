@@ -1,0 +1,251 @@
+// Package server turns the experiment registry into a multi-tenant
+// simulation-as-a-service: jobs (an experiment name plus parameters) enter
+// a bounded admission-controlled queue, a dispatcher fans them over a
+// worker pool of private simulation engines, and an HTTP API submits,
+// polls, cancels and streams them. Determinism survives the queueing: the
+// same experiment and seed produce byte-identical tables regardless of
+// queue position or concurrency, because every job owns its engines
+// outright (the same property the k2bench parallel runner relies on).
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"k2/internal/experiment"
+	"k2/internal/sim"
+	"k2/internal/trace"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is simulating it.
+	StateRunning State = "running"
+	// StateDone: finished; the result is available.
+	StateDone State = "done"
+	// StateFailed: the run errored (e.g. its deadline expired).
+	StateFailed State = "failed"
+	// StateCancelled: removed by DELETE or by a draining shutdown.
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a job in this state can no longer change.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request is the POST /v1/jobs body: which experiment to run and with
+// what parameters.
+type Request struct {
+	// Experiment is a registry ID (k2bench -list).
+	Experiment string `json:"experiment"`
+	// Seed overrides the fault-injection PRNG seed (faults experiment
+	// only; 0 = the daemon's default seed).
+	Seed int64 `json:"seed,omitempty"`
+	// WeakDomains narrows the scale experiment to one platform with this
+	// many weak domains (0 = the registered 1/2/4 sweep).
+	WeakDomains int `json:"weak_domains,omitempty"`
+	// Priority orders the queue: higher runs first, FIFO within a class.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMS bounds the run in host milliseconds (0 = the daemon's
+	// default job timeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Format is the default rendering for GET /v1/jobs/{id}?format=:
+	// "text", "markdown" or "csv" ("" = text).
+	Format string `json:"format,omitempty"`
+}
+
+// validate normalizes req and reports the first problem.
+func (r *Request) validate() error {
+	if r.Experiment == "" {
+		return fmt.Errorf("missing experiment id")
+	}
+	if _, ok := experiment.DefFor(r.Experiment, experiment.Params{}); !ok {
+		return fmt.Errorf("unknown experiment %q", r.Experiment)
+	}
+	if r.Seed < 0 {
+		return fmt.Errorf("seed must be >= 0")
+	}
+	if r.WeakDomains < 0 {
+		return fmt.Errorf("weak_domains must be >= 0")
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	switch r.Format {
+	case "", "text", "markdown", "csv":
+	default:
+		return fmt.Errorf("unknown format %q (want text, markdown or csv)", r.Format)
+	}
+	return nil
+}
+
+// Job is one admitted request. All mutable fields are guarded by mu; Done
+// is closed exactly once when the job reaches a terminal state.
+type Job struct {
+	ID  string
+	Seq uint64 // admission order; the FIFO tiebreak within a priority
+	Req Request
+
+	mu        sync.Mutex
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *experiment.Result
+	errMsg    string
+
+	def         experiment.Def
+	cancel      func() // cancels the job's context; non-nil once running
+	cancelEarly bool   // DELETE raced the worker's claim; don't start
+	done        chan struct{}
+	trace       *traceLog
+}
+
+// Status is the wire representation of a job (GET /v1/jobs/{id}).
+type Status struct {
+	ID         string  `json:"id"`
+	Experiment string  `json:"experiment"`
+	State      State   `json:"state"`
+	Priority   int     `json:"priority,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	WeakDoms   int     `json:"weak_domains,omitempty"`
+	Submitted  string  `json:"submitted"`
+	QueuedMS   float64 `json:"queued_ms,omitempty"`
+	RunMS      float64 `json:"run_ms,omitempty"`
+	Error      string  `json:"error,omitempty"`
+
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// JobResult carries the finished experiment: the rendered table plus the
+// engine telemetry the runner aggregates.
+type JobResult struct {
+	Table        string  `json:"table"`
+	Engines      int     `json:"engines"`
+	Events       uint64  `json:"events_dispatched"`
+	ProcSwitches uint64  `json:"proc_switches"`
+	VirtualMS    float64 `json:"virtual_ms"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+// status snapshots the job under its lock.
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:         j.ID,
+		Experiment: j.Req.Experiment,
+		State:      j.state,
+		Priority:   j.Req.Priority,
+		Seed:       j.Req.Seed,
+		WeakDoms:   j.Req.WeakDomains,
+		Submitted:  j.submitted.UTC().Format(time.RFC3339Nano),
+		Error:      j.errMsg,
+	}
+	if !j.started.IsZero() {
+		st.QueuedMS = float64(j.started.Sub(j.submitted).Nanoseconds()) / 1e6
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = float64(end.Sub(j.started).Nanoseconds()) / 1e6
+	}
+	if j.state == StateDone && j.result != nil {
+		st.Result = &JobResult{
+			Table:        j.result.Table.String(),
+			Engines:      j.result.Engines,
+			Events:       j.result.Stats.Dispatched,
+			ProcSwitches: j.result.Stats.ProcSwitches,
+			VirtualMS:    float64(time.Duration(j.result.Virtual).Nanoseconds()) / 1e6,
+			WallMS:       float64(j.result.Wall.Nanoseconds()) / 1e6,
+		}
+	}
+	return st
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state State, res *experiment.Result, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.trace.closeLog()
+	close(j.done)
+}
+
+// traceEvent is one NDJSON record of GET /v1/jobs/{id}/trace.
+type traceEvent struct {
+	Seq  uint64   `json:"seq"`
+	AtNS sim.Time `json:"at_ns"`
+	Kind string   `json:"kind"`
+	Msg  string   `json:"msg"`
+}
+
+// traceLog buffers a job's kernel-trace stream: the worker goroutine
+// appends (via the experiment trace sink), HTTP readers poll snapshots.
+// It is bounded; past the cap events are counted as dropped rather than
+// retained, so a chatty experiment cannot run the daemon out of memory.
+type traceLog struct {
+	mu      sync.Mutex
+	events  []traceEvent
+	limit   int
+	dropped int
+	closed  bool
+}
+
+func newTraceLog(limit int) *traceLog {
+	if limit <= 0 {
+		limit = 16384
+	}
+	return &traceLog{limit: limit}
+}
+
+// add is the experiment.WithTraceSink callback.
+func (l *traceLog) add(ev trace.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.events) >= l.limit {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, traceEvent{
+		Seq: ev.Seq, AtNS: ev.At, Kind: ev.Kind.String(), Msg: ev.Msg,
+	})
+}
+
+// snapshot returns events[from:] plus whether the log can still grow.
+func (l *traceLog) snapshot(from int) (evs []traceEvent, dropped int, open bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < len(l.events) {
+		evs = append(evs, l.events[from:]...)
+	}
+	return evs, l.dropped, !l.closed
+}
+
+func (l *traceLog) closeLog() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"k2/internal/experiment"
+	"k2/internal/stats"
+)
+
+// metrics is the daemon's observability surface, rendered as Prometheus
+// text exposition on GET /metrics. It is deliberately dependency-free: a
+// mutex, a few counters, and per-experiment latency histograms built on
+// internal/stats.
+type metrics struct {
+	mu        sync.Mutex
+	submitted uint64
+	rejected  uint64                      // admission-control sheds (429s)
+	completed map[State]uint64            // terminal states
+	latency   map[string]*stats.Histogram // job wall time by experiment ID
+
+	// Engine counters summed over every finished job's Result.
+	engineEvents   uint64
+	engineSwitches uint64
+	virtualNS      uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		completed: make(map[State]uint64),
+		latency:   make(map[string]*stats.Histogram),
+	}
+}
+
+func (m *metrics) recordSubmitted() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// recordFinished tallies a terminal job; res may be nil (cancelled while
+// queued).
+func (m *metrics) recordFinished(id string, state State, res *experiment.Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed[state]++
+	if res == nil {
+		return
+	}
+	m.engineEvents += res.Stats.Dispatched
+	m.engineSwitches += res.Stats.ProcSwitches
+	m.virtualNS += uint64(res.Virtual)
+	if state == StateDone {
+		h := m.latency[id]
+		if h == nil {
+			h = stats.NewHistogram(0)
+			m.latency[id] = h
+		}
+		h.Observe(res.Wall)
+	}
+}
+
+// render writes the Prometheus text exposition. Gauges the metrics struct
+// does not own (queue depth, in-flight, draining) come in as arguments.
+func (m *metrics) render(w io.Writer, queueDepth, inflight int, draining bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("k2d_jobs_submitted_total", "Jobs admitted to the queue.", m.submitted)
+	counter("k2d_jobs_rejected_total", "Jobs shed by admission control (429).", m.rejected)
+
+	fmt.Fprintf(w, "# HELP k2d_jobs_completed_total Jobs by terminal state.\n# TYPE k2d_jobs_completed_total counter\n")
+	for _, st := range []State{StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "k2d_jobs_completed_total{state=%q} %d\n", string(st), m.completed[st])
+	}
+
+	gauge("k2d_queue_depth", "Jobs waiting for a worker.", queueDepth)
+	gauge("k2d_jobs_inflight", "Jobs currently simulating.", inflight)
+	d := 0
+	if draining {
+		d = 1
+	}
+	gauge("k2d_draining", "1 once graceful shutdown has begun.", d)
+
+	counter("k2d_engine_events_dispatched_total", "Simulation events dispatched across all finished jobs.", m.engineEvents)
+	counter("k2d_engine_proc_switches_total", "Engine-to-proc control transfers across all finished jobs.", m.engineSwitches)
+	counter("k2d_engine_virtual_ns_total", "Virtual nanoseconds simulated across all finished jobs.", m.virtualNS)
+
+	ids := make([]string, 0, len(m.latency))
+	for id := range m.latency {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(w, "# HELP k2d_job_latency_seconds Wall-clock latency of completed jobs by experiment.\n# TYPE k2d_job_latency_seconds summary\n")
+	for _, id := range ids {
+		h := m.latency[id]
+		for _, q := range []struct {
+			label string
+			v     time.Duration
+		}{{"0.5", h.P50()}, {"0.95", h.P95()}, {"0.99", h.P99()}} {
+			fmt.Fprintf(w, "k2d_job_latency_seconds{experiment=%q,quantile=%q} %g\n",
+				id, q.label, q.v.Seconds())
+		}
+		fmt.Fprintf(w, "k2d_job_latency_seconds_sum{experiment=%q} %g\n", id, h.Sum()/1e9)
+		fmt.Fprintf(w, "k2d_job_latency_seconds_count{experiment=%q} %d\n", id, h.N())
+	}
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is the admission-control shed: the queue is at its bound
+// and the job is rejected (HTTP 429) rather than buffered without limit.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrDraining rejects submissions once a graceful shutdown has begun.
+var ErrDraining = errors.New("server: draining, not admitting jobs")
+
+// queue is the bounded priority FIFO between admission and the worker
+// pool. Higher Request.Priority pops first; within a priority class, jobs
+// pop in admission (Seq) order. Push never blocks — a full queue is an
+// admission rejection, which is the whole point — while pop blocks until
+// a job or close arrives.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job // sorted: priority desc, then Seq asc
+	limit  int
+	closed bool
+}
+
+func newQueue(limit int) *queue {
+	if limit <= 0 {
+		limit = 64
+	}
+	q := &queue{limit: limit}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits j or rejects it without blocking.
+func (q *queue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if len(q.items) >= q.limit {
+		return ErrQueueFull
+	}
+	// Insert before the first strictly-lower-priority job: stable, so
+	// equal priorities stay FIFO.
+	i := 0
+	for i < len(q.items) && q.items[i].Req.Priority >= j.Req.Priority {
+		i++
+	}
+	q.items = append(q.items, nil)
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = j
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available (highest priority, oldest first) or
+// the queue is closed and empty; ok is false only in the latter case.
+func (q *queue) pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j = q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return j, true
+}
+
+// remove takes a still-queued job out (DELETE of a queued job). It reports
+// whether the job was found; false means a worker already claimed it.
+func (q *queue) remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.items {
+		if it == j {
+			copy(q.items[i:], q.items[i+1:])
+			q.items[len(q.items)-1] = nil
+			q.items = q.items[:len(q.items)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// depth returns the number of queued jobs.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// drain closes the queue — push rejects, workers exit once it empties —
+// and returns the jobs that never started, for the caller to cancel.
+func (q *queue) drain() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	left := q.items
+	q.items = nil
+	q.cond.Broadcast()
+	return left
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+func qjob(seq uint64, prio int) *Job {
+	return &Job{ID: string(rune('a' + seq)), Seq: seq, Req: Request{Priority: prio}}
+}
+
+func TestQueuePriorityAndFIFO(t *testing.T) {
+	q := newQueue(8)
+	jobs := []*Job{qjob(1, 0), qjob(2, 5), qjob(3, 0), qjob(4, 5), qjob(5, -1)}
+	for _, j := range jobs {
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Priority desc, FIFO within a class: 2, 4 (prio 5), 1, 3 (prio 0), 5.
+	want := []uint64{2, 4, 1, 3, 5}
+	for _, seq := range want {
+		j, ok := q.pop()
+		if !ok || j.Seq != seq {
+			t.Fatalf("pop = (%v, %v), want seq %d", j, ok, seq)
+		}
+	}
+}
+
+func TestQueueAdmissionBound(t *testing.T) {
+	q := newQueue(2)
+	if err := q.push(qjob(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob(3, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push over bound = %v, want ErrQueueFull", err)
+	}
+	// Popping frees a slot.
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.push(qjob(4, 0)); err != nil {
+		t.Fatalf("push after pop = %v", err)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newQueue(4)
+	a, b := qjob(1, 0), qjob(2, 0)
+	q.push(a)
+	q.push(b)
+	if !q.remove(a) {
+		t.Fatal("remove of queued job failed")
+	}
+	if q.remove(a) {
+		t.Fatal("double remove succeeded")
+	}
+	if j, ok := q.pop(); !ok || j != b {
+		t.Fatalf("pop after remove = %v, want b", j)
+	}
+}
+
+func TestQueueDrain(t *testing.T) {
+	q := newQueue(4)
+	q.push(qjob(1, 0))
+	q.push(qjob(2, 0))
+	left := q.drain()
+	if len(left) != 2 {
+		t.Fatalf("drain returned %d jobs, want 2", len(left))
+	}
+	if err := q.push(qjob(3, 0)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("push after drain = %v, want ErrDraining", err)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop after drain returned a job")
+	}
+}

@@ -1,0 +1,300 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"k2/internal/experiment"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Parallel is the worker-pool size (concurrent jobs); <= 0 means
+	// GOMAXPROCS — the same default as k2bench -parallel.
+	Parallel int
+	// QueueDepth bounds the admission queue; a full queue sheds load
+	// with ErrQueueFull (HTTP 429). <= 0 means 64.
+	QueueDepth int
+	// JobTimeout bounds a job's host run time when its request does not
+	// carry its own timeout_ms; 0 means no default bound.
+	JobTimeout time.Duration
+	// Seed is the default fault-injection seed for jobs that do not set
+	// one; 0 means the package default (experiment.FaultSeed).
+	Seed int64
+	// TraceEvents bounds the per-job trace log; <= 0 means 16384.
+	TraceEvents int
+	// MaxFinished bounds how many terminal jobs stay queryable; the
+	// oldest are evicted first. <= 0 means 1024.
+	MaxFinished int
+}
+
+// Server is the k2d core: admission, the queue, the worker pool and the
+// job table. Create with New, start the workers with Start, serve
+// Handler(), and stop with Drain.
+type Server struct {
+	cfg     Config
+	queue   *queue
+	metrics *metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []*Job // terminal jobs in finish order, for bounded retention
+	nextSeq  uint64
+	inflight int
+	draining bool
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New builds a server; no goroutines start until Start.
+func New(cfg Config) *Server {
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = experiment.FaultSeed
+	}
+	if cfg.MaxFinished <= 0 {
+		cfg.MaxFinished = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		queue:   newQueue(cfg.QueueDepth),
+		metrics: newMetrics(),
+		jobs:    make(map[string]*Job),
+		baseCtx: ctx,
+		stop:    cancel,
+	}
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for w := 0; w < s.cfg.Parallel; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j, ok := s.queue.pop()
+				if !ok {
+					return
+				}
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Workers returns the worker-pool size.
+func (s *Server) Workers() int { return s.cfg.Parallel }
+
+// Submit validates and admits a request. It returns ErrQueueFull when
+// admission control sheds it and ErrDraining during shutdown.
+func (s *Server) Submit(req Request) (*Job, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if req.Seed == 0 {
+		req.Seed = s.cfg.Seed
+	}
+	def, _ := experiment.DefFor(req.Experiment, experiment.Params{
+		Seed:        req.Seed,
+		WeakDomains: req.WeakDomains,
+	})
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextSeq++
+	j := &Job{
+		ID:        fmt.Sprintf("j%08d", s.nextSeq),
+		Seq:       s.nextSeq,
+		Req:       req,
+		state:     StateQueued,
+		submitted: time.Now(),
+		def:       def,
+		done:      make(chan struct{}),
+		trace:     newTraceLog(s.cfg.TraceEvents),
+	}
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+
+	if err := s.queue.push(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		s.mu.Unlock()
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.recordRejected()
+		}
+		return nil, err
+	}
+	s.metrics.recordSubmitted()
+	return j, nil
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every known job's status, newest first.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	all := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	out := make([]Status, 0, len(all))
+	for _, j := range all {
+		out = append(out, j.status())
+	}
+	// Newest first by admission order.
+	for i, k := 0, len(out)-1; i < k; i, k = i+1, k-1 {
+		out[i], out[k] = out[k], out[i]
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job is removed from the queue, a running
+// one has its context cancelled (the engines stop at their next interrupt
+// poll). It reports an error for unknown or already-terminal jobs.
+func (s *Server) Cancel(id string) (*Job, error) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, fmt.Errorf("no job %q", id)
+	}
+	if s.queue.remove(j) {
+		s.finishJob(j, StateCancelled, nil, "cancelled while queued")
+		return j, nil
+	}
+	j.mu.Lock()
+	state, cancel := j.state, j.cancel
+	if state == StateQueued && cancel == nil {
+		// A worker popped the job but has not started it: runJob will see
+		// the flag and finish it as cancelled without simulating.
+		j.cancelEarly = true
+	}
+	j.mu.Unlock()
+	if state.terminal() {
+		return j, fmt.Errorf("job %s already %s", id, state)
+	}
+	if cancel != nil {
+		cancel() // runJob observes the cancellation and finishes the job
+	}
+	return j, nil
+}
+
+// runJob executes one claimed job on the calling worker goroutine.
+func (s *Server) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state.terminal() { // cancelled between pop and here
+		j.mu.Unlock()
+		return
+	}
+	if j.cancelEarly {
+		j.mu.Unlock()
+		s.finishJob(j, StateCancelled, nil, "cancelled while queued")
+		return
+	}
+	timeout := s.cfg.JobTimeout
+	if j.Req.TimeoutMS > 0 {
+		timeout = time.Duration(j.Req.TimeoutMS) * time.Millisecond
+	}
+	ctx := s.baseCtx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+	res := experiment.MeasureContext(ctx, j.def, experiment.WithTraceSink(j.trace.add))
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+
+	switch {
+	case res.Err == nil:
+		s.finishJob(j, StateDone, &res, "")
+	case errors.Is(res.Err, context.DeadlineExceeded):
+		s.finishJob(j, StateFailed, &res, fmt.Sprintf("deadline exceeded after %v", timeout))
+	default:
+		s.finishJob(j, StateCancelled, &res, res.Err.Error())
+	}
+}
+
+// finishJob records a terminal transition in the job, the metrics and the
+// bounded retention list.
+func (s *Server) finishJob(j *Job, state State, res *experiment.Result, errMsg string) {
+	j.finish(state, res, errMsg)
+	s.metrics.recordFinished(j.Req.Experiment, state, res)
+	s.mu.Lock()
+	s.finished = append(s.finished, j)
+	for len(s.finished) > s.cfg.MaxFinished {
+		old := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, old.ID)
+	}
+	s.mu.Unlock()
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain performs the graceful shutdown: stop admitting, cancel every job
+// still queued, let in-flight jobs finish until ctx expires, then cancel
+// them too and wait for the workers to exit. It always leaves the worker
+// pool stopped; the error reports whether in-flight work had to be cut
+// short.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	for _, j := range s.queue.drain() {
+		s.finishJob(j, StateCancelled, nil, "cancelled by shutdown")
+	}
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		// Grace expired: cancel the base context, which cascades into
+		// every in-flight job's interrupt check.
+		s.stop()
+		<-idle
+		return fmt.Errorf("server: drain grace expired; in-flight jobs cancelled")
+	}
+}

@@ -1,0 +1,491 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"k2/internal/experiment"
+)
+
+// newTestServer boots a started server plus its httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // best-effort teardown
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, Status) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("bad submit body %q: %v", raw, err)
+		}
+	}
+	return resp, st
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(raw)
+}
+
+// TestHandlers is the endpoint table test: submit, poll, render, cancel,
+// malformed bodies and unknown IDs.
+func TestHandlers(t *testing.T) {
+	_, ts := newTestServer(t, Config{Parallel: 2, QueueDepth: 16})
+
+	t.Run("submit and poll to completion", func(t *testing.T) {
+		resp, st := postJob(t, ts, `{"experiment":"t1"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+		if st.State != StateQueued && st.State != StateRunning {
+			t.Fatalf("fresh job state %q", st.State)
+		}
+		if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+st.ID {
+			t.Fatalf("Location %q", loc)
+		}
+		code, body := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"?wait=30")
+		if code != http.StatusOK {
+			t.Fatalf("poll status %d: %s", code, body)
+		}
+		var done Status
+		if err := json.Unmarshal([]byte(body), &done); err != nil {
+			t.Fatal(err)
+		}
+		if done.State != StateDone || done.Result == nil {
+			t.Fatalf("after wait: %+v", done)
+		}
+		if !strings.Contains(done.Result.Table, "Table 1") {
+			t.Fatalf("result table: %q", done.Result.Table)
+		}
+		// Rendered formats of the finished job.
+		code, text := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"?format=text")
+		if code != http.StatusOK || !strings.HasPrefix(text, "== Table 1") {
+			t.Fatalf("format=text: %d %q", code, text)
+		}
+		code, md := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"?format=markdown")
+		if code != http.StatusOK || !strings.Contains(md, "|") {
+			t.Fatalf("format=markdown: %d %q", code, md)
+		}
+		code, csv := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"?format=csv")
+		if code != http.StatusOK || !strings.Contains(csv, ",") {
+			t.Fatalf("format=csv: %d %q", code, csv)
+		}
+	})
+
+	t.Run("malformed bodies are 400", func(t *testing.T) {
+		for _, body := range []string{
+			``, `{`, `{"experiment":}`,
+			`{"experiment":"no-such-experiment"}`,
+			`{"experiment":"t1","bogus_field":1}`,
+			`{"experiment":"t1","seed":-1}`,
+			`{"experiment":"t1","weak_domains":-2}`,
+			`{"experiment":"t1","timeout_ms":-5}`,
+			`{"experiment":"t1","format":"pdf"}`,
+		} {
+			resp, _ := postJob(t, ts, body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("unknown job is 404", func(t *testing.T) {
+		if code, _ := getBody(t, ts.URL+"/v1/jobs/j99999999"); code != http.StatusNotFound {
+			t.Fatalf("GET unknown = %d", code)
+		}
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/j99999999", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("DELETE unknown = %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("render of unfinished job is 409", func(t *testing.T) {
+		s2, ts2 := newTestServer(t, Config{Parallel: 1, QueueDepth: 16})
+		_ = s2
+		// Park a long job and queue a second; the second is renderable
+		// only once done.
+		_, st := postJob(t, ts2, `{"experiment":"day"}`)
+		code, body := getBody(t, ts2.URL+"/v1/jobs/"+st.ID+"?format=text")
+		if code == http.StatusOK && !strings.HasPrefix(body, "== ") {
+			t.Fatalf("format on unfinished job: %d %q", code, body)
+		}
+		if code != http.StatusConflict && code != http.StatusOK {
+			t.Fatalf("format on unfinished job: %d %q", code, body)
+		}
+	})
+
+	t.Run("healthz and experiments", func(t *testing.T) {
+		code, body := getBody(t, ts.URL+"/healthz")
+		if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+			t.Fatalf("healthz = %d %q", code, body)
+		}
+		code, body = getBody(t, ts.URL+"/v1/experiments")
+		if code != http.StatusOK {
+			t.Fatalf("experiments = %d", code)
+		}
+		var list []map[string]string
+		if err := json.Unmarshal([]byte(body), &list); err != nil {
+			t.Fatal(err)
+		}
+		if len(list) != len(experiment.Registry()) {
+			t.Fatalf("experiments listed %d, want %d", len(list), len(experiment.Registry()))
+		}
+	})
+}
+
+// TestCancelQueuedJob cancels a job that has not started: no worker pool
+// is running, so the job is deterministically still queued.
+func TestCancelQueuedJob(t *testing.T) {
+	s := New(Config{Parallel: 1, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, st := postJob(t, ts, `{"experiment":"t1"}`)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Status
+	json.NewDecoder(resp.Body).Decode(&got) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || got.State != StateCancelled {
+		t.Fatalf("cancel queued = %d %+v", resp.StatusCode, got)
+	}
+	// Cancelling again is a conflict.
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestCancelRunningJob exercises DELETE of an in-flight job. The job's
+// def is swapped (workers not yet started) for one that parks until the
+// test releases it and then behaves like a real experiment whose engine
+// was interrupted: it panics with the context error.
+func TestCancelRunningJob(t *testing.T) {
+	s := New(Config{Parallel: 1, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, err := s.Submit(Request{Experiment: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	j.def = experiment.Def{ID: "t1", Name: "parked", Run: func() experiment.Table {
+		close(started)
+		<-release
+		panic(context.Canceled)
+	}}
+	s.Start()
+	<-started
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+j.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel running = %d", resp.StatusCode)
+	}
+	close(release)
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled job never finished")
+	}
+	if st := j.State(); st != StateCancelled {
+		t.Fatalf("state after cancel = %q", st)
+	}
+}
+
+// TestJobDeadline asserts per-job timeout enforcement through the real
+// interrupt path: a 1 ms deadline on a long experiment fails the job.
+func TestJobDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{Parallel: 1, QueueDepth: 8})
+	_ = s
+	_, st := postJob(t, ts, `{"experiment":"day","timeout_ms":1}`)
+	code, body := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"?wait=60")
+	if code != http.StatusOK {
+		t.Fatalf("poll = %d", code)
+	}
+	var got Status
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateFailed || !strings.Contains(got.Error, "deadline") {
+		t.Fatalf("deadline job = %+v", got)
+	}
+}
+
+// TestAdmissionControlSheds fills the queue (no workers draining it) and
+// asserts the overflow submission is shed with 429 and counted.
+func TestAdmissionControlSheds(t *testing.T) {
+	s := New(Config{Parallel: 1, QueueDepth: 3})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, _ := postJob(t, ts, `{"experiment":"t1"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill submit %d = %d", i, resp.StatusCode)
+		}
+	}
+	resp, _ := postJob(t, ts, `{"experiment":"t1"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	code, metricsBody := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"k2d_jobs_rejected_total 1",
+		"k2d_jobs_submitted_total 3",
+		"k2d_queue_depth 3",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+}
+
+// TestGracefulDrain: draining stops admission (healthz 503, POST 503),
+// cancels queued jobs, and waits for in-flight work.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{Parallel: 1, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	running, err := s.Submit(Request{Experiment: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	running.def = experiment.Def{ID: "t1", Name: "parked", Run: func() experiment.Table {
+		close(started)
+		<-release
+		return experiment.Table{ID: "Table 1", Title: "drained"}
+	}}
+	queued, err := s.Submit(Request{Experiment: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	<-started
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	// The queued job is cancelled promptly, without waiting for drain to
+	// complete.
+	select {
+	case <-queued.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued job not cancelled by drain")
+	}
+	if st := queued.State(); st != StateCancelled {
+		t.Fatalf("queued job state = %q", st)
+	}
+
+	// Admission is closed while the in-flight job still runs.
+	if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", code)
+	}
+	resp, _ := postJob(t, ts, `{"experiment":"t1"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", resp.StatusCode)
+	}
+
+	// The in-flight job is allowed to finish, and drain then completes
+	// cleanly.
+	close(release)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain = %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	if st := running.State(); st != StateDone {
+		t.Fatalf("in-flight job state after drain = %q", st)
+	}
+}
+
+// TestServerDeterminismUnderLoad is the acceptance-criteria test: the same
+// job submitted 8x concurrently yields byte-identical rendered bodies,
+// equal to what a direct (k2bench-style) measurement produces.
+func TestServerDeterminismUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{Parallel: 4, QueueDepth: 32})
+
+	const n = 8
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+				strings.NewReader(`{"experiment":"f6a","format":"text"}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var st Status
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("submit %d = %d", i, resp.StatusCode)
+				return
+			}
+			code, body := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"?wait=120&format=text")
+			if code != http.StatusOK {
+				t.Errorf("poll %d = %d %q", i, code, body)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	want := experiment.Measure(mustDef(t, "f6a")).Table.String() + "\n"
+	for i, b := range bodies {
+		if b != want {
+			t.Fatalf("job %d body diverged from direct measurement:\n got: %q\nwant: %q", i, b, want)
+		}
+	}
+}
+
+// TestSeedParameterDeterminism: the faults experiment with an explicit
+// seed returns identical bodies across jobs, and a different seed changes
+// the result — the job parameters really reach the injector.
+func TestSeedParameterDeterminism(t *testing.T) {
+	_, ts := newTestServer(t, Config{Parallel: 2, QueueDepth: 16})
+
+	run := func(seed int64) string {
+		_, st := postJob(t, ts, fmt.Sprintf(`{"experiment":"faults","seed":%d}`, seed))
+		code, body := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"?wait=120&format=text")
+		if code != http.StatusOK {
+			t.Fatalf("seed %d poll = %d %q", seed, code, body)
+		}
+		return body
+	}
+	a1, a2 := run(7), run(7)
+	if a1 != a2 {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", a1, a2)
+	}
+	if b := run(8); b == a1 {
+		t.Fatal("different seed produced identical fault tables")
+	}
+}
+
+// TestTraceStreaming reads the NDJSON trace of a job and checks it opens
+// with the boot record and parses line by line.
+func TestTraceStreaming(t *testing.T) {
+	_, ts := newTestServer(t, Config{Parallel: 1, QueueDepth: 8})
+	_, st := postJob(t, ts, `{"experiment":"f6a"}`)
+	if code, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"?wait=120"); code != http.StatusOK {
+		t.Fatalf("wait = %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	first := ""
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if lines == 0 {
+			first, _ = ev["msg"].(string)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("empty trace stream")
+	}
+	if !strings.HasPrefix(first, "booting") {
+		t.Fatalf("first trace line msg = %q, want boot record", first)
+	}
+}
+
+func mustDef(t *testing.T, id string) experiment.Def {
+	t.Helper()
+	d, ok := experiment.DefFor(id, experiment.Params{})
+	if !ok {
+		t.Fatalf("no experiment %q", id)
+	}
+	return d
+}

@@ -86,6 +86,12 @@ func (s Stats) EventsPerSec() float64 {
 	return float64(s.Dispatched) / s.Wall.Seconds()
 }
 
+// interruptStride is how many dispatched events pass between polls of the
+// interrupt check. Large enough that the poll is free next to the dispatch
+// work, small enough that a cancelled run stops within microseconds of
+// host time.
+const interruptStride = 4096
+
 // Engine is a discrete-event simulation engine. The zero value is not usable;
 // use NewEngine.
 type Engine struct {
@@ -98,11 +104,16 @@ type Engine struct {
 	stopped bool
 	nprocs  int // live (not yet terminated) procs
 	stats   Stats
+
+	procs map[*Proc]struct{} // live procs, for Shutdown
+
+	interrupt     func() error // polled every interruptStride dispatches
+	interruptLeft int          // dispatches until the next poll
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{yield: make(chan struct{}), procs: make(map[*Proc]struct{})}
 }
 
 // Now returns the current virtual time.
@@ -242,6 +253,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{name: name, eng: e, cont: make(chan struct{})}
 	e.nprocs++
+	e.procs[p] = struct{}{}
 	go p.run(fn)
 	e.wakeAt(t, p)
 	return p
@@ -249,6 +261,33 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// SetInterrupt installs a cooperative cancellation check, polled once every
+// few thousand dispatched events inside Run. A non-nil return stops the run
+// with that error, exactly as a proc failure would. The check runs outside
+// the (time, seq) dispatch order, so installing one never changes what a
+// completed run computes — it only bounds how long an abandoned run keeps
+// dispatching. A nil check removes the hook.
+func (e *Engine) SetInterrupt(check func() error) {
+	e.interrupt = check
+	e.interruptLeft = interruptStride
+}
+
+// Shutdown unwinds every live proc so its goroutine exits, then marks the
+// engine stopped. It must be called from engine context (never from proc
+// code) and is intended for abandoning a cancelled or failed run without
+// leaking the goroutines of parked procs; the engine is unusable afterwards.
+func (e *Engine) Shutdown() {
+	e.stopped = true
+	// Killing a proc runs its deferred cleanup, which may legally spawn or
+	// wake others; iterate until the population is stable.
+	for i := 0; i < 1000 && len(e.procs) > 0; i++ {
+		for p := range e.procs {
+			p.killed = true
+			p.resume()
+		}
+	}
+}
 
 // Run dispatches events until the queue is empty, the clock passes until
 // (if until > 0), Stop is called, or a proc fails. It returns the first proc
@@ -285,6 +324,14 @@ func (e *Engine) Run(until Time) error {
 			e.stats.Dispatched++
 			fn()
 		}
+		if e.interrupt != nil {
+			if e.interruptLeft--; e.interruptLeft <= 0 {
+				e.interruptLeft = interruptStride
+				if err := e.interrupt(); err != nil {
+					e.fail(err)
+				}
+			}
+		}
 		if e.failure != nil {
 			return e.failure
 		}
@@ -307,11 +354,16 @@ func (e *Engine) fail(err error) {
 // time, handing control back and forth, so Proc code needs no locking of
 // simulation state.
 type Proc struct {
-	name string
-	eng  *Engine
-	cont chan struct{}
-	dead bool
+	name   string
+	eng    *Engine
+	cont   chan struct{}
+	dead   bool
+	killed bool // set by Engine.Shutdown; makes the next resume unwind
 }
+
+// errProcKilled is the sentinel panic value that unwinds a killed proc's
+// stack during Engine.Shutdown. It is never reported as a failure.
+var errProcKilled = fmt.Errorf("sim: proc killed by engine shutdown")
 
 // Name returns the proc's name, for traces and errors.
 func (p *Proc) Name() string { return p.name }
@@ -327,11 +379,15 @@ func (p *Proc) run(fn func(*Proc)) {
 	defer func() {
 		p.dead = true
 		p.eng.nprocs--
-		if r := recover(); r != nil {
+		delete(p.eng.procs, p)
+		if r := recover(); r != nil && r != errProcKilled {
 			p.eng.fail(fmt.Errorf("sim: proc %q panicked: %v", p.name, r))
 		}
 		p.eng.yield <- struct{}{}
 	}()
+	if p.killed {
+		panic(errProcKilled)
+	}
 	fn(p)
 }
 
@@ -351,6 +407,9 @@ func (p *Proc) resume() {
 func (p *Proc) park() {
 	p.eng.yield <- struct{}{}
 	<-p.cont
+	if p.killed {
+		panic(errProcKilled)
+	}
 }
 
 // Sleep advances the proc by d of virtual time.

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestInterruptStopsRun asserts that an installed interrupt check stops a
+// run promptly with its error instead of draining the event queue.
+func TestInterruptStopsRun(t *testing.T) {
+	e := NewEngine()
+	stop := errors.New("cancelled")
+	polls := 0
+	e.SetInterrupt(func() error {
+		polls++
+		if polls >= 2 {
+			return stop
+		}
+		return nil
+	})
+	e.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	err := e.Run(Time(time.Hour))
+	if !errors.Is(err, stop) {
+		t.Fatalf("Run = %v, want %v", err, stop)
+	}
+	// The run stopped within a couple of poll strides, far short of the
+	// hour of virtual time the ticker would otherwise consume.
+	if e.Now() > Time(3*interruptStride)*Time(time.Microsecond) {
+		t.Fatalf("run continued to %v after interrupt", e.Now())
+	}
+}
+
+// TestInterruptDoesNotChangeResults asserts that a never-firing interrupt
+// check leaves a run's outcome untouched.
+func TestInterruptDoesNotChangeResults(t *testing.T) {
+	run := func(withCheck bool) (Time, Stats) {
+		e := NewEngine()
+		if withCheck {
+			e.SetInterrupt(func() error { return nil })
+		}
+		e.Spawn("worker", func(p *Proc) {
+			for i := 0; i < 3*interruptStride; i++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		st := e.Stats()
+		st.Wall = 0 // host time differs between runs by construction
+		return e.Now(), st
+	}
+	nowA, stA := run(false)
+	nowB, stB := run(true)
+	if nowA != nowB || stA != stB {
+		t.Fatalf("interrupt changed the run: (%v, %+v) vs (%v, %+v)", nowA, stA, nowB, stB)
+	}
+}
+
+// TestShutdownUnwindsProcs asserts that Shutdown terminates the goroutines
+// of parked procs so an abandoned engine does not leak them.
+func TestShutdownUnwindsProcs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := NewEngine()
+	for i := 0; i < 50; i++ {
+		e.Spawn("sleeper", func(p *Proc) {
+			p.Sleep(time.Hour)
+		})
+	}
+	// Let every proc start and park.
+	if err := e.Run(Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if e.nprocs != 50 {
+		t.Fatalf("nprocs = %d, want 50 parked", e.nprocs)
+	}
+	e.Shutdown()
+	if e.nprocs != 0 || len(e.procs) != 0 {
+		t.Fatalf("after Shutdown: nprocs=%d procs=%d, want 0", e.nprocs, len(e.procs))
+	}
+	// The proc goroutines exit asynchronously after their final yield.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+5 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+5 {
+		t.Fatalf("goroutines: %d before, %d after shutdown", before, n)
+	}
+}
+
+// TestShutdownRunsDeferredCleanup asserts that a killed proc's defers run:
+// shutdown is an unwind, not an abandonment.
+func TestShutdownRunsDeferredCleanup(t *testing.T) {
+	e := NewEngine()
+	cleaned := false
+	e.Spawn("holder", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Sleep(time.Hour)
+	})
+	if err := e.Run(Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run during Shutdown")
+	}
+}

@@ -63,6 +63,9 @@ func (s *Summary) Stddev() float64 {
 // MeanDuration returns the mean as a duration.
 func (s *Summary) MeanDuration() time.Duration { return time.Duration(s.mean) }
 
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
 func (s *Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.3g min=%.3g max=%.3g sd=%.3g",
 		s.n, s.mean, s.min, s.max, s.Stddev())
@@ -125,6 +128,39 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 		idx = len(sorted) - 1
 	}
 	return time.Duration(sorted[idx])
+}
+
+// P50 returns the median retained observation.
+func (h *Histogram) P50() time.Duration { return h.Percentile(50) }
+
+// P95 returns the 95th-percentile retained observation.
+func (h *Histogram) P95() time.Duration { return h.Percentile(95) }
+
+// P99 returns the 99th-percentile retained observation.
+func (h *Histogram) P99() time.Duration { return h.Percentile(99) }
+
+// Bucket is one cumulative histogram bucket: how many observations were
+// at most UpperBound. The final bucket of Cumulative always covers
+// everything (its Count equals N), mirroring Prometheus's +Inf bucket.
+type Bucket struct {
+	UpperBound time.Duration
+	Count      int64
+}
+
+// Cumulative returns the histogram's log-spaced bounds with cumulative
+// counts, ready to render as a Prometheus histogram series.
+func (h *Histogram) Cumulative() []Bucket {
+	out := make([]Bucket, 0, len(h.buckets)+2)
+	run := h.under
+	out = append(out, Bucket{UpperBound: time.Microsecond, Count: run})
+	for i, c := range h.buckets {
+		run += c
+		out = append(out, Bucket{UpperBound: time.Microsecond << (i + 1), Count: run})
+	}
+	// Observations above the top bucket's bound (none today: buckets grow
+	// to fit) and the +Inf contract are covered by a final total bucket.
+	out = append(out, Bucket{UpperBound: time.Duration(math.MaxInt64), Count: h.n})
+	return out
 }
 
 // Render draws a textual histogram, one row per non-empty bucket.

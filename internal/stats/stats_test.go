@@ -143,3 +143,72 @@ func TestHistogramRetentionCap(t *testing.T) {
 		t.Fatalf("retained = %d, want capped at 10", len(h.exact))
 	}
 }
+
+func TestSummarySum(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1.5, 2.5, 6} {
+		s.Add(v)
+	}
+	if got := s.Sum(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Sum = %v, want 10", got)
+	}
+}
+
+func TestHistogramPXXAccessors(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.P50(); got != 50*time.Millisecond {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := h.P95(); got != 95*time.Millisecond {
+		t.Fatalf("P95 = %v", got)
+	}
+	if got := h.P99(); got != 99*time.Millisecond {
+		t.Fatalf("P99 = %v", got)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram(0)
+	h.Observe(500 * time.Nanosecond) // under
+	h.Observe(3 * time.Microsecond)  // bucket [2µs,4µs)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(10 * time.Microsecond) // bucket [8µs,16µs)
+	bs := h.Cumulative()
+	if len(bs) < 3 {
+		t.Fatalf("got %d buckets: %+v", len(bs), bs)
+	}
+	// Counts must be monotonically non-decreasing and end at N.
+	var prev int64 = -1
+	for _, b := range bs {
+		if b.Count < prev {
+			t.Fatalf("cumulative counts not monotonic: %+v", bs)
+		}
+		prev = b.Count
+	}
+	if last := bs[len(bs)-1]; last.Count != h.N() {
+		t.Fatalf("final bucket count %d != N %d", last.Count, h.N())
+	}
+	// Spot checks: everything <= 1µs is the under bucket; by 4µs three
+	// observations are covered; by 16µs all four are.
+	if bs[0].UpperBound != time.Microsecond || bs[0].Count != 1 {
+		t.Fatalf("under bucket = %+v", bs[0])
+	}
+	at := func(ub time.Duration) int64 {
+		for _, b := range bs {
+			if b.UpperBound == ub {
+				return b.Count
+			}
+		}
+		t.Fatalf("no bucket with upper bound %v in %+v", ub, bs)
+		return 0
+	}
+	if at(4*time.Microsecond) != 3 {
+		t.Fatalf("<=4µs count = %d, want 3", at(4*time.Microsecond))
+	}
+	if at(16*time.Microsecond) != 4 {
+		t.Fatalf("<=16µs count = %d, want 4", at(16*time.Microsecond))
+	}
+}

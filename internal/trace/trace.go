@@ -84,6 +84,7 @@ type Buffer struct {
 	next    int // overwrite position once the ring is full
 	seq     uint64
 	enabled [numKinds]bool
+	sink    func(Event) // live subscriber, or nil
 
 	// Counts tallies emitted events per kind, including ones that have
 	// been overwritten in the ring (and ones suppressed while disabled
@@ -109,6 +110,15 @@ func (b *Buffer) Enable(k Kind, on bool) { b.enabled[k] = on }
 // Enabled reports whether a kind is recorded.
 func (b *Buffer) Enabled(k Kind) bool { return b.enabled[k] }
 
+// SetSink installs a streaming subscriber: every subsequently recorded
+// event (after it enters the ring, so the ring and the stream agree) is
+// also passed to fn, live. Events of disabled kinds are not delivered. A
+// nil fn removes the sink. The sink runs synchronously on the emitting
+// goroutine and must not re-enter the buffer or touch simulation state;
+// anything slow or cross-goroutine belongs behind a channel or lock of the
+// subscriber's own.
+func (b *Buffer) SetSink(fn func(Event)) { b.sink = fn }
+
 // EnableOnly records just the given kinds.
 func (b *Buffer) EnableOnly(kinds ...Kind) {
 	for i := range b.enabled {
@@ -129,12 +139,15 @@ func (b *Buffer) Emit(k Kind, format string, args ...any) {
 	ev := Event{Seq: b.seq, At: b.eng.Now(), Kind: k, Msg: fmt.Sprintf(format, args...)}
 	if len(b.ring) < cap(b.ring) {
 		b.ring = append(b.ring, ev)
-		return
+	} else {
+		b.ring[b.next] = ev
+		b.next++
+		if b.next == cap(b.ring) {
+			b.next = 0
+		}
 	}
-	b.ring[b.next] = ev
-	b.next++
-	if b.next == cap(b.ring) {
-		b.next = 0
+	if b.sink != nil {
+		b.sink(ev)
 	}
 }
 

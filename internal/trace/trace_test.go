@@ -215,3 +215,33 @@ func TestFaultKindRegistered(t *testing.T) {
 		t.Fatalf("ParseKind(fault) = %v", k)
 	}
 }
+
+// A sink must see every recorded event in emit order — including ones the
+// ring later overwrites — and must not see suppressed kinds.
+func TestSinkStreamsAllRecordedEvents(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, 4) // tiny ring: the sink must outlive overwrites
+	b.Enable(Mem, false)
+	var got []Event
+	b.SetSink(func(ev Event) { got = append(got, ev) })
+	for i := 0; i < 10; i++ {
+		b.Emit(DSM, "fault %d", i)
+		b.Emit(Mem, "suppressed %d", i)
+	}
+	if len(got) != 10 {
+		t.Fatalf("sink saw %d events, want 10", len(got))
+	}
+	for i, ev := range got {
+		if ev.Kind != DSM || ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d = %+v, want DSM seq %d", i, ev, i+1)
+		}
+	}
+	if b.Len() != 4 {
+		t.Fatalf("ring retained %d, want 4", b.Len())
+	}
+	b.SetSink(nil)
+	b.Emit(DSM, "after removal")
+	if len(got) != 10 {
+		t.Fatal("sink still receiving after removal")
+	}
+}
