@@ -16,6 +16,8 @@
 //	k2bench -parallel 8           # worker pool size (default GOMAXPROCS)
 //	k2bench -json BENCH_k2.json   # write the machine-readable summary
 //	k2bench -cpuprofile cpu.pprof # profile the run
+//	k2bench -chaos -sweep=256     # chaos sweep: 256 storms, all oracles
+//	k2bench -chaos -storm='crash:weak@60ms+50ms' -seed=7   # replay one storm
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"k2/internal/chaos"
 	"k2/internal/experiment"
 )
 
@@ -34,21 +37,70 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// runChaos handles -chaos: either replay one explicit storm (the shape a
+// repro line takes) or run the full seeded sweep. Any oracle violation
+// prints a copy-pasteable repro command and exits 1.
+func runChaos(seed int64, weak, sweep int, storm string, parallel int) {
+	if storm != "" {
+		st, err := chaos.ParseStorm(storm)
+		if err != nil {
+			fatal(err)
+		}
+		base := chaos.Run(chaos.Config{WeakDomains: weak, Storm: &chaos.Storm{}})
+		r := chaos.Run(chaos.Config{Seed: seed, WeakDomains: weak, Storm: &st})
+		vs := append(r.Violations, chaos.Diverges(base, r)...)
+		fmt.Printf("storm: %s\n", st)
+		fmt.Printf("deaths=%d reboots=%d dropped=%d retransmits=%d span=%.1fms energy=%.2fmJ\n",
+			r.Deaths, r.Reboots, r.Mail.Dropped, r.Mail.Retransmits, r.SpanMS, r.EnergyMJ)
+		if len(vs) > 0 {
+			for _, v := range vs {
+				fmt.Println("FAIL", v)
+			}
+			fmt.Println("repro:", chaos.ReproCommand(seed, weak, st))
+			os.Exit(1)
+		}
+		fmt.Println("ok: all oracles passed")
+		return
+	}
+	d := experiment.MeasureChaosSweep(seed, weak, sweep, parallel)
+	fmt.Print(d.Table().String())
+	if d.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (see -list)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "output format: text, csv or markdown")
 	jsonPath := flag.String("json", "", "write the machine-readable benchmark summary to this path and exit")
-	seed := flag.Int64("seed", experiment.FaultSeed, "PRNG seed for the fault-injection experiment")
+	seed := flag.Int64("seed", experiment.FaultSeed, "PRNG seed for the fault-injection and chaos experiments")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently")
+	chaosMode := flag.Bool("chaos", false, "run the chaos sweep (or replay one -storm) and exit non-zero on any oracle violation")
+	sweep := flag.Int("sweep", 256, "storms per chaos sweep (with -chaos)")
+	stormFlag := flag.String("storm", "", "explicit storm schedule to replay (with -chaos; see a repro line for the syntax)")
+	weakDomains := flag.Int("weakdomains", 2, "weak domains on the chaos platform (with -chaos)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this path")
 	flag.Parse()
 	experiment.FaultSeed = *seed
+	experiment.ChaosSeed = *seed
 
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "k2bench: -parallel must be at least 1")
 		os.Exit(2)
+	}
+	if !*chaosMode && *stormFlag != "" {
+		fmt.Fprintln(os.Stderr, "k2bench: -storm requires -chaos")
+		os.Exit(2)
+	}
+	if *chaosMode {
+		if *sweep < 1 || *weakDomains < 1 {
+			fmt.Fprintln(os.Stderr, "k2bench: -sweep and -weakdomains must be at least 1")
+			os.Exit(2)
+		}
+		runChaos(*seed, *weakDomains, *sweep, *stormFlag, *parallel)
+		return
 	}
 
 	if *list {

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"k2/internal/soc"
+)
+
+func TestStormCodecRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		st := Generate(seed, 4)
+		s := st.String()
+		back, err := ParseStorm(s)
+		if err != nil {
+			t.Fatalf("seed %d: ParseStorm(%q): %v", seed, s, err)
+		}
+		if !reflect.DeepEqual(st, back) {
+			t.Fatalf("seed %d: round trip mismatch:\n  %#v\n  %#v", seed, st, back)
+		}
+		if back.String() != s {
+			t.Fatalf("seed %d: re-serialization differs: %q vs %q", seed, back.String(), s)
+		}
+	}
+}
+
+func TestStormCodecHandWritten(t *testing.T) {
+	st, err := ParseStorm("crash:weak@60ms+50ms;hang:weak2@8ms+20ms;irq:3@10ms;drop:0.01;delay:0.02/30µs;dup:0.005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Events) != 3 || st.Events[0].Kind != Crash || st.Events[0].Dom != soc.Weak ||
+		st.Events[0].At != 60*time.Millisecond || st.Events[0].Reboot != 50*time.Millisecond {
+		t.Fatalf("bad parse: %#v", st)
+	}
+	if st.Links.DropP != 0.01 || st.Links.DelayP != 0.02 || st.Links.DelayMax != 30*time.Microsecond || st.Links.DupP != 0.005 {
+		t.Fatalf("bad links: %#v", st.Links)
+	}
+	if _, err := ParseStorm("crash:nowhere@1ms"); err == nil {
+		t.Fatal("bad domain accepted")
+	}
+	if _, err := ParseStorm("flood:weak@1ms"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if empty, err := ParseStorm("none"); err != nil || len(empty.Events) != 0 {
+		t.Fatalf("'none' should parse to the zero storm: %#v, %v", empty, err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(42, 2), Generate(42, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different storms:\n  %v\n  %v", a, b)
+	}
+	for _, ev := range a.Events {
+		if ev.Kind != IRQ {
+			if ev.Dom == soc.Strong {
+				t.Fatalf("generated storm targets the strong domain: %v", a)
+			}
+			if ev.Reboot <= 0 {
+				t.Fatalf("generated crash/hang without a reboot: %v", a)
+			}
+		}
+	}
+}
+
+func TestRunFaultFreePassesAllOracles(t *testing.T) {
+	r := Run(Config{Seed: 1, Storm: &Storm{}})
+	if len(r.Violations) != 0 {
+		t.Fatalf("fault-free run violated the oracle: %v", r.Violations)
+	}
+	for w, n := range r.Completed {
+		if n == 0 {
+			t.Fatalf("worker %d completed nothing", w)
+		}
+	}
+	if r.OwnedByStrong != r.SharedPages {
+		t.Fatalf("settle sweep left %d of %d pages unconverged", r.OwnedByStrong, r.SharedPages)
+	}
+}
+
+func TestRunStormPassesAndConverges(t *testing.T) {
+	base := Run(Config{Seed: 0, Storm: &Storm{}})
+	for seed := int64(1); seed <= 6; seed++ {
+		r := Run(Config{Seed: seed})
+		if len(r.Violations) != 0 {
+			t.Fatalf("seed %d: oracle violations: %v\nrepro: %s",
+				seed, r.Violations, ReproCommand(seed, r.WeakDomains, r.Storm))
+		}
+		if vs := Diverges(base, r); len(vs) != 0 {
+			t.Fatalf("seed %d: diverged from the fault-free run: %v\nrepro: %s",
+				seed, vs, ReproCommand(seed, r.WeakDomains, r.Storm))
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, b := Run(Config{Seed: 9}), Run(Config{Seed: 9})
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunFourWeakDomains(t *testing.T) {
+	base := Run(Config{Seed: 0, WeakDomains: 4, Storm: &Storm{}})
+	r := Run(Config{Seed: 3, WeakDomains: 4})
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations: %v\nrepro: %s", r.Violations, ReproCommand(3, 4, r.Storm))
+	}
+	if vs := Diverges(base, r); len(vs) != 0 {
+		t.Fatalf("diverged: %v", vs)
+	}
+}

@@ -1,0 +1,329 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/check"
+	"k2/internal/core"
+	"k2/internal/dsm"
+	"k2/internal/fault"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// failHook, when non-nil, replaces the simulation entirely: Run reports
+// whatever violations the hook assigns to the storm. It exists only so the
+// shrinker tests can plant a known minimal bug; production code never sets
+// it.
+var failHook func(Storm) []check.Violation
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Seed drives storm generation (when Storm is nil) and the plan's
+	// probabilistic link draws.
+	Seed int64
+	// WeakDomains sizes the platform (default 2).
+	WeakDomains int
+	// Storm overrides the generated schedule (e.g. a -storm repro or a
+	// shrinker candidate). The zero Storm is the fault-free baseline.
+	Storm *Storm
+	// Workers and Episodes size the sensorhub workload (defaults 4, 12).
+	Workers, Episodes int
+	// NewEngine, if set, builds the engine (the experiment package passes
+	// its probe-registering constructor so telemetry and k2d cancellation
+	// reach chaos runs). Default sim.NewEngine.
+	NewEngine func() *sim.Engine
+	// BootOpts, if set, adjusts the boot options after the standard
+	// recovery platform is configured (e.g. to install a trace sink).
+	BootOpts func(*core.Options)
+}
+
+// Result is the outcome and convergence fingerprint of one chaos run.
+type Result struct {
+	Seed        int64
+	WeakDomains int
+	Storm       Storm
+
+	// Violations is every deduplicated oracle failure, from the periodic
+	// quiesce checks and the final audit. Empty means the run passed.
+	Violations []check.Violation
+
+	// Convergence fingerprint, captured after the settle sweep.
+	Completed     []int // episodes finished, per worker
+	SharedPages   int
+	OwnedByStrong int   // pages the directory assigns to the strong kernel
+	TotalPages    []int // per-kernel buddy totals
+	FreePages     []int // per-kernel buddy free counts
+	LiveProcs     int
+	CrashedEver   []bool
+
+	// Recovery and transport record.
+	Faults     fault.Stats
+	Mail       soc.MailboxStats
+	Deaths     int
+	Reboots    int
+	StaleFrees int
+	SpanMS     float64
+	EnergyMJ   float64
+}
+
+// Run executes one storm against the standard recovery platform (reliable
+// transport, watchdog, bounded DSM owner timeout) with the invariant oracle
+// attached: periodic mid-run checks, then — once the workload and the
+// storm's last effect are past — a settle sweep from the strong kernel that
+// rewrites every shared page (forcing post-recovery ownership to converge
+// and proving no page is wedged), a quiescence wait, and the final audit.
+func Run(cfg Config) Result {
+	weak := cfg.WeakDomains
+	if weak <= 0 {
+		weak = 2
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	episodes := cfg.Episodes
+	if episodes <= 0 {
+		episodes = 12
+	}
+	var storm Storm
+	if cfg.Storm != nil {
+		storm = *cfg.Storm
+	} else {
+		storm = Generate(cfg.Seed, weak)
+	}
+	res := Result{Seed: cfg.Seed, WeakDomains: weak, Storm: storm}
+	res.CrashedEver = storm.CrashedEver(1 + weak)
+	if failHook != nil {
+		res.Violations = failHook(storm)
+		return res
+	}
+
+	newEng := cfg.NewEngine
+	if newEng == nil {
+		newEng = sim.NewEngine
+	}
+	e := newEng()
+	op := core.Options{Mode: core.K2Mode, WeakDomains: weak}
+	scfg := soc.DefaultConfig().WithWeakDomains(weak)
+	rel := soc.DefaultReliableParams()
+	scfg.Reliable = &rel
+	op.SoC = &scfg
+	wd := core.DefaultWatchdogParams()
+	op.Watchdog = &wd
+	prm := dsm.DefaultParams()
+	prm.OwnerTimeout = 200 * time.Microsecond
+	op.DSMParams = &prm
+	if cfg.BootOpts != nil {
+		cfg.BootOpts(&op)
+	}
+	o, err := core.Boot(e, op)
+	if err != nil {
+		panic(err)
+	}
+	suite := check.New(o)
+	plan := storm.Plan(cfg.Seed)
+	plan.Arm(o.S, o.Trace)
+
+	var violations []check.Violation
+	finished := false
+
+	// Periodic quiesce-point checks of the instantaneous invariants.
+	for t := 25 * time.Millisecond; t <= 150*time.Millisecond; t += 25 * time.Millisecond {
+		e.At(sim.Time(t), func() {
+			if !finished {
+				violations = append(violations, suite.Check()...)
+			}
+		})
+	}
+
+	capture := func() {
+		res.SharedPages = o.DSM.SharedPages()
+		for _, pfn := range o.DSM.Pages() {
+			if o.DSM.Owner(pfn) == soc.Strong {
+				res.OwnedByStrong++
+			}
+		}
+		for _, b := range o.Mem.Buddies {
+			res.TotalPages = append(res.TotalPages, b.TotalPages())
+			res.FreePages = append(res.FreePages, b.FreePages())
+		}
+		res.LiveProcs = e.LiveProcs()
+		res.Faults = plan.Stats
+		res.Mail = o.S.Mailbox.Stats
+		res.StaleFrees = o.Mem.StaleFrees
+		if o.Watchdog != nil {
+			res.Deaths = len(o.Watchdog.Deaths)
+			res.Reboots = o.Watchdog.Reboots
+		}
+		res.EnergyMJ = o.EnergyJ() * 1e3
+	}
+
+	finish := func(vs []check.Violation) {
+		violations = append(violations, vs...)
+		finished = true
+		capture()
+		e.Stop()
+	}
+
+	// The sensorhub workload (as in the faults/scale experiments): workers
+	// frozen by a crash resume after the scripted reboot, so every
+	// obligation fires — or the liveness oracle says why not.
+	done := 0
+	completed := make([]int, workers)
+	res.Completed = completed
+	start := e.Now()
+	settle := func(now sim.Time) {
+		res.SpanMS = float64(now.Sub(start).Microseconds()) / 1e3
+		at := now
+		if last := sim.Time(storm.LastEffect()); last > at {
+			at = last
+		}
+		at += sim.Time(8 * time.Millisecond)
+		e.At(at, func() {
+			if finished {
+				return
+			}
+			e.Spawn("chaos-settle", func(p *sim.Proc) {
+				o.S.Domains[soc.Strong].EnsureAwake(p)
+				c := o.S.Core(soc.Strong, 0)
+				for _, pfn := range o.DSM.Pages() {
+					o.DSM.Write(p, c, soc.Strong, pfn)
+				}
+				quiesced := false
+				for i := 0; i < 40; i++ {
+					if o.S.Mailbox.OutstandingReliable() == 0 && o.DSM.DeferredLen() == 0 {
+						quiesced = true
+						break
+					}
+					p.Sleep(50 * time.Microsecond)
+				}
+				if finished {
+					return
+				}
+				suite.RequireQuiescent = quiesced
+				vs := suite.Final()
+				if !quiesced {
+					vs = append(vs, check.Violation{Oracle: "liveness",
+						Msg: "transport/bottom-half never quiesced within the settle window"})
+				}
+				finish(vs)
+			})
+		})
+	}
+	for w := 0; w < workers; w++ {
+		w := w
+		name := fmt.Sprintf("chaos-sense-%d", w)
+		ev := sim.NewEvent(e)
+		suite.Obligation(name, ev)
+		o.SpawnProcess(name).Spawn(sched.NightWatch, name, func(th *sched.Thread) {
+			th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+			for i := 0; i < episodes; i++ {
+				o.DMA.Transfer(th, 4<<10)
+				th.Exec(soc.Work(50 * time.Microsecond))
+				th.SleepIdle(5 * time.Millisecond)
+				completed[w]++
+			}
+			ev.Fire()
+			done++
+			if done == workers {
+				settle(th.P().Now())
+			}
+		})
+	}
+
+	// Hard backstop: if the workload or the settle sweep wedges (a manual
+	// storm may never reboot a domain), audit what we have and stop — the
+	// unfired obligations become the liveness report.
+	hardAt := sim.Time(500 * time.Millisecond)
+	if last := sim.Time(2*storm.LastEffect()) + sim.Time(200*time.Millisecond); last > hardAt {
+		hardAt = last
+	}
+	e.At(hardAt, func() {
+		if finished {
+			return
+		}
+		vs := suite.Final()
+		vs = append(vs, check.Violation{Oracle: "liveness",
+			Msg: "run did not complete within the hard deadline"})
+		finish(vs)
+	})
+
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		panic(err)
+	}
+	res.Violations = dedup(violations)
+	return res
+}
+
+// dedup drops repeated violations (a persistent failure trips every
+// quiesce check) while preserving first-occurrence order.
+func dedup(vs []check.Violation) []check.Violation {
+	seen := make(map[string]bool, len(vs))
+	var out []check.Violation
+	for _, v := range vs {
+		k := v.Oracle + "\x00" + v.Msg
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Diverges compares a faulted run's final state against the fault-free
+// baseline of the same configuration: completed episodes, the shared-page
+// directory (every page must have converged to the strong kernel after the
+// settle sweep), per-kernel page counts for domains the storm never
+// crashed, and the live-proc census (a proc parked forever is a surplus).
+// Crashed domains are exempt from the memory comparison — their blocks
+// were legitimately swept to the pool ("crashed-domain residue").
+func Diverges(base, r Result) []check.Violation {
+	var vs []check.Violation
+	bad := func(format string, args ...any) {
+		vs = append(vs, check.Violation{Oracle: "convergence", Msg: fmt.Sprintf(format, args...)})
+	}
+	if len(base.Completed) == len(r.Completed) {
+		for w := range r.Completed {
+			if r.Completed[w] != base.Completed[w] {
+				bad("worker %d completed %d episodes vs %d fault-free", w, r.Completed[w], base.Completed[w])
+			}
+		}
+	} else {
+		bad("worker count %d vs %d fault-free", len(r.Completed), len(base.Completed))
+	}
+	if r.SharedPages != base.SharedPages {
+		bad("%d shared pages vs %d fault-free", r.SharedPages, base.SharedPages)
+	}
+	if r.OwnedByStrong != r.SharedPages {
+		bad("%d of %d shared pages converged to the strong kernel after the settle sweep",
+			r.OwnedByStrong, r.SharedPages)
+	}
+	if len(base.TotalPages) == len(r.TotalPages) {
+		for k := range r.TotalPages {
+			if k < len(r.CrashedEver) && r.CrashedEver[k] {
+				continue
+			}
+			if r.TotalPages[k] != base.TotalPages[k] {
+				bad("kernel %d manages %d pages vs %d fault-free", k, r.TotalPages[k], base.TotalPages[k])
+			}
+			if r.FreePages[k] != base.FreePages[k] {
+				bad("kernel %d has %d free pages vs %d fault-free", k, r.FreePages[k], base.FreePages[k])
+			}
+		}
+	} else {
+		bad("kernel count %d vs %d fault-free", len(r.TotalPages), len(base.TotalPages))
+	}
+	if r.LiveProcs != base.LiveProcs {
+		bad("%d live procs at quiescence vs %d fault-free", r.LiveProcs, base.LiveProcs)
+	}
+	return vs
+}
+
+// ReproCommand renders the single-line reproduction command for a failing
+// run, suitable for copy-pasting into a shell.
+func ReproCommand(seed int64, weak int, storm Storm) string {
+	return fmt.Sprintf("k2bench -chaos -seed=%d -weakdomains=%d -storm='%s'", seed, weak, storm)
+}

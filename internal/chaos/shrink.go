@@ -1,0 +1,74 @@
+package chaos
+
+// Shrink reduces a failing storm to a 1-minimal schedule: it repeatedly
+// tries removing each unit — every scripted event plus the three link-fault
+// knobs (drop, delay, duplicate) — re-running the predicate after each
+// removal and keeping any removal under which the storm still fails, until
+// a full pass removes nothing or the run budget is exhausted. The result
+// still fails, and removing any single remaining unit makes it pass (up to
+// budget truncation).
+//
+// fails must be a pure predicate of the storm (chaos runs are
+// deterministic, so re-running the same candidate always agrees). budget
+// caps how many times fails may be invoked; <= 0 means a default of 200.
+func Shrink(storm Storm, fails func(Storm) bool, budget int) Storm {
+	if budget <= 0 {
+		budget = 200
+	}
+	runs := 0
+	try := func(st Storm) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		return fails(st)
+	}
+	cur := storm
+	for {
+		shrunk := false
+
+		// Events, scanned back to front so removals do not disturb the
+		// indices still to be visited in this pass.
+		for i := len(cur.Events) - 1; i >= 0; i-- {
+			cand := cur
+			cand.Events = make([]Event, 0, len(cur.Events)-1)
+			cand.Events = append(cand.Events, cur.Events[:i]...)
+			cand.Events = append(cand.Events, cur.Events[i+1:]...)
+			if try(cand) {
+				cur = cand
+				shrunk = true
+			}
+		}
+
+		// Link-fault knobs, one at a time.
+		if cur.Links.DropP > 0 {
+			cand := cur
+			cand.Links.DropP = 0
+			if try(cand) {
+				cur = cand
+				shrunk = true
+			}
+		}
+		if cur.Links.DelayP > 0 {
+			cand := cur
+			cand.Links.DelayP = 0
+			cand.Links.DelayMax = 0
+			if try(cand) {
+				cur = cand
+				shrunk = true
+			}
+		}
+		if cur.Links.DupP > 0 {
+			cand := cur
+			cand.Links.DupP = 0
+			if try(cand) {
+				cur = cand
+				shrunk = true
+			}
+		}
+
+		if !shrunk || runs >= budget {
+			return cur
+		}
+	}
+}

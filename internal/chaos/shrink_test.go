@@ -1,0 +1,99 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"k2/internal/check"
+	"k2/internal/soc"
+)
+
+// plantBug installs a failHook that fails a storm exactly when it still
+// contains every one of the given events, restoring the hook on cleanup.
+func plantBug(t *testing.T, needed []Event) {
+	t.Helper()
+	failHook = func(st Storm) []check.Violation {
+		for _, want := range needed {
+			found := false
+			for _, ev := range st.Events {
+				if ev == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil
+			}
+		}
+		return []check.Violation{{Oracle: "dsm", Msg: "planted three-event bug"}}
+	}
+	t.Cleanup(func() { failHook = nil })
+}
+
+// TestShrinkFindsMinimalSchedule plants a known bug that needs exactly
+// three events of a 40-event storm and asserts the shrinker strips the
+// other 37 events and every link-fault knob, leaving precisely the minimal
+// failing schedule — and that the printed repro line reproduces it.
+func TestShrinkFindsMinimalSchedule(t *testing.T) {
+	minimal := []Event{
+		{Kind: Crash, Dom: soc.Weak, At: 7 * time.Millisecond, Reboot: 12 * time.Millisecond},
+		{Kind: Hang, Dom: soc.DomainID(2), At: 19 * time.Millisecond, Reboot: 15 * time.Millisecond},
+		{Kind: IRQ, Line: 3, At: 31 * time.Millisecond},
+	}
+	plantBug(t, minimal)
+
+	// A 40-event storm: the three culprits buried among 37 decoys, plus
+	// link faults the bug does not depend on.
+	var storm Storm
+	for i := 0; i < 37; i++ {
+		storm.Events = append(storm.Events, Event{
+			Kind:   Crash,
+			Dom:    soc.DomainID(1 + i%2),
+			At:     time.Duration(1+i) * time.Millisecond,
+			Reboot: 10 * time.Millisecond,
+		})
+	}
+	storm.Events = append(storm.Events, minimal...)
+	storm.Links.DropP = 0.01
+	storm.Links.DelayP = 0.01
+	storm.Links.DelayMax = 20 * time.Microsecond
+	storm.Links.DupP = 0.005
+
+	fails := func(st Storm) bool {
+		return len(Run(Config{Seed: 1, WeakDomains: 2, Storm: &st}).Violations) > 0
+	}
+	if !fails(storm) {
+		t.Fatal("planted bug does not fail the full storm")
+	}
+
+	shrunk := Shrink(storm, fails, 0)
+	if len(shrunk.Events) != len(minimal) {
+		t.Fatalf("shrunk to %d events, want %d: %s", len(shrunk.Events), len(minimal), shrunk)
+	}
+	for i, want := range minimal {
+		if shrunk.Events[i] != want {
+			t.Fatalf("shrunk event %d = %+v, want %+v", i, shrunk.Events[i], want)
+		}
+	}
+	if shrunk.Links != (Storm{}).Links {
+		t.Fatalf("shrinker kept irrelevant link faults: %s", shrunk)
+	}
+
+	// The repro line round-trips through the -storm flag syntax and the
+	// replayed storm still fails.
+	repro := ReproCommand(1, 2, shrunk)
+	const marker = "-storm='"
+	i := strings.Index(repro, marker)
+	if i < 0 || !strings.HasSuffix(repro, "'") {
+		t.Fatalf("repro line %q has no -storm='...' argument", repro)
+	}
+	flag := repro[i+len(marker) : len(repro)-1]
+	parsed, err := ParseStorm(flag)
+	if err != nil {
+		t.Fatalf("repro storm %q does not parse: %v", flag, err)
+	}
+	if !fails(parsed) {
+		t.Fatalf("replayed repro storm %q no longer fails", flag)
+	}
+}

@@ -1,0 +1,267 @@
+// Package chaos is the randomized fault-storm driver built on PR 2's
+// deterministic injector and the internal/check invariant oracle. A Storm
+// is a seeded, fully serializable fault schedule; Run executes one storm
+// against the standard recovery platform with the oracle attached; Sweep
+// fans many seeds over a worker pool; Shrink reduces a failing storm to a
+// minimal schedule with a copy-pasteable repro line.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"k2/internal/fault"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// EventKind names one scripted domain-level fault.
+type EventKind string
+
+// The scripted fault kinds a storm can contain.
+const (
+	Crash EventKind = "crash"
+	Hang  EventKind = "hang"
+	IRQ   EventKind = "irq"
+)
+
+// Event is one scripted fault in a storm. Crash and Hang target a domain
+// and always carry a Reboot delay when produced by Generate, so generated
+// storms terminate; IRQ spuriously asserts an interrupt line.
+type Event struct {
+	Kind   EventKind
+	Dom    soc.DomainID  // crash/hang target
+	Line   soc.IRQLine   // irq line
+	At     time.Duration // virtual injection time
+	Reboot time.Duration // crash/hang: reboot this long after (0 = stays dead)
+}
+
+// Storm is a complete fault schedule: scripted events plus one
+// probabilistic fault mix applied to every mailbox link. The zero Storm is
+// fault-free.
+type Storm struct {
+	Events []Event
+	Links  fault.LinkFaults
+}
+
+// Generate derives a random storm from seed for a platform with the given
+// number of weak domains. The draw order is fixed, so the same seed always
+// yields the same storm. Domain faults target weak domains only (the
+// watchdog lives on the strong one) and always reboot, keeping every
+// generated storm recoverable; link probabilities stay low enough that the
+// reliable transport's retry budget is not structurally exhausted.
+func Generate(seed int64, weak int) Storm {
+	if weak < 1 {
+		weak = 1
+	}
+	r := sim.NewRand(seed)
+	var st Storm
+	n := 2 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		kind := r.Intn(3)
+		dom := soc.DomainID(1 + r.Intn(weak))
+		at := 5*time.Millisecond + r.Duration(45*time.Millisecond)
+		reboot := 10*time.Millisecond + r.Duration(30*time.Millisecond)
+		line := soc.IRQLine(r.Intn(4))
+		switch kind {
+		case 0:
+			st.Events = append(st.Events, Event{Kind: Crash, Dom: dom, At: at, Reboot: reboot})
+		case 1:
+			st.Events = append(st.Events, Event{Kind: Hang, Dom: dom, At: at, Reboot: reboot})
+		default:
+			st.Events = append(st.Events, Event{Kind: IRQ, Line: line, At: at})
+		}
+	}
+	st.Links.DropP = r.Float64() * 0.02
+	st.Links.DelayP = r.Float64() * 0.02
+	st.Links.DelayMax = 5*time.Microsecond + r.Duration(20*time.Microsecond)
+	st.Links.DupP = r.Float64() * 0.01
+	sort.SliceStable(st.Events, func(i, j int) bool { return st.Events[i].At < st.Events[j].At })
+	return st
+}
+
+// Plan compiles the storm into an armable fault.Plan whose probabilistic
+// link draws use the given seed.
+func (st Storm) Plan(seed int64) *fault.Plan {
+	pl := fault.NewPlan(seed)
+	for _, ev := range st.Events {
+		switch ev.Kind {
+		case Crash:
+			pl.CrashAt(ev.Dom, ev.At, ev.Reboot)
+		case Hang:
+			pl.HangAt(ev.Dom, ev.At, ev.Reboot)
+		case IRQ:
+			pl.SpuriousIRQAt(ev.Line, ev.At)
+		}
+	}
+	if st.Links.DropP > 0 || st.Links.DelayP > 0 || st.Links.DupP > 0 {
+		pl.AllLinks(st.Links)
+	}
+	return pl
+}
+
+// LastEffect returns the virtual time of the storm's last scheduled state
+// change (the latest event time or reboot completion).
+func (st Storm) LastEffect() time.Duration {
+	var last time.Duration
+	for _, ev := range st.Events {
+		end := ev.At + ev.Reboot
+		if end > last {
+			last = end
+		}
+	}
+	return last
+}
+
+// CrashedEver reports, per domain, whether the storm crashes or hangs it at
+// any point — the domains whose final state is excluded from the
+// convergence comparison ("modulo crashed-domain residue").
+func (st Storm) CrashedEver(domains int) []bool {
+	ever := make([]bool, domains)
+	for _, ev := range st.Events {
+		if (ev.Kind == Crash || ev.Kind == Hang) && int(ev.Dom) < domains {
+			ever[ev.Dom] = true
+		}
+	}
+	return ever
+}
+
+// String serializes the storm in the canonical -storm flag syntax:
+//
+//	crash:weak@60ms+50ms;hang:weak2@8ms+20ms;irq:3@10ms;drop:0.01;delay:0.02/30µs;dup:0.005
+//
+// Events appear in slice order; zero-probability link tokens are omitted.
+// ParseStorm inverts it exactly.
+func (st Storm) String() string {
+	var toks []string
+	for _, ev := range st.Events {
+		switch ev.Kind {
+		case IRQ:
+			toks = append(toks, fmt.Sprintf("irq:%d@%s", int(ev.Line), ev.At))
+		default:
+			t := fmt.Sprintf("%s:%s@%s", ev.Kind, ev.Dom, ev.At)
+			if ev.Reboot > 0 {
+				t += "+" + ev.Reboot.String()
+			}
+			toks = append(toks, t)
+		}
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	if st.Links.DropP > 0 {
+		toks = append(toks, "drop:"+g(st.Links.DropP))
+	}
+	if st.Links.DelayP > 0 {
+		toks = append(toks, fmt.Sprintf("delay:%s/%s", g(st.Links.DelayP), st.Links.DelayMax))
+	}
+	if st.Links.DupP > 0 {
+		toks = append(toks, "dup:"+g(st.Links.DupP))
+	}
+	if len(toks) == 0 {
+		return "none"
+	}
+	return strings.Join(toks, ";")
+}
+
+// ParseStorm parses the -storm flag syntax produced by Storm.String.
+func ParseStorm(s string) (Storm, error) {
+	var st Storm
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return st, nil
+	}
+	for _, tok := range strings.Split(s, ";") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(tok, ":")
+		if !ok {
+			return st, fmt.Errorf("chaos: bad storm token %q", tok)
+		}
+		switch kind {
+		case "crash", "hang":
+			target, times, ok := strings.Cut(rest, "@")
+			if !ok {
+				return st, fmt.Errorf("chaos: bad %s token %q", kind, tok)
+			}
+			dom, err := parseDomain(target)
+			if err != nil {
+				return st, err
+			}
+			atStr, rebootStr, hasReboot := strings.Cut(times, "+")
+			at, err := time.ParseDuration(atStr)
+			if err != nil {
+				return st, fmt.Errorf("chaos: bad time in %q: %v", tok, err)
+			}
+			ev := Event{Kind: EventKind(kind), Dom: dom, At: at}
+			if hasReboot {
+				if ev.Reboot, err = time.ParseDuration(rebootStr); err != nil {
+					return st, fmt.Errorf("chaos: bad reboot in %q: %v", tok, err)
+				}
+			}
+			st.Events = append(st.Events, ev)
+		case "irq":
+			lineStr, atStr, ok := strings.Cut(rest, "@")
+			if !ok {
+				return st, fmt.Errorf("chaos: bad irq token %q", tok)
+			}
+			line, err := strconv.Atoi(lineStr)
+			if err != nil {
+				return st, fmt.Errorf("chaos: bad irq line in %q: %v", tok, err)
+			}
+			at, err := time.ParseDuration(atStr)
+			if err != nil {
+				return st, fmt.Errorf("chaos: bad time in %q: %v", tok, err)
+			}
+			st.Events = append(st.Events, Event{Kind: IRQ, Line: soc.IRQLine(line), At: at})
+		case "drop", "dup":
+			p, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return st, fmt.Errorf("chaos: bad probability in %q: %v", tok, err)
+			}
+			if kind == "drop" {
+				st.Links.DropP = p
+			} else {
+				st.Links.DupP = p
+			}
+		case "delay":
+			pStr, maxStr, ok := strings.Cut(rest, "/")
+			if !ok {
+				return st, fmt.Errorf("chaos: bad delay token %q (want delay:P/MAX)", tok)
+			}
+			p, err := strconv.ParseFloat(pStr, 64)
+			if err != nil {
+				return st, fmt.Errorf("chaos: bad probability in %q: %v", tok, err)
+			}
+			max, err := time.ParseDuration(maxStr)
+			if err != nil {
+				return st, fmt.Errorf("chaos: bad delay bound in %q: %v", tok, err)
+			}
+			st.Links.DelayP = p
+			st.Links.DelayMax = max
+		default:
+			return st, fmt.Errorf("chaos: unknown storm token kind %q", kind)
+		}
+	}
+	return st, nil
+}
+
+// parseDomain inverts soc.DomainID.String: "strong", "weak", "weakN".
+func parseDomain(s string) (soc.DomainID, error) {
+	switch {
+	case s == "strong":
+		return soc.Strong, nil
+	case s == "weak":
+		return soc.Weak, nil
+	case strings.HasPrefix(s, "weak"):
+		n, err := strconv.Atoi(s[len("weak"):])
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("chaos: bad domain %q", s)
+		}
+		return soc.DomainID(n), nil
+	}
+	return 0, fmt.Errorf("chaos: bad domain %q", s)
+}

@@ -1,0 +1,245 @@
+// Package check is K2's global invariant oracle: a Suite attached to a
+// booted OS that audits the whole-system properties the paper's design
+// rests on — single-owner DSM coherence (§4.2), balloon/buddy page
+// conservation (§6.2), energy as the exact integral of the modeled power
+// states (§9.2), and recovery liveness. Experiments run it at quiesce
+// points mid-simulation and at end-of-run; the chaos driver
+// (internal/chaos) runs it over thousands of randomized fault storms.
+//
+// Every check is a pure read of simulation state (plus a passive shadow of
+// the power rails), so attaching a Suite never changes an experiment's
+// virtual execution: zero-fault runs stay byte-identical.
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"k2/internal/core"
+	"k2/internal/dsm"
+	"k2/internal/power"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// Violation is one invariant failure: which oracle tripped and why.
+type Violation struct {
+	Oracle string // "dsm", "memory", "energy" or "liveness"
+	Msg    string
+}
+
+func (v Violation) String() string { return v.Oracle + ": " + v.Msg }
+
+// obligation is a completion the liveness oracle requires by end-of-run.
+type obligation struct {
+	name string
+	ev   *sim.Event
+}
+
+// railShadow independently integrates one rail's piecewise-constant power
+// from the level-change and fixed-charge notifications alone, so the
+// energy oracle can compare the rail's own accounting against a second
+// derivation of the same integral.
+type railShadow struct {
+	rail   *power.Rail
+	level  power.Milliwatts
+	lastAt sim.Time
+	joules float64 // integral through lastAt
+	seen   float64 // last value the rail reported, for monotonicity
+}
+
+// Suite is an invariant oracle bound to one booted OS. Construct it with
+// New right after core.Boot so the energy shadow observes the whole run.
+type Suite struct {
+	OS *core.OS
+
+	// RequireQuiescent arms the checks that are only meaningful once the
+	// system has settled (no traffic in flight, meta-manager drained):
+	// outstanding reliable sends, deferred DSM requests, parked
+	// meta-manager work, and undeclared crashed domains. The chaos driver
+	// sets it after its settle window; experiments that stop mid-traffic
+	// leave it off.
+	RequireQuiescent bool
+
+	rails       []*railShadow
+	obligations []obligation
+}
+
+// New attaches a fresh Suite to the OS, installing the passive power-rail
+// observers. Call it before the engine runs (rails must not have changed
+// level yet for the shadow to cover the full run; at boot time they have
+// not).
+func New(o *core.OS) *Suite {
+	s := &Suite{OS: o}
+	for _, d := range o.S.Domains {
+		sh := &railShadow{
+			rail:   d.Rail,
+			level:  d.Rail.Level(),
+			lastAt: o.Eng.Now(),
+			joules: d.Rail.EnergyJ(),
+		}
+		sh.seen = sh.joules
+		d.Rail.OnLevelChange = func(at sim.Time, old, new power.Milliwatts) {
+			sh.joules += float64(old) / 1e3 * at.Sub(sh.lastAt).Seconds()
+			sh.lastAt = at
+			sh.level = new
+		}
+		d.Rail.OnAddEnergy = func(j float64) { sh.joules += j }
+		s.rails = append(s.rails, sh)
+	}
+	return s
+}
+
+// Obligation registers a completion the run must reach: Final reports a
+// liveness violation for every registered event that never fired (a worker
+// parked forever, a recovery that never completed).
+func (s *Suite) Obligation(name string, ev *sim.Event) {
+	s.obligations = append(s.obligations, obligation{name: name, ev: ev})
+}
+
+// Check audits the invariants that must hold at every event boundary: DSM
+// directory consistency, memory conservation, and energy accounting. It is
+// safe to call mid-run from a scheduled event (a quiesce point).
+func (s *Suite) Check() []Violation {
+	var vs []Violation
+	vs = s.checkDSM(vs)
+	vs = s.checkMemory(vs)
+	vs = s.checkEnergy(vs)
+	return vs
+}
+
+// Final audits everything: the instantaneous invariants plus the
+// end-of-run-only ones — no grants left to crashed domains, every
+// registered obligation met, and (with RequireQuiescent) nothing parked in
+// any queue of the recovery machinery.
+func (s *Suite) Final() []Violation {
+	vs := s.Check()
+	vs = s.checkCrashedResidue(vs)
+	vs = s.checkLiveness(vs)
+	return vs
+}
+
+func (s *Suite) checkDSM(vs []Violation) []Violation {
+	d := s.OS.DSM
+	if d == nil {
+		return vs
+	}
+	if err := d.CheckInvariants(); err != nil {
+		vs = append(vs, Violation{"dsm", err.Error()})
+	}
+	for _, pfn := range d.Pages() {
+		owner := d.Owner(pfn)
+		for _, h := range d.Holders(pfn) {
+			if d.Level(h, pfn) == dsm.Exclusive && h != owner {
+				vs = append(vs, Violation{"dsm", fmt.Sprintf(
+					"page %d: exclusive holder %v disagrees with directory owner %v",
+					pfn, h, owner)})
+			}
+		}
+	}
+	return vs
+}
+
+func (s *Suite) checkMemory(vs []Violation) []Violation {
+	m := s.OS.Mem
+	if m == nil {
+		return vs
+	}
+	for _, b := range m.Buddies {
+		if err := b.CheckInvariants(); err != nil {
+			vs = append(vs, Violation{"memory", err.Error()})
+		}
+	}
+	if err := m.CheckPartition(); err != nil {
+		vs = append(vs, Violation{"memory", err.Error()})
+	}
+	if err := m.CheckConservation(); err != nil {
+		vs = append(vs, Violation{"memory", err.Error()})
+	}
+	return vs
+}
+
+func (s *Suite) checkEnergy(vs []Violation) []Violation {
+	now := s.OS.Eng.Now()
+	for _, sh := range s.rails {
+		expected := sh.joules + float64(sh.level)/1e3*now.Sub(sh.lastAt).Seconds()
+		got := sh.rail.EnergyJ()
+		tol := 1e-9 + 1e-6*math.Abs(expected)
+		if math.Abs(got-expected) > tol {
+			vs = append(vs, Violation{"energy", fmt.Sprintf(
+				"rail %s: accounts %.12g J but the power-state integral is %.12g J",
+				sh.rail.Name, got, expected)})
+		}
+		if got < sh.seen-tol {
+			vs = append(vs, Violation{"energy", fmt.Sprintf(
+				"rail %s: energy went backwards (%.12g J after %.12g J)",
+				sh.rail.Name, got, sh.seen)})
+		}
+		sh.seen = got
+		if sh.rail.Level() < 0 {
+			vs = append(vs, Violation{"energy", fmt.Sprintf(
+				"rail %s: negative power level %v", sh.rail.Name, sh.rail.Level())})
+		}
+	}
+	return vs
+}
+
+// checkCrashedResidue asserts no DSM grant or directory ownership names a
+// domain that is crashed at end-of-run. Mid-run this is legal (the crash
+// happened, the watchdog has not swept yet); by Final the watchdog bound
+// has elapsed, so residue means ReclaimDead missed state.
+func (s *Suite) checkCrashedResidue(vs []Violation) []Violation {
+	d := s.OS.DSM
+	if d == nil {
+		return vs
+	}
+	for k, dom := range s.OS.S.Domains {
+		if !dom.Crashed() {
+			continue
+		}
+		kd := soc.DomainID(k)
+		if s.RequireQuiescent && s.OS.Watchdog != nil && s.OS.Watchdog.Alive(kd) {
+			vs = append(vs, Violation{"liveness", fmt.Sprintf(
+				"domain %v crashed but the watchdog never declared it dead", kd)})
+		}
+		for _, pfn := range d.Pages() {
+			if d.Owner(pfn) == kd {
+				vs = append(vs, Violation{"dsm", fmt.Sprintf(
+					"page %d still owned by crashed domain %v", pfn, kd)})
+			}
+			if d.Level(kd, pfn) != dsm.Invalid {
+				vs = append(vs, Violation{"dsm", fmt.Sprintf(
+					"crashed domain %v still holds a grant on page %d", kd, pfn)})
+			}
+		}
+	}
+	return vs
+}
+
+func (s *Suite) checkLiveness(vs []Violation) []Violation {
+	for _, ob := range s.obligations {
+		if !ob.ev.Fired() {
+			vs = append(vs, Violation{"liveness", fmt.Sprintf(
+				"obligation %q never completed", ob.name)})
+		}
+	}
+	if !s.RequireQuiescent {
+		return vs
+	}
+	if n := s.OS.S.Mailbox.OutstandingReliable(); n != 0 {
+		vs = append(vs, Violation{"liveness", fmt.Sprintf(
+			"%d reliable sends neither delivered nor reported failed", n)})
+	}
+	if d := s.OS.DSM; d != nil {
+		if n := d.DeferredLen(); n != 0 {
+			vs = append(vs, Violation{"liveness", fmt.Sprintf(
+				"%d DSM requests parked in the bottom-half queue", n)})
+		}
+	}
+	if m := s.OS.Mem; m != nil {
+		if err := m.CheckMetaQuiescent(); err != nil {
+			vs = append(vs, Violation{"liveness", err.Error()})
+		}
+	}
+	return vs
+}

@@ -1,0 +1,93 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"k2/internal/check"
+	"k2/internal/core"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func bootK2(t *testing.T) (*sim.Engine, *core.OS) {
+	t.Helper()
+	e := sim.NewEngine()
+	o, err := core.Boot(e, core.Options{Mode: core.K2Mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, o
+}
+
+// A clean run — sensor workload, no faults — must pass every oracle, both
+// at a mid-run quiesce point and in the final audit.
+func TestCleanRunPasses(t *testing.T) {
+	e, o := bootK2(t)
+	suite := check.New(o)
+	ev := sim.NewEvent(e)
+	suite.Obligation("worker", ev)
+	o.SpawnProcess("worker").Spawn(sched.NightWatch, "worker", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		for i := 0; i < 4; i++ {
+			o.DMA.Transfer(th, 4<<10)
+			th.Exec(soc.Work(50 * time.Microsecond))
+			th.SleepIdle(2 * time.Millisecond)
+		}
+		ev.Fire()
+	})
+	var mid []check.Violation
+	e.At(sim.Time(5*time.Millisecond), func() { mid = append(mid, suite.Check()...) })
+	if err := e.Run(sim.Time(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(mid) != 0 {
+		t.Fatalf("mid-run check violations on a clean run: %v", mid)
+	}
+	if vs := suite.Final(); len(vs) != 0 {
+		t.Fatalf("final audit violations on a clean run: %v", vs)
+	}
+}
+
+// An obligation that never fires must surface as a liveness violation
+// naming the obligation.
+func TestUnfiredObligationIsLivenessViolation(t *testing.T) {
+	e, o := bootK2(t)
+	suite := check.New(o)
+	suite.Obligation("parked-forever", sim.NewEvent(e))
+	if err := e.Run(sim.Time(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	vs := suite.Final()
+	found := false
+	for _, v := range vs {
+		if v.Oracle == "liveness" && strings.Contains(v.Msg, "parked-forever") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unfired obligation not reported: %v", vs)
+	}
+}
+
+// A rail driven to a negative power level must trip the energy oracle.
+func TestNegativeRailLevelIsEnergyViolation(t *testing.T) {
+	e, o := bootK2(t)
+	suite := check.New(o)
+	if err := e.Run(sim.Time(time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	o.S.Domains[soc.Strong].Rail.SetLevel(-5)
+	vs := suite.Check()
+	found := false
+	for _, v := range vs {
+		if v.Oracle == "energy" && strings.Contains(v.Msg, "negative power level") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("negative rail level not reported: %v", vs)
+	}
+}

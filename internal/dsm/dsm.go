@@ -21,6 +21,7 @@ package dsm
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"k2/internal/mem"
@@ -302,6 +303,17 @@ func (d *DSM) Holders(pfn mem.PFN) []soc.DomainID { return d.page(pfn).holders()
 // SharedPages returns how many pages the DSM manages.
 func (d *DSM) SharedPages() int { return len(d.pages) }
 
+// Pages returns every page the DSM manages, in ascending PFN order. The
+// invariant oracle (internal/check) walks this to audit the directory.
+func (d *DSM) Pages() []mem.PFN {
+	pfns := make([]mem.PFN, 0, len(d.pages))
+	for pfn := range d.pages {
+		pfns = append(pfns, pfn)
+	}
+	sort.Slice(pfns, func(i, j int) bool { return pfns[i] < pfns[j] })
+	return pfns
+}
+
 // Level returns kernel k's current level for pfn.
 func (d *DSM) Level(k soc.DomainID, pfn mem.PFN) Level {
 	pg, ok := d.pages[pfn]
@@ -371,6 +383,16 @@ func (pg *page) faultTargets(k soc.DomainID, wantShared bool) []soc.DomainID {
 			targets = append(targets, h)
 		}
 	}
+	if len(targets) == 0 && pg.owner != k && pg.level[k] == Invalid {
+		// No kernel holds a valid copy yet the directory names another
+		// owner: ownership is in flight (the previous holder went Invalid
+		// when it served, and the grant message has not reached the new
+		// owner). Treating the page as free here would mint a second
+		// Exclusive copy, so chase the in-flight grant instead: the named
+		// owner serves (or forwards) once its Put lands, and if it is
+		// suspended or crashed the claim and recovery paths take over.
+		targets = append(targets, pg.owner)
+	}
 	return targets
 }
 
@@ -424,6 +446,9 @@ func (d *DSM) fault(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, wr
 				}
 			} else {
 				pg.level[t] = Invalid
+			}
+			if d.Tracef != nil {
+				d.Tracef("%v claimed page %d from inactive %v", k, pfn, t)
 			}
 			continue
 		}
@@ -625,6 +650,9 @@ func (d *DSM) serve(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferredReq
 	if req.shared {
 		payload |= sharedFlag
 	}
+	if d.Tracef != nil {
+		d.Tracef("%v served page %d to %v (shared=%v)", k, req.pfn, req.from, req.shared)
+	}
 	d.SoC.Mailbox.Send(p, core, req.from,
 		soc.NewMessage(soc.MsgPutExclusive, payload, d.SoC.Mailbox.NextSeq()))
 }
@@ -643,6 +671,9 @@ func (d *DSM) handlePut(k soc.DomainID, pfn mem.PFN, shared bool) {
 	} else {
 		pg.level[k] = Exclusive
 		pg.owner = k
+	}
+	if d.Tracef != nil {
+		d.Tracef("%v received Put for page %d (shared=%v, pending=%v)", k, pfn, shared, pf != nil)
 	}
 	if pf != nil {
 		pg.pending[k] = nil

@@ -77,6 +77,9 @@ func (d *DSM) spinRecover(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.P
 			}
 			pg.pending[k] = nil
 			st.Recoveries++
+			if d.Tracef != nil {
+				d.Tracef("%v completed page %d fault locally after owner timeout", k, pfn)
+			}
 			pf.ev.Fire()
 			return
 		}

@@ -58,6 +58,7 @@ type BenchData struct {
 	DMAThroughput  []DMAThroughput `json:"dma_throughput,omitempty"`
 	Scale          []ScaleConfig   `json:"scale,omitempty"`
 	Faults         *FaultsData     `json:"faults,omitempty"`
+	Chaos          *ChaosData      `json:"chaos,omitempty"`
 }
 
 // RateSummary is the distribution of per-experiment events_per_sec over a
@@ -129,6 +130,9 @@ func MeasureBench(defs []Def, parallel int) BenchData {
 		}
 		if pr.faults != nil {
 			b.Faults = pr.faults
+		}
+		if pr.chaos != nil {
+			b.Chaos = pr.chaos
 		}
 	}
 	return b

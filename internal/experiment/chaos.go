@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"k2/internal/chaos"
+	"k2/internal/sim"
+)
+
+// ChaosSeed seeds the chaos sweep's storm derivation (the k2bench -seed
+// flag under -chaos). Same base seed + same sweep size means the identical
+// set of storms and a byte-identical summary.
+var ChaosSeed int64 = 1
+
+// chaosOracles is the fixed reporting order of the oracle families.
+var chaosOracles = []string{"dsm", "memory", "energy", "liveness", "convergence"}
+
+// ChaosFailure records one storm that tripped an oracle: the schedule, the
+// violations, a copy-pasteable repro command, and — for the first few
+// failures — the shrunk minimal schedule.
+type ChaosFailure struct {
+	Seed        int64    `json:"seed"`
+	Storm       string   `json:"storm"`
+	Violations  []string `json:"violations"`
+	Repro       string   `json:"repro"`
+	ShrunkStorm string   `json:"shrunk_storm,omitempty"`
+	ShrunkRepro string   `json:"shrunk_repro,omitempty"`
+}
+
+// ChaosData is the machine-readable summary of one chaos sweep: per-oracle
+// pass/fail counts over every storm, aggregate recovery traffic, and the
+// failing storms with their repro lines.
+type ChaosData struct {
+	BaseSeed    int64 `json:"base_seed"`
+	WeakDomains int   `json:"weak_domains"`
+	Sweep       int   `json:"sweep"`
+	Failures    int   `json:"failures"`
+
+	OraclePass map[string]int `json:"oracle_pass"`
+	OracleFail map[string]int `json:"oracle_fail"`
+
+	// Aggregates over every run, in seed order.
+	Deaths       int `json:"deaths"`
+	Reboots      int `json:"reboots"`
+	MailsDropped int `json:"mails_dropped"`
+	Retransmits  int `json:"retransmits"`
+	StaleFrees   int `json:"stale_frees"`
+
+	Failing []ChaosFailure `json:"failing,omitempty"`
+}
+
+// MeasureChaosSweep runs sweep seeded storms (derived from baseSeed) on a
+// platform with weak weak domains, fanning them across the runner's worker
+// pool, with the full invariant oracle plus the convergence comparison
+// against the fault-free baseline on every run. The first few failing
+// storms are shrunk to minimal schedules. The summary depends only on
+// (baseSeed, weak, sweep) — never on parallel or wall-clock — so repeated
+// sweeps are byte-identical.
+func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
+	if weak <= 0 {
+		weak = 2
+	}
+	if sweep <= 0 {
+		sweep = 8
+	}
+	d := ChaosData{
+		BaseSeed: baseSeed, WeakDomains: weak, Sweep: sweep,
+		OraclePass: map[string]int{}, OracleFail: map[string]int{},
+	}
+
+	// The convergence baseline: the same workload and platform, zero storm.
+	base := chaos.Run(chaos.Config{WeakDomains: weak, Storm: &chaos.Storm{}, NewEngine: newEngine})
+
+	rng := sim.NewRand(baseSeed)
+	seeds := make([]int64, sweep)
+	for i := range seeds {
+		seeds[i] = int64(rng.Uint64() >> 1)
+	}
+
+	ctx := context.Background()
+	if pr := activeProbe(); pr != nil && pr.ctx != nil {
+		ctx = pr.ctx
+	}
+
+	runs := make([]chaos.Result, sweep)
+	defs := make([]Def, sweep)
+	for i := range defs {
+		i := i
+		defs[i] = Def{ID: fmt.Sprintf("chaos-%d", i), Name: "chaos storm", Run: func() Table {
+			r := chaos.Run(chaos.Config{Seed: seeds[i], WeakDomains: weak, NewEngine: newEngine})
+			r.Violations = append(r.Violations, chaos.Diverges(base, r)...)
+			runs[i] = r
+			return Table{}
+		}}
+	}
+	results := Runner{Parallel: parallel}.RunContext(ctx, defs)
+	if err := ctx.Err(); err != nil {
+		panic(err) // cancelled mid-sweep: surface it through MeasureContext
+	}
+	// Hand the per-seed engines to the sweep's own probe so the telemetry
+	// (events dispatched, virtual time) covers the whole fan-out.
+	deposit(func(pr *probe) {
+		for _, res := range results {
+			if res.probe != nil {
+				pr.engines = append(pr.engines, res.probe.engines...)
+			}
+		}
+	})
+
+	const maxShrink = 5
+	for _, r := range runs {
+		failed := map[string]bool{}
+		for _, v := range r.Violations {
+			failed[v.Oracle] = true
+		}
+		for _, orc := range chaosOracles {
+			if failed[orc] {
+				d.OracleFail[orc]++
+			} else {
+				d.OraclePass[orc]++
+			}
+		}
+		d.Deaths += r.Deaths
+		d.Reboots += r.Reboots
+		d.MailsDropped += r.Mail.Dropped
+		d.Retransmits += r.Mail.Retransmits
+		d.StaleFrees += r.StaleFrees
+		if len(r.Violations) == 0 {
+			continue
+		}
+		d.Failures++
+		f := ChaosFailure{
+			Seed:  r.Seed,
+			Storm: r.Storm.String(),
+			Repro: chaos.ReproCommand(r.Seed, weak, r.Storm),
+		}
+		for _, v := range r.Violations {
+			f.Violations = append(f.Violations, v.String())
+		}
+		if d.Failures <= maxShrink {
+			seed := r.Seed
+			fails := func(st chaos.Storm) bool {
+				rr := chaos.Run(chaos.Config{Seed: seed, WeakDomains: weak, Storm: &st, NewEngine: newEngine})
+				return len(rr.Violations) > 0 || len(chaos.Diverges(base, rr)) > 0
+			}
+			shrunk := chaos.Shrink(r.Storm, fails, 200)
+			f.ShrunkStorm = shrunk.String()
+			f.ShrunkRepro = chaos.ReproCommand(seed, weak, shrunk)
+		}
+		d.Failing = append(d.Failing, f)
+	}
+	deposit(func(pr *probe) { pr.chaos = &d })
+	return d
+}
+
+// ChaosResult returns the sweep summary a measured chaos run deposited, or
+// nil when the experiment was not a chaos sweep (k2d feeds this into its
+// per-oracle metrics).
+func (r Result) ChaosResult() *ChaosData {
+	if r.probe == nil {
+		return nil
+	}
+	return r.probe.chaos
+}
+
+// Chaos reports the registry-sized chaos sweep: 8 storms on the default
+// two-weak-domain platform. k2bench -chaos runs the full 256-storm sweep.
+func Chaos() Table { return ChaosSweep(ChaosSeed, 0, 0, 0) }
+
+// ChaosSweep is Chaos with explicit base seed, platform width, sweep size
+// and parallelism (zeros mean the defaults: 2 weak domains, 8 storms,
+// GOMAXPROCS workers).
+func ChaosSweep(baseSeed int64, weak, sweep, parallel int) Table {
+	return MeasureChaosSweep(baseSeed, weak, sweep, parallel).Table()
+}
+
+// Table renders the sweep summary (k2bench prints this in -chaos mode).
+func (d ChaosData) Table() Table {
+	t := Table{
+		ID: "Chaos",
+		Title: fmt.Sprintf("%d random fault storms on %d weak domains (base seed %d), every oracle checked",
+			d.Sweep, d.WeakDomains, d.BaseSeed),
+		Header: []string{"Oracle", "Pass", "Fail"},
+	}
+	for _, orc := range chaosOracles {
+		t.Rows = append(t.Rows, []string{orc,
+			fmt.Sprintf("%d", d.OraclePass[orc]), fmt.Sprintf("%d", d.OracleFail[orc])})
+	}
+	t.Rows = append(t.Rows,
+		[]string{"storms (all oracles)", fmt.Sprintf("%d", d.Sweep-d.Failures), fmt.Sprintf("%d", d.Failures)},
+		[]string{"deaths / reboots", fmt.Sprintf("%d / %d", d.Deaths, d.Reboots), ""},
+		[]string{"mails dropped / retransmits", fmt.Sprintf("%d / %d", d.MailsDropped, d.Retransmits), ""},
+		[]string{"stale frees tolerated", fmt.Sprintf("%d", d.StaleFrees), ""},
+	)
+	for _, f := range d.Failing {
+		t.Notes = append(t.Notes, "FAIL "+f.Repro)
+		for _, v := range f.Violations {
+			t.Notes = append(t.Notes, "  "+v)
+		}
+		if f.ShrunkRepro != "" {
+			t.Notes = append(t.Notes, "  shrunk: "+f.ShrunkRepro)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"each storm runs the sensorhub workload with the oracle attached: quiesce checks mid-run, settle sweep, final audit",
+		"convergence compares the post-recovery final state against the fault-free run of the same platform",
+		"same base seed => the identical storm set and a byte-identical summary, at any parallelism")
+	return t
+}

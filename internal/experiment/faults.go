@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"k2/internal/check"
 	"k2/internal/core"
 	"k2/internal/dsm"
 	"k2/internal/fault"
@@ -76,8 +77,9 @@ func faultPlatform(op *core.Options) {
 // the workload span. Crashed workers freeze with their domain and finish
 // after the scripted reboot, so the run terminates whenever every injected
 // crash reboots.
-func faultsRun(plan *fault.Plan) (*sim.Engine, *core.OS, time.Duration) {
+func faultsRun(plan *fault.Plan) (*sim.Engine, *core.OS, *check.Suite, time.Duration) {
 	e, o := bootFresh(core.K2Mode, faultPlatform)
+	suite := check.New(o)
 	plan.Arm(o.S, o.Trace)
 	const workers = 4
 	const episodes = 40
@@ -104,7 +106,7 @@ func faultsRun(plan *fault.Plan) (*sim.Engine, *core.OS, time.Duration) {
 	if done != workers {
 		panic("experiment: faulted workers did not finish")
 	}
-	return e, o, span
+	return e, o, suite, span
 }
 
 // MeasureFaults runs the fault-injection experiment with the process-wide
@@ -129,14 +131,14 @@ func MeasureFaultsSeed(seed int64) FaultsData {
 		DropPct:       dropP * 100,
 	}
 
-	_, ob, spanB := faultsRun(fault.NewPlan(seed)) // empty plan: fault-free
+	_, ob, suiteB, spanB := faultsRun(fault.NewPlan(seed)) // empty plan: fault-free
 	d.BaselineEnergyMJ = ob.EnergyJ() * 1e3
 	d.BaselineSpanMS = float64(spanB.Microseconds()) / 1e3
 
 	plan := fault.NewPlan(seed).
 		CrashAt(soc.Weak, crashAt, rebootAfter).
 		AllLinks(fault.LinkFaults{DropP: dropP})
-	_, o, span := faultsRun(plan)
+	_, o, suiteF, span := faultsRun(plan)
 	d.FaultedEnergyMJ = o.EnergyJ() * 1e3
 	d.FaultedSpanMS = float64(span.Microseconds()) / 1e3
 	if d.BaselineEnergyMJ > 0 {
@@ -157,7 +159,10 @@ func MeasureFaultsSeed(seed int64) FaultsData {
 	d.Retransmits = o.S.Mailbox.Stats.Retransmits
 	d.Deduped = o.S.Mailbox.Stats.Deduped
 	d.DeliveryFailures = o.S.Mailbox.Stats.Failed
-	d.InvariantsOK = o.DSM.CheckInvariants() == nil && o.Mem.CheckPartition() == nil
+	// The full invariant oracle, not just the two ad-hoc checks it replaced:
+	// DSM directory, memory conservation, the energy integral and crashed-
+	// domain residue, on both runs (after the energy snapshots above).
+	d.InvariantsOK = len(suiteB.Final()) == 0 && len(suiteF.Final()) == 0
 	deposit(func(pr *probe) { pr.faults = &d })
 	return d
 }

@@ -35,6 +35,7 @@ func Registry() []Def {
 		{"a5", "Ablation §8 (suspend-ack overlap)", AblationSuspendOverlap},
 		{"scale", "Scale (1/2/4 weak domains)", Scale},
 		{"faults", "Fault injection + recovery", Faults},
+		{"chaos", "Chaos sweep (random storms + invariant oracle)", Chaos},
 	}
 }
 
@@ -48,8 +49,12 @@ type Params struct {
 	// determinism contract k2d exposes.
 	Seed int64
 	// WeakDomains, if non-zero, narrows the scale experiment to a single
-	// platform with this many weak domains instead of the 1/2/4 sweep.
+	// platform with this many weak domains instead of the 1/2/4 sweep, and
+	// sizes the platform of the chaos sweep (default 2).
 	WeakDomains int
+	// Sweep, if non-zero, sets how many seeded storms the chaos experiment
+	// runs (default 8 for the registry entry; k2bench -chaos uses 256).
+	Sweep int
 }
 
 // DefFor resolves a registry ID to a Def bound to the given params. The
@@ -75,6 +80,13 @@ func DefFor(id string, p Params) (Def, bool) {
 				weak := p.WeakDomains
 				d.Run = func() Table { return ScaleN(weak) }
 			}
+		case "chaos":
+			seed := p.Seed
+			if seed == 0 {
+				seed = ChaosSeed
+			}
+			weak, sweep := p.WeakDomains, p.Sweep
+			d.Run = func() Table { return ChaosSweep(seed, weak, sweep, 0) }
 		}
 		return d, true
 	}

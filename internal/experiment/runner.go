@@ -30,6 +30,7 @@ type probe struct {
 	t6     []DMAThroughput
 	scale  []ScaleConfig
 	faults *FaultsData
+	chaos  *ChaosData
 }
 
 // probes maps goroutine IDs to their active probe. Experiments are plain
@@ -152,9 +153,20 @@ func MeasureContext(ctx context.Context, d Def, opts ...Option) Result {
 	for _, o := range opts {
 		o(pr)
 	}
+	// Measurements can nest: the chaos sweep runs per-seed defs through an
+	// inner Runner, and with one worker the inner measure executes on this
+	// same goroutine. Restore the outer probe instead of deleting it, so the
+	// sweep's own deposits still reach it afterwards.
 	id := goid()
+	prev, hadPrev := probes.Load(id)
 	probes.Store(id, pr)
-	defer probes.Delete(id)
+	defer func() {
+		if hadPrev {
+			probes.Store(id, prev)
+		} else {
+			probes.Delete(id)
+		}
+	}()
 
 	start := time.Now()
 	r := Result{ID: d.ID, Name: d.Name, probe: pr}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"k2/internal/check"
 	"k2/internal/core"
 	"k2/internal/sched"
 	"k2/internal/sim"
@@ -36,6 +37,7 @@ type ScaleConfig struct {
 // driver state makes every episode exercise the N-kernel DSM.
 func scaleRun(weak int) ScaleConfig {
 	e, o := bootFresh(core.K2Mode, func(op *core.Options) { op.WeakDomains = weak })
+	suite := check.New(o)
 	const workers = 4
 	const episodes = 40
 	done := 0
@@ -72,6 +74,11 @@ func scaleRun(weak int) ScaleConfig {
 			MailOut:     o.S.Mailbox.SentBy(k),
 			EnergyMJ:    d.Rail.EnergyJ() * 1e3,
 		})
+	}
+	// End-of-run invariant audit (after the energy snapshot): a violation
+	// here is a simulator bug, not a measurement, so fail loudly.
+	if vs := suite.Final(); len(vs) != 0 {
+		panic(fmt.Sprintf("experiment: scale run violated invariants: %v", vs))
 	}
 	return cfg
 }

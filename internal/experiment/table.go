@@ -97,12 +97,12 @@ func sz(bytes int64) string {
 }
 
 // All runs every deterministic experiment in the reproduction, in paper
-// order (the fault-injection experiment, whose results depend on the
-// process-wide FaultSeed, stays opt-in via the registry).
+// order (the fault-injection and chaos experiments, whose results depend on
+// the process-wide seeds, stay opt-in via the registry).
 func All() []Table {
 	var out []Table
 	for _, d := range Registry() {
-		if d.ID == "faults" {
+		if d.ID == "faults" || d.ID == "chaos" {
 			continue
 		}
 		out = append(out, d.Run())

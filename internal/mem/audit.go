@@ -1,0 +1,71 @@
+package mem
+
+// This file holds the whole-stack accounting audits used by the global
+// invariant oracle (internal/check). They live in package mem because the
+// per-frame free/alloc bits are unexported; everything here is a pure read.
+
+// CheckConservation verifies per-kernel page conservation over the whole
+// frame table: for every kernel, the pages its buddy claims to manage equal
+// the frames owned by it, its free count equals owned minus allocated, and
+// no frame is simultaneously a free-block head and allocated. Quarantine
+// (inflate) and vacate (migration) happen in zero virtual time, so the
+// identity holds at every event boundary, mid-evacuation included.
+func (m *Manager) CheckConservation() error {
+	n := len(m.Buddies)
+	total := make([]int, n)
+	alloc := make([]int, n)
+	for i := range m.Frames.f {
+		f := &m.Frames.f[i]
+		if f.free && f.alloc {
+			return errf("page %d is both free and allocated", i)
+		}
+		if int(f.owner) == ownerNone {
+			if f.alloc {
+				return errf("K2-owned page %d is marked allocated", i)
+			}
+			continue
+		}
+		k := int(f.owner)
+		if k < 0 || k >= n {
+			return errf("page %d has out-of-range owner %d", i, k)
+		}
+		total[k]++
+		if f.alloc {
+			alloc[k]++
+		}
+	}
+	for k, b := range m.Buddies {
+		if b.TotalPages() != total[k] {
+			return errf("kernel %d: buddy manages %d pages but owns %d frames",
+				k, b.TotalPages(), total[k])
+		}
+		if b.FreePages() != total[k]-alloc[k] {
+			return errf("kernel %d: buddy reports %d free but frames say %d owned - %d allocated",
+				k, b.FreePages(), total[k], alloc[k])
+		}
+	}
+	return nil
+}
+
+// CheckMetaQuiescent verifies that the meta-manager has no work parked
+// forever: once the system is quiescent, every live kernel's work queue is
+// drained, its worker is not wedged mid-item, and no pressure request is
+// still marked pending. Kernels whose domain is currently crashed are
+// exempt — their frozen worker legitimately holds whatever it held.
+func (m *Manager) CheckMetaQuiescent() error {
+	for k := range m.Buddies {
+		if m.SoC.Domains[k].Crashed() {
+			continue
+		}
+		if n := m.workQ[k].Len(); n != 0 {
+			return errf("kernel %d: %d meta-manager work items parked at quiescence", k, n)
+		}
+		if m.busy[k] {
+			return errf("kernel %d: meta-manager worker wedged mid-item at quiescence", k)
+		}
+		if m.pending[k] {
+			return errf("kernel %d: pressure request pending with an empty queue", k)
+		}
+	}
+	return nil
+}

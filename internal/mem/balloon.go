@@ -19,6 +19,16 @@ type Balloon struct {
 	// mappings a real kernel updates when it migrates movable pages.
 	OnMigrate func(old, new PFN, order int)
 
+	// Gen, if set, reports the kernel's reclaim generation (bumped by
+	// Manager.ReclaimDead). Deflate and Inflate charge CPU time between
+	// mutating allocator state, and a crash freezes the executing proc at
+	// that charge; if the watchdog sweeps the kernel's memory before the
+	// proc resumes, finishing the half-done operation would corrupt the
+	// re-pooled blocks. A generation change across the charge detects
+	// exactly that window. A crash+reboot with no sweep leaves the
+	// generation — and the allocator — intact, so completing is correct.
+	Gen func() uint32
+
 	buddy  *Buddy
 	frames *Frames
 	cost   CostModel
@@ -32,16 +42,30 @@ func NewBalloon(k soc.DomainID, buddy *Buddy, frames *Frames, cost CostModel) *B
 	return &Balloon{Kernel: k, buddy: buddy, frames: frames, cost: cost}
 }
 
+func (bl *Balloon) gen() uint32 {
+	if bl.Gen == nil {
+		return 0
+	}
+	return bl.Gen()
+}
+
 // Deflate hands the K2-owned page block starting at block to the local page
 // allocator. From the kernel's perspective the balloon is a device driver
 // freeing part of its boot-time reservation, so the Linux allocator needs no
 // changes (§6.2). The executing core is charged the calibrated per-page
-// cost (interconnect-bound metadata writes plus a small CPU part).
-func (bl *Balloon) Deflate(p *sim.Proc, core *soc.Core, block PFN) {
+// cost (interconnect-bound metadata writes plus a small CPU part). It
+// reports false — without touching the allocator — if the kernel's memory
+// was swept by ReclaimDead while the charge was frozen by a crash.
+func (bl *Balloon) Deflate(p *sim.Proc, core *soc.Core, block PFN) bool {
+	g0 := bl.gen()
 	core.ExecFor(p, bl.cost.DeflateInterconnectPerPage*BlockPages)
 	core.Exec(p, bl.cost.DeflateCPUPerPage*BlockPages)
+	if bl.gen() != g0 {
+		return false
+	}
 	bl.buddy.AddRegion(block, BlockPages)
 	bl.Deflates++
+	return true
 }
 
 // Inflate reclaims the page block starting at block from the local kernel:
@@ -49,7 +73,10 @@ func (bl *Balloon) Deflate(p *sim.Proc, core *soc.Core, block PFN) {
 // elsewhere in the kernel's memory. It fails with ErrUnmovable if the block
 // is pinned by an unmovable page, or ErrNoMemory if the kernel lacks room
 // to absorb the evacuees; in both cases the block is left with the kernel.
+// ErrReclaimed means the kernel crashed mid-operation and ReclaimDead
+// already swept its memory; the allocator was not touched further.
 func (bl *Balloon) Inflate(p *sim.Proc, core *soc.Core, block PFN) error {
+	g0 := bl.gen()
 	// Pre-scan: an unmovable page pins the whole block (best-effort
 	// placement makes this unlikely near the frontier, §6.2).
 	for i := block; i < block+BlockPages; i++ {
@@ -93,6 +120,12 @@ func (bl *Balloon) Inflate(p *sim.Proc, core *soc.Core, block PFN) error {
 	core.ExecFor(p, bl.cost.InflateInterconnectPerPage*BlockPages)
 	core.Exec(p, bl.cost.InflateCPUPerPage*BlockPages)
 
+	if bl.gen() != g0 {
+		// The kernel died during the charge and the watchdog already swept
+		// everything this operation was mutating; neither the rollback nor
+		// the success path may touch the re-pooled blocks.
+		return ErrReclaimed
+	}
 	if failed {
 		// Return what we took: vacated originals and quarantined ranges
 		// rejoin the kernel's allocator; the block stays with the kernel.

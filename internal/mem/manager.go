@@ -31,6 +31,13 @@ type Manager struct {
 	workQ   []*sim.Queue
 	ackGate []*sim.Gate
 	pending []bool // a deflate request is already queued
+	busy    []bool // the worker is mid-item (between dequeue and completion)
+
+	// reclaimGen counts ReclaimDead sweeps per kernel; balloon operations
+	// frozen by a crash compare it across their CPU charges to detect that
+	// the memory they were mutating has been swept out from under them.
+	reclaimGen []uint32
+	everSwept  bool
 
 	// Tracef, if set, receives meta-manager trace lines.
 	Tracef func(format string, args ...any)
@@ -38,6 +45,7 @@ type Manager struct {
 	// Stats.
 	Reclaims     int
 	DeadReclaims int // blocks swept back from crashed kernels
+	StaleFrees   int // frees of pages already swept or migrated away
 }
 
 type workItem struct {
@@ -76,10 +84,13 @@ func NewManager(s *soc.SoC, frames *Frames, cost CostModel, globalStart, globalE
 	m.workQ = make([]*sim.Queue, n)
 	m.ackGate = make([]*sim.Gate, n)
 	m.pending = make([]bool, n)
+	m.busy = make([]bool, n)
+	m.reclaimGen = make([]uint32, n)
 	for id := range m.Buddies {
 		id := soc.DomainID(id)
 		m.Buddies[id] = NewBuddy(id, frames, cost, id == soc.Strong)
 		m.Balloons[id] = NewBalloon(id, m.Buddies[id], frames, cost)
+		m.Balloons[id].Gen = func() uint32 { return m.reclaimGen[id] }
 		m.workQ[id] = sim.NewQueue(s.Eng)
 		m.ackGate[id] = sim.NewGate(s.Eng)
 		m.Buddies[id].LowWater = 2 * BlockPages / 4 // 8 MB
@@ -139,6 +150,17 @@ func (m *Manager) Free(p *sim.Proc, core *soc.Core, local soc.DomainID, pfn PFN)
 		return
 	}
 	if owner < 0 {
+		if m.everSwept {
+			// A proc that froze in a crash can resume after the watchdog
+			// swept its kernel's memory and free a page that no longer
+			// belongs to anyone; the page is already back in the pool, so
+			// the free is a deterministic no-op rather than corruption.
+			m.StaleFrees++
+			if m.Tracef != nil {
+				m.Tracef("stale free of swept page %d from %v", pfn, local)
+			}
+			return
+		}
 		panic("mem: Free of a K2-owned page")
 	}
 	core.Exec(p, soc.Work(60)) // the wrapper's range check
@@ -165,7 +187,11 @@ func (m *Manager) DeflateBlock(p *sim.Proc, core *soc.Core, k soc.DomainID) (PFN
 	}
 	m.blockOwner[head] = k
 	m.poolLock.Release(p, core)
-	m.Balloons[k].Deflate(p, core, head)
+	if !m.Balloons[k].Deflate(p, core, head) {
+		// The kernel died mid-deflate and ReclaimDead already returned the
+		// block (blockOwner was set, so the sweep saw it) to the pool.
+		return 0, ErrReclaimed
+	}
 	if m.Tracef != nil {
 		m.Tracef("deflated block %d to %v (pool: %d left)", head, k, len(m.pool))
 	}
@@ -206,6 +232,10 @@ func (m *Manager) InflateBlock(p *sim.Proc, core *soc.Core, k soc.DomainID) (PFN
 	var lastErr error = ErrNoMemory
 	for _, head := range cands {
 		err := m.Balloons[k].Inflate(p, core, head)
+		if err == ErrReclaimed {
+			// The candidate list predates the sweep; every entry is stale.
+			return 0, err
+		}
 		if err == nil {
 			m.poolLock.Acquire(p, core)
 			delete(m.blockOwner, head)
@@ -255,6 +285,7 @@ func (m *Manager) Worker(p *sim.Proc, core *soc.Core, k soc.DomainID) {
 	for {
 		item := m.workQ[k].Get(p).(workItem)
 		m.SoC.Domains[k].EnsureAwake(p)
+		m.busy[k] = true
 		switch item.kind {
 		case workNeedBlock:
 			m.pending[k] = false
@@ -282,8 +313,16 @@ func (m *Manager) Worker(p *sim.Proc, core *soc.Core, k soc.DomainID) {
 			m.SoC.Mailbox.Send(p, core, item.from,
 				soc.NewMessage(soc.MsgBalloonAck, 0, m.SoC.Mailbox.NextSeq()))
 		case workRemoteFree:
+			if m.Frames.Owner(item.pfn) != int(k) {
+				// The page migrated away (balloon inflate) or the kernel
+				// was swept between the redirect and the worker reaching
+				// the item; the original frame no longer exists to free.
+				m.StaleFrees++
+				break
+			}
 			m.Buddies[k].Free(p, core, item.pfn)
 		}
+		m.busy[k] = false
 	}
 }
 

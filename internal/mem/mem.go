@@ -130,3 +130,9 @@ var ErrNoMemory = fmt.Errorf("mem: out of memory")
 
 // ErrUnmovable is returned when balloon inflation hits an unmovable page.
 var ErrUnmovable = fmt.Errorf("mem: page block pinned by unmovable page")
+
+// ErrReclaimed is returned when a balloon operation was interrupted by the
+// kernel crashing and the watchdog sweeping its memory (ReclaimDead) before
+// the operation's frozen proc resumed. The sweep already re-pooled the
+// kernel's blocks, so the half-done operation must not touch them again.
+var ErrReclaimed = fmt.Errorf("mem: kernel memory was reclaimed mid-operation")

@@ -16,6 +16,12 @@ import (
 // for the dead kernel is discarded — it referenced memory that no longer
 // belongs to it. Returns the number of blocks recovered.
 func (m *Manager) ReclaimDead(p *sim.Proc, core *soc.Core, dead soc.DomainID) int {
+	// Invalidate any balloon operation of the dead kernel frozen mid-charge:
+	// when its proc resumes after a reboot it must not finish mutating
+	// allocator state this sweep is about to re-pool (Balloon.Gen).
+	m.reclaimGen[dead]++
+	m.everSwept = true
+
 	heads := m.ownedBlocks(dead)
 
 	// The dead kernel's worker may have been holding the pool lock when it

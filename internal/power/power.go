@@ -25,6 +25,15 @@ type Profile struct {
 type Rail struct {
 	Name string
 
+	// OnLevelChange, if set, observes every effective SetLevel: the virtual
+	// time of the change plus the old and new levels. The rail has already
+	// settled at the old level when the hook runs. Observers must not touch
+	// simulation state; the hook exists so an invariant checker can shadow
+	// the integral independently (internal/check's energy oracle).
+	OnLevelChange func(at sim.Time, old, new Milliwatts)
+	// OnAddEnergy, if set, observes every AddEnergyJ charge.
+	OnAddEnergy func(j float64)
+
 	eng    *sim.Engine
 	level  Milliwatts
 	lastAt sim.Time
@@ -45,6 +54,9 @@ func (r *Rail) settle() {
 // SetLevel changes the rail's power draw as of the current virtual time.
 func (r *Rail) SetLevel(mw Milliwatts) {
 	r.settle()
+	if r.OnLevelChange != nil && mw != r.level {
+		r.OnLevelChange(r.eng.Now(), r.level, mw)
+	}
 	r.level = mw
 }
 
@@ -61,6 +73,9 @@ func (r *Rail) EnergyJ() float64 {
 // is not captured by the piecewise-constant level.
 func (r *Rail) AddEnergyJ(j float64) {
 	r.joules += j
+	if r.OnAddEnergy != nil {
+		r.OnAddEnergy(j)
+	}
 }
 
 // Meter snapshots a set of rails so an experiment can measure the energy of

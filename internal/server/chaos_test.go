@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestChaosEndpoint drives POST /v1/chaos end to end: the shorthand admits
+// a chaos-sweep job, the job passes every oracle, and the per-oracle
+// verdicts land in /metrics.
+func TestChaosEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep in -short")
+	}
+	_, ts := newTestServer(t, Config{Parallel: 2, QueueDepth: 8})
+
+	resp, err := http.Post(ts.URL+"/v1/chaos", "application/json",
+		strings.NewReader(`{"seed":1,"sweep":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/chaos = %d: %s", resp.StatusCode, raw)
+	}
+	var st Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Experiment != "chaos" || st.Sweep != 4 {
+		t.Fatalf("chaos submit status = %+v", st)
+	}
+
+	code, body := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"?wait=120")
+	if code != http.StatusOK {
+		t.Fatalf("poll = %d", code)
+	}
+	var got Status
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("chaos job = %+v", got)
+	}
+	if !strings.Contains(got.Result.Table, "Oracle") {
+		t.Fatalf("chaos table missing oracle summary:\n%s", got.Result.Table)
+	}
+
+	code, metricsBody := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"k2d_chaos_storms_total 4",
+		"k2d_chaos_failures_total 0",
+		`k2d_chaos_oracle_total{oracle="dsm",result="pass"} 4`,
+		`k2d_chaos_oracle_total{oracle="convergence",result="pass"} 4`,
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+
+	// Unknown fields are rejected, matching /v1/jobs.
+	resp, err = http.Post(ts.URL+"/v1/chaos", "application/json",
+		strings.NewReader(`{"storms":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad chaos submit = %d, want 400", resp.StatusCode)
+	}
+}

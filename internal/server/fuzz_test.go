@@ -1,0 +1,50 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzRequestDecode feeds arbitrary bodies through the same decode path
+// handleSubmit uses (size-capped reader, unknown fields rejected): decoding
+// must never panic, and an accepted request must survive a
+// marshal-decode round trip unchanged.
+func FuzzRequestDecode(f *testing.F) {
+	f.Add(`{"experiment":"t1"}`)
+	f.Add(`{"experiment":"chaos","seed":7,"weak_domains":4,"sweep":64}`)
+	f.Add(`{"experiment":"faults","timeout_ms":1000,"priority":2,"format":"csv"}`)
+	f.Add(`{}`)
+	f.Add(`{"experiment":"t1","bogus":1}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`"experiment"`)
+	f.Add("{\"experiment\":\"\\u0000\"}")
+	f.Fuzz(func(t *testing.T, body string) {
+		var req Request
+		r := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if err := req.validate(); err != nil {
+			return
+		}
+		// An accepted request is canonical: marshal and decode it again and
+		// the fields must match exactly.
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshal of accepted request failed: %v", err)
+		}
+		var back Request
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-decode of %s failed: %v", out, err)
+		}
+		if back != req {
+			t.Fatalf("request round-trip changed: %+v != %+v", back, req)
+		}
+	})
+}

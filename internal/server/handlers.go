@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -20,12 +21,14 @@ import (
 //	                           long-polls for completion)
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /v1/jobs/{id}/trace stream the job's kernel trace as NDJSON
+//	POST   /v1/chaos           submit a chaos sweep (a /v1/jobs shorthand)
 //	GET    /v1/experiments     list the experiment registry
 //	GET    /healthz            liveness (503 once draining)
 //	GET    /metrics            Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/chaos", s.handleChaos)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -61,6 +64,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed job request: %v", err)
 		return
 	}
+	s.submitAndRespond(w, req)
+}
+
+// handleChaos is the chaos-sweep shorthand: the body carries only the sweep
+// parameters and the experiment is forced to the chaos registry entry. The
+// resulting job is a regular /v1/jobs citizen (poll, cancel, trace).
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Seed        int64 `json:"seed,omitempty"`
+		WeakDomains int   `json:"weak_domains,omitempty"`
+		Sweep       int   `json:"sweep,omitempty"`
+		Priority    int   `json:"priority,omitempty"`
+		TimeoutMS   int64 `json:"timeout_ms,omitempty"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "malformed chaos request: %v", err)
+		return
+	}
+	s.submitAndRespond(w, Request{
+		Experiment:  "chaos",
+		Seed:        req.Seed,
+		WeakDomains: req.WeakDomains,
+		Sweep:       req.Sweep,
+		Priority:    req.Priority,
+		TimeoutMS:   req.TimeoutMS,
+	})
+}
+
+// submitAndRespond admits req and writes the standard submission response.
+func (s *Server) submitAndRespond(w http.ResponseWriter, req Request) {
 	j, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):

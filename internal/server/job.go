@@ -48,8 +48,12 @@ type Request struct {
 	// only; 0 = the daemon's default seed).
 	Seed int64 `json:"seed,omitempty"`
 	// WeakDomains narrows the scale experiment to one platform with this
-	// many weak domains (0 = the registered 1/2/4 sweep).
+	// many weak domains (0 = the registered 1/2/4 sweep); for the chaos
+	// experiment it sizes the storm platform (0 = 2).
 	WeakDomains int `json:"weak_domains,omitempty"`
+	// Sweep sizes the chaos experiment: how many seeded storms to run
+	// (0 = the registry default of 8).
+	Sweep int `json:"sweep,omitempty"`
 	// Priority orders the queue: higher runs first, FIFO within a class.
 	Priority int `json:"priority,omitempty"`
 	// TimeoutMS bounds the run in host milliseconds (0 = the daemon's
@@ -73,6 +77,12 @@ func (r *Request) validate() error {
 	}
 	if r.WeakDomains < 0 {
 		return fmt.Errorf("weak_domains must be >= 0")
+	}
+	if r.Sweep < 0 {
+		return fmt.Errorf("sweep must be >= 0")
+	}
+	if r.Sweep > 4096 {
+		return fmt.Errorf("sweep must be <= 4096")
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0")
@@ -115,6 +125,7 @@ type Status struct {
 	Priority   int     `json:"priority,omitempty"`
 	Seed       int64   `json:"seed,omitempty"`
 	WeakDoms   int     `json:"weak_domains,omitempty"`
+	Sweep      int     `json:"sweep,omitempty"`
 	Submitted  string  `json:"submitted"`
 	QueuedMS   float64 `json:"queued_ms,omitempty"`
 	RunMS      float64 `json:"run_ms,omitempty"`
@@ -145,6 +156,7 @@ func (j *Job) status() Status {
 		Priority:   j.Req.Priority,
 		Seed:       j.Req.Seed,
 		WeakDoms:   j.Req.WeakDomains,
+		Sweep:      j.Req.Sweep,
 		Submitted:  j.submitted.UTC().Format(time.RFC3339Nano),
 		Error:      j.errMsg,
 	}

@@ -26,12 +26,20 @@ type metrics struct {
 	engineEvents   uint64
 	engineSwitches uint64
 	virtualNS      uint64
+
+	// Chaos-sweep tallies summed over every finished chaos job.
+	chaosStorms   uint64            // storms simulated
+	chaosFailures uint64            // storms with at least one violation
+	chaosPass     map[string]uint64 // oracle verdicts by oracle family
+	chaosFail     map[string]uint64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		completed: make(map[State]uint64),
 		latency:   make(map[string]*stats.Histogram),
+		chaosPass: make(map[string]uint64),
+		chaosFail: make(map[string]uint64),
 	}
 }
 
@@ -67,6 +75,16 @@ func (m *metrics) recordFinished(id string, state State, res *experiment.Result)
 		}
 		h.Observe(res.Wall)
 	}
+	if cd := res.ChaosResult(); cd != nil {
+		m.chaosStorms += uint64(cd.Sweep)
+		m.chaosFailures += uint64(cd.Failures)
+		for orc, n := range cd.OraclePass {
+			m.chaosPass[orc] += uint64(n)
+		}
+		for orc, n := range cd.OracleFail {
+			m.chaosFail[orc] += uint64(n)
+		}
+	}
 }
 
 // render writes the Prometheus text exposition. Gauges the metrics struct
@@ -97,6 +115,26 @@ func (m *metrics) render(w io.Writer, queueDepth, inflight int, draining bool) {
 		d = 1
 	}
 	gauge("k2d_draining", "1 once graceful shutdown has begun.", d)
+
+	counter("k2d_chaos_storms_total", "Chaos storms simulated across all finished chaos jobs.", m.chaosStorms)
+	counter("k2d_chaos_failures_total", "Chaos storms with at least one oracle violation.", m.chaosFailures)
+	oracles := make(map[string]bool)
+	for orc := range m.chaosPass {
+		oracles[orc] = true
+	}
+	for orc := range m.chaosFail {
+		oracles[orc] = true
+	}
+	orcIDs := make([]string, 0, len(oracles))
+	for orc := range oracles {
+		orcIDs = append(orcIDs, orc)
+	}
+	sort.Strings(orcIDs)
+	fmt.Fprintf(w, "# HELP k2d_chaos_oracle_total Per-oracle verdicts across all finished chaos jobs.\n# TYPE k2d_chaos_oracle_total counter\n")
+	for _, orc := range orcIDs {
+		fmt.Fprintf(w, "k2d_chaos_oracle_total{oracle=%q,result=\"pass\"} %d\n", orc, m.chaosPass[orc])
+		fmt.Fprintf(w, "k2d_chaos_oracle_total{oracle=%q,result=\"fail\"} %d\n", orc, m.chaosFail[orc])
+	}
 
 	counter("k2d_engine_events_dispatched_total", "Simulation events dispatched across all finished jobs.", m.engineEvents)
 	counter("k2d_engine_proc_switches_total", "Engine-to-proc control transfers across all finished jobs.", m.engineSwitches)

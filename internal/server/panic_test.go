@@ -1,0 +1,62 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"k2/internal/experiment"
+)
+
+// TestPanicIsolation plants a panicking experiment stub in an admitted job
+// and asserts the worker goroutine survives it: the job alone fails, its
+// error carries the panic value and a stack, and the same worker keeps
+// serving later jobs.
+func TestPanicIsolation(t *testing.T) {
+	s := New(Config{Parallel: 1, QueueDepth: 8})
+	j, err := s.Submit(Request{Experiment: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the registry Def for a panicking stub before any worker starts.
+	j.def = experiment.Def{ID: "boom", Name: "panicking stub", Run: func() experiment.Table {
+		panic("boom")
+	}}
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // best-effort teardown
+	})
+
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("panicking job never finished")
+	}
+	st := j.status()
+	if st.State != StateFailed {
+		t.Fatalf("panicking job state = %s, want %s", st.State, StateFailed)
+	}
+	if !strings.Contains(st.Error, "panic: boom") {
+		t.Fatalf("panicking job error = %q, want it to carry the panic value", st.Error)
+	}
+	if !strings.Contains(st.Error, "goroutine") {
+		t.Fatalf("panicking job error carries no stack trace:\n%s", st.Error)
+	}
+
+	// The single worker must have survived to run the next job.
+	j2, err := s.Submit(Request{Experiment: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j2.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("follow-up job never finished: the worker died with the panic")
+	}
+	if got := j2.State(); got != StateDone {
+		t.Fatalf("follow-up job state = %s, want %s", got, StateDone)
+	}
+}

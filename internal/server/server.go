@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -109,6 +110,7 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	def, _ := experiment.DefFor(req.Experiment, experiment.Params{
 		Seed:        req.Seed,
 		WeakDomains: req.WeakDomains,
+		Sweep:       req.Sweep,
 	})
 
 	s.mu.Lock()
@@ -231,12 +233,26 @@ func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	s.inflight++
 	s.mu.Unlock()
-	res := experiment.MeasureContext(ctx, j.def, experiment.WithTraceSink(j.trace.add))
+	// A panicking experiment must not take its worker goroutine (and with
+	// it the whole daemon) down: isolate the job, record the stack, and
+	// fail only that job.
+	var res experiment.Result
+	panicMsg := func() (msg string) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				msg = fmt.Sprintf("%v\n%s", rec, debug.Stack())
+			}
+		}()
+		res = experiment.MeasureContext(ctx, j.def, experiment.WithTraceSink(j.trace.add))
+		return ""
+	}()
 	s.mu.Lock()
 	s.inflight--
 	s.mu.Unlock()
 
 	switch {
+	case panicMsg != "":
+		s.finishJob(j, StateFailed, nil, "panic: "+panicMsg)
 	case res.Err == nil:
 		s.finishJob(j, StateDone, &res, "")
 	case errors.Is(res.Err, context.DeadlineExceeded):

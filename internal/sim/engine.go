@@ -122,6 +122,11 @@ func (e *Engine) Now() Time { return e.now }
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// LiveProcs returns how many spawned procs have not yet terminated. The
+// chaos convergence oracle compares it against the fault-free run: a proc
+// parked forever after recovery shows up as a surplus here.
+func (e *Engine) LiveProcs() int { return e.nprocs }
+
 // alloc takes an event record off the free list (or makes one), stamps it
 // with the next sequence number and returns it ready to push.
 func (e *Engine) alloc(t Time, kind uint8, p *Proc, fn func()) *event {

@@ -93,6 +93,11 @@ type Mailbox struct {
 	rel    *ReliableParams
 	links  [][]*relLink // [from][to], nil until reliable mode is on
 
+	// relOutstanding counts reliable sends still awaiting their fate:
+	// incremented per send, decremented exactly once when the send is
+	// first acknowledged or abandoned.
+	relOutstanding int
+
 	// OnDeliveryFailed, if set, is called when the reliable transport
 	// abandons a mail after exhausting its retries (receiver dead or the
 	// link too lossy). Runs in engine context.

@@ -88,8 +88,15 @@ func (mb *Mailbox) sendReliable(from, to DomainID, msg Message) {
 	l := mb.links[from][to]
 	l.nextSeq++
 	rm := &relMail{from: from, to: to, msg: msg, seq: l.nextSeq}
+	mb.relOutstanding++
 	mb.transmit(rm)
 }
+
+// OutstandingReliable returns how many reliable sends are neither
+// acknowledged nor abandoned yet. The liveness oracle (internal/check)
+// requires this to reach zero once the system quiesces: every send must be
+// delivered or reported via OnDeliveryFailed, never parked forever.
+func (mb *Mailbox) OutstandingReliable() int { return mb.relOutstanding }
 
 // transmit sends one copy of rm and arms the ack timeout.
 func (mb *Mailbox) transmit(rm *relMail) {
@@ -122,6 +129,7 @@ func (mb *Mailbox) transmit(rm *relMail) {
 		}
 		if rm.attempts > mb.rel.MaxRetries {
 			rm.dead = true
+			mb.relOutstanding--
 			mb.Stats.Failed++
 			if mb.OnDeliveryFailed != nil {
 				mb.OnDeliveryFailed(rm.from, rm.to, rm.msg)
@@ -173,5 +181,11 @@ func (mb *Mailbox) sendAck(rm *relMail) {
 			latency += v.Delay
 		}
 	}
-	mb.soc.Eng.After(latency, func() { rm.acked = true })
+	mb.soc.Eng.After(latency, func() {
+		if rm.acked || rm.dead {
+			return // duplicate ack, or the sender already gave up
+		}
+		rm.acked = true
+		mb.relOutstanding--
+	})
 }

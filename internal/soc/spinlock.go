@@ -14,9 +14,14 @@ type HWSpinlock struct {
 	id     int
 	held   bool
 	holder DomainID
+	// brokenMask records domains whose grant was force-released by Break
+	// and not yet "used up" by the stale Release their frozen proc issues
+	// once it resumes after a reboot.
+	brokenMask uint64
 	// stats
-	Acquisitions int
-	Contended    int
+	Acquisitions  int
+	Contended     int
+	StaleReleases int // releases after the watchdog already broke the grant
 }
 
 // SpinlockBank is the set of hardware spinlocks on the SoC.
@@ -72,8 +77,19 @@ func (l *HWSpinlock) Acquire(p *sim.Proc, c *Core) {
 	}
 }
 
-// Release frees the lock, charging the interconnect access.
+// Release frees the lock, charging the interconnect access. A release by a
+// domain whose grant the watchdog already broke (the releasing proc froze
+// inside the critical section, the domain was declared dead, and the proc
+// resumed after the reboot) is a counted no-op: the break already freed the
+// lock, which may even be held by someone else by now.
 func (l *HWSpinlock) Release(p *sim.Proc, c *Core) {
+	d := c.Domain.ID
+	if (!l.held || l.holder != d) && l.brokenMask&(1<<uint(d)) != 0 {
+		l.brokenMask &^= 1 << uint(d)
+		l.StaleReleases++
+		c.ExecFor(p, l.soc.Cfg.SpinlockAccess)
+		return
+	}
 	if !l.held {
 		panic("soc: HWSpinlock.Release of a free lock")
 	}
@@ -88,6 +104,7 @@ func (l *HWSpinlock) Release(p *sim.Proc, c *Core) {
 func (l *HWSpinlock) Break(d DomainID) bool {
 	if l.held && l.holder == d {
 		l.held = false
+		l.brokenMask |= 1 << uint(d)
 		return true
 	}
 	return false

@@ -1,0 +1,27 @@
+package trace
+
+import "testing"
+
+// FuzzParseKind asserts the kind-name codec is a clean partial inverse of
+// String: parsing never panics, an accepted name round-trips exactly, and
+// every in-range kind's String is accepted back.
+func FuzzParseKind(f *testing.F) {
+	for _, n := range Kinds() {
+		f.Add(n)
+	}
+	f.Add("")
+	f.Add("kind(3)")
+	f.Add("DSM")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseKind(s)
+		if err != nil {
+			return
+		}
+		if got := k.String(); got != s {
+			t.Fatalf("ParseKind(%q) = %v, but %v.String() = %q", s, k, k, got)
+		}
+		if k < 0 || k >= numKinds {
+			t.Fatalf("ParseKind(%q) = %d, outside [0, %d)", s, k, numKinds)
+		}
+	})
+}
