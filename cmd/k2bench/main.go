@@ -18,6 +18,8 @@
 //	k2bench -cpuprofile cpu.pprof # profile the run
 //	k2bench -chaos -sweep=256     # chaos sweep: 256 storms, all oracles
 //	k2bench -chaos -storm='crash:weak@60ms+50ms' -seed=7   # replay one storm
+//	k2bench -checkpoint-demo      # shrink the planted-bug storm cold vs from
+//	                              # the boot checkpoint; report events saved
 package main
 
 import (
@@ -80,6 +82,7 @@ func main() {
 	sweep := flag.Int("sweep", 256, "storms per chaos sweep (with -chaos)")
 	stormFlag := flag.String("storm", "", "explicit storm schedule to replay (with -chaos; see a repro line for the syntax)")
 	weakDomains := flag.Int("weakdomains", 2, "weak domains on the chaos platform (with -chaos)")
+	ckptDemo := flag.Bool("checkpoint-demo", false, "shrink the planted-bug storm cold and from the boot checkpoint, print the replayed-event saving, and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this path")
 	flag.Parse()
@@ -89,6 +92,27 @@ func main() {
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "k2bench: -parallel must be at least 1")
 		os.Exit(2)
+	}
+	if *ckptDemo {
+		if *weakDomains < 1 {
+			fmt.Fprintln(os.Stderr, "k2bench: -weakdomains must be at least 1")
+			os.Exit(2)
+		}
+		cold, warm := chaos.CheckpointDemo(*weakDomains, 0)
+		fmt.Printf("storm:  %s\n", cold.Storm)
+		fmt.Printf("shrunk: %s (in %d predicate runs)\n", cold.Shrunk, cold.Runs)
+		fmt.Printf("events replayed: cold=%d checkpointed=%d\n", cold.Events, warm.Events)
+		if warm.Shrunk.String() != cold.Shrunk.String() {
+			fmt.Fprintf(os.Stderr, "k2bench: checkpointed shrink found %q, cold found %q\n", warm.Shrunk, cold.Shrunk)
+			os.Exit(1)
+		}
+		if warm.Events >= cold.Events {
+			fmt.Fprintln(os.Stderr, "k2bench: checkpointing saved no replayed events")
+			os.Exit(1)
+		}
+		fmt.Printf("saved:  %d events (%.1f%%) by forking each candidate from the boot checkpoint\n",
+			cold.Events-warm.Events, 100*(1-float64(warm.Events)/float64(cold.Events)))
+		return
 	}
 	if !*chaosMode && *stormFlag != "" {
 		fmt.Fprintln(os.Stderr, "k2bench: -storm requires -chaos")

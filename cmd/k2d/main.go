@@ -13,6 +13,10 @@
 //	k2d                               # serve on :8080 with GOMAXPROCS workers
 //	k2d -addr :9090 -parallel 4       # explicit bind + worker pool
 //	k2d -queue 128 -timeout 2m        # admission bound + default job deadline
+//	k2d -cache-size 256               # deterministic result cache (repeat jobs
+//	                                  # are served byte-identically; -1 disables)
+//	k2d -warm-start=false             # boot every job cold instead of restoring
+//	                                  # cached OS checkpoints
 //
 //	curl -X POST localhost:8080/v1/jobs -d '{"experiment":"t4"}'
 //	curl localhost:8080/v1/jobs/j00000001?wait=30\&format=text
@@ -50,6 +54,8 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace: how long in-flight jobs may finish after SIGTERM")
 	seed := flag.Int64("seed", experiment.FaultSeed, "default PRNG seed for fault-injection jobs")
 	traceEvents := flag.Int("trace-events", 16384, "per-job kernel-trace retention bound")
+	cacheSize := flag.Int("cache-size", 128, "result-cache entries: repeat jobs are served byte-identically without simulating (negative disables)")
+	warmStart := flag.Bool("warm-start", true, "boot jobs by restoring cached OS checkpoints instead of booting cold (results are byte-identical)")
 	flag.Parse()
 
 	if *parallel < 1 {
@@ -66,12 +72,18 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "k2d: ", log.LstdFlags)
+	cache := *cacheSize
+	if cache == 0 {
+		cache = -1 // flag 0 means "no entries", Config 0 means "default"
+	}
 	s := server.New(server.Config{
 		Parallel:    *parallel,
 		QueueDepth:  *queueDepth,
 		JobTimeout:  *timeout,
 		Seed:        *seed,
 		TraceEvents: *traceEvents,
+		CacheSize:   cache,
+		WarmStart:   *warmStart,
 	})
 	s.Start()
 

@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"k2/internal/check"
+	"k2/internal/core"
+	"k2/internal/dsm"
+	"k2/internal/fault"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// preRunSafe is the boot budget of the pre-run timing regime: a storm whose
+// earliest scripted fault lands at or after this bound releases its
+// workload from the boot-ready barrier (and may restore a checkpoint
+// instead of booting), because no fault can land mid-boot. Generated storms
+// always qualify (their events start at 5 ms); a hand-written storm that
+// faults earlier keeps the legacy cold path. bootRecoveryReady asserts the
+// platform actually boots inside the bound.
+const preRunSafe = 2 * time.Millisecond
+
+// recoveryOptions is the standard recovery platform every chaos run boots:
+// reliable mailbox transport, the shadow-kernel watchdog, and a bounded DSM
+// owner timeout on a platform with weak weak domains.
+func recoveryOptions(weak int) core.Options {
+	op := core.Options{Mode: core.K2Mode, WeakDomains: weak}
+	scfg := soc.DefaultConfig().WithWeakDomains(weak)
+	rel := soc.DefaultReliableParams()
+	scfg.Reliable = &rel
+	op.SoC = &scfg
+	wd := core.DefaultWatchdogParams()
+	op.Watchdog = &wd
+	prm := dsm.DefaultParams()
+	prm.OwnerTimeout = 200 * time.Microsecond
+	op.DSMParams = &prm
+	return op
+}
+
+// bootRecoveryReady boots cold on e and runs it to the boot-ready barrier:
+// a monitor proc spawned before Boot is the first Ready waiter, so the
+// engine pauses at exactly the quiesce instant.
+func bootRecoveryReady(e *sim.Engine, op core.Options) (*core.OS, error) {
+	var o *core.OS
+	e.Spawn("boot-monitor", func(p *sim.Proc) {
+		o.Ready.Wait(p)
+		e.Stop()
+	})
+	var err error
+	if o, err = core.Boot(e, op); err != nil {
+		return nil, err
+	}
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		return nil, err
+	}
+	if !o.Ready.Fired() {
+		return nil, fmt.Errorf("chaos: boot never reached the ready barrier")
+	}
+	if now := e.Now(); now > sim.Time(preRunSafe) {
+		return nil, fmt.Errorf("chaos: boot ran to %v, past the %v pre-run bound", now, preRunSafe)
+	}
+	return o, nil
+}
+
+// ckptEntry memoises the booted-platform snapshot for one weak-domain
+// count — or the reason it could not be taken, so an uncapturable platform
+// is probed once and every later run boots cold.
+type ckptEntry struct {
+	once sync.Once
+	snp  *core.Snapshot
+	err  error
+}
+
+var ckptCache sync.Map // weak-domain count -> *ckptEntry
+
+// recoverySnapshot returns the process-wide checkpoint of the standard
+// recovery platform with weak weak domains, capturing it on first request
+// from a throwaway source system audited by the invariant oracle.
+func recoverySnapshot(weak int) (*core.Snapshot, error) {
+	v, _ := ckptCache.LoadOrStore(weak, &ckptEntry{})
+	ent := v.(*ckptEntry)
+	ent.once.Do(func() {
+		ent.snp, ent.err = func() (*core.Snapshot, error) {
+			e := sim.NewEngine()
+			o, err := bootRecoveryReady(e, recoveryOptions(weak))
+			if err != nil {
+				return nil, err
+			}
+			snp, err := o.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			if vs := check.New(o).Check(); len(vs) > 0 {
+				return nil, fmt.Errorf("chaos: platform unsound at capture: %v", vs[0])
+			}
+			return snp, nil
+		}()
+	})
+	return ent.snp, ent.err
+}
+
+// ShrinkReport is the cost record of one instrumented shrink: the schedule
+// it started from, the 1-minimal schedule it found, and how much work the
+// predicate runs cost.
+type ShrinkReport struct {
+	Storm  Storm
+	Shrunk Storm
+	Runs   int    // predicate invocations
+	Events uint64 // events dispatched across all predicate runs
+}
+
+// shrinkInstrumented shrinks storm with an instrumented Run predicate,
+// summing each candidate run's dispatched events into the report.
+func shrinkInstrumented(storm Storm, seed int64, weak, budget int, checkpoint bool) ShrinkReport {
+	rep := ShrinkReport{Storm: storm}
+	fails := func(st Storm) bool {
+		r := Run(Config{Seed: seed, WeakDomains: weak, Storm: &st, Checkpoint: checkpoint})
+		rep.Runs++
+		rep.Events += r.Executed
+		return len(r.Violations) > 0
+	}
+	rep.Shrunk = Shrink(storm, fails, budget)
+	return rep
+}
+
+// PlantedBugStorm is the checkpoint demo's schedule: a crash that never
+// reboots (so its workers freeze and the liveness oracle trips — the
+// planted bug), wrapped in scripted noise and a mild link fault that shrink
+// must discard. Every event lands after the boot-ready barrier, so
+// checkpointed candidate runs replay only the post-boot suffix.
+func PlantedBugStorm() Storm {
+	return Storm{
+		Events: []Event{
+			{Kind: IRQ, Line: 1, At: 8 * time.Millisecond},
+			{Kind: Crash, Dom: soc.Weak, At: 10 * time.Millisecond}, // Reboot 0: stays dead
+			{Kind: IRQ, Line: 2, At: 12 * time.Millisecond},
+		},
+		Links: fault.LinkFaults{DropP: 0.004},
+	}
+}
+
+// CheckpointDemo shrinks the planted-bug storm twice — cold boots versus
+// checkpoint restores — and returns both cost reports. The two shrinks take
+// identical decisions (checkpointing never changes a run's results), so
+// the reports differ only in Events: the checkpointed side inherits each
+// candidate's boot from the snapshot instead of re-executing it. k2bench
+// -checkpoint-demo prints the comparison; the chaos tests assert the
+// saving is real.
+func CheckpointDemo(weak, budget int) (cold, warm ShrinkReport) {
+	storm := PlantedBugStorm()
+	cold = shrinkInstrumented(storm, 1, weak, budget, false)
+	warm = shrinkInstrumented(storm, 1, weak, budget, true)
+	return cold, warm
+}

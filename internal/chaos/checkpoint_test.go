@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A checkpointed run is byte-identical to a cold run of the same storm in
+// every observable field; only Executed differs (the inherited boot share)
+// and Restored records which path served the boot.
+func TestCheckpointRunByteIdentical(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		st := Generate(seed, 2)
+		cold := Run(Config{Seed: seed, WeakDomains: 2, Storm: &st})
+		warm := Run(Config{Seed: seed, WeakDomains: 2, Storm: &st, Checkpoint: true})
+		if !warm.Restored {
+			t.Fatalf("seed %d: checkpointed run did not restore (platform uncapturable?)", seed)
+		}
+		if warm.Executed >= cold.Executed {
+			t.Fatalf("seed %d: checkpointed run executed %d events, cold %d — boot was not skipped",
+				seed, warm.Executed, cold.Executed)
+		}
+		cn, wn := cold, warm
+		cn.Executed, wn.Executed = 0, 0
+		cn.Restored, wn.Restored = false, false
+		if !reflect.DeepEqual(cn, wn) {
+			t.Fatalf("seed %d: checkpointed run diverged from cold run:\ncold: %+v\nwarm: %+v", seed, cn, wn)
+		}
+	}
+}
+
+// A storm that faults before the boot-ready barrier must keep the legacy
+// cold path even when a checkpoint is requested.
+func TestCheckpointRefusedForEarlyFault(t *testing.T) {
+	st, err := ParseStorm("irq:1@1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(Config{Seed: 1, WeakDomains: 2, Storm: &st, Checkpoint: true})
+	if r.Restored {
+		t.Fatal("run with a mid-boot fault restored a checkpoint")
+	}
+}
+
+// The tentpole's shrinker acceptance: shrinking the planted-bug storm from
+// the checkpoint takes the same decisions and finds the same minimal
+// schedule as cold shrinking, while replaying measurably fewer events —
+// each candidate run inherits boot instead of re-executing it.
+func TestShrinkCheckpointSpeedup(t *testing.T) {
+	cold, warm := CheckpointDemo(2, 0)
+	if got, want := warm.Shrunk.String(), cold.Shrunk.String(); got != want {
+		t.Fatalf("checkpointed shrink found %q, cold shrink %q", got, want)
+	}
+	if len(warm.Shrunk.Events) >= len(PlantedBugStorm().Events) {
+		t.Fatalf("shrink removed nothing: %q", warm.Shrunk)
+	}
+	if warm.Runs != cold.Runs {
+		t.Fatalf("checkpointed shrink took %d predicate runs, cold %d", warm.Runs, cold.Runs)
+	}
+	if warm.Events >= cold.Events {
+		t.Fatalf("checkpointed shrink executed %d events vs %d cold — no saving", warm.Events, cold.Events)
+	}
+	saved := 100 * (1 - float64(warm.Events)/float64(cold.Events))
+	t.Logf("shrunk %q -> %q in %d predicate runs; cold replayed %d events, checkpointed %d (%.1f%% fewer)",
+		cold.Storm, cold.Shrunk, cold.Runs, cold.Events, warm.Events, saved)
+}

@@ -6,7 +6,6 @@ import (
 
 	"k2/internal/check"
 	"k2/internal/core"
-	"k2/internal/dsm"
 	"k2/internal/fault"
 	"k2/internal/sched"
 	"k2/internal/sim"
@@ -38,6 +37,15 @@ type Config struct {
 	// BootOpts, if set, adjusts the boot options after the standard
 	// recovery platform is configured (e.g. to install a trace sink).
 	BootOpts func(*core.Options)
+	// Checkpoint serves the boot by restoring a process-wide cached
+	// snapshot of the booted recovery platform (one per weak-domain count)
+	// instead of booting cold. Only storms whose earliest scripted fault
+	// lands after the boot-ready barrier can use it, and every result
+	// except Executed is byte-identical either way — the shrinker turns it
+	// on to replay only each candidate's post-boot suffix. Ignored when
+	// BootOpts is set (the adjusted options may not match the cached
+	// platform) or when the platform cannot be captured quiescently.
+	Checkpoint bool
 }
 
 // Result is the outcome and convergence fingerprint of one chaos run.
@@ -67,6 +75,14 @@ type Result struct {
 	StaleFrees int
 	SpanMS     float64
 	EnergyMJ   float64
+
+	// Executed counts the events the engine dispatched for this run. A
+	// checkpointed run inherits boot's share from the snapshot without
+	// executing it, which is exactly the shrinker's per-candidate saving;
+	// everything else in the Result is unaffected by Restored.
+	Executed uint64
+	// Restored reports whether the boot was served from a checkpoint.
+	Restored bool
 }
 
 // Run executes one storm against the standard recovery platform (reliable
@@ -106,38 +122,54 @@ func Run(cfg Config) Result {
 		newEng = sim.NewEngine
 	}
 	e := newEng()
-	op := core.Options{Mode: core.K2Mode, WeakDomains: weak}
-	scfg := soc.DefaultConfig().WithWeakDomains(weak)
-	rel := soc.DefaultReliableParams()
-	scfg.Reliable = &rel
-	op.SoC = &scfg
-	wd := core.DefaultWatchdogParams()
-	op.Watchdog = &wd
-	prm := dsm.DefaultParams()
-	prm.OwnerTimeout = 200 * time.Microsecond
-	op.DSMParams = &prm
+	op := recoveryOptions(weak)
 	if cfg.BootOpts != nil {
 		cfg.BootOpts(&op)
 	}
-	o, err := core.Boot(e, op)
-	if err != nil {
-		panic(err)
+
+	// Two deterministic timing regimes, chosen by the storm alone so that
+	// checkpointing can never change a result: storms whose every scripted
+	// fault lands after the boot-ready barrier release the workload from
+	// the barrier (and may restore a checkpoint instead of booting cold);
+	// storms that fault during boot keep the legacy cold path.
+	preRun := storm.earliestEvent() >= preRunSafe
+	var o *core.OS
+	var injected uint64
+	var violations []check.Violation
+	if preRun && cfg.Checkpoint && cfg.BootOpts == nil {
+		if snp, err := recoverySnapshot(weak); err == nil {
+			if ro, rerr := snp.Restore(e, nil); rerr == nil {
+				o = ro
+				res.Restored = true
+				injected = e.Stats().Dispatched // boot's share, inherited not executed
+			}
+		}
+	}
+	if o == nil {
+		var err error
+		if preRun {
+			o, err = bootRecoveryReady(e, op)
+		} else {
+			o, err = core.Boot(e, op)
+		}
+		if err != nil {
+			panic(err)
+		}
 	}
 	suite := check.New(o)
+	if res.Restored {
+		// Audit the restore boundary before releasing the workload.
+		violations = append(violations, suite.Check()...)
+	}
 	plan := storm.Plan(cfg.Seed)
 	plan.Arm(o.S, o.Trace)
 
-	var violations []check.Violation
 	finished := false
 
 	// Periodic quiesce-point checks of the instantaneous invariants.
-	for t := 25 * time.Millisecond; t <= 150*time.Millisecond; t += 25 * time.Millisecond {
-		e.At(sim.Time(t), func() {
-			if !finished {
-				violations = append(violations, suite.Check()...)
-			}
-		})
-	}
+	check.ScheduleChecks(e, suite, 25*time.Millisecond, 150*time.Millisecond, 25*time.Millisecond,
+		func() bool { return finished },
+		func(vs []check.Violation) { violations = append(violations, vs...) })
 
 	capture := func() {
 		res.SharedPages = o.DSM.SharedPages()
@@ -159,6 +191,7 @@ func Run(cfg Config) Result {
 			res.Reboots = o.Watchdog.Reboots
 		}
 		res.EnergyMJ = o.EnergyJ() * 1e3
+		res.Executed = e.Stats().Dispatched - injected
 	}
 
 	finish := func(vs []check.Violation) {
@@ -187,19 +220,7 @@ func Run(cfg Config) Result {
 				return
 			}
 			e.Spawn("chaos-settle", func(p *sim.Proc) {
-				o.S.Domains[soc.Strong].EnsureAwake(p)
-				c := o.S.Core(soc.Strong, 0)
-				for _, pfn := range o.DSM.Pages() {
-					o.DSM.Write(p, c, soc.Strong, pfn)
-				}
-				quiesced := false
-				for i := 0; i < 40; i++ {
-					if o.S.Mailbox.OutstandingReliable() == 0 && o.DSM.DeferredLen() == 0 {
-						quiesced = true
-						break
-					}
-					p.Sleep(50 * time.Microsecond)
-				}
+				quiesced := suite.SettleSweep(p)
 				if finished {
 					return
 				}

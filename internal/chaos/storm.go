@@ -103,6 +103,19 @@ func (st Storm) Plan(seed int64) *fault.Plan {
 	return pl
 }
 
+// earliestEvent returns the time of the storm's first scripted event; a
+// storm with no events (the fault-free baseline) reports an effectively
+// infinite time, so it always qualifies for the pre-run regime.
+func (st Storm) earliestEvent() time.Duration {
+	first := time.Duration(1<<63 - 1)
+	for _, ev := range st.Events {
+		if ev.At < first {
+			first = ev.At
+		}
+	}
+	return first
+}
+
 // LastEffect returns the virtual time of the storm's last scheduled state
 // change (the latest event time or reboot completion).
 func (st Storm) LastEffect() time.Duration {

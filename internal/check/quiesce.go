@@ -1,0 +1,55 @@
+package check
+
+import (
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// This file holds the two audit patterns that every oracle-driven run
+// shares — periodic quiesce-point checks and the end-of-run settle sweep.
+// They used to be copy-pasted between the chaos driver and the faults and
+// scale experiments; they also run around every snapshot/restore boundary
+// (the checkpoint builder audits the source at capture, and warm-started
+// chaos runs audit the restored system before releasing the workload).
+
+// ScheduleChecks arms periodic quiesce-point audits of the instantaneous
+// invariants: at every multiple of every from from through to, s.Check()
+// runs and any violations go to report. done, if non-nil, suppresses checks
+// once the run has finished (the suite may be mid-teardown). The checks are
+// pure reads, so arming them never changes a run's virtual execution.
+func ScheduleChecks(e *sim.Engine, s *Suite, from, to, every time.Duration, done func() bool, report func([]Violation)) {
+	for t := from; t <= to; t += every {
+		e.At(sim.Time(t), func() {
+			if done != nil && done() {
+				return
+			}
+			if vs := s.Check(); len(vs) > 0 {
+				report(vs)
+			}
+		})
+	}
+}
+
+// SettleSweep drives post-run convergence from the strong kernel: wake it,
+// rewrite every shared page (forcing post-recovery ownership to converge
+// and proving no page is wedged), then poll until the reliable transport
+// and the DSM bottom-half drain. Reports whether the system quiesced within
+// the window; callers typically assign the result to RequireQuiescent
+// before the final audit. Must run on a proc of the suite's engine.
+func (s *Suite) SettleSweep(p *sim.Proc) bool {
+	o := s.OS
+	o.S.Domains[soc.Strong].EnsureAwake(p)
+	c := o.S.Core(soc.Strong, 0)
+	for _, pfn := range o.DSM.Pages() {
+		o.DSM.Write(p, c, soc.Strong, pfn)
+	}
+	for i := 0; i < 40; i++ {
+		if o.S.Mailbox.OutstandingReliable() == 0 && o.DSM.DeferredLen() == 0 {
+			return true
+		}
+		p.Sleep(50 * time.Microsecond)
+	}
+	return false
+}

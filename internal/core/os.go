@@ -119,6 +119,7 @@ type OS struct {
 	irqHandlers map[soc.IRQLine][]IRQHandler
 	pendingMaps map[uint32]mapOp
 	nextMapID   uint32
+	opts        Options // the options this system was booted with
 }
 
 // Kernels returns the booted kernels: the main kernel, then one shadow
@@ -133,6 +134,18 @@ type IRQHandler func(p *sim.Proc, core *soc.Core, k soc.DomainID)
 // subsystem and spawns the per-kernel dispatcher procs; the filesystem is
 // formatted by an init thread, after which Ready fires.
 func Boot(eng *sim.Engine, opts Options) (*OS, error) {
+	return bootSystem(eng, opts, nil)
+}
+
+// boot builds the OS. With restore == nil it is a cold boot. With a restore
+// state it rehydrates a checkpoint instead: construction runs identically
+// (its deterministic allocations reproduce the captured layout and are then
+// overwritten by the patch phase), but nothing is spawned and nothing runs —
+// the engine heap is purged, every subsystem is patched to its captured
+// state, and the background procs are respawned parked exactly as the
+// captured ones were at the boot-ready quiesce point.
+func bootSystem(eng *sim.Engine, opts Options, restore *osState) (*OS, error) {
+	cold := restore == nil
 	cfg := soc.DefaultConfig()
 	if opts.SoC != nil {
 		cfg = *opts.SoC
@@ -165,13 +178,18 @@ func Boot(eng *sim.Engine, opts Options) (*OS, error) {
 	for id, d := range s.Domains {
 		rails[id] = d.Rail
 	}
+	o.opts = opts
 	o.Meter = power.NewMeter(rails...)
 	o.Trace = trace.New(eng, opts.TraceCapacity)
-	if opts.TraceSink != nil {
-		o.Trace.SetSink(opts.TraceSink)
+	if cold {
+		// On a warm boot the ring is restored and the sink installed after
+		// the patch phase; emitting here would pollute both.
+		if opts.TraceSink != nil {
+			o.Trace.SetSink(opts.TraceSink)
+		}
+		o.Trace.Emit(trace.Boot, "booting %v on simulated OMAP4 (strong %d MHz, weak %d MHz)",
+			opts.Mode, cfg.StrongFreqMHz, cfg.WeakFreqMHz)
 	}
-	o.Trace.Emit(trace.Boot, "booting %v on simulated OMAP4 (strong %d MHz, weak %d MHz)",
-		opts.Mode, cfg.StrongFreqMHz, cfg.WeakFreqMHz)
 
 	// Power-state transitions go to the tracer; later hooks (the IRQ
 	// router) chain on top of these.
@@ -255,7 +273,9 @@ func Boot(eng *sim.Engine, opts Options) (*OS, error) {
 		o.RegisterIRQ(soc.IRQSensor, func(p *sim.Proc, core *soc.Core, k soc.DomainID) {
 			o.Sensor.HandleIRQ(p, core, k)
 		})
-		dev.Start()
+		if cold {
+			dev.Start() // warm: the restored sampling clock is rearmed by patch
+		}
 	}
 
 	// Service classification (§5.3).
@@ -296,46 +316,64 @@ func Boot(eng *sim.Engine, opts Options) (*OS, error) {
 		})
 	}
 
-	// Per-kernel dispatcher and background procs.
+	// Per-kernel dispatcher and background procs. On a warm boot nothing is
+	// spawned here: the patch phase respawns the daemons in this same order
+	// once the engine is rewound, so they park exactly as the captured ones.
 	o.kernels = []soc.DomainID{soc.Strong}
 	if opts.Mode == K2Mode {
 		o.kernels = append(o.kernels, s.WeakDomains()...)
 	}
+	if opts.Watchdog != nil && opts.Mode == K2Mode && len(o.kernels) > 1 {
+		o.Watchdog = newWatchdog(o, *opts.Watchdog)
+	}
+	if cold {
+		o.spawnDaemons()
+
+		// Init thread: format the filesystem, then declare the system ready.
+		init := o.Sched.NewProcess("init")
+		init.Spawn(sched.Normal, "init", func(t *sched.Thread) {
+			fsState, err := o.newState("ext2", 3, fs.StatePages)
+			if err != nil {
+				panic(err)
+			}
+			f, err := fs.Mkfs(t, o.Disk, fsState)
+			if err != nil {
+				panic(err)
+			}
+			o.FS = f
+			o.Ready.Fire()
+		})
+		return o, nil
+	}
+	if err := o.restoreFrom(restore); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	return o, nil
+}
+
+// spawnDaemons starts the background procs: per-kernel mailbox dispatcher
+// and memory worker, the DSM bottom-half drainer, and the watchdog. The
+// order is load-bearing — a warm boot replays it so proc start events land
+// in the same relative sequence as a cold boot's.
+func (o *OS) spawnDaemons() {
 	for _, k := range o.kernels {
 		k := k
 		core := o.serviceCore(k)
-		eng.Spawn("mbox-dispatch-"+k.String(), func(p *sim.Proc) {
+		o.Eng.Spawn("mbox-dispatch-"+k.String(), func(p *sim.Proc) {
 			o.dispatch(p, core, k)
 		})
-		eng.Spawn("mem-worker-"+k.String(), func(p *sim.Proc) {
+		o.Eng.Spawn("mem-worker-"+k.String(), func(p *sim.Proc) {
 			o.Mem.Worker(p, core, k)
 		})
 	}
 	if o.DSM != nil {
-		eng.Spawn("dsm-bh-drainer", o.DSM.RunMainDrainer)
+		o.Eng.Spawn("dsm-bh-drainer", o.DSM.RunMainDrainer)
 	}
-	if opts.Watchdog != nil && opts.Mode == K2Mode && len(o.kernels) > 1 {
-		o.Watchdog = newWatchdog(o, *opts.Watchdog)
-		eng.Spawn("watchdog", func(p *sim.Proc) {
+	if o.Watchdog != nil {
+		o.Eng.Spawn("watchdog", func(p *sim.Proc) {
 			o.Watchdog.run(p, o.serviceCore(soc.Strong))
 		})
 	}
-
-	// Init thread: format the filesystem, then declare the system ready.
-	init := o.Sched.NewProcess("init")
-	init.Spawn(sched.Normal, "init", func(t *sched.Thread) {
-		fsState, err := o.newState("ext2", 3, fs.StatePages)
-		if err != nil {
-			panic(err)
-		}
-		f, err := fs.Mkfs(t, o.Disk, fsState)
-		if err != nil {
-			panic(err)
-		}
-		o.FS = f
-		o.Ready.Fire()
-	})
-	return o, nil
 }
 
 // newState allocates n unmovable state pages for a shadowed service and

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+
+	"k2/internal/driver"
+	"k2/internal/dsm"
+	"k2/internal/fs"
+	"k2/internal/irq"
+	"k2/internal/mem"
+	"k2/internal/netstack"
+	"k2/internal/power"
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/snap"
+	"k2/internal/soc"
+	"k2/internal/trace"
+	"k2/internal/vm"
+)
+
+// wdKernelState is the watchdog's per-shadow-kernel checkpointable state.
+type wdKernelState struct {
+	Alive     bool
+	Awaiting  bool
+	SentEpoch uint32
+	PongEpoch uint32
+	Missed    int
+}
+
+// watchdogState is the watchdog's checkpointable state.
+type watchdogState struct {
+	Kernels []wdKernelState
+	Epoch   uint32
+	Pings   int
+	Pongs   int
+	Reboots int
+	Deaths  []DeathRecord
+}
+
+func (w *Watchdog) captureState() watchdogState {
+	st := watchdogState{
+		Epoch: w.epoch, Pings: w.Pings, Pongs: w.Pongs, Reboots: w.Reboots,
+		Deaths: append([]DeathRecord(nil), w.Deaths...),
+	}
+	for _, s := range w.state {
+		st.Kernels = append(st.Kernels, wdKernelState{
+			Alive: s.alive, Awaiting: s.awaiting,
+			SentEpoch: s.sentEpoch, PongEpoch: s.pongEpoch, Missed: s.missed,
+		})
+	}
+	return st
+}
+
+func (w *Watchdog) restoreState(st watchdogState) {
+	for i, s := range st.Kernels {
+		w.state[i] = wdState{
+			alive: s.Alive, awaiting: s.Awaiting,
+			sentEpoch: s.SentEpoch, pongEpoch: s.PongEpoch, missed: s.Missed,
+		}
+	}
+	w.epoch = st.Epoch
+	w.Pings, w.Pongs, w.Reboots = st.Pings, st.Pongs, st.Reboots
+	w.Deaths = append([]DeathRecord(nil), st.Deaths...)
+}
+
+// osState is the deep, deterministic capture of the whole engine+OS at the
+// boot-ready quiesce point: engine clock and sequence counter, platform,
+// tracer ring, meter, address spaces, memory, coherence directory,
+// scheduler, router, every extended service, and the watchdog. It contains
+// no pointers into the captured system — a snapshot can be restored any
+// number of times and outlives its source.
+type osState struct {
+	Eng       sim.EngineState
+	SoC       soc.SoCState
+	Trace     trace.BufferState
+	Meter     power.MeterState
+	VM        []vm.AddressSpaceState
+	Mem       mem.ManagerState
+	DSM       *dsm.DSMState
+	Sched     sched.SchedState
+	Router    irq.RouterState
+	DMA       driver.DMAState
+	Disk      driver.RAMDiskState
+	FS        fs.FileSystemState
+	Net       netstack.StackState
+	SensorDev *driver.SensorDeviceState
+	Sensor    *driver.SensorDriverState
+	Watchdog  *watchdogState
+	NextMapID uint32
+}
+
+// Snapshot is a checkpoint of a booted system, taken at the boot-ready
+// quiesce point. Restore and Fork rehydrate it onto a fresh engine; the
+// source system is not perturbed and can keep running.
+type Snapshot struct {
+	opts  Options
+	state osState
+}
+
+// Snapshot captures the system. It may only be called at a quiesce point:
+// Ready fired, the engine paused, no thread running, no mail, fault, DMA
+// transfer or map propagation in flight — the state a system is in right
+// after boot completes, before any workload is released. Each subsystem
+// enforces its own preconditions and capture fails loudly if any is unmet.
+func (o *OS) Snapshot() (*Snapshot, error) {
+	if !o.Ready.Fired() {
+		return nil, fmt.Errorf("core: snapshot before boot completed")
+	}
+	if n := len(o.pendingMaps); n > 0 {
+		return nil, fmt.Errorf("core: %d map propagations in flight", n)
+	}
+	if o.FS == nil {
+		return nil, fmt.Errorf("core: snapshot before the filesystem was formatted")
+	}
+	st := osState{
+		Eng:       o.Eng.CaptureState(),
+		Trace:     o.Trace.CaptureState(),
+		Meter:     o.Meter.CaptureState(),
+		Router:    o.Router.CaptureState(),
+		Disk:      o.Disk.CaptureState(),
+		NextMapID: o.nextMapID,
+	}
+	var err error
+	if st.SoC, err = o.S.CaptureState(); err != nil {
+		return nil, err
+	}
+	for _, as := range o.AS {
+		st.VM = append(st.VM, as.CaptureState())
+	}
+	if st.Mem, err = o.Mem.CaptureState(); err != nil {
+		return nil, err
+	}
+	if o.DSM != nil {
+		ds, err := o.DSM.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		st.DSM = &ds
+	}
+	if st.Sched, err = o.Sched.CaptureState(); err != nil {
+		return nil, err
+	}
+	if st.DMA, err = o.DMA.CaptureState(); err != nil {
+		return nil, err
+	}
+	if st.FS, err = o.FS.CaptureState(); err != nil {
+		return nil, err
+	}
+	if st.Net, err = o.Net.CaptureState(); err != nil {
+		return nil, err
+	}
+	if o.Sensor != nil {
+		dev := o.Sensor.Dev.CaptureState()
+		st.SensorDev = &dev
+		drv, err := o.Sensor.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		st.Sensor = &drv
+	}
+	if o.Watchdog != nil {
+		ws := o.Watchdog.captureState()
+		st.Watchdog = &ws
+	}
+	opts := o.opts
+	opts.TraceSink = nil // live subscriber, never captured
+	return &Snapshot{opts: opts, state: st}, nil
+}
+
+// Restore rehydrates the snapshot onto a fresh engine and returns the
+// restored system, byte-identical in behavior to the captured one. sink, if
+// non-nil, receives the captured boot trace replayed in order and then every
+// event the restored run emits — the stream a cold boot would have produced.
+func (s *Snapshot) Restore(eng *sim.Engine, sink func(trace.Event)) (*OS, error) {
+	opts := s.opts
+	opts.TraceSink = sink
+	return bootSystem(eng, opts, &s.state)
+}
+
+// Fork is Restore onto a brand-new engine: the returned system diverges
+// freely (different workload, different fault storm) while the snapshot —
+// and the system it was captured from — remain untouched.
+func (s *Snapshot) Fork(sink func(trace.Event)) (*sim.Engine, *OS, error) {
+	eng := sim.NewEngine()
+	o, err := s.Restore(eng, sink)
+	return eng, o, err
+}
+
+// Now returns the virtual time the snapshot was captured at (the boot-ready
+// barrier).
+func (s *Snapshot) Now() sim.Time { return s.state.Eng.Now }
+
+// Marshal encodes the captured state with the deterministic snapshot codec:
+// the same snapshot always yields the same bytes.
+func (s *Snapshot) Marshal() []byte { return snap.Encode(s.state) }
+
+// UnmarshalState decodes a Marshal-ed state back into the snapshot,
+// replacing its captured state. The boot options are not part of the
+// encoding and keep their current value.
+func (s *Snapshot) UnmarshalState(data []byte) error {
+	var st osState
+	if err := snap.Decode(data, &st); err != nil {
+		return err
+	}
+	s.state = st
+	return nil
+}
+
+// restoreFrom is the patch phase of a warm boot: construction has already
+// rebuilt every object (and replayed boot's deterministic allocations), so
+// rewind the engine, overwrite every subsystem with the captured state,
+// re-arm the timed sources, and respawn the background procs.
+func (o *OS) restoreFrom(st *osState) error {
+	// The extended-service state pages for ext2 are allocated by the init
+	// thread on a cold boot; replay that allocation here (same allocator,
+	// same position, hence the same pages) before the memory state is
+	// patched over it.
+	fsState, err := o.newState("ext2", 3, fs.StatePages)
+	if err != nil {
+		return err
+	}
+	o.FS = fs.RestoreFS(o.Disk, fsState, st.FS)
+
+	// Rewind the engine: purge every construction-time event, restore the
+	// clock and sequence counter captured at the quiesce point.
+	if err := o.Eng.RestoreState(st.Eng); err != nil {
+		return err
+	}
+
+	// Patch each subsystem. The platform restore re-arms the idle timers on
+	// the rewound engine; rails are restored with it.
+	if err := o.S.RestoreState(st.SoC); err != nil {
+		return err
+	}
+	o.Trace.RestoreState(st.Trace)
+	o.Meter.RestoreState(st.Meter)
+	if len(st.VM) != len(o.AS) {
+		return fmt.Errorf("core: snapshot has %d address spaces, platform %d", len(st.VM), len(o.AS))
+	}
+	for i, as := range o.AS {
+		as.RestoreState(st.VM[i])
+	}
+	if err := o.Mem.RestoreState(st.Mem); err != nil {
+		return err
+	}
+	if o.DSM != nil {
+		if st.DSM == nil {
+			return fmt.Errorf("core: snapshot has no DSM state")
+		}
+		if err := o.DSM.RestoreState(*st.DSM); err != nil {
+			return err
+		}
+	}
+	if err := o.Sched.RestoreState(st.Sched); err != nil {
+		return err
+	}
+	o.Router.RestoreState(st.Router)
+	o.DMA.RestoreState(st.DMA)
+	o.Disk.RestoreState(st.Disk)
+	o.Net.RestoreState(st.Net)
+	if o.Sensor != nil {
+		if st.SensorDev == nil || st.Sensor == nil {
+			return fmt.Errorf("core: snapshot has no sensor state")
+		}
+		o.Sensor.Dev.RestoreState(*st.SensorDev)
+		o.Sensor.RestoreState(*st.Sensor)
+		o.Sensor.Dev.Rearm()
+	}
+	if o.Watchdog != nil {
+		if st.Watchdog == nil {
+			return fmt.Errorf("core: snapshot has no watchdog state")
+		}
+		o.Watchdog.restoreState(*st.Watchdog)
+	}
+	o.nextMapID = st.NextMapID
+
+	// The captured system had fired Ready with no waiters left pending;
+	// reproduce that, then hand the boot trace to the new sink and respawn
+	// the daemons (they park immediately: empty queues, fired Ready).
+	o.Ready.Fire()
+	if o.opts.TraceSink != nil {
+		for _, ev := range o.Trace.Events() {
+			o.opts.TraceSink(ev)
+		}
+		o.Trace.SetSink(o.opts.TraceSink)
+	}
+	o.spawnDaemons()
+	return nil
+}

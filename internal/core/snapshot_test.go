@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// bootToReady boots cold and runs the engine up to the boot-ready barrier:
+// a monitor proc spawned before Boot is the first Ready waiter, so it pauses
+// the engine at exactly the quiesce instant, before any other waiter's wake
+// dispatches.
+func bootToReady(t *testing.T, opts Options) (*sim.Engine, *OS) {
+	t.Helper()
+	e := sim.NewEngine()
+	var o *OS
+	e.Spawn("ready-monitor", func(p *sim.Proc) {
+		o.Ready.Wait(p)
+		e.Stop()
+	})
+	var err error
+	o, err = Boot(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Ready.Fired() {
+		t.Fatal("init never completed")
+	}
+	return e, o
+}
+
+// exercise runs a deterministic mixed workload (filesystem, DMA, UDP) and
+// returns a deep signature of the run: final time, energy, full trace dump,
+// and the major counters. Byte-identical signatures mean byte-identical
+// runs.
+func exercise(t *testing.T, e *sim.Engine, o *OS) string {
+	t.Helper()
+	pr := o.SpawnProcess("app")
+	pr.Spawn(sched.NightWatch, "mixed", func(th *sched.Thread) {
+		th.Block(func(p *sim.Proc) { o.Ready.Wait(p) })
+		f, err := o.FS.Create(th, "/chk")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Write(th, bytes.Repeat([]byte("k2"), 4096)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 8; i++ {
+			o.DMA.Transfer(th, 64<<10)
+		}
+		a, err := o.Net.NewSocket(th, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b, err := o.Net.NewSocket(th, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := a.SendTo(th, b.Addr(), bytes.Repeat([]byte("x"), 4000)); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, _, err := b.RecvFrom(th); err != nil {
+			t.Error(err)
+			return
+		}
+		a.Close(th)
+		b.Close(th)
+	})
+	if err := e.Run(sim.Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	var tr bytes.Buffer
+	if err := o.Trace.Dump(&tr); err != nil {
+		t.Fatal(err)
+	}
+	sig := fmt.Sprintf("now=%v energy=%.9f disk=%d/%d dma=%v sent=%d traces=%d\n%s",
+		e.Now(), o.EnergyJ(), o.Disk.Reads, o.Disk.Writes, o.DMA.Transfers,
+		o.Net.PacketsSent, o.Trace.Total(), tr.String())
+	if o.DSM != nil {
+		if err := o.DSM.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		sig += fmt.Sprintf("\nfaults=%d/%d", o.DSM.RequesterStats[soc.Strong].Faults,
+			o.DSM.RequesterStats[soc.Weak].Faults)
+	}
+	return sig
+}
+
+func snapshotOpts(mode Mode) Options {
+	return Options{
+		Mode:         mode,
+		SensorPeriod: 5 * time.Millisecond,
+		Watchdog:     ptr(DefaultWatchdogParams()),
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// The tentpole acceptance invariant at the core level: restore-then-run is
+// byte-identical to run-straight-through, in both modes, with the watchdog
+// and the sensor device live across the checkpoint.
+func TestSnapshotRestoreByteIdentical(t *testing.T) {
+	for _, mode := range []Mode{K2Mode, LinuxMode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			opts := snapshotOpts(mode)
+			if mode == LinuxMode {
+				opts.Watchdog = nil
+			}
+			e1, o1 := bootToReady(t, opts)
+			snp, err := o1.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := exercise(t, e1, o1) // the captured parent continues unperturbed
+
+			e2, o2, err := snp.Fork(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e2.Now() != e1.Now() && o2.Ready.Fired() == false {
+				t.Fatal("restored engine not at the quiesce point")
+			}
+			warm := exercise(t, e2, o2)
+			if cold != warm {
+				t.Fatalf("restored run diverged from straight-through run:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+			}
+		})
+	}
+}
+
+// A snapshot is reusable: two forks from the same checkpoint can run
+// different workloads without perturbing each other or the parent.
+func TestForkAndDiverge(t *testing.T) {
+	e1, o1 := bootToReady(t, snapshotOpts(K2Mode))
+	_ = e1
+	snp, err := o1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentWrites, parentNow := o1.Disk.Writes, o1.Eng.Now()
+
+	// Fork A: heavy DMA. Fork B: filesystem only.
+	eA, oA, err := snp.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prA := oA.SpawnProcess("a")
+	prA.Spawn(sched.Normal, "dma", func(th *sched.Thread) {
+		for i := 0; i < 32; i++ {
+			oA.DMA.Transfer(th, 256<<10)
+		}
+	})
+	if err := eA.Run(sim.Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+
+	eB, oB, err := snp.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prB := oB.SpawnProcess("b")
+	var readBack []byte
+	prB.Spawn(sched.Normal, "fs", func(th *sched.Thread) {
+		f, err := oB.FS.Create(th, "/div")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Write(th, []byte("diverged")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.Close(th); err != nil {
+			t.Error(err)
+			return
+		}
+		g, err := oB.FS.Open(th, "/div")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 16)
+		n, err := g.Read(th, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		readBack = buf[:n]
+	})
+	if err := eB.Run(sim.Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := oA.DMA.Transfers[soc.Strong]; got != 32 {
+		t.Fatalf("fork A completed %d transfers, want 32", got)
+	}
+	if string(readBack) != "diverged" {
+		t.Fatalf("fork B read %q", readBack)
+	}
+	if oB.DMA.Transfers[soc.Strong] != 0 {
+		t.Fatal("fork B saw fork A's DMA traffic")
+	}
+	// The parent is unperturbed: still paused at the barrier, no workload ran.
+	if o1.Disk.Writes != parentWrites || o1.Eng.Now() != parentNow {
+		t.Fatalf("parent perturbed by forks: writes %d->%d, now %v->%v",
+			parentWrites, o1.Disk.Writes, parentNow, o1.Eng.Now())
+	}
+}
+
+// The snapshot codec round-trips the full OS state byte-stably.
+func TestSnapshotMarshalRoundTrip(t *testing.T) {
+	_, o := bootToReady(t, snapshotOpts(K2Mode))
+	snp, err := o.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := snp.Marshal()
+	if err := snp.UnmarshalState(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := snp.Marshal()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("codec not byte-stable: %d vs %d bytes", len(b1), len(b2))
+	}
+	// A decoded snapshot must still restore and run.
+	e, o2, err := snp.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !o2.Ready.Fired() {
+		t.Fatal("decoded snapshot did not restore a ready system")
+	}
+}

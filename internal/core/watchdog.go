@@ -67,6 +67,7 @@ type Watchdog struct {
 
 	os    *OS
 	state []wdState
+	epoch uint32
 
 	// Stats.
 	Pings, Pongs int
@@ -88,10 +89,13 @@ func newWatchdog(o *OS, prm WatchdogParams) *Watchdog {
 // Alive reports whether the watchdog currently believes kernel k is alive.
 func (w *Watchdog) Alive(k soc.DomainID) bool { return w.state[k].alive }
 
-// run is the heartbeat loop; it never returns.
+// run is the heartbeat loop; it never returns. It starts beating only once
+// the system is ready: boot is shorter than a heartbeat period anyway, and
+// gating on Ready guarantees no ping is in flight at the boot-ready quiesce
+// point where checkpoints are taken.
 func (w *Watchdog) run(p *sim.Proc, core *soc.Core) {
 	o := w.os
-	epoch := uint32(0)
+	o.Ready.Wait(p)
 	for {
 		p.Sleep(w.Params.Period)
 		if !core.Domain.Awake() {
@@ -128,12 +132,12 @@ func (w *Watchdog) run(p *sim.Proc, core *soc.Core) {
 				w.Reboots++
 				o.Trace.Emit(trace.Fault, "watchdog: %v answered again; back alive", k)
 			}
-			epoch = (epoch + 1) & wdEpochMask
-			st.sentEpoch = epoch
+			w.epoch = (w.epoch + 1) & wdEpochMask
+			st.sentEpoch = w.epoch
 			st.awaiting = true
 			w.Pings++
 			o.S.Mailbox.Send(p, core, k,
-				soc.NewMessage(soc.MsgGeneric, wdFlag|epoch, o.S.Mailbox.NextSeq()))
+				soc.NewMessage(soc.MsgGeneric, wdFlag|w.epoch, o.S.Mailbox.NextSeq()))
 		}
 	}
 }

@@ -25,11 +25,12 @@ type SensorDevice struct {
 	Line   soc.IRQLine
 	Period time.Duration
 
-	fifo    []Sample
-	depth   int
-	mark    int
-	running bool
-	seq     int32
+	fifo       []Sample
+	depth      int
+	mark       int
+	running    bool
+	seq        int32
+	nextTickAt sim.Time
 
 	// Overruns counts samples dropped to FIFO overflow.
 	Overruns int
@@ -56,7 +57,14 @@ func (d *SensorDevice) Stop() { d.running = false }
 func (d *SensorDevice) Running() bool { return d.running }
 
 func (d *SensorDevice) tick() {
-	d.s.Eng.After(d.Period, func() {
+	d.tickAt(d.s.Eng.Now().Add(d.Period))
+}
+
+// tickAt arms the next sample at an absolute time, so a restored device can
+// resume its sampling clock exactly where the captured one left off.
+func (d *SensorDevice) tickAt(at sim.Time) {
+	d.nextTickAt = at
+	d.s.Eng.At(at, func() {
 		if !d.running {
 			return
 		}

@@ -1,0 +1,131 @@
+package driver
+
+import (
+	"fmt"
+
+	"k2/internal/sim"
+)
+
+// DMAState is the DMA driver's checkpointable state. In-flight transfers
+// hold events that blocked submitters wait on, so capture requires a drained
+// driver.
+type DMAState struct {
+	Transfers []int
+}
+
+// CaptureState records the driver's counters; it errors while transfers are
+// in flight.
+func (d *DMADriver) CaptureState() (DMAState, error) {
+	if n := len(d.pending); n > 0 {
+		return DMAState{}, fmt.Errorf("driver: %d DMA transfers in flight", n)
+	}
+	return DMAState{Transfers: append([]int(nil), d.Transfers...)}, nil
+}
+
+// RestoreState rewinds the driver onto a captured state.
+func (d *DMADriver) RestoreState(st DMAState) {
+	d.pending = nil
+	copy(d.Transfers, st.Transfers)
+}
+
+// BlockData is one written ramdisk block.
+type BlockData struct {
+	Index int
+	Data  []byte
+}
+
+// RAMDiskState is the ramdisk's checkpointable state: a sparse copy of the
+// written blocks (unwritten blocks read as zero and are not stored).
+type RAMDiskState struct {
+	Blocks []BlockData // ascending index
+	Reads  int
+	Writes int
+}
+
+// CaptureState deep-copies the written blocks and the op counters.
+func (d *RAMDisk) CaptureState() RAMDiskState {
+	st := RAMDiskState{Reads: d.Reads, Writes: d.Writes}
+	for i, blk := range d.data {
+		if blk == nil {
+			continue
+		}
+		st.Blocks = append(st.Blocks, BlockData{Index: i, Data: append([]byte(nil), blk...)})
+	}
+	return st
+}
+
+// RestoreState rewinds the ramdisk onto a captured state (same geometry).
+func (d *RAMDisk) RestoreState(st RAMDiskState) {
+	for i := range d.data {
+		d.data[i] = nil
+	}
+	for _, b := range st.Blocks {
+		d.data[b.Index] = append([]byte(nil), b.Data...)
+	}
+	d.Reads, d.Writes = st.Reads, st.Writes
+}
+
+// SensorDeviceState is the sensor hardware's checkpointable state, including
+// the absolute time of its next autonomous sample.
+type SensorDeviceState struct {
+	FIFO       []Sample
+	Seq        int32
+	Running    bool
+	Overruns   int
+	NextTickAt sim.Time
+}
+
+// CaptureState records the device's sampling state.
+func (d *SensorDevice) CaptureState() SensorDeviceState {
+	return SensorDeviceState{
+		FIFO:       append([]Sample(nil), d.fifo...),
+		Seq:        d.seq,
+		Running:    d.running,
+		Overruns:   d.Overruns,
+		NextTickAt: d.nextTickAt,
+	}
+}
+
+// RestoreState rewinds the device onto a captured state. The pending sample
+// event lives in the engine heap and is purged with it; call Rearm after the
+// engine restore to schedule it again.
+func (d *SensorDevice) RestoreState(st SensorDeviceState) {
+	d.fifo = append([]Sample(nil), st.FIFO...)
+	d.seq = st.Seq
+	d.running = st.Running
+	d.Overruns = st.Overruns
+	d.nextTickAt = st.NextTickAt
+}
+
+// Rearm schedules the next autonomous sample at the restored deadline.
+func (d *SensorDevice) Rearm() {
+	if d.running {
+		d.tickAt(d.nextTickAt)
+	}
+}
+
+// SensorDriverState is the sensor driver's checkpointable state. Blocked
+// readers wait on the driver's gate, so capture requires none — true at the
+// boot-ready quiesce point.
+type SensorDriverState struct {
+	Queue     []Sample
+	Delivered int
+}
+
+// CaptureState records the driver's queue and counters; it errors while a
+// reader is blocked.
+func (d *SensorDriver) CaptureState() (SensorDriverState, error) {
+	if n := d.waiters.Waiters(); n > 0 {
+		return SensorDriverState{}, fmt.Errorf("driver: %d sensor readers blocked", n)
+	}
+	return SensorDriverState{
+		Queue:     append([]Sample(nil), d.queue...),
+		Delivered: d.Delivered,
+	}, nil
+}
+
+// RestoreState rewinds the driver onto a captured state.
+func (d *SensorDriver) RestoreState(st SensorDriverState) {
+	d.queue = append([]Sample(nil), st.Queue...)
+	d.Delivered = st.Delivered
+}

@@ -1,0 +1,87 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+
+	"k2/internal/mem"
+	"k2/internal/soc"
+	"k2/internal/stats"
+)
+
+// PageSnap is one directory entry's checkpointable state.
+type PageSnap struct {
+	PFN    int
+	Levels []int
+	Owner  int
+}
+
+// DSMState is the coherence manager's checkpointable state. Pending faults
+// and deferred bottom-half requests cannot be captured (they reference
+// spinning procs), so capture requires a quiescent directory.
+type DSMState struct {
+	Pages          []PageSnap // ascending PFN
+	RequesterStats []Stats
+	FaultHist      []stats.HistogramState
+	DeadReclaims   int
+}
+
+// CaptureState records the directory, per-requester statistics and fault
+// histograms. It errors when any fault is outstanding or the bottom-half
+// queue is non-empty.
+func (d *DSM) CaptureState() (DSMState, error) {
+	var st DSMState
+	if n := len(d.deferred); n > 0 {
+		return st, fmt.Errorf("dsm: %d deferred requests queued", n)
+	}
+	pfns := d.Pages()
+	for _, pfn := range pfns {
+		pg := d.pages[pfn]
+		for k, pf := range pg.pending {
+			if pf != nil {
+				return st, fmt.Errorf("dsm: kernel %v has a pending fault on page %d", soc.DomainID(k), pfn)
+			}
+		}
+		ps := PageSnap{PFN: int(pfn), Owner: int(pg.owner)}
+		for _, lv := range pg.level {
+			ps.Levels = append(ps.Levels, int(lv))
+		}
+		st.Pages = append(st.Pages, ps)
+	}
+	sort.Slice(st.Pages, func(i, j int) bool { return st.Pages[i].PFN < st.Pages[j].PFN })
+	st.RequesterStats = append([]Stats(nil), d.RequesterStats...)
+	for _, h := range d.FaultHist {
+		st.FaultHist = append(st.FaultHist, h.CaptureState())
+	}
+	st.DeadReclaims = d.DeadReclaims
+	return st, nil
+}
+
+// RestoreState rewinds a freshly constructed DSM (same platform and params)
+// onto a captured state. OnFirstShare is NOT re-fired: the address-space
+// state it feeds is restored separately by the OS.
+func (d *DSM) RestoreState(st DSMState) error {
+	if len(st.RequesterStats) != len(d.RequesterStats) {
+		return fmt.Errorf("dsm: snapshot has %d kernels, platform %d", len(st.RequesterStats), len(d.RequesterStats))
+	}
+	n := d.SoC.NumDomains()
+	d.pages = make(map[mem.PFN]*page, len(st.Pages))
+	for _, ps := range st.Pages {
+		pg := &page{
+			level:   make([]Level, n),
+			pending: make([]*pendingFault, n),
+			owner:   soc.DomainID(ps.Owner),
+		}
+		for k, lv := range ps.Levels {
+			pg.level[k] = Level(lv)
+		}
+		d.pages[mem.PFN(ps.PFN)] = pg
+	}
+	d.deferred = nil
+	copy(d.RequesterStats, st.RequesterStats)
+	for k, hs := range st.FaultHist {
+		d.FaultHist[k].RestoreState(hs)
+	}
+	d.DeadReclaims = st.DeadReclaims
+	return nil
+}

@@ -16,7 +16,13 @@ type ExperimentTelemetry struct {
 	ID   string `json:"id"`
 	Name string `json:"name"`
 
-	WallMS         float64 `json:"wall_ms"`
+	WallMS float64 `json:"wall_ms"`
+	// BootMS is the slice of WallMS spent booting systems (cold boots or
+	// checkpoint restores); EpisodeMS is the rest — the workload itself.
+	// Warm starts shrink BootMS and leave EpisodeMS untouched.
+	BootMS         float64 `json:"boot_ms"`
+	EpisodeMS      float64 `json:"episode_ms"`
+	WarmStarts     int     `json:"warm_starts,omitempty"`
 	Engines        int     `json:"engines"`
 	Events         uint64  `json:"events_dispatched"`
 	ProcSwitches   uint64  `json:"proc_switches"`
@@ -31,6 +37,9 @@ func telemetryOf(r Result) ExperimentTelemetry {
 		ID:             r.ID,
 		Name:           r.Name,
 		WallMS:         ms(r.Wall),
+		BootMS:         ms(r.Boot),
+		EpisodeMS:      ms(r.Wall - r.Boot),
+		WarmStarts:     r.WarmStarts,
 		Engines:        r.Engines,
 		Events:         r.Stats.Dispatched,
 		ProcSwitches:   r.Stats.ProcSwitches,

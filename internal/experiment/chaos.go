@@ -69,8 +69,17 @@ func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
 		OraclePass: map[string]int{}, OracleFail: map[string]int{},
 	}
 
+	// Warm-started sweeps (k2d -warm-start) restore every per-storm boot
+	// from the cached platform checkpoint; results are byte-identical
+	// either way, so the summary stays a function of (baseSeed, weak,
+	// sweep) alone.
+	ckpt := false
+	if pr := activeProbe(); pr != nil && pr.warmStart {
+		ckpt = true
+	}
+
 	// The convergence baseline: the same workload and platform, zero storm.
-	base := chaos.Run(chaos.Config{WeakDomains: weak, Storm: &chaos.Storm{}, NewEngine: newEngine})
+	base := chaos.Run(chaos.Config{WeakDomains: weak, Storm: &chaos.Storm{}, NewEngine: newEngine, Checkpoint: ckpt})
 
 	rng := sim.NewRand(baseSeed)
 	seeds := make([]int64, sweep)
@@ -88,7 +97,7 @@ func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
 	for i := range defs {
 		i := i
 		defs[i] = Def{ID: fmt.Sprintf("chaos-%d", i), Name: "chaos storm", Run: func() Table {
-			r := chaos.Run(chaos.Config{Seed: seeds[i], WeakDomains: weak, NewEngine: newEngine})
+			r := chaos.Run(chaos.Config{Seed: seeds[i], WeakDomains: weak, NewEngine: newEngine, Checkpoint: ckpt})
 			r.Violations = append(r.Violations, chaos.Diverges(base, r)...)
 			runs[i] = r
 			return Table{}
@@ -99,11 +108,20 @@ func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
 		panic(err) // cancelled mid-sweep: surface it through MeasureContext
 	}
 	// Hand the per-seed engines to the sweep's own probe so the telemetry
-	// (events dispatched, virtual time) covers the whole fan-out.
+	// (events dispatched, virtual time) covers the whole fan-out, and
+	// count the boots served from the platform checkpoint.
 	deposit(func(pr *probe) {
 		for _, res := range results {
 			if res.probe != nil {
 				pr.engines = append(pr.engines, res.probe.engines...)
+			}
+		}
+		if base.Restored {
+			pr.warmStarts++
+		}
+		for _, r := range runs {
+			if r.Restored {
+				pr.warmStarts++
 			}
 		}
 	})
@@ -140,8 +158,11 @@ func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
 		}
 		if d.Failures <= maxShrink {
 			seed := r.Seed
+			// Shrinking always forks candidates from the platform
+			// checkpoint: each predicate run replays only its post-boot
+			// suffix, and checkpointing cannot change the verdict.
 			fails := func(st chaos.Storm) bool {
-				rr := chaos.Run(chaos.Config{Seed: seed, WeakDomains: weak, Storm: &st, NewEngine: newEngine})
+				rr := chaos.Run(chaos.Config{Seed: seed, WeakDomains: weak, Storm: &st, NewEngine: newEngine, Checkpoint: true})
 				return len(rr.Violations) > 0 || len(chaos.Diverges(base, rr)) > 0
 			}
 			shrunk := chaos.Shrink(r.Storm, fails, 200)

@@ -77,7 +77,7 @@ func faultPlatform(op *core.Options) {
 // the workload span. Crashed workers freeze with their domain and finish
 // after the scripted reboot, so the run terminates whenever every injected
 // crash reboots.
-func faultsRun(plan *fault.Plan) (*sim.Engine, *core.OS, *check.Suite, time.Duration) {
+func faultsRun(plan *fault.Plan) (*sim.Engine, *core.OS, *check.Suite, []check.Violation, time.Duration) {
 	e, o := bootFresh(core.K2Mode, faultPlatform)
 	suite := check.New(o)
 	plan.Arm(o.S, o.Trace)
@@ -86,6 +86,12 @@ func faultsRun(plan *fault.Plan) (*sim.Engine, *core.OS, *check.Suite, time.Dura
 	done := 0
 	var span time.Duration
 	start := e.Now()
+	// The same mid-run quiesce-point audits the chaos driver arms (pure
+	// reads: the measured numbers are unchanged).
+	var periodic []check.Violation
+	check.ScheduleChecks(e, suite, 25*time.Millisecond, 150*time.Millisecond, 25*time.Millisecond,
+		func() bool { return done == workers },
+		func(vs []check.Violation) { periodic = append(periodic, vs...) })
 	for w := 0; w < workers; w++ {
 		runThread(o, sched.NightWatch, fmt.Sprintf("sense-%d", w), nil, func(th *sched.Thread) {
 			for i := 0; i < episodes; i++ {
@@ -106,7 +112,7 @@ func faultsRun(plan *fault.Plan) (*sim.Engine, *core.OS, *check.Suite, time.Dura
 	if done != workers {
 		panic("experiment: faulted workers did not finish")
 	}
-	return e, o, suite, span
+	return e, o, suite, periodic, span
 }
 
 // MeasureFaults runs the fault-injection experiment with the process-wide
@@ -131,14 +137,14 @@ func MeasureFaultsSeed(seed int64) FaultsData {
 		DropPct:       dropP * 100,
 	}
 
-	_, ob, suiteB, spanB := faultsRun(fault.NewPlan(seed)) // empty plan: fault-free
+	_, ob, suiteB, periodicB, spanB := faultsRun(fault.NewPlan(seed)) // empty plan: fault-free
 	d.BaselineEnergyMJ = ob.EnergyJ() * 1e3
 	d.BaselineSpanMS = float64(spanB.Microseconds()) / 1e3
 
 	plan := fault.NewPlan(seed).
 		CrashAt(soc.Weak, crashAt, rebootAfter).
 		AllLinks(fault.LinkFaults{DropP: dropP})
-	_, o, suiteF, span := faultsRun(plan)
+	_, o, suiteF, periodicF, span := faultsRun(plan)
 	d.FaultedEnergyMJ = o.EnergyJ() * 1e3
 	d.FaultedSpanMS = float64(span.Microseconds()) / 1e3
 	if d.BaselineEnergyMJ > 0 {
@@ -161,8 +167,10 @@ func MeasureFaultsSeed(seed int64) FaultsData {
 	d.DeliveryFailures = o.S.Mailbox.Stats.Failed
 	// The full invariant oracle, not just the two ad-hoc checks it replaced:
 	// DSM directory, memory conservation, the energy integral and crashed-
-	// domain residue, on both runs (after the energy snapshots above).
-	d.InvariantsOK = len(suiteB.Final()) == 0 && len(suiteF.Final()) == 0
+	// domain residue, at the mid-run quiesce points and at end-of-run, on
+	// both runs (after the energy snapshots above).
+	d.InvariantsOK = len(periodicB) == 0 && len(suiteB.Final()) == 0 &&
+		len(periodicF) == 0 && len(suiteF.Final()) == 0
 	deposit(func(pr *probe) { pr.faults = &d })
 	return d
 }

@@ -24,6 +24,16 @@ type probe struct {
 	// traceSink, if set, is installed on every kernel tracer the
 	// experiment boots (via bootFresh), streaming events live.
 	traceSink func(trace.Event)
+	// warmStart asks bootFresh to serve boots by restoring a cached
+	// checkpoint of a booted system instead of booting cold (k2d
+	// -warm-start). Restored and cold-booted systems are byte-identical,
+	// so this only moves host time, never results.
+	warmStart bool
+	// warmStarts counts the boots that were actually served from a
+	// checkpoint; bootWall is the host time spent inside bootFresh (cold
+	// boot or restore), so telemetry can split wall into boot vs episode.
+	warmStarts int
+	bootWall   time.Duration
 
 	t4     *Table4Data
 	t5     *Table5Data
@@ -102,11 +112,25 @@ type Result struct {
 	Err error
 
 	Wall    time.Duration // host time for the whole experiment
+	Boot    time.Duration // host time spent booting systems (cold or restored)
 	Virtual sim.Time      // summed final virtual clocks of its engines
 	Engines int
 	Stats   sim.Stats // summed engine counters
 
+	// WarmStarts counts boots served by restoring a checkpoint instead of
+	// booting cold (see WithWarmStart); 0 on a fully cold run.
+	WarmStarts int
+
 	probe *probe
+}
+
+// Detached returns a copy of the Result suitable for long-term retention
+// (e.g. k2d's result cache): the measurement probe — which pins every
+// engine and booted system the experiment created — is dropped, so the
+// simulations can be collected. ChaosResult reports nil on a detached copy.
+func (r Result) Detached() Result {
+	r.probe = nil
+	return r
 }
 
 // EventsPerSec returns dispatched events per second of experiment wall
@@ -140,6 +164,16 @@ type Option func(*probe)
 // experiment. The sink observes; it must not touch simulation state.
 func WithTraceSink(fn func(trace.Event)) Option {
 	return func(pr *probe) { pr.traceSink = fn }
+}
+
+// WithWarmStart lets the measurement boot systems by restoring cached
+// checkpoints of booted OSes (per option fingerprint) instead of booting
+// cold. Results are byte-identical either way — the checkpoint is taken at
+// the same quiesce barrier every cold boot runs to — so the option trades
+// nothing but host boot time. Platforms that cannot be captured quiescently
+// fall back to cold boots silently.
+func WithWarmStart() Option {
+	return func(pr *probe) { pr.warmStart = true }
 }
 
 // MeasureContext is Measure under a context: every engine the experiment
@@ -189,6 +223,8 @@ func MeasureContext(ctx context.Context, d Def, opts ...Option) Result {
 		r.Table = d.Run()
 	}()
 	r.Wall = time.Since(start)
+	r.Boot = pr.bootWall
+	r.WarmStarts = pr.warmStarts
 	r.Engines = len(pr.engines)
 	for _, e := range pr.engines {
 		st := e.Stats()

@@ -41,6 +41,12 @@ func scaleRun(weak int) ScaleConfig {
 	const workers = 4
 	const episodes = 40
 	done := 0
+	// The same mid-run quiesce-point audits the chaos driver arms (pure
+	// reads: the measured numbers are unchanged).
+	var periodic []check.Violation
+	check.ScheduleChecks(e, suite, 25*time.Millisecond, 150*time.Millisecond, 25*time.Millisecond,
+		func() bool { return done == workers },
+		func(vs []check.Violation) { periodic = append(periodic, vs...) })
 	for w := 0; w < workers; w++ {
 		runThread(o, sched.NightWatch, fmt.Sprintf("sense-%d", w), nil, func(th *sched.Thread) {
 			for i := 0; i < episodes; i++ {
@@ -76,8 +82,9 @@ func scaleRun(weak int) ScaleConfig {
 		})
 	}
 	// End-of-run invariant audit (after the energy snapshot): a violation
-	// here is a simulator bug, not a measurement, so fail loudly.
-	if vs := suite.Final(); len(vs) != 0 {
+	// here — or at any mid-run quiesce point — is a simulator bug, not a
+	// measurement, so fail loudly.
+	if vs := append(periodic, suite.Final()...); len(vs) != 0 {
 		panic(fmt.Sprintf("experiment: scale run violated invariants: %v", vs))
 	}
 	return cfg

@@ -8,6 +8,7 @@ package experiment
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"k2/internal/core"
 	"k2/internal/sim"
@@ -63,21 +64,54 @@ func (t Table) String() string {
 	return b.String()
 }
 
-// bootFresh boots an OS of the given mode on a new engine. When the run is
-// measured with a trace sink (MeasureContext + WithTraceSink), the sink is
-// installed on the booted system's tracer.
+// bootFresh boots an OS of the given mode on a new engine and runs it to
+// the boot-ready barrier, so every workload — cold-booted or warm-started —
+// is released from the same quiesce instant. When the active probe asks for
+// warm starts (k2d -warm-start), the boot is served by restoring a cached
+// checkpoint of a system booted with the same options; platforms that
+// cannot be captured quiescently fall back to a cold boot. Either path
+// yields byte-identical systems. When the run is measured with a trace sink
+// (MeasureContext + WithTraceSink), the sink is installed on the booted
+// system's tracer; a warm start first replays the captured boot trace, so
+// the stream matches a cold boot's byte-for-byte.
 func bootFresh(mode core.Mode, opts ...func(*core.Options)) (*sim.Engine, *core.OS) {
-	e := newEngine()
+	start := time.Now()
+	pr := activeProbe()
 	o := core.Options{Mode: mode}
-	if pr := activeProbe(); pr != nil {
+	if pr != nil {
 		o.TraceSink = pr.traceSink
 	}
 	for _, f := range opts {
 		f(&o)
 	}
-	os, err := core.Boot(e, o)
-	if err != nil {
+	if pr != nil && pr.warmStart {
+		if snp, err := readySnapshot(o); err == nil {
+			e := newEngine()
+			if os, err := snp.Restore(e, o.TraceSink); err == nil {
+				pr.warmStarts++
+				pr.bootWall += time.Since(start)
+				return e, os
+			}
+		}
+	}
+	e := newEngine()
+	var os *core.OS
+	e.Spawn("boot-monitor", func(p *sim.Proc) {
+		os.Ready.Wait(p)
+		e.Stop()
+	})
+	var err error
+	if os, err = core.Boot(e, o); err != nil {
 		panic(err)
+	}
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		panic(err)
+	}
+	if !os.Ready.Fired() {
+		panic("experiment: boot never reached the ready barrier")
+	}
+	if pr != nil {
+		pr.bootWall += time.Since(start)
 	}
 	return e, os
 }

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"k2/internal/check"
+	"k2/internal/core"
+	"k2/internal/sim"
+)
+
+// This file is the experiment layer's checkpoint cache: one booted-OS
+// snapshot per distinct boot configuration, built lazily on first use and
+// shared by every warm-started measurement in the process (k2d keeps one
+// process alive across jobs, so repeat jobs skip the boot entirely). The
+// cache is sound because core snapshots are deep and reusable — restoring
+// one cannot perturb it — and because a checkpoint is only kept when the
+// source system passed the invariant oracle at the capture point.
+
+// optionsKey fingerprints the boot options that determine a booted system's
+// state. Pointer-valued options are dereferenced so the key reflects
+// configuration, not addresses; TraceSink is excluded (a live subscriber,
+// never part of the snapshot).
+func optionsKey(o core.Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%v weak=%d disk=%d tracecap=%d sensor=%v main=%d shadow=%d",
+		o.Mode, o.WeakDomains, o.DiskBlocks, o.TraceCapacity, o.SensorPeriod,
+		o.InitialMainBlocks, o.InitialShadowBlocks)
+	if o.SoC != nil {
+		c := *o.SoC
+		if c.Reliable != nil {
+			fmt.Fprintf(&b, " rel=%+v", *c.Reliable)
+			c.Reliable = nil
+		}
+		fmt.Fprintf(&b, " soc=%+v", c)
+	}
+	if o.DSMParams != nil {
+		fmt.Fprintf(&b, " dsm=%+v", *o.DSMParams)
+	}
+	if o.Watchdog != nil {
+		fmt.Fprintf(&b, " wd=%+v", *o.Watchdog)
+	}
+	return b.String()
+}
+
+// snapEntry memoises one boot checkpoint — or the reason one could not be
+// taken, so a platform that cannot quiesce is probed exactly once and every
+// later boot falls straight through to the cold path.
+type snapEntry struct {
+	once sync.Once
+	snp  *core.Snapshot
+	err  error
+}
+
+var snapCache sync.Map // optionsKey -> *snapEntry
+
+// readySnapshot returns the process-wide checkpoint of a system booted with
+// exactly these options, building it on first request.
+func readySnapshot(o core.Options) (*core.Snapshot, error) {
+	key := optionsKey(o)
+	v, _ := snapCache.LoadOrStore(key, &snapEntry{})
+	ent := v.(*snapEntry)
+	ent.once.Do(func() { ent.snp, ent.err = buildSnapshot(o) })
+	return ent.snp, ent.err
+}
+
+// buildSnapshot boots a throwaway source system on a plain engine (never
+// probe-registered: the source is not part of any measurement), runs it to
+// the boot-ready barrier, audits it with the invariant oracle, and captures
+// it. Any failure — boot error, non-quiescent platform, oracle violation —
+// is returned and cached; callers fall back to cold boots.
+func buildSnapshot(o core.Options) (snp *core.Snapshot, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("experiment: checkpoint boot panicked: %v", rec)
+		}
+	}()
+	o.TraceSink = nil
+	e := sim.NewEngine()
+	var os *core.OS
+	e.Spawn("boot-monitor", func(p *sim.Proc) {
+		os.Ready.Wait(p)
+		e.Stop()
+	})
+	if os, err = core.Boot(e, o); err != nil {
+		return nil, err
+	}
+	if err := e.Run(sim.Time(time.Hour)); err != nil {
+		return nil, err
+	}
+	if !os.Ready.Fired() {
+		return nil, fmt.Errorf("experiment: boot never reached the ready barrier")
+	}
+	snp, err = os.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	// Audit the source at the capture point: a checkpoint of a system that
+	// already violates an invariant must never be served.
+	if vs := check.New(os).Check(); len(vs) > 0 {
+		return nil, fmt.Errorf("experiment: source system unsound at capture: %v", vs[0])
+	}
+	return snp, nil
+}

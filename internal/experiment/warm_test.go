@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"k2/internal/trace"
+)
+
+// measureWithTrace runs one def with a trace collector attached and returns
+// the rendered table plus the full event stream every booted system emitted.
+func measureWithTrace(t *testing.T, d Def, opts ...Option) (string, string) {
+	t.Helper()
+	var events strings.Builder
+	opts = append(opts, WithTraceSink(func(ev trace.Event) {
+		events.WriteString(ev.String())
+		events.WriteByte('\n')
+	}))
+	r := MeasureContext(context.Background(), d, opts...)
+	if r.Err != nil {
+		t.Fatalf("%s: %v", d.ID, r.Err)
+	}
+	return r.Table.String(), events.String()
+}
+
+// The tentpole acceptance invariant at the experiment layer: for every
+// registry experiment, a warm-started run (boots restored from a cached
+// checkpoint) produces the same table bytes and the same trace stream as a
+// cold run.
+func TestSnapshotRestoreByteIdentity(t *testing.T) {
+	for _, d := range Registry() {
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			t.Parallel()
+			coldTable, coldTrace := measureWithTrace(t, d)
+			warmTable, warmTrace := measureWithTrace(t, d, WithWarmStart())
+			if coldTable != warmTable {
+				t.Errorf("table diverged:\n--- cold ---\n%s\n--- warm ---\n%s", coldTable, warmTable)
+			}
+			if coldTrace != warmTrace {
+				c, w := strings.Split(coldTrace, "\n"), strings.Split(warmTrace, "\n")
+				i := 0
+				for i < len(c) && i < len(w) && c[i] == w[i] {
+					i++
+				}
+				cl, wl := "(end)", "(end)"
+				if i < len(c) {
+					cl = c[i]
+				}
+				if i < len(w) {
+					wl = w[i]
+				}
+				t.Errorf("trace stream diverged at line %d (of %d cold / %d warm):\ncold: %s\nwarm: %s",
+					i, len(c), len(w), cl, wl)
+			}
+		})
+	}
+}
+
+// A warm-started measurement actually warm-starts: the probe records
+// checkpoint restores and a boot/episode wall split for experiments that
+// boot through bootFresh.
+func TestWarmStartTelemetry(t *testing.T) {
+	d, ok := DefFor("t4", Params{})
+	if !ok {
+		t.Fatal("registry has no t4")
+	}
+	// Prime the checkpoint cache, then measure warm.
+	_ = MeasureContext(context.Background(), d, WithWarmStart())
+	r := MeasureContext(context.Background(), d, WithWarmStart())
+	if r.WarmStarts == 0 {
+		t.Fatal("warm measurement reported zero warm starts")
+	}
+	if r.Boot <= 0 || r.Boot > r.Wall {
+		t.Fatalf("boot wall %v out of range (wall %v)", r.Boot, r.Wall)
+	}
+	cold := MeasureContext(context.Background(), d)
+	if cold.WarmStarts != 0 {
+		t.Fatalf("cold measurement reported %d warm starts", cold.WarmStarts)
+	}
+}

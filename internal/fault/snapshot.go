@@ -1,0 +1,21 @@
+package fault
+
+// PlanState is a plan's checkpointable state: the PRNG position and the
+// injection counters. The script and link mixes are configuration, not
+// state — a restored run re-arms a plan built from the same configuration.
+type PlanState struct {
+	RngState uint64
+	Stats    Stats
+}
+
+// CaptureState records the plan's PRNG position and counters.
+func (pl *Plan) CaptureState() PlanState {
+	return PlanState{RngState: pl.rng.State(), Stats: pl.Stats}
+}
+
+// RestoreState rewinds the plan onto a captured state, so the probabilistic
+// draw stream continues exactly where the captured run left off.
+func (pl *Plan) RestoreState(st PlanState) {
+	pl.rng.SetState(st.RngState)
+	pl.Stats = st.Stats
+}

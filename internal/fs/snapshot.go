@@ -1,0 +1,47 @@
+package fs
+
+import (
+	"fmt"
+
+	"k2/internal/driver"
+	"k2/internal/services"
+)
+
+// FileSystemState is the mounted filesystem's in-memory checkpointable
+// state: the superblock and both bitmaps. File contents live on the block
+// device and are captured with it.
+type FileSystemState struct {
+	SB          Superblock
+	BlockBitmap []byte
+	InodeBitmap []byte
+}
+
+// CaptureState records the in-memory metadata; it errors while the baseline
+// sleeping lock is held (the shadowed hardware spinlock is captured with the
+// platform).
+func (f *FileSystem) CaptureState() (FileSystemState, error) {
+	if f.lockBusy {
+		return FileSystemState{}, fmt.Errorf("fs: operation in progress")
+	}
+	return FileSystemState{
+		SB:          f.sb,
+		BlockBitmap: append([]byte(nil), f.blockBitmap...),
+		InodeBitmap: append([]byte(nil), f.inodeBitmap...),
+	}, nil
+}
+
+// RestoreFS reconstructs a mounted filesystem from a captured state without
+// touching the device or charging any CPU time — the untimed analog of
+// Mount, used when rehydrating a checkpoint (the device contents are
+// restored separately).
+func RestoreFS(dev driver.BlockDevice, state *services.ShadowedState, st FileSystemState) *FileSystem {
+	return &FileSystem{
+		Costs:       DefaultCosts(),
+		State:       state,
+		dev:         dev,
+		sb:          st.SB,
+		blockBitmap: append([]byte(nil), st.BlockBitmap...),
+		inodeBitmap: append([]byte(nil), st.InodeBitmap...),
+		bs:          dev.BlockSize(),
+	}
+}

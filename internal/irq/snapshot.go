@@ -1,0 +1,15 @@
+package irq
+
+// RouterState is the router's checkpointable state. The per-domain mask
+// bits themselves live in the SoC's interrupt controllers and are captured
+// with the platform; the router only owns the flip counter (its policy hooks
+// are re-installed by construction).
+type RouterState struct {
+	Flips int
+}
+
+// CaptureState records the router's state.
+func (r *Router) CaptureState() RouterState { return RouterState{Flips: r.Flips} }
+
+// RestoreState rewinds the router onto a captured state.
+func (r *Router) RestoreState(st RouterState) { r.Flips = st.Flips }

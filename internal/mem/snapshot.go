@@ -1,0 +1,195 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"k2/internal/soc"
+)
+
+// FrameEntry is one non-default entry of the frames array. The array is
+// captured as a sparse diff against its freshly constructed state (every
+// page unowned): at the boot-ready quiesce point only a few tens of
+// thousands of the quarter-million frames differ.
+type FrameEntry struct {
+	Index int
+	Owner int
+	Alloc bool
+	Head  bool
+	Order int
+	Free  bool
+	MT    int
+}
+
+// FramesState is the frames array's checkpointable state.
+type FramesState struct {
+	Entries []FrameEntry
+}
+
+// CaptureState records every frame that differs from its boot value.
+func (fr *Frames) CaptureState() FramesState {
+	var st FramesState
+	for i, f := range fr.f {
+		if f.owner == ownerNone && !f.alloc && !f.head && f.order == 0 && !f.free && f.mt == Unmovable {
+			continue
+		}
+		st.Entries = append(st.Entries, FrameEntry{
+			Index: i, Owner: int(f.owner), Alloc: f.alloc, Head: f.head,
+			Order: int(f.order), Free: f.free, MT: int(f.mt),
+		})
+	}
+	return st
+}
+
+// RestoreState rewinds a freshly constructed frames array (same size) onto a
+// captured state.
+func (fr *Frames) RestoreState(st FramesState) {
+	for i := range fr.f {
+		fr.f[i] = frame{owner: ownerNone}
+	}
+	for _, e := range st.Entries {
+		fr.f[e.Index] = frame{
+			owner: int8(e.Owner), alloc: e.Alloc, head: e.Head,
+			order: uint8(e.Order), free: e.Free, mt: MigrateType(e.MT),
+		}
+	}
+}
+
+// BuddyState is one allocator's checkpointable state.
+type BuddyState struct {
+	Free   [][]int // per-order free lists, ascending
+	NFree  int
+	NTotal int
+	Allocs int
+	Frees  int
+	Splits int
+	Merges int
+}
+
+// CaptureState records the allocator's state (frames are captured separately
+// via Frames.CaptureState).
+func (b *Buddy) CaptureState() BuddyState {
+	st := BuddyState{
+		NFree: b.nfree, NTotal: b.ntotal,
+		Allocs: b.Allocs, Frees: b.Frees, Splits: b.Splits, Merges: b.Merges,
+	}
+	st.Free = make([][]int, len(b.free))
+	for order, list := range b.free {
+		for _, p := range list {
+			st.Free[order] = append(st.Free[order], int(p))
+		}
+	}
+	return st
+}
+
+// RestoreState rewinds the allocator onto a captured state.
+func (b *Buddy) RestoreState(st BuddyState) {
+	for i := range b.free {
+		b.free[i] = nil
+		for _, p := range st.Free[i] {
+			b.free[i] = append(b.free[i], PFN(p))
+		}
+	}
+	b.nfree = st.NFree
+	b.ntotal = st.NTotal
+	b.Allocs, b.Frees, b.Splits, b.Merges = st.Allocs, st.Frees, st.Splits, st.Merges
+}
+
+// BalloonState is one balloon driver's checkpointable state.
+type BalloonState struct {
+	Inflates, Deflates, PagesMoved int
+}
+
+// CaptureState records the balloon's counters.
+func (bl *Balloon) CaptureState() BalloonState {
+	return BalloonState{Inflates: bl.Inflates, Deflates: bl.Deflates, PagesMoved: bl.PagesMoved}
+}
+
+// RestoreState rewinds the balloon onto captured counters.
+func (bl *Balloon) RestoreState(st BalloonState) {
+	bl.Inflates, bl.Deflates, bl.PagesMoved = st.Inflates, st.Deflates, st.PagesMoved
+}
+
+// BlockOwnerEntry records one block lease in the ownership map.
+type BlockOwnerEntry struct {
+	Head  int
+	Owner int
+}
+
+// ManagerState is the meta-manager's checkpointable state, including its
+// per-kernel allocators, balloons and the shared frames array.
+type ManagerState struct {
+	Frames     FramesState
+	Buddies    []BuddyState
+	Balloons   []BalloonState
+	Pool       []int
+	BlockOwner []BlockOwnerEntry // sorted by head
+	Pending    []bool
+	ReclaimGen []uint32
+	EverSwept  bool
+	Reclaims   int
+	DeadRecl   int
+	StaleFrees int
+}
+
+// CaptureState records the memory-management stack's state at a quiesce
+// point; it errors if any background worker is mid-item or has queued work
+// (those procs cannot be serialized).
+func (m *Manager) CaptureState() (ManagerState, error) {
+	var st ManagerState
+	for k := range m.workQ {
+		if n := m.workQ[k].Len(); n > 0 {
+			return st, fmt.Errorf("mem: kernel %v has %d queued work items", soc.DomainID(k), n)
+		}
+		if m.busy[k] {
+			return st, fmt.Errorf("mem: kernel %v worker is mid-item", soc.DomainID(k))
+		}
+	}
+	st.Frames = m.Frames.CaptureState()
+	for k := range m.Buddies {
+		st.Buddies = append(st.Buddies, m.Buddies[k].CaptureState())
+		st.Balloons = append(st.Balloons, m.Balloons[k].CaptureState())
+	}
+	for _, p := range m.pool {
+		st.Pool = append(st.Pool, int(p))
+	}
+	for head, owner := range m.blockOwner {
+		st.BlockOwner = append(st.BlockOwner, BlockOwnerEntry{Head: int(head), Owner: int(owner)})
+	}
+	sort.Slice(st.BlockOwner, func(i, j int) bool { return st.BlockOwner[i].Head < st.BlockOwner[j].Head })
+	st.Pending = append([]bool(nil), m.pending...)
+	st.ReclaimGen = append([]uint32(nil), m.reclaimGen...)
+	st.EverSwept = m.everSwept
+	st.Reclaims, st.DeadRecl, st.StaleFrees = m.Reclaims, m.DeadReclaims, m.StaleFrees
+	return st, nil
+}
+
+// RestoreState rewinds a freshly constructed manager (same platform) onto a
+// captured state. Worker procs are respawned by the OS afterwards; their
+// queues start empty, matching the capture precondition.
+func (m *Manager) RestoreState(st ManagerState) error {
+	if len(st.Buddies) != len(m.Buddies) {
+		return fmt.Errorf("mem: snapshot has %d kernels, platform %d", len(st.Buddies), len(m.Buddies))
+	}
+	m.Frames.RestoreState(st.Frames)
+	for k := range m.Buddies {
+		m.Buddies[k].RestoreState(st.Buddies[k])
+		m.Balloons[k].RestoreState(st.Balloons[k])
+	}
+	m.pool = m.pool[:0]
+	for _, p := range st.Pool {
+		m.pool = append(m.pool, PFN(p))
+	}
+	m.blockOwner = make(map[PFN]soc.DomainID, len(st.BlockOwner))
+	for _, e := range st.BlockOwner {
+		m.blockOwner[PFN(e.Head)] = soc.DomainID(e.Owner)
+	}
+	copy(m.pending, st.Pending)
+	copy(m.reclaimGen, st.ReclaimGen)
+	for k := range m.busy {
+		m.busy[k] = false
+	}
+	m.everSwept = st.EverSwept
+	m.Reclaims, m.DeadReclaims, m.StaleFrees = st.Reclaims, st.DeadRecl, st.StaleFrees
+	return nil
+}

@@ -1,0 +1,38 @@
+package netstack
+
+import "fmt"
+
+// StackState is the UDP stack's checkpointable state. Open sockets hold
+// gates that blocked receivers wait on, so capture requires every socket
+// closed — true at the boot-ready quiesce point, before any workload runs.
+type StackState struct {
+	NextEph     int
+	PacketsSent int64
+	BytesSent   int64
+	Drops       int64
+	ChecksumErr int64
+}
+
+// CaptureState records the stack's state; it errors while sockets are open.
+func (st *Stack) CaptureState() (StackState, error) {
+	if n := len(st.bound); n > 0 {
+		return StackState{}, fmt.Errorf("netstack: %d sockets still open", n)
+	}
+	return StackState{
+		NextEph:     st.nextEph,
+		PacketsSent: st.PacketsSent,
+		BytesSent:   st.BytesSent,
+		Drops:       st.Drops,
+		ChecksumErr: st.ChecksumErr,
+	}, nil
+}
+
+// RestoreState rewinds the stack onto a captured state (no sockets bound).
+func (st *Stack) RestoreState(s StackState) {
+	st.bound = make(map[int]*Socket)
+	st.nextEph = s.NextEph
+	st.PacketsSent = s.PacketsSent
+	st.BytesSent = s.BytesSent
+	st.Drops = s.Drops
+	st.ChecksumErr = s.ChecksumErr
+}

@@ -1,0 +1,40 @@
+package power
+
+import "k2/internal/sim"
+
+// RailState is a rail's checkpointable state: the current level, the time the
+// energy integral was last settled, and the integral itself. Captured raw —
+// no settle is forced — so a capture/restore pair at the same virtual time is
+// exact regardless of when the rail last changed level.
+type RailState struct {
+	Level  Milliwatts
+	LastAt sim.Time
+	Joules float64
+}
+
+// CaptureState records the rail's integrator state.
+func (r *Rail) CaptureState() RailState {
+	return RailState{Level: r.level, LastAt: r.lastAt, Joules: r.joules}
+}
+
+// RestoreState rewinds the rail onto a captured state.
+func (r *Rail) RestoreState(st RailState) {
+	r.level, r.lastAt, r.joules = st.Level, st.LastAt, st.Joules
+}
+
+// MeterState is a meter's checkpointable state: the per-rail baselines taken
+// at the last Reset, in rail order.
+type MeterState struct {
+	Base []float64
+}
+
+// CaptureState records the meter's baselines.
+func (m *Meter) CaptureState() MeterState {
+	return MeterState{Base: append([]float64(nil), m.base...)}
+}
+
+// RestoreState rewinds the meter onto captured baselines. The meter must
+// span the same rails, in the same order, as when the state was captured.
+func (m *Meter) RestoreState(st MeterState) {
+	m.base = append(m.base[:0], st.Base...)
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// ProcessSnap is one process record's checkpointable state. Thread bodies
+// are goroutines and cannot be captured, so processes may only be snapshotted
+// once all their threads have exited (at the boot-ready barrier that is just
+// init, already done).
+type ProcessSnap struct {
+	PID         int
+	Name        string
+	NWDomain    int
+	NWThreads   int
+	NWSuspended bool
+	DoneFired   bool
+}
+
+// CoreTID records which thread last ran on a core (context-switch detection).
+type CoreTID struct {
+	CoreID int
+	TID    int
+}
+
+// KernelSnap is one kernel scheduler's checkpointable state.
+type KernelSnap struct {
+	FreeCores  []int // core IDs in free-stack order (bottom first)
+	LastTID    []CoreTID
+	NWAssigned int
+	NextSeq    uint64
+	Switches   int
+}
+
+// SchedState is the whole scheduler's checkpointable state.
+type SchedState struct {
+	NextPID      int
+	NextTID      int
+	SuspendsSent int
+	ResumesSent  int
+	Kernels      []KernelSnap
+	Procs        []ProcessSnap // ascending PID
+}
+
+// CaptureState records the scheduler's state at a quiesce point: every
+// thread exited, every core free, no waiter queued.
+func (sc *Sched) CaptureState() (SchedState, error) {
+	var st SchedState
+	for _, ks := range sc.kernels {
+		if ks.runnable != 0 {
+			return st, fmt.Errorf("sched: kernel %v has %d runnable threads", ks.k, ks.runnable)
+		}
+		if len(ks.waiters) != 0 {
+			return st, fmt.Errorf("sched: kernel %v has %d core waiters", ks.k, len(ks.waiters))
+		}
+		if len(ks.free) != len(sc.S.Domains[ks.k].Cores) {
+			return st, fmt.Errorf("sched: kernel %v has %d of %d cores free", ks.k, len(ks.free), len(sc.S.Domains[ks.k].Cores))
+		}
+		snap := KernelSnap{NWAssigned: ks.nwAssigned, NextSeq: ks.nextSeq, Switches: ks.Switches}
+		for _, c := range ks.free {
+			snap.FreeCores = append(snap.FreeCores, c.ID)
+		}
+		for coreID, tid := range ks.lastTID {
+			snap.LastTID = append(snap.LastTID, CoreTID{CoreID: coreID, TID: tid})
+		}
+		sort.Slice(snap.LastTID, func(i, j int) bool { return snap.LastTID[i].CoreID < snap.LastTID[j].CoreID })
+		st.Kernels = append(st.Kernels, snap)
+	}
+	for pid, pr := range sc.procs {
+		if pr.liveThreads != 0 {
+			return st, fmt.Errorf("sched: process %d (%s) has %d live threads", pid, pr.Name, pr.liveThreads)
+		}
+		if pr.suspendAck != nil && !pr.suspendAck.Fired() {
+			return st, fmt.Errorf("sched: process %d awaits a suspend ack", pid)
+		}
+		st.Procs = append(st.Procs, ProcessSnap{
+			PID: pr.PID, Name: pr.Name, NWDomain: int(pr.nwDomain),
+			NWThreads: pr.nwThreads, NWSuspended: pr.nwSuspended,
+			DoneFired: pr.done.Fired(),
+		})
+	}
+	sort.Slice(st.Procs, func(i, j int) bool { return st.Procs[i].PID < st.Procs[j].PID })
+	st.NextPID, st.NextTID = sc.nextPID, sc.nextTID
+	st.SuspendsSent, st.ResumesSent = sc.SuspendsSent, sc.ResumesSent
+	return st, nil
+}
+
+// RestoreState rewinds a freshly constructed scheduler (same platform) onto
+// a captured state, recreating process records (with fresh gates and events,
+// legal because no thread was live at capture).
+func (sc *Sched) RestoreState(st SchedState) error {
+	if len(st.Kernels) != len(sc.kernels) {
+		return fmt.Errorf("sched: snapshot has %d kernels, platform %d", len(st.Kernels), len(sc.kernels))
+	}
+	for id, ks := range sc.kernels {
+		snap := st.Kernels[id]
+		cores := sc.S.Domains[ks.k].Cores
+		ks.free = ks.free[:0]
+		for _, coreID := range snap.FreeCores {
+			ks.free = append(ks.free, cores[coreID])
+		}
+		ks.waiters = nil
+		ks.runnable = 0
+		ks.lastTID = make(map[int]int, len(snap.LastTID))
+		for _, e := range snap.LastTID {
+			ks.lastTID[e.CoreID] = e.TID
+		}
+		ks.nwAssigned = snap.NWAssigned
+		ks.nextSeq = snap.NextSeq
+		ks.Switches = snap.Switches
+	}
+	sc.procs = make(map[int]*Process, len(st.Procs))
+	for _, ps := range st.Procs {
+		pr := &Process{
+			PID: ps.PID, Name: ps.Name, sched: sc,
+			nwDomain: soc.DomainID(ps.NWDomain), nwThreads: ps.NWThreads,
+			nwSuspended: ps.NWSuspended,
+			nwResume:    sim.NewGate(sc.S.Eng),
+			nwPreempt:   sim.NewEvent(sc.S.Eng),
+			done:        sim.NewEvent(sc.S.Eng),
+		}
+		if ps.DoneFired {
+			pr.done.Fire()
+		}
+		sc.procs[pr.PID] = pr
+	}
+	sc.nextPID, sc.nextTID = st.NextPID, st.NextTID
+	sc.SuspendsSent, sc.ResumesSent = st.SuspendsSent, st.ResumesSent
+	return nil
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"k2/internal/experiment"
+)
+
+// cacheKey identifies a deterministic job outcome: the experiment plus
+// every parameter that can change its bytes (the determinism contract:
+// same experiment, seed, topology and sweep size mean byte-identical
+// tables and traces). Priority, timeout and format are scheduling and
+// presentation knobs and deliberately absent.
+type cacheKey struct {
+	Experiment  string
+	Seed        int64
+	WeakDomains int
+	Sweep       int
+}
+
+func cacheKeyOf(req Request) cacheKey {
+	return cacheKey{
+		Experiment:  req.Experiment,
+		Seed:        req.Seed,
+		WeakDomains: req.WeakDomains,
+		Sweep:       req.Sweep,
+	}
+}
+
+// cacheEntry is one finished job's replayable outcome: the detached result,
+// the full trace stream, and the entry's approximate footprint in bytes.
+type cacheEntry struct {
+	key     cacheKey
+	res     experiment.Result
+	events  []traceEvent
+	dropped int
+	bytes   int
+}
+
+// entryBytes estimates the retained footprint: the rendered table plus the
+// buffered trace events.
+func entryBytes(res experiment.Result, events []traceEvent) int {
+	n := len(res.Table.String())
+	for _, ev := range events {
+		n += len(ev.Kind) + len(ev.Msg) + 16
+	}
+	return n
+}
+
+// resultCache is k2d's deterministic result cache: an LRU over terminal
+// done jobs keyed by (experiment, seed, weak_domains, sweep). A hit is
+// served byte-identically — same table, same trace stream — without
+// touching a simulation engine. A nil *resultCache is a disabled cache:
+// every method is a no-op.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // of *cacheEntry; front = most recently used
+	entries map[cacheKey]*list.Element
+
+	hits, misses, evictions uint64
+	bytes                   int
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get looks key up, counting a hit or a miss.
+func (c *resultCache) get(key cacheKey) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores a finished job's outcome, detaching the result so the cache
+// never pins simulation engines, and evicts least-recently-used entries
+// past the capacity bound.
+func (c *resultCache) put(key cacheKey, res experiment.Result, events []traceEvent, dropped int) {
+	if c == nil {
+		return
+	}
+	ent := &cacheEntry{
+		key:     key,
+		res:     res.Detached(),
+		events:  append([]traceEvent(nil), events...),
+		dropped: dropped,
+	}
+	ent.bytes = entryBytes(ent.res, ent.events)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Deterministic jobs can only produce the same bytes again; keep
+		// the existing entry, just refresh recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(ent)
+	c.bytes += ent.bytes
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		old := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.entries, old.key)
+		c.bytes -= old.bytes
+		c.evictions++
+	}
+}
+
+// cacheStats is the snapshot /metrics renders.
+type cacheStats struct {
+	enabled                 bool
+	hits, misses, evictions uint64
+	entries, bytes          int
+}
+
+func (c *resultCache) stats() cacheStats {
+	if c == nil {
+		return cacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		enabled: true,
+		hits:    c.hits, misses: c.misses, evictions: c.evictions,
+		entries: c.order.Len(), bytes: c.bytes,
+	}
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// waitText polls a job to completion and returns its rendered text body.
+func waitText(t *testing.T, tsURL, id string) string {
+	t.Helper()
+	code, body := getBody(t, tsURL+"/v1/jobs/"+id+"?wait=120&format=text")
+	if code != 200 {
+		t.Fatalf("poll %s = %d %q", id, code, body)
+	}
+	return body
+}
+
+// traceBody returns the job's full NDJSON trace stream.
+func traceBody(t *testing.T, tsURL, id string) string {
+	t.Helper()
+	code, body := getBody(t, tsURL+"/v1/jobs/"+id+"/trace")
+	if code != 200 {
+		t.Fatalf("trace %s = %d", id, code)
+	}
+	return body
+}
+
+// TestResultCacheHit is the tentpole's k2d acceptance: submitting the same
+// job twice serves the repeat from the deterministic result cache — same
+// table bytes, same trace stream, a distinct job ID, no second simulation —
+// and the hit shows up on /metrics.
+func TestResultCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Parallel: 1, QueueDepth: 8})
+
+	_, first := postJob(t, ts, `{"experiment":"t1"}`)
+	firstBody := waitText(t, ts.URL, first.ID)
+
+	_, second := postJob(t, ts, `{"experiment":"t1"}`)
+	if second.ID == first.ID {
+		t.Fatal("repeat submission reused the job ID")
+	}
+	secondBody := waitText(t, ts.URL, second.ID)
+	if secondBody != firstBody {
+		t.Fatalf("cached body diverged:\n got: %q\nwant: %q", secondBody, firstBody)
+	}
+	j, ok := s.Job(second.ID)
+	if !ok || !j.fromCache {
+		t.Fatalf("repeat job was simulated, not served from cache (fromCache=%v)", ok && j.fromCache)
+	}
+	if got, want := traceBody(t, ts.URL, second.ID), traceBody(t, ts.URL, first.ID); got != want {
+		t.Fatalf("cached trace stream diverged:\n got: %q\nwant: %q", got, want)
+	}
+
+	// A different parameter set is a different key: no hit.
+	_, third := postJob(t, ts, `{"experiment":"faults","seed":7}`)
+	waitText(t, ts.URL, third.ID)
+	if j, _ := s.Job(third.ID); j.fromCache {
+		t.Fatal("different parameters hit the cache")
+	}
+
+	code, m := getBody(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"k2d_cache_hits_total 1",
+		"k2d_cache_misses_total 2",
+		"k2d_cache_entries 2",
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
+	}
+	if strings.Contains(m, "k2d_cache_bytes 0\n") {
+		t.Fatal("cache holds entries but reports zero bytes")
+	}
+}
+
+// TestResultCacheDisabled: a negative CacheSize turns the cache off; the
+// repeat job simulates again (and still produces identical bytes — the
+// determinism the cache relies on).
+func TestResultCacheDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{Parallel: 1, QueueDepth: 8, CacheSize: -1})
+
+	_, first := postJob(t, ts, `{"experiment":"t1"}`)
+	a := waitText(t, ts.URL, first.ID)
+	_, second := postJob(t, ts, `{"experiment":"t1"}`)
+	b := waitText(t, ts.URL, second.ID)
+	if a != b {
+		t.Fatalf("repeat run diverged without cache:\n%q\nvs\n%q", a, b)
+	}
+	if j, _ := s.Job(second.ID); j.fromCache {
+		t.Fatal("disabled cache served a hit")
+	}
+}
+
+// TestResultCacheEviction: a capacity-1 cache evicts LRU; the evicted key
+// misses again and the eviction is counted.
+func TestResultCacheEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{Parallel: 1, QueueDepth: 8, CacheSize: 1})
+
+	submitWait := func(body string) *Job {
+		t.Helper()
+		_, st := postJob(t, ts, body)
+		waitText(t, ts.URL, st.ID)
+		j, ok := s.Job(st.ID)
+		if !ok {
+			t.Fatalf("job %s vanished", st.ID)
+		}
+		return j
+	}
+	submitWait(`{"experiment":"t1"}`)              // cached
+	submitWait(`{"experiment":"faults","seed":7}`) // evicts t1
+	if j := submitWait(`{"experiment":"t1"}`); j.fromCache {
+		t.Fatal("evicted entry served a hit")
+	}
+	code, m := getBody(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{"k2d_cache_evictions_total 2", "k2d_cache_entries 1"} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+// TestWarmStartServer: with -warm-start the daemon boots jobs from cached
+// OS checkpoints; the result is byte-identical to a cold daemon's and the
+// warm boots are counted on /metrics.
+func TestWarmStartServer(t *testing.T) {
+	_, coldTS := newTestServer(t, Config{Parallel: 1, QueueDepth: 8})
+	_, warmTS := newTestServer(t, Config{Parallel: 1, QueueDepth: 8, WarmStart: true})
+
+	run := func(ts *httptest.Server) string {
+		t.Helper()
+		_, st := postJob(t, ts, `{"experiment":"t4"}`)
+		return waitText(t, ts.URL, st.ID)
+	}
+	a := run(coldTS)
+	b := run(warmTS)
+	if a != b {
+		t.Fatalf("warm-started daemon diverged from cold:\n%q\nvs\n%q", a, b)
+	}
+	code, m := getBody(t, warmTS.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if !strings.Contains(m, "k2d_warm_starts_total") {
+		t.Fatal("metrics missing k2d_warm_starts_total")
+	}
+	if strings.Contains(m, "k2d_warm_starts_total 0\n") {
+		t.Fatalf("warm-start daemon reports zero warm starts:\n%s", m)
+	}
+}

@@ -246,5 +246,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.render(w, s.queue.depth(), inflight, draining)
+	s.metrics.render(w, s.queue.depth(), inflight, draining, s.cache.stats())
 }

@@ -113,6 +113,7 @@ type Job struct {
 	def         experiment.Def
 	cancel      func() // cancels the job's context; non-nil once running
 	cancelEarly bool   // DELETE raced the worker's claim; don't start
+	fromCache   bool   // served from the result cache; never ran
 	done        chan struct{}
 	trace       *traceLog
 }
@@ -231,6 +232,18 @@ func newTraceLog(limit int) *traceLog {
 		limit = 16384
 	}
 	return &traceLog{limit: limit}
+}
+
+// newTraceLogFrom builds an already-closed log holding a cached job's
+// replayed trace stream, so GET /v1/jobs/{id}/trace on a cache hit serves
+// the identical events the original run recorded.
+func newTraceLogFrom(events []traceEvent, dropped int) *traceLog {
+	return &traceLog{
+		events:  append([]traceEvent(nil), events...),
+		limit:   len(events),
+		dropped: dropped,
+		closed:  true,
+	}
 }
 
 // add is the experiment.WithTraceSink callback.

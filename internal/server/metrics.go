@@ -22,10 +22,15 @@ type metrics struct {
 	completed map[State]uint64            // terminal states
 	latency   map[string]*stats.Histogram // job wall time by experiment ID
 
-	// Engine counters summed over every finished job's Result.
+	// Engine counters summed over every finished job's Result. Cache hits
+	// contribute nothing here: they simulated nothing.
 	engineEvents   uint64
 	engineSwitches uint64
 	virtualNS      uint64
+
+	// warmStarts counts boots served by restoring a checkpoint instead of
+	// booting cold, summed over every finished job.
+	warmStarts uint64
 
 	// Chaos-sweep tallies summed over every finished chaos job.
 	chaosStorms   uint64            // storms simulated
@@ -56,14 +61,17 @@ func (m *metrics) recordRejected() {
 }
 
 // recordFinished tallies a terminal job; res may be nil (cancelled while
-// queued).
-func (m *metrics) recordFinished(id string, state State, res *experiment.Result) {
+// queued). A job served from the result cache counts as completed but
+// contributes no engine, latency or chaos telemetry — it replayed a prior
+// run's bytes without simulating anything.
+func (m *metrics) recordFinished(id string, state State, res *experiment.Result, fromCache bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.completed[state]++
-	if res == nil {
+	if res == nil || fromCache {
 		return
 	}
+	m.warmStarts += uint64(res.WarmStarts)
 	m.engineEvents += res.Stats.Dispatched
 	m.engineSwitches += res.Stats.ProcSwitches
 	m.virtualNS += uint64(res.Virtual)
@@ -89,7 +97,7 @@ func (m *metrics) recordFinished(id string, state State, res *experiment.Result)
 
 // render writes the Prometheus text exposition. Gauges the metrics struct
 // does not own (queue depth, in-flight, draining) come in as arguments.
-func (m *metrics) render(w io.Writer, queueDepth, inflight int, draining bool) {
+func (m *metrics) render(w io.Writer, queueDepth, inflight int, draining bool, cs cacheStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -135,6 +143,13 @@ func (m *metrics) render(w io.Writer, queueDepth, inflight int, draining bool) {
 		fmt.Fprintf(w, "k2d_chaos_oracle_total{oracle=%q,result=\"pass\"} %d\n", orc, m.chaosPass[orc])
 		fmt.Fprintf(w, "k2d_chaos_oracle_total{oracle=%q,result=\"fail\"} %d\n", orc, m.chaosFail[orc])
 	}
+
+	counter("k2d_cache_hits_total", "Jobs served byte-identically from the result cache.", cs.hits)
+	counter("k2d_cache_misses_total", "Cache lookups that had to simulate.", cs.misses)
+	counter("k2d_cache_evictions_total", "Result-cache entries evicted by the LRU bound.", cs.evictions)
+	gauge("k2d_cache_entries", "Results currently cached.", cs.entries)
+	gauge("k2d_cache_bytes", "Approximate bytes retained by the result cache.", cs.bytes)
+	counter("k2d_warm_starts_total", "Boots served by restoring a checkpoint instead of booting cold.", m.warmStarts)
 
 	counter("k2d_engine_events_dispatched_total", "Simulation events dispatched across all finished jobs.", m.engineEvents)
 	counter("k2d_engine_proc_switches_total", "Engine-to-proc control transfers across all finished jobs.", m.engineSwitches)

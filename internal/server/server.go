@@ -31,6 +31,15 @@ type Config struct {
 	// MaxFinished bounds how many terminal jobs stay queryable; the
 	// oldest are evicted first. <= 0 means 1024.
 	MaxFinished int
+	// CacheSize bounds the deterministic result cache (entries): repeat
+	// jobs with the same (experiment, seed, weak_domains, sweep) are
+	// served byte-identically from the cache without simulating. 0 means
+	// 128; negative disables caching.
+	CacheSize int
+	// WarmStart lets jobs boot their systems by restoring cached
+	// checkpoints of booted OSes instead of booting cold. Results are
+	// byte-identical either way; only host boot time is saved.
+	WarmStart bool
 }
 
 // Server is the k2d core: admission, the queue, the worker pool and the
@@ -40,6 +49,7 @@ type Server struct {
 	cfg     Config
 	queue   *queue
 	metrics *metrics
+	cache   *resultCache // nil when disabled
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -67,11 +77,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxFinished <= 0 {
 		cfg.MaxFinished = 1024
 	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:     cfg,
 		queue:   newQueue(cfg.QueueDepth),
 		metrics: newMetrics(),
+		cache:   newResultCache(cfg.CacheSize),
 		jobs:    make(map[string]*Job),
 		baseCtx: ctx,
 		stop:    cancel,
@@ -113,6 +127,13 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		Sweep:       req.Sweep,
 	})
 
+	// The deterministic result cache: a repeat of a finished job (same
+	// experiment, seed, topology and sweep) is served immediately with the
+	// byte-identical table and trace stream — no queueing, no simulation.
+	// The lookup happens before admission so cache hits cannot be shed by
+	// a full queue.
+	ent, hit := s.cache.get(cacheKeyOf(req))
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -129,8 +150,19 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		done:      make(chan struct{}),
 		trace:     newTraceLog(s.cfg.TraceEvents),
 	}
+	if hit {
+		j.fromCache = true
+		j.trace = newTraceLogFrom(ent.events, ent.dropped)
+	}
 	s.jobs[j.ID] = j
 	s.mu.Unlock()
+
+	if hit {
+		s.metrics.recordSubmitted()
+		res := ent.res
+		s.finishJob(j, StateDone, &res, "")
+		return j, nil
+	}
 
 	if err := s.queue.push(j); err != nil {
 		s.mu.Lock()
@@ -243,7 +275,11 @@ func (s *Server) runJob(j *Job) {
 				msg = fmt.Sprintf("%v\n%s", rec, debug.Stack())
 			}
 		}()
-		res = experiment.MeasureContext(ctx, j.def, experiment.WithTraceSink(j.trace.add))
+		opts := []experiment.Option{experiment.WithTraceSink(j.trace.add)}
+		if s.cfg.WarmStart {
+			opts = append(opts, experiment.WithWarmStart())
+		}
+		res = experiment.MeasureContext(ctx, j.def, opts...)
 		return ""
 	}()
 	s.mu.Lock()
@@ -266,7 +302,11 @@ func (s *Server) runJob(j *Job) {
 // bounded retention list.
 func (s *Server) finishJob(j *Job, state State, res *experiment.Result, errMsg string) {
 	j.finish(state, res, errMsg)
-	s.metrics.recordFinished(j.Req.Experiment, state, res)
+	s.metrics.recordFinished(j.Req.Experiment, state, res, j.fromCache)
+	if state == StateDone && res != nil && !j.fromCache {
+		evs, dropped, _ := j.trace.snapshot(0)
+		s.cache.put(cacheKeyOf(j.Req), *res, evs, dropped)
+	}
 	s.mu.Lock()
 	s.finished = append(s.finished, j)
 	for len(s.finished) > s.cfg.MaxFinished {

@@ -264,7 +264,9 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
-// Stop makes Run return after the current event completes.
+// Stop makes Run return after the current event completes. The stop applies
+// to the current Run only: a later Run call starts fresh, so an engine can be
+// paused at a barrier (e.g. the boot-ready quiesce point) and resumed.
 func (e *Engine) Stop() { e.stopped = true }
 
 // SetInterrupt installs a cooperative cancellation check, polled once every
@@ -300,6 +302,7 @@ func (e *Engine) Shutdown() {
 func (e *Engine) Run(until Time) error {
 	start := time.Now()
 	defer func() { e.stats.Wall += time.Since(start) }()
+	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.events[0]
 		if until > 0 && ev.at > until {

@@ -18,6 +18,13 @@ func NewRand(seed int64) *Rand {
 	return &Rand{state: uint64(seed)}
 }
 
+// State returns the generator's internal state for checkpointing.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState rewinds the generator onto a state captured with State, after
+// which it reproduces the same draw sequence it would have from there.
+func (r *Rand) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 random bits (splitmix64 step).
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9E3779B97F4A7C15

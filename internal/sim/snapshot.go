@@ -1,0 +1,44 @@
+package sim
+
+import "fmt"
+
+// EngineState is the engine's own contribution to a system snapshot. It is
+// deliberately tiny: at a quiesce point no proc is runnable and every pending
+// event is one a higher layer knows how to re-create (an armed Timer, a
+// daemon's parked wake, a device tick), so the heap itself is not captured.
+// What must survive verbatim is the clock, the event sequence counter that
+// breaks same-time ties, and the dispatch statistics.
+type EngineState struct {
+	Now  Time
+	Seq  uint64
+	Stat Stats
+}
+
+// CaptureState records the engine-level state at a quiesce point. Callers
+// are responsible for having driven the engine to such a point (no live
+// procs beyond parked daemons, no proc mid-dispatch) before calling.
+func (e *Engine) CaptureState() EngineState {
+	return EngineState{Now: e.now, Seq: e.seq, Stat: e.stats}
+}
+
+// RestoreState rewinds a freshly built engine onto a captured state: it
+// discards every pending event (the restore path re-arms the recognized
+// ones), restores the clock and sequence counter, and clears any stop or
+// failure left over from construction. The engine must have no live procs —
+// goroutine stacks cannot be restored, so daemons are respawned by the
+// caller after this returns.
+func (e *Engine) RestoreState(st EngineState) error {
+	if e.nprocs != 0 {
+		return fmt.Errorf("sim: RestoreState with %d live procs", e.nprocs)
+	}
+	for _, ev := range e.events {
+		ev.proc, ev.fn = nil, nil
+	}
+	e.events = e.events[:0]
+	e.now = st.Now
+	e.seq = st.Seq
+	e.stats = st.Stat
+	e.stopped = false
+	e.failure = nil
+	return nil
+}

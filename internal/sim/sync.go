@@ -272,21 +272,28 @@ func (q *Queue) TryGet() (any, bool) {
 // Timer schedules fn once after d, and can be cancelled or reset. It is used
 // for inactivity timeouts.
 type Timer struct {
-	eng   *Engine
-	fn    func()
-	armed bool
-	gen   int
+	eng      *Engine
+	fn       func()
+	armed    bool
+	gen      int
+	deadline Time
 }
 
 // NewTimer returns an unarmed timer that will run fn when it expires.
 func NewTimer(e *Engine, fn func()) *Timer { return &Timer{eng: e, fn: fn} }
 
 // Reset (re)arms the timer to fire d from now, cancelling any earlier arm.
-func (t *Timer) Reset(d time.Duration) {
+func (t *Timer) Reset(d time.Duration) { t.ResetAt(t.eng.now.Add(d)) }
+
+// ResetAt (re)arms the timer to fire at absolute time at, cancelling any
+// earlier arm. Snapshot restore uses it to re-arm a captured timer at its
+// original deadline rather than a relative offset.
+func (t *Timer) ResetAt(at Time) {
 	t.gen++
 	t.armed = true
+	t.deadline = at
 	gen := t.gen
-	t.eng.After(d, func() {
+	t.eng.At(at, func() {
 		if t.armed && t.gen == gen {
 			t.armed = false
 			t.fn()
@@ -299,3 +306,7 @@ func (t *Timer) Stop() { t.armed = false; t.gen++ }
 
 // Armed reports whether the timer is pending.
 func (t *Timer) Armed() bool { return t.armed }
+
+// Deadline returns the absolute expiry of the most recent arm. It is only
+// meaningful while Armed.
+func (t *Timer) Deadline() Time { return t.deadline }

@@ -1,0 +1,56 @@
+package snap
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDecode is the snapshot-codec fuzz target: decoding arbitrary bytes
+// must never panic, and any bytes that do decode must re-encode to a stable
+// fixed point (encode -> decode -> encode is byte-identical from the first
+// re-encode on). CI replays the committed corpus in its fuzz-replay step.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(testValue()))
+	f.Add(Encode(sample{M: map[string]int64{"k": 1}, P: &inner{N: 1}}))
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0x7f})
+	corrupt := Encode(testValue())
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v sample
+		if err := Decode(data, &v); err != nil {
+			return
+		}
+		first := Encode(v)
+		var v2 sample
+		if err := Decode(first, &v2); err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if second := Encode(v2); !bytes.Equal(first, second) {
+			t.Fatalf("encode not a fixed point:\nfirst:  %x\nsecond: %x", first, second)
+		}
+	})
+}
+
+// FuzzRoundTrip drives the encoder from fuzzed field values instead of
+// fuzzed bytes: every generated value must round-trip exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint64(0), 0.0, "", []byte(nil), true)
+	f.Add(int64(-1), uint64(1<<63), 1e300, "k2", []byte{1, 2}, false)
+	f.Fuzz(func(t *testing.T, i int64, u uint64, fl float64, s string, b []byte, flag bool) {
+		v := sample{
+			B: flag, I: int(i), U: u, F: fl, D: time.Duration(i), S: s, Bytes: b,
+			M: map[string]int64{s: i},
+		}
+		data := Encode(v)
+		var got sample
+		if err := Decode(data, &got); err != nil {
+			t.Fatalf("decode of fresh encoding failed: %v", err)
+		}
+		if again := Encode(got); !bytes.Equal(data, again) {
+			t.Fatal("round trip not byte-stable")
+		}
+	})
+}

@@ -1,0 +1,317 @@
+// Package snap is the deterministic binary codec behind checkpoint/fork:
+// it serializes the plain-data state structs each stateful package exposes
+// (EngineState, SoCState, ...) into a byte string whose content depends only
+// on the value — never on map iteration order or pointer identity — so two
+// identical system states encode to identical bytes and a snapshot can be
+// diffed, hashed, cached and forked byte-for-byte.
+//
+// The format is deliberately simple: fixed-width little-endian integers,
+// IEEE-754 bit patterns for floats, length-prefixed strings and slices, maps
+// with entries sorted by encoded key, and a one-byte nil flag before pointer
+// targets. There is no schema and no versioning; a snapshot is only ever
+// decoded by the binary that produced it.
+//
+// Encode panics on types the format cannot represent (funcs, channels,
+// interfaces, unexported fields) — those are programming errors in a state
+// struct. Decode never panics: every read is bounds-checked and corrupt
+// input yields an error, which is what the fuzz target exercises.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// Encode serializes v deterministically. It panics if v (or anything it
+// reaches) contains a type the format does not support.
+func Encode(v any) []byte {
+	var e encoder
+	e.value(reflect.ValueOf(v))
+	return e.buf
+}
+
+// Decode parses data produced by Encode back into *out. It returns an error
+// (never panics) when the bytes do not form a valid encoding of out's type.
+func Decode(data []byte, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("snap: Decode needs a non-nil pointer, got %T", out)
+	}
+	d := decoder{buf: data}
+	if err := d.value(rv.Elem()); err != nil {
+		return err
+	}
+	if d.pos != len(data) {
+		return fmt.Errorf("snap: %d trailing bytes", len(data)-d.pos)
+	}
+	return nil
+}
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v byte)    { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+func (e *encoder) value(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.u64(uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		e.u64(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		e.u64(math.Float64bits(v.Float()))
+	case reflect.String:
+		s := v.String()
+		e.u32(uint32(len(s)))
+		e.buf = append(e.buf, s...)
+	case reflect.Slice:
+		if v.IsNil() {
+			e.u8(0)
+			return
+		}
+		e.u8(1)
+		e.u32(uint32(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			e.value(v.Index(i))
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			e.value(v.Index(i))
+		}
+	case reflect.Map:
+		if v.IsNil() {
+			e.u8(0)
+			return
+		}
+		e.u8(1)
+		e.u32(uint32(v.Len()))
+		type kv struct {
+			kb   []byte
+			k, v reflect.Value
+		}
+		entries := make([]kv, 0, v.Len())
+		it := v.MapRange()
+		for it.Next() {
+			var ke encoder
+			ke.value(it.Key())
+			entries = append(entries, kv{ke.buf, it.Key(), it.Value()})
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			return string(entries[i].kb) < string(entries[j].kb)
+		})
+		for _, ent := range entries {
+			e.buf = append(e.buf, ent.kb...)
+			e.value(ent.v)
+		}
+	case reflect.Pointer:
+		if v.IsNil() {
+			e.u8(0)
+			return
+		}
+		e.u8(1)
+		e.value(v.Elem())
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				panic(fmt.Sprintf("snap: unexported field %s.%s", t, t.Field(i).Name))
+			}
+			e.value(v.Field(i))
+		}
+	default:
+		panic(fmt.Sprintf("snap: unsupported kind %s (%s)", v.Kind(), v.Type()))
+	}
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, fmt.Errorf("snap: truncated at byte %d", d.pos)
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, fmt.Errorf("snap: truncated at byte %d", d.pos)
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, fmt.Errorf("snap: truncated at byte %d", d.pos)
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+// remaining bounds collection lengths: a corrupt length prefix larger than
+// the bytes left cannot be valid, so it is rejected before any allocation.
+func (d *decoder) remaining() int { return len(d.buf) - d.pos }
+
+func (d *decoder) value(v reflect.Value) error {
+	switch v.Kind() {
+	case reflect.Bool:
+		b, err := d.u8()
+		if err != nil {
+			return err
+		}
+		if b > 1 {
+			return fmt.Errorf("snap: invalid bool %d at byte %d", b, d.pos-1)
+		}
+		v.SetBool(b == 1)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		u, err := d.u64()
+		if err != nil {
+			return err
+		}
+		if v.OverflowInt(int64(u)) {
+			return fmt.Errorf("snap: %d overflows %s", int64(u), v.Type())
+		}
+		v.SetInt(int64(u))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		u, err := d.u64()
+		if err != nil {
+			return err
+		}
+		if v.OverflowUint(u) {
+			return fmt.Errorf("snap: %d overflows %s", u, v.Type())
+		}
+		v.SetUint(u)
+	case reflect.Float32, reflect.Float64:
+		u, err := d.u64()
+		if err != nil {
+			return err
+		}
+		f := math.Float64frombits(u)
+		if v.OverflowFloat(f) {
+			return fmt.Errorf("snap: %g overflows %s", f, v.Type())
+		}
+		v.SetFloat(f)
+	case reflect.String:
+		n, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if int(n) > d.remaining() {
+			return fmt.Errorf("snap: string length %d exceeds %d remaining bytes", n, d.remaining())
+		}
+		v.SetString(string(d.buf[d.pos : d.pos+int(n)]))
+		d.pos += int(n)
+	case reflect.Slice:
+		flag, err := d.u8()
+		if err != nil {
+			return err
+		}
+		if flag == 0 {
+			v.SetZero()
+			return nil
+		}
+		if flag != 1 {
+			return fmt.Errorf("snap: invalid slice flag %d at byte %d", flag, d.pos-1)
+		}
+		n, err := d.u32()
+		if err != nil {
+			return err
+		}
+		// Every element costs at least one byte on the wire.
+		if int(n) > d.remaining() {
+			return fmt.Errorf("snap: slice length %d exceeds %d remaining bytes", n, d.remaining())
+		}
+		s := reflect.MakeSlice(v.Type(), int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := d.value(s.Index(i)); err != nil {
+				return err
+			}
+		}
+		v.Set(s)
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if err := d.value(v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		flag, err := d.u8()
+		if err != nil {
+			return err
+		}
+		if flag == 0 {
+			v.SetZero()
+			return nil
+		}
+		if flag != 1 {
+			return fmt.Errorf("snap: invalid map flag %d at byte %d", flag, d.pos-1)
+		}
+		n, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if int(n) > d.remaining() {
+			return fmt.Errorf("snap: map length %d exceeds %d remaining bytes", n, d.remaining())
+		}
+		m := reflect.MakeMapWithSize(v.Type(), int(n))
+		for i := 0; i < int(n); i++ {
+			k := reflect.New(v.Type().Key()).Elem()
+			if err := d.value(k); err != nil {
+				return err
+			}
+			val := reflect.New(v.Type().Elem()).Elem()
+			if err := d.value(val); err != nil {
+				return err
+			}
+			m.SetMapIndex(k, val)
+		}
+		v.Set(m)
+	case reflect.Pointer:
+		flag, err := d.u8()
+		if err != nil {
+			return err
+		}
+		if flag == 0 {
+			v.SetZero()
+			return nil
+		}
+		if flag != 1 {
+			return fmt.Errorf("snap: invalid pointer flag %d at byte %d", flag, d.pos-1)
+		}
+		p := reflect.New(v.Type().Elem())
+		if err := d.value(p.Elem()); err != nil {
+			return err
+		}
+		v.Set(p)
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				return fmt.Errorf("snap: unexported field %s.%s", t, t.Field(i).Name)
+			}
+			if err := d.value(v.Field(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("snap: unsupported kind %s (%s)", v.Kind(), v.Type())
+	}
+	return nil
+}

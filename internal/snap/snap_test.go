@@ -1,0 +1,140 @@
+package snap
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// sample is a state-struct stand-in exercising every supported kind.
+type sample struct {
+	B     bool
+	I     int
+	I8    int8
+	U     uint64
+	F     float64
+	D     time.Duration
+	S     string
+	Bytes []byte
+	Ints  []int32
+	Arr   [3]uint16
+	M     map[string]int64
+	MI    map[int]string
+	P     *inner
+	PNil  *inner
+	In    inner
+}
+
+type inner struct {
+	N    int
+	Tags []string
+}
+
+func testValue() sample {
+	return sample{
+		B: true, I: -42, I8: -7, U: 1 << 60, F: 3.14159, D: 250 * time.Microsecond,
+		S: "hello", Bytes: []byte{1, 2, 3}, Ints: []int32{5, -6, 7},
+		Arr: [3]uint16{9, 8, 7},
+		M:   map[string]int64{"z": 26, "a": 1, "m": 13},
+		MI:  map[int]string{3: "three", 1: "one", 2: "two"},
+		P:   &inner{N: 99, Tags: []string{"x", "y"}},
+		In:  inner{N: 5},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	v := testValue()
+	data := Encode(v)
+	var got sample
+	if err := Decode(data, &got); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(v, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", v, got)
+	}
+	if again := Encode(got); !bytes.Equal(data, again) {
+		t.Fatal("encode -> decode -> encode not byte-stable")
+	}
+}
+
+// TestDeterministicMaps: the same map content must encode identically no
+// matter how the map was built (insertion order perturbs Go's iteration
+// order; the codec must not care).
+func TestDeterministicMaps(t *testing.T) {
+	a := map[string]int64{}
+	b := map[string]int64{}
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for i, k := range keys {
+		a[k] = int64(i)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		b[keys[i]] = int64(i)
+	}
+	if !bytes.Equal(Encode(a), Encode(b)) {
+		t.Fatal("map encoding depends on insertion order")
+	}
+}
+
+func TestNilVsEmpty(t *testing.T) {
+	type s struct {
+		S []int
+		M map[int]int
+	}
+	nilv := Encode(s{})
+	empty := Encode(s{S: []int{}, M: map[int]int{}})
+	if bytes.Equal(nilv, empty) {
+		t.Fatal("nil and empty collections must encode differently (restore fidelity)")
+	}
+	var back s
+	if err := Decode(nilv, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.S != nil || back.M != nil {
+		t.Fatal("nil collections did not decode to nil")
+	}
+	if err := Decode(empty, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.S == nil || back.M == nil {
+		t.Fatal("empty collections did not decode to empty")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	v := testValue()
+	data := Encode(v)
+	// Truncations at every length must error, never panic.
+	for n := 0; n < len(data); n++ {
+		var out sample
+		if err := Decode(data[:n], &out); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	// Trailing garbage is rejected.
+	var out sample
+	if err := Decode(append(append([]byte{}, data...), 0), &out); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+	// A huge slice length prefix must be rejected before allocation.
+	type sl struct{ S []uint64 }
+	bad := []byte{1, 0xff, 0xff, 0xff, 0x7f}
+	var s sl
+	if err := Decode(bad, &s); err == nil {
+		t.Fatal("oversized slice length decoded without error")
+	}
+	// Non-pointer target.
+	if err := Decode(data, sample{}); err == nil {
+		t.Fatal("non-pointer target accepted")
+	}
+}
+
+func TestEncodeRejectsFuncs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode of a func field did not panic")
+		}
+	}()
+	type withFunc struct{ F func() }
+	Encode(withFunc{F: func() {}})
+}

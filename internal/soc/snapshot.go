@@ -1,0 +1,242 @@
+package soc
+
+import (
+	"fmt"
+	"sort"
+
+	"k2/internal/power"
+	"k2/internal/sim"
+)
+
+// DomainSnap is one domain's checkpointable state. The idle timer is captured
+// as (armed, absolute deadline) and re-armed on restore; the pending heap
+// event itself is not serialized.
+type DomainSnap struct {
+	State      int
+	BusyCores  int
+	WakeCount  int
+	IdleStart  sim.Time
+	Hung       bool
+	CrashCount int
+	ActiveMW   power.Milliwatts
+	TimerArmed bool
+	TimerAt    sim.Time
+	CoreFreqs  []int
+	Rail       power.RailState
+}
+
+// IRQSnap is one interrupt controller's checkpointable state.
+type IRQSnap struct {
+	Masked    []int // masked lines, ascending
+	Delivered int
+}
+
+// RelLinkSnap is one reliable-transport link's checkpointable state.
+type RelLinkSnap struct {
+	NextSeq uint64
+	Seen    []uint64 // delivered sequence numbers, ascending
+}
+
+// MailboxSnap is the mailbox fabric's checkpointable state. Inboxes must be
+// empty and no reliable send in flight at capture, so only counters and link
+// sequence state are recorded.
+type MailboxSnap struct {
+	Sent   [][]int
+	NextSq uint32
+	Stats  MailboxStats
+	Links  [][]RelLinkSnap // nil when the reliable transport is off
+}
+
+// SpinlockSnap is one hardware spinlock's checkpointable state.
+type SpinlockSnap struct {
+	Held          bool
+	Holder        int
+	BrokenMask    uint64
+	Acquisitions  int
+	Contended     int
+	StaleReleases int
+}
+
+// DMASnap is the DMA engine's checkpointable state; no transfer may be
+// active at capture.
+type DMASnap struct {
+	LastUpdate sim.Time
+	Gen        int
+	Served     []int
+	BytesMoved []int64
+}
+
+// SoCState is the whole platform's checkpointable state.
+type SoCState struct {
+	Domains   []DomainSnap
+	IRQ       []IRQSnap
+	Mailbox   MailboxSnap
+	Spinlocks []SpinlockSnap
+	DMA       DMASnap
+	NextIRQ   int
+}
+
+// CaptureState records the SoC's state at a quiesce point. It returns an
+// error when the platform is not quiescent: a domain mid-wake (its completion
+// event cannot be re-created), pending wake hooks, undelivered mail, reliable
+// sends in flight, a held spinlock, or an active DMA transfer.
+func (s *SoC) CaptureState() (SoCState, error) {
+	var st SoCState
+	for _, d := range s.Domains {
+		if d.state == DomWaking {
+			return st, fmt.Errorf("soc: domain %s is mid-wake", d.Name)
+		}
+		if len(d.awakeHooks) > 0 {
+			return st, fmt.Errorf("soc: domain %s has %d pending wake hooks", d.Name, len(d.awakeHooks))
+		}
+		ds := DomainSnap{
+			State:      int(d.state),
+			BusyCores:  d.busyCores,
+			WakeCount:  d.wakeCount,
+			IdleStart:  d.idleStart,
+			Hung:       d.hung,
+			CrashCount: d.crashCount,
+			ActiveMW:   d.Profile.Active,
+			TimerArmed: d.idleTimer.Armed(),
+			TimerAt:    d.idleTimer.Deadline(),
+			Rail:       d.Rail.CaptureState(),
+		}
+		for _, c := range d.Cores {
+			ds.CoreFreqs = append(ds.CoreFreqs, c.FreqMHz)
+		}
+		st.Domains = append(st.Domains, ds)
+	}
+	for id, c := range s.IRQ {
+		if n := s.Mailbox.Pending(DomainID(id)); n > 0 {
+			return st, fmt.Errorf("soc: %d undelivered mails for %v", n, DomainID(id))
+		}
+		is := IRQSnap{Delivered: c.Delivered}
+		for line := range c.masked {
+			is.Masked = append(is.Masked, int(line))
+		}
+		sort.Ints(is.Masked)
+		st.IRQ = append(st.IRQ, is)
+	}
+	mb := s.Mailbox
+	if mb.relOutstanding > 0 {
+		return st, fmt.Errorf("soc: %d reliable sends in flight", mb.relOutstanding)
+	}
+	st.Mailbox = MailboxSnap{NextSq: mb.nextSq, Stats: mb.Stats}
+	for _, row := range mb.sent {
+		st.Mailbox.Sent = append(st.Mailbox.Sent, append([]int(nil), row...))
+	}
+	if mb.links != nil {
+		for _, row := range mb.links {
+			var out []RelLinkSnap
+			for _, l := range row {
+				ls := RelLinkSnap{NextSeq: l.nextSeq}
+				for seq := range l.seen {
+					ls.Seen = append(ls.Seen, seq)
+				}
+				sort.Slice(ls.Seen, func(i, j int) bool { return ls.Seen[i] < ls.Seen[j] })
+				out = append(out, ls)
+			}
+			st.Mailbox.Links = append(st.Mailbox.Links, out)
+		}
+	}
+	for _, l := range s.Spinlocks.locks {
+		if l.held {
+			return st, fmt.Errorf("soc: spinlock %d held by %v", l.id, l.holder)
+		}
+		st.Spinlocks = append(st.Spinlocks, SpinlockSnap{
+			Held: l.held, Holder: int(l.holder), BrokenMask: l.brokenMask,
+			Acquisitions: l.Acquisitions, Contended: l.Contended, StaleReleases: l.StaleReleases,
+		})
+	}
+	if n := s.DMA.Active(); n > 0 {
+		return st, fmt.Errorf("soc: %d DMA transfers active", n)
+	}
+	st.DMA = DMASnap{
+		LastUpdate: s.DMA.lastUpdate,
+		Gen:        s.DMA.gen,
+		Served:     append([]int(nil), s.DMA.Served...),
+		BytesMoved: append([]int64(nil), s.DMA.BytesMoved...),
+	}
+	st.NextIRQ = int(s.nextIRQ)
+	return st, nil
+}
+
+// RestoreState rewinds a freshly constructed SoC (same config) onto a
+// captured state. The engine clock must already be restored: idle timers are
+// re-armed at their captured absolute deadlines, in domain order, so that
+// same-deadline ties dispatch in the same order as the original run.
+func (s *SoC) RestoreState(st SoCState) error {
+	if len(st.Domains) != len(s.Domains) {
+		return fmt.Errorf("soc: snapshot has %d domains, platform %d", len(st.Domains), len(s.Domains))
+	}
+	for id, d := range s.Domains {
+		ds := st.Domains[id]
+		if len(ds.CoreFreqs) != len(d.Cores) {
+			return fmt.Errorf("soc: snapshot domain %s has %d cores, platform %d", d.Name, len(ds.CoreFreqs), len(d.Cores))
+		}
+		d.state = DomainState(ds.State)
+		d.busyCores = ds.BusyCores
+		d.wakeCount = ds.WakeCount
+		d.idleStart = ds.IdleStart
+		d.hung = ds.Hung
+		d.crashCount = ds.CrashCount
+		d.Profile.Active = ds.ActiveMW
+		d.awakeHooks = nil
+		for i, c := range d.Cores {
+			c.FreqMHz = ds.CoreFreqs[i]
+			c.speed = speedOf(c.Kind, c.FreqMHz)
+		}
+		if ds.TimerArmed {
+			d.idleTimer.ResetAt(ds.TimerAt)
+		} else {
+			d.idleTimer.Stop()
+		}
+		d.Rail.RestoreState(ds.Rail)
+	}
+	for id, c := range s.IRQ {
+		is := st.IRQ[id]
+		c.Delivered = is.Delivered
+		c.masked = make(map[IRQLine]bool, len(is.Masked))
+		for _, line := range is.Masked {
+			c.masked[IRQLine(line)] = true
+		}
+	}
+	mb := s.Mailbox
+	mb.nextSq = st.Mailbox.NextSq
+	mb.Stats = st.Mailbox.Stats
+	mb.relOutstanding = 0
+	for i := range mb.sent {
+		copy(mb.sent[i], st.Mailbox.Sent[i])
+	}
+	if st.Mailbox.Links != nil {
+		if mb.links == nil {
+			return fmt.Errorf("soc: snapshot has reliable links but transport is off")
+		}
+		for i, row := range st.Mailbox.Links {
+			for j, ls := range row {
+				l := mb.links[i][j]
+				l.nextSeq = ls.NextSeq
+				l.seen = make(map[uint64]bool, len(ls.Seen))
+				for _, seq := range ls.Seen {
+					l.seen[seq] = true
+				}
+			}
+		}
+	}
+	for i, l := range s.Spinlocks.locks {
+		ls := st.Spinlocks[i]
+		l.held = ls.Held
+		l.holder = DomainID(ls.Holder)
+		l.brokenMask = ls.BrokenMask
+		l.Acquisitions = ls.Acquisitions
+		l.Contended = ls.Contended
+		l.StaleReleases = ls.StaleReleases
+	}
+	s.DMA.lastUpdate = st.DMA.LastUpdate
+	s.DMA.gen = st.DMA.Gen
+	copy(s.DMA.Served, st.DMA.Served)
+	copy(s.DMA.BytesMoved, st.DMA.BytesMoved)
+	s.DMA.active = s.DMA.active[:0]
+	s.nextIRQ = IRQLine(st.NextIRQ)
+	return nil
+}

@@ -1,0 +1,47 @@
+package stats
+
+// SummaryState is a summary's checkpointable state.
+type SummaryState struct {
+	N        int64
+	Mean, M2 float64
+	Min, Max float64
+}
+
+// CaptureState records the summary's accumulator state.
+func (s *Summary) CaptureState() SummaryState {
+	return SummaryState{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max}
+}
+
+// RestoreState rewinds the summary onto a captured state.
+func (s *Summary) RestoreState(st SummaryState) {
+	s.n, s.mean, s.m2, s.min, s.max = st.N, st.Mean, st.M2, st.Min, st.Max
+}
+
+// HistogramState is a histogram's checkpointable state.
+type HistogramState struct {
+	Summary SummaryState
+	Buckets []int64
+	Under   int64
+	Exact   []float64
+	CapN    int
+}
+
+// CaptureState records the histogram's state.
+func (h *Histogram) CaptureState() HistogramState {
+	return HistogramState{
+		Summary: h.Summary.CaptureState(),
+		Buckets: append([]int64(nil), h.buckets...),
+		Under:   h.under,
+		Exact:   append([]float64(nil), h.exact...),
+		CapN:    h.capN,
+	}
+}
+
+// RestoreState rewinds the histogram onto a captured state.
+func (h *Histogram) RestoreState(st HistogramState) {
+	h.Summary.RestoreState(st.Summary)
+	h.buckets = append(h.buckets[:0], st.Buckets...)
+	h.under = st.Under
+	h.exact = append(h.exact[:0], st.Exact...)
+	h.capN = st.CapN
+}

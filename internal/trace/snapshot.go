@@ -1,0 +1,38 @@
+package trace
+
+// BufferState is the tracer's checkpointable state: the raw ring (including
+// its overwrite cursor), the sequence counter, per-kind enablement, and the
+// emit counters. The sink is not captured — it is a live subscriber owned by
+// whoever is watching the restored run.
+type BufferState struct {
+	Ring    []Event
+	Next    int
+	Seq     uint64
+	Enabled []bool
+	Counts  []uint64
+}
+
+// CaptureState records the tracer's state.
+func (b *Buffer) CaptureState() BufferState {
+	st := BufferState{
+		Ring:    append([]Event(nil), b.ring...),
+		Next:    b.next,
+		Seq:     b.seq,
+		Enabled: make([]bool, numKinds),
+		Counts:  make([]uint64, numKinds),
+	}
+	copy(st.Enabled, b.enabled[:])
+	copy(st.Counts, b.Counts[:])
+	return st
+}
+
+// RestoreState rewinds the tracer onto a captured state. The buffer must
+// have the same capacity as the one captured (it comes from the same boot
+// options); the sink is left untouched.
+func (b *Buffer) RestoreState(st BufferState) {
+	b.ring = append(b.ring[:0], st.Ring...)
+	b.next = st.Next
+	b.seq = st.Seq
+	copy(b.enabled[:], st.Enabled)
+	copy(b.Counts[:], st.Counts)
+}

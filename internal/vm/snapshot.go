@@ -1,0 +1,47 @@
+package vm
+
+import (
+	"sort"
+
+	"k2/internal/mem"
+)
+
+// TempMap is one temporary IO mapping.
+type TempMap struct {
+	Base  uint64
+	Pages int
+}
+
+// AddressSpaceState is one kernel address space's checkpointable state.
+type AddressSpaceState struct {
+	Demoted   []int // demoted section bases, ascending
+	Temp      []TempMap
+	Demotions int
+}
+
+// CaptureState records the address space's mapping state.
+func (a *AddressSpace) CaptureState() AddressSpaceState {
+	st := AddressSpaceState{Demotions: a.Demotions}
+	for base := range a.demoted {
+		st.Demoted = append(st.Demoted, int(base))
+	}
+	sort.Ints(st.Demoted)
+	for base, pages := range a.temp {
+		st.Temp = append(st.Temp, TempMap{Base: uint64(base), Pages: pages})
+	}
+	sort.Slice(st.Temp, func(i, j int) bool { return st.Temp[i].Base < st.Temp[j].Base })
+	return st
+}
+
+// RestoreState rewinds the address space onto a captured state.
+func (a *AddressSpace) RestoreState(st AddressSpaceState) {
+	a.demoted = make(map[mem.PFN]bool, len(st.Demoted))
+	for _, base := range st.Demoted {
+		a.demoted[mem.PFN(base)] = true
+	}
+	a.temp = make(map[VAddr]int, len(st.Temp))
+	for _, t := range st.Temp {
+		a.temp[VAddr(t.Base)] = t.Pages
+	}
+	a.Demotions = st.Demotions
+}
