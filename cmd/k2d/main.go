@@ -17,6 +17,8 @@
 //	                                  # are served byte-identically; -1 disables)
 //	k2d -warm-start=false             # boot every job cold instead of restoring
 //	                                  # cached OS checkpoints
+//	k2d -fleet http://router:9090     # join a k2fleet as a worker (registers
+//	                                  # and heartbeats; see cmd/k2fleet)
 //
 //	curl -X POST localhost:8080/v1/jobs -d '{"experiment":"t4"}'
 //	curl localhost:8080/v1/jobs/j00000001?wait=30\&format=text
@@ -39,10 +41,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"k2/internal/experiment"
+	"k2/internal/fleet"
 	"k2/internal/server"
 )
 
@@ -56,6 +60,10 @@ func main() {
 	traceEvents := flag.Int("trace-events", 16384, "per-job kernel-trace retention bound")
 	cacheSize := flag.Int("cache-size", 128, "result-cache entries: repeat jobs are served byte-identically without simulating (negative disables)")
 	warmStart := flag.Bool("warm-start", true, "boot jobs by restoring cached OS checkpoints instead of booting cold (results are byte-identical)")
+	fleetURL := flag.String("fleet", "", "k2fleet router base URL to register with as a worker (empty = standalone)")
+	advertise := flag.String("advertise", "", "base URL the router should reach this worker at (default http://<addr>)")
+	workerID := flag.String("worker-id", "", "stable worker identity on the ring (default derived from the advertise URL)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "fleet registration heartbeat interval")
 	flag.Parse()
 
 	if *parallel < 1 {
@@ -97,6 +105,20 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+	if *fleetURL != "" {
+		// Join the fleet: register with the router and keep heartbeating
+		// until shutdown. The ring is keyed by worker identity, so a
+		// restarted worker with the same -worker-id reclaims its shard.
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		id := *workerID
+		if id == "" {
+			id = fleet.WorkerID(adv)
+		}
+		go fleet.Heartbeat(ctx, strings.TrimRight(*fleetURL, "/"), id, adv, *heartbeat, logger.Printf)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 

@@ -1,0 +1,142 @@
+// Command k2fleet routes jobs across a fleet of k2d workers. The job API
+// is wire-compatible with a single k2d — clients point at the router
+// instead — but behind it every job's deterministic key (experiment, seed,
+// weak_domains, sweep) consistent-hashes onto one worker, so the workers'
+// result caches shard with the jobs; live NDJSON trace streams fan out
+// through per-job hubs with bounded subscriber windows and exact drop
+// accounting; and per-tenant token buckets shed excess load with honest
+// Retry-After before it ever reaches a worker's queue.
+//
+// Workers join by heartbeating POST /v1/workers (`k2d -fleet` does this).
+// A worker that misses its heartbeats — or fails a proxied request — is
+// removed from the ring and every non-terminal job it owned is re-submitted
+// to the key's new owner. Determinism makes that masking safe: the re-run
+// can only produce the byte-identical result, so no job is lost and none
+// is reported twice.
+//
+// Usage:
+//
+//	k2fleet                                  # serve on :9090
+//	k2fleet -addr :9090 -heartbeat-ttl 6s    # expire silent workers
+//	k2fleet -tenant-rate 50 -tenant-burst 100
+//	k2fleet -tenant "gold=500:1000,free=5:10"
+//
+//	k2d -addr :9091 -fleet http://localhost:9090   # a worker joins
+//	curl -X POST localhost:9090/v1/jobs -H 'X-K2-Tenant: gold' \
+//	     -d '{"experiment":"t4"}'
+//	curl localhost:9090/v1/jobs/f00000001?wait=30\&format=text
+//	curl localhost:9090/v1/jobs/f00000001/trace
+//	curl localhost:9090/metrics
+//
+// On SIGTERM/SIGINT the router drains: it stops admitting, waits for
+// routed jobs to reach a terminal state within the grace period, then
+// exits 0. Workers drain themselves on their own signals.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"k2/internal/fleet"
+)
+
+// parseTenantOverrides parses "name=rate:burst,name2=rate2:burst2".
+func parseTenantOverrides(s string) (map[string]fleet.RateBurst, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]fleet.RateBurst)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		colon := strings.LastIndexByte(part, ':')
+		if eq < 1 || colon <= eq {
+			return nil, fmt.Errorf("bad tenant override %q (want name=rate:burst)", part)
+		}
+		rate, err1 := strconv.ParseFloat(part[eq+1:colon], 64)
+		burst, err2 := strconv.ParseFloat(part[colon+1:], 64)
+		if err1 != nil || err2 != nil || rate <= 0 || burst < 1 {
+			return nil, fmt.Errorf("bad tenant override %q (want name=rate:burst)", part)
+		}
+		out[part[:eq]] = fleet.RateBurst{Rate: rate, Burst: burst}
+	}
+	return out, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	heartbeatTTL := flag.Duration("heartbeat-ttl", 6*time.Second, "expire workers silent for this long (0 disables; deaths are then detected only by proxy errors)")
+	tenantRate := flag.Float64("tenant-rate", 50, "default per-tenant quota: token-bucket refill rate in jobs/second")
+	tenantBurst := flag.Float64("tenant-burst", 0, "default per-tenant burst capacity (0 = 2x rate)")
+	tenantOverrides := flag.String("tenant", "", "per-tenant quota overrides, e.g. 'gold=500:1000,free=5:10'")
+	maxFinished := flag.Int("max-finished", 4096, "terminal jobs kept queryable on the router")
+	hubWindow := flag.Int("hub-window", 4096, "trace fan-out window: lines a subscriber may lag before dropping")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace: how long routed jobs may finish after SIGTERM")
+	flag.Parse()
+
+	overrides, err := parseTenantOverrides(*tenantOverrides)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "k2fleet: %v\n", err)
+		os.Exit(2)
+	}
+	if *tenantRate <= 0 || *maxFinished < 1 || *hubWindow < 1 || *grace < 0 {
+		fmt.Fprintln(os.Stderr, "k2fleet: -tenant-rate must be > 0; -max-finished, -hub-window >= 1; -grace >= 0")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "k2fleet: ", log.LstdFlags)
+	rt := fleet.NewRouter(fleet.Config{
+		HeartbeatTTL:    *heartbeatTTL,
+		TenantRate:      *tenantRate,
+		TenantBurst:     *tenantBurst,
+		TenantOverrides: overrides,
+		MaxFinished:     *maxFinished,
+		HubWindow:       *hubWindow,
+	})
+	rt.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	logger.Printf("routing on %s (heartbeat TTL %v, tenant quota %g/s)", ln.Addr(), *heartbeatTTL, *tenantRate)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining (grace %v)", *grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := rt.Drain(drainCtx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("drained; exiting")
+}

@@ -1,0 +1,109 @@
+// Command k2load is the fleet's load-generation harness: it offers an
+// open-loop arrival stream of jobs to a k2fleet router (or a single k2d —
+// the job API is the same), follows every accepted job to its terminal
+// state, optionally fans trace subscribers onto sampled jobs, and reports
+// client-side accounting precise enough to diff against the service's
+// /metrics counter for counter.
+//
+// Open-loop means arrivals are scheduled on the clock and never wait for
+// completions: a slow or shedding service faces the full offered rate,
+// which is the honest way to measure its shed point and tail latency.
+//
+// Usage:
+//
+//	k2load -addr http://localhost:9090 -jobs 100000 -rate 2000
+//	k2load -jobs 1000 -rate 200 -mix 't1:3,t4:1' -seeds 16
+//	k2load -jobs 1000 -subscribers 3 -sub-every 50   # trace fan-out load
+//	k2load -jobs 1000 -tenants 'gold,free' -verify -out k2load.json
+//
+// Exit status: 0 when every accepted job reached exactly one terminal
+// state, no byte-identity violation was observed, and (with -verify) the
+// service's /metrics agreed with the client's tallies; 1 otherwise. With
+// -require-done, failed/cancelled jobs also fail the run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"k2/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:9090", "router (or k2d) base URL")
+	jobs := flag.Int("jobs", 1000, "total arrivals to offer")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in jobs/second (0 = as fast as possible)")
+	mix := flag.String("mix", "t1", "experiment mix, e.g. 't1:3,t4:1' (weight defaults to 1)")
+	seeds := flag.Int("seeds", 8, "distinct seeds cycled across arrivals (small = cache-heavy, large = simulation-heavy)")
+	subscribers := flag.Int("subscribers", 0, "trace subscribers opened on every sampled job")
+	subEvery := flag.Int("sub-every", 100, "sample every Nth accepted job for trace subscription")
+	tenants := flag.String("tenants", "", "comma-separated tenant names to round-robin (empty = default tenant)")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-job accepted-to-terminal bound before the client counts it lost")
+	verify := flag.Bool("verify", false, "diff client-side accounting against the service's /metrics")
+	requireDone := flag.Bool("require-done", false, "also fail the run if any accepted job finished failed or cancelled")
+	out := flag.String("out", "", "write the JSON report here as well as stdout")
+	maxInflight := flag.Int("max-inflight", 512, "bound on concurrently outstanding arrivals (sockets)")
+	flag.Parse()
+
+	mixEntries, err := fleet.ParseMix(*mix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "k2load: %v\n", err)
+		os.Exit(2)
+	}
+	if *jobs < 1 || *seeds < 1 || *subscribers < 0 || *subEvery < 1 {
+		fmt.Fprintln(os.Stderr, "k2load: -jobs, -seeds, -sub-every must be >= 1 and -subscribers >= 0")
+		os.Exit(2)
+	}
+	var tenantList []string
+	if *tenants != "" {
+		tenantList = strings.Split(*tenants, ",")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	rep, err := fleet.RunLoad(ctx, fleet.LoadConfig{
+		URL:         strings.TrimRight(*addr, "/"),
+		Jobs:        *jobs,
+		Rate:        *rate,
+		Mix:         mixEntries,
+		Seeds:       *seeds,
+		Subscribers: *subscribers,
+		SubEvery:    *subEvery,
+		Tenants:     tenantList,
+		Timeout:     *timeout,
+		Verify:      *verify,
+		MaxInflight: *maxInflight,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "k2load: %v\n", err)
+		os.Exit(2)
+	}
+
+	blob, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "k2load: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	ok := rep.Lost == 0 && rep.ByteIdentityViolations == 0 && rep.RejectedOther == 0
+	if *verify && !rep.Metrics.Matches {
+		ok = false
+	}
+	if *requireDone && (rep.Failed > 0 || rep.Cancelled > 0) {
+		ok = false
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "k2load: FAILED (lost jobs, identity violations, or metrics mismatch — see report)")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"k2/internal/server"
+)
+
+// TestFleetChaosWorkerKill is the service-level chaos oracle: kill a worker
+// while it owns queued and running jobs, and require the fleet invariants
+// to hold —
+//
+//	no job lost:            every accepted job reaches a terminal state;
+//	no job double-reported: the completed counters sum to exactly the
+//	                        accepted count;
+//	results unchanged:      every job finishes done, and repeats of its key
+//	                        return the byte-identical table, because the
+//	                        re-executed jobs are deterministic.
+//
+// The kill is an abrupt TCP-level death (closed listener and connections),
+// the same failure the CI smoke step inflicts with SIGKILL.
+func TestFleetChaosWorkerKill(t *testing.T) {
+	// Parallel-1 workers and a slow-ish experiment build a real backlog, so
+	// the victim dies holding both running and queued jobs.
+	fx := startFleetWith(t, 3, Config{}, server.Config{Parallel: 1, QueueDepth: 64})
+
+	const jobs = 10
+	var ids []string
+	accepted := 0
+	for i := 0; i < jobs; i++ {
+		st, resp := submitJSON(t, fx.ts.URL, fmt.Sprintf(`{"experiment":"f6a","seed":%d}`, 100+i), "")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		accepted++
+		ids = append(ids, st.ID)
+	}
+
+	// Pick the victim: the worker owning the most non-terminal jobs right
+	// now. (With 10 distinct keys on 3 workers every worker owns some, but
+	// choosing the busiest makes the orphan re-homing path unmissable.)
+	owned := make(map[string]int)
+	fx.rt.mu.Lock()
+	for _, j := range fx.rt.jobs {
+		j.mu.Lock()
+		if j.terminal == nil {
+			owned[j.worker]++
+		}
+		j.mu.Unlock()
+	}
+	fx.rt.mu.Unlock()
+	victim := ""
+	for _, w := range fx.workers {
+		if victim == "" || owned[w.id] > owned[victim] {
+			victim = w.id
+		}
+	}
+	if owned[victim] == 0 {
+		t.Fatalf("no worker owns a live job yet; backlog never formed (owned=%v)", owned)
+	}
+	for _, w := range fx.workers {
+		if w.id == victim {
+			w.ts.CloseClientConnections()
+			w.ts.Close()
+		}
+	}
+	t.Logf("killed %s while it owned %d live jobs", victim, owned[victim])
+
+	// Every accepted job must still reach done: the dead worker's jobs are
+	// re-executed on their keys' new owners.
+	tables := make(map[string]string)
+	for i, id := range ids {
+		st := waitDone(t, fx.ts.URL, id)
+		if st.State != server.StateDone {
+			t.Fatalf("job %s (%d) finished %s after the kill: %s", id, i, st.State, st.Error)
+		}
+		j, ok := fx.rt.job(id)
+		if !ok {
+			t.Fatalf("router lost job %s", id)
+		}
+		tables[j.Key] = fetchText(t, fx.ts.URL, id)
+	}
+
+	// Byte-identity survives re-execution: resubmitting each key now (served
+	// by whichever worker owns it after the ring shrank) returns the same
+	// bytes the first run produced.
+	for i := 0; i < jobs; i++ {
+		body := fmt.Sprintf(`{"experiment":"f6a","seed":%d}`, 100+i)
+		st, resp := submitJSON(t, fx.ts.URL, body, "")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("resubmit %d: HTTP %d", i, resp.StatusCode)
+		}
+		accepted++
+		if fin := waitDone(t, fx.ts.URL, st.ID); fin.State != server.StateDone {
+			t.Fatalf("resubmit %d finished %s", i, fin.State)
+		}
+		j, _ := fx.rt.job(st.ID)
+		if got := fetchText(t, fx.ts.URL, st.ID); got != tables[j.Key] {
+			t.Fatalf("key %s: table after worker kill differs from before", j.Key)
+		}
+	}
+
+	m := scrapeMetrics(t, fx.ts.URL)
+	if got := int(m["k2fleet_worker_deaths_total"]); got < 1 {
+		t.Fatalf("worker_deaths_total = %d, want >= 1 after the kill", got)
+	}
+	if got := int(m["k2fleet_resubmits_total"]); got < 1 {
+		t.Fatalf("resubmits_total = %d: the victim's %d live jobs were never re-homed", got, owned[victim])
+	}
+	// No double-reporting: terminal states sum to exactly the accepted count.
+	sum := int(m[`k2fleet_jobs_completed_total{state="done"}`]) +
+		int(m[`k2fleet_jobs_completed_total{state="failed"}`]) +
+		int(m[`k2fleet_jobs_completed_total{state="cancelled"}`])
+	if sum != accepted {
+		t.Fatalf("completed states sum to %d, accepted %d — a job was lost or double-reported", sum, accepted)
+	}
+	if got := int(m[`k2fleet_jobs_completed_total{state="done"}`]); got != accepted {
+		t.Fatalf("completed{done} = %d, want all %d", got, accepted)
+	}
+	if got := int(m["k2fleet_ring_size"]); got != 2 {
+		t.Fatalf("ring_size = %d after one death, want 2", got)
+	}
+	if got := int(m["k2fleet_jobs_orphaned_total"]); got != 0 {
+		t.Fatalf("orphaned = %d, want 0 (two workers survived)", got)
+	}
+}

@@ -1,0 +1,103 @@
+// Package fleet scales the single-process k2d daemon into a sharded
+// simulation service. A Router owns a consistent-hash ring of k2d worker
+// processes: every job's deterministic key (experiment, seed, weak_domains,
+// sweep) hashes onto exactly one worker, so the per-worker result caches
+// shard with the jobs — any repeat of a key lands on the worker that
+// already holds its bytes. The router proxies the /v1/jobs API, multiplexes
+// live NDJSON trace streams through a fan-out hub with per-subscriber
+// bounded windows and exact drop accounting, and puts per-tenant
+// token-bucket quotas in front of the workers' admission control.
+//
+// Robustness is the point of the design: workers heartbeat the router, a
+// dead worker is removed from the ring and every non-terminal job it owned
+// is re-submitted to the key's new owner. Determinism makes that safe — a
+// re-executed job can only produce the byte-identical result, so masking a
+// worker death never changes what a client observes, only when it observes
+// it. No job is lost and none is reported twice: the router hands out one
+// fleet ID per admission and caches each job's single terminal status.
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"k2/internal/experiment"
+	"k2/internal/server"
+)
+
+// pooledClient builds an HTTP client sized for fleet traffic: hundreds of
+// concurrent proxied submits, long-polls and trace streams to a handful of
+// hosts. Go's default transport keeps only 2 idle connections per host, so
+// at fleet concurrency nearly every request opens (and discards) a fresh
+// TCP connection; under a 100k-job load that piles tens of thousands of
+// sockets into TIME_WAIT, exhausts ephemeral ports, stalls heartbeats and
+// makes the router declare healthy workers dead. Generous per-host pooling
+// is what keeps the failure detector honest under load.
+func pooledClient() *http.Client {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 0 // no global cap; the per-host bound governs
+	t.MaxIdleConnsPerHost = 256
+	t.IdleConnTimeout = 90 * time.Second
+	return &http.Client{Transport: t}
+}
+
+// Config sizes the router.
+type Config struct {
+	// HeartbeatTTL expires a worker that has not registered or beaten for
+	// this long; 0 disables expiry (workers then die only by proxy error).
+	HeartbeatTTL time.Duration
+	// DefaultSeed normalizes requests that carry no seed before hashing,
+	// so "seed 0" and "seed <default>" shard (and cache) identically. 0
+	// means experiment.FaultSeed, matching the workers' own default.
+	DefaultSeed int64
+	// TenantRate is the steady-state tokens/second each tenant's bucket
+	// refills at; <= 0 means 50.
+	TenantRate float64
+	// TenantBurst is each bucket's capacity; <= 0 means 2*TenantRate.
+	TenantBurst float64
+	// TenantOverrides sets per-tenant rate/burst pairs, keyed by tenant.
+	TenantOverrides map[string]RateBurst
+	// MaxFinished bounds how many terminal jobs stay queryable on the
+	// router; the oldest are evicted first. <= 0 means 4096.
+	MaxFinished int
+	// HubWindow bounds the shared trace window per job: a subscriber may
+	// lag at most this many lines before it starts dropping. <= 0 means
+	// 4096.
+	HubWindow int
+	// ResubmitGrace bounds how long a job orphaned by a worker death may
+	// retry admission on its new owner before it is failed honestly.
+	// <= 0 means 30s.
+	ResubmitGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultSeed == 0 {
+		c.DefaultSeed = experiment.FaultSeed
+	}
+	if c.TenantRate <= 0 {
+		c.TenantRate = 50
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 2 * c.TenantRate
+	}
+	if c.MaxFinished <= 0 {
+		c.MaxFinished = 4096
+	}
+	if c.HubWindow <= 0 {
+		c.HubWindow = 4096
+	}
+	if c.ResubmitGrace <= 0 {
+		c.ResubmitGrace = 30 * time.Second
+	}
+	return c
+}
+
+// JobKey is the deterministic shard key: every parameter that can change a
+// job's bytes, and nothing else (priority, timeout and format are
+// scheduling and presentation knobs). Two requests with equal keys produce
+// byte-identical tables and traces on any worker, which is what makes
+// consistent-hash sharding also shard the result cache.
+func JobKey(req server.Request) string {
+	return fmt.Sprintf("%s/%d/%d/%d", req.Experiment, req.Seed, req.WeakDomains, req.Sweep)
+}

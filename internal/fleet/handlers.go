@@ -1,0 +1,319 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"k2/internal/server"
+)
+
+// Handler returns the k2fleet v1 HTTP API. It is wire-compatible with a
+// single k2d for the job endpoints — clients move from one daemon to the
+// fleet by changing the address — plus the worker registry:
+//
+//	POST   /v1/jobs            submit (202; 429 quota/admission shed with
+//	                           honest Retry-After and X-K2-Shed: quota|admission)
+//	GET    /v1/jobs            list fleet job statuses, newest first
+//	GET    /v1/jobs/{id}       poll one job (?wait=s long-polls; ?format=
+//	                           text serves the cached byte-identical table,
+//	                           markdown/csv proxy to the owning worker)
+//	DELETE /v1/jobs/{id}       cancel, proxied to the owning worker
+//	GET    /v1/jobs/{id}/trace fan-out NDJSON trace stream (survives worker
+//	                           death; ends with an exact {"dropped":N})
+//	POST   /v1/workers         register/heartbeat a worker {id, url}
+//	GET    /v1/workers         list workers and their health
+//	GET    /v1/experiments     proxied from a live worker
+//	GET    /healthz            liveness (503 once draining)
+//	GET    /metrics            fleet-level Prometheus text exposition
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", r.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", r.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", r.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", r.handleTrace)
+	mux.HandleFunc("POST /v1/workers", r.handleRegister)
+	mux.HandleFunc("GET /v1/workers", r.handleWorkers)
+	mux.HandleFunc("GET /v1/experiments", r.handleExperiments)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// tenantOf extracts the caller's tenant: the X-K2-Tenant header, else an
+// Authorization bearer token used as an API key, else "default".
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-K2-Tenant"); t != "" {
+		return t
+	}
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		if key := strings.TrimSpace(strings.TrimPrefix(auth, "Bearer ")); key != "" {
+			return key
+		}
+	}
+	return "default"
+}
+
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req server.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed job request: %v", err)
+		return
+	}
+	st, code, err := rt.Submit(req, tenantOf(r))
+	if err != nil {
+		var shed *shedError
+		if errors.As(err, &shed) {
+			w.Header().Set("Retry-After", strconv.Itoa(shed.retryAfter))
+			w.Header().Set("X-K2-Shed", shed.kind)
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	all := make([]*fjob, 0, len(rt.jobs))
+	for _, j := range rt.jobs {
+		all = append(all, j)
+	}
+	rt.mu.Unlock()
+	// Newest first by admission order.
+	sort.Slice(all, func(i, k int) bool { return all[i].Seq > all[k].Seq })
+	out := make([]server.Status, 0, len(all))
+	for _, j := range all {
+		out = append(out, j.statusLocked())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := rt.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if secs := r.URL.Query().Get("wait"); secs != "" {
+		d, err := strconv.ParseFloat(secs, 64)
+		if err != nil || d < 0 || d > 600 {
+			writeError(w, http.StatusBadRequest, "wait must be seconds in [0, 600]")
+			return
+		}
+		select {
+		case <-j.done:
+		case <-time.After(time.Duration(d * float64(time.Second))):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		writeJSON(w, http.StatusOK, j.statusLocked())
+		return
+	}
+	j.mu.Lock()
+	terminal := j.terminal
+	j.mu.Unlock()
+	if terminal == nil || terminal.State != server.StateDone || terminal.Result == nil {
+		writeError(w, http.StatusConflict, "job %s is not done; a rendered table needs state %q",
+			j.ID, server.StateDone)
+		return
+	}
+	switch format {
+	case "text":
+		// Served from the router's cached terminal status: the table string
+		// is byte-identical to the worker's (and to k2bench), worker alive
+		// or not.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, terminal.Result.Table)
+	case "markdown", "csv":
+		// Structured renders need the worker's Table value; proxy them.
+		url, wid, ok := rt.ownerOf(j)
+		if !ok {
+			writeError(w, http.StatusServiceUnavailable,
+				"job %s's owner is down; only format=text is served from the router's cache", j.ID)
+			return
+		}
+		resp, err := rt.client.Get(url + "/v1/jobs/" + wid + "?format=" + format)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "owner unreachable: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body) //nolint:errcheck // streaming to a gone client
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q", format)
+	}
+}
+
+func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := rt.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	terminal := j.terminal
+	j.mu.Unlock()
+	if terminal != nil {
+		writeError(w, http.StatusConflict, "job %s already %s", j.ID, terminal.State)
+		return
+	}
+	url, wid, ok := rt.ownerOf(j)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "job %s is between workers; retry", j.ID)
+		return
+	}
+	req, _ := http.NewRequestWithContext(r.Context(), http.MethodDelete, url+"/v1/jobs/"+wid, nil)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		j.mu.Lock()
+		owner := j.worker
+		j.mu.Unlock()
+		rt.markDead(owner)
+		writeError(w, http.StatusServiceUnavailable, "owner unreachable: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode == http.StatusAccepted {
+		var st server.Status
+		if json.Unmarshal(raw, &st) == nil && st.State.Terminal() {
+			rt.recordTerminal(j, st)
+		}
+		writeJSON(w, http.StatusAccepted, j.statusLocked())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	w.Write(raw) //nolint:errcheck // passthrough
+}
+
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := rt.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	rt.hubFor(j).serve(w, r)
+}
+
+// registerBody is the POST /v1/workers payload, doubling as a heartbeat.
+type registerBody struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var body registerBody
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<12))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil || body.ID == "" || body.URL == "" {
+		writeError(w, http.StatusBadRequest, "register needs {\"id\":..., \"url\":...}")
+		return
+	}
+	rt.Register(body.ID, body.URL)
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "workers": rt.ringSize()})
+}
+
+func (rt *Router) ringSize() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring.Len()
+}
+
+func (rt *Router) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID       string `json:"id"`
+		URL      string `json:"url"`
+		Up       bool   `json:"up"`
+		LastBeat string `json:"last_beat,omitempty"`
+	}
+	rt.mu.Lock()
+	out := make([]entry, 0, len(rt.workers))
+	for _, id := range sortedWorkerIDs(rt.workers) {
+		wr := rt.workers[id]
+		e := entry{ID: wr.id, URL: wr.url, Up: wr.up}
+		if !wr.lastBeat.IsZero() {
+			e.LastBeat = wr.lastBeat.UTC().Format(time.RFC3339Nano)
+		}
+		out = append(out, e)
+	}
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	var url string
+	for _, id := range sortedWorkerIDs(rt.workers) {
+		if rt.workers[id].up {
+			url = rt.workers[id].url
+			break
+		}
+	}
+	rt.mu.Unlock()
+	if url == "" {
+		writeError(w, http.StatusServiceUnavailable, "no live workers")
+		return
+	}
+	resp, err := rt.client.Get(url + "/v1/experiments")
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "worker unreachable: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // passthrough
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if rt.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	ringSize := rt.ring.Len()
+	tracked := len(rt.jobs)
+	inflight := rt.inflight
+	draining := rt.draining
+	rt.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.metrics.render(w, rt.Workers(), ringSize, rt.quotas.shedCounts(), tracked, inflight, draining)
+}

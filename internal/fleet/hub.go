@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// hub multiplexes one job's live NDJSON trace stream to any number of
+// subscribers. It extends the worker traceLog's drop model one level up:
+// the worker bounds what it *records* (its {"dropped":N} terminal record
+// counts events never retained); the hub bounds what a subscriber may
+// *lag*. All subscribers share a single bounded window of raw lines — one
+// upstream connection, one copy in memory — and each subscriber is a
+// cursor into it. A subscriber that falls more than the window behind has
+// the overrun counted, exactly, as its personal drops; fast subscribers
+// are never stalled by slow ones. The terminal record a subscriber
+// receives is therefore honest end to end:
+//
+//	{"dropped": workerDropped + thisSubscriberDropped}
+//
+// Worker death mid-stream is masked: the run loop re-resolves the job's
+// current owner (the router re-submits orphaned jobs, and determinism
+// makes the re-executed stream byte-identical), reconnects, and skips the
+// lines it already forwarded by position — so subscribers see no
+// duplicates, no reordering and no gap.
+type hub struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	window int
+	lines  [][]byte // the shared window; lines[0] is global index base
+	base   int
+	total  int // data lines broadcast ever: base + len(lines)
+
+	upstreamDropped int // worker-side drops, from its terminal record
+	closed          bool
+	subs            int
+
+	m *metrics
+}
+
+func newHub(window int, m *metrics) *hub {
+	h := &hub{window: window, m: m}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// traceLine is the minimal shape of one upstream NDJSON line: enough to
+// tell a data event (Seq set) from the terminal drop record (Dropped set).
+type traceLine struct {
+	Seq     *uint64 `json:"seq"`
+	Dropped *int    `json:"dropped"`
+}
+
+// run owns the upstream side: connect to the job's current trace stream,
+// forward lines, survive worker death by re-resolving and reconnecting,
+// and close the hub once the job is terminal. resolve returns the current
+// owner's trace URL (ok=false while the job is between workers);
+// isTerminal reports whether the router has recorded the job's terminal
+// status. stop aborts the hub (router shutdown).
+func (h *hub) run(client *http.Client, resolve func() (string, bool), isTerminal func() bool, stop <-chan struct{}) {
+	defer h.close()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		url, ok := resolve()
+		if !ok {
+			if isTerminal() {
+				return
+			}
+			sleepOrStop(50*time.Millisecond, stop)
+			continue
+		}
+		clean := h.follow(client, url)
+		// A clean EOF means the worker ended the stream, which it does
+		// only for a terminal job — but the router may not have recorded
+		// that yet (or the job may have been re-submitted under it), so
+		// trust only the router's record and otherwise reconnect; the
+		// positional skip makes reconnecting to a replay harmless.
+		if clean && isTerminal() {
+			return
+		}
+		sleepOrStop(50*time.Millisecond, stop)
+	}
+}
+
+func sleepOrStop(d time.Duration, stop <-chan struct{}) {
+	select {
+	case <-time.After(d):
+	case <-stop:
+	}
+}
+
+// follow streams one upstream connection, forwarding data lines past the
+// ones already broadcast. It reports whether the stream ended cleanly
+// (EOF) as opposed to a transport error (worker death).
+func (h *hub) follow(client *http.Client, url string) (clean bool) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// 404: the worker no longer knows the job (restarted, evicted) —
+		// treat like a death so the router's re-submit path repairs it.
+		return false
+	}
+	h.mu.Lock()
+	skip := h.total // data lines already forwarded; a reconnect replays them
+	h.mu.Unlock()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var tl traceLine
+		line := sc.Bytes()
+		if err := json.Unmarshal(line, &tl); err != nil {
+			continue // not ours to interpret; never forward garbage
+		}
+		if tl.Dropped != nil && tl.Seq == nil {
+			// The worker's terminal drop record. Assignment, not addition:
+			// a re-executed job replays the byte-identical stream, so the
+			// same record arriving twice must not double-count.
+			h.mu.Lock()
+			h.upstreamDropped = *tl.Dropped
+			h.mu.Unlock()
+			continue
+		}
+		if tl.Seq == nil {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		h.broadcast(append([]byte(nil), line...))
+	}
+	return sc.Err() == nil
+}
+
+// broadcast appends one line to the shared window, evicting the oldest
+// lines past the bound. Evicted lines are exactly what lagging subscribers
+// count as dropped.
+func (h *hub) broadcast(line []byte) {
+	h.mu.Lock()
+	h.lines = append(h.lines, line)
+	h.total++
+	if over := len(h.lines) - h.window; over > 0 {
+		h.lines = h.lines[over:]
+		h.base += over
+	}
+	h.m.addTraceForwarded(1)
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// close marks the stream finished and wakes every subscriber to drain and
+// emit its terminal record.
+func (h *hub) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// serve streams the hub to one subscriber: everything still in the window,
+// then live lines as they arrive, then — once the job is over — a terminal
+// {"dropped":N} record combining the worker's own drops with the lines
+// this subscriber personally lost by lagging out of the window.
+func (h *hub) serve(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	// cond.Wait cannot watch a context, so a leaving client wakes the
+	// loop via a broadcast.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-r.Context().Done():
+			h.cond.Broadcast()
+		case <-done:
+		}
+	}()
+
+	h.mu.Lock()
+	h.subs++
+	h.m.traceSubscribers(+1)
+	next := h.base // join at the oldest retained line
+	dropped := 0
+	for {
+		if r.Context().Err() != nil {
+			h.subs--
+			h.m.traceSubscribers(-1)
+			h.mu.Unlock()
+			return
+		}
+		if next < h.base {
+			// The window moved past this subscriber while it was writing:
+			// those lines are gone for it, and for it alone.
+			lost := h.base - next
+			dropped += lost
+			h.m.addTraceSubDropped(lost)
+			next = h.base
+		}
+		if next < h.base+len(h.lines) {
+			batch := h.lines[next-h.base:]
+			next = h.base + len(h.lines)
+			h.mu.Unlock()
+			for _, line := range batch {
+				if _, err := w.Write(append(line, '\n')); err != nil {
+					h.mu.Lock()
+					h.subs--
+					h.m.traceSubscribers(-1)
+					h.mu.Unlock()
+					return
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			h.mu.Lock()
+			continue
+		}
+		if h.closed {
+			break
+		}
+		h.cond.Wait()
+	}
+	h.subs--
+	h.m.traceSubscribers(-1)
+	upstream := h.upstreamDropped
+	h.mu.Unlock()
+	// The terminal record: "dropped" keeps the worker's wire shape (the
+	// total a consumer must assume lost), and the extra fields attribute
+	// it — the worker's own recording bound vs this subscriber's lag —
+	// so a client can diff each component against /metrics exactly.
+	if total := upstream + dropped; total > 0 {
+		fmt.Fprintf(w, "{\"dropped\":%d,\"worker_dropped\":%d,\"sub_dropped\":%d}\n",
+			total, upstream, dropped) //nolint:errcheck // client may be gone
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

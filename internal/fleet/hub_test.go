@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// hubLine parses one subscriber-side NDJSON line.
+type hubLine struct {
+	Seq           *uint64 `json:"seq"`
+	Dropped       *int    `json:"dropped"`
+	WorkerDropped *int    `json:"worker_dropped"`
+	SubDropped    *int    `json:"sub_dropped"`
+}
+
+// readStream consumes a subscriber connection to EOF, returning the data
+// lines (verbatim) and the terminal record if one arrived.
+func readStream(t *testing.T, body *bufio.Scanner) (data []string, terminal *hubLine) {
+	t.Helper()
+	for body.Scan() {
+		var l hubLine
+		if err := json.Unmarshal(body.Bytes(), &l); err != nil {
+			t.Fatalf("bad stream line %q: %v", body.Text(), err)
+		}
+		if l.Dropped != nil && l.Seq == nil {
+			cp := l
+			terminal = &cp
+			continue
+		}
+		data = append(data, body.Text())
+	}
+	if err := body.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	return data, terminal
+}
+
+// TestHubFanOutAndReconnect runs the hub against an upstream worker that
+// dies mid-stream: the first connection delivers 5 of 10 events and then
+// drops the transport; the replacement (as after a router re-submit)
+// replays the byte-identical stream from the start, plus the worker's
+// terminal {"dropped":3}. Every subscriber must observe each event exactly
+// once, in order, with no replay duplicates, and a terminal record that
+// carries the worker's drops through unchanged.
+func TestHubFanOutAndReconnect(t *testing.T) {
+	const events = 10
+	lines := make([]string, events)
+	for i := range lines {
+		lines[i] = fmt.Sprintf(`{"seq":%d,"kind":"ev","detail":"n%d"}`, i, i)
+	}
+
+	var phase atomic.Int32 // 0: first upstream (dies), 1+: replay upstream
+	terminal := &atomic.Bool{}
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl := w.(http.Flusher)
+		if phase.Add(1) == 1 {
+			for _, l := range lines[:5] {
+				fmt.Fprintln(w, l)
+			}
+			fl.Flush()
+			// Die without finishing the chunked body: the hub must see a
+			// transport error, not a clean EOF.
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		// The re-executed job: terminal before its stream is read, replayed
+		// byte-identically from the beginning.
+		terminal.Store(true)
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+		fmt.Fprintln(w, `{"dropped":3}`)
+		fl.Flush()
+	}))
+	defer upstream.Close()
+
+	h := newHub(1024, newFleetMetrics())
+	stop := make(chan struct{})
+	defer close(stop)
+	var runDone sync.WaitGroup
+	runDone.Add(1)
+	go func() {
+		defer runDone.Done()
+		h.run(upstream.Client(), func() (string, bool) { return upstream.URL, true }, terminal.Load, stop)
+	}()
+
+	subs := httptest.NewServer(http.HandlerFunc(h.serve))
+	defer subs.Close()
+
+	const readers = 4
+	type result struct {
+		data     []string
+		terminal *hubLine
+	}
+	results := make([]result, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(subs.URL)
+			if err != nil {
+				t.Errorf("reader %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			results[i].data, results[i].terminal = readStream(t, bufio.NewScanner(resp.Body))
+		}(i)
+	}
+	wg.Wait()
+	runDone.Wait()
+
+	for i, r := range results {
+		if len(r.data) != events {
+			t.Fatalf("reader %d: %d events, want exactly %d (reconnect must not duplicate or lose)",
+				i, len(r.data), events)
+		}
+		for k, got := range r.data {
+			if got != lines[k] {
+				t.Fatalf("reader %d line %d: %q, want %q", i, k, got, lines[k])
+			}
+		}
+		if r.terminal == nil {
+			t.Fatalf("reader %d: no terminal record despite worker drops", i)
+		}
+		if *r.terminal.Dropped != 3 || *r.terminal.WorkerDropped != 3 || *r.terminal.SubDropped != 0 {
+			t.Fatalf("reader %d terminal: dropped=%d worker=%d sub=%d, want 3/3/0",
+				i, *r.terminal.Dropped, *r.terminal.WorkerDropped, *r.terminal.SubDropped)
+		}
+	}
+}
+
+// slowWriter is a ResponseWriter whose Write stalls, standing in for a
+// subscriber too slow for the stream. It implements just enough for
+// hub.serve (no Flusher, so serve takes the unbuffered path).
+type slowWriter struct {
+	mu    sync.Mutex
+	hdr   http.Header
+	lines []string
+	delay time.Duration
+}
+
+func (s *slowWriter) Header() http.Header { return s.hdr }
+func (s *slowWriter) WriteHeader(int)     {}
+func (s *slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	s.mu.Lock()
+	s.lines = append(s.lines, strings.TrimSuffix(string(p), "\n"))
+	s.mu.Unlock()
+	return len(p), nil
+}
+
+// TestHubSlowSubscriberDrops pins per-subscriber drop accounting: with a
+// 4-line window and a subscriber that writes slower than the stream
+// arrives, the overrun lines are dropped for that subscriber alone, and
+// its terminal record reports the loss exactly — received + sub_dropped
+// equals the total broadcast, and the fleet metric agrees.
+func TestHubSlowSubscriberDrops(t *testing.T) {
+	const total = 40
+	m := newFleetMetrics()
+	h := newHub(4, m)
+
+	sw := &slowWriter{hdr: make(http.Header), delay: 3 * time.Millisecond}
+	req := httptest.NewRequest("GET", "/trace", nil)
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		h.serve(sw, req)
+	}()
+
+	// Give the subscriber a moment to join, then flood: the window holds 4
+	// lines while each subscriber write takes 3ms.
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < total; i++ {
+		h.broadcast([]byte(fmt.Sprintf(`{"seq":%d}`, i)))
+	}
+	h.close()
+	<-served
+
+	var data []string
+	var term *hubLine
+	for _, l := range sw.lines {
+		var parsed hubLine
+		if err := json.Unmarshal([]byte(l), &parsed); err != nil {
+			t.Fatalf("bad line %q: %v", l, err)
+		}
+		if parsed.Dropped != nil && parsed.Seq == nil {
+			cp := parsed
+			term = &cp
+			continue
+		}
+		data = append(data, l)
+	}
+
+	if term == nil {
+		t.Fatalf("no terminal record; a lagging subscriber must be told what it lost (got %d lines)", len(data))
+	}
+	if *term.SubDropped == 0 {
+		t.Fatal("subscriber kept up with a 4-line window at 3ms/write; test did not exercise lag")
+	}
+	if got := len(data) + *term.SubDropped; got != total {
+		t.Fatalf("received %d + sub_dropped %d = %d, want exactly %d — drop accounting is not exact",
+			len(data), *term.SubDropped, got, total)
+	}
+	if *term.WorkerDropped != 0 || *term.Dropped != *term.SubDropped {
+		t.Fatalf("terminal attribution wrong: dropped=%d worker=%d sub=%d",
+			*term.Dropped, *term.WorkerDropped, *term.SubDropped)
+	}
+
+	// No reordering and no duplication: seqs must be strictly increasing.
+	last := int64(-1)
+	for _, l := range data {
+		var parsed hubLine
+		json.Unmarshal([]byte(l), &parsed) //nolint:errcheck // parsed above
+		if int64(*parsed.Seq) <= last {
+			t.Fatalf("seq %d arrived after %d: reordered or duplicated", *parsed.Seq, last)
+		}
+		last = int64(*parsed.Seq)
+	}
+
+	// The fleet metric carries the same number.
+	var buf strings.Builder
+	m.render(&buf, nil, 0, nil, 0, 0, false)
+	want := fmt.Sprintf("k2fleet_trace_sub_dropped_total %d", *term.SubDropped)
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, buf.String())
+	}
+}

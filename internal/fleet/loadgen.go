@@ -1,0 +1,491 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"k2/internal/server"
+	"k2/internal/stats"
+)
+
+// MixEntry is one experiment in the load mix, picked in proportion to its
+// weight.
+type MixEntry struct {
+	Experiment string
+	Weight     int
+}
+
+// ParseMix parses "t1:3,t4:1" (weight defaults to 1).
+func ParseMix(s string) ([]MixEntry, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []MixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		exp, weight := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			exp = part[:i]
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("bad mix weight in %q", part)
+			}
+			weight = w
+		}
+		out = append(out, MixEntry{Experiment: exp, Weight: weight})
+	}
+	return out, nil
+}
+
+// LoadConfig parameterizes one k2load run against a fleet router (or,
+// since the job API is wire-compatible, a single k2d).
+type LoadConfig struct {
+	URL  string // router base URL
+	Jobs int    // total arrivals to offer
+	// Rate is the open-loop arrival rate in jobs/second: arrivals are
+	// scheduled on the clock and never wait for completions, so a slow
+	// service faces the full offered load (the honest way to find its
+	// shed point). <= 0 submits as fast as the client can.
+	Rate float64
+	// Mix is the experiment mix; nil means 100% t1.
+	Mix []MixEntry
+	// Seeds cycles arrivals over this many distinct seeds (1..Seeds).
+	// Small values exercise the sharded result caches — repeats of a key
+	// land on the same worker and are served from its cache; large values
+	// force fresh simulation. <= 0 means 8.
+	Seeds int
+	// Subscribers opens this many concurrent trace subscribers on every
+	// SubEvery-th accepted job. 0 disables trace fan-out load.
+	Subscribers int
+	// SubEvery samples accepted jobs for subscription; <= 0 means 100.
+	SubEvery int
+	// Tenants round-robins arrivals over these tenant names; nil means
+	// the default tenant.
+	Tenants []string
+	// Timeout bounds one job's accepted-to-terminal wait before the
+	// client counts it lost; <= 0 means 120s.
+	Timeout time.Duration
+	// Verify cross-checks the client-side tallies against the router's
+	// /metrics at the end of the run.
+	Verify bool
+	// MaxInflight bounds concurrently outstanding arrivals (sockets and
+	// goroutines); <= 0 means 512. When the bound is hit the next arrival
+	// blocks — the load turns closed-loop at that margin, which the
+	// harness accepts in exchange for not exhausting client fds on
+	// 100k-job runs.
+	MaxInflight int
+}
+
+// LatencySummary is the client-observed accepted-to-terminal latency.
+type LatencySummary struct {
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// MetricsCheck is the result of diffing client-side accounting against the
+// router's /metrics.
+type MetricsCheck struct {
+	Checked    bool     `json:"checked"`
+	Matches    bool     `json:"matches"`
+	Mismatches []string `json:"mismatches,omitempty"`
+}
+
+// LoadReport is k2load's JSON output: every count is client-side truth,
+// tallied from what actually came over the wire.
+type LoadReport struct {
+	Jobs          int `json:"jobs"`
+	Accepted      int `json:"accepted"`
+	ShedQuota     int `json:"shed_quota"`
+	ShedAdmission int `json:"shed_admission"`
+	RejectedOther int `json:"rejected_other"`
+
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Lost counts accepted jobs that never reached a terminal state
+	// within the timeout — the count the chaos harness asserts is zero.
+	Lost int `json:"lost"`
+
+	UniqueKeys int `json:"unique_keys"`
+	// ByteIdentityViolations counts jobs whose finished table differed
+	// from another completion of the same key — determinism violations,
+	// asserted zero regardless of sharding or worker deaths.
+	ByteIdentityViolations int `json:"byte_identity_violations"`
+
+	Latency LatencySummary `json:"latency"`
+
+	TraceStreams int   `json:"trace_streams"`
+	TraceEvents  int64 `json:"trace_events"`
+	// TraceDropped sums the terminal {"dropped":N} records observed.
+	TraceDropped int64 `json:"trace_dropped"`
+	// TraceSubDropped sums only the subscriber-lag component, which must
+	// exactly match k2fleet_trace_sub_dropped_total.
+	TraceSubDropped int64 `json:"trace_sub_dropped"`
+
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"` // terminal jobs per second
+
+	Metrics MetricsCheck `json:"metrics"`
+}
+
+// RunLoad drives the harness: open-loop arrivals at cfg.Rate, weighted
+// experiment mix, seeds cycled to exercise the sharded caches, trace
+// subscribers on sampled jobs, and client-side accounting precise enough
+// to diff against the router's /metrics counter for counter.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
+	if cfg.Jobs <= 0 {
+		return LoadReport{}, fmt.Errorf("k2load: jobs must be >= 1")
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 8
+	}
+	if cfg.SubEvery <= 0 {
+		cfg.SubEvery = 100
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 120 * time.Second
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 512
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = []MixEntry{{Experiment: "t1", Weight: 1}}
+	}
+	var picks []string
+	for _, m := range mix {
+		for i := 0; i < m.Weight; i++ {
+			picks = append(picks, m.Experiment)
+		}
+	}
+	tenants := cfg.Tenants
+	if len(tenants) == 0 {
+		tenants = []string{"default"}
+	}
+
+	client := pooledClient()
+	var (
+		mu      sync.Mutex
+		rep     LoadReport
+		hist    = stats.NewHistogram(1 << 17)
+		tables  = make(map[string][32]byte) // job key -> table hash
+		keys    = make(map[string]bool)
+		wg      sync.WaitGroup
+		traceWG sync.WaitGroup
+	)
+	rep.Jobs = cfg.Jobs
+
+	inflight := make(chan struct{}, cfg.MaxInflight)
+
+	var baseline map[string]float64
+	if cfg.Verify {
+		// Counter baseline: -verify compares this run's deltas, so a router
+		// that served earlier runs still checks out exactly.
+		baseline = scrapeCounters(client, cfg.URL)
+	}
+
+	start := time.Now()
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if interval > 0 {
+			// Open-loop pacing on the absolute clock: late arrivals are
+			// not rescheduled, so a stall does not thin the offered load.
+			next := start.Add(time.Duration(i) * interval)
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+				}
+			}
+		}
+		req := server.Request{
+			Experiment: picks[i%len(picks)],
+			Seed:       int64(1 + i%cfg.Seeds),
+		}
+		tenant := tenants[i%len(tenants)]
+		inflight <- struct{}{}
+		// One sampled arrival per SubEvery-sized window, with the sample
+		// point rotating across windows: a fixed point (always offset 0)
+		// aliases against the deterministic mix cycle whenever the cycle
+		// length divides SubEvery, silently subscribing to only one
+		// experiment.
+		subscribe := cfg.Subscribers > 0 && i%cfg.SubEvery == (i/cfg.SubEvery)%cfg.SubEvery
+		wg.Add(1)
+		go func(req server.Request, tenant string, subscribe bool) {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			runOne(ctx, client, cfg, req, tenant, subscribe,
+				&mu, &rep, hist, tables, keys, &traceWG)
+		}(req, tenant, subscribe)
+	}
+	wg.Wait()
+	traceWG.Wait()
+
+	elapsed := time.Since(start)
+	rep.ElapsedSec = elapsed.Seconds()
+	rep.OfferedRate = cfg.Rate
+	if elapsed > 0 {
+		rep.AchievedRate = float64(rep.Done+rep.Failed+rep.Cancelled) / elapsed.Seconds()
+	}
+	rep.UniqueKeys = len(keys)
+	rep.Latency = LatencySummary{
+		P50MS:  hist.P50().Seconds() * 1e3,
+		P95MS:  hist.P95().Seconds() * 1e3,
+		P99MS:  hist.P99().Seconds() * 1e3,
+		MeanMS: hist.MeanDuration().Seconds() * 1e3,
+		MaxMS:  time.Duration(hist.Max()).Seconds() * 1e3,
+	}
+	if cfg.Verify {
+		rep.Metrics = verifyMetrics(client, cfg.URL, baseline, &rep)
+	}
+	return rep, nil
+}
+
+// runOne offers one arrival and follows it to its terminal state.
+func runOne(ctx context.Context, client *http.Client, cfg LoadConfig,
+	req server.Request, tenant string, subscribe bool,
+	mu *sync.Mutex, rep *LoadReport, hist *stats.Histogram,
+	tables map[string][32]byte, keys map[string]bool, traceWG *sync.WaitGroup) {
+
+	key := JobKey(req)
+	mu.Lock()
+	keys[key] = true
+	mu.Unlock()
+
+	body, _ := json.Marshal(req)
+	hreq, _ := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL+"/v1/jobs", bytes.NewReader(body))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-K2-Tenant", tenant)
+	submitted := time.Now()
+	resp, err := client.Do(hreq)
+	if err != nil {
+		mu.Lock()
+		rep.RejectedOther++
+		mu.Unlock()
+		return
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	shedKind := resp.Header.Get("X-K2-Shed")
+	code := resp.StatusCode
+	resp.Body.Close()
+	switch {
+	case code == http.StatusTooManyRequests && shedKind == "quota":
+		mu.Lock()
+		rep.ShedQuota++
+		mu.Unlock()
+		return
+	case code == http.StatusTooManyRequests:
+		mu.Lock()
+		rep.ShedAdmission++
+		mu.Unlock()
+		return
+	case code != http.StatusAccepted:
+		mu.Lock()
+		rep.RejectedOther++
+		mu.Unlock()
+		return
+	}
+	var st server.Status
+	if err := json.Unmarshal(raw, &st); err != nil || st.ID == "" {
+		mu.Lock()
+		rep.RejectedOther++
+		mu.Unlock()
+		return
+	}
+	mu.Lock()
+	rep.Accepted++
+	mu.Unlock()
+
+	if subscribe {
+		for s := 0; s < cfg.Subscribers; s++ {
+			traceWG.Add(1)
+			go func() {
+				defer traceWG.Done()
+				followTrace(ctx, client, cfg.URL, st.ID, mu, rep)
+			}()
+		}
+	}
+
+	// Follow to terminal with long-polls against the fleet ID.
+	deadline := time.Now().Add(cfg.Timeout)
+	for {
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			mu.Lock()
+			rep.Lost++
+			mu.Unlock()
+			return
+		}
+		code, raw := get(ctx, client, cfg.URL+"/v1/jobs/"+st.ID+"?wait=30")
+		if code != http.StatusOK {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		var cur server.Status
+		if json.Unmarshal(raw, &cur) != nil || !cur.State.Terminal() {
+			continue
+		}
+		latency := time.Since(submitted)
+		mu.Lock()
+		switch cur.State {
+		case server.StateDone:
+			rep.Done++
+			hist.Observe(latency)
+			if cur.Result != nil {
+				sum := sha256.Sum256([]byte(cur.Result.Table))
+				if prev, seen := tables[key]; seen && prev != sum {
+					rep.ByteIdentityViolations++
+				} else {
+					tables[key] = sum
+				}
+			}
+		case server.StateFailed:
+			rep.Failed++
+		case server.StateCancelled:
+			rep.Cancelled++
+		}
+		mu.Unlock()
+		return
+	}
+}
+
+// followTrace consumes one subscriber stream to EOF, tallying data lines
+// and the terminal drop record.
+func followTrace(ctx context.Context, client *http.Client, base, id string, mu *sync.Mutex, rep *LoadReport) {
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/trace", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	mu.Lock()
+	rep.TraceStreams++
+	mu.Unlock()
+	var events, dropped, subDropped int64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var tl struct {
+			Seq        *uint64 `json:"seq"`
+			Dropped    *int    `json:"dropped"`
+			SubDropped *int    `json:"sub_dropped"`
+		}
+		if json.Unmarshal(sc.Bytes(), &tl) != nil {
+			continue
+		}
+		if tl.Seq != nil {
+			events++
+		} else if tl.Dropped != nil {
+			dropped += int64(*tl.Dropped)
+			if tl.SubDropped != nil {
+				subDropped += int64(*tl.SubDropped)
+			}
+		}
+	}
+	mu.Lock()
+	rep.TraceEvents += events
+	rep.TraceDropped += dropped
+	rep.TraceSubDropped += subDropped
+	mu.Unlock()
+}
+
+func get(ctx context.Context, client *http.Client, url string) (int, []byte) {
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	return resp.StatusCode, raw
+}
+
+// scrapeCounters reads the router's /metrics into name{labels} -> value;
+// nil on scrape failure.
+func scrapeCounters(client *http.Client, base string) map[string]float64 {
+	code, raw := get(context.Background(), client, base+"/metrics")
+	if code != http.StatusOK {
+		return nil
+	}
+	return parsePrometheus(string(raw))
+}
+
+// verifyMetrics scrapes the router and diffs the counter *deltas* since the
+// run's baseline scrape against the client-side tallies, counter for
+// counter. The baseline makes the check honest on a long-lived router that
+// served earlier runs; any disagreement in the deltas is a bug in the
+// service's accounting (or a second client sharing it during the run), and
+// is listed rather than summarized.
+func verifyMetrics(client *http.Client, base string, baseline map[string]float64, rep *LoadReport) MetricsCheck {
+	vals := scrapeCounters(client, base)
+	if vals == nil {
+		return MetricsCheck{Checked: true, Mismatches: []string{"/metrics scrape failed"}}
+	}
+	check := MetricsCheck{Checked: true, Matches: true}
+	expect := []struct {
+		metric string
+		want   int64
+	}{
+		{"k2fleet_jobs_submitted_total", int64(rep.Accepted)},
+		{"k2fleet_quota_sheds_total", int64(rep.ShedQuota)},
+		{"k2fleet_admission_sheds_total", int64(rep.ShedAdmission)},
+		{`k2fleet_jobs_completed_total{state="done"}`, int64(rep.Done)},
+		{`k2fleet_jobs_completed_total{state="failed"}`, int64(rep.Failed)},
+		{`k2fleet_jobs_completed_total{state="cancelled"}`, int64(rep.Cancelled)},
+		{"k2fleet_trace_sub_dropped_total", rep.TraceSubDropped},
+	}
+	for _, e := range expect {
+		got := int64(vals[e.metric]) - int64(baseline[e.metric])
+		if got != e.want {
+			check.Matches = false
+			check.Mismatches = append(check.Mismatches,
+				fmt.Sprintf("%s: router +%d this run, client %d", e.metric, got, e.want))
+		}
+	}
+	sort.Strings(check.Mismatches)
+	return check
+}
+
+// parsePrometheus reads a text exposition into name{labels} -> value.
+func parsePrometheus(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"k2/internal/server"
+)
+
+// metrics is the router's observability surface, rendered as Prometheus
+// text exposition on GET /metrics. Like the worker's it is dependency-free.
+// Honesty is the contract the loadgen harness verifies: every counter here
+// must exactly match what a client could tally on its own side of the wire
+// (accepted jobs, sheds by kind, terminal states, trace drops).
+type metrics struct {
+	mu        sync.Mutex
+	submitted uint64            // jobs accepted and routed (got a fleet ID)
+	routed    map[string]uint64 // accepted jobs by first-assigned worker
+	completed map[server.State]uint64
+	resubmits uint64 // jobs re-submitted after a worker death
+	orphaned  uint64 // jobs failed because no worker could take them
+
+	quotaSheds     uint64 // 429s from tenant token buckets (per-tenant in quotas)
+	admissionSheds uint64 // 429s proxied from a worker's queue bound
+	expired        uint64 // workers expired by missed heartbeats
+	deaths         uint64 // workers removed after a proxy/transport error
+
+	traceForwarded  uint64 // NDJSON lines fanned out (counted once, not per sub)
+	traceSubDropped uint64 // lines lost by lagging subscribers, summed
+	subscribers     int    // live trace subscribers (gauge)
+}
+
+func newFleetMetrics() *metrics {
+	return &metrics{
+		routed:    make(map[string]uint64),
+		completed: make(map[server.State]uint64),
+	}
+}
+
+func (m *metrics) recordRouted(worker string) {
+	m.mu.Lock()
+	m.submitted++
+	m.routed[worker]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordCompleted(st server.State) {
+	m.mu.Lock()
+	m.completed[st]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordResubmit() {
+	m.mu.Lock()
+	m.resubmits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordOrphaned() {
+	m.mu.Lock()
+	m.orphaned++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordQuotaShed() {
+	m.mu.Lock()
+	m.quotaSheds++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordAdmissionShed() {
+	m.mu.Lock()
+	m.admissionSheds++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordExpired() {
+	m.mu.Lock()
+	m.expired++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordDeath() {
+	m.mu.Lock()
+	m.deaths++
+	m.mu.Unlock()
+}
+
+func (m *metrics) addTraceForwarded(n int) {
+	m.mu.Lock()
+	m.traceForwarded += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *metrics) addTraceSubDropped(n int) {
+	m.mu.Lock()
+	m.traceSubDropped += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *metrics) traceSubscribers(delta int) {
+	m.mu.Lock()
+	m.subscribers += delta
+	m.mu.Unlock()
+}
+
+// workerHealth is one worker's scrape-time state, supplied by the router.
+type workerHealth struct {
+	id string
+	up bool
+}
+
+// render writes the Prometheus text exposition. Scrape-time gauges the
+// metrics struct does not own (worker health, ring size, tenant sheds,
+// tracked jobs, draining) come in as arguments.
+func (m *metrics) render(w io.Writer, workers []workerHealth, ringSize int, tenantSheds map[string]uint64, tracked, inflight int, draining bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("k2fleet_jobs_submitted_total", "Jobs accepted and routed to a worker.", m.submitted)
+	fmt.Fprintf(w, "# HELP k2fleet_jobs_routed_total Accepted jobs by first-assigned worker.\n# TYPE k2fleet_jobs_routed_total counter\n")
+	for _, id := range sortedKeys(m.routed) {
+		fmt.Fprintf(w, "k2fleet_jobs_routed_total{worker=%q} %d\n", id, m.routed[id])
+	}
+	fmt.Fprintf(w, "# HELP k2fleet_jobs_completed_total Jobs by terminal state, as recorded by the router.\n# TYPE k2fleet_jobs_completed_total counter\n")
+	for _, st := range []server.State{server.StateDone, server.StateFailed, server.StateCancelled} {
+		fmt.Fprintf(w, "k2fleet_jobs_completed_total{state=%q} %d\n", string(st), m.completed[st])
+	}
+	counter("k2fleet_resubmits_total", "Jobs re-submitted to a new owner after a worker death.", m.resubmits)
+	counter("k2fleet_jobs_orphaned_total", "Jobs failed because no worker could take them.", m.orphaned)
+
+	counter("k2fleet_quota_sheds_total", "Submissions shed by per-tenant token buckets (429).", m.quotaSheds)
+	fmt.Fprintf(w, "# HELP k2fleet_tenant_sheds_total Quota sheds by tenant.\n# TYPE k2fleet_tenant_sheds_total counter\n")
+	for _, t := range sortedKeys(tenantSheds) {
+		fmt.Fprintf(w, "k2fleet_tenant_sheds_total{tenant=%q} %d\n", t, tenantSheds[t])
+	}
+	counter("k2fleet_admission_sheds_total", "Submissions shed by a worker's queue bound (429, proxied).", m.admissionSheds)
+
+	fmt.Fprintf(w, "# HELP k2fleet_worker_up Per-worker health from heartbeats (1 up, 0 down).\n# TYPE k2fleet_worker_up gauge\n")
+	for _, wh := range workers {
+		up := 0
+		if wh.up {
+			up = 1
+		}
+		fmt.Fprintf(w, "k2fleet_worker_up{worker=%q} %d\n", wh.id, up)
+	}
+	gauge("k2fleet_ring_size", "Workers currently on the consistent-hash ring.", ringSize)
+	counter("k2fleet_workers_expired_total", "Workers expired by missed heartbeats.", m.expired)
+	counter("k2fleet_worker_deaths_total", "Workers removed after a transport error.", m.deaths)
+
+	counter("k2fleet_trace_lines_forwarded_total", "NDJSON trace lines fanned out by the hubs (counted once per line).", m.traceForwarded)
+	counter("k2fleet_trace_sub_dropped_total", "Trace lines lost by subscribers lagging out of the shared window.", m.traceSubDropped)
+	gauge("k2fleet_trace_subscribers", "Live trace subscribers across all jobs.", m.subscribers)
+
+	gauge("k2fleet_jobs_tracked", "Jobs the router currently retains (terminal and live).", tracked)
+	gauge("k2fleet_jobs_inflight", "Routed jobs not yet known terminal.", inflight)
+	d := 0
+	if draining {
+		d = 1
+	}
+	gauge("k2fleet_draining", "1 once graceful shutdown has begun.", d)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

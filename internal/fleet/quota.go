@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateBurst is one tenant's quota: a token bucket refilling at Rate
+// tokens/second with capacity Burst.
+type RateBurst struct {
+	Rate  float64
+	Burst float64
+}
+
+// quotas is the per-tenant admission throttle in front of the workers'
+// own queue-bound admission control: each tenant draws one token per
+// submitted job from a private bucket. An empty bucket sheds the request
+// with an honest Retry-After — the exact time until the bucket next holds
+// a whole token — rather than queueing it, so one chatty tenant cannot
+// starve the fleet for the rest.
+type quotas struct {
+	mu        sync.Mutex
+	def       RateBurst
+	overrides map[string]RateBurst
+	buckets   map[string]*bucket
+	sheds     map[string]uint64 // per-tenant quota rejections, for /metrics
+	now       func() time.Time  // injectable for tests
+}
+
+type bucket struct {
+	RateBurst
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(def RateBurst, overrides map[string]RateBurst) *quotas {
+	return &quotas{
+		def:       def,
+		overrides: overrides,
+		buckets:   make(map[string]*bucket),
+		sheds:     make(map[string]uint64),
+		now:       time.Now,
+	}
+}
+
+// allow draws one token from tenant's bucket. When the bucket is empty it
+// reports ok=false plus how long until one token will have refilled.
+func (q *quotas) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.buckets[tenant]
+	if b == nil {
+		rb := q.def
+		if o, found := q.overrides[tenant]; found {
+			rb = o
+		}
+		b = &bucket{RateBurst: rb, tokens: rb.Burst, last: now}
+		q.buckets[tenant] = b
+	}
+	b.tokens = math.Min(b.Burst, b.tokens+now.Sub(b.last).Seconds()*b.Rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	q.sheds[tenant]++
+	need := (1 - b.tokens) / b.Rate // seconds until one whole token
+	return false, time.Duration(math.Ceil(need*1e3)) * time.Millisecond
+}
+
+// shedCounts snapshots the per-tenant shed tallies.
+func (q *quotas) shedCounts() map[string]uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]uint64, len(q.sheds))
+	for t, n := range q.sheds {
+		out[t] = n
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a quotas instance on virtual time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newQuotaClock(q *quotas) *fakeClock {
+	c := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	q.now = c.now
+	return c
+}
+
+// TestQuotaBucket pins the token-bucket mechanics: burst capacity, steady
+// refill, and an honest Retry-After equal to the time until the next whole
+// token — never a round guess.
+func TestQuotaBucket(t *testing.T) {
+	q := newQuotas(RateBurst{Rate: 2, Burst: 4}, nil)
+	clk := newQuotaClock(q)
+
+	// A fresh tenant starts with a full burst.
+	for i := 0; i < 4; i++ {
+		if ok, _ := q.allow("acme"); !ok {
+			t.Fatalf("request %d inside burst was shed", i)
+		}
+	}
+	// The fifth draw finds an empty bucket: shed with the exact wait for
+	// one token at 2/s = 500ms.
+	ok, ra := q.allow("acme")
+	if ok {
+		t.Fatal("request past burst was admitted")
+	}
+	if ra != 500*time.Millisecond {
+		t.Fatalf("Retry-After = %v, want exactly 500ms (1 token at 2/s)", ra)
+	}
+
+	// Advance 250ms: half a token. Still shed, and the advice shrinks to
+	// the true remainder.
+	clk.advance(250 * time.Millisecond)
+	if ok, ra = q.allow("acme"); ok || ra != 250*time.Millisecond {
+		t.Fatalf("half-refilled bucket: ok=%v retryAfter=%v, want shed with 250ms", ok, ra)
+	}
+
+	// Advance the advised wait: admitted again.
+	clk.advance(250 * time.Millisecond)
+	if ok, _ = q.allow("acme"); !ok {
+		t.Fatal("request after the advised Retry-After was shed")
+	}
+
+	// Refill caps at Burst: a long idle spell does not bank extra tokens.
+	clk.advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.allow("acme"); ok {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("after a long idle spell %d requests admitted, want the burst cap 4", admitted)
+	}
+}
+
+// TestQuotaIsolation pins the point of per-tenant buckets: one tenant
+// exhausting its quota must not cost any other tenant a single token, and
+// overrides give named tenants their own rate class.
+func TestQuotaIsolation(t *testing.T) {
+	q := newQuotas(RateBurst{Rate: 1, Burst: 2}, map[string]RateBurst{
+		"gold": {Rate: 100, Burst: 10},
+	})
+	newQuotaClock(q)
+
+	// Drain the default-class tenant dry.
+	for i := 0; i < 5; i++ {
+		q.allow("free")
+	}
+	// A different default-class tenant still has its full burst.
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.allow("other"); !ok {
+			t.Fatalf("tenant %q shed because %q was chatty", "other", "free")
+		}
+	}
+	// The gold override carries its own burst of 10.
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.allow("gold"); !ok {
+			t.Fatalf("gold request %d shed before its burst of 10", i)
+		}
+	}
+
+	// Shed accounting is per tenant and counts only sheds, not draws.
+	sheds := q.shedCounts()
+	if sheds["free"] != 3 {
+		t.Fatalf("free sheds = %d, want 3 (5 draws against burst 2)", sheds["free"])
+	}
+	if sheds["other"] != 0 || sheds["gold"] != 0 {
+		t.Fatalf("unexpected sheds: other=%d gold=%d", sheds["other"], sheds["gold"])
+	}
+}

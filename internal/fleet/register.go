@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Heartbeat is the worker side of fleet membership: it registers the
+// worker with the router and re-registers every interval until ctx ends
+// (POST /v1/workers is an idempotent upsert, so registration and heartbeat
+// are the same request). Transient router outages are retried forever —
+// a worker outliving its router should rejoin the moment it returns.
+// logf, if non-nil, receives one line per state change.
+func Heartbeat(ctx context.Context, routerURL, id, advertiseURL string, interval time.Duration, logf func(format string, args ...any)) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	// The pooled transport keeps one persistent connection to the router —
+	// under heavy fleet load fresh connections can stall on ephemeral-port
+	// pressure, and a missed beat there gets a healthy worker expired. The
+	// timeout is deliberately looser than the interval: a router briefly
+	// slowed by load should cost one late beat, not a false death.
+	client := pooledClient()
+	client.Timeout = 2 * interval
+	body, _ := json.Marshal(registerBody{ID: id, URL: advertiseURL})
+	registered := false
+	beat := func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			routerURL+"/v1/workers", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			if registered {
+				logf("fleet: lost router %s: %v (retrying)", routerURL, err)
+				registered = false
+			}
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			if registered {
+				logf("fleet: router %s rejected heartbeat: HTTP %d", routerURL, resp.StatusCode)
+				registered = false
+			}
+			return
+		}
+		if !registered {
+			logf("fleet: registered with %s as %s (%s)", routerURL, id, advertiseURL)
+			registered = true
+		}
+	}
+	beat()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			beat()
+		}
+	}
+}
+
+// WorkerID derives a stable default worker identity from its advertise
+// URL, for fleets that do not name workers explicitly.
+func WorkerID(advertiseURL string) string {
+	return fmt.Sprintf("w-%016x", fnv1a(advertiseURL))
+}

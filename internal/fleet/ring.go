@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// vnodes is how many points each worker claims on the ring. More points
+// smooth the load split at the cost of a larger sorted array; 64 keeps the
+// worst-case imbalance under ~20% at the fleet sizes k2 targets.
+const vnodes = 64
+
+// fnv1a is the 64-bit FNV-1a hash. It is written out rather than taken
+// from hash/fnv so the ring's placement function is self-contained and
+// visibly free of process-local state: the same bytes hash to the same
+// point in every process, on every restart — the determinism the
+// ring_test golden table pins down.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// ringHash is the placement hash: FNV-1a finished with a splitmix64-style
+// avalanche. Raw FNV-1a concentrates short inputs ("w1#0") in the top of
+// the 64-bit space — the multiply only propagates entropy upward, so the
+// offset basis dominates the high bits and a sort-ordered ring ends up
+// grotesquely skewed (a 2-worker ring split 97%/3% in testing). The
+// finalizer spreads that entropy back down; it is just arithmetic on the
+// hash value, so placement stays a pure, process-independent function of
+// the input bytes.
+func ringHash(s string) uint64 {
+	h := fnv1a(s)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ring is a consistent-hash ring over worker IDs. It is a value-semantics
+// structure guarded by its owner (the Router): Add/Remove rebuild the
+// sorted point array, Owner binary-searches it. Placement depends only on
+// the member IDs — not on insertion order, process identity or time — so a
+// restarted router resolves every key to the same worker, and the movement
+// on membership change is the minimal 1/n reshuffle consistent hashing
+// promises.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// Add inserts a worker's virtual points. Adding a present worker is a
+// no-op.
+func (r *ring) Add(worker string) {
+	for _, p := range r.points {
+		if p.worker == worker {
+			return
+		}
+	}
+	for v := 0; v < vnodes; v++ {
+		r.points = append(r.points, ringPoint{
+			hash:   ringHash(fmt.Sprintf("%s#%d", worker, v)),
+			worker: worker,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare, but the ring must be a total
+		// order to be deterministic) break by worker ID.
+		return r.points[i].worker < r.points[j].worker
+	})
+}
+
+// Remove deletes a worker's virtual points.
+func (r *ring) Remove(worker string) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.worker != worker {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the distinct worker IDs on the ring, sorted.
+func (r *ring) Members() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, p.worker)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of distinct workers.
+func (r *ring) Len() int { return len(r.points) / vnodes }
+
+// Owner maps a job key to its worker: the first ring point clockwise from
+// the key's hash. ok is false on an empty ring.
+func (r *ring) Owner(key string) (worker string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is a circle
+	}
+	return r.points[i].worker, true
+}

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// ringKeys builds a deterministic population of realistic job keys.
+func ringKeys(n int) []string {
+	keys := make([]string, 0, n)
+	exps := []string{"t1", "t4", "faults", "scale", "chaos"}
+	for i := 0; i < n; i++ {
+		keys = append(keys, fmt.Sprintf("%s/%d/%d/%d", exps[i%len(exps)], 1+i%64, i%5, i%3))
+	}
+	return keys
+}
+
+func workerID(i int) string { return fmt.Sprintf("w%d", i+1) }
+
+// buildRing returns a ring holding workers w1..wN.
+func buildRing(n int) *ring {
+	r := &ring{}
+	for i := 0; i < n; i++ {
+		r.Add(workerID(i))
+	}
+	return r
+}
+
+// TestRingDeterminism pins the two properties the fleet leans on:
+//
+//  1. Placement is a pure function of (key, membership): fresh rings built
+//     in any insertion order — as after a process restart — resolve every
+//     key identically. A restarted router must route a key to the worker
+//     that already holds its cached result.
+//  2. Membership changes move the minimum: a join or leave at size N
+//     remaps only the keys whose owner actually changed, about 1/N of
+//     them, never a full reshuffle.
+//
+// The exact assignments, distribution and movement at ring sizes 1..8 are
+// committed as an ablation-style table in testdata/ring_movement.golden;
+// any drift in the hash or ring layout fails the diff (and would silently
+// un-shard every deployed fleet's caches, which is why it is pinned).
+func TestRingDeterminism(t *testing.T) {
+	keys := ringKeys(1000)
+
+	// Insertion order must not matter.
+	fwd := buildRing(8)
+	rev := &ring{}
+	for i := 7; i >= 0; i-- {
+		rev.Add(workerID(i))
+	}
+	for _, k := range keys {
+		a, _ := fwd.Owner(k)
+		b, _ := rev.Owner(k)
+		if a != b {
+			t.Fatalf("insertion order changed placement of %q: %s vs %s", k, a, b)
+		}
+	}
+
+	// Restart determinism: a second independently-built ring agrees.
+	again := buildRing(8)
+	for _, k := range keys {
+		a, _ := fwd.Owner(k)
+		b, _ := again.Owner(k)
+		if a != b {
+			t.Fatalf("rebuilt ring moved %q: %s vs %s", k, a, b)
+		}
+	}
+
+	// Remove and re-add: the ring heals to the identical layout.
+	healed := buildRing(8)
+	healed.Remove("w3")
+	healed.Add("w3")
+	for _, k := range keys {
+		a, _ := fwd.Owner(k)
+		b, _ := healed.Owner(k)
+		if a != b {
+			t.Fatalf("remove+re-add moved %q: %s vs %s", k, a, b)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Consistent-hash ring: distribution and movement, %d keys, %d vnodes/worker.\n", len(keys), vnodes)
+	fmt.Fprintf(&b, "# size | per-worker key counts | moved on join size->size+1 | moved on w1 leave | fingerprint\n")
+	for size := 1; size <= 8; size++ {
+		r := buildRing(size)
+		counts := make(map[string]int)
+		fp := uint64(0)
+		for _, k := range keys {
+			o, ok := r.Owner(k)
+			if !ok {
+				t.Fatalf("size %d: no owner for %q", size, k)
+			}
+			counts[o]++
+			fp = fp*1099511628211 ^ fnv1a(k+"=>"+o)
+		}
+		var dist []string
+		mean := len(keys) / size
+		for i := 0; i < size; i++ {
+			c := counts[workerID(i)]
+			dist = append(dist, fmt.Sprintf("%s:%d", workerID(i), c))
+			// Balance guard, independent of the golden: with 64 vnodes no
+			// worker should stray past 2x either side of the fair share.
+			if c < mean/2 || c > mean*2 {
+				t.Errorf("size %d: %s holds %d keys, fair share %d — ring badly skewed", size, workerID(i), c, mean)
+			}
+		}
+
+		// Join: add one worker; only keys claimed by the newcomer move.
+		joined := buildRing(size + 1)
+		movedJoin, movedToNew := 0, 0
+		for _, k := range keys {
+			was, _ := r.Owner(k)
+			now, _ := joined.Owner(k)
+			if was != now {
+				movedJoin++
+				if now == workerID(size) {
+					movedToNew++
+				}
+			}
+		}
+		if movedJoin != movedToNew {
+			t.Fatalf("size %d join: %d keys moved but only %d to the new worker — an old->old move is not minimal",
+				size, movedJoin, movedToNew)
+		}
+
+		// Leave: remove w1; only w1's keys move.
+		left := buildRing(size)
+		left.Remove("w1")
+		movedLeave := 0
+		for _, k := range keys {
+			was, _ := r.Owner(k)
+			now, ok := left.Owner(k)
+			if !ok {
+				if size != 1 {
+					t.Fatalf("size %d: ring empty after one leave", size)
+				}
+				continue
+			}
+			if was != now {
+				movedLeave++
+				if was != "w1" {
+					t.Fatalf("size %d leave: key %q moved %s->%s though its owner survived", size, k, was, now)
+				}
+			}
+		}
+		if size > 1 && movedLeave != counts["w1"] {
+			t.Fatalf("size %d leave: moved %d, want exactly w1's %d keys", size, movedLeave, counts["w1"])
+		}
+
+		leaveCell := fmt.Sprintf("%d", movedLeave)
+		if size == 1 {
+			leaveCell = "-"
+		}
+		fmt.Fprintf(&b, "%d | %s | %d | %s | %016x\n", size, strings.Join(dist, " "), movedJoin, leaveCell, fp)
+	}
+
+	golden := filepath.Join("testdata", "ring_movement.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to regenerate): %v", err)
+	}
+	if string(want) != b.String() {
+		t.Fatalf("ring table drifted from testdata/ring_movement.golden:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}

@@ -1,0 +1,582 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"k2/internal/server"
+)
+
+// Router is the k2fleet core: the worker registry and ring, the fleet job
+// table, the re-submit-on-death supervisor and the trace hubs. Create with
+// NewRouter, serve Handler(), and stop with Drain/Close.
+type Router struct {
+	cfg     Config
+	quotas  *quotas
+	metrics *metrics
+	client  *http.Client // proxy transport; streaming-safe (no global timeout)
+
+	mu       sync.Mutex
+	ring     ring
+	workers  map[string]*workerRec
+	jobs     map[string]*fjob
+	finished []*fjob // terminal jobs in finish order, for bounded retention
+	nextSeq  uint64
+	inflight int // routed jobs not yet known terminal
+	draining bool
+
+	stop chan struct{} // closed once, aborts watchers/hubs/supervisor
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// workerRec is one registered worker.
+type workerRec struct {
+	id       string
+	url      string // base URL, e.g. http://127.0.0.1:19091
+	up       bool
+	lastBeat time.Time
+}
+
+// fjob is one fleet-admitted job: the router's own ID, the worker currently
+// owning it, and — once known — its single cached terminal status. The
+// terminal status is recorded exactly once; that is the no-double-report
+// guarantee.
+type fjob struct {
+	ID     string
+	Seq    uint64
+	Req    server.Request // seed already normalized
+	Tenant string
+	Key    string
+
+	mu        sync.Mutex
+	worker    string         // current owner's ID
+	workerJob string         // owner-side job ID
+	last      *server.Status // most recent polled status (ID rewritten)
+	terminal  *server.Status // cached terminal status; nil while live
+	resubmits int
+	hub       *hub
+	done      chan struct{} // closed when terminal is recorded
+}
+
+// NewRouter builds a router; Start launches the heartbeat supervisor.
+func NewRouter(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	return &Router{
+		cfg:     cfg,
+		quotas:  newQuotas(RateBurst{Rate: cfg.TenantRate, Burst: cfg.TenantBurst}, cfg.TenantOverrides),
+		metrics: newFleetMetrics(),
+		client:  pooledClient(),
+		workers: make(map[string]*workerRec),
+		jobs:    make(map[string]*fjob),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Start launches the heartbeat supervisor (a no-op with HeartbeatTTL 0).
+func (r *Router) Start() {
+	if r.cfg.HeartbeatTTL <= 0 {
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		tick := time.NewTicker(r.cfg.HeartbeatTTL / 2)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-tick.C:
+				r.expireWorkers()
+			}
+		}
+	}()
+}
+
+func (r *Router) expireWorkers() {
+	cutoff := time.Now().Add(-r.cfg.HeartbeatTTL)
+	r.mu.Lock()
+	var dead []string
+	for id, w := range r.workers {
+		if w.up && w.lastBeat.Before(cutoff) {
+			dead = append(dead, id)
+		}
+	}
+	r.mu.Unlock()
+	for _, id := range dead {
+		r.metrics.recordExpired()
+		r.markDead(id)
+	}
+}
+
+// Register upserts a worker and doubles as its heartbeat. A worker that was
+// down (expired, or removed after a transport error) rejoins the ring; its
+// old jobs were already re-homed and stay where they are.
+func (r *Router) Register(id, url string) {
+	r.mu.Lock()
+	w := r.workers[id]
+	if w == nil {
+		w = &workerRec{id: id, url: url}
+		r.workers[id] = w
+	}
+	w.url = url
+	w.lastBeat = time.Now()
+	if !w.up {
+		w.up = true
+		r.ring.Add(id)
+	}
+	r.mu.Unlock()
+}
+
+// markDead removes a worker from the ring and re-homes every non-terminal
+// job it owned. Re-executing an orphaned job on its key's new owner is
+// safe — the contract the whole fleet leans on — because a deterministic
+// job can only produce the byte-identical result again.
+func (r *Router) markDead(id string) {
+	r.mu.Lock()
+	w := r.workers[id]
+	if w == nil || !w.up {
+		r.mu.Unlock()
+		return
+	}
+	w.up = false
+	r.ring.Remove(id)
+	var orphans []*fjob
+	for _, j := range r.jobs {
+		j.mu.Lock()
+		if j.terminal == nil && j.worker == id {
+			orphans = append(orphans, j)
+		}
+		j.mu.Unlock()
+	}
+	r.mu.Unlock()
+	r.metrics.recordDeath()
+	for _, j := range orphans {
+		r.wg.Add(1)
+		go func(j *fjob) {
+			defer r.wg.Done()
+			r.resubmit(j)
+		}(j)
+	}
+}
+
+// resubmit re-homes one orphaned job onto its key's current owner,
+// retrying through admission sheds and further deaths until ResubmitGrace
+// runs out, after which the job fails honestly rather than silently.
+func (r *Router) resubmit(j *fjob) {
+	deadline := time.Now().Add(r.cfg.ResubmitGrace)
+	for time.Now().Before(deadline) {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		j.mu.Lock()
+		terminal := j.terminal != nil
+		j.mu.Unlock()
+		if terminal {
+			return
+		}
+		r.mu.Lock()
+		owner, ok := r.ring.Owner(j.Key)
+		var url string
+		if ok {
+			url = r.workers[owner].url
+		}
+		r.mu.Unlock()
+		if !ok {
+			sleepOrStop(100*time.Millisecond, r.stop)
+			continue
+		}
+		st, code, err := r.proxySubmit(url, j.Req)
+		switch {
+		case err != nil:
+			r.markDead(owner)
+			continue
+		case code == http.StatusAccepted:
+			j.mu.Lock()
+			j.worker = owner
+			j.workerJob = st.ID
+			j.resubmits++
+			j.mu.Unlock()
+			r.metrics.recordResubmit()
+			if st.State.Terminal() {
+				r.recordTerminal(j, st)
+			}
+			return
+		case code == http.StatusTooManyRequests:
+			sleepOrStop(200*time.Millisecond, r.stop)
+			continue
+		default:
+			r.metrics.recordOrphaned()
+			r.recordTerminal(j, server.Status{
+				ID: j.ID, Experiment: j.Req.Experiment, State: server.StateFailed,
+				Error: fmt.Sprintf("resubmit after worker death rejected with HTTP %d", code),
+			})
+			return
+		}
+	}
+	r.metrics.recordOrphaned()
+	r.recordTerminal(j, server.Status{
+		ID: j.ID, Experiment: j.Req.Experiment, State: server.StateFailed,
+		Error: "no worker could take the job after its owner died",
+	})
+}
+
+// proxySubmit POSTs req to a worker and decodes the job status on 202. A
+// non-2xx code comes back with a zero Status; a transport error means the
+// worker should be presumed dead.
+func (r *Router) proxySubmit(workerURL string, req server.Request) (server.Status, int, error) {
+	body, _ := json.Marshal(req)
+	resp, err := r.client.Post(workerURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return server.Status{}, 0, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if resp.StatusCode != http.StatusAccepted {
+		return server.Status{}, resp.StatusCode, nil
+	}
+	var st server.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return server.Status{}, 0, fmt.Errorf("bad worker submit body: %w", err)
+	}
+	return st, resp.StatusCode, nil
+}
+
+// Submit admits one request for tenant: quota, ring resolution, proxy to
+// the owner (chasing deaths), fleet ID assignment and watcher start. The
+// returned status already carries the fleet ID.
+func (r *Router) Submit(req server.Request, tenant string) (server.Status, int, error) {
+	if err := req.Validate(); err != nil {
+		return server.Status{}, http.StatusBadRequest, err
+	}
+	if req.Seed == 0 {
+		req.Seed = r.cfg.DefaultSeed
+	}
+	r.mu.Lock()
+	draining := r.draining
+	r.mu.Unlock()
+	if draining {
+		return server.Status{}, http.StatusServiceUnavailable, fmt.Errorf("fleet: draining, not admitting jobs")
+	}
+	if ok, retry := r.quotas.allow(tenant); !ok {
+		r.metrics.recordQuotaShed()
+		secs := int(retry.Seconds() + 0.999)
+		if secs < 1 {
+			secs = 1
+		}
+		return server.Status{}, http.StatusTooManyRequests,
+			&shedError{kind: "quota", retryAfter: secs, msg: fmt.Sprintf("tenant %q over quota", tenant)}
+	}
+
+	key := JobKey(req)
+	// Chase the ring: a transport error during the proxy marks the target
+	// dead and re-resolves, at most once per registered worker.
+	for attempt := 0; ; attempt++ {
+		r.mu.Lock()
+		owner, ok := r.ring.Owner(key)
+		var url string
+		if ok {
+			url = r.workers[owner].url
+		}
+		n := len(r.workers)
+		r.mu.Unlock()
+		if !ok {
+			return server.Status{}, http.StatusServiceUnavailable, fmt.Errorf("fleet: no live workers")
+		}
+		st, code, err := r.proxySubmit(url, req)
+		if err != nil {
+			r.markDead(owner)
+			if attempt < n {
+				continue
+			}
+			return server.Status{}, http.StatusServiceUnavailable, fmt.Errorf("fleet: no worker reachable: %v", err)
+		}
+		switch code {
+		case http.StatusAccepted:
+			j := r.admit(req, tenant, key, owner, st)
+			return j.statusLocked(), http.StatusAccepted, nil
+		case http.StatusTooManyRequests:
+			r.metrics.recordAdmissionShed()
+			return server.Status{}, code, &shedError{kind: "admission", retryAfter: 1,
+				msg: fmt.Sprintf("worker %s queue full", owner)}
+		default:
+			return server.Status{}, code, fmt.Errorf("worker %s rejected the job with HTTP %d", owner, code)
+		}
+	}
+}
+
+// shedError is a 429 with its Retry-After and shed kind attached, so the
+// HTTP layer can surface both honestly.
+type shedError struct {
+	kind       string // "quota" or "admission"
+	retryAfter int
+	msg        string
+}
+
+func (e *shedError) Error() string { return e.msg }
+
+// admit records an accepted job and starts its watcher.
+func (r *Router) admit(req server.Request, tenant, key, owner string, st server.Status) *fjob {
+	r.mu.Lock()
+	r.nextSeq++
+	j := &fjob{
+		ID:        fmt.Sprintf("f%08d", r.nextSeq),
+		Seq:       r.nextSeq,
+		Req:       req,
+		Tenant:    tenant,
+		Key:       key,
+		worker:    owner,
+		workerJob: st.ID,
+		done:      make(chan struct{}),
+	}
+	rewritten := st
+	rewritten.ID = j.ID
+	j.last = &rewritten
+	r.jobs[j.ID] = j
+	r.inflight++
+	r.mu.Unlock()
+	r.metrics.recordRouted(owner)
+	if st.State.Terminal() {
+		// A result-cache hit on the worker finishes at submit time.
+		r.recordTerminal(j, st)
+		return j
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.watch(j)
+	}()
+	return j
+}
+
+// watch long-polls the job's current owner until a terminal status is
+// seen. A transport error marks the owner dead (triggering the re-submit
+// path) and the watcher follows the job to its new home.
+func (r *Router) watch(j *fjob) {
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		j.mu.Lock()
+		if j.terminal != nil {
+			j.mu.Unlock()
+			return
+		}
+		worker, wid := j.worker, j.workerJob
+		j.mu.Unlock()
+		r.mu.Lock()
+		rec := r.workers[worker]
+		up := rec != nil && rec.up
+		var url string
+		if up {
+			url = rec.url
+		}
+		r.mu.Unlock()
+		if !up {
+			// Between owners: the resubmit path is (or will be) running.
+			sleepOrStop(50*time.Millisecond, r.stop)
+			continue
+		}
+		resp, err := r.client.Get(url + "/v1/jobs/" + wid + "?wait=30")
+		if err != nil {
+			r.markDead(worker)
+			continue
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			// The worker restarted and forgot the job: re-home it.
+			r.markDead(worker)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			sleepOrStop(100*time.Millisecond, r.stop)
+			continue
+		}
+		var st server.Status
+		if err := json.Unmarshal(raw, &st); err != nil {
+			sleepOrStop(100*time.Millisecond, r.stop)
+			continue
+		}
+		j.mu.Lock()
+		if j.workerJob == wid { // ignore a stale poll racing a re-submit
+			rewritten := st
+			rewritten.ID = j.ID
+			j.last = &rewritten
+		}
+		stale := j.workerJob != wid
+		j.mu.Unlock()
+		if !stale && st.State.Terminal() {
+			r.recordTerminal(j, st)
+			return
+		}
+	}
+}
+
+// recordTerminal caches the job's single terminal status — exactly once,
+// no matter how many paths race to report it — and applies retention. The
+// metrics and retention bookkeeping land before done closes: a client that
+// observes completion and then scrapes /metrics must already see itself
+// counted, or the "metrics stay honest" contract breaks at the margin.
+func (r *Router) recordTerminal(j *fjob, st server.Status) {
+	st.ID = j.ID
+	j.mu.Lock()
+	if j.terminal != nil {
+		j.mu.Unlock()
+		return
+	}
+	j.terminal = &st
+	j.last = &st
+	j.mu.Unlock()
+	r.metrics.recordCompleted(st.State)
+	r.mu.Lock()
+	r.inflight--
+	r.finished = append(r.finished, j)
+	for len(r.finished) > r.cfg.MaxFinished {
+		old := r.finished[0]
+		r.finished = r.finished[1:]
+		delete(r.jobs, old.ID)
+	}
+	r.mu.Unlock()
+	close(j.done)
+}
+
+// statusLocked snapshots the job's client-visible status.
+func (j *fjob) statusLocked() server.Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal != nil {
+		return *j.terminal
+	}
+	if j.last != nil {
+		return *j.last
+	}
+	return server.Status{ID: j.ID, Experiment: j.Req.Experiment, State: server.StateQueued}
+}
+
+// job looks a fleet job up by ID.
+func (r *Router) job(id string) (*fjob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// ownerOf resolves a job's current owner to a live base URL.
+func (r *Router) ownerOf(j *fjob) (workerURL, workerJob string, ok bool) {
+	j.mu.Lock()
+	worker, wid := j.worker, j.workerJob
+	j.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.workers[worker]
+	if rec == nil || !rec.up {
+		return "", "", false
+	}
+	return rec.url, wid, true
+}
+
+// hubFor returns the job's fan-out hub, creating and starting it on first
+// use.
+func (r *Router) hubFor(j *fjob) *hub {
+	j.mu.Lock()
+	if j.hub == nil {
+		h := newHub(r.cfg.HubWindow, r.metrics)
+		j.hub = h
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			h.run(r.client,
+				func() (string, bool) {
+					url, wid, ok := r.ownerOf(j)
+					if !ok {
+						return "", false
+					}
+					return url + "/v1/jobs/" + wid + "/trace", true
+				},
+				func() bool {
+					j.mu.Lock()
+					defer j.mu.Unlock()
+					return j.terminal != nil
+				},
+				r.stop)
+		}()
+	}
+	h := j.hub
+	j.mu.Unlock()
+	return h
+}
+
+// Workers snapshots the registry for /v1/workers and /metrics.
+func (r *Router) Workers() []workerHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]workerHealth, 0, len(r.workers))
+	for _, id := range sortedWorkerIDs(r.workers) {
+		w := r.workers[id]
+		out = append(out, workerHealth{id: w.id, up: w.up})
+	}
+	return out
+}
+
+func sortedWorkerIDs(ws map[string]*workerRec) []string {
+	ids := make([]string, 0, len(ws))
+	for id := range ws {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (r *Router) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// Drain stops admitting and waits until every routed job is terminal or
+// ctx expires. It does not cancel worker-side jobs — the workers drain
+// themselves on their own SIGTERM — and always leaves the router's
+// background goroutines stopped.
+func (r *Router) Drain(ctx context.Context) error {
+	r.mu.Lock()
+	r.draining = true
+	r.mu.Unlock()
+	var err error
+loop:
+	for {
+		r.mu.Lock()
+		n := r.inflight
+		r.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = fmt.Errorf("fleet: drain grace expired with %d jobs not yet terminal", n)
+			break loop
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	r.Close()
+	return err
+}
+
+// Close aborts watchers, hubs and the supervisor and waits for them.
+func (r *Router) Close() {
+	r.once.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}

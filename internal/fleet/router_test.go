@@ -1,0 +1,398 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"k2/internal/server"
+)
+
+// workerFixture is one in-process k2d worker behind a real HTTP listener.
+type workerFixture struct {
+	id  string
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+// fleetFixture is a router plus n workers, all in-process.
+type fleetFixture struct {
+	rt      *Router
+	ts      *httptest.Server
+	workers []*workerFixture
+}
+
+// startFleet boots a router and n registered workers. HeartbeatTTL is left
+// zero unless cfg sets it: in tests, death detection happens through proxy
+// transport errors, which keeps timing deterministic.
+func startFleet(t *testing.T, n int, cfg Config) *fleetFixture {
+	return startFleetWith(t, n, cfg, server.Config{Parallel: 2, QueueDepth: 64})
+}
+
+// startFleetWith is startFleet with control over the worker daemons' own
+// config (queue depth, pool size) for backlog-sensitive tests.
+func startFleetWith(t *testing.T, n int, cfg Config, wcfg server.Config) *fleetFixture {
+	t.Helper()
+	rt := NewRouter(cfg)
+	rt.Start()
+	fx := &fleetFixture{rt: rt, ts: httptest.NewServer(rt.Handler())}
+	for i := 0; i < n; i++ {
+		s := server.New(wcfg)
+		s.Start()
+		w := &workerFixture{id: workerID(i), srv: s, ts: httptest.NewServer(s.Handler())}
+		rt.Register(w.id, w.ts.URL)
+		fx.workers = append(fx.workers, w)
+	}
+	t.Cleanup(func() {
+		fx.ts.Close()
+		rt.Close()
+		for _, w := range fx.workers {
+			w.ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			w.srv.Drain(ctx) //nolint:errcheck // teardown
+			cancel()
+		}
+	})
+	return fx
+}
+
+// submitJSON posts a job body with tenant headers and returns the decoded
+// status plus the raw response.
+func submitJSON(t *testing.T, base, body, tenant string) (server.Status, *http.Response) {
+	t.Helper()
+	req, _ := http.NewRequest("POST", base+"/v1/jobs", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-K2-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var st server.Status
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("submit body %q: %v", raw, err)
+		}
+	}
+	return st, resp
+}
+
+// waitDone long-polls a fleet job to its terminal state.
+func waitDone(t *testing.T, base, id string) server.Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "?wait=10")
+		if err != nil {
+			t.Fatalf("poll %s: %v", id, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st server.Status
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("poll %s body %q: %v", id, raw, err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return server.Status{}
+}
+
+// fetchText grabs the rendered table for a done job.
+func fetchText(t *testing.T, base, id string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "?format=text")
+	if err != nil {
+		t.Fatalf("format=text %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("format=text %s: HTTP %d: %s", id, resp.StatusCode, raw)
+	}
+	return string(raw)
+}
+
+// TestFleetRoutingByteIdentity is the tentpole contract end to end: jobs
+// sharded across 3 workers by their deterministic key produce tables
+// byte-identical to a single-process k2d, the same key always lands on the
+// same worker (so the workers' result caches shard with the jobs), and the
+// placement agrees with the ring.
+func TestFleetRoutingByteIdentity(t *testing.T) {
+	fx := startFleet(t, 3, Config{})
+
+	// The single-process reference daemon.
+	ref := server.New(server.Config{Parallel: 2, QueueDepth: 64})
+	ref.Start()
+	refTS := httptest.NewServer(ref.Handler())
+	t.Cleanup(func() {
+		refTS.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ref.Drain(ctx) //nolint:errcheck // teardown
+		cancel()
+	})
+
+	bodies := []string{
+		`{"experiment":"t1"}`,
+		`{"experiment":"t1","seed":7}`,
+		`{"experiment":"t1","seed":11}`,
+		`{"experiment":"t4"}`,
+		`{"experiment":"t4","seed":7}`,
+		`{"experiment":"t4","seed":13,"sweep":1}`,
+	}
+	type placed struct {
+		key    string
+		worker string
+		table  string
+	}
+	first := make(map[string]placed)
+	for round := 0; round < 2; round++ {
+		for _, body := range bodies {
+			st, resp := submitJSON(t, fx.ts.URL, body, "")
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit %s: HTTP %d", body, resp.StatusCode)
+			}
+			if !strings.HasPrefix(st.ID, "f") {
+				t.Fatalf("fleet job ID %q does not carry the fleet prefix", st.ID)
+			}
+			final := waitDone(t, fx.ts.URL, st.ID)
+			if final.State != server.StateDone {
+				t.Fatalf("%s finished %s: %s", body, final.State, final.Error)
+			}
+			table := fetchText(t, fx.ts.URL, st.ID)
+
+			j, ok := fx.rt.job(st.ID)
+			if !ok {
+				t.Fatalf("router forgot job %s", st.ID)
+			}
+			j.mu.Lock()
+			worker := j.worker
+			j.mu.Unlock()
+
+			// Placement must agree with the ring...
+			fx.rt.mu.Lock()
+			want, _ := fx.rt.ring.Owner(j.Key)
+			fx.rt.mu.Unlock()
+			if worker != want {
+				t.Fatalf("%s placed on %s, ring says %s", j.Key, worker, want)
+			}
+
+			if p, seen := first[j.Key]; seen {
+				// ...and stay put: the repeat submission rides the same
+				// worker's result cache and returns the identical bytes.
+				if p.worker != worker {
+					t.Fatalf("key %s moved from %s to %s between submissions", j.Key, p.worker, worker)
+				}
+				if p.table != table {
+					t.Fatalf("key %s: repeat submission returned different bytes", j.Key)
+				}
+				continue
+			}
+			first[j.Key] = placed{key: j.Key, worker: worker, table: table}
+
+			// Byte-identity against the single-process daemon.
+			refSt, refResp := submitJSON(t, refTS.URL, body, "")
+			if refResp.StatusCode != http.StatusAccepted {
+				t.Fatalf("reference submit %s: HTTP %d", body, refResp.StatusCode)
+			}
+			if fin := waitDone(t, refTS.URL, refSt.ID); fin.State != server.StateDone {
+				t.Fatalf("reference %s finished %s", body, fin.State)
+			}
+			if refTable := fetchText(t, refTS.URL, refSt.ID); refTable != table {
+				t.Fatalf("%s: fleet table differs from single-process k2d\n--- fleet ---\n%s--- k2d ---\n%s",
+					body, table, refTable)
+			}
+		}
+	}
+
+	// The work actually spread: with 6 distinct keys on 3 workers, at least
+	// two workers must own something (all-on-one would mean sharding is
+	// broken even if results are right).
+	owners := make(map[string]bool)
+	for _, p := range first {
+		owners[p.worker] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("all %d keys landed on one worker; the ring is not spreading load", len(first))
+	}
+}
+
+// TestFleetQuotaShed pins the tenant quota surface: a tenant over its
+// bucket gets a 429 with X-K2-Shed: quota and an honest Retry-After, while
+// other tenants sail through, and the per-tenant shed shows up in /metrics.
+func TestFleetQuotaShed(t *testing.T) {
+	fx := startFleet(t, 1, Config{
+		TenantRate:  1000, // default tenants effectively unthrottled
+		TenantBurst: 1000,
+		TenantOverrides: map[string]RateBurst{
+			"starved": {Rate: 0.1, Burst: 1},
+		},
+	})
+
+	st, resp := submitJSON(t, fx.ts.URL, `{"experiment":"t1"}`, "starved")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first starved submit: HTTP %d", resp.StatusCode)
+	}
+	waitDone(t, fx.ts.URL, st.ID)
+
+	_, resp = submitJSON(t, fx.ts.URL, `{"experiment":"t1","seed":2}`, "starved")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second starved submit: HTTP %d, want 429", resp.StatusCode)
+	}
+	if kind := resp.Header.Get("X-K2-Shed"); kind != "quota" {
+		t.Fatalf("X-K2-Shed = %q, want %q", kind, "quota")
+	}
+	// One token at 0.1/s refills in 10s: the advice must say so, not "1".
+	if ra := resp.Header.Get("Retry-After"); ra != "10" {
+		t.Fatalf("Retry-After = %q, want %q (1 token at 0.1/s)", ra, "10")
+	}
+
+	// A different tenant is untouched by the starved tenant's shed.
+	st, resp = submitJSON(t, fx.ts.URL, `{"experiment":"t1","seed":3}`, "other")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant shed alongside starved: HTTP %d", resp.StatusCode)
+	}
+	waitDone(t, fx.ts.URL, st.ID)
+
+	metrics := scrapeMetrics(t, fx.ts.URL)
+	if got := metrics[`k2fleet_tenant_sheds_total{tenant="starved"}`]; got != 1 {
+		t.Fatalf("tenant sheds for starved = %v, want 1", got)
+	}
+	if got := metrics["k2fleet_quota_sheds_total"]; got != 1 {
+		t.Fatalf("quota sheds = %v, want 1", got)
+	}
+}
+
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return parsePrometheus(string(raw))
+}
+
+// TestFleetMetricsHonesty submits a known mix and requires the fleet
+// counters to match the client-side tally exactly — the contract the
+// 100k-job loadgen harness later verifies at scale.
+func TestFleetMetricsHonesty(t *testing.T) {
+	fx := startFleet(t, 3, Config{})
+
+	accepted, done := 0, 0
+	var ids []string
+	for i := 0; i < 9; i++ {
+		body := fmt.Sprintf(`{"experiment":"t1","seed":%d}`, 1+i%4)
+		st, resp := submitJSON(t, fx.ts.URL, body, "")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		accepted++
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		if st := waitDone(t, fx.ts.URL, id); st.State == server.StateDone {
+			done++
+		}
+	}
+
+	m := scrapeMetrics(t, fx.ts.URL)
+	if got := int(m["k2fleet_jobs_submitted_total"]); got != accepted {
+		t.Fatalf("submitted_total = %d, client saw %d accepted", got, accepted)
+	}
+	if got := int(m[`k2fleet_jobs_completed_total{state="done"}`]); got != done {
+		t.Fatalf(`completed{done} = %d, client saw %d`, got, done)
+	}
+	var routedSum int
+	for i := 0; i < 3; i++ {
+		routedSum += int(m[fmt.Sprintf("k2fleet_jobs_routed_total{worker=%q}", workerID(i))])
+	}
+	if routedSum != accepted {
+		t.Fatalf("routed by worker sums to %d, want %d", routedSum, accepted)
+	}
+	if got := int(m["k2fleet_ring_size"]); got != 3 {
+		t.Fatalf("ring_size = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		if got := m[fmt.Sprintf("k2fleet_worker_up{worker=%q}", workerID(i))]; got != 1 {
+			t.Fatalf("worker_up{%s} = %v, want 1", workerID(i), got)
+		}
+	}
+	if got := int(m["k2fleet_jobs_inflight"]); got != 0 {
+		t.Fatalf("inflight = %d after all jobs terminal, want 0", got)
+	}
+}
+
+// TestFleetTraceFanOutE2E streams one job's trace through the router to
+// several subscribers concurrently and checks they all see the same
+// NDJSON, matching a direct stream from the owning worker.
+func TestFleetTraceFanOutE2E(t *testing.T) {
+	fx := startFleet(t, 3, Config{})
+
+	st, resp := submitJSON(t, fx.ts.URL, `{"experiment":"f6a"}`, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+
+	const readers = 3
+	type res struct {
+		lines []string
+	}
+	results := make([]res, readers)
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		go func(i int) {
+			resp, err := http.Get(fx.ts.URL + "/v1/jobs/" + st.ID + "/trace")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for _, l := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+				if l != "" {
+					results[i].lines = append(results[i].lines, l)
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < readers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("trace reader: %v", err)
+		}
+	}
+	if final := waitDone(t, fx.ts.URL, st.ID); final.State != server.StateDone {
+		t.Fatalf("job finished %s", final.State)
+	}
+
+	if len(results[0].lines) == 0 {
+		t.Fatal("no trace lines reached subscribers through the fan-out hub")
+	}
+	for i := 1; i < readers; i++ {
+		if len(results[i].lines) != len(results[0].lines) {
+			t.Fatalf("reader %d saw %d lines, reader 0 saw %d", i, len(results[i].lines), len(results[0].lines))
+		}
+		for k := range results[i].lines {
+			if results[i].lines[k] != results[0].lines[k] {
+				t.Fatalf("reader %d line %d differs from reader 0", i, k)
+			}
+		}
+	}
+}

@@ -30,7 +30,7 @@ func FuzzRequestDecode(f *testing.F) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		if err := req.validate(); err != nil {
+		if err := req.Validate(); err != nil {
 			return
 		}
 		// An accepted request is canonical: marshal and decode it again and

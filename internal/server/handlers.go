@@ -99,7 +99,7 @@ func (s *Server) submitAndRespond(w http.ResponseWriter, req Request) {
 	j, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter(req.Experiment)))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, ErrDraining):

@@ -34,8 +34,8 @@ const (
 	StateCancelled State = "cancelled"
 )
 
-// terminal reports whether a job in this state can no longer change.
-func (s State) terminal() bool {
+// Terminal reports whether a job in this state can no longer change.
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
@@ -64,8 +64,10 @@ type Request struct {
 	Format string `json:"format,omitempty"`
 }
 
-// validate normalizes req and reports the first problem.
-func (r *Request) validate() error {
+// Validate normalizes req and reports the first problem. It is exported
+// for the fleet router, which validates before hashing a request onto the
+// worker ring.
+func (r *Request) Validate() error {
 	if r.Experiment == "" {
 		return fmt.Errorf("missing experiment id")
 	}
@@ -196,7 +198,7 @@ func (j *Job) State() State {
 func (j *Job) finish(state State, res *experiment.Result, errMsg string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state.terminal() {
+	if j.state.Terminal() {
 		return
 	}
 	j.state = state

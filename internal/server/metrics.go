@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -93,6 +94,42 @@ func (m *metrics) recordFinished(id string, state State, res *experiment.Result,
 			m.chaosFail[orc] += uint64(n)
 		}
 	}
+}
+
+// retryEstimate turns the shed moment's queue state into an honest
+// Retry-After: the queued work ahead of the client divided over the worker
+// pool, priced at the shed experiment's recent P50 job latency. With no
+// latency observed for that experiment yet, the slowest known P50 stands
+// in (pessimism beats a retry storm); with no data at all, 1 second. The
+// result is clamped to [1, 60] whole seconds — the floor because a
+// sub-second hint rounds to "hammer immediately", the ceiling because the
+// estimate is a hint, not a lease.
+func (m *metrics) retryEstimate(experiment string, queueDepth, parallel int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p50 := time.Duration(0)
+	if h := m.latency[experiment]; h != nil {
+		p50 = h.P50()
+	}
+	if p50 == 0 {
+		for _, h := range m.latency {
+			if v := h.P50(); v > p50 {
+				p50 = v
+			}
+		}
+	}
+	if p50 == 0 || parallel < 1 {
+		return 1
+	}
+	rounds := (queueDepth + parallel) / parallel // queued work plus the slot ahead
+	secs := int(math.Ceil((time.Duration(rounds) * p50).Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // render writes the Prometheus text exposition. Gauges the metrics struct

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"k2/internal/experiment"
+)
+
+// doneResult fabricates a finished experiment with the given wall time,
+// for priming the latency histograms.
+func doneResult(id string, wall time.Duration) *experiment.Result {
+	return &experiment.Result{ID: id, Wall: wall}
+}
+
+// TestRetryEstimate pins the Retry-After model: queue depth over the pool,
+// priced at the experiment's P50, falling back to the slowest known P50,
+// clamped to [1, 60].
+func TestRetryEstimate(t *testing.T) {
+	m := newMetrics()
+
+	// No latency data at all: 1 second, never zero.
+	if got := m.retryEstimate("t1", 10, 2); got != 1 {
+		t.Fatalf("no data: got %d, want 1", got)
+	}
+
+	// Prime t1 at P50 = 2s and t9 at P50 = 5s.
+	for i := 0; i < 5; i++ {
+		m.recordFinished("t1", StateDone, doneResult("t1", 2*time.Second), false)
+		m.recordFinished("t9", StateDone, doneResult("t9", 5*time.Second), false)
+	}
+
+	// 4 queued over 2 workers plus the claimed slot: 3 rounds x 2s = 6s.
+	if got := m.retryEstimate("t1", 4, 2); got != 6 {
+		t.Fatalf("t1 depth 4 parallel 2: got %d, want 6", got)
+	}
+	// Empty queue still waits out the in-flight round.
+	if got := m.retryEstimate("t1", 0, 2); got != 2 {
+		t.Fatalf("t1 depth 0: got %d, want 2", got)
+	}
+	// An experiment with no history prices at the slowest known P50 (t9).
+	if got := m.retryEstimate("never-seen", 4, 2); got != 15 {
+		t.Fatalf("unknown experiment: got %d, want 15", got)
+	}
+	// The ceiling: a very deep queue clamps to 60.
+	if got := m.retryEstimate("t9", 1000, 1); got != 60 {
+		t.Fatalf("deep queue: got %d, want 60", got)
+	}
+	// Cache hits and cancelled jobs must not pollute the estimate.
+	m.recordFinished("t1", StateDone, doneResult("t1", time.Hour), true)
+	m.recordFinished("t1", StateCancelled, doneResult("t1", time.Hour), false)
+	if got := m.retryEstimate("t1", 4, 2); got != 6 {
+		t.Fatalf("after cache/cancel noise: got %d, want 6", got)
+	}
+}
+
+// TestRetryAfterHeader asserts the 429 response carries the estimate, not
+// a hardcoded constant: with a primed P50 of 2s, one queued job and one
+// worker, the shed client is told to come back in 4s.
+func TestRetryAfterHeader(t *testing.T) {
+	s := New(Config{Parallel: 1, QueueDepth: 1, CacheSize: -1})
+	// Deliberately not Started: the queue fills deterministically.
+	ts := newHTTPOnly(t, s)
+
+	for i := 0; i < 3; i++ {
+		s.metrics.recordFinished("t1", StateDone, doneResult("t1", 2*time.Second), false)
+	}
+
+	resp, _ := postJob(t, ts, `{"experiment":"t1"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	resp, _ = postJob(t, ts, `{"experiment":"t1"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer", ra)
+	}
+	// (1 queued + 1 slot) / 1 worker * 2s P50 = 4s.
+	if secs != 4 {
+		t.Fatalf("Retry-After = %d, want 4", secs)
+	}
+
+	// An experiment the daemon has never run prices at the slowest P50.
+	resp, _ = postJob(t, ts, `{"experiment":"t4"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("t4 submit: %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "4" {
+		t.Fatalf("t4 Retry-After = %q, want 4 (slowest-known fallback)", got)
+	}
+}
+
+// newHTTPOnly serves a handler without starting workers (so the queue
+// fills deterministically) and without the drain teardown.
+func newHTTPOnly(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}

@@ -115,7 +115,7 @@ func (s *Server) Workers() int { return s.cfg.Parallel }
 // Submit validates and admits a request. It returns ErrQueueFull when
 // admission control sheds it and ErrDraining during shutdown.
 func (s *Server) Submit(req Request) (*Job, error) {
-	if err := req.validate(); err != nil {
+	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 	if req.Seed == 0 {
@@ -177,6 +177,13 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	return j, nil
 }
 
+// RetryAfter estimates, in whole seconds, when a client shed by admission
+// control should try again: queue depth over the worker pool, priced at
+// the experiment's recent P50 latency (see metrics.retryEstimate).
+func (s *Server) RetryAfter(experiment string) int {
+	return s.metrics.retryEstimate(experiment, s.queue.depth(), s.cfg.Parallel)
+}
+
 // Job looks a job up by ID.
 func (s *Server) Job(id string) (*Job, bool) {
 	s.mu.Lock()
@@ -224,7 +231,7 @@ func (s *Server) Cancel(id string) (*Job, error) {
 		j.cancelEarly = true
 	}
 	j.mu.Unlock()
-	if state.terminal() {
+	if state.Terminal() {
 		return j, fmt.Errorf("job %s already %s", id, state)
 	}
 	if cancel != nil {
@@ -236,7 +243,7 @@ func (s *Server) Cancel(id string) (*Job, error) {
 // runJob executes one claimed job on the calling worker goroutine.
 func (s *Server) runJob(j *Job) {
 	j.mu.Lock()
-	if j.state.terminal() { // cancelled between pop and here
+	if j.state.Terminal() { // cancelled between pop and here
 		j.mu.Unlock()
 		return
 	}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceLogConcurrentReaders pins the traceLog drop-accounting contract
+// under fan-out: N slow subscribers stream one job whose trace overflows a
+// tiny retention bound, and every one of them must observe the exact same
+// events — same count, same order, no duplicates — followed by the exact
+// same terminal {"dropped":D} record, where D is precisely the number of
+// events the bounded log declined to retain. Run under -race in CI, this
+// also proves the writer (the experiment's trace sink) and any number of
+// polling readers share the log safely.
+func TestTraceLogConcurrentReaders(t *testing.T) {
+	const limit = 8
+	const readers = 6
+	s, ts := newTestServer(t, Config{Parallel: 1, QueueDepth: 4, TraceEvents: limit, CacheSize: -1})
+
+	resp, st := postJob(t, ts, `{"experiment":"f6a"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	type streamResult struct {
+		lines   []string // data lines, in arrival order
+		dropped int
+		final   bool // saw a terminal dropped record
+	}
+	results := make([]streamResult, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace")
+			if err != nil {
+				t.Errorf("reader %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				var rec struct {
+					Seq     *uint64 `json:"seq"`
+					Dropped *int    `json:"dropped"`
+				}
+				if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+					t.Errorf("reader %d: bad line %q: %v", i, sc.Text(), err)
+					return
+				}
+				switch {
+				case rec.Dropped != nil:
+					results[i].dropped = *rec.Dropped
+					results[i].final = true
+				case rec.Seq != nil:
+					results[i].lines = append(results[i].lines, sc.Text())
+					// A slow subscriber: linger so the writer laps the
+					// bounded log while we are mid-stream.
+					time.Sleep(2 * time.Millisecond)
+				default:
+					t.Errorf("reader %d: unclassifiable line %q", i, sc.Text())
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Errorf("reader %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The authoritative tally, from the log itself.
+	j, ok := s.Job(st.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	evs, wantDropped, open := j.trace.snapshot(0)
+	if open {
+		t.Fatal("trace log still open after all readers finished")
+	}
+	if len(evs) != limit {
+		t.Fatalf("retained %d events, want the bound %d", len(evs), limit)
+	}
+	if wantDropped <= 0 {
+		t.Fatalf("expected the f6a trace to overflow a %d-event log; dropped = %d", limit, wantDropped)
+	}
+
+	for i, r := range results {
+		if !r.final {
+			t.Fatalf("reader %d: no terminal dropped record (dropped %d events silently)", i, wantDropped)
+		}
+		if r.dropped != wantDropped {
+			t.Fatalf("reader %d: dropped %d, want exactly %d", i, r.dropped, wantDropped)
+		}
+		if len(r.lines) != limit {
+			t.Fatalf("reader %d: received %d events, want exactly %d (no loss, no duplication)", i, len(r.lines), limit)
+		}
+		// Byte-identical stream across all subscribers: same events, same
+		// order.
+		for k := range r.lines {
+			if r.lines[k] != results[0].lines[k] {
+				t.Fatalf("reader %d line %d differs from reader 0:\n%s\nvs\n%s",
+					i, k, r.lines[k], results[0].lines[k])
+			}
+		}
+	}
+}
