@@ -6,13 +6,16 @@
 package k2_test
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"k2/internal/core"
+	"k2/internal/dsm"
 	"k2/internal/experiment"
+	"k2/internal/mem"
 	"k2/internal/sim"
 	"k2/internal/soc"
 	"k2/internal/workload"
@@ -217,3 +220,111 @@ func benchmarkEpisode(b *testing.B, mode core.Mode) {
 
 func BenchmarkEpisodeK2(b *testing.B)    { benchmarkEpisode(b, core.K2Mode) }
 func BenchmarkEpisodeLinux(b *testing.B) { benchmarkEpisode(b, core.LinuxMode) }
+
+// benchmarkReadFaultSharedPage measures the DSM read-fault path on a booted
+// K2 platform: each round the owner re-dirties a shared page and a second
+// weak kernel reads it back. Under two-state the read steals the only copy;
+// under MSI the owner's upgrade invalidates the reader's replica and the
+// read re-installs a Shared copy. The virtual fault latency the requester
+// observes comes out as a custom metric.
+func benchmarkReadFaultSharedPage(b *testing.B, proto dsm.Protocol) {
+	const rounds = 64
+	var faults int
+	var mean time.Duration
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		prm := dsm.DefaultParams()
+		prm.Protocol = proto
+		o, err := core.Boot(eng, core.Options{Mode: core.K2Mode, WeakDomains: 2, DSMParams: &prm})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pfn, err := o.Mem.Buddies[soc.Strong].AllocBoot(0, mem.Unmovable)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o.DSM.Share(pfn)
+		w2 := soc.DomainID(2)
+		eng.Spawn("bench", func(p *sim.Proc) {
+			// Move the page out of the strong domain once: that boot-time
+			// transfer pays a bottom-half deferral neither steady state has.
+			o.DSM.Write(p, o.S.Core(soc.Weak, 0), soc.Weak, pfn)
+			o.DSM.ResetStats()
+			for r := 0; r < rounds; r++ {
+				o.DSM.Write(p, o.S.Core(soc.Weak, 0), soc.Weak, pfn)
+				o.DSM.Read(p, o.S.Core(w2, 0), w2, pfn)
+			}
+			eng.Stop()
+		})
+		if err := eng.Run(sim.Time(time.Minute)); err != nil {
+			b.Fatal(err)
+		}
+		rs := o.DSM.RequesterStats[w2]
+		faults, mean = rs.Faults, rs.Mean()
+	}
+	if faults != rounds {
+		b.Fatalf("reader faulted %d times over %d rounds", faults, rounds)
+	}
+	b.ReportMetric(float64(mean.Nanoseconds())/1e3, "virtual_us/fault")
+}
+
+func BenchmarkReadFaultSharedPageTwoState(b *testing.B) {
+	benchmarkReadFaultSharedPage(b, dsm.TwoState)
+}
+
+func BenchmarkReadFaultSharedPageMSI(b *testing.B) {
+	benchmarkReadFaultSharedPage(b, dsm.MSI)
+}
+
+// BenchmarkWriteInvalidateN measures the MSI write-fault path against a
+// growing sharer set: N weak kernels hold Shared replicas and the owner's
+// upgrade must invalidate every one with exact ack accounting before the
+// write is granted.
+func BenchmarkWriteInvalidateN(b *testing.B) {
+	for _, sharers := range []int{1, 2, 4, 8} {
+		sharers := sharers
+		b.Run(fmt.Sprintf("sharers=%d", sharers), func(b *testing.B) {
+			const rounds = 32
+			var sent, acked int
+			var mean time.Duration
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine()
+				prm := dsm.DefaultParams()
+				prm.Protocol = dsm.MSI
+				o, err := core.Boot(eng, core.Options{Mode: core.K2Mode, WeakDomains: sharers + 1, DSMParams: &prm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pfn, err := o.Mem.Buddies[soc.Strong].AllocBoot(0, mem.Unmovable)
+				if err != nil {
+					b.Fatal(err)
+				}
+				o.DSM.Share(pfn)
+				eng.Spawn("bench", func(p *sim.Proc) {
+					o.DSM.Write(p, o.S.Core(soc.Weak, 0), soc.Weak, pfn)
+					o.DSM.ResetStats()
+					for r := 0; r < rounds; r++ {
+						for k := 0; k < sharers; k++ {
+							kd := soc.DomainID(2 + k)
+							o.DSM.Read(p, o.S.Core(kd, 0), kd, pfn)
+						}
+						o.DSM.Write(p, o.S.Core(soc.Weak, 0), soc.Weak, pfn)
+					}
+					eng.Stop()
+				})
+				if err := eng.Run(sim.Time(time.Minute)); err != nil {
+					b.Fatal(err)
+				}
+				c := o.DSM.Totals()
+				sent, acked = c.InvalidationsSent, c.InvalidationsAcked
+				mean = o.DSM.RequesterStats[soc.Weak].Mean()
+			}
+			if sent != rounds*sharers || acked != sent {
+				b.Fatalf("invalidations sent/acked = %d/%d, want %d/%d",
+					sent, acked, rounds*sharers, rounds*sharers)
+			}
+			b.ReportMetric(float64(mean.Nanoseconds())/1e3, "virtual_us/writefault")
+			b.ReportMetric(float64(sent)/rounds, "invalidations/write")
+		})
+	}
+}

@@ -18,6 +18,7 @@
 //	k2bench -cpuprofile cpu.pprof # profile the run
 //	k2bench -chaos -sweep=256     # chaos sweep: 256 storms, all oracles
 //	k2bench -chaos -storm='crash:weak@60ms+50ms' -seed=7   # replay one storm
+//	k2bench -dsm-protocol=msi     # MSI read-replication DSM instead of two-state
 //	k2bench -checkpoint-demo      # shrink the planted-bug storm cold vs from
 //	                              # the boot checkpoint; report events saved
 package main
@@ -31,6 +32,7 @@ import (
 	"runtime/pprof"
 
 	"k2/internal/chaos"
+	"k2/internal/dsm"
 	"k2/internal/experiment"
 )
 
@@ -42,14 +44,14 @@ func fatal(err error) {
 // runChaos handles -chaos: either replay one explicit storm (the shape a
 // repro line takes) or run the full seeded sweep. Any oracle violation
 // prints a copy-pasteable repro command and exits 1.
-func runChaos(seed int64, weak, sweep int, storm string, parallel int) {
+func runChaos(seed int64, weak, sweep int, storm string, parallel int, proto dsm.Protocol) {
 	if storm != "" {
 		st, err := chaos.ParseStorm(storm)
 		if err != nil {
 			fatal(err)
 		}
-		base := chaos.Run(chaos.Config{WeakDomains: weak, Storm: &chaos.Storm{}})
-		r := chaos.Run(chaos.Config{Seed: seed, WeakDomains: weak, Storm: &st})
+		base := chaos.Run(chaos.Config{WeakDomains: weak, Protocol: proto, Storm: &chaos.Storm{}})
+		r := chaos.Run(chaos.Config{Seed: seed, WeakDomains: weak, Protocol: proto, Storm: &st})
 		vs := append(r.Violations, chaos.Diverges(base, r)...)
 		fmt.Printf("storm: %s\n", st)
 		fmt.Printf("deaths=%d reboots=%d dropped=%d retransmits=%d span=%.1fms energy=%.2fmJ\n",
@@ -58,7 +60,7 @@ func runChaos(seed int64, weak, sweep int, storm string, parallel int) {
 			for _, v := range vs {
 				fmt.Println("FAIL", v)
 			}
-			fmt.Println("repro:", chaos.ReproCommand(seed, weak, st))
+			fmt.Println("repro:", chaos.ReproCommand(seed, weak, st, proto))
 			os.Exit(1)
 		}
 		fmt.Println("ok: all oracles passed")
@@ -83,11 +85,18 @@ func main() {
 	stormFlag := flag.String("storm", "", "explicit storm schedule to replay (with -chaos; see a repro line for the syntax)")
 	weakDomains := flag.Int("weakdomains", 2, "weak domains on the chaos platform (with -chaos)")
 	ckptDemo := flag.Bool("checkpoint-demo", false, "shrink the planted-bug storm cold and from the boot checkpoint, print the replayed-event saving, and exit")
+	protoFlag := flag.String("dsm-protocol", "", "DSM coherence protocol: twostate (default) or msi")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this path")
 	flag.Parse()
 	experiment.FaultSeed = *seed
 	experiment.ChaosSeed = *seed
+	proto, err := dsm.ParseProtocol(*protoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "k2bench:", err)
+		os.Exit(2)
+	}
+	experiment.DSMProtocol = proto
 
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "k2bench: -parallel must be at least 1")
@@ -123,7 +132,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "k2bench: -sweep and -weakdomains must be at least 1")
 			os.Exit(2)
 		}
-		runChaos(*seed, *weakDomains, *sweep, *stormFlag, *parallel)
+		runChaos(*seed, *weakDomains, *sweep, *stormFlag, *parallel, proto)
 		return
 	}
 

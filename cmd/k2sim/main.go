@@ -53,9 +53,16 @@ func main() {
 	crashAt := flag.Duration("crash", 0, "crash weak domain 1 at this virtual time (0 = no crash)")
 	rebootAfter := flag.Duration("reboot", 0, "reboot the crashed domain this long after the crash (0 = stays down)")
 	dropP := flag.Float64("drop", 0, "probability each mailbox transmission is dropped (all links)")
+	protoFlag := flag.String("dsm-protocol", "", "DSM coherence protocol: twostate (default) or msi (K2 mode)")
 	flag.Parse()
 
 	faulty := *crashAt > 0 || *dropP > 0
+
+	proto, err := dsm.ParseProtocol(*protoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "k2sim:", err)
+		os.Exit(2)
+	}
 
 	var mode core.Mode
 	switch *osFlag {
@@ -97,8 +104,13 @@ func main() {
 		if mode == core.K2Mode {
 			prm := dsm.DefaultParams()
 			prm.OwnerTimeout = 200 * time.Microsecond
+			prm.Protocol = proto
 			opts.DSMParams = &prm
 		}
+	} else if proto != dsm.TwoState && mode == core.K2Mode {
+		prm := dsm.DefaultParams()
+		prm.Protocol = proto
+		opts.DSMParams = &prm
 	}
 	o, err := core.Boot(eng, opts)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"k2/internal/dsm"
 	"k2/internal/soc"
 )
 
@@ -87,11 +88,11 @@ func TestRunStormPassesAndConverges(t *testing.T) {
 		r := Run(Config{Seed: seed})
 		if len(r.Violations) != 0 {
 			t.Fatalf("seed %d: oracle violations: %v\nrepro: %s",
-				seed, r.Violations, ReproCommand(seed, r.WeakDomains, r.Storm))
+				seed, r.Violations, ReproCommand(seed, r.WeakDomains, r.Storm, r.Protocol))
 		}
 		if vs := Diverges(base, r); len(vs) != 0 {
 			t.Fatalf("seed %d: diverged from the fault-free run: %v\nrepro: %s",
-				seed, vs, ReproCommand(seed, r.WeakDomains, r.Storm))
+				seed, vs, ReproCommand(seed, r.WeakDomains, r.Storm, r.Protocol))
 		}
 	}
 }
@@ -107,9 +108,70 @@ func TestRunFourWeakDomains(t *testing.T) {
 	base := Run(Config{Seed: 0, WeakDomains: 4, Storm: &Storm{}})
 	r := Run(Config{Seed: 3, WeakDomains: 4})
 	if len(r.Violations) != 0 {
-		t.Fatalf("violations: %v\nrepro: %s", r.Violations, ReproCommand(3, 4, r.Storm))
+		t.Fatalf("violations: %v\nrepro: %s", r.Violations, ReproCommand(3, 4, r.Storm, r.Protocol))
 	}
 	if vs := Diverges(base, r); len(vs) != 0 {
 		t.Fatalf("diverged: %v", vs)
+	}
+}
+
+// Under the MSI protocol the same storm sweep must pass every oracle and
+// converge to the fault-free MSI baseline — including the hint-chain
+// liveness check the final audit runs when the platform quiesces.
+func TestMSIStormsPassAndConverge(t *testing.T) {
+	base := Run(Config{Seed: 0, Protocol: dsm.MSI, Storm: &Storm{}})
+	for seed := int64(1); seed <= 4; seed++ {
+		r := Run(Config{Seed: seed, Protocol: dsm.MSI})
+		if len(r.Violations) != 0 {
+			t.Fatalf("seed %d: oracle violations: %v\nrepro: %s",
+				seed, r.Violations, ReproCommand(seed, r.WeakDomains, r.Storm, r.Protocol))
+		}
+		if vs := Diverges(base, r); len(vs) != 0 {
+			t.Fatalf("seed %d: diverged from the fault-free MSI run: %v\nrepro: %s",
+				seed, vs, ReproCommand(seed, r.WeakDomains, r.Storm, r.Protocol))
+		}
+	}
+}
+
+// Scripted MSI crash storms: kernels die while they are owners, sharers or
+// probOwner-chain links, so recovery must purge sharer sets and repair
+// forwarding hints (dsm.ReclaimDead) for the final audit to pass.
+func TestMSICrashStormRegressions(t *testing.T) {
+	base := Run(Config{Seed: 0, WeakDomains: 4, Protocol: dsm.MSI, Storm: &Storm{}})
+	for _, spec := range []string{
+		// A single sharer/owner dies mid-run and reboots: crash during the
+		// invalidation window of whatever faults are in flight.
+		"crash:weak@6ms+30ms",
+		// Two kernels die in quick succession — one of them a probOwner
+		// target of the survivors' stale hints.
+		"crash:weak@6ms+30ms;crash:weak3@9ms+30ms",
+		// A hang (silent, not crashed) plus lossy links: forwarded Gets and
+		// invalidation acks are dropped and must be resent or recovered.
+		"hang:weak2@8ms+25ms;drop:0.02",
+	} {
+		st, err := ParseStorm(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Run(Config{Seed: 11, WeakDomains: 4, Protocol: dsm.MSI, Storm: &st})
+		if len(r.Violations) != 0 {
+			t.Fatalf("storm %q: oracle violations: %v\nrepro: %s",
+				spec, r.Violations, ReproCommand(11, 4, st, dsm.MSI))
+		}
+		if vs := Diverges(base, r); len(vs) != 0 {
+			t.Fatalf("storm %q: diverged: %v", spec, vs)
+		}
+		if r.DSM.Faults == 0 {
+			t.Fatalf("storm %q: the workload drove no DSM faults", spec)
+		}
+	}
+}
+
+// The MSI chaos run must be deterministic, like the two-state one.
+func TestMSIRunDeterministic(t *testing.T) {
+	a := Run(Config{Seed: 9, Protocol: dsm.MSI})
+	b := Run(Config{Seed: 9, Protocol: dsm.MSI})
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
 	}
 }

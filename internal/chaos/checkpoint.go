@@ -24,8 +24,9 @@ const preRunSafe = 2 * time.Millisecond
 
 // recoveryOptions is the standard recovery platform every chaos run boots:
 // reliable mailbox transport, the shadow-kernel watchdog, and a bounded DSM
-// owner timeout on a platform with weak weak domains.
-func recoveryOptions(weak int) core.Options {
+// owner timeout on a platform with weak weak domains, under the given
+// coherence protocol.
+func recoveryOptions(weak int, proto dsm.Protocol) core.Options {
 	op := core.Options{Mode: core.K2Mode, WeakDomains: weak}
 	scfg := soc.DefaultConfig().WithWeakDomains(weak)
 	rel := soc.DefaultReliableParams()
@@ -35,6 +36,7 @@ func recoveryOptions(weak int) core.Options {
 	op.Watchdog = &wd
 	prm := dsm.DefaultParams()
 	prm.OwnerTimeout = 200 * time.Microsecond
+	prm.Protocol = proto
 	op.DSMParams = &prm
 	return op
 }
@@ -73,18 +75,27 @@ type ckptEntry struct {
 	err  error
 }
 
-var ckptCache sync.Map // weak-domain count -> *ckptEntry
+// ckptKey identifies one cached recovery platform: its width and its
+// coherence protocol (an MSI platform carries probOwner state from boot, so
+// the two protocols can never share a snapshot).
+type ckptKey struct {
+	weak  int
+	proto dsm.Protocol
+}
+
+var ckptCache sync.Map // ckptKey -> *ckptEntry
 
 // recoverySnapshot returns the process-wide checkpoint of the standard
-// recovery platform with weak weak domains, capturing it on first request
-// from a throwaway source system audited by the invariant oracle.
-func recoverySnapshot(weak int) (*core.Snapshot, error) {
-	v, _ := ckptCache.LoadOrStore(weak, &ckptEntry{})
+// recovery platform with weak weak domains under proto, capturing it on
+// first request from a throwaway source system audited by the invariant
+// oracle.
+func recoverySnapshot(weak int, proto dsm.Protocol) (*core.Snapshot, error) {
+	v, _ := ckptCache.LoadOrStore(ckptKey{weak, proto}, &ckptEntry{})
 	ent := v.(*ckptEntry)
 	ent.once.Do(func() {
 		ent.snp, ent.err = func() (*core.Snapshot, error) {
 			e := sim.NewEngine()
-			o, err := bootRecoveryReady(e, recoveryOptions(weak))
+			o, err := bootRecoveryReady(e, recoveryOptions(weak, proto))
 			if err != nil {
 				return nil, err
 			}

@@ -6,6 +6,7 @@ import (
 
 	"k2/internal/check"
 	"k2/internal/core"
+	"k2/internal/dsm"
 	"k2/internal/fault"
 	"k2/internal/sched"
 	"k2/internal/sim"
@@ -25,6 +26,9 @@ type Config struct {
 	Seed int64
 	// WeakDomains sizes the platform (default 2).
 	WeakDomains int
+	// Protocol selects the DSM coherence protocol of the recovery platform
+	// (dsm.TwoState, the zero value, by default).
+	Protocol dsm.Protocol
 	// Storm overrides the generated schedule (e.g. a -storm repro or a
 	// shrinker candidate). The zero Storm is the fault-free baseline.
 	Storm *Storm
@@ -66,6 +70,11 @@ type Result struct {
 	FreePages     []int // per-kernel buddy free counts
 	LiveProcs     int
 	CrashedEver   []bool
+
+	// Protocol echoes the coherence protocol the platform ran.
+	Protocol dsm.Protocol
+	// DSM is the platform's aggregate coherence-protocol counters.
+	DSM dsm.Counters
 
 	// Recovery and transport record.
 	Faults     fault.Stats
@@ -110,7 +119,7 @@ func Run(cfg Config) Result {
 	} else {
 		storm = Generate(cfg.Seed, weak)
 	}
-	res := Result{Seed: cfg.Seed, WeakDomains: weak, Storm: storm}
+	res := Result{Seed: cfg.Seed, WeakDomains: weak, Storm: storm, Protocol: cfg.Protocol}
 	res.CrashedEver = storm.CrashedEver(1 + weak)
 	if failHook != nil {
 		res.Violations = failHook(storm)
@@ -122,7 +131,7 @@ func Run(cfg Config) Result {
 		newEng = sim.NewEngine
 	}
 	e := newEng()
-	op := recoveryOptions(weak)
+	op := recoveryOptions(weak, cfg.Protocol)
 	if cfg.BootOpts != nil {
 		cfg.BootOpts(&op)
 	}
@@ -137,7 +146,7 @@ func Run(cfg Config) Result {
 	var injected uint64
 	var violations []check.Violation
 	if preRun && cfg.Checkpoint && cfg.BootOpts == nil {
-		if snp, err := recoverySnapshot(weak); err == nil {
+		if snp, err := recoverySnapshot(weak, cfg.Protocol); err == nil {
 			if ro, rerr := snp.Restore(e, nil); rerr == nil {
 				o = ro
 				res.Restored = true
@@ -183,6 +192,7 @@ func Run(cfg Config) Result {
 			res.FreePages = append(res.FreePages, b.FreePages())
 		}
 		res.LiveProcs = e.LiveProcs()
+		res.DSM = o.DSM.Totals()
 		res.Faults = plan.Stats
 		res.Mail = o.S.Mailbox.Stats
 		res.StaleFrees = o.Mem.StaleFrees
@@ -344,7 +354,12 @@ func Diverges(base, r Result) []check.Violation {
 }
 
 // ReproCommand renders the single-line reproduction command for a failing
-// run, suitable for copy-pasting into a shell.
-func ReproCommand(seed int64, weak int, storm Storm) string {
-	return fmt.Sprintf("k2bench -chaos -seed=%d -weakdomains=%d -storm='%s'", seed, weak, storm)
+// run, suitable for copy-pasting into a shell. Non-default protocols are
+// spelled out so the repro boots the identical platform.
+func ReproCommand(seed int64, weak int, storm Storm, proto dsm.Protocol) string {
+	flag := ""
+	if proto != dsm.TwoState {
+		flag = fmt.Sprintf(" -dsm-protocol=%s", proto)
+	}
+	return fmt.Sprintf("k2bench -chaos -seed=%d -weakdomains=%d%s -storm='%s'", seed, weak, flag, storm)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"k2/internal/check"
+	"k2/internal/dsm"
 	"k2/internal/soc"
 )
 
@@ -82,7 +83,7 @@ func TestShrinkFindsMinimalSchedule(t *testing.T) {
 
 	// The repro line round-trips through the -storm flag syntax and the
 	// replayed storm still fails.
-	repro := ReproCommand(1, 2, shrunk)
+	repro := ReproCommand(1, 2, shrunk, dsm.TwoState)
 	const marker = "-storm='"
 	i := strings.Index(repro, marker)
 	if i < 0 || !strings.HasSuffix(repro, "'") {

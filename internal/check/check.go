@@ -235,6 +235,13 @@ func (s *Suite) checkLiveness(vs []Violation) []Violation {
 			vs = append(vs, Violation{"liveness", fmt.Sprintf(
 				"%d DSM requests parked in the bottom-half queue", n)})
 		}
+		// Forwarding-chain liveness (MSI): at quiescence every probOwner
+		// chain must reach the directory owner, or a future Get could be
+		// forwarded past its hop bound. Mid-run the hints legitimately lag
+		// in-flight transfers, so this is a quiescent-only check.
+		if err := d.CheckHintChains(); err != nil {
+			vs = append(vs, Violation{"liveness", err.Error()})
+		}
 	}
 	if m := s.OS.Mem; m != nil {
 		if err := m.CheckMetaQuiescent(); err != nil {

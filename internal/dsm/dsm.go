@@ -53,6 +53,42 @@ func (l Level) String() string {
 	}
 }
 
+// Protocol selects the coherence protocol variant.
+type Protocol int
+
+const (
+	// TwoState is the paper's protocol: each kernel tracks each page as
+	// Valid or Invalid and every fault steals the single copy. The default;
+	// byte-identical to the pre-MSI code.
+	TwoState Protocol = iota
+	// MSI enables IVY-style read replication with distributed-manager
+	// ownership (Li & Hudak): read faults install Shared copies on any
+	// number of kernels, write faults invalidate every sharer with exact
+	// ack accounting before granting Exclusive, and requests route along
+	// per-kernel probOwner hints with forwarding chains and path
+	// compression instead of always consulting the strong-domain
+	// directory entry.
+	MSI
+)
+
+func (pr Protocol) String() string {
+	if pr == MSI {
+		return "msi"
+	}
+	return "twostate"
+}
+
+// ParseProtocol maps a flag/JSON spelling to a Protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "", "twostate", "two-state", "2state":
+		return TwoState, nil
+	case "msi":
+		return MSI, nil
+	}
+	return TwoState, fmt.Errorf("unknown dsm protocol %q (want twostate or msi)", s)
+}
+
 // Params carries the protocol's calibrated costs. The per-phase values come
 // from Table 5 (µs): the breakdown of a DSM page fault by sender side. Each
 // cost slice is indexed by kernel; kernels beyond the slice use its last
@@ -62,9 +98,9 @@ type Params struct {
 	// LocalFault is the page-fault entry cost on the requesting core
 	// (main 3 µs, shadow 17 µs).
 	LocalFault []time.Duration
-	// Protocol is the protocol execution cost on the requesting core
+	// ProtocolCost is the protocol execution cost on the requesting core
 	// (main 2 µs, shadow 13 µs).
-	Protocol []time.Duration
+	ProtocolCost []time.Duration
 	// Servicing is the request-servicing cost on the owning core: flush
 	// and invalidate the page, then acknowledge (by main 7 µs, by shadow
 	// 24 µs).
@@ -109,6 +145,15 @@ type Params struct {
 	ShadowReadDetect time.Duration
 	ShadowReadThrash time.Duration
 
+	// Protocol selects the coherence protocol. TwoState (the zero value)
+	// is the paper's Valid/Exclusive design and keeps every output
+	// byte-identical to the pre-MSI code; MSI opts into read replication
+	// with probOwner ownership hints. MSI subsumes ThreeState's read
+	// sharing but, unlike it, routes requests via hints and does not model
+	// the OMAP4 MMU read-detection penalties (it targets platforms whose
+	// weak domains have a capable MMU).
+	Protocol Protocol
+
 	// OwnerTimeout, when non-zero, bounds how long a faulting kernel spins
 	// for a reply before re-examining the directory: targets whose domain
 	// has crashed are claimed through the shared protocol metadata
@@ -123,7 +168,7 @@ type Params struct {
 func DefaultParams() Params {
 	return Params{
 		LocalFault:        []time.Duration{3 * time.Microsecond, 17 * time.Microsecond},
-		Protocol:          []time.Duration{2 * time.Microsecond, 13 * time.Microsecond},
+		ProtocolCost:      []time.Duration{2 * time.Microsecond, 13 * time.Microsecond},
 		Servicing:         []time.Duration{7 * time.Microsecond, 24 * time.Microsecond},
 		Exit:              []time.Duration{18 * time.Microsecond, 2 * time.Microsecond},
 		MainIdleThreshold: 300 * time.Microsecond,
@@ -149,7 +194,7 @@ func clampCost(costs []time.Duration, k soc.DomainID) time.Duration {
 }
 
 func (p Params) localFault(k soc.DomainID) time.Duration { return clampCost(p.LocalFault, k) }
-func (p Params) protocol(k soc.DomainID) time.Duration   { return clampCost(p.Protocol, k) }
+func (p Params) protocol(k soc.DomainID) time.Duration   { return clampCost(p.ProtocolCost, k) }
 func (p Params) servicing(k soc.DomainID) time.Duration  { return clampCost(p.Servicing, k) }
 func (p Params) exit(k soc.DomainID) time.Duration       { return clampCost(p.Exit, k) }
 
@@ -160,6 +205,9 @@ func (p Params) exit(k soc.DomainID) time.Duration       { return clampCost(p.Ex
 type pendingFault struct {
 	ev   *sim.Event
 	want int
+	// hops counts probOwner forwarding hops this fault's Get has taken so
+	// far (MSI only); it both feeds the telemetry and bounds the chain.
+	hops int
 	// wasOwner records whether the kernel was the directory owner when the
 	// fault began. If it was not, yet the directory now names it owner, some
 	// holder has already granted this fault and a Put is in flight — an
@@ -174,6 +222,24 @@ type page struct {
 	level   []Level
 	owner   soc.DomainID
 	pending []*pendingFault // outstanding fault per kernel
+	// probOwner is each kernel's hint about who owns the page (MSI only;
+	// nil under TwoState). A kernel's Get is routed to its hint and
+	// forwarded along the hint chain; every chain reaches the true owner
+	// at quiescence because each ownership transfer points the old owner's
+	// hint at the new one.
+	probOwner []soc.DomainID
+}
+
+// takeOwner transfers directory ownership to k, maintaining the hint-chain
+// invariant under MSI: the old owner's hint points forward at k and k's own
+// hint points at itself. Under TwoState (probOwner nil) it is a plain owner
+// assignment.
+func (pg *page) takeOwner(k soc.DomainID) {
+	if pg.probOwner != nil {
+		pg.probOwner[pg.owner] = k
+		pg.probOwner[k] = k
+	}
+	pg.owner = k
 }
 
 // holders returns the kernels with a valid (non-Invalid) copy.
@@ -198,14 +264,27 @@ type Stats struct {
 	Recoveries int
 	// Resends counts Gets re-sent after OwnerTimeout to a live but
 	// unresponsive target (the original may have been lost).
-	Resends   int
-	Local     time.Duration
-	Protocol  time.Duration
-	Comm      time.Duration
-	Servicing time.Duration
-	Exit      time.Duration
-	Total     time.Duration
-	DeferWait time.Duration // portion of Comm spent in the main BH queue
+	Resends int
+	// ReadFaults and WriteFaults split Faults by access kind (MSI; zero
+	// under TwoState, where the distinction does not change the protocol).
+	ReadFaults  int
+	WriteFaults int
+	// InvalidationsSent counts invalidation messages this kernel issued as
+	// a write-faulting requester (Gets addressed to read-sharers, MSI);
+	// InvalidationsAcked counts invalidations it serviced as a sharer.
+	InvalidationsSent  int
+	InvalidationsAcked int
+	// ProbOwnerHops counts forwarding hops taken by this kernel's Gets
+	// along probOwner chains; ForwardMaxDepth is the deepest single chain.
+	ProbOwnerHops   int
+	ForwardMaxDepth int
+	Local           time.Duration
+	Protocol        time.Duration
+	Comm            time.Duration
+	Servicing       time.Duration
+	Exit            time.Duration
+	Total           time.Duration
+	DeferWait       time.Duration // portion of Comm spent in the main BH queue
 }
 
 // Mean returns the average per-fault duration of total.
@@ -214,6 +293,54 @@ func (s Stats) Mean() time.Duration {
 		return 0
 	}
 	return s.Total / time.Duration(s.Faults)
+}
+
+// Counters is the cross-kernel aggregate of the DSM's event counters, the
+// shape exported through k2bench -json and the k2d /metrics surface.
+type Counters struct {
+	Faults             int `json:"faults"`
+	ReadFaults         int `json:"read_faults"`
+	WriteFaults        int `json:"write_faults"`
+	Claims             int `json:"claims"`
+	Recoveries         int `json:"recoveries"`
+	Resends            int `json:"resends"`
+	InvalidationsSent  int `json:"invalidations_sent"`
+	InvalidationsAcked int `json:"invalidations_acked"`
+	ProbOwnerHops      int `json:"probowner_hops"`
+	ForwardMaxDepth    int `json:"forward_max_depth"`
+	DeadReclaims       int `json:"dead_reclaims"`
+}
+
+// Add accumulates o into c (ForwardMaxDepth takes the max, it is a depth).
+func (c *Counters) Add(o Counters) {
+	c.Faults += o.Faults
+	c.ReadFaults += o.ReadFaults
+	c.WriteFaults += o.WriteFaults
+	c.Claims += o.Claims
+	c.Recoveries += o.Recoveries
+	c.Resends += o.Resends
+	c.InvalidationsSent += o.InvalidationsSent
+	c.InvalidationsAcked += o.InvalidationsAcked
+	c.ProbOwnerHops += o.ProbOwnerHops
+	if o.ForwardMaxDepth > c.ForwardMaxDepth {
+		c.ForwardMaxDepth = o.ForwardMaxDepth
+	}
+	c.DeadReclaims += o.DeadReclaims
+}
+
+// Totals sums the per-requester counters over every kernel.
+func (d *DSM) Totals() Counters {
+	var c Counters
+	for _, s := range d.RequesterStats {
+		c.Add(Counters{
+			Faults: s.Faults, ReadFaults: s.ReadFaults, WriteFaults: s.WriteFaults,
+			Claims: s.Claims, Recoveries: s.Recoveries, Resends: s.Resends,
+			InvalidationsSent: s.InvalidationsSent, InvalidationsAcked: s.InvalidationsAcked,
+			ProbOwnerHops: s.ProbOwnerHops, ForwardMaxDepth: s.ForwardMaxDepth,
+		})
+	}
+	c.DeadReclaims = d.DeadReclaims
+	return c
 }
 
 // DSM is the coherence manager. One instance serves every kernel (its state
@@ -275,6 +402,20 @@ func New(s *soc.SoC, params Params) *DSM {
 	return d
 }
 
+// ResetStats clears the per-requester counters and fault histograms; the
+// directory itself is untouched. Ablations call it after a warm-up access
+// so steady-state protocol behaviour is measured without the boot-time
+// first-transfer transient.
+func (d *DSM) ResetStats() {
+	for i := range d.RequesterStats {
+		d.RequesterStats[i] = Stats{}
+	}
+	for k := range d.FaultHist {
+		d.FaultHist[k] = stats.NewHistogram(0)
+	}
+	d.DeadReclaims = 0
+}
+
 // Share registers a page with the DSM; the main kernel starts as its owner.
 func (d *DSM) Share(pfn mem.PFN) {
 	if _, dup := d.pages[pfn]; dup {
@@ -287,6 +428,12 @@ func (d *DSM) Share(pfn mem.PFN) {
 		owner:   soc.Strong,
 	}
 	pg.level[soc.Strong] = Exclusive
+	if d.Params.Protocol == MSI {
+		pg.probOwner = make([]soc.DomainID, n)
+		for k := range pg.probOwner {
+			pg.probOwner[k] = soc.Strong
+		}
+	}
 	d.pages[pfn] = pg
 	if d.OnFirstShare != nil {
 		d.OnFirstShare(pfn)
@@ -412,12 +559,19 @@ func (d *DSM) fault(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, wr
 	pg.pending[k] = pf
 
 	prm := d.Params
+	if prm.Protocol == MSI {
+		if write {
+			st.WriteFaults++
+		} else {
+			st.ReadFaults++
+		}
+	}
 	core.ExecFor(p, prm.localFault(k))
 	st.Local += prm.localFault(k)
 	core.ExecFor(p, prm.protocol(k))
 	st.Protocol += prm.protocol(k)
 
-	wantShared := prm.ThreeState && !write
+	wantShared := (prm.ThreeState || prm.Protocol == MSI) && !write
 	if prm.ThreeState && !write && k != soc.Strong {
 		// Read detection through the M3's first-level MMU.
 		core.ExecFor(p, prm.ShadowReadDetect)
@@ -455,6 +609,10 @@ func (d *DSM) fault(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, wr
 		messaged = append(messaged, t)
 	}
 
+	if prm.Protocol == MSI {
+		messaged = d.msiRoute(pg, pfn, k, messaged, wantShared, st)
+	}
+
 	if len(messaged) == 0 {
 		// Every target was claimed locally: complete the fault without any
 		// mailbox round trip.
@@ -462,7 +620,7 @@ func (d *DSM) fault(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.PFN, wr
 			pg.level[k] = Shared
 		} else {
 			pg.level[k] = Exclusive
-			pg.owner = k
+			pg.takeOwner(k)
 		}
 		pg.pending[k] = nil
 		pf.ev.Fire()
@@ -536,7 +694,7 @@ func (d *DSM) HandleMessage(p *sim.Proc, core *soc.Core, k soc.DomainID, from so
 		d.handleGet(p, core, k, deferredReq{pfn: pfn, from: from, shared: shared, seq: msg.Seq(), at: p.Now()})
 		return true
 	case soc.MsgPutExclusive:
-		d.handlePut(k, mem.PFN(msg.Payload()&^sharedFlag), msg.Payload()&sharedFlag != 0)
+		d.handlePut(k, from, mem.PFN(msg.Payload()&^sharedFlag), msg.Payload()&sharedFlag != 0)
 		return true
 	}
 	return false
@@ -568,6 +726,109 @@ func (d *DSM) handleGet(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferre
 	d.serve(p, core, k, req)
 }
 
+// msiRoute applies distributed-manager routing to a fault's message
+// targets. A read fault consults the faulter's own probOwner hint instead
+// of the directory entry, falling back to the directory when the hint is
+// stale (self), redundant (already the directory answer), or points at a
+// crashed or suspended domain that only the claim and recovery paths may
+// handle. Write-fault targets are the exact copyset read from the shared
+// protocol metadata and are kept as-is; every Get addressed to a
+// read-sharer is accounted as an invalidation.
+func (d *DSM) msiRoute(pg *page, pfn mem.PFN, k soc.DomainID, messaged []soc.DomainID, wantShared bool, st *Stats) []soc.DomainID {
+	if !wantShared {
+		for _, t := range messaged {
+			if pg.level[t] == Shared {
+				st.InvalidationsSent++
+			}
+		}
+		return messaged
+	}
+	if len(messaged) != 1 || messaged[0] != pg.owner {
+		return messaged
+	}
+	h := pg.probOwner[k]
+	if h == k || h == pg.owner || d.SoC.Domains[h].Crashed() ||
+		d.SoC.Domains[h].State() == soc.DomInactive {
+		return messaged
+	}
+	if d.Tracef != nil {
+		d.Tracef("%v routed Get for page %d via probOwner hint %v", k, pfn, h)
+	}
+	return []soc.DomainID{h}
+}
+
+// finishOne retires one expected reply of kernel k's pending fault without
+// a Put message: the requester turned out to already hold what it asked for
+// (its Get chased ownership that was already in flight toward it). Exact
+// ack accounting demands that every Get chain terminate in exactly one
+// decrement — a Put or this — or a multi-target write fault would spin
+// forever on a reply that can never come.
+func (d *DSM) finishOne(pg *page, k soc.DomainID, shared bool) {
+	pf := pg.pending[k]
+	if pf == nil {
+		return
+	}
+	pf.want--
+	if pf.want > 0 {
+		return
+	}
+	if shared {
+		pg.level[k] = Shared
+	} else {
+		pg.level[k] = Exclusive
+		pg.takeOwner(k)
+	}
+	pg.pending[k] = nil
+	pf.ev.Fire()
+}
+
+// msiForward re-routes a Get along the forwarding chain: to this kernel's
+// probOwner hint when it is usable, else to the directory owner. An
+// exclusive request path-compresses the hint as it passes (the requester
+// will own the page), so later chains through this kernel shorten to one
+// hop. Chains are bounded: past 2×NumDomains hops the request re-homes to
+// the directory entry, which is always current.
+func (d *DSM) msiForward(k soc.DomainID, pg *page, req deferredReq) {
+	if pg.owner == req.from {
+		// The requester already became the owner: ownership was granted
+		// while this Get chased it. Retire one expected reply instead of
+		// dropping silently, keeping the ack count exact.
+		if d.Tracef != nil {
+			d.Tracef("%v retired stale Get for page %d from %v (already owner)", k, req.pfn, req.from)
+		}
+		d.finishOne(pg, req.from, req.shared)
+		return
+	}
+	st := &d.RequesterStats[req.from]
+	hops := 1
+	if pf := pg.pending[req.from]; pf != nil {
+		pf.hops++
+		hops = pf.hops
+	}
+	st.ProbOwnerHops++
+	if hops > st.ForwardMaxDepth {
+		st.ForwardMaxDepth = hops
+	}
+	next := pg.probOwner[k]
+	if next == k || next == req.from || hops > 2*d.SoC.NumDomains() ||
+		d.SoC.Domains[next].Crashed() {
+		next = pg.owner
+	}
+	if !req.shared {
+		// Path compression: the requester will own the page once granted.
+		pg.probOwner[k] = req.from
+	}
+	payload := uint32(req.pfn)
+	if req.shared {
+		payload |= sharedFlag
+	}
+	if d.Tracef != nil {
+		d.Tracef("%v forwarded Get for page %d from %v to probOwner %v (hop %d)", k, req.pfn, req.from, next, hops)
+	}
+	d.SoC.Mailbox.SendAsync(req.from, next,
+		soc.NewMessage(soc.MsgGetExclusive, payload, req.seq))
+}
+
 // forward re-routes a Get that reached a kernel which no longer holds the
 // page — the requester read a stale owner from the directory before the page
 // moved on. The message is re-sent to the current owner with the original
@@ -577,6 +838,10 @@ func (d *DSM) handleGet(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferre
 // and the request is simply dropped.
 func (d *DSM) forward(k soc.DomainID, req deferredReq) {
 	pg := d.page(req.pfn)
+	if d.Params.Protocol == MSI {
+		d.msiForward(k, pg, req)
+		return
+	}
 	if pg.owner == req.from {
 		if d.Tracef != nil {
 			d.Tracef("%v dropped stale Get for page %d from %v (already owner)", k, req.pfn, req.from)
@@ -640,11 +905,19 @@ func (d *DSM) serve(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferredReq
 			pg.level[k] = Shared
 		}
 	} else {
+		if pg.probOwner != nil && pg.level[k] == Shared && pg.owner != k {
+			// A read-sharer surrendering its copy to a write fault is an
+			// invalidation ack, distinct from the owner's grant.
+			d.RequesterStats[k].InvalidationsAcked++
+		}
 		pg.level[k] = Invalid
 		// Ownership transfers with the Put: recording the requester as the
 		// new owner here (not on receipt) keeps the directory ahead of the
 		// message, so later Gets race at most into a forward.
-		pg.owner = req.from
+		pg.takeOwner(req.from)
+		if pg.probOwner != nil {
+			pg.probOwner[k] = req.from
+		}
 	}
 	payload := uint32(req.pfn)
 	if req.shared {
@@ -657,7 +930,7 @@ func (d *DSM) serve(p *sim.Proc, core *soc.Core, k soc.DomainID, req deferredReq
 		soc.NewMessage(soc.MsgPutExclusive, payload, d.SoC.Mailbox.NextSeq()))
 }
 
-func (d *DSM) handlePut(k soc.DomainID, pfn mem.PFN, shared bool) {
+func (d *DSM) handlePut(k, from soc.DomainID, pfn mem.PFN, shared bool) {
 	pg := d.page(pfn)
 	pf := pg.pending[k]
 	if pf != nil {
@@ -668,9 +941,14 @@ func (d *DSM) handlePut(k soc.DomainID, pfn mem.PFN, shared bool) {
 	}
 	if shared {
 		pg.level[k] = Shared
+		if pg.probOwner != nil {
+			// The server of a read request is (or just was) the owner: the
+			// reply path-compresses the requester's hint straight to it.
+			pg.probOwner[k] = from
+		}
 	} else {
 		pg.level[k] = Exclusive
-		pg.owner = k
+		pg.takeOwner(k)
 	}
 	if d.Tracef != nil {
 		d.Tracef("%v received Put for page %d (shared=%v, pending=%v)", k, pfn, shared, pf != nil)
@@ -723,13 +1001,51 @@ func (d *DSM) CheckInvariants() error {
 			case Exclusive:
 				exclusive++
 			case Shared:
-				if !d.Params.ThreeState {
+				if !d.Params.ThreeState && d.Params.Protocol != MSI {
 					return fmt.Errorf("dsm: shared level in two-state mode on page %d (kernel %v)", pfn, h)
 				}
 			}
 		}
 		if exclusive > 1 || (exclusive == 1 && len(holders) > 1) {
 			return fmt.Errorf("dsm: one-writer invariant violated on page %d: holders %v", pfn, holders)
+		}
+	}
+	return nil
+}
+
+// CheckHintChains verifies the MSI forwarding-chain liveness invariant at
+// quiescence: following probOwner hints from any kernel reaches the page's
+// directory owner within NumDomains hops, so no Get can be forwarded
+// forever and no hint chain dead-ends at a non-owner. Only meaningful once
+// every fault has completed — mid-protocol, hints legitimately point at
+// requesters that are not owners yet — so the invariant suite runs it at
+// the Final (quiescent) check alone. A nil error under TwoState: there are
+// no hints to audit.
+func (d *DSM) CheckHintChains() error {
+	if d.Params.Protocol != MSI {
+		return nil
+	}
+	n := d.SoC.NumDomains()
+	for _, pfn := range d.Pages() {
+		pg := d.pages[pfn]
+		for j := range pg.probOwner {
+			cur := soc.DomainID(j)
+			ok := false
+			for step := 0; step <= n; step++ {
+				if cur == pg.owner {
+					ok = true
+					break
+				}
+				next := pg.probOwner[cur]
+				if next == cur {
+					break // dead-ends at a non-owner
+				}
+				cur = next
+			}
+			if !ok {
+				return fmt.Errorf("dsm: probOwner chain from kernel %v on page %d does not reach owner %v (hints %v)",
+					soc.DomainID(j), pfn, pg.owner, pg.probOwner)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,210 @@
+package dsm
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func msiParams() Params {
+	prm := DefaultParams()
+	prm.Protocol = MSI
+	return prm
+}
+
+// Under MSI a read fault installs a Shared replica without stealing the
+// page: the owner keeps (a downgraded copy of) it, and the reader's later
+// reads are free.
+func TestMSIReadInstallsSharedCopy(t *testing.T) {
+	e, s, d := rigN(2, msiParams())
+	w2 := soc.DomainID(2)
+	d.Share(7)
+	e.Spawn("flow", func(p *sim.Proc) {
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 7)
+		d.Read(p, s.Core(w2, 0), w2, 7)
+		if d.Level(w2, 7) != Shared {
+			t.Errorf("reader level = %v, want Shared", d.Level(w2, 7))
+		}
+		if d.Owner(7) != soc.Weak || d.Level(soc.Weak, 7) != Shared {
+			t.Errorf("owner=%v level=%v, want a downgraded weak owner",
+				d.Owner(7), d.Level(soc.Weak, 7))
+		}
+		faults := d.RequesterStats[w2].Faults
+		d.Read(p, s.Core(w2, 0), w2, 7) // replica hit: no fault
+		if got := d.RequesterStats[w2].Faults; got != faults {
+			t.Errorf("second read faulted (%d -> %d)", faults, got)
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	st := d.RequesterStats[w2]
+	if st.ReadFaults != 1 || st.WriteFaults != 0 {
+		t.Fatalf("read/write faults = %d/%d, want 1/0", st.ReadFaults, st.WriteFaults)
+	}
+	if err := d.CheckHintChains(); err != nil {
+		t.Fatal(err)
+	}
+	checkInv(t, d)
+}
+
+// A write fault must invalidate every Shared replica with exact ack
+// accounting: the writer's fault completes only once all sharers have
+// answered, and both sides of the invalidation are counted.
+func TestMSIWriteInvalidatesAllSharers(t *testing.T) {
+	e, s, d := rigN(2, msiParams())
+	w2 := soc.DomainID(2)
+	d.Share(9)
+	e.Spawn("flow", func(p *sim.Proc) {
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 9)
+		d.Read(p, s.Core(w2, 0), w2, 9)
+		d.Read(p, s.Core(soc.Strong, 0), soc.Strong, 9)
+		if h := d.Holders(9); len(h) != 3 {
+			t.Errorf("holders after reads = %v, want all three kernels", h)
+		}
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 9) // upgrade: invalidate both sharers
+		for _, k := range []soc.DomainID{soc.Strong, w2} {
+			if d.Level(k, 9) != Invalid {
+				t.Errorf("%v still holds the page after the upgrade", k)
+			}
+		}
+		if d.Level(soc.Weak, 9) != Exclusive || d.Owner(9) != soc.Weak {
+			t.Errorf("writer level=%v owner=%v", d.Level(soc.Weak, 9), d.Owner(9))
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Totals()
+	if c.InvalidationsSent != 2 || c.InvalidationsAcked != 2 {
+		t.Fatalf("invalidations sent/acked = %d/%d, want 2/2",
+			c.InvalidationsSent, c.InvalidationsAcked)
+	}
+	if err := d.CheckHintChains(); err != nil {
+		t.Fatal(err)
+	}
+	checkInv(t, d)
+}
+
+// A reader whose probOwner hint is stale must reach the owner through the
+// forwarding chain, and the Put must compress its hint so the next miss goes
+// direct.
+func TestMSIProbOwnerForwarding(t *testing.T) {
+	e, s, d := rigN(2, msiParams())
+	w2 := soc.DomainID(2)
+	d.Share(7)
+	e.Spawn("flow", func(p *sim.Proc) {
+		// weak takes ownership; w2's hint still points at the boot owner
+		// (strong), which now only knows weak has the page.
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 7)
+		d.Read(p, s.Core(w2, 0), w2, 7)
+		if d.Level(w2, 7) != Shared {
+			t.Errorf("level = %v after the chased read", d.Level(w2, 7))
+		}
+		if hops := d.RequesterStats[w2].ProbOwnerHops; hops != 1 {
+			t.Errorf("probOwner hops = %d, want exactly 1 (strong -> weak)", hops)
+		}
+		// The Put compressed w2's hint straight to weak: invalidate the
+		// replica and read again — no further hops.
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 7)
+		d.Read(p, s.Core(w2, 0), w2, 7)
+		if hops := d.RequesterStats[w2].ProbOwnerHops; hops != 1 {
+			t.Errorf("hint not compressed: hops = %d after the second read", hops)
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if c := d.Totals(); c.ForwardMaxDepth != 1 {
+		t.Fatalf("forward max depth = %d, want 1", c.ForwardMaxDepth)
+	}
+	if err := d.CheckHintChains(); err != nil {
+		t.Fatal(err)
+	}
+	checkInv(t, d)
+}
+
+// A read fault whose probOwner hint points at a crashed kernel must fall
+// back to the directory entry instead of sending a Get into the void.
+func TestMSIHintToCrashedDomainFallsBack(t *testing.T) {
+	e, s, d := rigN(2, msiParams())
+	w2 := soc.DomainID(2)
+	d.Share(3)
+	e.Spawn("flow", func(p *sim.Proc) {
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 3) // owner weak; w2's hint: strong
+		s.Domains[soc.Strong].Crash()
+		d.Read(p, s.Core(w2, 0), w2, 3)
+		if d.Level(w2, 3) != Shared {
+			t.Errorf("level = %v, want Shared via the directory fallback", d.Level(w2, 3))
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	st := d.RequesterStats[w2]
+	if st.ProbOwnerHops != 0 || st.Resends != 0 {
+		t.Fatalf("hops=%d resends=%d, want 0/0: the fallback goes direct", st.ProbOwnerHops, st.Resends)
+	}
+}
+
+// ReclaimDead must purge the dead kernel from every sharer set and repair
+// every probOwner hint that pointed at it, leaving valid forwarding chains.
+func TestMSIReclaimDeadRepairsHints(t *testing.T) {
+	e, s, d := rigN(2, msiParams())
+	w2 := soc.DomainID(2)
+	d.Share(5)
+	e.Spawn("flow", func(p *sim.Proc) {
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 5) // weak owns; hints lead to weak
+		d.Read(p, s.Core(w2, 0), w2, 5)              // w2 shares, hint -> weak
+	})
+	e.At(sim.Time(10*time.Millisecond), func() { s.Domains[soc.Weak].Crash() })
+	e.SpawnAt(sim.Time(11*time.Millisecond), "sweeper", func(p *sim.Proc) {
+		s.Domains[soc.Strong].EnsureAwake(p)
+		if n := d.ReclaimDead(p, s.Core(soc.Strong, 0), soc.Weak, soc.Strong); n == 0 {
+			t.Error("ReclaimDead swept nothing")
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Owner(5) == soc.Weak {
+		t.Fatal("dead kernel still owns the page")
+	}
+	if d.Level(soc.Weak, 5) != Invalid {
+		t.Fatal("dead kernel still in the sharer set")
+	}
+	if err := d.CheckHintChains(); err != nil {
+		t.Fatalf("hints not repaired after the sweep: %v", err)
+	}
+	checkInv(t, d)
+}
+
+// The default protocol must stay byte-for-byte the paper's two-state
+// protocol: no probOwner metadata, no Shared installs on reads.
+func TestTwoStateUnchangedByDefault(t *testing.T) {
+	e, s, d := rigN(2, DefaultParams())
+	w2 := soc.DomainID(2)
+	d.Share(7)
+	e.Spawn("flow", func(p *sim.Proc) {
+		d.Write(p, s.Core(soc.Weak, 0), soc.Weak, 7)
+		d.Read(p, s.Core(w2, 0), w2, 7) // a two-state read steals the only copy
+		if d.Owner(7) != w2 || d.Level(w2, 7) != Exclusive {
+			t.Errorf("owner=%v level=%v, want an exclusive steal", d.Owner(7), d.Level(w2, 7))
+		}
+		if d.Level(soc.Weak, 7) != Invalid {
+			t.Error("previous owner kept a copy under two-state")
+		}
+	})
+	if err := e.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Totals()
+	if c.ReadFaults != 0 || c.WriteFaults != 0 || c.InvalidationsSent != 0 || c.ProbOwnerHops != 0 {
+		t.Fatalf("MSI counters moved under two-state: %+v", c)
+	}
+	if err := d.CheckHintChains(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -73,7 +73,7 @@ func (d *DSM) spinRecover(p *sim.Proc, core *soc.Core, k soc.DomainID, pfn mem.P
 				pg.level[k] = Shared
 			} else {
 				pg.level[k] = Exclusive
-				pg.owner = k
+				pg.takeOwner(k)
 			}
 			pg.pending[k] = nil
 			st.Recoveries++
@@ -129,13 +129,30 @@ func (d *DSM) ReclaimDead(p *sim.Proc, core *soc.Core, dead, heir soc.DomainID) 
 		if pg.owner == dead {
 			changed = true
 			if holders := pg.holders(); len(holders) > 0 {
-				// Surviving copies exist (three-state): the lowest holder
+				// Surviving copies exist (read sharing): the lowest holder
 				// takes over servicing.
 				pg.owner = holders[0]
 			} else if !d.grantToWaiter(pg) {
 				pg.owner = heir
 				pg.level[heir] = Exclusive
 			}
+		}
+		if pg.probOwner != nil {
+			// Repair hints through the crashed kernel: any chain routed at
+			// or through it re-homes to the (post-repair) directory owner,
+			// and the owner's own hint is restored to itself so every chain
+			// terminates.
+			for j, h := range pg.probOwner {
+				if h == dead && soc.DomainID(j) != dead {
+					pg.probOwner[j] = pg.owner
+					changed = true
+				}
+			}
+			if pg.probOwner[dead] != pg.owner {
+				pg.probOwner[dead] = pg.owner
+				changed = true
+			}
+			pg.probOwner[pg.owner] = pg.owner
 		}
 		if changed {
 			touched++
@@ -161,7 +178,7 @@ func (d *DSM) grantToWaiter(pg *page) bool {
 			continue
 		}
 		pg.level[j] = Exclusive
-		pg.owner = soc.DomainID(j)
+		pg.takeOwner(soc.DomainID(j))
 		pg.pending[j] = nil
 		pf.ev.Fire()
 		return true

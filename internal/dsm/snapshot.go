@@ -9,11 +9,14 @@ import (
 	"k2/internal/stats"
 )
 
-// PageSnap is one directory entry's checkpointable state.
+// PageSnap is one directory entry's checkpointable state. ProbOwner is nil
+// under TwoState (the hints exist only in the MSI protocol), keeping
+// TwoState snapshots byte-identical to the pre-MSI codec.
 type PageSnap struct {
-	PFN    int
-	Levels []int
-	Owner  int
+	PFN       int
+	Levels    []int
+	Owner     int
+	ProbOwner []int
 }
 
 // DSMState is the coherence manager's checkpointable state. Pending faults
@@ -46,6 +49,9 @@ func (d *DSM) CaptureState() (DSMState, error) {
 		for _, lv := range pg.level {
 			ps.Levels = append(ps.Levels, int(lv))
 		}
+		for _, h := range pg.probOwner {
+			ps.ProbOwner = append(ps.ProbOwner, int(h))
+		}
 		st.Pages = append(st.Pages, ps)
 	}
 	sort.Slice(st.Pages, func(i, j int) bool { return st.Pages[i].PFN < st.Pages[j].PFN })
@@ -74,6 +80,22 @@ func (d *DSM) RestoreState(st DSMState) error {
 		}
 		for k, lv := range ps.Levels {
 			pg.level[k] = Level(lv)
+		}
+		if len(ps.ProbOwner) > 0 {
+			pg.probOwner = make([]soc.DomainID, n)
+			for k := range pg.probOwner {
+				pg.probOwner[k] = pg.owner
+			}
+			for k, h := range ps.ProbOwner {
+				if k < n {
+					pg.probOwner[k] = soc.DomainID(h)
+				}
+			}
+		} else if d.Params.Protocol == MSI {
+			pg.probOwner = make([]soc.DomainID, n)
+			for k := range pg.probOwner {
+				pg.probOwner[k] = pg.owner
+			}
 		}
 		d.pages[mem.PFN(ps.PFN)] = pg
 	}

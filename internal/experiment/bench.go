@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"k2/internal/dsm"
 	"k2/internal/stats"
 )
 
@@ -68,6 +69,13 @@ type BenchData struct {
 	Scale          []ScaleConfig   `json:"scale,omitempty"`
 	Faults         *FaultsData     `json:"faults,omitempty"`
 	Chaos          *ChaosData      `json:"chaos,omitempty"`
+	DSMShare       []DSMShareCase  `json:"dsm_share,omitempty"`
+
+	// DSMCounters sums the coherence-protocol counters over every selected
+	// experiment's booted systems; DSMProtocol records the process-wide
+	// protocol the run was taken under.
+	DSMProtocol string        `json:"dsm_protocol"`
+	DSMCounters *dsm.Counters `json:"dsm_counters,omitempty"`
 }
 
 // RateSummary is the distribution of per-experiment events_per_sec over a
@@ -119,8 +127,15 @@ func MeasureBench(defs []Def, parallel int) BenchData {
 	total := time.Since(start)
 
 	b := BenchData{Parallel: r.Workers(), TotalWallMS: ms(total), EventsPerSec: rateSummaryOf(results)}
+	b.DSMProtocol = DSMProtocol.String()
+	var dsmTotals dsm.Counters
+	haveDSM := false
 	for _, res := range results {
 		b.Experiments = append(b.Experiments, telemetryOf(res))
+		if c, _ := res.DSMCounters(); res.probe != nil && len(res.probe.dsms) > 0 {
+			dsmTotals.Add(c)
+			haveDSM = true
+		}
 		pr := res.probe
 		if pr == nil {
 			continue
@@ -143,6 +158,12 @@ func MeasureBench(defs []Def, parallel int) BenchData {
 		if pr.chaos != nil {
 			b.Chaos = pr.chaos
 		}
+		if pr.dsmShare != nil {
+			b.DSMShare = pr.dsmShare
+		}
+	}
+	if haveDSM {
+		b.DSMCounters = &dsmTotals
 	}
 	return b
 }

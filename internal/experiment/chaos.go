@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"k2/internal/chaos"
+	"k2/internal/dsm"
 	"k2/internal/sim"
 )
 
@@ -32,10 +33,11 @@ type ChaosFailure struct {
 // pass/fail counts over every storm, aggregate recovery traffic, and the
 // failing storms with their repro lines.
 type ChaosData struct {
-	BaseSeed    int64 `json:"base_seed"`
-	WeakDomains int   `json:"weak_domains"`
-	Sweep       int   `json:"sweep"`
-	Failures    int   `json:"failures"`
+	BaseSeed    int64  `json:"base_seed"`
+	WeakDomains int    `json:"weak_domains"`
+	Sweep       int    `json:"sweep"`
+	Protocol    string `json:"protocol"`
+	Failures    int    `json:"failures"`
 
 	OraclePass map[string]int `json:"oracle_pass"`
 	OracleFail map[string]int `json:"oracle_fail"`
@@ -46,6 +48,9 @@ type ChaosData struct {
 	MailsDropped int `json:"mails_dropped"`
 	Retransmits  int `json:"retransmits"`
 	StaleFrees   int `json:"stale_frees"`
+
+	// DSM sums the coherence-protocol counters over every storm run.
+	DSM *dsm.Counters `json:"dsm_counters,omitempty"`
 
 	Failing []ChaosFailure `json:"failing,omitempty"`
 }
@@ -64,8 +69,15 @@ func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
 	if sweep <= 0 {
 		sweep = 8
 	}
+	// The sweep honours the session protocol: the k2bench -dsm-protocol
+	// package default, or the per-measurement override (k2d's per-job
+	// protocol field).
+	proto := DSMProtocol
+	if pr := activeProbe(); pr != nil && pr.dsmProtocolSet {
+		proto = pr.dsmProtocol
+	}
 	d := ChaosData{
-		BaseSeed: baseSeed, WeakDomains: weak, Sweep: sweep,
+		BaseSeed: baseSeed, WeakDomains: weak, Sweep: sweep, Protocol: proto.String(),
 		OraclePass: map[string]int{}, OracleFail: map[string]int{},
 	}
 
@@ -79,7 +91,7 @@ func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
 	}
 
 	// The convergence baseline: the same workload and platform, zero storm.
-	base := chaos.Run(chaos.Config{WeakDomains: weak, Storm: &chaos.Storm{}, NewEngine: newEngine, Checkpoint: ckpt})
+	base := chaos.Run(chaos.Config{WeakDomains: weak, Protocol: proto, Storm: &chaos.Storm{}, NewEngine: newEngine, Checkpoint: ckpt})
 
 	rng := sim.NewRand(baseSeed)
 	seeds := make([]int64, sweep)
@@ -97,7 +109,7 @@ func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
 	for i := range defs {
 		i := i
 		defs[i] = Def{ID: fmt.Sprintf("chaos-%d", i), Name: "chaos storm", Run: func() Table {
-			r := chaos.Run(chaos.Config{Seed: seeds[i], WeakDomains: weak, NewEngine: newEngine, Checkpoint: ckpt})
+			r := chaos.Run(chaos.Config{Seed: seeds[i], WeakDomains: weak, Protocol: proto, NewEngine: newEngine, Checkpoint: ckpt})
 			r.Violations = append(r.Violations, chaos.Diverges(base, r)...)
 			runs[i] = r
 			return Table{}
@@ -127,7 +139,9 @@ func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
 	})
 
 	const maxShrink = 5
+	var dsmTotals dsm.Counters
 	for _, r := range runs {
+		dsmTotals.Add(r.DSM)
 		failed := map[string]bool{}
 		for _, v := range r.Violations {
 			failed[v.Oracle] = true
@@ -151,7 +165,7 @@ func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
 		f := ChaosFailure{
 			Seed:  r.Seed,
 			Storm: r.Storm.String(),
-			Repro: chaos.ReproCommand(r.Seed, weak, r.Storm),
+			Repro: chaos.ReproCommand(r.Seed, weak, r.Storm, proto),
 		}
 		for _, v := range r.Violations {
 			f.Violations = append(f.Violations, v.String())
@@ -162,15 +176,16 @@ func MeasureChaosSweep(baseSeed int64, weak, sweep, parallel int) ChaosData {
 			// checkpoint: each predicate run replays only its post-boot
 			// suffix, and checkpointing cannot change the verdict.
 			fails := func(st chaos.Storm) bool {
-				rr := chaos.Run(chaos.Config{Seed: seed, WeakDomains: weak, Storm: &st, NewEngine: newEngine, Checkpoint: true})
+				rr := chaos.Run(chaos.Config{Seed: seed, WeakDomains: weak, Protocol: proto, Storm: &st, NewEngine: newEngine, Checkpoint: true})
 				return len(rr.Violations) > 0 || len(chaos.Diverges(base, rr)) > 0
 			}
 			shrunk := chaos.Shrink(r.Storm, fails, 200)
 			f.ShrunkStorm = shrunk.String()
-			f.ShrunkRepro = chaos.ReproCommand(seed, weak, shrunk)
+			f.ShrunkRepro = chaos.ReproCommand(seed, weak, shrunk, proto)
 		}
 		d.Failing = append(d.Failing, f)
 	}
+	d.DSM = &dsmTotals
 	deposit(func(pr *probe) { pr.chaos = &d })
 	return d
 }
@@ -198,10 +213,14 @@ func ChaosSweep(baseSeed int64, weak, sweep, parallel int) Table {
 
 // Table renders the sweep summary (k2bench prints this in -chaos mode).
 func (d ChaosData) Table() Table {
+	title := fmt.Sprintf("%d random fault storms on %d weak domains (base seed %d), every oracle checked",
+		d.Sweep, d.WeakDomains, d.BaseSeed)
+	if d.Protocol != "" && d.Protocol != dsm.TwoState.String() {
+		title += fmt.Sprintf(", %s protocol", d.Protocol)
+	}
 	t := Table{
-		ID: "Chaos",
-		Title: fmt.Sprintf("%d random fault storms on %d weak domains (base seed %d), every oracle checked",
-			d.Sweep, d.WeakDomains, d.BaseSeed),
+		ID:     "Chaos",
+		Title:  title,
 		Header: []string{"Oracle", "Pass", "Fail"},
 	}
 	for _, orc := range chaosOracles {

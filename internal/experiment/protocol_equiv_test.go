@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+
+	"k2/internal/dsm"
+)
+
+// Protocol-equivalence suite: every registry experiment must run to
+// completion under the MSI protocol with all of its internal invariant
+// suites passing (they panic on violation), and the experiments whose
+// workloads never share DSM pages must produce byte-identical tables under
+// both protocols. The chaos entry is covered by the chaos package's own MSI
+// sweep; dsmshare pins both protocols internally.
+
+// dsmFreeIDs are the experiments whose tables cannot depend on the DSM
+// protocol at all: static platform tables and the pure frequency figure.
+var dsmFreeIDs = map[string]bool{
+	"t1": true, "f1": true, "t2": true, "t3": true,
+}
+
+func TestRegistryRunsUnderMSI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole registry twice")
+	}
+	for _, d := range Registry() {
+		switch d.ID {
+		case "chaos":
+			continue
+		}
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			r := MeasureContext(context.Background(), d, WithDSMProtocol(dsm.MSI))
+			if r.Err != nil {
+				t.Fatalf("%s under MSI: %v", d.ID, r.Err)
+			}
+			if len(r.Table.Header) == 0 && len(r.Table.Rows) == 0 {
+				t.Fatalf("%s under MSI produced an empty table", d.ID)
+			}
+			if dsmFreeIDs[d.ID] {
+				base := Measure(Def{ID: d.ID, Name: d.Name, Run: d.Run})
+				if got, want := r.Table.String(), base.Table.String(); got != want {
+					t.Fatalf("%s differs under MSI although it never touches the DSM:\n--- msi\n%s\n--- twostate\n%s",
+						d.ID, got, want)
+				}
+			}
+		})
+	}
+}
+
+// The per-measurement override must reach the systems the experiment boots:
+// a Table 5 run under MSI reports MSI counters, while the package default
+// stays two-state and reports none.
+func TestWithDSMProtocolReachesBootedSystems(t *testing.T) {
+	d, ok := DefFor("t5", Params{})
+	if !ok {
+		t.Fatal("t5 not registered")
+	}
+	r := MeasureContext(context.Background(), d, WithDSMProtocol(dsm.MSI))
+	c, msi := r.DSMCounters()
+	if !msi {
+		t.Fatal("no booted system ran the MSI protocol under WithDSMProtocol")
+	}
+	if c.Faults == 0 {
+		t.Fatal("t5 under MSI recorded no DSM faults")
+	}
+	base := Measure(d)
+	bc, msi := base.DSMCounters()
+	if msi {
+		t.Fatal("default t5 reports an MSI system")
+	}
+	if bc.ReadFaults != 0 || bc.InvalidationsSent != 0 || bc.ProbOwnerHops != 0 {
+		t.Fatalf("default t5 moved MSI-only counters: %+v", bc)
+	}
+}

@@ -34,6 +34,7 @@ func Registry() []Def {
 		{"a4", "Ablation §6.2 (movable placement)", AblationPlacementPolicy},
 		{"a5", "Ablation §8 (suspend-ack overlap)", AblationSuspendOverlap},
 		{"scale", "Scale (1/2/4 weak domains)", Scale},
+		{"dsmshare", "DSM protocol ablation (two-state vs MSI/probOwner)", DSMShare},
 		{"faults", "Fault injection + recovery", Faults},
 		{"chaos", "Chaos sweep (random storms + invariant oracle)", Chaos},
 	}
@@ -79,6 +80,11 @@ func DefFor(id string, p Params) (Def, bool) {
 			if p.WeakDomains > 0 {
 				weak := p.WeakDomains
 				d.Run = func() Table { return ScaleN(weak) }
+			}
+		case "dsmshare":
+			if p.WeakDomains > 0 {
+				weak := p.WeakDomains
+				d.Run = func() Table { return DSMShareN(weak) }
 			}
 		case "chaos":
 			seed := p.Seed

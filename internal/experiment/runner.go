@@ -6,9 +6,17 @@ import (
 	"sync"
 	"time"
 
+	"k2/internal/dsm"
 	"k2/internal/sim"
 	"k2/internal/trace"
 )
+
+// DSMProtocol is the process-wide default coherence protocol for systems
+// booted by experiments that do not pin their own DSM parameters. k2bench
+// -dsm-protocol sets it; per-measurement overrides use WithDSMProtocol.
+// TwoState (the zero value) preserves the paper's protocol and keeps every
+// default output byte-identical.
+var DSMProtocol dsm.Protocol
 
 // probe collects what one experiment run did: every engine it booted (for
 // event/switch/wall telemetry) and the machine-readable data the Measure*
@@ -35,12 +43,22 @@ type probe struct {
 	warmStarts int
 	bootWall   time.Duration
 
-	t4     *Table4Data
-	t5     *Table5Data
-	t6     []DMAThroughput
-	scale  []ScaleConfig
-	faults *FaultsData
-	chaos  *ChaosData
+	// dsmProtocol, when set, overrides the process-wide DSMProtocol for
+	// systems this measurement boots (k2d's per-job protocol field).
+	// dsmProtocolSet distinguishes "explicitly twostate" from "inherit".
+	dsmProtocol    dsm.Protocol
+	dsmProtocolSet bool
+	// dsms collects the coherence manager of every system the experiment
+	// booted, so the runner can aggregate protocol counters afterwards.
+	dsms []*dsm.DSM
+
+	t4       *Table4Data
+	t5       *Table5Data
+	t6       []DMAThroughput
+	scale    []ScaleConfig
+	faults   *FaultsData
+	chaos    *ChaosData
+	dsmShare []DSMShareCase
 }
 
 // probes maps goroutine IDs to their active probe. Experiments are plain
@@ -133,6 +151,24 @@ func (r Result) Detached() Result {
 	return r
 }
 
+// DSMCounters sums the coherence-protocol counters over every system the
+// experiment booted, plus whether any of them ran the MSI protocol. On a
+// detached result (or one that booted no DSM) it returns zeros and false.
+func (r Result) DSMCounters() (dsm.Counters, bool) {
+	var c dsm.Counters
+	msi := false
+	if r.probe == nil {
+		return c, false
+	}
+	for _, d := range r.probe.dsms {
+		c.Add(d.Totals())
+		if d.Params.Protocol == dsm.MSI {
+			msi = true
+		}
+	}
+	return c, msi
+}
+
 // EventsPerSec returns dispatched events per second of experiment wall
 // time. Unlike Stats.EventsPerSec this uses the experiment's envelope wall
 // clock, so table formatting and boot code count against the rate.
@@ -164,6 +200,14 @@ type Option func(*probe)
 // experiment. The sink observes; it must not touch simulation state.
 func WithTraceSink(fn func(trace.Event)) Option {
 	return func(pr *probe) { pr.traceSink = fn }
+}
+
+// WithDSMProtocol overrides the process-wide DSMProtocol for this
+// measurement alone: systems it boots without pinned DSM parameters use
+// protocol p. Experiments that pin their own dsm.Params (the protocol
+// ablations, chaos recovery platforms) keep them.
+func WithDSMProtocol(p dsm.Protocol) Option {
+	return func(pr *probe) { pr.dsmProtocol = p; pr.dsmProtocolSet = true }
 }
 
 // WithWarmStart lets the measurement boot systems by restoring cached

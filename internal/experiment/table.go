@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"k2/internal/core"
+	"k2/internal/dsm"
 	"k2/internal/sim"
 )
 
@@ -84,12 +85,28 @@ func bootFresh(mode core.Mode, opts ...func(*core.Options)) (*sim.Engine, *core.
 	for _, f := range opts {
 		f(&o)
 	}
+	// Select the coherence protocol for systems that did not pin their own
+	// DSM parameters: the measurement's override when present, else the
+	// process-wide default. Experiments with explicit params (the protocol
+	// ablations, chaos recovery platforms) keep what they asked for.
+	proto := DSMProtocol
+	if pr != nil && pr.dsmProtocolSet {
+		proto = pr.dsmProtocol
+	}
+	if proto != dsm.TwoState && o.DSMParams == nil {
+		prm := dsm.DefaultParams()
+		prm.Protocol = proto
+		o.DSMParams = &prm
+	}
 	if pr != nil && pr.warmStart {
 		if snp, err := readySnapshot(o); err == nil {
 			e := newEngine()
 			if os, err := snp.Restore(e, o.TraceSink); err == nil {
 				pr.warmStarts++
 				pr.bootWall += time.Since(start)
+				if os.DSM != nil {
+					pr.dsms = append(pr.dsms, os.DSM)
+				}
 				return e, os
 			}
 		}
@@ -112,6 +129,9 @@ func bootFresh(mode core.Mode, opts ...func(*core.Options)) (*sim.Engine, *core.
 	}
 	if pr != nil {
 		pr.bootWall += time.Since(start)
+		if os.DSM != nil {
+			pr.dsms = append(pr.dsms, os.DSM)
+		}
 	}
 	return e, os
 }

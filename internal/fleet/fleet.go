@@ -99,5 +99,11 @@ func (c Config) withDefaults() Config {
 // byte-identical tables and traces on any worker, which is what makes
 // consistent-hash sharding also shard the result cache.
 func JobKey(req server.Request) string {
-	return fmt.Sprintf("%s/%d/%d/%d", req.Experiment, req.Seed, req.WeakDomains, req.Sweep)
+	key := fmt.Sprintf("%s/%d/%d/%d", req.Experiment, req.Seed, req.WeakDomains, req.Sweep)
+	// Appended only for a non-default protocol: default jobs keep the key
+	// (and thus the ring placement) they had before the MSI protocol existed.
+	if req.DSMProtocol != "" {
+		key += "/" + req.DSMProtocol
+	}
+	return key
 }

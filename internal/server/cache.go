@@ -17,6 +17,7 @@ type cacheKey struct {
 	Seed        int64
 	WeakDomains int
 	Sweep       int
+	Protocol    string // normalized by Validate; "" = the default two-state
 }
 
 func cacheKeyOf(req Request) cacheKey {
@@ -25,6 +26,7 @@ func cacheKeyOf(req Request) cacheKey {
 		Seed:        req.Seed,
 		WeakDomains: req.WeakDomains,
 		Sweep:       req.Sweep,
+		Protocol:    req.DSMProtocol,
 	}
 }
 

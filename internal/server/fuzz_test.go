@@ -18,6 +18,9 @@ func FuzzRequestDecode(f *testing.F) {
 	f.Add(`{"experiment":"faults","timeout_ms":1000,"priority":2,"format":"csv"}`)
 	f.Add(`{}`)
 	f.Add(`{"experiment":"t1","bogus":1}`)
+	f.Add(`{"experiment":"t5","dsm_protocol":"msi"}`)
+	f.Add(`{"experiment":"dsmshare","dsm_protocol":"two-state","weak_domains":4}`)
+	f.Add(`{"experiment":"chaos","dsm_protocol":"mesi"}`)
 	f.Add(`[1,2,3]`)
 	f.Add(`"experiment"`)
 	f.Add("{\"experiment\":\"\\u0000\"}")

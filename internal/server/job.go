@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"k2/internal/dsm"
 	"k2/internal/experiment"
 	"k2/internal/sim"
 	"k2/internal/trace"
@@ -54,6 +55,10 @@ type Request struct {
 	// Sweep sizes the chaos experiment: how many seeded storms to run
 	// (0 = the registry default of 8).
 	Sweep int `json:"sweep,omitempty"`
+	// DSMProtocol selects the coherence protocol the job's systems run:
+	// "twostate" (or "", the default) or "msi". Validate normalizes it, so
+	// spellings that mean the default all hit the same cache entry.
+	DSMProtocol string `json:"dsm_protocol,omitempty"`
 	// Priority orders the queue: higher runs first, FIFO within a class.
 	Priority int `json:"priority,omitempty"`
 	// TimeoutMS bounds the run in host milliseconds (0 = the daemon's
@@ -88,6 +93,17 @@ func (r *Request) Validate() error {
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	proto, err := dsm.ParseProtocol(r.DSMProtocol)
+	if err != nil {
+		return err
+	}
+	// Normalize so every spelling of the default ("", "twostate",
+	// "two-state", ...) shares one cache key and wire form.
+	if proto == dsm.TwoState {
+		r.DSMProtocol = ""
+	} else {
+		r.DSMProtocol = proto.String()
 	}
 	switch r.Format {
 	case "", "text", "markdown", "csv":
@@ -129,6 +145,7 @@ type Status struct {
 	Seed       int64   `json:"seed,omitempty"`
 	WeakDoms   int     `json:"weak_domains,omitempty"`
 	Sweep      int     `json:"sweep,omitempty"`
+	Protocol   string  `json:"dsm_protocol,omitempty"`
 	Submitted  string  `json:"submitted"`
 	QueuedMS   float64 `json:"queued_ms,omitempty"`
 	RunMS      float64 `json:"run_ms,omitempty"`
@@ -160,6 +177,7 @@ func (j *Job) status() Status {
 		Seed:       j.Req.Seed,
 		WeakDoms:   j.Req.WeakDomains,
 		Sweep:      j.Req.Sweep,
+		Protocol:   j.Req.DSMProtocol,
 		Submitted:  j.submitted.UTC().Format(time.RFC3339Nano),
 		Error:      j.errMsg,
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"k2/internal/dsm"
 	"k2/internal/experiment"
 	"k2/internal/stats"
 )
@@ -32,6 +33,11 @@ type metrics struct {
 	// warmStarts counts boots served by restoring a checkpoint instead of
 	// booting cold, summed over every finished job.
 	warmStarts uint64
+
+	// DSM coherence counters summed over every finished job's booted
+	// systems, plus how many finished jobs ran the MSI protocol.
+	dsm     dsm.Counters
+	msiJobs uint64
 
 	// Chaos-sweep tallies summed over every finished chaos job.
 	chaosStorms   uint64            // storms simulated
@@ -73,6 +79,12 @@ func (m *metrics) recordFinished(id string, state State, res *experiment.Result,
 		return
 	}
 	m.warmStarts += uint64(res.WarmStarts)
+	if c, msi := res.DSMCounters(); c != (dsm.Counters{}) || msi {
+		m.dsm.Add(c)
+		if msi {
+			m.msiJobs++
+		}
+	}
 	m.engineEvents += res.Stats.Dispatched
 	m.engineSwitches += res.Stats.ProcSwitches
 	m.virtualNS += uint64(res.Virtual)
@@ -85,6 +97,14 @@ func (m *metrics) recordFinished(id string, state State, res *experiment.Result,
 		h.Observe(res.Wall)
 	}
 	if cd := res.ChaosResult(); cd != nil {
+		// Chaos runs own their engines outside the probe; their DSM totals
+		// arrive through the sweep summary instead.
+		if cd.DSM != nil {
+			m.dsm.Add(*cd.DSM)
+		}
+		if cd.Protocol == dsm.MSI.String() {
+			m.msiJobs++
+		}
 		m.chaosStorms += uint64(cd.Sweep)
 		m.chaosFailures += uint64(cd.Failures)
 		for orc, n := range cd.OraclePass {
@@ -187,6 +207,17 @@ func (m *metrics) render(w io.Writer, queueDepth, inflight int, draining bool, c
 	gauge("k2d_cache_entries", "Results currently cached.", cs.entries)
 	gauge("k2d_cache_bytes", "Approximate bytes retained by the result cache.", cs.bytes)
 	counter("k2d_warm_starts_total", "Boots served by restoring a checkpoint instead of booting cold.", m.warmStarts)
+
+	counter("k2d_dsm_faults_total", "DSM faults across all finished jobs' booted systems.", uint64(m.dsm.Faults))
+	counter("k2d_dsm_read_faults_total", "DSM read faults resolved by installing a Shared replica (MSI).", uint64(m.dsm.ReadFaults))
+	counter("k2d_dsm_write_faults_total", "DSM write faults that invalidated sharers before granting ownership (MSI).", uint64(m.dsm.WriteFaults))
+	counter("k2d_dsm_claims_total", "DSM faults resolved locally against inactive peers (no mailbox traffic).", uint64(m.dsm.Claims))
+	counter("k2d_dsm_invalidations_sent_total", "Invalidation requests sent to Shared replica holders (MSI).", uint64(m.dsm.InvalidationsSent))
+	counter("k2d_dsm_invalidations_acked_total", "Invalidation acknowledgements received from sharers (MSI).", uint64(m.dsm.InvalidationsAcked))
+	counter("k2d_dsm_probowner_hops_total", "Forwarding hops taken chasing stale probOwner hints (MSI).", uint64(m.dsm.ProbOwnerHops))
+	counter("k2d_dsm_resends_total", "DSM requests resent after an owner timeout.", uint64(m.dsm.Resends))
+	counter("k2d_dsm_dead_reclaims_total", "Pages reclaimed from crashed kernels by recovery sweeps.", uint64(m.dsm.DeadReclaims))
+	counter("k2d_msi_jobs_total", "Finished jobs that ran the MSI read-replication protocol.", m.msiJobs)
 
 	counter("k2d_engine_events_dispatched_total", "Simulation events dispatched across all finished jobs.", m.engineEvents)
 	counter("k2d_engine_proc_switches_total", "Engine-to-proc control transfers across all finished jobs.", m.engineSwitches)

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// A job may select the DSM coherence protocol; the daemon validates and
+// normalizes it, echoes it in the status, keys the result cache on it, and
+// surfaces the coherence counters on /metrics.
+func TestJobDSMProtocol(t *testing.T) {
+	s, ts := newTestServer(t, Config{Parallel: 2, QueueDepth: 16})
+
+	t.Run("unknown protocol is 400", func(t *testing.T) {
+		resp, _ := postJob(t, ts, `{"experiment":"t5","dsm_protocol":"mesi"}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("submit status %d, want 400", resp.StatusCode)
+		}
+	})
+
+	waitDone := func(t *testing.T, id string) Status {
+		t.Helper()
+		code, body := getBody(t, ts.URL+"/v1/jobs/"+id+"?wait=30")
+		if code != http.StatusOK {
+			t.Fatalf("poll status %d: %s", code, body)
+		}
+		var done Status
+		if err := json.Unmarshal([]byte(body), &done); err != nil {
+			t.Fatal(err)
+		}
+		if done.State != StateDone {
+			t.Fatalf("job %s finished %q: %s", id, done.State, done.Error)
+		}
+		return done
+	}
+
+	t.Run("msi job runs and echoes its protocol", func(t *testing.T) {
+		resp, st := postJob(t, ts, `{"experiment":"t5","dsm_protocol":"msi"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+		if st.Protocol != "msi" {
+			t.Fatalf("submit echo protocol %q, want msi", st.Protocol)
+		}
+		done := waitDone(t, st.ID)
+		if done.Protocol != "msi" || done.Result == nil {
+			t.Fatalf("done status: %+v", done)
+		}
+	})
+
+	t.Run("cache keys on the protocol", func(t *testing.T) {
+		// Same experiment and parameters under the default protocol must be
+		// a cache miss, not a byte-mismatched hit of the MSI run.
+		_, st := postJob(t, ts, `{"experiment":"t5"}`)
+		done := waitDone(t, st.ID)
+		if done.Protocol != "" {
+			t.Fatalf("default job echoes protocol %q", done.Protocol)
+		}
+		// Spellings of the default normalize to one key: "twostate" hits the
+		// entry the "" job just filled.
+		_, st2 := postJob(t, ts, `{"experiment":"t5","dsm_protocol":"twostate"}`)
+		waitDone(t, st2.ID)
+		cs := s.cache.stats()
+		if cs.hits == 0 {
+			t.Fatalf("normalized default spelling missed the cache: %+v", cs)
+		}
+		if ck := cacheKeyOf(Request{Experiment: "t5", DSMProtocol: "msi"}); ck.Protocol != "msi" {
+			t.Fatalf("cache key drops the protocol: %+v", ck)
+		}
+	})
+
+	t.Run("metrics expose the coherence counters", func(t *testing.T) {
+		code, body := getBody(t, ts.URL+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("/metrics status %d", code)
+		}
+		for _, name := range []string{
+			"k2d_dsm_faults_total", "k2d_dsm_read_faults_total",
+			"k2d_dsm_invalidations_sent_total", "k2d_dsm_probowner_hops_total",
+			"k2d_dsm_claims_total", "k2d_dsm_dead_reclaims_total",
+			"k2d_msi_jobs_total",
+		} {
+			if !strings.Contains(body, "# TYPE "+name+" counter") {
+				t.Fatalf("/metrics missing %s:\n%s", name, body)
+			}
+		}
+		for _, name := range []string{"k2d_dsm_faults_total", "k2d_msi_jobs_total"} {
+			m := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`).FindStringSubmatch(body)
+			if m == nil {
+				t.Fatalf("no sample for %s", name)
+			}
+			if v, _ := strconv.Atoi(m[1]); v == 0 {
+				t.Fatalf("%s is zero after an MSI t5 job", name)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"k2/internal/dsm"
 	"k2/internal/experiment"
 )
 
@@ -285,6 +286,11 @@ func (s *Server) runJob(j *Job) {
 		opts := []experiment.Option{experiment.WithTraceSink(j.trace.add)}
 		if s.cfg.WarmStart {
 			opts = append(opts, experiment.WithWarmStart())
+		}
+		if j.Req.DSMProtocol != "" {
+			// Validate already parsed and normalized the spelling.
+			proto, _ := dsm.ParseProtocol(j.Req.DSMProtocol)
+			opts = append(opts, experiment.WithDSMProtocol(proto))
 		}
 		res = experiment.MeasureContext(ctx, j.def, opts...)
 		return ""

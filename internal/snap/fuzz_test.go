@@ -6,6 +6,22 @@ import (
 	"time"
 )
 
+// msiSnapSeed mirrors the shape dsm.DSMState takes under the MSI protocol —
+// Shared levels plus a per-kernel probOwner hint vector on every page — so
+// the committed corpus exercises the codec on realistic MSI snapshot bytes
+// (the TwoState shape leaves ProbOwner nil).
+type msiSnapSeed struct {
+	Pages        []msiPageSeed
+	DeadReclaims int
+}
+
+type msiPageSeed struct {
+	PFN       int
+	Levels    []int
+	Owner     int
+	ProbOwner []int
+}
+
 // FuzzDecode is the snapshot-codec fuzz target: decoding arbitrary bytes
 // must never panic, and any bytes that do decode must re-encode to a stable
 // fixed point (encode -> decode -> encode is byte-identical from the first
@@ -18,6 +34,18 @@ func FuzzDecode(f *testing.F) {
 	corrupt := Encode(testValue())
 	corrupt[len(corrupt)/2] ^= 0xff
 	f.Add(corrupt)
+	f.Add(Encode(msiSnapSeed{
+		Pages: []msiPageSeed{
+			{PFN: 7, Levels: []int{1, 0, 2}, Owner: 2, ProbOwner: []int{2, 0, 2}},
+			{PFN: 9, Levels: []int{1, 1, 1}, Owner: 0, ProbOwner: []int{0, 2, 0}},
+		},
+		DeadReclaims: 1,
+	}))
+	msiCorrupt := Encode(msiSnapSeed{
+		Pages: []msiPageSeed{{PFN: 3, Levels: []int{2, 0}, Owner: 0, ProbOwner: []int{0, 0}}},
+	})
+	msiCorrupt[len(msiCorrupt)/3] ^= 0xff
+	f.Add(msiCorrupt)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var v sample
 		if err := Decode(data, &v); err != nil {
