@@ -221,6 +221,31 @@ func benchmarkEpisode(b *testing.B, mode core.Mode) {
 func BenchmarkEpisodeK2(b *testing.B)    { benchmarkEpisode(b, core.K2Mode) }
 func BenchmarkEpisodeLinux(b *testing.B) { benchmarkEpisode(b, core.LinuxMode) }
 
+// BenchmarkEpisodeK2Parallel is BenchmarkEpisodeK2 on the parallel event
+// scheduler (internal/pdes, 4 workers): same episode, same bytes, with
+// event-queue maintenance spread over a worker pool. Compared against
+// BenchmarkEpisodeK2 it prices the window-barrier overhead on a small
+// topology; the 16-weak scale experiment is where the parallelism pays.
+func BenchmarkEpisodeK2Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		cfg := soc.DefaultConfig()
+		cfg.StrongFreqMHz = 350
+		o, err := core.Boot(eng, core.Options{Mode: core.K2Mode, SoC: &cfg, EngineParallel: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := workload.MeasureEpisode(eng, o, workload.DMA(o, 16<<10, 128<<10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WorkSpan <= 0 || res.WorkSpan > time.Minute {
+			b.Fatalf("implausible work span %v", res.WorkSpan)
+		}
+		eng.Shutdown() // stop the scheduler's worker goroutines
+	}
+}
+
 // benchmarkReadFaultSharedPage measures the DSM read-fault path on a booted
 // K2 platform: each round the owner re-dirties a shared page and a second
 // weak kernel reads it back. Under two-state the read steals the only copy;

@@ -86,11 +86,17 @@ func main() {
 	weakDomains := flag.Int("weakdomains", 2, "weak domains on the chaos platform (with -chaos)")
 	ckptDemo := flag.Bool("checkpoint-demo", false, "shrink the planted-bug storm cold and from the boot checkpoint, print the replayed-event saving, and exit")
 	protoFlag := flag.String("dsm-protocol", "", "DSM coherence protocol: twostate (default) or msi")
+	enginePar := flag.Int("engine-parallel", 1, "event-scheduler workers per simulation engine (1 = sequential; output is byte-identical at any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this path")
 	flag.Parse()
 	experiment.FaultSeed = *seed
 	experiment.ChaosSeed = *seed
+	if *enginePar < 1 {
+		fmt.Fprintln(os.Stderr, "k2bench: -engine-parallel must be at least 1")
+		os.Exit(2)
+	}
+	experiment.EngineParallel = *enginePar
 	proto, err := dsm.ParseProtocol(*protoFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "k2bench:", err)

@@ -60,6 +60,7 @@ func main() {
 	traceEvents := flag.Int("trace-events", 16384, "per-job kernel-trace retention bound")
 	cacheSize := flag.Int("cache-size", 128, "result-cache entries: repeat jobs are served byte-identically without simulating (negative disables)")
 	warmStart := flag.Bool("warm-start", true, "boot jobs by restoring cached OS checkpoints instead of booting cold (results are byte-identical)")
+	enginePar := flag.Int("engine-parallel", 1, "default event-scheduler workers per job engine (1 = sequential; results are byte-identical at any value, so it never enters cache or shard keys)")
 	fleetURL := flag.String("fleet", "", "k2fleet router base URL to register with as a worker (empty = standalone)")
 	advertise := flag.String("advertise", "", "base URL the router should reach this worker at (default http://<addr>)")
 	workerID := flag.String("worker-id", "", "stable worker identity on the ring (default derived from the advertise URL)")
@@ -78,6 +79,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "k2d: -timeout and -grace must not be negative")
 		os.Exit(2)
 	}
+	if *enginePar < 1 || *enginePar > 64 {
+		fmt.Fprintln(os.Stderr, "k2d: -engine-parallel must be in [1, 64]")
+		os.Exit(2)
+	}
 
 	logger := log.New(os.Stderr, "k2d: ", log.LstdFlags)
 	cache := *cacheSize
@@ -85,13 +90,14 @@ func main() {
 		cache = -1 // flag 0 means "no entries", Config 0 means "default"
 	}
 	s := server.New(server.Config{
-		Parallel:    *parallel,
-		QueueDepth:  *queueDepth,
-		JobTimeout:  *timeout,
-		Seed:        *seed,
-		TraceEvents: *traceEvents,
-		CacheSize:   cache,
-		WarmStart:   *warmStart,
+		Parallel:       *parallel,
+		QueueDepth:     *queueDepth,
+		JobTimeout:     *timeout,
+		Seed:           *seed,
+		TraceEvents:    *traceEvents,
+		CacheSize:      cache,
+		WarmStart:      *warmStart,
+		EngineParallel: *enginePar,
 	})
 	s.Start()
 

@@ -54,6 +54,7 @@ func main() {
 	rebootAfter := flag.Duration("reboot", 0, "reboot the crashed domain this long after the crash (0 = stays down)")
 	dropP := flag.Float64("drop", 0, "probability each mailbox transmission is dropped (all links)")
 	protoFlag := flag.String("dsm-protocol", "", "DSM coherence protocol: twostate (default) or msi (K2 mode)")
+	enginePar := flag.Int("engine-parallel", 1, "event-scheduler workers for the simulation engine (1 = sequential; output is byte-identical at any value)")
 	flag.Parse()
 
 	faulty := *crashAt > 0 || *dropP > 0
@@ -91,10 +92,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "k2sim: -reboot needs a -crash time to reboot from")
 		os.Exit(2)
 	}
+	if *enginePar < 1 {
+		fmt.Fprintln(os.Stderr, "k2sim: -engine-parallel must be at least 1")
+		os.Exit(2)
+	}
 	eng := sim.NewEngine()
 	cfg := soc.DefaultConfig()
 	cfg.StrongFreqMHz = *mhz
-	opts := core.Options{Mode: mode, SoC: &cfg, WeakDomains: *weakDomains}
+	opts := core.Options{Mode: mode, SoC: &cfg, WeakDomains: *weakDomains, EngineParallel: *enginePar}
 	if faulty {
 		// Injected faults need the recovery stack to be survivable.
 		rel := soc.DefaultReliableParams()

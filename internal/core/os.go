@@ -22,6 +22,7 @@ import (
 	"k2/internal/irq"
 	"k2/internal/mem"
 	"k2/internal/netstack"
+	"k2/internal/pdes"
 	"k2/internal/power"
 	"k2/internal/sched"
 	"k2/internal/services"
@@ -79,6 +80,14 @@ type Options struct {
 	// (K2 mode only): heartbeats every weak kernel and reclaims the state
 	// of any that stops answering. Off by default.
 	Watchdog *WatchdogParams
+	// EngineParallel, when > 1, attaches the conservative parallel event
+	// scheduler (internal/pdes) to the booting engine with that many pool
+	// workers, partitioned per coherence domain under the platform's
+	// mailbox-latency lookahead. Dispatch order — and therefore every
+	// table, trace and oracle — is byte-identical at any value; the knob
+	// only moves event-queue maintenance onto more cores. See DESIGN.md
+	// §15.
+	EngineParallel int
 }
 
 // SharedIRQLines are the IO interrupt lines wired to all domains.
@@ -164,6 +173,11 @@ func bootSystem(eng *sim.Engine, opts Options, restore *osState) (*OS, error) {
 	}
 
 	s := soc.New(eng, cfg)
+	if opts.EngineParallel > 1 {
+		// soc.New has declared the partitions, so the scheduler sizes one
+		// sub-heap per domain plus the shared partition.
+		pdes.Attach(eng, opts.EngineParallel)
+	}
 	o := &OS{
 		Mode:        opts.Mode,
 		Eng:         eng,
@@ -309,9 +323,10 @@ func bootSystem(eng *sim.Engine, opts Options, restore *osState) (*OS, error) {
 			core := o.serviceCore(k)
 			for _, h := range handlers {
 				h := h
-				eng.Spawn(fmt.Sprintf("irq%d-%s", line, k), func(p *sim.Proc) {
+				hp := eng.Spawn(fmt.Sprintf("irq%d-%s", line, k), func(p *sim.Proc) {
 					h(p, core, k)
 				})
+				hp.SetPartition(s.DomainPartition(k))
 			}
 		})
 	}
@@ -359,20 +374,22 @@ func (o *OS) spawnDaemons() {
 	for _, k := range o.kernels {
 		k := k
 		core := o.serviceCore(k)
+		part := o.S.DomainPartition(k)
 		o.Eng.Spawn("mbox-dispatch-"+k.String(), func(p *sim.Proc) {
 			o.dispatch(p, core, k)
-		})
+		}).SetPartition(part)
 		o.Eng.Spawn("mem-worker-"+k.String(), func(p *sim.Proc) {
 			o.Mem.Worker(p, core, k)
-		})
+		}).SetPartition(part)
 	}
 	if o.DSM != nil {
-		o.Eng.Spawn("dsm-bh-drainer", o.DSM.RunMainDrainer)
+		o.Eng.Spawn("dsm-bh-drainer", o.DSM.RunMainDrainer).
+			SetPartition(o.S.DomainPartition(soc.Strong))
 	}
 	if o.Watchdog != nil {
 		o.Eng.Spawn("watchdog", func(p *sim.Proc) {
 			o.Watchdog.run(p, o.serviceCore(soc.Strong))
-		})
+		}).SetPartition(o.S.DomainPartition(soc.Strong))
 	}
 }
 

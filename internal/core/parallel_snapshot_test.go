@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"k2/internal/pdes"
+)
+
+// TestSnapshotRoundTripParallelEngine closes the loop between the two
+// tentpole subsystems: checkpoint/fork and the parallel event scheduler.
+// A system booted under the parallel engine must (a) run byte-identically
+// to the sequential boot, (b) capture a snapshot at the ready barrier, and
+// (c) restore from that snapshot into EITHER a sequential or a parallel
+// engine with byte-identical behaviour — so warm starts and -engine-parallel
+// compose freely in any order.
+func TestSnapshotRoundTripParallelEngine(t *testing.T) {
+	opts := snapshotOpts(K2Mode)
+
+	eSeq, oSeq := bootToReady(t, opts)
+	want := exercise(t, eSeq, oSeq)
+
+	par := opts
+	par.EngineParallel = 4
+	ePar, oPar := bootToReady(t, par)
+	defer ePar.Shutdown()
+	snp, err := oPar.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot of a parallel-engine system: %v", err)
+	}
+	if got := exercise(t, ePar, oPar); got != want {
+		t.Fatalf("parallel boot diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+
+	// Restore sequentially: the parallel-captured checkpoint must not
+	// remember anything about the scheduler it was taken under.
+	eWarmSeq, oWarmSeq, err := snp.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exercise(t, eWarmSeq, oWarmSeq); got != want {
+		t.Fatalf("sequential restore of parallel checkpoint diverged:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+
+	// Restore and re-attach the parallel scheduler: the fork's engine has
+	// its partitions configured by the restored platform, so attaching is
+	// exactly what the experiment warm path does.
+	eWarmPar, oWarmPar, err := snp.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eWarmPar.Shutdown()
+	pdes.Attach(eWarmPar, 4)
+	if got := exercise(t, eWarmPar, oWarmPar); got != want {
+		t.Fatalf("parallel restore of parallel checkpoint diverged:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}

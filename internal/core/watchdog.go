@@ -108,6 +108,18 @@ func (w *Watchdog) run(p *sim.Proc, core *soc.Core) {
 			}
 			continue
 		}
+		// One batched epoch scan per beat. The old loop interleaved, per
+		// weak domain, a state-machine step, a possible recovery sweep and a
+		// full Mailbox.Send (an ExecFor charge plus a delivery event) — an
+		// O(N) fan-out of engine events every period that ROADMAP flagged as
+		// the 64-domain scaling hazard. Now the beat advances one shared
+		// epoch, classifies every domain first, runs the recovery sweeps,
+		// then charges the core once for all MMIO writes and posts the pings
+		// as engine-context sends: two watchdog-proc wakeups per beat
+		// instead of N+1, with identical beat cadence and miss accounting
+		// (pongs are matched per-domain by sender, so a shared epoch cannot
+		// alias them).
+		var dead, ping []soc.DomainID
 		for _, k := range o.S.WeakDomains() {
 			st := &w.state[k]
 			if o.S.Domains[k].State() == soc.DomInactive {
@@ -124,7 +136,7 @@ func (w *Watchdog) run(p *sim.Proc, core *soc.Core) {
 			case st.alive && st.awaiting:
 				st.missed++
 				if st.missed >= w.Params.Misses {
-					w.declareDead(p, core, k)
+					dead = append(dead, k)
 				}
 			case !st.alive && gotPong:
 				st.alive = true
@@ -132,11 +144,22 @@ func (w *Watchdog) run(p *sim.Proc, core *soc.Core) {
 				w.Reboots++
 				o.Trace.Emit(trace.Fault, "watchdog: %v answered again; back alive", k)
 			}
-			w.epoch = (w.epoch + 1) & wdEpochMask
+			ping = append(ping, k)
+		}
+		for _, k := range dead {
+			w.declareDead(p, core, k)
+		}
+		if len(ping) == 0 {
+			continue
+		}
+		w.epoch = (w.epoch + 1) & wdEpochMask
+		core.ExecFor(p, time.Duration(len(ping))*o.S.Cfg.MailboxSendCost)
+		for _, k := range ping {
+			st := &w.state[k]
 			st.sentEpoch = w.epoch
 			st.awaiting = true
 			w.Pings++
-			o.S.Mailbox.Send(p, core, k,
+			o.S.Mailbox.SendAsync(core.Domain.ID, k,
 				soc.NewMessage(soc.MsgGeneric, wdFlag|w.epoch, o.S.Mailbox.NextSeq()))
 		}
 	}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// bootWatchedN boots a K2 platform with n weak domains, the reliable
+// transport and the watchdog — the shape the batched heartbeat was written
+// for.
+func bootWatchedN(t *testing.T, n int) (*sim.Engine, *OS) {
+	t.Helper()
+	e := sim.NewEngine()
+	cfg := soc.DefaultConfig()
+	// Each shadow kernel boots with one 16 MB block; 64 of them do not fit
+	// the calibrated 1 GB OMAP4 part, so give the scale platform more RAM.
+	cfg.RAMBytes = 4 << 30
+	rel := soc.DefaultReliableParams()
+	cfg.Reliable = &rel
+	wd := DefaultWatchdogParams()
+	o, err := Boot(e, Options{Mode: K2Mode, SoC: &cfg, WeakDomains: n, Watchdog: &wd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, o
+}
+
+// TestWatchdogScales64Domains is the regression test for the batched
+// heartbeat: at 64 weak domains the watchdog must keep exactly the cadence
+// and recovery behaviour it has at one. The old per-domain fan-out did N
+// separate Mailbox.Send calls (each an ExecFor charge plus its own proc
+// wakeup) every period; the batched beat must not change what an observer
+// can see — beats happen every Period, every active domain is pinged each
+// beat, a crash is still declared dead after exactly Misses silent periods,
+// and the recovery sweep still reclaims the dead kernel's pages.
+func TestWatchdogScales64Domains(t *testing.T) {
+	const weak = 64
+	e, o := bootWatchedN(t, weak)
+	w := o.Watchdog
+	if w == nil {
+		t.Fatal("watchdog not running")
+	}
+
+	// Hand two shared pages to the first weak kernel so the recovery sweep
+	// has real work, then crash it.
+	e.Spawn("setup", func(p *sim.Proc) {
+		o.Ready.Wait(p)
+		o.DSM.Share(100)
+		o.DSM.Share(101)
+		o.DSM.Write(p, o.S.Core(soc.Weak, 0), soc.Weak, 100)
+		o.DSM.Write(p, o.S.Core(soc.Weak, 0), soc.Weak, 101)
+	})
+	const crashAt = 20 * time.Millisecond
+	e.At(sim.Time(crashAt), func() { o.S.Domains[soc.Weak].Crash() })
+	const runUntil = 100 * time.Millisecond
+	if err := e.Run(sim.Time(runUntil)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: unchanged from the single-domain platform. One death, the
+	// right domain, detected within Misses periods plus slack for the
+	// reliable transport's pong latency.
+	if len(w.Deaths) != 1 {
+		t.Fatalf("%d deaths declared, want 1", len(w.Deaths))
+	}
+	rec := w.Deaths[0]
+	if rec.Domain != soc.Weak {
+		t.Fatalf("declared %v dead, want %v", rec.Domain, soc.Weak)
+	}
+	detect := time.Duration(rec.DeclaredAt) - crashAt
+	maxDetect := time.Duration(w.Params.Misses+3) * w.Params.Period
+	if detect <= 0 || detect > maxDetect {
+		t.Fatalf("detection latency %v at %d domains, want within %v", detect, weak, maxDetect)
+	}
+	if rec.ReclaimedPages < 2 {
+		t.Fatalf("reclaimed %d pages, want at least the 2 the dead kernel owned", rec.ReclaimedPages)
+	}
+	if err := o.DSM.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Mem.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Beat accounting: every beat pings all 64 weak domains (dead ones
+	// included — that is how a reboot is noticed), so the total must be an
+	// exact multiple of 64, and the number of beats must match the
+	// heartbeat cadence: one per Period from the ready barrier to the end
+	// of the run, give or take boot and scheduling slack. A fan-out bug
+	// that skipped or double-pinged domains under load breaks the
+	// divisibility; a cadence bug breaks the beat bound.
+	if w.Pings == 0 || w.Pings%weak != 0 {
+		t.Fatalf("%d pings is not a positive multiple of %d domains", w.Pings, weak)
+	}
+	beats := w.Pings / weak
+	maxBeats := int(runUntil / w.Params.Period)
+	if beats < maxBeats/2 || beats > maxBeats {
+		t.Fatalf("%d beats over %v, want close to one per %v (<= %d)",
+			beats, runUntil, w.Params.Period, maxBeats)
+	}
+	// Healthy domains answered: every ping to the 63 survivors got a pong
+	// (the crashed domain went silent mid-run, so totals differ by at most
+	// its share plus in-flight beats).
+	if w.Pongs < w.Pings-beats-weak {
+		t.Fatalf("%d pongs for %d pings: survivors are missing beats", w.Pongs, w.Pings)
+	}
+
+	// Reboot: the next answered ping marks the kernel alive again, same as
+	// on the small platform.
+	o.S.Domains[soc.Weak].Reboot()
+	if err := e.Run(sim.Time(120 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Reboots != 1 || !w.Alive(soc.Weak) {
+		t.Fatalf("reboots=%d alive=%v after the kernel came back", w.Reboots, w.Alive(soc.Weak))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"k2/internal/dsm"
+	"k2/internal/soc"
 	"k2/internal/stats"
 )
 
@@ -30,10 +31,29 @@ type ExperimentTelemetry struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	VirtualMS      float64 `json:"virtual_ms"`
 	VirtualPerWall float64 `json:"virtual_per_wall"`
+
+	// EngineParallel is the per-engine event-scheduler worker count the run
+	// was measured at (1 = sequential; output bytes are identical at any
+	// value). EventsByDomain breaks Events down by home partition — the
+	// coherence domain whose latency budget scheduled the event, "shared"
+	// for untagged traffic — so partition imbalance is observable without
+	// re-running under a profiler.
+	EngineParallel int               `json:"engine_parallel"`
+	EventsByDomain map[string]uint64 `json:"events_by_domain,omitempty"`
 }
 
 // telemetryOf flattens a runner Result into its JSON record.
 func telemetryOf(r Result) ExperimentTelemetry {
+	var byDomain map[string]uint64
+	for i, n := range r.PartitionEvents {
+		if n == 0 {
+			continue
+		}
+		if byDomain == nil {
+			byDomain = make(map[string]uint64)
+		}
+		byDomain[soc.PartitionName(i)] += n
+	}
 	return ExperimentTelemetry{
 		ID:             r.ID,
 		Name:           r.Name,
@@ -47,6 +67,8 @@ func telemetryOf(r Result) ExperimentTelemetry {
 		EventsPerSec:   r.EventsPerSec(),
 		VirtualMS:      ms(time.Duration(r.Virtual)),
 		VirtualPerWall: r.VirtualPerWall(),
+		EngineParallel: r.EngineParallel,
+		EventsByDomain: byDomain,
 	}
 }
 
@@ -58,10 +80,15 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 // N-domain scaling results and the fault-injection record for whichever of
 // those experiments were selected.
 type BenchData struct {
-	Parallel     int                   `json:"parallel"`
-	TotalWallMS  float64               `json:"total_wall_ms"`
-	EventsPerSec *RateSummary          `json:"events_per_sec,omitempty"`
-	Experiments  []ExperimentTelemetry `json:"experiments"`
+	Parallel int `json:"parallel"`
+	// EngineParallel is the process-wide event-scheduler worker count each
+	// engine ran with (the -engine-parallel flag; 1 = sequential). It is
+	// telemetry, not configuration of the results: every table and trace
+	// byte is identical at any value.
+	EngineParallel int                   `json:"engine_parallel"`
+	TotalWallMS    float64               `json:"total_wall_ms"`
+	EventsPerSec   *RateSummary          `json:"events_per_sec,omitempty"`
+	Experiments    []ExperimentTelemetry `json:"experiments"`
 
 	AllocLatencies *Table4Data     `json:"alloc_latencies,omitempty"`
 	FaultBreakdown *Table5Data     `json:"dsm_fault_breakdown,omitempty"`
@@ -127,6 +154,9 @@ func MeasureBench(defs []Def, parallel int) BenchData {
 	total := time.Since(start)
 
 	b := BenchData{Parallel: r.Workers(), TotalWallMS: ms(total), EventsPerSec: rateSummaryOf(results)}
+	if b.EngineParallel = EngineParallel; b.EngineParallel < 1 {
+		b.EngineParallel = 1
+	}
 	b.DSMProtocol = DSMProtocol.String()
 	var dsmTotals dsm.Counters
 	haveDSM := false

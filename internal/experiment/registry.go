@@ -56,6 +56,14 @@ type Params struct {
 	// Sweep, if non-zero, sets how many seeded storms the chaos experiment
 	// runs (default 8 for the registry entry; k2bench -chaos uses 256).
 	Sweep int
+	// EngineParallel, if > 1, runs the instance's engines under the
+	// parallel event scheduler (internal/pdes) with that many workers.
+	// Unlike the fields above it cannot change a single output byte —
+	// the parallel engine is dispatch-order-identical by construction —
+	// so k2d validates and echoes it but deliberately excludes it from
+	// the result-cache and fleet shard keys. It is applied by the
+	// measuring layer (WithEngineParallel), not bound into the Def.
+	EngineParallel int
 }
 
 // DefFor resolves a registry ID to a Def bound to the given params. The

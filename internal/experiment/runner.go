@@ -18,6 +18,14 @@ import (
 // default output byte-identical.
 var DSMProtocol dsm.Protocol
 
+// EngineParallel is the process-wide default engine parallelism for systems
+// booted by experiments: > 1 attaches the conservative parallel scheduler
+// (internal/pdes) with that many workers to every engine bootFresh creates.
+// k2bench/k2sim -engine-parallel set it; per-measurement overrides use
+// WithEngineParallel. Output is byte-identical at any value — the knob is
+// deliberately excluded from k2d's result-cache and fleet shard keys.
+var EngineParallel int
+
 // probe collects what one experiment run did: every engine it booted (for
 // event/switch/wall telemetry) and the machine-readable data the Measure*
 // functions deposit for the JSON summary. A probe is active for exactly one
@@ -48,6 +56,10 @@ type probe struct {
 	// dsmProtocolSet distinguishes "explicitly twostate" from "inherit".
 	dsmProtocol    dsm.Protocol
 	dsmProtocolSet bool
+	// engineParallel, when set, overrides the process-wide EngineParallel
+	// for systems this measurement boots (k2d's per-job field).
+	engineParallel    int
+	engineParallelSet bool
 	// dsms collects the coherence manager of every system the experiment
 	// booted, so the runner can aggregate protocol counters afterwards.
 	dsms []*dsm.DSM
@@ -90,6 +102,20 @@ func activeProbe() *probe {
 		return v.(*probe)
 	}
 	return nil
+}
+
+// effectiveParallel resolves the engine parallelism for this measurement:
+// the per-measurement override when present, else the process default,
+// floored at 1 (sequential).
+func (pr *probe) effectiveParallel() int {
+	n := EngineParallel
+	if pr != nil && pr.engineParallelSet {
+		n = pr.engineParallel
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // newEngine is the experiment package's engine constructor: identical to
@@ -138,6 +164,14 @@ type Result struct {
 	// WarmStarts counts boots served by restoring a checkpoint instead of
 	// booting cold (see WithWarmStart); 0 on a fully cold run.
 	WarmStarts int
+
+	// EngineParallel is the engine parallelism the measurement ran at
+	// (1 = sequential). PartitionEvents sums the per-partition dispatch
+	// counters index-wise over every engine the experiment booted — index 0
+	// is the shared partition, index i+1 is coherence domain i — exposing
+	// partition balance; the counters are maintained at any parallelism.
+	EngineParallel  int
+	PartitionEvents []uint64
 
 	probe *probe
 }
@@ -210,6 +244,14 @@ func WithDSMProtocol(p dsm.Protocol) Option {
 	return func(pr *probe) { pr.dsmProtocol = p; pr.dsmProtocolSet = true }
 }
 
+// WithEngineParallel overrides the process-wide EngineParallel for this
+// measurement alone: systems it boots run the parallel event scheduler with
+// n workers (n <= 1 forces the plain sequential loop). Results are
+// byte-identical at any n — the option trades nothing but host time.
+func WithEngineParallel(n int) Option {
+	return func(pr *probe) { pr.engineParallel = n; pr.engineParallelSet = true }
+}
+
 // WithWarmStart lets the measurement boot systems by restoring cached
 // checkpoints of booted OSes (per option fingerprint) instead of booting
 // cold. Results are byte-identical either way — the checkpoint is taken at
@@ -270,6 +312,7 @@ func MeasureContext(ctx context.Context, d Def, opts ...Option) Result {
 	r.Boot = pr.bootWall
 	r.WarmStarts = pr.warmStarts
 	r.Engines = len(pr.engines)
+	r.EngineParallel = pr.effectiveParallel()
 	for _, e := range pr.engines {
 		st := e.Stats()
 		r.Stats.Scheduled += st.Scheduled
@@ -278,6 +321,17 @@ func MeasureContext(ctx context.Context, d Def, opts ...Option) Result {
 		r.Stats.ProcSwitches += st.ProcSwitches
 		r.Stats.Wall += st.Wall
 		r.Virtual += e.Now()
+		for i, n := range e.PartitionDispatches() {
+			if i >= len(r.PartitionEvents) {
+				r.PartitionEvents = append(r.PartitionEvents,
+					make([]uint64, i+1-len(r.PartitionEvents))...)
+			}
+			r.PartitionEvents[i] += n
+		}
+		// The measurement is over: stop any scheduler worker goroutines.
+		// The engine itself stays usable (sequentially) for post-run
+		// inspection via the probe.
+		e.ReleaseScheduler()
 	}
 	return r
 }

@@ -12,6 +12,7 @@ import (
 
 	"k2/internal/core"
 	"k2/internal/dsm"
+	"k2/internal/pdes"
 	"k2/internal/sim"
 )
 
@@ -98,10 +99,21 @@ func bootFresh(mode core.Mode, opts ...func(*core.Options)) (*sim.Engine, *core.
 		prm.Protocol = proto
 		o.DSMParams = &prm
 	}
+	// Engine parallelism rides the same override-then-default resolution.
+	// It is excluded from the snapshot fingerprint on purpose: a restored
+	// system is byte-identical at any parallelism, so checkpoints are shared
+	// across -engine-parallel values.
+	par := pr.effectiveParallel()
+	if par > 1 {
+		o.EngineParallel = par
+	}
 	if pr != nil && pr.warmStart {
 		if snp, err := readySnapshot(o); err == nil {
 			e := newEngine()
 			if os, err := snp.Restore(e, o.TraceSink); err == nil {
+				if par > 1 {
+					pdes.Attach(e, par)
+				}
 				pr.warmStarts++
 				pr.bootWall += time.Since(start)
 				if os.DSM != nil {

@@ -78,6 +78,10 @@ func buildSnapshot(o core.Options) (snp *core.Snapshot, err error) {
 		}
 	}()
 	o.TraceSink = nil
+	// The throwaway source system boots sequentially: a checkpoint is
+	// byte-identical either way, and a plain engine leaves no scheduler
+	// workers behind when the source is discarded.
+	o.EngineParallel = 0
 	e := sim.NewEngine()
 	var os *core.OS
 	e.Spawn("boot-monitor", func(p *sim.Proc) {

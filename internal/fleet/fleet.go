@@ -95,9 +95,12 @@ func (c Config) withDefaults() Config {
 
 // JobKey is the deterministic shard key: every parameter that can change a
 // job's bytes, and nothing else (priority, timeout and format are
-// scheduling and presentation knobs). Two requests with equal keys produce
-// byte-identical tables and traces on any worker, which is what makes
-// consistent-hash sharding also shard the result cache.
+// scheduling and presentation knobs; engine_parallel is excluded because
+// the parallel engine is dispatch-order-identical — the same bytes come
+// back at any worker count, so spreading those requests over the ring
+// would only defeat result-cache sharding). Two requests with equal keys
+// produce byte-identical tables and traces on any worker, which is what
+// makes consistent-hash sharding also shard the result cache.
 func JobKey(req server.Request) string {
 	key := fmt.Sprintf("%s/%d/%d/%d", req.Experiment, req.Seed, req.WeakDomains, req.Sweep)
 	// Appended only for a non-default protocol: default jobs keep the key

@@ -1,0 +1,26 @@
+package fleet
+
+import (
+	"testing"
+
+	"k2/internal/server"
+)
+
+// TestJobKeyIgnoresEngineParallel pins the shard-key contract: requests
+// differing only in engine_parallel land on the SAME ring position, because
+// the parallel engine cannot change the job's bytes — spreading them would
+// only defeat the per-worker result cache the sharding exists to exploit.
+func TestJobKeyIgnoresEngineParallel(t *testing.T) {
+	base := server.Request{Experiment: "scale", Seed: 9, WeakDomains: 4}
+	par := base
+	par.EngineParallel = 8
+	if JobKey(base) != JobKey(par) {
+		t.Fatalf("engine_parallel entered the shard key: %q vs %q", JobKey(base), JobKey(par))
+	}
+	// Parameters that DO change bytes must still split the key.
+	other := base
+	other.WeakDomains = 8
+	if JobKey(base) == JobKey(other) {
+		t.Fatal("weak_domains no longer distinguishes shard keys")
+	}
+}

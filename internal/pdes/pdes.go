@@ -1,0 +1,370 @@
+// Package pdes is a conservative parallel-discrete-event scheduler for the
+// sim engine, in the style of multicore SystemC-TLM virtual platforms: the
+// event queue is partitioned per coherence domain (plus a shared partition
+// for cross-domain traffic), partitions are maintained concurrently by a
+// worker pool, and execution advances in lookahead windows derived from the
+// minimum cross-domain mailbox latency the platform registers.
+//
+// Determinism is structural, not emergent. Workers only sort: each window,
+// every partition independently integrates its newly offered events and
+// extracts the sorted run of events below the window horizon; the engine
+// then replays those runs — merged with its own heap of events born inside
+// the window — in global (time, seq) order through the exact dispatch path
+// the sequential loop uses. No handler ever runs off the engine goroutine,
+// and partition assignment decides only which sub-heap an event waits in,
+// never when it dispatches. Tables, traces and oracles are therefore
+// byte-identical to the sequential engine at any worker count; the
+// full-registry equivalence tests under -race enforce exactly that.
+//
+// See DESIGN.md §15 for the lookahead derivation and the merge rule.
+package pdes
+
+import (
+	"sync"
+
+	"k2/internal/sim"
+)
+
+// inlineThreshold is the pending-event count below which OpenWindow
+// integrates and drains partitions on the engine goroutine instead of waking
+// the worker pool. Sparse windows (a handful of timer ticks) are far cheaper
+// to sort inline than to ship through two channel hops per worker; the
+// resulting runs are identical either way, so the choice is invisible.
+const inlineThreshold = 256
+
+// partition is one per-domain sub-heap plus its window state. Outside
+// OpenWindow it is owned by the engine goroutine; inside OpenWindow it is
+// owned by exactly one worker (partition i belongs to worker i % workers),
+// with the hand-offs ordered by the window barrier's channel operations.
+type partition struct {
+	inbox []sim.EventHandle // offered since the last window, unsorted
+	heap  []sim.EventHandle // pending events, 4-ary min-heap by (At, Seq)
+	run   []sim.EventHandle // current window: sorted events below horizon
+	pos   int               // consumed prefix of run
+}
+
+// integrate folds the inbox (and any unconsumed run leftovers) into the heap.
+func (p *partition) integrate() {
+	for _, h := range p.inbox {
+		p.heap = hpush(p.heap, h)
+	}
+	p.inbox = p.inbox[:0]
+	for _, h := range p.run[p.pos:] {
+		p.heap = hpush(p.heap, h)
+	}
+	p.run = p.run[:0]
+	p.pos = 0
+}
+
+// drain extracts the sorted run of heap events below horizon.
+func (p *partition) drain(horizon sim.Time) {
+	for len(p.heap) > 0 && p.heap[0].At < horizon {
+		var h sim.EventHandle
+		h, p.heap = hpop(p.heap)
+		p.run = append(p.run, h)
+	}
+}
+
+// Scheduler implements sim.WindowScheduler over per-partition sub-heaps and
+// a worker pool. Create one with New and install it with sim's
+// SetWindowScheduler, or use Attach to do both.
+type Scheduler struct {
+	parts   []*partition
+	workers int
+
+	minBuf sim.Time // min At over all inbox entries (valid when bufN > 0)
+	bufN   int      // total inbox entries across partitions
+	heapN  int      // total heaped entries across partitions
+	runN   int      // total unconsumed run entries across partitions
+
+	cursors []int32 // binary min-heap of partition indices with run entries
+
+	started bool            // worker goroutines running
+	signal  []chan sim.Time // per-worker window horizon
+	done    chan struct{}   // worker completion acks
+	wg      sync.WaitGroup  // joins workers on Release
+}
+
+// New returns a scheduler with nparts partitions maintained by up to
+// `workers` pool goroutines (clamped to [1, nparts]; goroutines start lazily
+// on the first window large enough to need them).
+func New(nparts, workers int) *Scheduler {
+	if nparts < 1 {
+		nparts = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nparts {
+		workers = nparts
+	}
+	s := &Scheduler{
+		parts:   make([]*partition, nparts),
+		workers: workers,
+		done:    make(chan struct{}),
+	}
+	for i := range s.parts {
+		s.parts[i] = &partition{}
+	}
+	return s
+}
+
+// Attach builds a scheduler sized to e's configured partitions and installs
+// it, switching e's Run loop to windowed parallel dispatch. The engine's
+// lookahead (registered by the platform) bounds each window.
+func Attach(e *sim.Engine, workers int) *Scheduler {
+	n := e.Partitions()
+	if n < 1 {
+		n = 1
+	}
+	s := New(n, workers)
+	e.SetWindowScheduler(s)
+	return s
+}
+
+// Workers returns the worker-pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Offer transfers one pending event to its home partition's inbox.
+// Engine-goroutine only.
+func (s *Scheduler) Offer(h sim.EventHandle) {
+	i := int(h.Part)
+	if i < 0 || i >= len(s.parts) {
+		i = 0
+	}
+	p := s.parts[i]
+	p.inbox = append(p.inbox, h)
+	if s.bufN == 0 || h.At < s.minBuf {
+		s.minBuf = h.At
+	}
+	s.bufN++
+}
+
+// OpenWindow integrates all offered events and extracts each partition's
+// sorted run below horizon, blocking until every partition has reached the
+// horizon — inline for sparse windows, on the worker pool otherwise.
+func (s *Scheduler) OpenWindow(horizon sim.Time) {
+	if s.workers == 1 || s.bufN+s.heapN < inlineThreshold {
+		for _, p := range s.parts {
+			p.integrate()
+			p.drain(horizon)
+		}
+	} else {
+		if !s.started {
+			s.start()
+		}
+		for w := 0; w < s.workers; w++ {
+			s.signal[w] <- horizon
+		}
+		for w := 0; w < s.workers; w++ {
+			<-s.done
+		}
+	}
+	s.bufN = 0
+	s.recount()
+	s.rebuildCursors()
+}
+
+// start launches the worker pool. Worker w owns partitions w, w+workers, …
+// and touches them only between receiving a horizon and sending its ack.
+func (s *Scheduler) start() {
+	s.signal = make([]chan sim.Time, s.workers)
+	for w := 0; w < s.workers; w++ {
+		ch := make(chan sim.Time)
+		s.signal[w] = ch
+		s.wg.Add(1)
+		go func(w int, ch chan sim.Time) {
+			defer s.wg.Done()
+			for horizon := range ch {
+				for i := w; i < len(s.parts); i += s.workers {
+					s.parts[i].integrate()
+					s.parts[i].drain(horizon)
+				}
+				s.done <- struct{}{}
+			}
+		}(w, ch)
+	}
+	s.started = true
+}
+
+// recount refreshes the aggregate heap/run tallies after a window phase.
+func (s *Scheduler) recount() {
+	s.heapN, s.runN = 0, 0
+	for _, p := range s.parts {
+		s.heapN += len(p.heap)
+		s.runN += len(p.run) - p.pos
+	}
+}
+
+// Peek returns the earliest unconsumed run entry across all partitions.
+func (s *Scheduler) Peek() (sim.EventHandle, bool) {
+	if len(s.cursors) == 0 {
+		return sim.EventHandle{}, false
+	}
+	p := s.parts[s.cursors[0]]
+	return p.run[p.pos], true
+}
+
+// Pop consumes the entry Peek reported.
+func (s *Scheduler) Pop() {
+	p := s.parts[s.cursors[0]]
+	p.pos++
+	s.runN--
+	if p.pos >= len(p.run) {
+		n := len(s.cursors) - 1
+		s.cursors[0] = s.cursors[n]
+		s.cursors = s.cursors[:n]
+	}
+	if len(s.cursors) > 0 {
+		s.siftDown(0)
+	}
+}
+
+// Rewind returns unconsumed run entries to their partitions' heaps.
+func (s *Scheduler) Rewind() {
+	for _, p := range s.parts {
+		for _, h := range p.run[p.pos:] {
+			p.heap = hpush(p.heap, h)
+		}
+		p.run = p.run[:0]
+		p.pos = 0
+	}
+	s.cursors = s.cursors[:0]
+	s.recount()
+}
+
+// MinPending reports the earliest event held anywhere in the scheduler.
+func (s *Scheduler) MinPending() (sim.Time, bool) {
+	var best sim.Time
+	ok := false
+	if s.bufN > 0 {
+		best, ok = s.minBuf, true
+	}
+	for _, p := range s.parts {
+		if len(p.heap) > 0 && (!ok || p.heap[0].At < best) {
+			best, ok = p.heap[0].At, true
+		}
+		if p.pos < len(p.run) && (!ok || p.run[p.pos].At < best) {
+			best, ok = p.run[p.pos].At, true
+		}
+	}
+	return best, ok
+}
+
+// DrainAll removes and returns every held event, in no particular order.
+func (s *Scheduler) DrainAll() []sim.EventHandle {
+	var all []sim.EventHandle
+	for _, p := range s.parts {
+		all = append(all, p.inbox...)
+		all = append(all, p.heap...)
+		all = append(all, p.run[p.pos:]...)
+		p.inbox, p.heap, p.run, p.pos = p.inbox[:0], p.heap[:0], p.run[:0], 0
+	}
+	s.bufN, s.heapN, s.runN = 0, 0, 0
+	s.cursors = s.cursors[:0]
+	return all
+}
+
+// Release stops and joins the worker pool. The scheduler must not be used
+// afterwards.
+func (s *Scheduler) Release() {
+	if !s.started {
+		return
+	}
+	for _, ch := range s.signal {
+		close(ch)
+	}
+	s.wg.Wait()
+	s.started = false
+	s.signal = nil
+}
+
+// rebuildCursors resets the merge heap to the partitions holding run
+// entries. The heap is keyed by each partition's run head, so the root is
+// always the globally earliest scheduler-held event of the window.
+func (s *Scheduler) rebuildCursors() {
+	s.cursors = s.cursors[:0]
+	for i, p := range s.parts {
+		if p.pos < len(p.run) {
+			s.cursors = append(s.cursors, int32(i))
+		}
+	}
+	for i := len(s.cursors)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+func (s *Scheduler) cursorLess(a, b int32) bool {
+	pa, pb := s.parts[a], s.parts[b]
+	return sim.HandleLess(pa.run[pa.pos], pb.run[pb.pos])
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.cursors
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && s.cursorLess(h[r], h[l]) {
+			best = r
+		}
+		if !s.cursorLess(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// hpush / hpop maintain a 4-ary min-heap of handles ordered by (At, Seq),
+// mirroring the engine's own event heap shape.
+func hpush(h []sim.EventHandle, x sim.EventHandle) []sim.EventHandle {
+	h = append(h, x)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !sim.HandleLess(x, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = x
+	return h
+}
+
+func hpop(h []sim.EventHandle) (sim.EventHandle, []sim.EventHandle) {
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			best := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if sim.HandleLess(h[j], h[best]) {
+					best = j
+				}
+			}
+			if !sim.HandleLess(h[best], last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
+		}
+		h[i] = last
+	}
+	return top, h
+}

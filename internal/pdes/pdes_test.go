@@ -1,0 +1,127 @@
+package pdes
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"k2/internal/sim"
+)
+
+// rec is one observed dispatch: the event's virtual time, its scheduling
+// id (allocation order — a faithful proxy for the engine's seq counter,
+// which is assigned in the same order), and whether it was a root event or
+// one chained from inside a dispatch.
+type rec struct {
+	at   sim.Time
+	id   int
+	root bool
+}
+
+// runTagged schedules n root events at times drawn from a deliberately tiny
+// set (forcing many same-instant collisions), tags each with a random
+// partition, chains children from a quarter of the dispatches (some
+// inheriting the parent's partition, some re-tagged), and returns the
+// dispatch log. workers == 0 runs the plain sequential heap; workers >= 1
+// attaches the window scheduler with that many workers.
+func runTagged(t *testing.T, seed int64, n, nparts, workers int) []rec {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	e := sim.NewEngine()
+	defer e.Shutdown()
+	e.ConfigurePartitions(nparts)
+	e.SetLookahead(2 * time.Microsecond)
+	if workers >= 1 {
+		Attach(e, workers)
+	}
+	var log []rec
+	next := 0
+	for i := 0; i < n; i++ {
+		id := next
+		next++
+		at := sim.Time(time.Duration(rng.Intn(24)) * time.Microsecond)
+		chain := rng.Intn(4) == 0
+		retag := rng.Intn(nparts + 1) // nparts means "inherit"
+		prev := e.SetEventPartition(rng.Intn(nparts))
+		e.At(at, func() {
+			log = append(log, rec{at: e.Now(), id: id, root: true})
+			if chain {
+				// Children allocate their ids (and seqs) at dispatch time,
+				// so any order divergence amplifies through the tail.
+				cid := next
+				next++
+				if retag < nparts {
+					p := e.SetEventPartition(retag)
+					e.After(0, func() { log = append(log, rec{at: e.Now(), id: cid}) })
+					e.SetEventPartition(p)
+				} else {
+					e.After(0, func() { log = append(log, rec{at: e.Now(), id: cid}) })
+				}
+			}
+		})
+		e.SetEventPartition(prev)
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestCrossPartitionSameTimeSeqOrder is the merge property test: over
+// fuzzed random partition assignments, events that share an instant must
+// dispatch in seq allocation order no matter which partitions they were
+// filed under or how many workers maintained the sub-heaps. Two shapes are
+// checked per run: root events at one instant dispatch in scheduling order,
+// and the whole log is identical to the sequential engine's. Sizes straddle
+// the inline threshold so both the inline and the worker-barrier paths of
+// OpenWindow are exercised.
+func TestCrossPartitionSameTimeSeqOrder(t *testing.T) {
+	for _, n := range []int{96, 1500} {
+		for _, workers := range []int{2, 4} {
+			for seed := int64(1); seed <= 6; seed++ {
+				base := runTagged(t, seed, n, 5, 0)
+				got := runTagged(t, seed, n, 5, workers)
+				if len(got) != len(base) {
+					t.Fatalf("n=%d workers=%d seed=%d: %d dispatches vs %d sequential",
+						n, workers, seed, len(got), len(base))
+				}
+				for i := range got {
+					if got[i] != base[i] {
+						t.Fatalf("n=%d workers=%d seed=%d: dispatch %d diverged: %+v vs sequential %+v",
+							n, workers, seed, i, got[i], base[i])
+					}
+				}
+				// Independent of the baseline: same-instant roots in seq order,
+				// time never rewinds.
+				last := rec{at: -1, id: -1}
+				for i, r := range got {
+					if r.at < last.at {
+						t.Fatalf("n=%d workers=%d seed=%d: time went backwards at dispatch %d (%v after %v)",
+							n, workers, seed, i, r.at, last.at)
+					}
+					if r.root && last.root && r.at == last.at && r.id <= last.id {
+						t.Fatalf("n=%d workers=%d seed=%d: same-time roots out of seq order at dispatch %d (id %d after %d)",
+							n, workers, seed, i, r.id, last.id)
+					}
+					last = r
+				}
+			}
+		}
+	}
+}
+
+// TestSingleWorkerSchedulerMatchesSequential pins the degenerate
+// configuration: a window scheduler with one worker always takes the
+// inline drain path of OpenWindow, and it too must be invisible.
+func TestSingleWorkerSchedulerMatchesSequential(t *testing.T) {
+	base := runTagged(t, 42, 400, 3, 0)
+	got := runTagged(t, 42, 400, 3, 1)
+	if len(base) != len(got) {
+		t.Fatalf("runs diverged: %d vs %d dispatches", len(base), len(got))
+	}
+	for i := range base {
+		if base[i] != got[i] {
+			t.Fatalf("dispatch %d diverged: %+v vs %+v", i, got[i], base[i])
+		}
+	}
+}

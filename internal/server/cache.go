@@ -11,7 +11,11 @@ import (
 // every parameter that can change its bytes (the determinism contract:
 // same experiment, seed, topology and sweep size mean byte-identical
 // tables and traces). Priority, timeout and format are scheduling and
-// presentation knobs and deliberately absent.
+// presentation knobs and deliberately absent. EngineParallel is absent
+// for a stronger reason: the parallel engine is dispatch-order-identical
+// by construction, so a sequential job's cached bytes are exactly what a
+// parallel run would have produced (and vice versa) — keying on it would
+// only split one result across redundant entries.
 type cacheKey struct {
 	Experiment  string
 	Seed        int64

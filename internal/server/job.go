@@ -59,6 +59,14 @@ type Request struct {
 	// "twostate" (or "", the default) or "msi". Validate normalizes it, so
 	// spellings that mean the default all hit the same cache entry.
 	DSMProtocol string `json:"dsm_protocol,omitempty"`
+	// EngineParallel runs the job's simulation engines under the parallel
+	// event scheduler (internal/pdes) with this many workers (0 or 1 =
+	// sequential; Validate normalizes 1 to 0). It cannot change a single
+	// output byte — the parallel engine is dispatch-order-identical by
+	// construction — so it is validated and echoed but deliberately
+	// excluded from the result-cache key and the fleet shard key: a cached
+	// or sharded result is valid at any parallelism.
+	EngineParallel int `json:"engine_parallel,omitempty"`
 	// Priority orders the queue: higher runs first, FIFO within a class.
 	Priority int `json:"priority,omitempty"`
 	// TimeoutMS bounds the run in host milliseconds (0 = the daemon's
@@ -93,6 +101,18 @@ func (r *Request) Validate() error {
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	if r.EngineParallel < 0 {
+		return fmt.Errorf("engine_parallel must be >= 0")
+	}
+	if r.EngineParallel > 64 {
+		return fmt.Errorf("engine_parallel must be <= 64")
+	}
+	// 0 and 1 both mean a sequential engine; canonicalize so both spellings
+	// share one wire form (the cache and shard keys ignore the field either
+	// way — parallelism cannot change the result bytes).
+	if r.EngineParallel == 1 {
+		r.EngineParallel = 0
 	}
 	proto, err := dsm.ParseProtocol(r.DSMProtocol)
 	if err != nil {
@@ -146,6 +166,7 @@ type Status struct {
 	WeakDoms   int     `json:"weak_domains,omitempty"`
 	Sweep      int     `json:"sweep,omitempty"`
 	Protocol   string  `json:"dsm_protocol,omitempty"`
+	EnginePar  int     `json:"engine_parallel,omitempty"`
 	Submitted  string  `json:"submitted"`
 	QueuedMS   float64 `json:"queued_ms,omitempty"`
 	RunMS      float64 `json:"run_ms,omitempty"`
@@ -178,6 +199,7 @@ func (j *Job) status() Status {
 		WeakDoms:   j.Req.WeakDomains,
 		Sweep:      j.Req.Sweep,
 		Protocol:   j.Req.DSMProtocol,
+		EnginePar:  j.Req.EngineParallel,
 		Submitted:  j.submitted.UTC().Format(time.RFC3339Nano),
 		Error:      j.errMsg,
 	}

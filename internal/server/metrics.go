@@ -10,6 +10,7 @@ import (
 
 	"k2/internal/dsm"
 	"k2/internal/experiment"
+	"k2/internal/soc"
 	"k2/internal/stats"
 )
 
@@ -29,6 +30,11 @@ type metrics struct {
 	engineEvents   uint64
 	engineSwitches uint64
 	virtualNS      uint64
+	// partitionEvents sums each job's per-partition dispatch counters,
+	// index-aligned with sim's partition numbering (0 = shared, then one
+	// per coherence domain). Rendered with soc.PartitionName labels so
+	// partition imbalance under -engine-parallel is observable.
+	partitionEvents []uint64
 
 	// warmStarts counts boots served by restoring a checkpoint instead of
 	// booting cold, summed over every finished job.
@@ -88,6 +94,12 @@ func (m *metrics) recordFinished(id string, state State, res *experiment.Result,
 	m.engineEvents += res.Stats.Dispatched
 	m.engineSwitches += res.Stats.ProcSwitches
 	m.virtualNS += uint64(res.Virtual)
+	for len(m.partitionEvents) < len(res.PartitionEvents) {
+		m.partitionEvents = append(m.partitionEvents, 0)
+	}
+	for i, n := range res.PartitionEvents {
+		m.partitionEvents[i] += n
+	}
 	if state == StateDone {
 		h := m.latency[id]
 		if h == nil {
@@ -222,6 +234,12 @@ func (m *metrics) render(w io.Writer, queueDepth, inflight int, draining bool, c
 	counter("k2d_engine_events_dispatched_total", "Simulation events dispatched across all finished jobs.", m.engineEvents)
 	counter("k2d_engine_proc_switches_total", "Engine-to-proc control transfers across all finished jobs.", m.engineSwitches)
 	counter("k2d_engine_virtual_ns_total", "Virtual nanoseconds simulated across all finished jobs.", m.virtualNS)
+	if len(m.partitionEvents) > 0 {
+		fmt.Fprintf(w, "# HELP k2d_engine_partition_events_total Events dispatched by home partition (coherence domain) across all finished jobs.\n# TYPE k2d_engine_partition_events_total counter\n")
+		for i, n := range m.partitionEvents {
+			fmt.Fprintf(w, "k2d_engine_partition_events_total{domain=%q} %d\n", soc.PartitionName(i), n)
+		}
+	}
 
 	ids := make([]string, 0, len(m.latency))
 	for id := range m.latency {

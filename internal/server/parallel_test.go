@@ -1,0 +1,101 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateEngineParallel pins the request contract: negatives and
+// absurd worker counts are rejected, an explicit 1 canonicalizes to the
+// zero wire form (both mean the sequential engine), and real values pass
+// through untouched.
+func TestValidateEngineParallel(t *testing.T) {
+	for _, bad := range []int{-1, 65, 1000} {
+		r := Request{Experiment: "t1", EngineParallel: bad}
+		if err := r.Validate(); err == nil {
+			t.Fatalf("engine_parallel=%d validated", bad)
+		}
+	}
+	one := Request{Experiment: "t1", EngineParallel: 1}
+	if err := one.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if one.EngineParallel != 0 {
+		t.Fatalf("engine_parallel=1 normalized to %d, want 0", one.EngineParallel)
+	}
+	four := Request{Experiment: "t1", EngineParallel: 4}
+	if err := four.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if four.EngineParallel != 4 {
+		t.Fatalf("engine_parallel=4 rewritten to %d", four.EngineParallel)
+	}
+}
+
+// TestEngineParallelExcludedFromCacheKey is the key-exclusion contract:
+// engine_parallel cannot change a job's bytes, so requests differing only
+// in it MUST collide on one cache entry — the sequential run's bytes serve
+// the parallel request and vice versa.
+func TestEngineParallelExcludedFromCacheKey(t *testing.T) {
+	a := Request{Experiment: "t4", Seed: 3}
+	b := Request{Experiment: "t4", Seed: 3, EngineParallel: 4}
+	if cacheKeyOf(a) != cacheKeyOf(b) {
+		t.Fatalf("engine_parallel entered the cache key: %+v vs %+v", cacheKeyOf(a), cacheKeyOf(b))
+	}
+
+	s, ts := newTestServer(t, Config{Parallel: 1, QueueDepth: 8})
+	_, first := postJob(t, ts, `{"experiment":"t4"}`)
+	firstBody := waitText(t, ts.URL, first.ID)
+	_, second := postJob(t, ts, `{"experiment":"t4","engine_parallel":4}`)
+	secondBody := waitText(t, ts.URL, second.ID)
+	if secondBody != firstBody {
+		t.Fatalf("parallel request diverged from cached sequential bytes:\n%q\nvs\n%q",
+			secondBody, firstBody)
+	}
+	j, ok := s.Job(second.ID)
+	if !ok || !j.fromCache {
+		t.Fatal("request differing only in engine_parallel was re-simulated, not served from cache")
+	}
+}
+
+// TestEngineParallelJobRunsAndEchoes submits a genuinely parallel job (cache
+// cold), checks the status echoes the knob, the result matches a sequential
+// daemon's bytes, and the per-partition dispatch counters reach /metrics.
+func TestEngineParallelJobRunsAndEchoes(t *testing.T) {
+	_, seqTS := newTestServer(t, Config{Parallel: 1, QueueDepth: 8})
+	_, st := postJob(t, seqTS, `{"experiment":"t4"}`)
+	want := waitText(t, seqTS.URL, st.ID)
+
+	s, ts := newTestServer(t, Config{Parallel: 1, QueueDepth: 8})
+	_, pst := postJob(t, ts, `{"experiment":"t4","engine_parallel":4}`)
+	if pst.EnginePar != 4 {
+		t.Fatalf("status echoes engine_parallel=%d, want 4", pst.EnginePar)
+	}
+	got := waitText(t, ts.URL, pst.ID)
+	if got != want {
+		t.Fatalf("parallel daemon diverged from sequential daemon:\n%q\nvs\n%q", got, want)
+	}
+	if j, _ := s.Job(pst.ID); j.fromCache {
+		t.Fatal("cold parallel job claimed a cache hit")
+	}
+
+	code, m := getBody(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if !strings.Contains(m, `k2d_engine_partition_events_total{domain="shared"}`) {
+		t.Fatalf("metrics missing k2d_engine_partition_events_total:\n%s", m)
+	}
+}
+
+// TestServerDefaultEngineParallel: the daemon-wide -engine-parallel default
+// fills requests that left the knob unset, and the echo shows the effective
+// value.
+func TestServerDefaultEngineParallel(t *testing.T) {
+	_, ts := newTestServer(t, Config{Parallel: 1, QueueDepth: 8, EngineParallel: 2})
+	_, st := postJob(t, ts, `{"experiment":"t1"}`)
+	if st.EnginePar != 2 {
+		t.Fatalf("status echoes engine_parallel=%d, want the daemon default 2", st.EnginePar)
+	}
+	waitText(t, ts.URL, st.ID)
+}

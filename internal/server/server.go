@@ -41,6 +41,11 @@ type Config struct {
 	// checkpoints of booted OSes instead of booting cold. Results are
 	// byte-identical either way; only host boot time is saved.
 	WarmStart bool
+	// EngineParallel is the default event-scheduler worker count for jobs
+	// that do not set engine_parallel themselves (0 or 1 = sequential).
+	// Like the request field it cannot change result bytes, so it never
+	// enters the cache key.
+	EngineParallel int
 }
 
 // Server is the k2d core: admission, the queue, the worker pool and the
@@ -121,6 +126,12 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	}
 	if req.Seed == 0 {
 		req.Seed = s.cfg.Seed
+	}
+	// The daemon default only fills a request that left the knob unset;
+	// Validate canonicalized an explicit "1" to 0, and either spelling
+	// merely selects the sequential engine the default would replace.
+	if req.EngineParallel == 0 && s.cfg.EngineParallel > 1 {
+		req.EngineParallel = s.cfg.EngineParallel
 	}
 	def, _ := experiment.DefFor(req.Experiment, experiment.Params{
 		Seed:        req.Seed,
@@ -291,6 +302,9 @@ func (s *Server) runJob(j *Job) {
 			// Validate already parsed and normalized the spelling.
 			proto, _ := dsm.ParseProtocol(j.Req.DSMProtocol)
 			opts = append(opts, experiment.WithDSMProtocol(proto))
+		}
+		if j.Req.EngineParallel > 1 {
+			opts = append(opts, experiment.WithEngineParallel(j.Req.EngineParallel))
 		}
 		res = experiment.MeasureContext(ctx, j.def, opts...)
 		return ""

@@ -53,6 +53,7 @@ type event struct {
 	seq  uint64
 	gen  uint32 // bumped on every recycle; guards stale cancel handles
 	kind uint8
+	part int32  // home partition (0 = shared) — see ConfigurePartitions
 	proc *Proc  // wake target for evWake/evTimer (nil = neutered timer)
 	fn   func() // callback for evFn
 }
@@ -89,7 +90,7 @@ func (s Stats) EventsPerSec() float64 {
 // interruptStride is how many dispatched events pass between polls of the
 // interrupt check. Large enough that the poll is free next to the dispatch
 // work, small enough that a cancelled run stops within microseconds of
-// host time.
+// host time. Tests may lower it per engine with SetInterruptStride.
 const interruptStride = 4096
 
 // Engine is a discrete-event simulation engine. The zero value is not usable;
@@ -107,13 +108,28 @@ type Engine struct {
 
 	procs map[*Proc]struct{} // live procs, for Shutdown
 
-	interrupt     func() error // polled every interruptStride dispatches
+	interrupt     func() error // polled every stride dispatches
 	interruptLeft int          // dispatches until the next poll
+	stride        int          // poll period; interruptStride unless overridden
+
+	// Partitioned scheduling (see partition.go). All fields are inert until
+	// ConfigurePartitions / SetWindowScheduler are called, and the engine
+	// stays byte-identical to the unpartitioned one either way.
+	npart     int32           // partition count; 0 = partitioning disabled
+	curPart   int32           // partition tag inherited by newly scheduled events
+	partDisp  []uint64        // per-partition dispatch counters (len == npart)
+	ws        WindowScheduler // nil = plain sequential Run
+	horizon   Time            // events at/after this are offered to ws
+	lookahead time.Duration   // cross-partition latency bound, from soc
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{}), procs: make(map[*Proc]struct{})}
+	return &Engine{
+		yield:  make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+		stride: interruptStride,
+	}
 }
 
 // Now returns the current virtual time.
@@ -141,8 +157,15 @@ func (e *Engine) alloc(t Time, kind uint8, p *Proc, fn func()) *event {
 	if t < e.now {
 		t = e.now
 	}
+	part := e.curPart
+	if p != nil && p.part >= 0 {
+		part = p.part // wakes belong to the woken proc's home partition
+	}
+	if part < 0 || (e.npart > 0 && part >= e.npart) {
+		part = 0
+	}
 	e.seq++
-	ev.at, ev.seq, ev.kind, ev.proc, ev.fn = t, e.seq, kind, p, fn
+	ev.at, ev.seq, ev.kind, ev.part, ev.proc, ev.fn = t, e.seq, kind, part, p, fn
 	return ev
 }
 
@@ -169,7 +192,22 @@ func (e *Engine) push(ev *event) {
 	}
 	h[i] = ev
 	e.events = h
+}
+
+// enqueue routes a freshly allocated event: under a window scheduler, events
+// at or beyond the current horizon are offered to their home partition's
+// sub-heap; everything else (including all events when no scheduler is
+// installed) goes on the engine's own heap. Routing never affects dispatch
+// order — the merge stage in runWindowed consults both sources — so the
+// choice of partition only moves heap-maintenance work, not observable
+// behavior.
+func (e *Engine) enqueue(ev *event) {
 	e.stats.Scheduled++
+	if e.ws != nil && ev.at >= e.horizon {
+		e.ws.Offer(EventHandle{At: ev.at, Seq: ev.seq, Part: ev.part, ref: ev})
+		return
+	}
+	e.push(ev)
 }
 
 // pop removes and returns the earliest event.
@@ -212,7 +250,7 @@ func (e *Engine) pop() *event {
 // At schedules fn to run at time t (>= Now). fn runs in engine context and
 // must not block; to perform blocking work, have fn spawn or wake a Proc.
 func (e *Engine) At(t Time, fn func()) {
-	e.push(e.alloc(t, evFn, nil, fn))
+	e.enqueue(e.alloc(t, evFn, nil, fn))
 }
 
 // After schedules fn to run d from now. See At for restrictions on fn.
@@ -221,7 +259,7 @@ func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now.Add(d), fn) }
 // wakeAt schedules a closure-free resume of p at time t. It is the fast
 // path under Sleep, Gate, Resource and Queue wakeups.
 func (e *Engine) wakeAt(t Time, p *Proc) {
-	e.push(e.alloc(t, evWake, p, nil))
+	e.enqueue(e.alloc(t, evWake, p, nil))
 }
 
 // timerAt schedules a cancellable wake of p at time t: when dispatched it
@@ -231,7 +269,7 @@ func (e *Engine) wakeAt(t Time, p *Proc) {
 // detect recycling.
 func (e *Engine) timerAt(t Time, p *Proc) *event {
 	ev := e.alloc(t, evTimer, p, nil)
-	e.push(ev)
+	e.enqueue(ev)
 	return ev
 }
 
@@ -256,7 +294,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnAt is Spawn with an explicit start time.
 func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{name: name, eng: e, cont: make(chan struct{})}
+	p := &Proc{name: name, eng: e, cont: make(chan struct{}), part: -1}
 	e.nprocs++
 	e.procs[p] = struct{}{}
 	go p.run(fn)
@@ -277,7 +315,21 @@ func (e *Engine) Stop() { e.stopped = true }
 // dispatching. A nil check removes the hook.
 func (e *Engine) SetInterrupt(check func() error) {
 	e.interrupt = check
-	e.interruptLeft = interruptStride
+	e.interruptLeft = e.stride
+}
+
+// SetInterruptStride overrides how many dispatches pass between interrupt
+// polls. It exists for tests (e.g. proving that stride-1 polling does not
+// perturb dispatch order); production code should leave the default. n <= 0
+// restores the default stride.
+func (e *Engine) SetInterruptStride(n int) {
+	if n <= 0 {
+		n = interruptStride
+	}
+	e.stride = n
+	if e.interruptLeft > n {
+		e.interruptLeft = n
+	}
 }
 
 // Shutdown unwinds every live proc so its goroutine exits, then marks the
@@ -285,6 +337,7 @@ func (e *Engine) SetInterrupt(check func() error) {
 // code) and is intended for abandoning a cancelled or failed run without
 // leaking the goroutines of parked procs; the engine is unusable afterwards.
 func (e *Engine) Shutdown() {
+	e.ReleaseScheduler() // stop worker goroutines before abandoning the run
 	e.stopped = true
 	// Killing a proc runs its deferred cleanup, which may legally spawn or
 	// wake others; iterate until the population is stable.
@@ -296,13 +349,72 @@ func (e *Engine) Shutdown() {
 	}
 }
 
+// dispatchOne advances the clock to ev and acts on it, then polls the
+// interrupt hook on its stride. It is the single dispatch path shared by the
+// sequential Run loop and the windowed merge loop in runWindowed, which is
+// what makes the two modes byte-identical: every event passes through the
+// same code in the same (time, seq) order either way.
+func (e *Engine) dispatchOne(ev *event) {
+	e.now = ev.at
+	e.curPart = ev.part
+	switch ev.kind {
+	case evWake:
+		p := ev.proc
+		e.release(ev)
+		e.stats.Dispatched++
+		e.countPart()
+		p.resume()
+	case evTimer:
+		p := ev.proc
+		e.release(ev)
+		if p == nil { // neutered by a cancel: discard silently
+			e.stats.Cancelled++
+			break
+		}
+		e.stats.Dispatched++
+		e.countPart()
+		e.wakeAt(e.now, p)
+	default:
+		fn := ev.fn
+		e.release(ev)
+		e.stats.Dispatched++
+		e.countPart()
+		fn()
+	}
+	if e.interrupt != nil {
+		if e.interruptLeft--; e.interruptLeft <= 0 {
+			e.interruptLeft = e.stride
+			if err := e.interrupt(); err != nil {
+				e.fail(err)
+			}
+		}
+	}
+}
+
+// countPart attributes the dispatch that just happened to its partition.
+// Maintained only once ConfigurePartitions has sized the counters.
+func (e *Engine) countPart() {
+	if len(e.partDisp) == 0 {
+		return
+	}
+	p := e.curPart
+	if p < 0 || int(p) >= len(e.partDisp) {
+		p = 0
+	}
+	e.partDisp[p]++
+}
+
 // Run dispatches events until the queue is empty, the clock passes until
 // (if until > 0), Stop is called, or a proc fails. It returns the first proc
-// failure, if any.
+// failure, if any. With a window scheduler installed the dispatch is driven
+// by the partitioned merge loop instead; observable behavior is identical.
 func (e *Engine) Run(until Time) error {
 	start := time.Now()
 	defer func() { e.stats.Wall += time.Since(start) }()
 	e.stopped = false
+	if e.ws != nil {
+		return e.runWindowed(until)
+	}
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.events[0]
 		if until > 0 && ev.at > until {
@@ -310,36 +422,7 @@ func (e *Engine) Run(until Time) error {
 			break
 		}
 		e.pop()
-		e.now = ev.at
-		switch ev.kind {
-		case evWake:
-			p := ev.proc
-			e.release(ev)
-			e.stats.Dispatched++
-			p.resume()
-		case evTimer:
-			p := ev.proc
-			e.release(ev)
-			if p == nil { // neutered by a cancel: discard silently
-				e.stats.Cancelled++
-				break
-			}
-			e.stats.Dispatched++
-			e.wakeAt(e.now, p)
-		default:
-			fn := ev.fn
-			e.release(ev)
-			e.stats.Dispatched++
-			fn()
-		}
-		if e.interrupt != nil {
-			if e.interruptLeft--; e.interruptLeft <= 0 {
-				e.interruptLeft = interruptStride
-				if err := e.interrupt(); err != nil {
-					e.fail(err)
-				}
-			}
-		}
+		e.dispatchOne(ev)
 		if e.failure != nil {
 			return e.failure
 		}
@@ -366,7 +449,8 @@ type Proc struct {
 	eng    *Engine
 	cont   chan struct{}
 	dead   bool
-	killed bool // set by Engine.Shutdown; makes the next resume unwind
+	killed bool  // set by Engine.Shutdown; makes the next resume unwind
+	part   int32 // home partition; -1 = inherit the scheduling context's
 }
 
 // errProcKilled is the sentinel panic value that unwinds a killed proc's

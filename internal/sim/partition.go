@@ -1,0 +1,254 @@
+package sim
+
+import "time"
+
+// Partitioned scheduling support. The engine can tag every event with a home
+// partition (one per coherence domain, plus partition 0 for shared traffic)
+// and hand heap maintenance for far-future events to a WindowScheduler — a
+// conservative parallel-discrete-event layer such as internal/pdes. The
+// contract that makes this safe is narrow and absolute:
+//
+//   - The scheduler only ORDERS events; it never executes them. Dispatch
+//     happens on the engine goroutine, one event at a time, by merging the
+//     scheduler's pre-sorted per-partition runs with the engine's own heap
+//     in global (time, seq) order.
+//   - Partition assignment therefore moves work, never results: any event,
+//     in any partition, at any worker count, dispatches at exactly the same
+//     point in the global order as it would under the sequential loop.
+//
+// That structural property — not careful tuning — is why tables, traces and
+// oracles stay byte-identical at every parallelism, and it is what the
+// full-registry equivalence tests pin down.
+
+// EventHandle is the engine's hand-off token for one scheduled event. The
+// ordering keys (At, Seq) and the home Partition are plain copies that a
+// scheduler may read from any goroutine; ref stays private to the sim
+// package and is only dereferenced on the engine goroutine at dispatch.
+type EventHandle struct {
+	At   Time
+	Seq  uint64
+	Part int32
+	ref  *event
+}
+
+// HandleLess reports whether a orders before b in global dispatch order.
+func HandleLess(a, b EventHandle) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.Seq < b.Seq
+}
+
+// WindowScheduler maintains partitioned sub-heaps of future events on the
+// engine's behalf. All methods are invoked from the engine goroutine; a
+// scheduler may fan work out to its own workers inside OpenWindow, but must
+// have joined them before returning (the engine touches no scheduler state
+// while OpenWindow runs, and the scheduler touches none outside it).
+type WindowScheduler interface {
+	// Offer transfers custody of one pending event to its home partition.
+	Offer(h EventHandle)
+	// OpenWindow integrates all offered events and extracts, per partition,
+	// the sorted run of events below horizon. This is the barrier the
+	// parallel workers run under: it returns only when every partition has
+	// reached the horizon.
+	OpenWindow(horizon Time)
+	// Peek returns the earliest unconsumed event of the current window's
+	// runs, without consuming it.
+	Peek() (EventHandle, bool)
+	// Pop consumes the event Peek reported.
+	Pop()
+	// Rewind returns all unconsumed run entries to their partitions, closing
+	// the current window. Safe to call with no window open.
+	Rewind()
+	// MinPending reports the earliest event held anywhere in the scheduler.
+	MinPending() (Time, bool)
+	// DrainAll removes and returns every event the scheduler holds, in no
+	// particular order. Used to detach the scheduler or purge state.
+	DrainAll() []EventHandle
+	// Release stops any workers. The scheduler is unusable afterwards.
+	Release()
+}
+
+// lookaheadWindows scales the per-window horizon: each window spans this
+// many lookahead intervals past the earliest pending event. Correctness
+// never depends on the span (the merge loop enforces global order
+// regardless); it only trades barrier frequency against how much of the
+// schedule the partitions get to pre-sort in parallel.
+const lookaheadWindows = 8
+
+// ConfigurePartitions declares how many event partitions exist (n >= 1;
+// partition 0 is the shared partition) and sizes the per-partition dispatch
+// counters. Tags outside [0, n) are folded into partition 0.
+func (e *Engine) ConfigurePartitions(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.npart = int32(n)
+	pd := make([]uint64, n)
+	copy(pd, e.partDisp)
+	e.partDisp = pd
+}
+
+// Partitions returns the configured partition count (0 if unconfigured).
+func (e *Engine) Partitions() int { return int(e.npart) }
+
+// PartitionDispatches returns a copy of the per-partition dispatch counters,
+// or nil if partitions were never configured.
+func (e *Engine) PartitionDispatches() []uint64 {
+	if len(e.partDisp) == 0 {
+		return nil
+	}
+	return append([]uint64(nil), e.partDisp...)
+}
+
+// SetEventPartition sets the partition tag that newly scheduled events
+// inherit, returning the previous tag so scoped callers can restore it. The
+// platform layer uses this to stamp cross-domain deliveries with the
+// destination domain.
+func (e *Engine) SetEventPartition(part int) int {
+	prev := int(e.curPart)
+	if part < 0 || (e.npart > 0 && part >= int(e.npart)) {
+		part = 0
+	}
+	e.curPart = int32(part)
+	return prev
+}
+
+// EventPartition returns the partition tag newly scheduled events inherit
+// right now: the home partition of the event being dispatched, unless
+// overridden by SetEventPartition.
+func (e *Engine) EventPartition() int { return int(e.curPart) }
+
+// SetLookahead records the minimum cross-partition event latency (for K2,
+// the mailbox delivery latency registered by soc). It bounds how far a
+// window may reach past the earliest pending event.
+func (e *Engine) SetLookahead(d time.Duration) { e.lookahead = d }
+
+// Lookahead returns the registered cross-partition latency bound.
+func (e *Engine) Lookahead() time.Duration { return e.lookahead }
+
+// SetWindowScheduler installs ws and routes future events through it. Any
+// previously installed scheduler is released first (its events migrate back
+// to the engine heap and from there to ws as they are re-offered on the next
+// window).
+func (e *Engine) SetWindowScheduler(ws WindowScheduler) {
+	e.ReleaseScheduler()
+	e.ws = ws
+}
+
+// ReleaseScheduler detaches the window scheduler, reclaims every event it
+// holds onto the engine's own heap, and stops its workers. The engine
+// reverts to the plain sequential loop; pending events are preserved.
+func (e *Engine) ReleaseScheduler() {
+	if e.ws == nil {
+		return
+	}
+	for _, h := range e.ws.DrainAll() {
+		e.push(h.ref)
+	}
+	e.ws.Release()
+	e.ws = nil
+	e.horizon = 0
+}
+
+// SetPartition pins the proc to a home partition: wake events targeting it
+// are tagged with that partition regardless of who schedules them. part < 0
+// restores the default (inherit the scheduling context's partition).
+func (p *Proc) SetPartition(part int) { p.part = int32(part) }
+
+// Partition returns the proc's pinned home partition, or -1 if it inherits.
+func (p *Proc) Partition() int { return int(p.part) }
+
+// windowSpan is how far past the earliest pending event a window's horizon
+// reaches.
+func (e *Engine) windowSpan() Time {
+	w := Time(e.lookahead) * lookaheadWindows
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+// minPending returns the earliest event held anywhere — scheduler partitions
+// or the engine's own heap.
+func (e *Engine) minPending() (Time, bool) {
+	t, ok := e.ws.MinPending()
+	if len(e.events) > 0 {
+		if yt := e.events[0].at; !ok || yt < t {
+			t, ok = yt, true
+		}
+	}
+	return t, ok
+}
+
+// nextBelow consumes and returns the globally earliest event if it falls
+// below horizon. The candidate sources are the scheduler's window runs and
+// the engine heap (events scheduled during this window, below the horizon);
+// ties break on seq, exactly as eventLess does.
+func (e *Engine) nextBelow(horizon Time) (*event, bool) {
+	var young *event
+	if len(e.events) > 0 {
+		young = e.events[0]
+	}
+	if h, ok := e.ws.Peek(); ok {
+		if young == nil || h.At < young.at || (h.At == young.at && h.Seq < young.seq) {
+			if h.At >= horizon {
+				return nil, false
+			}
+			e.ws.Pop()
+			return h.ref, true
+		}
+	}
+	if young == nil || young.at >= horizon {
+		return nil, false
+	}
+	e.pop()
+	return young, true
+}
+
+// runWindowed is Run's dispatch loop under a window scheduler. Each
+// iteration advances one lookahead window: pick the earliest pending event,
+// extend the horizon past it, let the partitions pre-sort everything below
+// the horizon in parallel (OpenWindow blocks until all of them reach it),
+// then replay the window through dispatchOne in global (time, seq) order.
+// Stop, interrupt failures and proc failures exit mid-window; the deferred
+// Rewind hands unconsumed events back so a later Run (or a snapshot purge)
+// sees a consistent queue.
+func (e *Engine) runWindowed(until Time) error {
+	defer func() {
+		e.ws.Rewind()
+		e.horizon = 0
+	}()
+	for !e.stopped {
+		next, ok := e.minPending()
+		if !ok {
+			break
+		}
+		if until > 0 && next > until {
+			e.now = until
+			break
+		}
+		horizon := next + e.windowSpan()
+		if horizon <= next {
+			horizon = next + 1
+		}
+		// The horizon is exclusive, so until+1 lets events at exactly
+		// `until` dispatch, matching the sequential loop's `at > until` cut.
+		if until > 0 && horizon > until+1 {
+			horizon = until + 1
+		}
+		e.horizon = horizon
+		e.ws.OpenWindow(horizon)
+		for !e.stopped {
+			ev, ok := e.nextBelow(horizon)
+			if !ok {
+				break
+			}
+			e.dispatchOne(ev)
+			if e.failure != nil {
+				return e.failure
+			}
+		}
+	}
+	return e.failure
+}

@@ -12,13 +12,22 @@ type EngineState struct {
 	Now  Time
 	Seq  uint64
 	Stat Stats
+	// PartDispatched carries the per-partition dispatch counters so a
+	// restored engine's partition telemetry continues from the captured
+	// values, keeping warm-started and cold-booted runs identical.
+	PartDispatched []uint64
 }
 
 // CaptureState records the engine-level state at a quiesce point. Callers
 // are responsible for having driven the engine to such a point (no live
 // procs beyond parked daemons, no proc mid-dispatch) before calling.
 func (e *Engine) CaptureState() EngineState {
-	return EngineState{Now: e.now, Seq: e.seq, Stat: e.stats}
+	return EngineState{
+		Now:            e.now,
+		Seq:            e.seq,
+		Stat:           e.stats,
+		PartDispatched: append([]uint64(nil), e.partDisp...),
+	}
 }
 
 // RestoreState rewinds a freshly built engine onto a captured state: it
@@ -35,9 +44,25 @@ func (e *Engine) RestoreState(st EngineState) error {
 		ev.proc, ev.fn = nil, nil
 	}
 	e.events = e.events[:0]
+	if e.ws != nil {
+		// Purge events parked in the window scheduler's partitions too; the
+		// scheduler itself stays installed for the restored run.
+		for _, h := range e.ws.DrainAll() {
+			h.ref.proc, h.ref.fn = nil, nil
+		}
+	}
 	e.now = st.Now
 	e.seq = st.Seq
 	e.stats = st.Stat
+	if len(st.PartDispatched) > 0 {
+		pd := make([]uint64, len(e.partDisp))
+		copy(pd, st.PartDispatched)
+		e.partDisp = pd
+	} else {
+		for i := range e.partDisp {
+			e.partDisp[i] = 0
+		}
+	}
 	e.stopped = false
 	e.failure = nil
 	return nil

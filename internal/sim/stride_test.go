@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestInterruptStrideOneKeepsOrder asserts the interrupt poll is invisible
+// to the simulation at ANY stride: polling after every single dispatch
+// (stride 1, the most aggressive setting SetInterruptStride allows) must
+// reproduce the default-stride run event for event — same (time, seq)
+// dispatch order, same counters. The workload deliberately piles several
+// events onto the same instant and chains follow-ups from inside dispatches,
+// the shapes where a poll that perturbed ordering would show.
+func TestInterruptStrideOneKeepsOrder(t *testing.T) {
+	run := func(stride int) (string, int, Stats) {
+		e := NewEngine()
+		if stride > 0 {
+			e.SetInterruptStride(stride)
+		}
+		polls := 0
+		e.SetInterrupt(func() error { polls++; return nil })
+		var log strings.Builder
+		for i := 0; i < 64; i++ {
+			i := i
+			// Four events per instant: same-time ties resolved by seq.
+			at := Time(time.Duration(i/4) * time.Microsecond)
+			e.At(at, func() {
+				fmt.Fprintf(&log, "%d@%d ", i, int64(e.Now()))
+				if i%8 == 0 {
+					// A chained event born at the same instant.
+					e.After(0, func() {
+						fmt.Fprintf(&log, "chain%d@%d ", i, int64(e.Now()))
+					})
+				}
+			})
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		st := e.Stats()
+		st.Wall = 0 // host time differs between runs by construction
+		return log.String(), polls, st
+	}
+	baseLog, basePolls, baseStats := run(0)
+	oneLog, onePolls, oneStats := run(1)
+	if oneLog != baseLog {
+		t.Fatalf("stride 1 perturbed dispatch order:\n--- default ---\n%s\n--- stride 1 ---\n%s",
+			baseLog, oneLog)
+	}
+	if oneStats != baseStats {
+		t.Fatalf("stride 1 changed engine counters:\ndefault: %+v\nstride1: %+v",
+			baseStats, oneStats)
+	}
+	// Prove the stride actually took effect: the run dispatches far fewer
+	// events than the default stride, so the default run polls never while
+	// stride 1 polls once per dispatch.
+	if basePolls != 0 {
+		t.Fatalf("default stride polled %d times over %d dispatches (stride %d)",
+			basePolls, baseStats.Dispatched, interruptStride)
+	}
+	if uint64(onePolls) != oneStats.Dispatched {
+		t.Fatalf("stride 1 polled %d times over %d dispatches, want one per dispatch",
+			onePolls, oneStats.Dispatched)
+	}
+}
+
+// TestSetInterruptStrideTightensPendingCredit asserts that lowering the
+// stride mid-run takes effect at the NEXT dispatch, not after the old
+// stride's remaining credit drains — Engine.Shutdown and job cancellation
+// rely on this when they tighten polling on a long-running engine.
+func TestSetInterruptStrideTightensPendingCredit(t *testing.T) {
+	e := NewEngine()
+	polls := 0
+	e.SetInterrupt(func() error { polls++; return nil })
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if polls != 0 {
+		t.Fatalf("short run polled %d times under the default stride", polls)
+	}
+	e.SetInterruptStride(1) // must clamp the large leftover credit
+	e.Spawn("ticker2", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if polls == 0 {
+		t.Fatal("tightened stride never polled: the old credit was not clamped")
+	}
+}

@@ -201,7 +201,7 @@ func (mb *Mailbox) SendAsync(from, to DomainID, msg Message) {
 func (mb *Mailbox) deliverAt(d time.Duration, from, to DomainID, msg Message) {
 	q := mb.inbox[to]
 	dst := mb.soc.Domains[to]
-	mb.soc.Eng.After(d, func() {
+	mb.soc.afterIn(to, d, func() {
 		// A mail interrupts (and wakes) the destination domain; handlers
 		// run once the wake completes. Deliveries to a dead domain vanish.
 		if !dst.whenAwake(func() { q.Put(Envelope{From: from, Msg: msg}) }) {

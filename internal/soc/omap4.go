@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -189,6 +190,12 @@ type SoC struct {
 	nextIRQ IRQLine
 }
 
+// Lookahead returns the platform's minimum cross-domain event latency: no
+// action in one domain can affect another sooner than one mailbox delivery.
+// It is the conservative-lookahead bound a parallel engine (internal/pdes)
+// may advance each domain's event partition without synchronizing.
+func (c Config) Lookahead() time.Duration { return c.MailboxLatency }
+
 // New constructs the SoC from the config's topology with every domain awake
 // (as at boot).
 func New(eng *sim.Engine, cfg Config) *SoC {
@@ -197,6 +204,13 @@ func New(eng *sim.Engine, cfg Config) *SoC {
 	if err := topo.Validate(); err != nil {
 		panic(err)
 	}
+
+	// Partition the engine's event queue per coherence domain — partition 0
+	// carries shared/untagged traffic, partition id+1 is domain id — and
+	// register the lookahead bound a windowed scheduler runs under. Both are
+	// inert bookkeeping unless a pdes scheduler is attached.
+	eng.ConfigurePartitions(len(topo) + 1)
+	eng.SetLookahead(cfg.Lookahead())
 
 	for id, spec := range topo {
 		d := newDomain(eng, DomainID(id), spec.Name, spec.Profile)
@@ -233,6 +247,47 @@ func New(eng *sim.Engine, cfg Config) *SoC {
 
 // NumDomains returns how many coherence domains the platform has.
 func (s *SoC) NumDomains() int { return len(s.Domains) }
+
+// DomainPartition returns the engine event-partition of domain id; partition
+// 0 is reserved for shared (untagged) traffic.
+func (s *SoC) DomainPartition(id DomainID) int { return int(id) + 1 }
+
+// PartitionName names engine event-partition i under the default topology
+// naming ("shared", "strong", "weak", "weak2", ...). Layers that hold only
+// partition counters — no live SoC — use this to label them; it matches
+// PartitionNames for every topology built by WithWeakDomains.
+func PartitionName(i int) string {
+	switch i {
+	case 0:
+		return "shared"
+	case 1:
+		return "strong"
+	case 2:
+		return "weak"
+	default:
+		return fmt.Sprintf("weak%d", i-1)
+	}
+}
+
+// PartitionNames returns one display name per engine event-partition, index
+// aligned with sim's PartitionDispatches: "shared" then each domain's name.
+func (s *SoC) PartitionNames() []string {
+	names := make([]string, 0, len(s.Domains)+1)
+	names = append(names, "shared")
+	for _, d := range s.Domains {
+		names = append(names, d.Name)
+	}
+	return names
+}
+
+// afterIn schedules fn after d, tagging the event with domain id's home
+// partition so a partitioned engine files it under that domain's sub-heap.
+// Routing is a balance hint only — dispatch order is unaffected.
+func (s *SoC) afterIn(id DomainID, d time.Duration, fn func()) {
+	prev := s.Eng.SetEventPartition(s.DomainPartition(id))
+	s.Eng.After(d, fn)
+	s.Eng.SetEventPartition(prev)
+}
 
 // WeakDomains returns the IDs of all weak domains in ascending order.
 func (s *SoC) WeakDomains() []DomainID {

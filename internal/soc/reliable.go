@@ -116,14 +116,14 @@ func (mb *Mailbox) transmit(rm *relMail) {
 			mb.Stats.Delayed++
 			latency += verdict.Delay
 		}
-		mb.soc.Eng.After(latency, func() { mb.arrive(rm) })
+		mb.soc.afterIn(rm.to, latency, func() { mb.arrive(rm) })
 		if verdict.Duplicate {
 			mb.Stats.Duplicated++
 			lat2 := latency + mb.soc.Cfg.MailboxLatency
-			mb.soc.Eng.After(lat2, func() { mb.arrive(rm) })
+			mb.soc.afterIn(rm.to, lat2, func() { mb.arrive(rm) })
 		}
 	}
-	mb.soc.Eng.After(mb.rel.AckTimeout, func() {
+	mb.soc.afterIn(rm.from, mb.rel.AckTimeout, func() {
 		if rm.acked || rm.dead {
 			return
 		}
@@ -181,7 +181,7 @@ func (mb *Mailbox) sendAck(rm *relMail) {
 			latency += v.Delay
 		}
 	}
-	mb.soc.Eng.After(latency, func() {
+	mb.soc.afterIn(rm.from, latency, func() {
 		if rm.acked || rm.dead {
 			return // duplicate ack, or the sender already gave up
 		}
