@@ -21,6 +21,9 @@
 //	k2bench -dsm-protocol=msi     # MSI read-replication DSM instead of two-state
 //	k2bench -checkpoint-demo      # shrink the planted-bug storm cold vs from
 //	                              # the boot checkpoint; report events saved
+//	k2bench -only=replication -replicas=3 -weakdomains=16 -sweep=8
+//	                              # replication ablation at one degree; exits 1
+//	                              # if any storm run violates an oracle
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"k2/internal/chaos"
 	"k2/internal/dsm"
@@ -83,7 +87,8 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run the chaos sweep (or replay one -storm) and exit non-zero on any oracle violation")
 	sweep := flag.Int("sweep", 256, "storms per chaos sweep (with -chaos)")
 	stormFlag := flag.String("storm", "", "explicit storm schedule to replay (with -chaos; see a repro line for the syntax)")
-	weakDomains := flag.Int("weakdomains", 2, "weak domains on the chaos platform (with -chaos)")
+	weakDomains := flag.Int("weakdomains", 2, "weak domains on the chaos/replication platform, 1-64 (with -chaos or -only=replication)")
+	replicas := flag.Int("replicas", 0, "replication degree for the replication ablation, 0-8 (0 = the full R in {1,2,3} sweep)")
 	ckptDemo := flag.Bool("checkpoint-demo", false, "shrink the planted-bug storm cold and from the boot checkpoint, print the replayed-event saving, and exit")
 	protoFlag := flag.String("dsm-protocol", "", "DSM coherence protocol: twostate (default) or msi")
 	enginePar := flag.Int("engine-parallel", 1, "event-scheduler workers per simulation engine (1 = sequential; output is byte-identical at any value)")
@@ -92,6 +97,16 @@ func main() {
 	flag.Parse()
 	experiment.FaultSeed = *seed
 	experiment.ChaosSeed = *seed
+	experiment.ReplicationSeed = *seed
+	if *weakDomains < 1 || *weakDomains > 64 {
+		fmt.Fprintln(os.Stderr, "k2bench: -weakdomains must be between 1 and 64")
+		os.Exit(2)
+	}
+	if *replicas < 0 || *replicas > 8 {
+		fmt.Fprintln(os.Stderr, "k2bench: -replicas must be between 0 and 8")
+		os.Exit(2)
+	}
+	experiment.Replicas = *replicas
 	if *enginePar < 1 {
 		fmt.Fprintln(os.Stderr, "k2bench: -engine-parallel must be at least 1")
 		os.Exit(2)
@@ -109,10 +124,6 @@ func main() {
 		os.Exit(2)
 	}
 	if *ckptDemo {
-		if *weakDomains < 1 {
-			fmt.Fprintln(os.Stderr, "k2bench: -weakdomains must be at least 1")
-			os.Exit(2)
-		}
 		cold, warm := chaos.CheckpointDemo(*weakDomains, 0)
 		fmt.Printf("storm:  %s\n", cold.Storm)
 		fmt.Printf("shrunk: %s (in %d predicate runs)\n", cold.Shrunk, cold.Runs)
@@ -134,8 +145,8 @@ func main() {
 		os.Exit(2)
 	}
 	if *chaosMode {
-		if *sweep < 1 || *weakDomains < 1 {
-			fmt.Fprintln(os.Stderr, "k2bench: -sweep and -weakdomains must be at least 1")
+		if *sweep < 1 {
+			fmt.Fprintln(os.Stderr, "k2bench: -sweep must be at least 1")
 			os.Exit(2)
 		}
 		runChaos(*seed, *weakDomains, *sweep, *stormFlag, *parallel, proto)
@@ -149,10 +160,23 @@ func main() {
 		return
 	}
 
+	// Flags the user set explicitly parameterize the selected experiments
+	// (via DefFor, the same binding k2d dispatches); defaults leave every
+	// registry entry untouched so the default tables stay byte-identical.
 	formatSet := false
+	var params experiment.Params
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "format" {
+		switch f.Name {
+		case "format":
 			formatSet = true
+		case "seed":
+			params.Seed = *seed
+		case "weakdomains":
+			params.WeakDomains = *weakDomains
+		case "sweep":
+			params.Sweep = *sweep
+		case "replicas":
+			params.Replicas = *replicas
 		}
 	})
 	if *jsonPath != "" && formatSet {
@@ -170,6 +194,13 @@ func main() {
 	if len(defs) == 0 {
 		fmt.Fprintln(os.Stderr, "k2bench: no experiment matched; try -list")
 		os.Exit(1)
+	}
+	if params != (experiment.Params{}) {
+		for i, d := range defs {
+			if bound, ok := experiment.DefFor(d.ID, params); ok {
+				defs[i] = bound
+			}
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -213,6 +244,7 @@ func main() {
 	}
 
 	results := experiment.Runner{Parallel: *parallel}.RunContext(context.Background(), defs)
+	failed := false
 	for _, r := range results {
 		switch *format {
 		case "text":
@@ -226,5 +258,15 @@ func main() {
 			}
 			fmt.Println()
 		}
+		for _, n := range r.Table.Notes {
+			if strings.HasPrefix(n, "FAIL") {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		// A FAIL note is an oracle violation (chaos/replication storms carry
+		// their repro lines in the notes); make it a CI-visible exit.
+		os.Exit(1)
 	}
 }

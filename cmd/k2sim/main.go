@@ -8,10 +8,17 @@
 //	k2sim -os k2 -workload udp -batch 1024 -total 65536 -mhz 350
 //	k2sim -os k2 -workload dma -weakdomains 4 -v
 //	k2sim -os k2 -workload dma -crash 50ms -reboot 30ms -drop 0.01 -seed 7
+//	k2sim -os k2 -workload replica -replicas 3 -weakdomains 6 -crash 20ms -reboot 15ms
 //
 // -weakdomains boots a topology with the given number of weak (M3-class)
-// domains, one shadow kernel each; the default of 1 is the calibrated
-// OMAP4 platform.
+// domains, one shadow kernel each (1-64); the default of 1 is the
+// calibrated OMAP4 platform.
+//
+// -replicas boots the N-modular-redundancy layer (K2 mode only) and the
+// replica workload runs one R-replica voting group to completion: the
+// episode's figure of merit is the commit cadence — crash a replica's
+// domain mid-run and the surviving quorum votes straight past the fault
+// the watchdog would otherwise take milliseconds to repair.
 //
 // The fault flags inject deterministic faults (seeded by -seed): -crash
 // kills weak domain 1 at the given virtual time (-reboot revives it that
@@ -32,6 +39,7 @@ import (
 	"k2/internal/core"
 	"k2/internal/dsm"
 	"k2/internal/fault"
+	"k2/internal/replica"
 	"k2/internal/sim"
 	"k2/internal/soc"
 	"k2/internal/trace"
@@ -46,7 +54,8 @@ func main() {
 	size := flag.Int("size", 262144, "file size in bytes (ext2)")
 	files := flag.Int("files", 8, "file count (ext2)")
 	mhz := flag.Int("mhz", 350, "strong-core frequency (350-1200)")
-	weakDomains := flag.Int("weakdomains", 1, "number of weak domains (each runs its own shadow kernel under K2)")
+	weakDomains := flag.Int("weakdomains", 1, "number of weak domains, 1-64 (each runs its own shadow kernel under K2)")
+	replicas := flag.Int("replicas", 0, "replication degree for the NMR layer, 0-8 (0 = off; K2 mode only; required by -workload replica)")
 	verbose := flag.Bool("v", false, "print DSM and scheduler statistics")
 	traceKinds := flag.String("trace", "", "comma-separated trace kinds to dump (e.g. dsm,sched,power; 'all' for everything)")
 	seed := flag.Int64("seed", 1, "PRNG seed for fault injection")
@@ -76,8 +85,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *weakDomains < 1 {
-		fmt.Fprintln(os.Stderr, "k2sim: -weakdomains must be at least 1")
+	if *weakDomains < 1 || *weakDomains > 64 {
+		fmt.Fprintln(os.Stderr, "k2sim: -weakdomains must be between 1 and 64")
+		os.Exit(2)
+	}
+	if *replicas < 0 || *replicas > 8 {
+		fmt.Fprintln(os.Stderr, "k2sim: -replicas must be between 0 and 8")
+		os.Exit(2)
+	}
+	if *replicas > 0 && mode != core.K2Mode {
+		fmt.Fprintln(os.Stderr, "k2sim: -replicas needs -os k2 (replication runs on shadow kernels)")
+		os.Exit(2)
+	}
+	if *replicas > *weakDomains {
+		fmt.Fprintf(os.Stderr, "k2sim: %d replicas need %d distinct weak domains, -weakdomains gives %d\n",
+			*replicas, *replicas, *weakDomains)
+		os.Exit(2)
+	}
+	if *wl == "replica" && *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "k2sim: -workload replica needs -replicas (1-8)")
 		os.Exit(2)
 	}
 	if *dropP < 0 || *dropP > 1 {
@@ -100,6 +126,15 @@ func main() {
 	cfg := soc.DefaultConfig()
 	cfg.StrongFreqMHz = *mhz
 	opts := core.Options{Mode: mode, SoC: &cfg, WeakDomains: *weakDomains, EngineParallel: *enginePar}
+	if *replicas > 0 {
+		// Replication rides the recovery stack: reliable vote transport and
+		// the watchdog backstop underneath the voting quorum.
+		rel := soc.DefaultReliableParams()
+		cfg.Reliable = &rel
+		wd := core.DefaultWatchdogParams()
+		opts.Watchdog = &wd
+		opts.Replication = &replica.Params{R: *replicas, VoteTimeout: 500 * time.Microsecond}
+	}
 	if faulty {
 		// Injected faults need the recovery stack to be survivable.
 		rel := soc.DefaultReliableParams()
@@ -132,6 +167,11 @@ func main() {
 	}
 	if faulty {
 		plan.Arm(o.S, o.Trace)
+	}
+
+	if *wl == "replica" {
+		runReplicaEpisode(eng, o, plan, faulty, *seed, *mhz, *replicas, *weakDomains)
+		return
 	}
 
 	var task workload.Task
@@ -199,10 +239,88 @@ func main() {
 			fmt.Printf("mailbox:      %d to %v\n", o.S.Mailbox.Sent(k), k)
 		}
 	}
-	if *traceKinds != "" {
-		if *traceKinds != "all" {
+	dumpTrace(o, *traceKinds)
+}
+
+// runReplicaEpisode runs one R-replica voting group to completion and
+// reports the commit cadence: quorum commits mean faults were masked with
+// zero added latency, timeout commits price a degraded set, and the max
+// inter-commit gap is the workload-visible stall a fault caused.
+func runReplicaEpisode(eng *sim.Engine, o *core.OS, plan *fault.Plan, faulty bool, seed int64, mhz, replicas, weakDomains int) {
+	mach := replica.Machine{
+		Init: 0x9E3779B97F4A7C15,
+		Step: func(vp, s int, st uint64) uint64 {
+			st += 0x9E3779B97F4A7C15 ^ uint64(vp*64+s)
+			st ^= st >> 30
+			st *= 0xBF58476D1CE4E5B9
+			st ^= st >> 27
+			return st
+		},
+		StepWork:     soc.Work(5 * time.Microsecond),
+		StepsPerVote: 4,
+		VotePoints:   32,
+		Idle:         time.Millisecond,
+	}
+	g, err := o.Replicas.StartGroup(replica.GroupSpec{Name: "rep", Machine: mach})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "k2sim:", err)
+		os.Exit(1)
+	}
+	eng.Spawn("episode-monitor", func(p *sim.Proc) {
+		g.Done.Wait(p)
+		p.Sleep(5 * time.Millisecond) // let re-integration traffic drain
+		eng.Stop()
+	})
+	cap := 2 * time.Hour
+	if faulty {
+		cap = 60 * time.Second
+	}
+	if err := eng.Run(sim.Time(cap)); err != nil {
+		fmt.Fprintln(os.Stderr, "k2sim:", err)
+		os.Exit(1)
+	}
+	m := o.Replicas
+	fmt.Printf("os:           %v (strong @ %d MHz)\n", core.K2Mode, mhz)
+	fmt.Printf("workload:     replica (R=%d on %d weak domains)\n", replicas, weakDomains)
+	if !g.Done.Fired() {
+		fmt.Printf("group did not complete under injected faults: %d of %d vote points committed\n",
+			g.Committed(), g.VotePoints())
+	}
+	fmt.Printf("vote points:  %d committed (%d quorum / %d timeout), %d votes accepted\n",
+		g.Committed(), m.QuorumCommits, m.TimeoutCommits, m.Votes)
+	fmt.Printf("outvoted:     %d replicas (%d re-integrations, %d manager sweeps)\n",
+		m.Outvoted, m.Reintegrations, m.SweptDomains)
+	var maxGap time.Duration
+	for _, gap := range g.CommitGaps() {
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	fmt.Printf("max commit gap: %v (vote-point period %v)\n", maxGap, mach.Idle)
+	fmt.Printf("episode:      %.3f mJ platform energy\n", o.EnergyJ()*1e3)
+	if faulty {
+		fmt.Printf("faults:       %s (seed %d)\n", plan.Stats.Summary(), seed)
+		for _, f := range m.Flags() {
+			fmt.Printf("flag:         replica %d outvoted at point %d (%s) on %v, implicated=%v\n",
+				f.Replica, f.VotePoint, f.Reason, f.Domain, f.Implicated)
+		}
+		if o.Watchdog != nil {
+			for _, rec := range o.Watchdog.Deaths {
+				fmt.Printf("watchdog:     %v declared dead at %v; reclaimed %d pages, %d blocks, %d locks in %v\n",
+					rec.Domain, time.Duration(rec.DeclaredAt), rec.ReclaimedPages,
+					rec.ReclaimedBlocks, rec.BrokenLocks,
+					time.Duration(rec.RecoveredAt-rec.DeclaredAt))
+			}
+		}
+	}
+}
+
+// dumpTrace prints the requested trace kinds (comma-separated, or "all").
+func dumpTrace(o *core.OS, traceKinds string) {
+	if traceKinds != "" {
+		if traceKinds != "all" {
 			var kinds []trace.Kind
-			for _, name := range strings.Split(*traceKinds, ",") {
+			for _, name := range strings.Split(traceKinds, ",") {
 				k, err := trace.ParseKind(strings.TrimSpace(name))
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "k2sim:", err)

@@ -24,7 +24,7 @@ import (
 
 // Violation is one invariant failure: which oracle tripped and why.
 type Violation struct {
-	Oracle string // "dsm", "memory", "energy" or "liveness"
+	Oracle string // "dsm", "memory", "energy", "liveness" or "replication"
 	Msg    string
 }
 
@@ -116,6 +116,7 @@ func (s *Suite) Final() []Violation {
 	vs := s.Check()
 	vs = s.checkCrashedResidue(vs)
 	vs = s.checkLiveness(vs)
+	vs = s.checkReplication(vs)
 	return vs
 }
 
@@ -198,7 +199,11 @@ func (s *Suite) checkCrashedResidue(vs []Violation) []Violation {
 			continue
 		}
 		kd := soc.DomainID(k)
-		if s.RequireQuiescent && s.OS.Watchdog != nil && s.OS.Watchdog.Alive(kd) {
+		if s.RequireQuiescent && s.OS.Watchdog != nil && s.OS.Watchdog.Alive(kd) &&
+			// The replica manager may own recovery for this domain: it ran
+			// the reclaim sweep when it re-integrated away, and the watchdog
+			// was deliberately suppressed from declaring a second death.
+			!(s.OS.Replicas != nil && s.OS.Replicas.SweptDead(kd)) {
 			vs = append(vs, Violation{"liveness", fmt.Sprintf(
 				"domain %v crashed but the watchdog never declared it dead", kd)})
 		}
@@ -211,6 +216,36 @@ func (s *Suite) checkCrashedResidue(vs []Violation) []Violation {
 				vs = append(vs, Violation{"dsm", fmt.Sprintf(
 					"crashed domain %v still holds a grant on page %d", kd, pfn)})
 			}
+		}
+	}
+	return vs
+}
+
+// checkReplication audits the NMR voting layer (when one is attached):
+// every replica group must have committed all of its vote points by
+// quiescence (a stuck vote frontier means the masking machinery itself
+// hung), and every outvoted replica must be implicated by an injected
+// fault — a crash, a scripted corruption, or an observed reboot. An
+// unimplicated outvote would mean healthy deterministic replicas disagreed,
+// i.e. the vote order itself is nondeterministic.
+func (s *Suite) checkReplication(vs []Violation) []Violation {
+	r := s.OS.Replicas
+	if r == nil {
+		return vs
+	}
+	if s.RequireQuiescent {
+		for _, g := range r.Groups() {
+			if got, want := g.Committed(), g.VotePoints(); got < want {
+				vs = append(vs, Violation{"replication", fmt.Sprintf(
+					"group %s committed only %d of %d vote points", g.Name, got, want)})
+			}
+		}
+	}
+	for _, f := range r.Flags() {
+		if !f.Implicated {
+			vs = append(vs, Violation{"replication", fmt.Sprintf(
+				"group %s replica %d outvoted at point %d (%s) on domain %v without an injected fault",
+				f.Group, f.Replica, f.VotePoint, f.Reason, f.Domain)})
 		}
 	}
 	return vs

@@ -1,0 +1,131 @@
+package check_test
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/check"
+	"k2/internal/core"
+	"k2/internal/dsm"
+	"k2/internal/mem"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// boot64 boots a watched 64-weak-domain K2 platform under the given DSM
+// protocol — the scale shape the per-domain slices (watchdog state, DSM
+// directory shares, balloon accounting) must survive.
+func boot64(t *testing.T, proto dsm.Protocol) (*sim.Engine, *core.OS) {
+	t.Helper()
+	e := sim.NewEngine()
+	cfg := soc.DefaultConfig()
+	cfg.RAMBytes = 4 << 30 // 64 shadow kernels of 16 MB boot blocks need headroom
+	rel := soc.DefaultReliableParams()
+	cfg.Reliable = &rel
+	wd := core.DefaultWatchdogParams()
+	prm := dsm.DefaultParams()
+	prm.Protocol = proto
+	prm.OwnerTimeout = 200 * time.Microsecond
+	o, err := core.Boot(e, core.Options{
+		Mode: core.K2Mode, SoC: &cfg, WeakDomains: 64, Watchdog: &wd, DSMParams: &prm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, o
+}
+
+// At 64 weak domains, a multi-crash run must still satisfy every oracle:
+// the watchdog reclaims each dead kernel's DSM pages and memory blocks,
+// the directory and the balloon accounting stay conserved across all 64
+// per-domain slices, and the final quiescent audit is clean — under both
+// the paper's two-state protocol and the MSI read-replication variant
+// (whose per-page copyset spans many more domains when it breaks).
+func TestSuiteScales64Domains(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		proto dsm.Protocol
+	}{{"twostate", dsm.TwoState}, {"msi", dsm.MSI}} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, o := boot64(t, tc.proto)
+			suite := check.New(o)
+
+			// Spread ownership wide: kernels 1..8 each own four shared pages.
+			// Under MSI the strong kernel additionally reads every page, so
+			// crashed owners leave read replicas behind to invalidate (under
+			// two-state a read would *transfer* the page, stripping the
+			// owners we are about to crash).
+			const owners, pagesEach = 8, 4
+			e.Spawn("setup", func(p *sim.Proc) {
+				o.Ready.Wait(p)
+				pg := mem.PFN(100)
+				for k := 1; k <= owners; k++ {
+					for i := 0; i < pagesEach; i++ {
+						o.DSM.Share(pg)
+						o.DSM.Write(p, o.S.Core(soc.DomainID(k), 0), soc.DomainID(k), pg)
+						if tc.proto == dsm.MSI {
+							o.DSM.Read(p, o.S.Core(soc.Strong, 0), soc.Strong, pg)
+						}
+						pg++
+					}
+				}
+			})
+
+			// Crash three owners at staggered times; reboot them all.
+			victims := []soc.DomainID{1, 4, 7}
+			for i, k := range victims {
+				k := k
+				e.At(sim.Time(time.Duration(20+5*i)*time.Millisecond), func() { o.S.Domains[k].Crash() })
+				e.At(sim.Time(time.Duration(60+5*i)*time.Millisecond), func() { o.S.Domains[k].Reboot() })
+			}
+
+			var mid []check.Violation
+			e.At(sim.Time(45*time.Millisecond), func() { mid = append(mid, suite.Check()...) })
+			if err := e.Run(sim.Time(200 * time.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+			if len(mid) != 0 {
+				t.Fatalf("mid-run violations at 64 domains: %v", mid)
+			}
+
+			w := o.Watchdog
+			if len(w.Deaths) != len(victims) {
+				t.Fatalf("%d deaths declared, want %d", len(w.Deaths), len(victims))
+			}
+			reclaimed := 0
+			for _, rec := range w.Deaths {
+				reclaimed += rec.ReclaimedPages
+				if rec.ReclaimedBlocks < 1 {
+					t.Fatalf("death of %v reclaimed %d blocks, want its boot block", rec.Domain, rec.ReclaimedBlocks)
+				}
+			}
+			if reclaimed < len(victims)*pagesEach {
+				t.Fatalf("reclaimed %d pages across %d deaths, want at least %d",
+					reclaimed, len(victims), len(victims)*pagesEach)
+			}
+			for _, k := range victims {
+				if !w.Alive(k) {
+					t.Fatalf("%v rebooted but still counted dead", k)
+				}
+			}
+			// Every crashed owner's pages changed hands to a survivor.
+			pg := mem.PFN(100)
+			for k := 1; k <= owners; k++ {
+				for i := 0; i < pagesEach; i++ {
+					own := o.DSM.Owner(pg)
+					for _, v := range victims {
+						if soc.DomainID(k) == v && own == v {
+							t.Fatalf("page %d still owned by crashed-and-rebooted %v", pg, v)
+						}
+					}
+					pg++
+				}
+			}
+
+			suite.RequireQuiescent = true
+			if vs := suite.Final(); len(vs) != 0 {
+				t.Fatalf("final audit violations at 64 domains: %v", vs)
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"k2/internal/netstack"
 	"k2/internal/pdes"
 	"k2/internal/power"
+	"k2/internal/replica"
 	"k2/internal/sched"
 	"k2/internal/services"
 	"k2/internal/sim"
@@ -80,6 +81,13 @@ type Options struct {
 	// (K2 mode only): heartbeats every weak kernel and reclaims the state
 	// of any that stops answering. Off by default.
 	Watchdog *WatchdogParams
+	// Replication, if non-nil, boots the N-modular-redundancy layer
+	// (internal/replica, K2 mode only): R-replica groups of NightWatch
+	// state machines voting at the strong kernel, with immediate outvote
+	// and re-integration of crashed or diverged replicas. Off by default —
+	// an unreplicated system carries none of the machinery and its output
+	// bytes are untouched.
+	Replication *replica.Params
 	// EngineParallel, when > 1, attaches the conservative parallel event
 	// scheduler (internal/pdes) to the booting engine with that many pool
 	// workers, partitioned per coherence domain under the platform's
@@ -123,6 +131,9 @@ type OS struct {
 	Trace *trace.Buffer
 	// Watchdog is the shadow-kernel watchdog (nil unless Options.Watchdog).
 	Watchdog *Watchdog
+	// Replicas is the N-modular-redundancy voter and re-integration agent
+	// (nil unless Options.Replication).
+	Replicas *replica.Manager
 
 	kernels     []soc.DomainID // booted kernels: Strong, then every weak domain under K2
 	irqHandlers map[soc.IRQLine][]IRQHandler
@@ -341,6 +352,22 @@ func bootSystem(eng *sim.Engine, opts Options, restore *osState) (*OS, error) {
 	if opts.Watchdog != nil && opts.Mode == K2Mode && len(o.kernels) > 1 {
 		o.Watchdog = newWatchdog(o, *opts.Watchdog)
 	}
+	if opts.Replication != nil && opts.Mode == K2Mode && len(o.kernels) > 1 {
+		o.Replicas = replica.NewManager(replica.Deps{
+			Eng: eng, S: s, Sched: o.Sched, Trace: o.Trace, Ready: o.Ready,
+			StrongCore: func() *soc.Core { return o.serviceCore(soc.Strong) },
+			Reclaim:    o.reclaimDomain,
+			WatchdogSuppress: func(k soc.DomainID) bool {
+				if o.Watchdog == nil {
+					return true // no watchdog: the manager owns every sweep
+				}
+				return o.Watchdog.Suppress(k)
+			},
+		}, *opts.Replication)
+		if o.Watchdog != nil {
+			o.Watchdog.OnSuppressedPong = o.Replicas.DomainBackAlive
+		}
+	}
 	if cold {
 		o.spawnDaemons()
 
@@ -439,6 +466,9 @@ func (o *OS) dispatch(p *sim.Proc, core *soc.Core, k soc.DomainID) {
 			o.Mem.OnBalloonAck(k)
 		case soc.MsgGeneric:
 			if o.handleWatchdogMail(p, core, k, from, msg.Payload()) {
+				continue
+			}
+			if o.Replicas != nil && o.Replicas.HandleMail(p, core, k, msg.Payload()) {
 				continue
 			}
 			o.applyPeerMap(k, msg.Payload())

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/replica"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+func replicatedOpts(weak, r int) Options {
+	cfg := soc.DefaultConfig().WithWeakDomains(weak)
+	rel := soc.DefaultReliableParams()
+	cfg.Reliable = &rel
+	wd := DefaultWatchdogParams()
+	return Options{
+		Mode: K2Mode, SoC: &cfg, Watchdog: &wd,
+		Replication: &replica.Params{R: r, VoteTimeout: 500 * time.Microsecond},
+	}
+}
+
+func replicaTestMachine(points int) replica.Machine {
+	return replica.Machine{
+		Init: 0xFEED_F00D_CAFE_D00D,
+		Step: func(vp, s int, st uint64) uint64 {
+			st ^= uint64(vp*17 + s + 3)
+			st *= 0x9E3779B97F4A7C15
+			return st
+		},
+		StepWork:     soc.Work(2 * time.Microsecond),
+		StepsPerVote: 2,
+		VotePoints:   points,
+		Idle:         500 * time.Microsecond,
+	}
+}
+
+// Satellite regression: a replica outvoted away from a crashed domain is
+// recovered by the manager — the watchdog must not also walk its
+// K-missed-beats death-and-reclaim path for the same domain (the
+// double-recovery thrash). The watchdog keeps pinging, and the pong after
+// reboot hands the domain back to it.
+func TestReplicationSuppressesWatchdogReboot(t *testing.T) {
+	e := sim.NewEngine()
+	o, err := Boot(e, replicatedOpts(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := o.Replicas.StartGroup(replica.GroupSpec{Name: "g", Machine: replicaTestMachine(24)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := g.ReplicaDomains()[0]
+	e.At(sim.Time(2200*time.Microsecond), func() { o.S.Domains[victim].Crash() })
+	e.At(sim.Time(9*time.Millisecond), func() { o.S.Domains[victim].Reboot() })
+	if err := e.Run(sim.Time(60 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Done.Fired() {
+		t.Fatalf("group stalled at %d of %d points", g.Committed(), g.VotePoints())
+	}
+	if o.Replicas.SweptDomains != 1 {
+		t.Fatalf("manager ran %d recovery sweeps, want exactly 1 for the crashed domain", o.Replicas.SweptDomains)
+	}
+	for _, d := range o.Watchdog.Deaths {
+		if d.Domain == victim {
+			t.Fatalf("watchdog also declared %v dead and reclaimed it — double recovery", victim)
+		}
+	}
+	if len(o.Watchdog.Deaths) != 0 {
+		t.Fatalf("watchdog declared %d unrelated deaths on a single-crash run", len(o.Watchdog.Deaths))
+	}
+	if !o.Watchdog.Alive(victim) {
+		t.Fatalf("%v rebooted but the watchdog still counts it dead", victim)
+	}
+	if o.Watchdog.Suppressed(victim) {
+		t.Fatalf("%v answered again but is still suppressed", victim)
+	}
+	if o.Replicas.RebootsObserved == 0 {
+		t.Fatal("manager never observed the suppressed domain's reboot")
+	}
+	if o.Replicas.SweptDead(victim) {
+		t.Fatalf("%v is back but still marked swept-dead", victim)
+	}
+	if err := o.DSM.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Mem.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Replication metadata survives the checkpoint: a fork of a replicated
+// system restores the manager (params and counters) and can run a voting
+// group to completion, byte-identical to the parent's.
+func TestSnapshotRoundTripsReplicationState(t *testing.T) {
+	e1, o1 := bootToReady(t, replicatedOpts(6, 3))
+	snp, err := o1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Marshal/unmarshal must carry the replica state too (the codec round
+	// trip re-decodes into the same snapshot, which keeps the boot options).
+	if err := snp.UnmarshalState(snp.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(e *sim.Engine, o *OS) []replica.Commit {
+		t.Helper()
+		if o.Replicas == nil {
+			t.Fatal("restored system lost its replication layer")
+		}
+		g, err := o.Replicas.StartGroup(replica.GroupSpec{Name: "g", Machine: replicaTestMachine(12)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(sim.Time(60 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		if !g.Done.Fired() {
+			t.Fatal("group stalled on restored system")
+		}
+		return g.Commits()
+	}
+
+	parent := run(e1, o1)
+	eF, oF, err := snp.Fork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oF.Replicas.Params.R != 3 || oF.Replicas.Params.VoteTimeout != 500*time.Microsecond {
+		t.Fatalf("restored params %+v", oF.Replicas.Params)
+	}
+	forked := run(eF, oF)
+	if len(parent) != len(forked) {
+		t.Fatalf("commit counts differ: parent %d, fork %d", len(parent), len(forked))
+	}
+	for i := range parent {
+		if parent[i] != forked[i] {
+			t.Fatalf("commit %d differs: parent %+v, fork %+v", i, parent[i], forked[i])
+		}
+	}
+}
+
+// A started group refuses checkpointing — groups are live thread state the
+// snapshot cannot quiesce.
+func TestSnapshotRefusesLiveGroups(t *testing.T) {
+	e, o := bootToReady(t, replicatedOpts(6, 3))
+	_ = e
+	if _, err := o.Replicas.StartGroup(replica.GroupSpec{Name: "g", Machine: replicaTestMachine(8)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Snapshot(); err == nil {
+		t.Fatal("snapshot succeeded with a live replicated group")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"k2/internal/mem"
 	"k2/internal/netstack"
 	"k2/internal/power"
+	"k2/internal/replica"
 	"k2/internal/sched"
 	"k2/internal/sim"
 	"k2/internal/snap"
@@ -20,11 +21,12 @@ import (
 
 // wdKernelState is the watchdog's per-shadow-kernel checkpointable state.
 type wdKernelState struct {
-	Alive     bool
-	Awaiting  bool
-	SentEpoch uint32
-	PongEpoch uint32
-	Missed    int
+	Alive      bool
+	Awaiting   bool
+	SentEpoch  uint32
+	PongEpoch  uint32
+	Missed     int
+	Suppressed bool
 }
 
 // watchdogState is the watchdog's checkpointable state.
@@ -46,6 +48,7 @@ func (w *Watchdog) captureState() watchdogState {
 		st.Kernels = append(st.Kernels, wdKernelState{
 			Alive: s.alive, Awaiting: s.awaiting,
 			SentEpoch: s.sentEpoch, PongEpoch: s.pongEpoch, Missed: s.missed,
+			Suppressed: s.suppressed,
 		})
 	}
 	return st
@@ -56,6 +59,7 @@ func (w *Watchdog) restoreState(st watchdogState) {
 		w.state[i] = wdState{
 			alive: s.Alive, awaiting: s.Awaiting,
 			sentEpoch: s.SentEpoch, pongEpoch: s.PongEpoch, missed: s.Missed,
+			suppressed: s.Suppressed,
 		}
 	}
 	w.epoch = st.Epoch
@@ -86,6 +90,7 @@ type osState struct {
 	SensorDev *driver.SensorDeviceState
 	Sensor    *driver.SensorDriverState
 	Watchdog  *watchdogState
+	Replica   *replica.State
 	NextMapID uint32
 }
 
@@ -161,6 +166,13 @@ func (o *OS) Snapshot() (*Snapshot, error) {
 	if o.Watchdog != nil {
 		ws := o.Watchdog.captureState()
 		st.Watchdog = &ws
+	}
+	if o.Replicas != nil {
+		rs, err := o.Replicas.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		st.Replica = &rs
 	}
 	opts := o.opts
 	opts.TraceSink = nil // live subscriber, never captured
@@ -271,6 +283,14 @@ func (o *OS) restoreFrom(st *osState) error {
 			return fmt.Errorf("core: snapshot has no watchdog state")
 		}
 		o.Watchdog.restoreState(*st.Watchdog)
+	}
+	if o.Replicas != nil {
+		if st.Replica == nil {
+			return fmt.Errorf("core: snapshot has no replication state")
+		}
+		if err := o.Replicas.RestoreState(*st.Replica); err != nil {
+			return err
+		}
 	}
 	o.nextMapID = st.NextMapID
 

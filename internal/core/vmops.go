@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"k2/internal/replica"
 	"k2/internal/sched"
 	"k2/internal/soc"
 	"k2/internal/trace"
@@ -53,7 +54,9 @@ func (o *OS) propagateMap(t *sched.Thread, op mapOp) {
 		return
 	}
 	o.nextMapID++
-	id := o.nextMapID & 0x7FFFF // fits the mail payload below the watchdog flag bit
+	// Fits the mail payload below both flag bits: bit 19 is the watchdog's,
+	// bit 18 marks replica vote mails (replica.MailFlag).
+	id := o.nextMapID & (replica.MailFlag - 1)
 	op.refs = len(peers)
 	o.pendingMaps[id] = op
 	o.Trace.Emit(trace.Mailbox, "%v propagating %s at %#x to peer",

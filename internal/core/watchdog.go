@@ -54,6 +54,12 @@ type wdState struct {
 	sentEpoch uint32 // epoch of the outstanding ping
 	pongEpoch uint32 // epoch of the last pong received
 	missed    int
+	// suppressed: the replica manager owns recovery for this domain while
+	// it re-integrates a replica away from it. The watchdog keeps pinging
+	// (a pong is how everyone learns the domain rebooted) but counts no
+	// misses and declares no death — the manager already ran the reclaim
+	// sweep, and a second one would be the double-recovery thrash.
+	suppressed bool
 }
 
 // Watchdog is the main kernel's recovery agent (enabled via
@@ -68,6 +74,11 @@ type Watchdog struct {
 	os    *OS
 	state []wdState
 	epoch uint32
+
+	// OnSuppressedPong, if set, is invoked when a suppressed domain
+	// answers a ping again (it rebooted); the watchdog unsuppresses it
+	// first. core.Boot points it at the replica manager.
+	OnSuppressedPong func(k soc.DomainID)
 
 	// Stats.
 	Pings, Pongs int
@@ -88,6 +99,25 @@ func newWatchdog(o *OS, prm WatchdogParams) *Watchdog {
 
 // Alive reports whether the watchdog currently believes kernel k is alive.
 func (w *Watchdog) Alive(k soc.DomainID) bool { return w.state[k].alive }
+
+// Suppressed reports whether domain k is exempt from miss counting while
+// the replica manager re-integrates away from it.
+func (w *Watchdog) Suppressed(k soc.DomainID) bool { return w.state[k].suppressed }
+
+// Suppress exempts domain k from miss counting and death declaration while
+// the replica manager re-integrates a replica away from it. It reports
+// true when suppression engaged — the manager now owns the recovery sweep —
+// and false when the watchdog has already declared k dead: its sweep has
+// run, and the manager must not repeat it.
+func (w *Watchdog) Suppress(k soc.DomainID) bool {
+	st := &w.state[k]
+	if !st.alive {
+		return false
+	}
+	st.suppressed = true
+	st.missed = 0
+	return true
+}
 
 // run is the heartbeat loop; it never returns. It starts beating only once
 // the system is ready: boot is shorter than a heartbeat period anyway, and
@@ -131,6 +161,18 @@ func (w *Watchdog) run(p *sim.Proc, core *soc.Core) {
 			}
 			gotPong := st.awaiting && st.pongEpoch == st.sentEpoch
 			switch {
+			case st.suppressed:
+				// Recovery for this domain belongs to the replica manager:
+				// no miss counting, no death — but keep pinging, because the
+				// pong is the reboot signal that hands the domain back.
+				if gotPong {
+					st.suppressed = false
+					st.missed = 0
+					o.Trace.Emit(trace.Fault, "watchdog: %v answered during re-integration; resuming watch", k)
+					if w.OnSuppressedPong != nil {
+						w.OnSuppressedPong(k)
+					}
+				}
 			case st.alive && gotPong:
 				st.missed = 0
 			case st.alive && st.awaiting:
@@ -182,17 +224,27 @@ func (w *Watchdog) declareDead(p *sim.Proc, core *soc.Core, k soc.DomainID) {
 	o.Trace.Emit(trace.Fault, "watchdog: %v dead after %d missed beats; reclaiming",
 		k, w.Params.Misses)
 	rec := DeathRecord{Domain: k, DeclaredAt: o.Eng.Now()}
-	rec.BrokenLocks = o.S.Spinlocks.BreakAllHeldBy(k)
-	if o.DSM != nil {
-		rec.ReclaimedPages = o.DSM.ReclaimDead(p, core, k, soc.Strong)
-	}
-	rec.ReclaimedBlocks = o.Mem.ReclaimDead(p, core, k)
+	rec.BrokenLocks, rec.ReclaimedPages, rec.ReclaimedBlocks = o.reclaimDomain(p, core, k)
 	rec.RecoveredAt = o.Eng.Now()
 	w.Deaths = append(w.Deaths, rec)
 	o.Trace.Emit(trace.Fault,
 		"watchdog: reclaimed %d pages, %d blocks, %d locks from %v in %v",
 		rec.ReclaimedPages, rec.ReclaimedBlocks, rec.BrokenLocks, k,
 		time.Duration(rec.RecoveredAt-rec.DeclaredAt))
+}
+
+// reclaimDomain is the shared recovery sweep behind both the watchdog's
+// declareDead and replica re-integration: force-release k's hardware
+// spinlocks (a dead kernel may have frozen inside a critical section),
+// then reclaim its DSM page ownership and its memory blocks back to the
+// survivors.
+func (o *OS) reclaimDomain(p *sim.Proc, core *soc.Core, k soc.DomainID) (locks, pages, blocks int) {
+	locks = o.S.Spinlocks.BreakAllHeldBy(k)
+	if o.DSM != nil {
+		pages = o.DSM.ReclaimDead(p, core, k, soc.Strong)
+	}
+	blocks = o.Mem.ReclaimDead(p, core, k)
+	return locks, pages, blocks
 }
 
 // handleWatchdogMail intercepts watchdog MsgGeneric mails in the

@@ -90,13 +90,14 @@ type BenchData struct {
 	EventsPerSec   *RateSummary          `json:"events_per_sec,omitempty"`
 	Experiments    []ExperimentTelemetry `json:"experiments"`
 
-	AllocLatencies *Table4Data     `json:"alloc_latencies,omitempty"`
-	FaultBreakdown *Table5Data     `json:"dsm_fault_breakdown,omitempty"`
-	DMAThroughput  []DMAThroughput `json:"dma_throughput,omitempty"`
-	Scale          []ScaleConfig   `json:"scale,omitempty"`
-	Faults         *FaultsData     `json:"faults,omitempty"`
-	Chaos          *ChaosData      `json:"chaos,omitempty"`
-	DSMShare       []DSMShareCase  `json:"dsm_share,omitempty"`
+	AllocLatencies *Table4Data      `json:"alloc_latencies,omitempty"`
+	FaultBreakdown *Table5Data      `json:"dsm_fault_breakdown,omitempty"`
+	DMAThroughput  []DMAThroughput  `json:"dma_throughput,omitempty"`
+	Scale          []ScaleConfig    `json:"scale,omitempty"`
+	Faults         *FaultsData      `json:"faults,omitempty"`
+	Chaos          *ChaosData       `json:"chaos,omitempty"`
+	DSMShare       []DSMShareCase   `json:"dsm_share,omitempty"`
+	Replication    *ReplicationData `json:"replication,omitempty"`
 
 	// DSMCounters sums the coherence-protocol counters over every selected
 	// experiment's booted systems; DSMProtocol records the process-wide
@@ -190,6 +191,9 @@ func MeasureBench(defs []Def, parallel int) BenchData {
 		}
 		if pr.dsmShare != nil {
 			b.DSMShare = pr.dsmShare
+		}
+		if pr.replication != nil {
+			b.Replication = pr.replication
 		}
 	}
 	if haveDSM {

@@ -37,6 +37,7 @@ func Registry() []Def {
 		{"dsmshare", "DSM protocol ablation (two-state vs MSI/probOwner)", DSMShare},
 		{"faults", "Fault injection + recovery", Faults},
 		{"chaos", "Chaos sweep (random storms + invariant oracle)", Chaos},
+		{"replication", "Replication ablation (NMR voting vs watchdog recovery)", Replication},
 	}
 }
 
@@ -54,8 +55,14 @@ type Params struct {
 	// sizes the platform of the chaos sweep (default 2).
 	WeakDomains int
 	// Sweep, if non-zero, sets how many seeded storms the chaos experiment
-	// runs (default 8 for the registry entry; k2bench -chaos uses 256).
+	// runs (default 8 for the registry entry; k2bench -chaos uses 256) and
+	// how many the replication ablation replays per degree (default 4).
 	Sweep int
+	// Replicas, if non-zero, narrows the replication ablation to a single
+	// replication degree instead of the R ∈ {1,2,3} sweep. Like Seed and
+	// WeakDomains it changes output bytes, so k2d folds it into the
+	// result-cache and fleet shard keys.
+	Replicas int
 	// EngineParallel, if > 1, runs the instance's engines under the
 	// parallel event scheduler (internal/pdes) with that many workers.
 	// Unlike the fields above it cannot change a single output byte —
@@ -101,6 +108,13 @@ func DefFor(id string, p Params) (Def, bool) {
 			}
 			weak, sweep := p.WeakDomains, p.Sweep
 			d.Run = func() Table { return ChaosSweep(seed, weak, sweep, 0) }
+		case "replication":
+			seed := p.Seed
+			if seed == 0 {
+				seed = ReplicationSeed
+			}
+			weak, sweep, reps := p.WeakDomains, p.Sweep, p.Replicas
+			d.Run = func() Table { return ReplicationSweep(seed, weak, sweep, 0, reps) }
 		}
 		return d, true
 	}

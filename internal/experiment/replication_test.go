@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// The replication ablation's headline claim, asserted: over the shared
+// storm set, R=1 pays the watchdog detect-and-reboot path as worst-case
+// added stall while R=3's voting quorum masks the same faults for a small
+// fraction of it — with every storm run passing the full oracle suite, and
+// every outvote implicated by an injected fault.
+func TestReplicationSweepMasksFaults(t *testing.T) {
+	d := MeasureReplicationSweep(1, 0, 2, 0, 0)
+	if len(d.Cases) != 3 {
+		t.Fatalf("%d cases, want the R in {1,2,3} sweep", len(d.Cases))
+	}
+	if len(d.Failing) != 0 {
+		t.Fatalf("oracle failures: %+v", d.Failing)
+	}
+	byR := map[int]ReplicationCase{}
+	for _, c := range d.Cases {
+		if c.Failures != 0 {
+			t.Fatalf("R=%d had %d failing storm runs", c.R, c.Failures)
+		}
+		byR[c.R] = c
+	}
+	r1, r3 := byR[1], byR[3]
+	if r1.MaskedFaults != 0 {
+		t.Fatalf("R=1 masked %d faults — an unreplicated group cannot outvote anything", r1.MaskedFaults)
+	}
+	if r1.WatchdogDeaths == 0 {
+		t.Fatal("R=1 storms never hit the watchdog backstop — the storm generator misses the replica domains")
+	}
+	if r1.RecoveryMaxMS < 5 {
+		t.Fatalf("R=1 worst added stall %.3f ms — too small to be the watchdog-and-reboot path", r1.RecoveryMaxMS)
+	}
+	if r3.MaskedFaults == 0 {
+		t.Fatal("R=3 masked no faults over the storm set")
+	}
+	if r3.Reintegrations == 0 {
+		t.Fatal("R=3 outvoted replicas were never re-integrated")
+	}
+	if r3.RecoveryMaxMS > 1 {
+		t.Fatalf("R=3 worst added stall %.3f ms — voting did not mask the storms (R=1 pays %.3f ms)",
+			r3.RecoveryMaxMS, r1.RecoveryMaxMS)
+	}
+	if r3.RecoveryMaxMS*5 > r1.RecoveryMaxMS {
+		t.Fatalf("R=3 stall %.3f ms not drastically below R=1's %.3f ms", r3.RecoveryMaxMS, r1.RecoveryMaxMS)
+	}
+	// The redundancy costs energy: R=3's fault-free baseline burns more
+	// than R=1's.
+	if r3.BaseEnergyMJ <= r1.BaseEnergyMJ {
+		t.Fatalf("R=3 baseline energy %.1f mJ not above R=1's %.1f mJ", r3.BaseEnergyMJ, r1.BaseEnergyMJ)
+	}
+}
+
+// Same base seed, same summary — at any runner fan-out. The table is the
+// byte-level contract k2d caches on.
+func TestReplicationSweepDeterministic(t *testing.T) {
+	a := ReplicationSweep(7, 0, 2, 0, 0).String()
+	b := ReplicationSweep(7, 0, 2, 4, 0).String()
+	if a != b {
+		t.Fatalf("summary depends on runner parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// Params plumbing: the registry binding narrows the ablation to a single
+// degree and re-seeds it, exactly what k2d dispatches.
+func TestReplicationDefForNarrows(t *testing.T) {
+	d, ok := DefFor("replication", Params{Seed: 5, Sweep: 1, Replicas: 2})
+	if !ok {
+		t.Fatal("replication not registered")
+	}
+	tb := d.Run()
+	if len(tb.Rows) != 1 {
+		t.Fatalf("%d rows, want the single narrowed degree", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "2" {
+		t.Fatalf("row degree %q, want 2", tb.Rows[0][0])
+	}
+}

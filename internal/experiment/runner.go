@@ -64,13 +64,14 @@ type probe struct {
 	// booted, so the runner can aggregate protocol counters afterwards.
 	dsms []*dsm.DSM
 
-	t4       *Table4Data
-	t5       *Table5Data
-	t6       []DMAThroughput
-	scale    []ScaleConfig
-	faults   *FaultsData
-	chaos    *ChaosData
-	dsmShare []DSMShareCase
+	t4          *Table4Data
+	t5          *Table5Data
+	t6          []DMAThroughput
+	scale       []ScaleConfig
+	faults      *FaultsData
+	chaos       *ChaosData
+	dsmShare    []DSMShareCase
+	replication *ReplicationData
 }
 
 // probes maps goroutine IDs to their active probe. Experiments are plain

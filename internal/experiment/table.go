@@ -168,7 +168,7 @@ func sz(bytes int64) string {
 func All() []Table {
 	var out []Table
 	for _, d := range Registry() {
-		if d.ID == "faults" || d.ID == "chaos" {
+		if d.ID == "faults" || d.ID == "chaos" || d.ID == "replication" {
 			continue
 		}
 		out = append(out, d.Run())

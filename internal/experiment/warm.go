@@ -42,6 +42,9 @@ func optionsKey(o core.Options) string {
 	if o.Watchdog != nil {
 		fmt.Fprintf(&b, " wd=%+v", *o.Watchdog)
 	}
+	if o.Replication != nil {
+		fmt.Fprintf(&b, " rep=%+v", *o.Replication)
+	}
 	return b.String()
 }
 

@@ -103,10 +103,14 @@ func (c Config) withDefaults() Config {
 // makes consistent-hash sharding also shard the result cache.
 func JobKey(req server.Request) string {
 	key := fmt.Sprintf("%s/%d/%d/%d", req.Experiment, req.Seed, req.WeakDomains, req.Sweep)
-	// Appended only for a non-default protocol: default jobs keep the key
-	// (and thus the ring placement) they had before the MSI protocol existed.
+	// Appended only for a non-default protocol or replication degree:
+	// default jobs keep the key (and thus the ring placement) they had
+	// before either knob existed.
 	if req.DSMProtocol != "" {
 		key += "/" + req.DSMProtocol
+	}
+	if req.Replicas != 0 {
+		key += fmt.Sprintf("/r%d", req.Replicas)
 	}
 	return key
 }

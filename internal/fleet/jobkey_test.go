@@ -24,3 +24,18 @@ func TestJobKeyIgnoresEngineParallel(t *testing.T) {
 		t.Fatal("weak_domains no longer distinguishes shard keys")
 	}
 }
+
+// A replication degree changes the job's bytes, so it must split the shard
+// key — while degree-0 requests keep the key they had before the field
+// existed (ring placements survive the upgrade).
+func TestJobKeyShardsOnReplicas(t *testing.T) {
+	base := server.Request{Experiment: "replication", Seed: 3, WeakDomains: 16}
+	r3 := base
+	r3.Replicas = 3
+	if JobKey(base) == JobKey(r3) {
+		t.Fatal("replicas does not enter the shard key")
+	}
+	if got, want := JobKey(base), "replication/3/16/0"; got != want {
+		t.Fatalf("degree-0 key %q, want the pre-replication form %q", got, want)
+	}
+}

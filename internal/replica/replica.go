@@ -1,0 +1,865 @@
+// Package replica is K2's N-modular-redundancy layer: following Döbel et
+// al.'s resource-aware replication argument, it spends spare weak domains
+// on redundant execution instead of leaving recovery to detection. R
+// replicas of a process's NightWatch threads are placed on distinct weak
+// domains (anti-affinity over sched's least-loaded pick), run the same
+// deterministic state machine over the same inputs, and emit a digest of
+// their state to the strong kernel at every vote point through the mailbox
+// fabric. The strong kernel commits a vote point the moment a majority
+// agrees — so a crashed, hung or diverged replica is outvoted *immediately*,
+// with zero detection window for the workload — flags the loser, and
+// re-integrates it by respawning from the committed state on a fresh
+// domain. The watchdog stays armed underneath as the backstop for full-set
+// loss: if every replica dies at once nothing votes, and progress resumes
+// only after the watchdog's reclaim and the domains' reboot.
+//
+// Vote order is deterministic: votes travel as mailbox mails, mailbox
+// delivery is engine-event ordered, and the voter's bookkeeping iterates
+// replicas by index — so the same seed yields byte-identical commit
+// sequences at any host parallelism, the same contract every other K2
+// subsystem honors.
+package replica
+
+import (
+	"fmt"
+	"time"
+
+	"k2/internal/sched"
+	"k2/internal/sim"
+	"k2/internal/soc"
+	"k2/internal/trace"
+)
+
+// Vote mails ride MsgGeneric's 20-bit payload: bit 18 set with bit 19 (the
+// watchdog flag) clear marks a vote mail, and the low 18 bits index the
+// manager's in-memory vote ledger (digests are 64-bit and travel
+// out-of-band, the same idiom core's map propagation uses for mapOp).
+// Map-propagation ids are masked below bit 18, so the three MsgGeneric
+// users are provably disjoint.
+const (
+	// MailFlag marks a replica vote mail (core's dispatcher tests it after
+	// the watchdog flag and before map propagation).
+	MailFlag    = uint32(1) << 18
+	mailIdxMask = MailFlag - 1
+)
+
+// corruptionMask is XORed into a digest when a scripted corruption fires:
+// a deliberate single-replica divergence for exercising the voting and the
+// divergence-implication oracle.
+const corruptionMask = uint64(0xDEADBEEF00000001)
+
+// graceVotePoints is how many vote points a freshly (re-)spawned
+// incarnation is exempt from timeout flagging: a replacement starts behind
+// the healthy cadence and needs a point or two of idle-skipping to catch
+// up; flagging it for that lag would respawn it again, forever (the
+// double-recovery thrash this layer exists to avoid).
+const graceVotePoints = 2
+
+// Params configures the replication layer (core.Options.Replication).
+type Params struct {
+	// R is the replication degree. 1 is unreplicated baseline semantics:
+	// a single replica whose every vote commits on arrival — and whose
+	// crash stalls the group until the watchdog-and-reboot path runs.
+	R int
+	// VoteTimeout bounds how long a vote point stays open after its first
+	// vote arrives. At the deadline the strong kernel commits the
+	// plurality and flags the silent or diverged minority. Quorum arrivals
+	// commit earlier; the timeout only prices degraded quorums.
+	VoteTimeout time.Duration
+}
+
+// DefaultParams returns triple-modular redundancy with a 500 µs vote
+// timeout — shorter than the watchdog's ~1.5 ms detection window, so the
+// voter always outruns the backstop.
+func DefaultParams() Params {
+	return Params{R: 3, VoteTimeout: 500 * time.Microsecond}
+}
+
+func (p Params) normalized() Params {
+	if p.R < 1 {
+		p.R = 1
+	}
+	if p.VoteTimeout <= 0 {
+		p.VoteTimeout = 500 * time.Microsecond
+	}
+	return p
+}
+
+// Deps are the manager's hooks into the booted OS, passed as closures so
+// this package does not import core.
+type Deps struct {
+	Eng   *sim.Engine
+	S     *soc.SoC
+	Sched *sched.Sched
+	Trace *trace.Buffer
+	// Ready gates replica threads on the boot barrier.
+	Ready *sim.Event
+	// StrongCore returns the strong kernel's service core (timeout sweeps
+	// run there, like the watchdog's).
+	StrongCore func() *soc.Core
+	// Reclaim runs the kernel's recovery sweep for a dead domain:
+	// force-release its spinlocks, reclaim its DSM ownership and memory
+	// blocks. Shared with the watchdog's declareDead.
+	Reclaim func(p *sim.Proc, core *soc.Core, k soc.DomainID) (locks, pages, blocks int)
+	// WatchdogSuppress asks the watchdog to stand back from domain k while
+	// the manager re-integrates away from it. It reports true when the
+	// manager now owns the recovery sweep for k (suppression engaged, or
+	// there is no watchdog); false when the watchdog already declared k
+	// dead — its sweep has run, a second one would be the double-recovery
+	// thrash. Nil behaves like "no watchdog" (the manager owns the sweep).
+	WatchdogSuppress func(k soc.DomainID) bool
+}
+
+// Machine is the deterministic state machine each replica runs: Init is
+// the state before vote point 0; each vote point is StepsPerVote
+// applications of Step (each charged StepWork on the replica's weak core);
+// the state after a vote point's last step is the digest the replica votes
+// — and, once committed, the state a re-integrated replacement resumes
+// from. Step must be a pure function of its arguments for replicas to
+// agree.
+type Machine struct {
+	Init         uint64
+	Step         func(votePoint, step int, state uint64) uint64
+	StepWork     soc.Work
+	StepsPerVote int
+	VotePoints   int
+	// Idle is the vote-point period: work for point vp is scheduled at
+	// group start + vp*Idle, and a replica ahead of that absolute
+	// schedule sleeps idle until it. The schedule is what keeps
+	// the set phase-aligned — a replica behind it (a re-integrated
+	// replacement, a thread thawed by a reboot) finds its targets in the
+	// past, skips the sleeps, and converges back onto the shared cadence
+	// instead of carrying a standing skew that would trip vote timeouts
+	// forever. Per-point work (StepsPerVote * StepWork at the weak core's
+	// speed) must fit inside Idle for the schedule to bind.
+	Idle time.Duration
+}
+
+// GroupSpec describes one replicated group.
+type GroupSpec struct {
+	Name    string
+	Machine Machine
+	// Corrupt, if non-nil, scripts a digest corruption: when it reports
+	// true for (replica, votePoint) the replica XORs corruptionMask into
+	// the digest it votes (its internal state stays correct). The flag the
+	// voter raises for it is recorded as implicated.
+	Corrupt func(replica, votePoint int) bool
+}
+
+// CommitMode says how a vote point committed.
+type CommitMode int
+
+const (
+	// CommitQuorum: a majority of replicas agreed; zero added latency.
+	CommitQuorum CommitMode = iota
+	// CommitTimeout: the vote point stayed below quorum for VoteTimeout
+	// after its first vote and the plurality was committed.
+	CommitTimeout
+)
+
+func (m CommitMode) String() string {
+	if m == CommitTimeout {
+		return "timeout"
+	}
+	return "quorum"
+}
+
+// Commit records one committed vote point.
+type Commit struct {
+	VotePoint int
+	Digest    uint64
+	At        sim.Time
+	Mode      CommitMode
+	Votes     int // votes counted at commit time
+}
+
+// FlagReason classifies why a replica was outvoted.
+type FlagReason string
+
+const (
+	// ReasonCrashed: the replica had not voted and its domain is crashed.
+	ReasonCrashed FlagReason = "crashed"
+	// ReasonSilent: the replica missed the vote timeout without crash
+	// evidence at flag time.
+	ReasonSilent FlagReason = "silent"
+	// ReasonDiverged: the replica voted a digest different from the
+	// committed one.
+	ReasonDiverged FlagReason = "diverged"
+)
+
+// Flag records one outvoted replica. Implicated reports whether the flag
+// traces to an injected fault — the domain crashed since the replica's
+// last accepted vote, or the divergence was scripted. The check.Suite
+// oracle demands every flag be implicated: an unimplicated flag means the
+// voter outvoted a healthy replica, a bug.
+type Flag struct {
+	Group      string
+	Replica    int
+	VotePoint  int
+	Domain     soc.DomainID
+	Reason     FlagReason
+	Implicated bool
+	At         sim.Time
+}
+
+// arrival is one accepted vote.
+type arrival struct {
+	rep     int
+	inc     int
+	digest  uint64
+	corrupt bool
+	at      sim.Time
+}
+
+// repState tracks one replica slot's current incarnation.
+type repState struct {
+	domain soc.DomainID
+	// incarnation counts respawns; a superseded incarnation's thread
+	// observes the bump at its next step and exits cooperatively.
+	incarnation int
+	// startVP is the vote point this incarnation began at (timeout grace).
+	startVP int
+	// votedVP is the last vote point this incarnation's vote was accepted
+	// for (-1 before the first).
+	votedVP int
+	// crashCount is the domain's crash counter at the last accepted vote
+	// (or spawn); a later mismatch implicates a crash in a flag.
+	crashCount int
+	// lastVoteAt is when this incarnation's last vote was accepted (spawn
+	// time before the first): a replica behind the frontier but voting —
+	// catching up after a reboot thawed it — is audibly alive, and a
+	// timeout commit must not call it silent.
+	lastVoteAt sim.Time
+}
+
+// Group is one replicated state machine: R replica slots, the per-point
+// vote ledger, and the committed prefix.
+type Group struct {
+	Name string
+	spec GroupSpec
+	m    *Manager
+
+	reps       []repState
+	votes      [][]arrival
+	commits    []Commit
+	committed  int // frontier: vote points committed, in order
+	timerArmed []bool
+	startedAt  sim.Time
+
+	// Done fires when every vote point has committed.
+	Done *sim.Event
+}
+
+// mailRec is one ledger entry behind a vote mail's 18-bit index.
+type mailRec struct {
+	g         *Group
+	rep, inc  int
+	vp        int
+	digest    uint64
+	corrupt   bool
+	delivered bool
+}
+
+// Manager is the strong kernel's voter and re-integration agent. It is
+// single-threaded under the simulation engine like every other kernel
+// component: votes arrive through the strong dispatcher, timeouts through
+// spawned procs, so no locking is needed.
+type Manager struct {
+	Params Params
+	d      Deps
+
+	groups []*Group
+	mails  []mailRec
+	flags  []Flag
+	// swept marks domains whose death the manager (not the watchdog)
+	// reclaimed and that have not answered a ping since.
+	swept map[soc.DomainID]bool
+
+	// Stats.
+	Votes           uint64 // votes accepted by the voter
+	Outvoted        uint64 // replicas flagged
+	Reintegrations  uint64 // replacement incarnations spawned
+	QuorumCommits   uint64
+	TimeoutCommits  uint64
+	SweptDomains    uint64 // manager-run recovery sweeps
+	RebootsObserved uint64 // suppressed domains seen answering again
+}
+
+// NewManager builds the replication layer over a booting OS. core.Boot
+// calls it when Options.Replication is set (K2 mode with weak domains
+// only).
+func NewManager(d Deps, prm Params) *Manager {
+	return &Manager{
+		Params: prm.normalized(),
+		d:      d,
+		swept:  make(map[soc.DomainID]bool),
+	}
+}
+
+// quorum is the majority threshold: R/2+1 (1 for R=1 — every vote
+// commits on arrival; 2 for both R=2 and R=3).
+func (m *Manager) quorum() int { return m.Params.R/2 + 1 }
+
+// StartGroup places R replicas on distinct weak domains and starts them.
+// It fails when fewer than R weak domains exist — replication needs the
+// spare topology it is asked to use.
+func (m *Manager) StartGroup(spec GroupSpec) (*Group, error) {
+	mach := spec.Machine
+	if mach.Step == nil || mach.StepsPerVote <= 0 || mach.VotePoints <= 0 {
+		return nil, fmt.Errorf("replica: group %q needs a machine (Step, StepsPerVote, VotePoints)", spec.Name)
+	}
+	R := m.Params.R
+	doms := m.d.Sched.PickNWDomains(R, nil)
+	if len(doms) < R {
+		return nil, fmt.Errorf("replica: %d replicas need %d distinct weak domains, platform has %d", R, R, len(doms))
+	}
+	g := &Group{
+		Name:       spec.Name,
+		spec:       spec,
+		m:          m,
+		votes:      make([][]arrival, mach.VotePoints),
+		commits:    make([]Commit, mach.VotePoints),
+		timerArmed: make([]bool, mach.VotePoints),
+		startedAt:  m.d.Eng.Now(),
+		Done:       sim.NewEvent(m.d.Eng),
+	}
+	for i := 0; i < R; i++ {
+		g.reps = append(g.reps, repState{
+			domain:     doms[i],
+			votedVP:    -1,
+			crashCount: m.d.S.Domains[doms[i]].CrashCount(),
+			lastVoteAt: m.d.Eng.Now(),
+		})
+	}
+	m.groups = append(m.groups, g)
+	m.d.Trace.Emit(trace.Vote, "group %s: %d replicas on %v (%d vote points)",
+		g.Name, R, doms, mach.VotePoints)
+	for i := 0; i < R; i++ {
+		m.spawnReplica(g, i, 0, 0, mach.Init)
+	}
+	return g, nil
+}
+
+// spawnReplica starts incarnation inc of replica idx as a fresh process
+// whose NightWatch threads are pinned (PlaceNW) to the slot's domain.
+func (m *Manager) spawnReplica(g *Group, idx, inc, fromVP int, state uint64) {
+	r := &g.reps[idx]
+	pr := m.d.Sched.NewProcess(fmt.Sprintf("%s-r%d.%d", g.Name, idx, inc))
+	pr.PlaceNW(r.domain)
+	pr.Spawn(sched.NightWatch, "replica", func(t *sched.Thread) {
+		m.runReplica(t, g, idx, inc, fromVP, state)
+	})
+}
+
+// runReplica is a replica thread's body: step the machine, vote the
+// digest, idle at the frontier. A superseded incarnation exits at its next
+// check; a replica on a crashed domain freezes inside Exec until the
+// domain reboots, then resumes here and votes late (benignly, if it still
+// agrees — or not at all, if a replacement superseded it meanwhile).
+func (m *Manager) runReplica(t *sched.Thread, g *Group, idx, inc, fromVP int, state uint64) {
+	if !m.d.Ready.Fired() {
+		t.Block(func(p *sim.Proc) { m.d.Ready.Wait(p) })
+	}
+	mach := g.spec.Machine
+	for vp := fromVP; vp < mach.VotePoints; vp++ {
+		if mach.Idle > 0 {
+			// Sleep up to this point's absolute schedule slot (work for
+			// point vp starts at group start + vp*Idle); a replica behind
+			// the schedule skips straight to the work. The sleep comes
+			// before the work so a freshly re-integrated replacement —
+			// spawned mid-period at the frontier — joins the shared cadence
+			// instead of voting early and starting the timeout clock on
+			// replicas that are exactly on schedule.
+			target := g.startedAt.Add(time.Duration(vp) * mach.Idle)
+			if now := t.P().Now(); target > now {
+				t.SleepIdle(target.Sub(now))
+			}
+		}
+		for s := 0; s < mach.StepsPerVote; s++ {
+			if g.reps[idx].incarnation != inc {
+				return
+			}
+			state = mach.Step(vp, s, state)
+			if mach.StepWork > 0 {
+				t.Exec(mach.StepWork)
+			}
+		}
+		if g.reps[idx].incarnation != inc {
+			return
+		}
+		digest := state
+		corrupt := g.spec.Corrupt != nil && g.spec.Corrupt(idx, vp)
+		if corrupt {
+			digest ^= corruptionMask
+			m.d.Trace.Emit(trace.Fault, "%s/r%d: scripted divergence at vote point %d", g.Name, idx, vp)
+		}
+		m.sendVote(t, g, idx, inc, vp, digest, corrupt)
+	}
+}
+
+// sendVote appends a ledger entry and mails its index to the strong
+// kernel. Fire-and-forget: the replica never blocks on the voter.
+func (m *Manager) sendVote(t *sched.Thread, g *Group, idx, inc, vp int, digest uint64, corrupt bool) {
+	id := uint32(len(m.mails))
+	if id > mailIdxMask {
+		panic("replica: vote ledger exceeds the 18-bit mail index space")
+	}
+	m.mails = append(m.mails, mailRec{g: g, rep: idx, inc: inc, vp: vp, digest: digest, corrupt: corrupt})
+	m.d.S.Mailbox.Send(t.P(), t.Core(), soc.Strong,
+		soc.NewMessage(soc.MsgGeneric, MailFlag|id, m.d.S.Mailbox.NextSeq()))
+}
+
+// HandleMail intercepts replica vote mails in the strong dispatcher
+// (after the watchdog's bit-19 mails, before map propagation). Reports
+// whether the mail was a vote mail.
+func (m *Manager) HandleMail(p *sim.Proc, core *soc.Core, k soc.DomainID, payload uint32) bool {
+	if payload&MailFlag == 0 || payload&(MailFlag<<1) != 0 {
+		return false
+	}
+	if k != soc.Strong {
+		return true // vote mails only ever target the strong kernel
+	}
+	id := payload & mailIdxMask
+	if int(id) >= len(m.mails) || m.mails[id].delivered {
+		return true // unknown slot or duplicated link delivery
+	}
+	m.mails[id].delivered = true
+	m.handleVote(p, core, m.mails[id])
+	return true
+}
+
+// handleVote is the voter: accept the digest, commit on quorum, arm the
+// vote timeout on first arrival.
+func (m *Manager) handleVote(p *sim.Proc, core *soc.Core, rec mailRec) {
+	g := rec.g
+	r := &g.reps[rec.rep]
+	if rec.inc != r.incarnation {
+		// A vote from a superseded incarnation (it was outvoted and
+		// replaced while this mail was in flight, or while it was frozen on
+		// a crashed domain). Its slot has moved on; drop it.
+		m.d.Trace.Emit(trace.Vote, "%s/r%d: stale vote from incarnation %d (now %d)",
+			g.Name, rec.rep, rec.inc, r.incarnation)
+		return
+	}
+	m.Votes++
+	r.crashCount = m.d.S.Domains[r.domain].CrashCount()
+	r.lastVoteAt = m.d.Eng.Now()
+	m.d.Trace.Emit(trace.Vote, "%s/r%d vote point %d digest %#x",
+		g.Name, rec.rep, rec.vp, rec.digest)
+	if rec.vp < g.committed {
+		// Late vote for an already-committed point: benign catch-up if it
+		// agrees, a divergence flag if not.
+		r.votedVP = rec.vp
+		if rec.digest != g.commits[rec.vp].Digest {
+			m.flag(p, core, g, rec.rep, rec.vp, ReasonDiverged, rec.corrupt)
+		}
+		return
+	}
+	g.votes[rec.vp] = append(g.votes[rec.vp], arrival{
+		rep: rec.rep, inc: rec.inc, digest: rec.digest, corrupt: rec.corrupt, at: m.d.Eng.Now(),
+	})
+	r.votedVP = rec.vp
+	if !g.timerArmed[rec.vp] {
+		g.timerArmed[rec.vp] = true
+		m.armTimeout(g, rec.vp)
+	}
+	m.commitChain(p, core, g)
+}
+
+// armTimeout schedules the vote point's deadline. The handler runs as a
+// spawned proc on the strong partition (it may flag, sweep and respawn,
+// which need a proc context), skipped entirely when the point committed
+// first.
+func (m *Manager) armTimeout(g *Group, vp int) {
+	eng := m.d.Eng
+	eng.At(eng.Now().Add(m.Params.VoteTimeout), func() {
+		if vp < g.committed {
+			return
+		}
+		pr := eng.Spawn(fmt.Sprintf("%s-vote-timeout-%d", g.Name, vp), func(p *sim.Proc) {
+			m.onTimeout(p, g, vp)
+		})
+		pr.SetPartition(m.d.S.DomainPartition(soc.Strong))
+	})
+}
+
+// commitChain commits from the frontier forward while quorum holds. The
+// chain matters after a timeout commit: the next point's votes may already
+// be queued, and its own timer may have fired while it was not yet the
+// frontier — re-arm in that case so no point can stall silently.
+func (m *Manager) commitChain(p *sim.Proc, core *soc.Core, g *Group) {
+	for g.committed < len(g.commits) {
+		vp := g.committed
+		digest, votes, ok := quorumDigest(g.currentArrivals(vp), m.quorum())
+		if !ok {
+			if len(g.votes[vp]) > 0 && !g.timerArmed[vp] {
+				g.timerArmed[vp] = true
+				m.armTimeout(g, vp)
+			}
+			return
+		}
+		m.commit(p, core, g, vp, digest, CommitQuorum, votes)
+	}
+}
+
+// votesInFlight reports whether a live incarnation's vote for (g, vp) has
+// been sent but not yet delivered to the voter.
+func (m *Manager) votesInFlight(g *Group, vp int) bool {
+	for i := range m.mails {
+		rec := &m.mails[i]
+		if rec.g == g && rec.vp == vp && !rec.delivered &&
+			rec.inc == g.reps[rec.rep].incarnation {
+			return true
+		}
+	}
+	return false
+}
+
+// currentArrivals filters a vote point's arrivals down to live
+// incarnations (a superseded replica's pre-flag vote must not count).
+func (g *Group) currentArrivals(vp int) []arrival {
+	arr := g.votes[vp][:0:0]
+	for _, a := range g.votes[vp] {
+		if a.inc == g.reps[a.rep].incarnation {
+			arr = append(arr, a)
+		}
+	}
+	return arr
+}
+
+// quorumDigest reports the digest holding at least q votes, if any. At
+// most one digest can: q is a strict majority of R.
+func quorumDigest(arr []arrival, q int) (uint64, int, bool) {
+	for i, a := range arr {
+		n := 1
+		for _, b := range arr[i+1:] {
+			if b.digest == a.digest {
+				n++
+			}
+		}
+		if n >= q {
+			return a.digest, n, true
+		}
+	}
+	return 0, 0, false
+}
+
+// pluralityDigest picks the most-voted digest. tied reports that a distinct
+// digest matched the winner's count: healthy replicas run a pure function
+// from the committed prefix and cannot disagree, so a tie proves a diverged
+// digest is on the ballot — the caller must not commit one side of it.
+func pluralityDigest(arr []arrival) (best uint64, bestN int, tied bool) {
+	for _, a := range arr {
+		n := 0
+		for _, b := range arr {
+			if b.digest == a.digest {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN, tied = a.digest, n, false
+		} else if n == bestN && a.digest != best {
+			tied = true
+		}
+	}
+	return best, bestN, tied
+}
+
+// onTimeout commits the frontier by plurality after VoteTimeout of
+// sub-quorum silence, then flags the stragglers.
+func (m *Manager) onTimeout(p *sim.Proc, g *Group, vp int) {
+	if vp != g.committed {
+		return // committed while the handler proc was starting
+	}
+	if m.votesInFlight(g, vp) {
+		// Votes for this point are sent but not yet heard — in the mailbox
+		// fabric, or parked behind a busy strong dispatcher (a watchdog
+		// reclaim sweep stalls it for longer than the vote timeout). A
+		// replica that spoke must not be judged silent; wait another round.
+		m.armTimeout(g, vp)
+		return
+	}
+	arr := g.currentArrivals(vp)
+	if len(arr) == 0 {
+		// Every arrival went stale (its incarnation superseded). The
+		// replacements will vote this point themselves; nothing to commit.
+		return
+	}
+	digest, votes, tied := pluralityDigest(arr)
+	if tied {
+		// A diverged digest is on the ballot with no majority to outvote it
+		// (a storm crashed an honest replica at the corrupted point, say).
+		// Committing either side is a coin flip that can seal the lie; hold
+		// the frontier and wait for a tiebreaker — the crashed replica thaws
+		// on reboot and replays this point, or a respawned replacement votes
+		// it. The added stall is the reboot path's, paid only in this
+		// double-fault corner.
+		m.armTimeout(g, vp)
+		return
+	}
+	core := m.d.StrongCore()
+	m.commit(p, core, g, vp, digest, CommitTimeout, votes)
+	m.commitChain(p, core, g)
+}
+
+// commit seals a vote point, then audits the replica set against the
+// committed digest: divergent voters are flagged always; non-voters are
+// flagged when visibly crashed (quorum commits) or past the catch-up grace
+// (timeout commits — a healthy replica in cadence cannot miss a timeout).
+func (m *Manager) commit(p *sim.Proc, core *soc.Core, g *Group, vp int, digest uint64, mode CommitMode, votes int) {
+	now := m.d.Eng.Now()
+	g.commits[vp] = Commit{VotePoint: vp, Digest: digest, At: now, Mode: mode, Votes: votes}
+	g.committed = vp + 1
+	if mode == CommitQuorum {
+		m.QuorumCommits++
+	} else {
+		m.TimeoutCommits++
+	}
+	m.d.Trace.Emit(trace.Vote, "group %s: vote point %d committed %#x (%s, %d votes)",
+		g.Name, vp, digest, mode, votes)
+
+	voted := make(map[int]arrival, len(g.reps))
+	for _, a := range g.currentArrivals(vp) {
+		voted[a.rep] = a
+	}
+	for i := range g.reps {
+		r := &g.reps[i]
+		if a, ok := voted[i]; ok {
+			if a.digest != digest {
+				m.flag(p, core, g, i, vp, ReasonDiverged, a.corrupt)
+			}
+			continue
+		}
+		dom := m.d.S.Domains[r.domain]
+		switch mode {
+		case CommitQuorum:
+			// Outvoted with zero detection window: the quorum has already
+			// committed; a visibly dead replica is flagged on the spot. A
+			// healthy straggler (a catching-up replacement) is left alone.
+			if dom.Crashed() {
+				m.flag(p, core, g, i, vp, ReasonCrashed, false)
+			}
+		case CommitTimeout:
+			if vp < r.startVP+graceVotePoints {
+				continue // fresh incarnation still converging; not a fault
+			}
+			if !dom.Crashed() && now.Sub(r.lastVoteAt) <= m.Params.VoteTimeout {
+				// Behind the frontier but audibly voting — a thawed replica
+				// replaying the points it slept through. Let it catch up.
+				continue
+			}
+			reason := ReasonSilent
+			if dom.Crashed() {
+				reason = ReasonCrashed
+			}
+			m.flag(p, core, g, i, vp, reason, false)
+		}
+	}
+	if g.committed == len(g.commits) {
+		m.d.Trace.Emit(trace.Vote, "group %s: all %d vote points committed", g.Name, len(g.commits))
+		g.Done.Fire()
+	}
+}
+
+// flag records an outvoted replica and immediately re-integrates its slot.
+func (m *Manager) flag(p *sim.Proc, core *soc.Core, g *Group, idx, vp int, reason FlagReason, corrupt bool) {
+	r := &g.reps[idx]
+	dom := m.d.S.Domains[r.domain]
+	f := Flag{
+		Group: g.Name, Replica: idx, VotePoint: vp, Domain: r.domain,
+		Reason: reason, At: m.d.Eng.Now(),
+		Implicated: corrupt || dom.Crashed() || dom.CrashCount() != r.crashCount,
+	}
+	m.flags = append(m.flags, f)
+	m.Outvoted++
+	m.d.Trace.Emit(trace.Vote, "group %s: replica %d on %v outvoted at point %d (%s)",
+		g.Name, idx, r.domain, vp, reason)
+	m.reintegrate(p, core, g, idx)
+}
+
+// reintegrate replaces a flagged replica: take recovery of its old domain
+// over from the watchdog (suppressing its reboot path — satellite of the
+// double-recovery thrash), run the reclaim sweep if nobody has, then
+// respawn a fresh incarnation from the last committed state on a domain
+// chosen with anti-affinity against the surviving replicas.
+func (m *Manager) reintegrate(p *sim.Proc, core *soc.Core, g *Group, idx int) {
+	r := &g.reps[idx]
+	old := r.domain
+	if m.d.S.Domains[old].Crashed() && !m.swept[old] {
+		ownsSweep := true
+		if m.d.WatchdogSuppress != nil {
+			ownsSweep = m.d.WatchdogSuppress(old)
+		}
+		if ownsSweep {
+			m.swept[old] = true
+			m.SweptDomains++
+			// The sweep itself runs on its own proc: it charges milliseconds
+			// of service-core time at large domain counts, and this call path
+			// is the strong dispatcher — holding it would starve inbound
+			// mail, and the watchdog would count phantom misses against every
+			// healthy shadow kernel whose pongs sit undelivered behind the
+			// sweep.
+			pr := m.d.Eng.Spawn(fmt.Sprintf("%s-reint-sweep-%v", g.Name, old), func(sp *sim.Proc) {
+				var locks, pages, blocks int
+				if m.d.Reclaim != nil {
+					locks, pages, blocks = m.d.Reclaim(sp, core, old)
+				}
+				m.d.Trace.Emit(trace.Fault,
+					"re-integration: swept %v (%d locks, %d pages, %d blocks) ahead of the watchdog",
+					old, locks, pages, blocks)
+			})
+			pr.SetPartition(m.d.S.DomainPartition(soc.Strong))
+		}
+	}
+	// Anti-affinity pick: never a surviving replica's domain, prefer not
+	// the old one and not a crashed one; degrade gracefully when the
+	// platform is too small or too broken to offer better.
+	live := make(map[soc.DomainID]bool, len(g.reps))
+	for j := range g.reps {
+		if j != idx {
+			live[g.reps[j].domain] = true
+		}
+	}
+	target := old // last resort: respawn in place, it recovers at reboot
+	if pick := m.d.Sched.PickNWDomains(1, func(k soc.DomainID) bool {
+		return live[k] || k == old || m.d.S.Domains[k].Crashed()
+	}); len(pick) > 0 {
+		target = pick[0]
+	} else if pick := m.d.Sched.PickNWDomains(1, func(k soc.DomainID) bool {
+		return live[k] || k == old
+	}); len(pick) > 0 {
+		target = pick[0]
+	}
+	r.incarnation++
+	r.domain = target
+	r.startVP = g.committed
+	r.votedVP = g.committed - 1
+	r.crashCount = m.d.S.Domains[target].CrashCount()
+	r.lastVoteAt = m.d.Eng.Now()
+	m.Reintegrations++
+	state := g.spec.Machine.Init
+	if g.committed > 0 {
+		state = g.commits[g.committed-1].Digest
+	}
+	m.d.Trace.Emit(trace.Vote, "group %s: re-integrating replica %d on %v from vote point %d",
+		g.Name, idx, target, g.committed)
+	m.spawnReplica(g, idx, r.incarnation, g.committed, state)
+}
+
+// DomainBackAlive is the watchdog's suppressed-pong callback: a domain the
+// manager swept has rebooted and answers again, so its slate is clean.
+func (m *Manager) DomainBackAlive(k soc.DomainID) {
+	if m.swept[k] {
+		delete(m.swept, k)
+	}
+	m.RebootsObserved++
+	m.d.Trace.Emit(trace.Vote, "%v rebooted during re-integration; watchdog resumes watch", k)
+}
+
+// SweptDead reports whether the manager (not the watchdog) reclaimed
+// domain k's death and k has not come back since — check.Suite uses it to
+// accept crashed residue the watchdog was suppressed away from.
+func (m *Manager) SweptDead(k soc.DomainID) bool { return m.swept[k] }
+
+// Groups returns every started group.
+func (m *Manager) Groups() []*Group { return m.groups }
+
+// Flags returns every outvote recorded so far.
+func (m *Manager) Flags() []Flag { return append([]Flag(nil), m.flags...) }
+
+// Committed returns how many vote points have committed, in order.
+func (g *Group) Committed() int { return g.committed }
+
+// VotePoints returns the group's total vote-point count.
+func (g *Group) VotePoints() int { return len(g.commits) }
+
+// Commits returns the committed prefix.
+func (g *Group) Commits() []Commit {
+	return append([]Commit(nil), g.commits[:g.committed]...)
+}
+
+// StartedAt returns when the group was started.
+func (g *Group) StartedAt() sim.Time { return g.startedAt }
+
+// CommitGaps returns the inter-commit intervals of the committed prefix,
+// the first measured from group start — the workload-visible progress
+// cadence whose spikes are exactly the fault-recovery latency replication
+// exists to mask.
+func (g *Group) CommitGaps() []time.Duration {
+	gaps := make([]time.Duration, 0, g.committed)
+	prev := g.startedAt
+	for _, c := range g.commits[:g.committed] {
+		gaps = append(gaps, c.At.Sub(prev))
+		prev = c.At
+	}
+	return gaps
+}
+
+// ReplicaDomains returns each slot's current domain (tests assert the
+// anti-affinity placement).
+func (g *Group) ReplicaDomains() []soc.DomainID {
+	out := make([]soc.DomainID, len(g.reps))
+	for i := range g.reps {
+		out[i] = g.reps[i].domain
+	}
+	return out
+}
+
+// Incarnation returns replica idx's current incarnation number.
+func (g *Group) Incarnation(idx int) int { return g.reps[idx].incarnation }
+
+// State is the manager's checkpointable configuration and counters.
+// Checkpoints are taken at the boot-ready barrier, before any group
+// starts, so group state never needs capturing — CaptureState enforces
+// that the way sched refuses live threads.
+type State struct {
+	R              int
+	VoteTimeoutNS  int64
+	Votes          uint64
+	Outvoted       uint64
+	Reintegrations uint64
+	QuorumCommits  uint64
+	TimeoutCommits uint64
+	SweptDomains   uint64
+	Reboots        uint64
+	Swept          []int // domains swept-dead at capture, ascending
+}
+
+// CaptureState snapshots the manager at a quiesce point.
+func (m *Manager) CaptureState() (State, error) {
+	if len(m.groups) > 0 {
+		return State{}, fmt.Errorf("replica: cannot checkpoint with %d started groups", len(m.groups))
+	}
+	st := State{
+		R: m.Params.R, VoteTimeoutNS: int64(m.Params.VoteTimeout),
+		Votes: m.Votes, Outvoted: m.Outvoted, Reintegrations: m.Reintegrations,
+		QuorumCommits: m.QuorumCommits, TimeoutCommits: m.TimeoutCommits,
+		SweptDomains: m.SweptDomains, Reboots: m.RebootsObserved,
+	}
+	for k := range m.swept {
+		st.Swept = append(st.Swept, int(k))
+	}
+	for i := 1; i < len(st.Swept); i++ {
+		for j := i; j > 0 && st.Swept[j] < st.Swept[j-1]; j-- {
+			st.Swept[j], st.Swept[j-1] = st.Swept[j-1], st.Swept[j]
+		}
+	}
+	return st, nil
+}
+
+// RestoreState rewinds a freshly constructed manager onto a captured
+// state.
+func (m *Manager) RestoreState(st State) error {
+	if st.R != m.Params.R || time.Duration(st.VoteTimeoutNS) != m.Params.VoteTimeout {
+		return fmt.Errorf("replica: snapshot params R=%d timeout=%v, platform R=%d timeout=%v",
+			st.R, time.Duration(st.VoteTimeoutNS), m.Params.R, m.Params.VoteTimeout)
+	}
+	m.Votes, m.Outvoted, m.Reintegrations = st.Votes, st.Outvoted, st.Reintegrations
+	m.QuorumCommits, m.TimeoutCommits = st.QuorumCommits, st.TimeoutCommits
+	m.SweptDomains, m.RebootsObserved = st.SweptDomains, st.Reboots
+	m.swept = make(map[soc.DomainID]bool, len(st.Swept))
+	for _, k := range st.Swept {
+		m.swept[soc.DomainID(k)] = true
+	}
+	return nil
+}

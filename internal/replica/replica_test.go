@@ -1,0 +1,312 @@
+package replica_test
+
+import (
+	"testing"
+	"time"
+
+	"k2/internal/core"
+	"k2/internal/replica"
+	"k2/internal/sim"
+	"k2/internal/soc"
+)
+
+// bootReplicated boots a watched K2 system with the replication layer at
+// degree r on a platform with the given number of weak domains.
+func bootReplicated(t *testing.T, weak, r int) (*sim.Engine, *core.OS) {
+	t.Helper()
+	e := sim.NewEngine()
+	cfg := soc.DefaultConfig().WithWeakDomains(weak)
+	rel := soc.DefaultReliableParams()
+	cfg.Reliable = &rel
+	wd := core.DefaultWatchdogParams()
+	o, err := core.Boot(e, core.Options{
+		Mode: core.K2Mode, SoC: &cfg, Watchdog: &wd,
+		Replication: &replica.Params{R: r, VoteTimeout: 500 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Replicas == nil {
+		t.Fatal("replication layer not booted")
+	}
+	return e, o
+}
+
+// testMachine is a small deterministic machine: 2 steps per point at 24 µs
+// of actual weak-core work each, so a 500 µs vote-point period binds.
+func testMachine(points int) replica.Machine {
+	return replica.Machine{
+		Init: 0x1234_5678_9ABC_DEF0,
+		Step: func(vp, s int, st uint64) uint64 {
+			st ^= uint64(vp*31 + s + 1)
+			st *= 0x9E3779B97F4A7C15
+			return st
+		},
+		StepWork:     soc.Work(2 * time.Microsecond),
+		StepsPerVote: 2,
+		VotePoints:   points,
+		Idle:         500 * time.Microsecond,
+	}
+}
+
+// expectedDigests replays the machine as pure arithmetic: the digest
+// sequence every healthy replica must vote and the voter must commit.
+func expectedDigests(m replica.Machine) []uint64 {
+	out := make([]uint64, m.VotePoints)
+	st := m.Init
+	for vp := 0; vp < m.VotePoints; vp++ {
+		for s := 0; s < m.StepsPerVote; s++ {
+			st = m.Step(vp, s, st)
+		}
+		out[vp] = st
+	}
+	return out
+}
+
+func requireCommittedSequence(t *testing.T, g *replica.Group, mach replica.Machine) {
+	t.Helper()
+	if !g.Done.Fired() {
+		t.Fatalf("group not done: %d of %d points committed", g.Committed(), g.VotePoints())
+	}
+	want := expectedDigests(mach)
+	for _, c := range g.Commits() {
+		if c.Digest != want[c.VotePoint] {
+			t.Fatalf("vote point %d committed %#x, machine computes %#x — a faulty digest won",
+				c.VotePoint, c.Digest, want[c.VotePoint])
+		}
+	}
+}
+
+// A crashed replica must be outvoted by the surviving quorum with no
+// workload-visible stall: every point commits the correct digest, the flag
+// implicates the injected crash, and the commit cadence never opens a gap
+// anywhere near the watchdog's detect-and-reboot window.
+func TestReplicaQuorumMasksCrash(t *testing.T) {
+	e, o := bootReplicated(t, 6, 3)
+	mach := testMachine(16)
+	g, err := o.Replicas.StartGroup(replica.GroupSpec{Name: "g", Machine: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := g.ReplicaDomains()[0]
+	e.At(sim.Time(2200*time.Microsecond), func() { o.S.Domains[victim].Crash() })
+	e.At(sim.Time(8*time.Millisecond), func() { o.S.Domains[victim].Reboot() })
+	if err := e.Run(sim.Time(60 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	requireCommittedSequence(t, g, mach)
+	flags := o.Replicas.Flags()
+	if len(flags) == 0 {
+		t.Fatal("crashed replica never flagged")
+	}
+	for _, f := range flags {
+		if !f.Implicated {
+			t.Fatalf("flag %+v not implicated by the injected crash", f)
+		}
+	}
+	if o.Replicas.Reintegrations == 0 {
+		t.Fatal("outvoted replica never re-integrated")
+	}
+	var maxGap time.Duration
+	for _, gap := range g.CommitGaps() {
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	// The watchdog path is ~1.5 ms detection plus reclaim plus reboot; the
+	// voting quorum must ride straight through the crash. Two vote-point
+	// periods of slack bounds scheduling noise.
+	if maxGap > 2*mach.Idle {
+		t.Fatalf("max commit gap %v — the crash was not masked (period %v)", maxGap, mach.Idle)
+	}
+}
+
+// With R=2 a single crash leaves the group below quorum: progress must
+// continue by timeout-plurality commits, still with the correct digests.
+func TestReplicaTimeoutCommitsDegraded(t *testing.T) {
+	e, o := bootReplicated(t, 4, 2)
+	mach := testMachine(12)
+	g, err := o.Replicas.StartGroup(replica.GroupSpec{Name: "g", Machine: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := g.ReplicaDomains()[1]
+	e.At(sim.Time(2200*time.Microsecond), func() { o.S.Domains[victim].Crash() })
+	e.At(sim.Time(8*time.Millisecond), func() { o.S.Domains[victim].Reboot() })
+	if err := e.Run(sim.Time(60 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	requireCommittedSequence(t, g, mach)
+	if o.Replicas.TimeoutCommits == 0 {
+		t.Fatal("sub-quorum progress should have used timeout commits")
+	}
+	for _, f := range o.Replicas.Flags() {
+		if !f.Implicated {
+			t.Fatalf("flag %+v not implicated by the injected crash", f)
+		}
+	}
+}
+
+// A scripted divergence must lose the vote: the committed sequence stays
+// the machine's, and the diverging replica is flagged (implicated, since
+// the corruption is an injected fault) and re-incarnated.
+func TestReplicaDivergenceOutvoted(t *testing.T) {
+	e, o := bootReplicated(t, 6, 3)
+	mach := testMachine(16)
+	g, err := o.Replicas.StartGroup(replica.GroupSpec{
+		Name: "g", Machine: mach,
+		Corrupt: func(rep, vp int) bool { return rep == 1 && vp == 5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(sim.Time(60 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	requireCommittedSequence(t, g, mach)
+	flags := o.Replicas.Flags()
+	if len(flags) != 1 {
+		t.Fatalf("flags %+v, want exactly the scripted divergence", flags)
+	}
+	f := flags[0]
+	if f.Replica != 1 || f.VotePoint != 5 || f.Reason != replica.ReasonDiverged || !f.Implicated {
+		t.Fatalf("flag %+v, want replica 1 diverged at point 5, implicated", f)
+	}
+	if g.Incarnation(1) != 1 {
+		t.Fatalf("diverged replica at incarnation %d, want re-incarnated once", g.Incarnation(1))
+	}
+}
+
+// The double-fault corner: the scripted divergence fires at a point where a
+// storm has already frozen one honest replica, so the vote degrades to a
+// 1-1 plurality tie between the poisoned digest and the lone honest one.
+// The voter must hold the frontier instead of breaking the tie — the frozen
+// replica thaws on reboot, replays the point, and the honest majority
+// commits. Committing the tie the other way seals the poisoned digest and
+// flags the healthy replica, both oracle violations.
+func TestReplicaTieDefersUntilTiebreaker(t *testing.T) {
+	e, o := bootReplicated(t, 6, 3)
+	mach := testMachine(16)
+	g, err := o.Replicas.StartGroup(replica.GroupSpec{
+		Name: "g", Machine: mach,
+		// Replica 0 votes first in mailbox order: its poisoned digest is the
+		// earliest arrival, the side a naive earliest-wins tie-break seals.
+		Corrupt: func(rep, vp int) bool { return rep == 0 && vp == 5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze replica 2 after its point-4 vote and before its point-5 one.
+	victim := g.ReplicaDomains()[2]
+	e.At(sim.Time(2300*time.Microsecond), func() { o.S.Domains[victim].Crash() })
+	e.At(sim.Time(10*time.Millisecond), func() { o.S.Domains[victim].Reboot() })
+	if err := e.Run(sim.Time(120 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	requireCommittedSequence(t, g, mach)
+	var diverged bool
+	for _, f := range o.Replicas.Flags() {
+		if !f.Implicated {
+			t.Fatalf("flag %+v not implicated — a healthy replica was outvoted", f)
+		}
+		if f.Reason == replica.ReasonDiverged {
+			if f.Replica != 0 {
+				t.Fatalf("divergence flag on replica %d, want the corrupted replica 0", f.Replica)
+			}
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("the scripted divergence was never flagged")
+	}
+}
+
+// Placement is anti-affine: the initial set occupies distinct domains, and
+// a re-integrated replacement lands on a domain no survivor occupies —
+// never back on the crashed one.
+func TestReplicaAntiAffinity(t *testing.T) {
+	e, o := bootReplicated(t, 8, 3)
+	mach := testMachine(16)
+	g, err := o.Replicas.StartGroup(replica.GroupSpec{Name: "g", Machine: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := g.ReplicaDomains()
+	seen := map[soc.DomainID]bool{}
+	for _, d := range initial {
+		if seen[d] {
+			t.Fatalf("initial placement %v reuses a domain", initial)
+		}
+		seen[d] = true
+	}
+	victim := initial[2]
+	e.At(sim.Time(2200*time.Microsecond), func() { o.S.Domains[victim].Crash() })
+	if err := e.Run(sim.Time(60 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	after := g.ReplicaDomains()
+	if after[2] == victim {
+		t.Fatalf("replacement respawned on the crashed domain %v", victim)
+	}
+	if after[2] == after[0] || after[2] == after[1] {
+		t.Fatalf("replacement %v collides with a survivor: %v", after[2], after)
+	}
+}
+
+// R=1 is the unreplicated baseline: every vote commits on arrival (quorum
+// of one), nothing is ever flagged, and the machinery adds no recoveries.
+func TestReplicaR1Baseline(t *testing.T) {
+	e, o := bootReplicated(t, 4, 1)
+	mach := testMachine(12)
+	g, err := o.Replicas.StartGroup(replica.GroupSpec{Name: "g", Machine: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(sim.Time(60 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	requireCommittedSequence(t, g, mach)
+	if n := o.Replicas.TimeoutCommits; n != 0 {
+		t.Fatalf("%d timeout commits on a healthy R=1 run", n)
+	}
+	if fl := o.Replicas.Flags(); len(fl) != 0 {
+		t.Fatalf("healthy R=1 run flagged %+v", fl)
+	}
+}
+
+// A group needs R distinct weak domains; a too-small platform is an error,
+// not a silent degradation.
+func TestReplicaStartGroupTooFewDomains(t *testing.T) {
+	_, o := bootReplicated(t, 2, 3)
+	if _, err := o.Replicas.StartGroup(replica.GroupSpec{Name: "g", Machine: testMachine(4)}); err == nil {
+		t.Fatal("StartGroup placed 3 replicas on 2 weak domains")
+	}
+}
+
+// Two identical runs must agree byte-for-byte on the commit table — the
+// determinism contract the voter's mailbox-ordered bookkeeping promises.
+func TestReplicaDeterministicCommits(t *testing.T) {
+	run := func() []replica.Commit {
+		e, o := bootReplicated(t, 6, 3)
+		mach := testMachine(16)
+		g, err := o.Replicas.StartGroup(replica.GroupSpec{Name: "g", Machine: mach})
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := g.ReplicaDomains()[0]
+		e.At(sim.Time(2200*time.Microsecond), func() { o.S.Domains[victim].Crash() })
+		if err := e.Run(sim.Time(60 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		return g.Commits()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("commit counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("commit %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

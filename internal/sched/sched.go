@@ -45,6 +45,7 @@ type Process struct {
 
 	sched          *Sched
 	nwDomain       soc.DomainID // home weak domain of NightWatch threads
+	nwPlaced       bool         // nwDomain pinned explicitly via PlaceNW
 	runnableNormal int
 	runningAcked   int // normal threads holding a core past the suspend ack
 	nwThreads      int
@@ -167,16 +168,58 @@ func New(s *soc.SoC, singleKernel bool) *Sched {
 // fewest NightWatch processes already placed there, then the lowest ID. On a
 // two-domain platform this is always the single weak domain.
 func (sc *Sched) pickNWDomain() soc.DomainID {
-	weak := sc.S.WeakDomains()
-	best := weak[0]
-	for _, k := range weak[1:] {
-		ks, bs := sc.kernels[k], sc.kernels[best]
-		if ks.runnable < bs.runnable ||
-			(ks.runnable == bs.runnable && ks.nwAssigned < bs.nwAssigned) {
-			best = k
+	return sc.PickNWDomains(1, nil)[0]
+}
+
+// PickNWDomains generalizes the least-loaded pick into replica-set
+// placement with anti-affinity: it returns up to n distinct weak domains
+// ordered best-first by the same criterion pickNWDomain uses (fewest
+// runnable threads, then fewest NightWatch processes placed there, then
+// lowest ID), skipping any domain for which skip returns true. It may
+// return fewer than n when not enough weak domains survive the filter; the
+// caller decides whether that is fatal (replica.Manager requires R distinct
+// domains at group start, but accepts a degraded pool for re-integration).
+func (sc *Sched) PickNWDomains(n int, skip func(soc.DomainID) bool) []soc.DomainID {
+	var cands []soc.DomainID
+	for _, k := range sc.S.WeakDomains() {
+		if skip != nil && skip(k) {
+			continue
+		}
+		cands = append(cands, k)
+	}
+	// Insertion sort by load: candidate lists are at most the weak-domain
+	// count (≤ 64) and usually tiny. WeakDomains() yields ascending IDs and
+	// the sort is stable, so equal-load ties keep the lowest ID first.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := sc.kernels[cands[j]], sc.kernels[cands[j-1]]
+			if a.runnable < b.runnable ||
+				(a.runnable == b.runnable && a.nwAssigned < b.nwAssigned) {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+				continue
+			}
+			break
 		}
 	}
-	return best
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	return cands
+}
+
+// PlaceNW pins the home weak domain of pr's future NightWatch threads,
+// overriding the least-loaded default pick. Replica-set placement uses it
+// to spread R sibling processes over distinct domains. It must be called
+// before the process's first NightWatch spawn; afterwards (or under the
+// single-kernel baseline) it is a no-op.
+func (pr *Process) PlaceNW(k soc.DomainID) {
+	sc := pr.sched
+	if sc.SingleKernel || pr.nwThreads > 0 || pr.nwPlaced {
+		return
+	}
+	pr.nwDomain = k
+	pr.nwPlaced = true
+	sc.kernels[k].nwAssigned++
 }
 
 // Runnable returns how many threads of kernel k hold or want a core.
@@ -213,10 +256,10 @@ func (pr *Process) Spawn(kind Kind, name string, body func(t *Thread)) *Thread {
 	sc := pr.sched
 	k := soc.Strong
 	if kind == NightWatch && !sc.SingleKernel {
-		if pr.nwThreads == 0 {
+		if pr.nwThreads == 0 && !pr.nwPlaced {
 			// First NightWatch thread of the process: place it (and every
 			// later sibling — they share suspend state) on the least-loaded
-			// weak domain.
+			// weak domain, unless PlaceNW pinned one already.
 			pr.nwDomain = sc.pickNWDomain()
 			sc.kernels[pr.nwDomain].nwAssigned++
 		}

@@ -16,6 +16,7 @@ type ProcessSnap struct {
 	PID         int
 	Name        string
 	NWDomain    int
+	NWPlaced    bool
 	NWThreads   int
 	NWSuspended bool
 	DoneFired   bool
@@ -79,6 +80,7 @@ func (sc *Sched) CaptureState() (SchedState, error) {
 		}
 		st.Procs = append(st.Procs, ProcessSnap{
 			PID: pr.PID, Name: pr.Name, NWDomain: int(pr.nwDomain),
+			NWPlaced:  pr.nwPlaced,
 			NWThreads: pr.nwThreads, NWSuspended: pr.nwSuspended,
 			DoneFired: pr.done.Fired(),
 		})
@@ -117,7 +119,8 @@ func (sc *Sched) RestoreState(st SchedState) error {
 	for _, ps := range st.Procs {
 		pr := &Process{
 			PID: ps.PID, Name: ps.Name, sched: sc,
-			nwDomain: soc.DomainID(ps.NWDomain), nwThreads: ps.NWThreads,
+			nwDomain: soc.DomainID(ps.NWDomain), nwPlaced: ps.NWPlaced,
+			nwThreads:   ps.NWThreads,
 			nwSuspended: ps.NWSuspended,
 			nwResume:    sim.NewGate(sc.S.Eng),
 			nwPreempt:   sim.NewEvent(sc.S.Eng),

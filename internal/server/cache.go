@@ -21,6 +21,7 @@ type cacheKey struct {
 	Seed        int64
 	WeakDomains int
 	Sweep       int
+	Replicas    int
 	Protocol    string // normalized by Validate; "" = the default two-state
 }
 
@@ -30,6 +31,7 @@ func cacheKeyOf(req Request) cacheKey {
 		Seed:        req.Seed,
 		WeakDomains: req.WeakDomains,
 		Sweep:       req.Sweep,
+		Replicas:    req.Replicas,
 		Protocol:    req.DSMProtocol,
 	}
 }
@@ -55,7 +57,8 @@ func entryBytes(res experiment.Result, events []traceEvent) int {
 }
 
 // resultCache is k2d's deterministic result cache: an LRU over terminal
-// done jobs keyed by (experiment, seed, weak_domains, sweep). A hit is
+// done jobs keyed by (experiment, seed, weak_domains, sweep, replicas,
+// protocol). A hit is
 // served byte-identically — same table, same trace stream — without
 // touching a simulation engine. A nil *resultCache is a disabled cache:
 // every method is a no-op.

@@ -21,6 +21,9 @@ func FuzzRequestDecode(f *testing.F) {
 	f.Add(`{"experiment":"t5","dsm_protocol":"msi"}`)
 	f.Add(`{"experiment":"dsmshare","dsm_protocol":"two-state","weak_domains":4}`)
 	f.Add(`{"experiment":"chaos","dsm_protocol":"mesi"}`)
+	f.Add(`{"experiment":"replication","replicas":3,"weak_domains":16,"sweep":8}`)
+	f.Add(`{"experiment":"replication","replicas":9}`)
+	f.Add(`{"experiment":"replication","replicas":-1,"weak_domains":65}`)
 	f.Add(`[1,2,3]`)
 	f.Add(`"experiment"`)
 	f.Add("{\"experiment\":\"\\u0000\"}")

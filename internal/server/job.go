@@ -53,8 +53,13 @@ type Request struct {
 	// experiment it sizes the storm platform (0 = 2).
 	WeakDomains int `json:"weak_domains,omitempty"`
 	// Sweep sizes the chaos experiment: how many seeded storms to run
-	// (0 = the registry default of 8).
+	// (0 = the registry default of 8) and how many the replication ablation
+	// replays per degree (0 = 4).
 	Sweep int `json:"sweep,omitempty"`
+	// Replicas narrows the replication ablation to a single NMR degree,
+	// 1-8 (0 = the registered R in {1,2,3} sweep). It changes output bytes,
+	// so it is part of the result-cache key and the fleet shard key.
+	Replicas int `json:"replicas,omitempty"`
 	// DSMProtocol selects the coherence protocol the job's systems run:
 	// "twostate" (or "", the default) or "msi". Validate normalizes it, so
 	// spellings that mean the default all hit the same cache entry.
@@ -92,6 +97,15 @@ func (r *Request) Validate() error {
 	}
 	if r.WeakDomains < 0 {
 		return fmt.Errorf("weak_domains must be >= 0")
+	}
+	if r.WeakDomains > 64 {
+		return fmt.Errorf("weak_domains must be <= 64")
+	}
+	if r.Replicas < 0 {
+		return fmt.Errorf("replicas must be >= 0")
+	}
+	if r.Replicas > 8 {
+		return fmt.Errorf("replicas must be <= 8")
 	}
 	if r.Sweep < 0 {
 		return fmt.Errorf("sweep must be >= 0")
@@ -165,6 +179,7 @@ type Status struct {
 	Seed       int64   `json:"seed,omitempty"`
 	WeakDoms   int     `json:"weak_domains,omitempty"`
 	Sweep      int     `json:"sweep,omitempty"`
+	Replicas   int     `json:"replicas,omitempty"`
 	Protocol   string  `json:"dsm_protocol,omitempty"`
 	EnginePar  int     `json:"engine_parallel,omitempty"`
 	Submitted  string  `json:"submitted"`
@@ -198,6 +213,7 @@ func (j *Job) status() Status {
 		Seed:       j.Req.Seed,
 		WeakDoms:   j.Req.WeakDomains,
 		Sweep:      j.Req.Sweep,
+		Replicas:   j.Req.Replicas,
 		Protocol:   j.Req.DSMProtocol,
 		EnginePar:  j.Req.EngineParallel,
 		Submitted:  j.submitted.UTC().Format(time.RFC3339Nano),

@@ -50,6 +50,16 @@ type metrics struct {
 	chaosFailures uint64            // storms with at least one violation
 	chaosPass     map[string]uint64 // oracle verdicts by oracle family
 	chaosFail     map[string]uint64
+
+	// Replication-ablation tallies summed over every finished replication
+	// job: votes accepted by the strong-kernel voter, replicas outvoted
+	// (flagged for any reason), and replicas re-integrated from voted state.
+	replicaVotes    uint64
+	replicaOutvoted uint64
+	replicaReints   uint64
+	replicaStorms   uint64
+	replicaFailures uint64 // storm runs with at least one violation
+	replicaMasked   uint64 // outvotes implicated by an injected fault
 }
 
 func newMetrics() *metrics {
@@ -124,6 +134,16 @@ func (m *metrics) recordFinished(id string, state State, res *experiment.Result,
 		}
 		for orc, n := range cd.OracleFail {
 			m.chaosFail[orc] += uint64(n)
+		}
+	}
+	if rd := res.ReplicationResult(); rd != nil {
+		for _, c := range rd.Cases {
+			m.replicaVotes += c.Votes
+			m.replicaOutvoted += uint64(c.Outvoted)
+			m.replicaReints += c.Reintegrations
+			m.replicaStorms += uint64(c.Storms)
+			m.replicaFailures += uint64(c.Failures)
+			m.replicaMasked += uint64(c.MaskedFaults)
 		}
 	}
 }
@@ -212,6 +232,13 @@ func (m *metrics) render(w io.Writer, queueDepth, inflight int, draining bool, c
 		fmt.Fprintf(w, "k2d_chaos_oracle_total{oracle=%q,result=\"pass\"} %d\n", orc, m.chaosPass[orc])
 		fmt.Fprintf(w, "k2d_chaos_oracle_total{oracle=%q,result=\"fail\"} %d\n", orc, m.chaosFail[orc])
 	}
+
+	counter("k2d_replica_votes_total", "Replica votes accepted by the strong-kernel voter across all finished replication jobs.", m.replicaVotes)
+	counter("k2d_replica_outvoted_total", "Replicas outvoted (crashed, silent or diverged) across all finished replication jobs.", m.replicaOutvoted)
+	counter("k2d_replica_reintegrations_total", "Outvoted replicas re-integrated from voted state onto fresh domains.", m.replicaReints)
+	counter("k2d_replica_storms_total", "Storm runs simulated across all finished replication jobs.", m.replicaStorms)
+	counter("k2d_replica_failures_total", "Replication storm runs with at least one oracle violation.", m.replicaFailures)
+	counter("k2d_replica_masked_faults_total", "Outvotes implicated by an injected fault (masked, not repaired).", m.replicaMasked)
 
 	counter("k2d_cache_hits_total", "Jobs served byte-identically from the result cache.", cs.hits)
 	counter("k2d_cache_misses_total", "Cache lookups that had to simulate.", cs.misses)

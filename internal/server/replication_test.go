@@ -1,0 +1,95 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestReplicationJob drives a narrowed replication job through the HTTP
+// API end to end: the replicas field is validated and echoed, the job's
+// table reports the single requested degree, the replica counters land in
+// /metrics, and a repeat submit is served from the result cache — while a
+// different degree misses it (replicas is part of the cache key).
+func TestReplicationJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication sweep in -short")
+	}
+	s, ts := newTestServer(t, Config{Parallel: 2, QueueDepth: 8})
+
+	submit := func(body string) Status {
+		t.Helper()
+		resp, st := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %q = %d", body, resp.StatusCode)
+		}
+		code, raw := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"?wait=120")
+		if code != http.StatusOK {
+			t.Fatalf("poll = %d", code)
+		}
+		var got Status
+		if err := json.Unmarshal([]byte(raw), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.State != StateDone {
+			t.Fatalf("replication job = %+v", got)
+		}
+		return got
+	}
+
+	req := `{"experiment":"replication","seed":1,"weak_domains":8,"sweep":1,"replicas":3}`
+	got := submit(req)
+	if got.Replicas != 3 {
+		t.Fatalf("status did not echo replicas: %+v", got)
+	}
+	if !strings.Contains(got.Result.Table, "NMR voting") {
+		t.Fatalf("replication table:\n%s", got.Result.Table)
+	}
+	if n := strings.Count(got.Result.Table, "\n3  "); n != 1 ||
+		strings.Contains(got.Result.Table, "\n1  ") {
+		t.Fatalf("table not narrowed to R=3:\n%s", got.Result.Table)
+	}
+	if strings.Contains(got.Result.Table, "FAIL") {
+		t.Fatalf("oracle violations:\n%s", got.Result.Table)
+	}
+
+	code, metricsBody := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"k2d_replica_votes_total",
+		"k2d_replica_outvoted_total",
+		"k2d_replica_reintegrations_total",
+		"k2d_replica_failures_total 0",
+		"k2d_replica_storms_total 1",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+	var votes uint64
+	s.metrics.mu.Lock()
+	votes = s.metrics.replicaVotes
+	s.metrics.mu.Unlock()
+	if votes == 0 {
+		t.Fatal("finished replication job contributed no votes to /metrics")
+	}
+
+	// Byte-identical repeat: a cache hit (same replicas), then a miss for a
+	// different degree.
+	before := s.cache.stats()
+	again := submit(req)
+	after := s.cache.stats()
+	if after.hits != before.hits+1 {
+		t.Fatalf("repeat submit missed the cache: %+v -> %+v", before, after)
+	}
+	if again.Result.Table != got.Result.Table {
+		t.Fatal("cached replication table is not byte-identical")
+	}
+	other := submit(`{"experiment":"replication","seed":1,"weak_domains":8,"sweep":1,"replicas":2}`)
+	if other.Result.Table == got.Result.Table {
+		t.Fatal("R=2 job served R=3's cached bytes — replicas missing from the cache key")
+	}
+}

@@ -137,6 +137,7 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		Seed:        req.Seed,
 		WeakDomains: req.WeakDomains,
 		Sweep:       req.Sweep,
+		Replicas:    req.Replicas,
 	})
 
 	// The deterministic result cache: a repeat of a finished job (same

@@ -112,6 +112,9 @@ func TestHandlers(t *testing.T) {
 			`{"experiment":"t1","bogus_field":1}`,
 			`{"experiment":"t1","seed":-1}`,
 			`{"experiment":"t1","weak_domains":-2}`,
+			`{"experiment":"chaos","weak_domains":65}`,
+			`{"experiment":"replication","replicas":-1}`,
+			`{"experiment":"replication","replicas":9}`,
 			`{"experiment":"t1","timeout_ms":-5}`,
 			`{"experiment":"t1","format":"pdf"}`,
 		} {

@@ -22,6 +22,22 @@ type msiPageSeed struct {
 	ProbOwner []int
 }
 
+// replicaStateSeed mirrors replica.State — the NMR layer's checkpointed
+// voter: degree, vote timeout, the monotonic counters and the swept-dead
+// domain list — so the corpus round-trips replication metadata too.
+type replicaStateSeed struct {
+	R              int
+	VoteTimeoutNS  int64
+	Votes          uint64
+	Outvoted       uint64
+	Reintegrations uint64
+	QuorumCommits  uint64
+	TimeoutCommits uint64
+	SweptDomains   uint64
+	Reboots        uint64
+	Swept          []int
+}
+
 // FuzzDecode is the snapshot-codec fuzz target: decoding arbitrary bytes
 // must never panic, and any bytes that do decode must re-encode to a stable
 // fixed point (encode -> decode -> encode is byte-identical from the first
@@ -46,6 +62,14 @@ func FuzzDecode(f *testing.F) {
 	})
 	msiCorrupt[len(msiCorrupt)/3] ^= 0xff
 	f.Add(msiCorrupt)
+	f.Add(Encode(replicaStateSeed{
+		R: 3, VoteTimeoutNS: 500_000, Votes: 95, Outvoted: 1,
+		Reintegrations: 1, QuorumCommits: 32, SweptDomains: 1, Reboots: 1,
+		Swept: []int{2},
+	}))
+	repCorrupt := Encode(replicaStateSeed{R: 2, VoteTimeoutNS: 500_000, TimeoutCommits: 7, Swept: []int{1, 4}})
+	repCorrupt[len(repCorrupt)/4] ^= 0xff
+	f.Add(repCorrupt)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var v sample
 		if err := Decode(data, &v); err != nil {

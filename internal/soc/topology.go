@@ -122,5 +122,14 @@ func (c Config) WithWeakDomains(n int) Config {
 	}
 	out := c
 	out.Topology = topo
+	// Every weak kernel costs a 16 MB local region plus a 16 MB boot-block
+	// deflate from the global pool; a 64-domain topology cannot boot inside
+	// the calibrated 1 GB. Grow physical memory when the topology does not
+	// fit (48 MB per weak kernel plus main-kernel and global headroom) and
+	// never shrink it, so topologies that already fit — every config up to
+	// 18 weak domains — keep their exact layout and page count.
+	if need := int64(n)*(48<<20) + (128 << 20); out.RAMBytes < need {
+		out.RAMBytes = need
+	}
 	return out
 }

@@ -39,10 +39,13 @@ const (
 	// IRQs) and the kernels' recovery actions (watchdog verdicts, directory
 	// and balloon reclaims).
 	Fault
+	// Vote: replica vote points — digests arriving on the strong kernel,
+	// quorum and timeout commits, outvoted replicas and re-integrations.
+	Vote
 	numKinds
 )
 
-var kindNames = [...]string{"boot", "power", "irq", "mailbox", "dsm", "sched", "mem", "user", "fault"}
+var kindNames = [...]string{"boot", "power", "irq", "mailbox", "dsm", "sched", "mem", "user", "fault", "vote"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
